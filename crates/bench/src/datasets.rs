@@ -1,0 +1,112 @@
+//! Table III dataset instantiations at a configurable scale.
+//!
+//! `scale` is the cube side of the cubic datasets (the paper uses 512; the
+//! default harness scale is 64–128). Elongated datasets derive their shape
+//! from `scale` with the paper's aspect ratios.
+
+use hqmr_grid::{synth, Dims3, Field3};
+use hqmr_mr::{to_adaptive, to_amr, AmrConfig, MultiResData, RoiConfig};
+
+/// A ready-to-compress dataset: its fine uniform field plus the
+/// multi-resolution structure Table III specifies.
+pub struct BenchDataset {
+    /// Table III name.
+    pub name: &'static str,
+    /// The uniform fine field the proxy generator produced.
+    pub field: Field3,
+    /// Multi-resolution structure (None for the uniform datasets).
+    pub mr: Option<MultiResData>,
+}
+
+impl BenchDataset {
+    /// Value range of the fine field (error bounds are specified relative to
+    /// this, matching the SZ convention).
+    pub fn range(&self) -> f64 {
+        self.field.range() as f64
+    }
+}
+
+fn unit_for(scale: usize) -> usize {
+    // The paper's unit block is 16 on 512³; shrink with the domain but never
+    // below 8 so padding stays active (u > 4).
+    if scale >= 128 {
+        16
+    } else {
+        8
+    }
+}
+
+/// Nyx-T1: in-situ AMR, 2 levels, fine 18% / coarse 82%.
+pub fn nyx_t1(scale: usize, seed: u64) -> BenchDataset {
+    let field = synth::nyx_like(scale, seed);
+    let mr = to_amr(&field, &AmrConfig::new(unit_for(scale), vec![0.18, 0.82]));
+    BenchDataset { name: "Nyx-T1", field, mr: Some(mr) }
+}
+
+/// Nyx-T2: offline AMR, 2 levels, fine 58% / coarse 42%.
+pub fn nyx_t2(scale: usize, seed: u64) -> BenchDataset {
+    let field = synth::nyx_like(scale, seed ^ 0x1111);
+    let mr = to_amr(&field, &AmrConfig::new(unit_for(scale), vec![0.58, 0.42]));
+    BenchDataset { name: "Nyx-T2", field, mr: Some(mr) }
+}
+
+/// Nyx-T3: offline uniform.
+pub fn nyx_t3(scale: usize, seed: u64) -> BenchDataset {
+    let field = synth::nyx_like(scale, seed ^ 0x2222);
+    BenchDataset { name: "Nyx-T3", field, mr: None }
+}
+
+/// WarpX: in-situ adaptive (uniform → 2 levels, 50/50), shape n²×8n.
+pub fn warpx(scale: usize, seed: u64) -> BenchDataset {
+    let field = synth::warpx_like(Dims3::new(scale, scale, 8 * scale), seed);
+    let mr = to_adaptive(&field, &RoiConfig::new(unit_for(scale), 0.5));
+    BenchDataset { name: "WarpX", field, mr: Some(mr) }
+}
+
+/// RT: offline AMR, 3 levels, 15/31/54.
+pub fn rt(scale: usize, seed: u64) -> BenchDataset {
+    let field = synth::rt_like(scale, seed);
+    let unit = unit_for(scale).max(16); // 3 levels need unit ≥ 16 for u/4 ≥ 4
+    let mr = to_amr(&field, &AmrConfig::new(unit, vec![0.15, 0.31, 0.54]));
+    BenchDataset { name: "RT", field, mr: Some(mr) }
+}
+
+/// Hurricane: offline adaptive (uniform → 2 levels, 35/65), shape n²×n/4.
+pub fn hurricane(scale: usize, seed: u64) -> BenchDataset {
+    let nz = (scale / 4).max(unit_for(scale));
+    let field = synth::hurricane_like(Dims3::new(scale, scale, nz), seed);
+    let mr = to_adaptive(&field, &RoiConfig::new(unit_for(scale), 0.35));
+    BenchDataset { name: "Hurri", field, mr: Some(mr) }
+}
+
+/// S3D: offline uniform.
+pub fn s3d(scale: usize, seed: u64) -> BenchDataset {
+    let field = synth::s3d_like(scale, seed);
+    BenchDataset { name: "S3D", field, mr: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_densities_roughly_hold() {
+        let d = nyx_t1(64, 1);
+        let mr = d.mr.unwrap();
+        let fine = mr.levels[0].covered_cells() as f64 / mr.domain.len() as f64;
+        assert!((fine - 0.18).abs() < 0.06, "fine density {fine}");
+
+        let d = rt(64, 2);
+        let mr = d.mr.unwrap();
+        assert_eq!(mr.levels.len(), 3);
+        assert_eq!(mr.coverage_defects(), 0);
+    }
+
+    #[test]
+    fn elongated_shapes() {
+        let d = warpx(16, 0);
+        assert_eq!(d.field.dims(), Dims3::new(16, 16, 128));
+        let d = hurricane(32, 0);
+        assert_eq!(d.field.dims(), Dims3::new(32, 32, 8));
+    }
+}

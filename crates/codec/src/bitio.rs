@@ -1,0 +1,214 @@
+//! Bit-granular writer/reader over a byte buffer.
+//!
+//! Bits are packed LSB-first within each byte, which makes `write_bits` /
+//! `read_bits` of up to 64 bits simple shifts. ZFP's bit-plane coder and the
+//! Huffman coder both sit on top of this.
+
+/// Append-only bit sink.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the last byte of `buf` (0 ⇒ byte boundary).
+    used: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with reserved capacity (in bytes).
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter { buf: Vec::with_capacity(bytes), used: 0 }
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << self.used;
+        }
+        self.used = (self.used + 1) & 7;
+    }
+
+    /// Writes the low `n` bits of `value`, LSB first. `n ≤ 64`.
+    #[inline]
+    pub fn write_bits(&mut self, mut value: u64, mut n: u32) {
+        debug_assert!(n <= 64);
+        if n < 64 {
+            value &= (1u64 << n) - 1;
+        }
+        while n > 0 {
+            if self.used == 0 {
+                self.buf.push(0);
+            }
+            let free = 8 - self.used;
+            let take = free.min(n);
+            let last = self.buf.len() - 1;
+            self.buf[last] |= ((value & ((1u64 << take) - 1)) as u8) << self.used;
+            value >>= take;
+            self.used = (self.used + take) & 7;
+            n -= take;
+        }
+    }
+
+    /// Number of bits written so far.
+    #[inline]
+    pub fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.used as usize
+        }
+    }
+
+    /// Finishes the stream, returning the packed bytes (final partial byte is
+    /// zero-padded).
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reader over bits produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize, // absolute bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Reads one bit. Returns `false` past the end (zero padding semantics,
+    /// matching ZFP's stream behaviour).
+    #[inline]
+    pub fn read_bit(&mut self) -> bool {
+        let byte = self.pos >> 3;
+        let bit = self.pos & 7;
+        self.pos += 1;
+        if byte >= self.buf.len() {
+            return false;
+        }
+        (self.buf[byte] >> bit) & 1 == 1
+    }
+
+    /// Reads `n ≤ 64` bits, LSB first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            let byte = self.pos >> 3;
+            if byte >= self.buf.len() {
+                self.pos += (n - got) as usize;
+                break;
+            }
+            let bit = (self.pos & 7) as u32;
+            let avail = 8 - bit;
+            let take = avail.min(n - got);
+            let chunk = ((self.buf[byte] >> bit) as u64) & ((1u64 << take) - 1);
+            out |= chunk << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        out
+    }
+
+    /// Current bit position.
+    #[inline]
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining readable bits.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        (self.buf.len() * 8).saturating_sub(self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 1);
+        w.write_bits(0x3FF, 10);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4), 0b1011);
+        assert_eq!(r.read_bits(32), 0xDEAD_BEEF);
+        assert_eq!(r.read_bits(64), u64::MAX);
+        assert_eq!(r.read_bits(1), 0);
+        assert_eq!(r.read_bits(10), 0x3FF);
+    }
+
+    #[test]
+    fn reading_past_end_yields_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bit());
+        // 7 padding zeros then synthetic zeros.
+        for _ in 0..20 {
+            assert!(!r.read_bit());
+        }
+    }
+
+    #[test]
+    fn write_bits_masks_high_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 3); // only 0b111 should land
+        w.write_bits(0, 5);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0000_0111]);
+    }
+
+    #[test]
+    fn interleaved_sizes() {
+        let mut w = BitWriter::new();
+        let mut expected = Vec::new();
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 1..=64u32 {
+            x = x.rotate_left(7).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let v = if i == 64 { x } else { x & ((1 << i) - 1) };
+            expected.push((v, i));
+            w.write_bits(v, i);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (v, i) in expected {
+            assert_eq!(r.read_bits(i), v, "width {i}");
+        }
+    }
+}

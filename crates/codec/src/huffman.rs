@@ -1,0 +1,355 @@
+//! Canonical Huffman coding for quantization-code streams.
+//!
+//! SZ2/SZ3 emit one `u32` quantization code per data point; the distribution
+//! is sharply peaked at the zero-offset code, which is exactly where Huffman
+//! earns the compression ratio. The encoded block is self-contained: it embeds
+//! the code-length table (run-length compressed) followed by the bit payload.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::varint::{read_uvarint, write_uvarint};
+
+/// Maximum admitted code length. Length-limiting keeps decode tables sane even
+/// for adversarial frequency skews.
+const MAX_CODE_LEN: u8 = 32;
+
+/// Builds Huffman code lengths from symbol frequencies (freqs[i] = count of
+/// symbol i). Zero-frequency symbols get length 0 (absent).
+fn build_lengths(freqs: &[u64]) -> Vec<u8> {
+    let present: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match present.len() {
+        0 => return lengths,
+        1 => {
+            lengths[present[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Heap-free O(n log n) two-queue construction after sorting by frequency.
+    let mut leaves: Vec<(u64, usize)> = present.iter().map(|&i| (freqs[i], i)).collect();
+    leaves.sort_unstable();
+    // Internal nodes: (freq, left child, right child). Children index into a
+    // combined id space: 0..n_leaves are leaves, n_leaves.. are internals.
+    let n = leaves.len();
+    let mut internal: Vec<(u64, usize, usize)> = Vec::with_capacity(n);
+    let (mut li, mut ii) = (0usize, 0usize);
+    let take = |li: &mut usize, ii: &mut usize, internal: &[(u64, usize, usize)]| -> (u64, usize) {
+        let leaf_f = leaves.get(*li).map(|&(f, _)| f);
+        let int_f = internal.get(*ii).map(|&(f, _, _)| f);
+        match (leaf_f, int_f) {
+            (Some(lf), Some(inf)) if lf <= inf => {
+                *li += 1;
+                (lf, *li - 1)
+            }
+            (Some(_), Some(_)) | (None, Some(_)) => {
+                *ii += 1;
+                (internal[*ii - 1].0, n + *ii - 1)
+            }
+            (Some(lf), None) => {
+                *li += 1;
+                (lf, *li - 1)
+            }
+            (None, None) => unreachable!("queues exhausted early"),
+        }
+    };
+    for _ in 0..n - 1 {
+        let (f1, a) = take(&mut li, &mut ii, &internal);
+        let (f2, b) = take(&mut li, &mut ii, &internal);
+        internal.push((f1 + f2, a, b));
+    }
+    // Depth-first depth assignment from the root (last internal node).
+    let mut depth = vec![0u8; n + internal.len()];
+    for idx in (0..internal.len()).rev() {
+        let id = n + idx;
+        let d = depth[id];
+        let (_, a, b) = internal[idx];
+        depth[a] = d + 1;
+        depth[b] = d + 1;
+    }
+    for (leaf_idx, &(_, sym)) in leaves.iter().enumerate() {
+        lengths[sym] = depth[leaf_idx].max(1);
+    }
+    limit_lengths(&mut lengths);
+    lengths
+}
+
+/// Enforces `MAX_CODE_LEN` by the classic Kraft-sum fixup: overlong codes are
+/// clamped, then lengths are increased greedily until Kraft ≤ 1, then shortened
+/// where slack remains.
+fn limit_lengths(lengths: &mut [u8]) {
+    let over = lengths.iter().any(|&l| l > MAX_CODE_LEN);
+    if !over {
+        return;
+    }
+    for l in lengths.iter_mut() {
+        if *l > MAX_CODE_LEN {
+            *l = MAX_CODE_LEN;
+        }
+    }
+    // Kraft sum in units of 2^-MAX_CODE_LEN.
+    let unit = |l: u8| 1u64 << (MAX_CODE_LEN - l);
+    let mut kraft: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| unit(l)).sum();
+    let budget = 1u64 << MAX_CODE_LEN;
+    // Demote (lengthen) the shortest offending codes until the sum fits.
+    while kraft > budget {
+        // Find a symbol with the smallest length > 0 that can grow.
+        let mut best: Option<usize> = None;
+        for (i, &l) in lengths.iter().enumerate() {
+            if l > 0 && l < MAX_CODE_LEN {
+                match best {
+                    Some(b) if lengths[b] <= l => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        let i = best.expect("cannot satisfy Kraft inequality");
+        kraft -= unit(lengths[i]);
+        lengths[i] += 1;
+        kraft += unit(lengths[i]);
+    }
+}
+
+/// Assigns canonical codes (MSB-first values) from code lengths.
+/// Returns (code, len) per symbol; absent symbols get (0, 0).
+fn canonical_codes(lengths: &[u8]) -> Vec<(u64, u8)> {
+    let mut by_len: Vec<(u8, usize)> = lengths
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l > 0)
+        .map(|(i, &l)| (l, i))
+        .collect();
+    by_len.sort_unstable();
+    let mut codes = vec![(0u64, 0u8); lengths.len()];
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for &(len, sym) in &by_len {
+        code <<= (len - prev_len) as u32;
+        codes[sym] = (code, len);
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// Canonical decode table: for each length, the first code value and the base
+/// index into the length-sorted symbol list.
+struct DecodeTable {
+    /// (first_code, base_index, count) per length 1..=MAX.
+    levels: Vec<(u64, u32, u32)>,
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u32>,
+    max_len: u8,
+}
+
+impl DecodeTable {
+    fn from_lengths(lengths: &[u8]) -> Self {
+        let mut by_len: Vec<(u8, u32)> = lengths
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > 0)
+            .map(|(i, &l)| (l, i as u32))
+            .collect();
+        by_len.sort_unstable();
+        let max_len = by_len.last().map_or(0, |&(l, _)| l);
+        let symbols: Vec<u32> = by_len.iter().map(|&(_, s)| s).collect();
+        let mut levels = vec![(0u64, 0u32, 0u32); max_len as usize + 1];
+        let mut code = 0u64;
+        let mut idx = 0u32;
+        let mut prev_len = 0u8;
+        let mut i = 0usize;
+        while i < by_len.len() {
+            let len = by_len[i].0;
+            code <<= (len - prev_len) as u32;
+            let start = i;
+            while i < by_len.len() && by_len[i].0 == len {
+                i += 1;
+            }
+            let count = (i - start) as u32;
+            levels[len as usize] = (code, idx, count);
+            code += count as u64;
+            idx += count;
+            prev_len = len;
+        }
+        DecodeTable { levels, symbols, max_len }
+    }
+
+    /// Decodes one symbol by reading MSB-first bits.
+    fn decode(&self, reader: &mut BitReader<'_>) -> Option<u32> {
+        let mut code = 0u64;
+        for len in 1..=self.max_len {
+            code = (code << 1) | reader.read_bit() as u64;
+            let (first, base, count) = self.levels[len as usize];
+            if count > 0 && code >= first && code < first + count as u64 {
+                return Some(self.symbols[(base + (code - first) as u32) as usize]);
+            }
+        }
+        None
+    }
+}
+
+/// Encodes `symbols` into a self-contained Huffman block.
+///
+/// Layout: `uvarint n_symbols`, `uvarint alphabet_size`, RLE'd length table
+/// (pairs of `uvarint run-length`, `u8 length`), `uvarint payload_bytes`,
+/// payload bits.
+pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
+    let alphabet = symbols.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
+    let mut freqs = vec![0u64; alphabet];
+    for &s in symbols {
+        freqs[s as usize] += 1;
+    }
+    let lengths = build_lengths(&freqs);
+    let codes = canonical_codes(&lengths);
+
+    let mut out = Vec::new();
+    write_uvarint(&mut out, symbols.len() as u64);
+    write_uvarint(&mut out, alphabet as u64);
+    // RLE the length table: (run, value) pairs.
+    let mut i = 0usize;
+    while i < lengths.len() {
+        let v = lengths[i];
+        let mut j = i + 1;
+        while j < lengths.len() && lengths[j] == v {
+            j += 1;
+        }
+        write_uvarint(&mut out, (j - i) as u64);
+        out.push(v);
+        i = j;
+    }
+
+    let mut bits = BitWriter::with_capacity(symbols.len() / 2 + 16);
+    for &s in symbols {
+        let (code, len) = codes[s as usize];
+        // MSB-first emission so canonical decode works bit by bit.
+        for k in (0..len).rev() {
+            bits.write_bit((code >> k) & 1 == 1);
+        }
+    }
+    let payload = bits.finish();
+    write_uvarint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a block produced by [`huffman_encode`]. Returns `None` on malformed
+/// input.
+pub fn huffman_decode(bytes: &[u8]) -> Option<Vec<u32>> {
+    let mut pos = 0usize;
+    let n_symbols = read_uvarint(bytes, &mut pos)? as usize;
+    let alphabet = read_uvarint(bytes, &mut pos)? as usize;
+    let mut lengths = vec![0u8; alphabet];
+    let mut filled = 0usize;
+    while filled < alphabet {
+        let run = read_uvarint(bytes, &mut pos)? as usize;
+        let v = *bytes.get(pos)?;
+        pos += 1;
+        if filled + run > alphabet {
+            return None;
+        }
+        lengths[filled..filled + run].fill(v);
+        filled += run;
+    }
+    let payload_len = read_uvarint(bytes, &mut pos)? as usize;
+    let payload = bytes.get(pos..pos + payload_len)?;
+
+    if n_symbols == 0 {
+        return Some(Vec::new());
+    }
+    let table = DecodeTable::from_lengths(&lengths);
+    let mut reader = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n_symbols);
+    for _ in 0..n_symbols {
+        out.push(table.decode(&mut reader)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let enc = huffman_encode(&[]);
+        assert_eq!(huffman_decode(&enc), Some(vec![]));
+    }
+
+    #[test]
+    fn single_symbol_roundtrip() {
+        let data = vec![7u32; 100];
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc), Some(data));
+        // 100 identical symbols should cost ~1 bit each plus a tiny header.
+        assert!(enc.len() < 40, "got {} bytes", enc.len());
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 90% zeros: entropy ≈ 0.47 bits/symbol.
+        let mut data = Vec::new();
+        for i in 0..10_000u32 {
+            data.push(if i % 10 == 0 { 1 + i % 4 } else { 0 });
+        }
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc), Some(data.clone()));
+        let bits_per_symbol = enc.len() as f64 * 8.0 / data.len() as f64;
+        assert!(bits_per_symbol < 1.6, "got {bits_per_symbol} bits/sym");
+    }
+
+    #[test]
+    fn uniform_distribution_roundtrip() {
+        let data: Vec<u32> = (0..4096).map(|i| i % 256).collect();
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc), Some(data));
+    }
+
+    #[test]
+    fn two_symbols() {
+        let data = vec![3u32, 9, 3, 3, 9, 3];
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc), Some(data));
+    }
+
+    #[test]
+    fn truncated_input_fails_gracefully() {
+        let data: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let enc = huffman_encode(&data);
+        for cut in [0, 1, 2, enc.len() / 2] {
+            let r = huffman_decode(&enc[..cut]);
+            // Either cleanly rejected or (for mid-payload cuts) wrong length —
+            // never a panic.
+            if let Some(v) = r {
+                assert_ne!(v, data);
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_freqs_stress_depth() {
+        // Fibonacci frequencies create maximally skewed (deep) trees.
+        let mut data = Vec::new();
+        let (mut a, mut b) = (1u64, 1u64);
+        for sym in 0..40u32 {
+            for _ in 0..a.min(10_000) {
+                data.push(sym);
+            }
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc), Some(data));
+    }
+
+    #[test]
+    fn lengths_satisfy_kraft() {
+        let freqs: Vec<u64> = (1..=64u64).map(|i| i * i * i).collect();
+        let lengths = build_lengths(&freqs);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft = {kraft}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Lossless coding substrate shared by the three compressors.
+//!
+//! SZ2, SZ3 and ZFP (the paper's three targets, §II-A) all bottom out in the
+//! same machinery: a bit-granular stream, an entropy stage for quantization
+//! codes (Huffman in SZ; raw bit planes in ZFP), and a framed container so a
+//! decompressor can recover configuration, shapes and side channels. None of
+//! that exists in the approved crate set, so it is implemented here.
+
+pub mod bitio;
+pub mod container;
+pub mod huffman;
+pub mod quantizer;
+pub mod rle;
+pub mod varint;
+
+pub use bitio::{BitReader, BitWriter};
+pub use container::{tag, Container, ContainerError, Section};
+pub use huffman::{huffman_decode, huffman_encode};
+pub use quantizer::{LinearQuantizer, QuantOutcome};
+pub use rle::{pack_maybe_rle, rle_decode, rle_encode, unpack_maybe_rle};
+pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to checksum
+/// container sections.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    // Small table built on the fly; sections are checksummed once per
+    // (de)compression so a static table buys nothing measurable.
+    let mut table = [0u32; 256];
+    for (i, e) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+        }
+        *e = c;
+    }
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: "123456789" -> 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn crc32_detects_flip() {
+        let a = crc32(b"hello world");
+        let b = crc32(b"hello worle");
+        assert_ne!(a, b);
+    }
+}

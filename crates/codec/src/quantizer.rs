@@ -1,0 +1,162 @@
+//! Error-controlled linear quantizer (the SZ family's quantization stage).
+//!
+//! Given a prediction `pred` for a true value `actual`, the quantizer emits an
+//! integer code such that the reconstructed value differs from `actual` by at
+//! most the error bound `eb`. Code `0` is reserved for *unpredictable* points
+//! whose residual overflows the code range; their original value is stored
+//! verbatim in a side channel, so the bound holds unconditionally.
+
+/// Outcome of quantizing one value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantOutcome {
+    /// Residual fit in the code range: `code ≥ 1`, reconstruction satisfies
+    /// `|recon − actual| ≤ eb`.
+    Predicted {
+        /// Entropy-coded symbol (`radius + q`, always ≥ 1 here).
+        code: u32,
+        /// Value the decompressor will reproduce.
+        recon: f64,
+    },
+    /// Residual overflowed; caller must store the exact value out of band.
+    Unpredictable,
+}
+
+/// Linear quantizer with absolute error bound `eb` and code radius `radius`.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearQuantizer {
+    eb: f64,
+    radius: i64,
+}
+
+impl LinearQuantizer {
+    /// Default code radius: codes span `[1, 2·radius]`, giving 16-bit-ish
+    /// symbols that keep Huffman tables small (matches SZ's default 32768).
+    pub const DEFAULT_RADIUS: i64 = 32_768;
+
+    /// Creates a quantizer with the default radius.
+    ///
+    /// # Panics
+    /// Panics if `eb` is not strictly positive and finite.
+    pub fn new(eb: f64) -> Self {
+        Self::with_radius(eb, Self::DEFAULT_RADIUS)
+    }
+
+    /// Creates a quantizer with an explicit radius.
+    pub fn with_radius(eb: f64, radius: i64) -> Self {
+        assert!(eb.is_finite() && eb > 0.0, "error bound must be positive, got {eb}");
+        assert!(radius > 1, "radius must exceed 1");
+        LinearQuantizer { eb, radius }
+    }
+
+    /// The absolute error bound.
+    #[inline]
+    pub fn eb(&self) -> f64 {
+        self.eb
+    }
+
+    /// Number of distinct entropy symbols (`2·radius`), i.e. the alphabet
+    /// upper bound for the Huffman stage (code 0 = unpredictable included).
+    #[inline]
+    pub fn alphabet(&self) -> usize {
+        (2 * self.radius) as usize
+    }
+
+    /// Quantizes `actual` against `pred`.
+    #[inline]
+    pub fn quantize(&self, actual: f64, pred: f64) -> QuantOutcome {
+        let diff = actual - pred;
+        let q = (diff / (2.0 * self.eb)).round();
+        if q.abs() >= (self.radius - 1) as f64 || !q.is_finite() {
+            return QuantOutcome::Unpredictable;
+        }
+        let qi = q as i64;
+        let recon = pred + 2.0 * self.eb * qi as f64;
+        // Floating-point rounding can push the reconstruction just past the
+        // bound; SZ handles this by demoting to unpredictable.
+        if (recon - actual).abs() > self.eb {
+            return QuantOutcome::Unpredictable;
+        }
+        QuantOutcome::Predicted { code: (qi + self.radius) as u32, recon }
+    }
+
+    /// Recovers the reconstruction for a non-zero `code` produced by
+    /// [`Self::quantize`].
+    #[inline]
+    pub fn recover(&self, code: u32, pred: f64) -> f64 {
+        debug_assert!(code >= 1);
+        let q = code as i64 - self.radius;
+        pred + 2.0 * self.eb * q as f64
+    }
+
+    /// The reserved out-of-band code.
+    pub const UNPREDICTABLE: u32 = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_error_bound() {
+        let q = LinearQuantizer::new(0.01);
+        for i in 0..1000 {
+            let actual = (i as f64 * 0.137).sin() * 5.0;
+            let pred = actual + (i as f64 * 0.71).cos() * 0.5;
+            match q.quantize(actual, pred) {
+                QuantOutcome::Predicted { code, recon } => {
+                    assert!((recon - actual).abs() <= 0.01 + 1e-15);
+                    assert_eq!(q.recover(code, pred), recon);
+                }
+                QuantOutcome::Unpredictable => panic!("residual 0.5 should fit"),
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_gives_center_code() {
+        let q = LinearQuantizer::new(1.0);
+        match q.quantize(5.0, 5.0) {
+            QuantOutcome::Predicted { code, recon } => {
+                assert_eq!(code as i64, LinearQuantizer::DEFAULT_RADIUS);
+                assert_eq!(recon, 5.0);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn overflow_is_unpredictable() {
+        let q = LinearQuantizer::with_radius(1e-6, 16);
+        assert_eq!(q.quantize(100.0, 0.0), QuantOutcome::Unpredictable);
+    }
+
+    #[test]
+    fn nan_and_inf_residuals_are_unpredictable() {
+        let q = LinearQuantizer::new(1e-3);
+        assert_eq!(q.quantize(f64::NAN, 0.0), QuantOutcome::Unpredictable);
+        assert_eq!(q.quantize(f64::INFINITY, 0.0), QuantOutcome::Unpredictable);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_eb() {
+        LinearQuantizer::new(0.0);
+    }
+
+    #[test]
+    fn code_symmetry() {
+        let q = LinearQuantizer::new(0.5);
+        let up = q.quantize(3.0, 0.0);
+        let down = q.quantize(-3.0, 0.0);
+        match (up, down) {
+            (
+                QuantOutcome::Predicted { code: cu, .. },
+                QuantOutcome::Predicted { code: cd, .. },
+            ) => {
+                let r = LinearQuantizer::DEFAULT_RADIUS;
+                assert_eq!(cu as i64 - r, -(cd as i64 - r));
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Byte-level run-length coding for sparse side channels.
+//!
+//! Used for predictor-selection flags (SZ2) and unit-block occupancy masks
+//! (multi-resolution layout metadata), both of which are long runs of equal
+//! bytes.
+
+use crate::varint::{read_uvarint, write_uvarint};
+
+/// Run-length encodes `data` as (uvarint run, byte value) pairs prefixed with
+/// the total length.
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, data.len() as u64);
+    let mut i = 0usize;
+    while i < data.len() {
+        let v = data[i];
+        let mut j = i + 1;
+        while j < data.len() && data[j] == v {
+            j += 1;
+        }
+        write_uvarint(&mut out, (j - i) as u64);
+        out.push(v);
+        i = j;
+    }
+    out
+}
+
+/// Decodes a buffer produced by [`rle_encode`]. `None` on malformed input.
+pub fn rle_decode(bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut pos = 0usize;
+    let total = read_uvarint(bytes, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let run = read_uvarint(bytes, &mut pos)? as usize;
+        let v = *bytes.get(pos)?;
+        pos += 1;
+        if out.len() + run > total {
+            return None;
+        }
+        out.resize(out.len() + run, v);
+    }
+    Some(out)
+}
+
+/// Wraps `bytes` with a 1-byte flag, applying RLE only when it shrinks the
+/// payload. Entropy-coded streams of near-constant data (e.g. the all-zero
+/// Huffman payload of a constant block) collapse by orders of magnitude.
+pub fn pack_maybe_rle(bytes: &[u8]) -> Vec<u8> {
+    let rle = rle_encode(bytes);
+    let mut out = Vec::with_capacity(rle.len().min(bytes.len()) + 1);
+    if rle.len() < bytes.len() {
+        out.push(1);
+        out.extend_from_slice(&rle);
+    } else {
+        out.push(0);
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+/// Inverse of [`pack_maybe_rle`]. `None` on malformed input.
+pub fn unpack_maybe_rle(bytes: &[u8]) -> Option<Vec<u8>> {
+    match bytes.first()? {
+        0 => Some(bytes[1..].to_vec()),
+        1 => rle_decode(&bytes[1..]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip_both_paths() {
+        let repetitive = vec![0u8; 10_000];
+        let packed = pack_maybe_rle(&repetitive);
+        assert!(packed.len() < 20);
+        assert_eq!(unpack_maybe_rle(&packed), Some(repetitive));
+
+        let incompressible: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let packed = pack_maybe_rle(&incompressible);
+        assert_eq!(packed.len(), 1001);
+        assert_eq!(unpack_maybe_rle(&packed), Some(incompressible));
+
+        assert_eq!(unpack_maybe_rle(&[]), None);
+        assert_eq!(unpack_maybe_rle(&[7, 1, 2]), None);
+    }
+
+    #[test]
+    fn roundtrip_runs() {
+        let mut data = vec![0u8; 1000];
+        data.extend(std::iter::repeat(1).take(500));
+        data.push(2);
+        data.extend(std::iter::repeat(0).take(123));
+        let enc = rle_encode(&data);
+        assert!(enc.len() < 20);
+        assert_eq!(rle_decode(&enc), Some(data));
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single() {
+        assert_eq!(rle_decode(&rle_encode(&[])), Some(vec![]));
+        assert_eq!(rle_decode(&rle_encode(&[42])), Some(vec![42]));
+    }
+
+    #[test]
+    fn roundtrip_alternating_worst_case() {
+        let data: Vec<u8> = (0..256).map(|i| (i % 2) as u8).collect();
+        assert_eq!(rle_decode(&rle_encode(&data)), Some(data));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let enc = rle_encode(&[5u8; 100]);
+        assert_eq!(rle_decode(&enc[..enc.len() - 1]), None);
+    }
+}

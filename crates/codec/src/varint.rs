@@ -1,0 +1,89 @@
+//! LEB128 unsigned varints and zigzag mapping for signed quantities.
+
+/// Appends `value` to `out` as a LEB128 varint.
+pub fn write_uvarint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// Returns `None` on truncated input or overlong (> 10 byte) encodings.
+pub fn read_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // overflow
+        }
+        value |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Maps a signed integer to an unsigned one with small-magnitude values small.
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_uvarint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncation_detected() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [-1i64, 0, 1, -2, 2, i64::MIN, i64::MAX, -1_000_000, 1_000_000] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+    }
+}

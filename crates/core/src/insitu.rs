@@ -1,0 +1,122 @@
+//! In-situ output pipeline with stage timings (Table IV).
+//!
+//! Table IV splits a simulation snapshot's output time into (1) pre-processing
+//! — collecting unit blocks into the compression buffer (merging, padding;
+//! AMRIC's stacking does more data rearrangement than our linear merge) —
+//! and (2) compression + writing to the file system. [`write_snapshot`] runs
+//! both stages against the same SZ3MR machinery as the offline path and
+//! reports wall-clock per stage.
+
+use crate::sz3mr::{prepare_level, Sz3MrConfig};
+use hqmr_codec::{tag, write_uvarint, Container};
+use hqmr_grid::Field3;
+use hqmr_mr::{MergedArray, MultiResData};
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+/// Wall-clock seconds per pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Merge + pad: filling the compression buffer.
+    pub preprocess: f64,
+    /// SZ3 compression and writing the stream to disk.
+    pub compress_write: f64,
+}
+
+impl StageTimings {
+    /// Total output time.
+    pub fn total(&self) -> f64 {
+        self.preprocess + self.compress_write
+    }
+}
+
+/// Compresses `mr` under `cfg` and writes the stream to `path`, timing the
+/// two stages separately. Returns the timings and the bytes written.
+pub fn write_snapshot(
+    mr: &MultiResData,
+    cfg: &Sz3MrConfig,
+    path: impl AsRef<Path>,
+) -> std::io::Result<(StageTimings, u64)> {
+    let mut timings = StageTimings::default();
+
+    // Stage 1: pre-process (merge + pad) every level into buffers.
+    let t0 = Instant::now();
+    let prepared: Vec<(Vec<MergedArray>, Vec<Field3>, bool)> =
+        mr.levels.iter().map(|lvl| prepare_level(lvl, cfg)).collect();
+    timings.preprocess = t0.elapsed().as_secs_f64();
+
+    // Stage 2: compress and write.
+    let t1 = Instant::now();
+    let sz3_cfg = hqmr_sz3::Sz3Config {
+        eb: cfg.eb,
+        interp: cfg.interp,
+        level_eb: cfg.adaptive_eb,
+    };
+    let mut c = Container::new();
+    let mut head = Vec::new();
+    write_uvarint(&mut head, mr.domain.nx as u64);
+    write_uvarint(&mut head, mr.domain.ny as u64);
+    write_uvarint(&mut head, mr.domain.nz as u64);
+    write_uvarint(&mut head, mr.levels.len() as u64);
+    c.push(tag(b"MRHD"), head);
+    for (arrays, fields, _padded) in &prepared {
+        for (_m, f) in arrays.iter().zip(fields) {
+            let r = hqmr_sz3::compress(f, &sz3_cfg);
+            c.push(tag(b"SZ3S"), r.bytes);
+        }
+    }
+    let bytes = c.to_bytes();
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    timings.compress_write = t1.elapsed().as_secs_f64();
+
+    Ok((timings, bytes.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqmr_grid::synth;
+    use hqmr_mr::{to_amr, AmrConfig};
+
+    #[test]
+    fn snapshot_writes_and_times() {
+        let f = synth::nyx_like(32, 5);
+        let mr = to_amr(&f, &AmrConfig::new(8, vec![0.25, 0.75]));
+        let path = std::env::temp_dir().join("hqmr_insitu_test.bin");
+        let (t, bytes) = write_snapshot(&mr, &Sz3MrConfig::ours(1e6), &path).unwrap();
+        let on_disk = std::fs::metadata(&path).unwrap().len();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(bytes, on_disk);
+        assert!(bytes > 0);
+        assert!(t.preprocess >= 0.0 && t.compress_write > 0.0);
+        assert!(t.total() >= t.compress_write);
+    }
+
+    #[test]
+    fn preprocess_stage_is_minor_next_to_compression() {
+        // Table IV's structure: pre-processing (merge/pad) is cheap relative
+        // to compression + writing, for both our linear merge and AMRIC's
+        // stacking. (The *relative* linear-vs-stack comparison is a bench —
+        // `tables tab04` — not a unit test: micro timings are too noisy.)
+        let f = synth::nyx_like(64, 6);
+        let mr = to_amr(&f, &AmrConfig::nyx_t1());
+        let path = std::env::temp_dir().join("hqmr_insitu_cmp.bin");
+        // Warm-up to fault in pages and allocators.
+        write_snapshot(&mr, &Sz3MrConfig::ours(1e6), &path).unwrap();
+        let (lin, _) = write_snapshot(&mr, &Sz3MrConfig::ours(1e6), &path).unwrap();
+        let (stk, _) = write_snapshot(&mr, &Sz3MrConfig::amric(1e6), &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for t in [lin, stk] {
+            assert!(
+                t.preprocess < t.compress_write,
+                "preprocess {} should be under compress+write {}",
+                t.preprocess,
+                t.compress_write
+            );
+        }
+    }
+}

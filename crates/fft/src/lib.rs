@@ -1,0 +1,63 @@
+//! Radix-2 complex FFT used by the `hqmr` workspace.
+//!
+//! The workflow needs an FFT twice:
+//!
+//! * **spectral synthesis** of the Gaussian-random-field proxies that stand in
+//!   for the Nyx / RT datasets (see `hqmr-grid::synth`), and
+//! * the **power-spectrum analysis** `P(k)` of Table VI, which compares the
+//!   spectrum of decompressed cosmology data against the original for `k < 10`.
+//!
+//! Only power-of-two sizes are supported; every grid in the evaluation is a
+//! power of two, mirroring the paper's 512³/256³ datasets.
+
+mod complex;
+mod plan;
+mod transform;
+
+pub use complex::Complex;
+pub use plan::FftPlan;
+pub use transform::{fft_1d, fft_3d, ifft_1d, ifft_3d, Direction};
+
+/// Returns `true` when `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Integer base-2 logarithm of a power of two.
+///
+/// # Panics
+/// Panics if `n` is not a power of two.
+#[inline]
+pub fn log2_exact(n: usize) -> u32 {
+    assert!(is_pow2(n), "size {n} is not a power of two");
+    n.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_checks() {
+        assert!(is_pow2(1));
+        assert!(is_pow2(2));
+        assert!(is_pow2(1024));
+        assert!(!is_pow2(0));
+        assert!(!is_pow2(3));
+        assert!(!is_pow2(1023));
+    }
+
+    #[test]
+    fn log2_of_powers() {
+        assert_eq!(log2_exact(1), 0);
+        assert_eq!(log2_exact(2), 1);
+        assert_eq!(log2_exact(512), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_rejects_non_pow2() {
+        log2_exact(12);
+    }
+}

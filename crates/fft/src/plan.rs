@@ -1,0 +1,114 @@
+//! Precomputed FFT plan: twiddle factors and bit-reversal permutation.
+//!
+//! A plan is immutable after construction and can be shared across threads,
+//! which lets the 3-D transform run its independent 1-D lines in parallel with
+//! rayon without recomputing twiddles per line.
+
+use crate::complex::Complex;
+use crate::{is_pow2, log2_exact};
+
+/// Reusable plan for transforms of a fixed power-of-two length.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    log2n: u32,
+    /// Forward twiddles, laid out stage-by-stage: stage `s` (half-size `m = 2^s`)
+    /// contributes `m` twiddles `e^{-iπ j/m}`, `j = 0..m`.
+    twiddles: Vec<Complex>,
+    /// Bit-reversal permutation of `0..n`.
+    rev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Builds a plan for length-`n` transforms.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(is_pow2(n), "FFT length {n} must be a power of two");
+        let log2n = log2_exact(n);
+        let mut twiddles = Vec::with_capacity(n.max(1));
+        for s in 0..log2n {
+            let m = 1usize << s; // half butterfly span at this stage
+            let step = -std::f64::consts::PI / m as f64;
+            for j in 0..m {
+                twiddles.push(Complex::cis(step * j as f64));
+            }
+        }
+        let mut rev = vec![0u32; n];
+        for (i, r) in rev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - log2n.max(1));
+        }
+        if log2n == 0 {
+            rev[0] = 0;
+        }
+        FftPlan { n, log2n, twiddles, rev }
+    }
+
+    /// Transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate length-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// log₂ of the transform length.
+    #[inline]
+    pub fn log2_len(&self) -> u32 {
+        self.log2n
+    }
+
+    /// Twiddle slice for butterfly stage `s` (`0 ≤ s < log2_len`), of length `2^s`.
+    #[inline]
+    pub(crate) fn stage_twiddles(&self, s: u32) -> &[Complex] {
+        let start = (1usize << s) - 1;
+        let m = 1usize << s;
+        &self.twiddles[start..start + m]
+    }
+
+    /// Bit-reversal permutation table.
+    #[inline]
+    pub(crate) fn rev(&self) -> &[u32] {
+        &self.rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twiddle_layout() {
+        let p = FftPlan::new(8);
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.log2_len(), 3);
+        // Stage 0 has a single trivial twiddle.
+        assert_eq!(p.stage_twiddles(0).len(), 1);
+        assert!((p.stage_twiddles(0)[0].re - 1.0).abs() < 1e-15);
+        // Stage 2 has 4 twiddles, the second of which is e^{-iπ/4}.
+        let t = p.stage_twiddles(2);
+        assert_eq!(t.len(), 4);
+        let expect = Complex::cis(-std::f64::consts::FRAC_PI_4);
+        assert!((t[1].re - expect.re).abs() < 1e-15);
+        assert!((t[1].im - expect.im).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bit_reversal_table() {
+        let p = FftPlan::new(8);
+        assert_eq!(p.rev(), &[0, 4, 2, 6, 1, 5, 3, 7]);
+        let p1 = FftPlan::new(1);
+        assert_eq!(p1.rev(), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        FftPlan::new(6);
+    }
+}

@@ -1,0 +1,252 @@
+//! In-place iterative radix-2 FFT, 1-D and 3-D.
+
+use crate::complex::Complex;
+use crate::plan::FftPlan;
+use rayon::prelude::*;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `X_k = Σ x_j e^{-2πi jk/n}` (no scaling).
+    Forward,
+    /// `x_j = (1/n) Σ X_k e^{+2πi jk/n}` (scales by `1/n`).
+    Inverse,
+}
+
+/// In-place 1-D FFT of `data` using `plan`.
+///
+/// # Panics
+/// Panics if `data.len() != plan.len()`.
+pub fn fft_1d(plan: &FftPlan, data: &mut [Complex], dir: Direction) {
+    assert_eq!(data.len(), plan.len(), "data length must match plan");
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    // Conjugate trick for the inverse: IFFT(x) = conj(FFT(conj(x))) / n.
+    if dir == Direction::Inverse {
+        for z in data.iter_mut() {
+            *z = z.conj();
+        }
+    }
+    // Bit-reversal permutation.
+    for (i, &r) in plan.rev().iter().enumerate() {
+        let j = r as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    for s in 0..plan.log2_len() {
+        let m = 1usize << s; // half span
+        let tw = plan.stage_twiddles(s);
+        let span = m << 1;
+        let mut base = 0;
+        while base < n {
+            for j in 0..m {
+                let t = tw[j] * data[base + j + m];
+                let u = data[base + j];
+                data[base + j] = u + t;
+                data[base + j + m] = u - t;
+            }
+            base += span;
+        }
+    }
+    if dir == Direction::Inverse {
+        let scale = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.conj().scale(scale);
+        }
+    }
+}
+
+/// Convenience inverse 1-D FFT.
+pub fn ifft_1d(plan: &FftPlan, data: &mut [Complex]) {
+    fft_1d(plan, data, Direction::Inverse);
+}
+
+/// In-place 3-D FFT over a contiguous row-major array of shape `(nx, ny, nz)`
+/// where `z` is the fastest-varying index (`idx = (x*ny + y)*nz + z`).
+///
+/// Applies 1-D transforms along z, then y, then x. Lines are processed in
+/// parallel with rayon — they are independent, so this is a textbook
+/// `par_chunks_mut` fan-out.
+///
+/// # Panics
+/// Panics if `data.len() != nx*ny*nz` or any extent is not a power of two.
+pub fn fft_3d(data: &mut [Complex], nx: usize, ny: usize, nz: usize, dir: Direction) {
+    assert_eq!(data.len(), nx * ny * nz, "shape mismatch");
+    let plan_z = FftPlan::new(nz);
+    // z lines are contiguous.
+    data.par_chunks_mut(nz).for_each(|line| fft_1d(&plan_z, line, dir));
+
+    // y lines: stride nz within each x-slab. Gather into scratch per line.
+    let plan_y = FftPlan::new(ny);
+    data.par_chunks_mut(ny * nz).for_each(|slab| {
+        let mut scratch = vec![Complex::ZERO; ny];
+        for z in 0..nz {
+            for y in 0..ny {
+                scratch[y] = slab[y * nz + z];
+            }
+            fft_1d(&plan_y, &mut scratch, dir);
+            for y in 0..ny {
+                slab[y * nz + z] = scratch[y];
+            }
+        }
+    });
+
+    // x lines: stride ny*nz. Parallelize over (y,z) by transposing into
+    // per-thread scratch. We chunk the yz plane.
+    let plan_x = FftPlan::new(nx);
+    let stride = ny * nz;
+    let yz = ny * nz;
+    // Copy out columns in parallel via index math on an immutable snapshot is
+    // not possible in place; instead process disjoint yz indices with unsafe-free
+    // approach: operate on raw pointer alternative — we use a transpose buffer.
+    let mut cols: Vec<Complex> = vec![Complex::ZERO; data.len()];
+    // cols layout: (y*nz + z) * nx + x  — x contiguous.
+    cols.par_chunks_mut(nx).enumerate().for_each(|(c, line)| {
+        for (x, v) in line.iter_mut().enumerate() {
+            *v = data[x * stride + c];
+        }
+        fft_1d(&plan_x, line, dir);
+    });
+    // Scatter back.
+    data.par_chunks_mut(yz).enumerate().for_each(|(x, slab)| {
+        for c in 0..yz {
+            slab[c] = cols[c * nx + x];
+        }
+    });
+}
+
+/// Convenience inverse 3-D FFT.
+pub fn ifft_3d(data: &mut [Complex], nx: usize, ny: usize, nz: usize) {
+    fft_3d(data, nx, ny, nz, Direction::Inverse);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n²) DFT for cross-checking.
+    fn dft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &x) in input.iter().enumerate() {
+                    let theta = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                    acc += x * Complex::cis(theta);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "mismatch: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 * 0.37 - 1.0, (i as f64 * 0.11).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let input = ramp(n);
+            let mut fast = input.clone();
+            let plan = FftPlan::new(n);
+            fft_1d(&plan, &mut fast, Direction::Forward);
+            let slow = dft(&input);
+            assert_close(&fast, &slow, 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_1d() {
+        let n = 128;
+        let input = ramp(n);
+        let mut data = input.clone();
+        let plan = FftPlan::new(n);
+        fft_1d(&plan, &mut data, Direction::Forward);
+        ifft_1d(&plan, &mut data);
+        assert_close(&data, &input, 1e-10);
+    }
+
+    #[test]
+    fn parseval_1d() {
+        let n = 256;
+        let input = ramp(n);
+        let mut freq = input.clone();
+        let plan = FftPlan::new(n);
+        fft_1d(&plan, &mut freq, Direction::Forward);
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn impulse_is_flat() {
+        let n = 32;
+        let mut data = vec![Complex::ZERO; n];
+        data[0] = Complex::ONE;
+        let plan = FftPlan::new(n);
+        fft_1d(&plan, &mut data, Direction::Forward);
+        for z in &data {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        let (nx, ny, nz) = (8, 4, 16);
+        let input: Vec<Complex> = (0..nx * ny * nz)
+            .map(|i| Complex::new((i as f64 * 0.61).cos(), (i as f64 * 0.23).sin()))
+            .collect();
+        let mut data = input.clone();
+        fft_3d(&mut data, nx, ny, nz, Direction::Forward);
+        ifft_3d(&mut data, nx, ny, nz);
+        assert_close(&data, &input, 1e-10);
+    }
+
+    #[test]
+    fn plane_wave_3d_is_single_bin() {
+        let (nx, ny, nz) = (8, 8, 8);
+        let (kx, ky, kz) = (2usize, 3usize, 1usize);
+        let mut data = vec![Complex::ZERO; nx * ny * nz];
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let phase = 2.0 * std::f64::consts::PI
+                        * (kx * x) as f64 / nx as f64
+                        + 2.0 * std::f64::consts::PI * (ky * y) as f64 / ny as f64
+                        + 2.0 * std::f64::consts::PI * (kz * z) as f64 / nz as f64;
+                    data[(x * ny + y) * nz + z] = Complex::cis(phase);
+                }
+            }
+        }
+        fft_3d(&mut data, nx, ny, nz, Direction::Forward);
+        let total = (nx * ny * nz) as f64;
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let v = data[(x * ny + y) * nz + z];
+                    let expect = if (x, y, z) == (kx, ky, kz) { total } else { 0.0 };
+                    assert!(
+                        (v.re - expect).abs() < 1e-8 && v.im.abs() < 1e-8,
+                        "bin ({x},{y},{z}) = {v:?}, expected {expect}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Regular block partition of a field.
+//!
+//! The ROI pipeline partitions the domain into `b³` blocks (`b = 2ⁿ, n > 2`,
+//! §III of the paper) and ranks them by value range. `BlockGrid` owns that
+//! partition logic; it is also reused by SZ2/ZFP for their compression blocks.
+
+use crate::dims::Dims3;
+use crate::field::Field3;
+use rayon::prelude::*;
+
+/// A regular partition of `domain` into cubes of side `b` (edge blocks may be
+/// smaller).
+#[derive(Debug, Clone, Copy)]
+pub struct BlockGrid {
+    domain: Dims3,
+    b: usize,
+    counts: Dims3,
+}
+
+/// One block of a [`BlockGrid`]: its grid index, cell origin, and actual size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRef {
+    /// Block coordinates within the block grid.
+    pub index: [usize; 3],
+    /// Cell coordinates of the block's low corner.
+    pub origin: [usize; 3],
+    /// Actual extent (clipped at the domain edge).
+    pub size: Dims3,
+}
+
+impl BlockGrid {
+    /// Creates a partition of `domain` into `b³` blocks.
+    ///
+    /// # Panics
+    /// Panics if `b == 0`.
+    pub fn new(domain: Dims3, b: usize) -> Self {
+        assert!(b > 0, "block size must be positive");
+        BlockGrid { domain, b, counts: domain.div_ceil(b) }
+    }
+
+    /// Block side length.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.b
+    }
+
+    /// Number of blocks along each axis.
+    #[inline]
+    pub fn counts(&self) -> Dims3 {
+        self.counts
+    }
+
+    /// Total number of blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The domain being partitioned.
+    #[inline]
+    pub fn domain(&self) -> Dims3 {
+        self.domain
+    }
+
+    /// The block at block-grid coordinates `(bx, by, bz)`.
+    pub fn block(&self, bx: usize, by: usize, bz: usize) -> BlockRef {
+        let origin = [bx * self.b, by * self.b, bz * self.b];
+        let size = Dims3::new(
+            self.b.min(self.domain.nx - origin[0]),
+            self.b.min(self.domain.ny - origin[1]),
+            self.b.min(self.domain.nz - origin[2]),
+        );
+        BlockRef { index: [bx, by, bz], origin, size }
+    }
+
+    /// Iterates all blocks in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = BlockRef> + '_ {
+        let c = self.counts;
+        (0..c.nx).flat_map(move |bx| {
+            (0..c.ny).flat_map(move |by| (0..c.nz).map(move |bz| self.block(bx, by, bz)))
+        })
+    }
+
+    /// Per-block value range (`max − min`), computed in parallel. Index order
+    /// matches [`Self::iter`].
+    pub fn block_ranges(&self, field: &Field3) -> Vec<f32> {
+        assert_eq!(field.dims(), self.domain, "field does not match partition domain");
+        let blocks: Vec<BlockRef> = self.iter().collect();
+        blocks
+            .par_iter()
+            .map(|blk| {
+                let mut mn = f32::INFINITY;
+                let mut mx = f32::NEG_INFINITY;
+                for x in blk.origin[0]..blk.origin[0] + blk.size.nx {
+                    for y in blk.origin[1]..blk.origin[1] + blk.size.ny {
+                        for z in blk.origin[2]..blk.origin[2] + blk.size.nz {
+                            let v = field.get(x, y, z);
+                            mn = mn.min(v);
+                            mx = mx.max(v);
+                        }
+                    }
+                }
+                mx - mn
+            })
+            .collect()
+    }
+
+    /// Indices (into [`Self::iter`] order) of the top `frac` fraction of blocks
+    /// by value range — the paper's range-thresholding ROI selector. Ties are
+    /// broken deterministically by block index. `frac` is clamped to `[0, 1]`.
+    pub fn top_range_blocks(&self, field: &Field3, frac: f64) -> Vec<usize> {
+        let ranges = self.block_ranges(field);
+        let k = ((ranges.len() as f64) * frac.clamp(0.0, 1.0)).round() as usize;
+        let mut order: Vec<usize> = (0..ranges.len()).collect();
+        order.sort_by(|&a, &b| {
+            ranges[b].partial_cmp(&ranges[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        let mut top: Vec<usize> = order.into_iter().take(k).collect();
+        top.sort_unstable();
+        top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_edges() {
+        let g = BlockGrid::new(Dims3::new(10, 8, 8), 4);
+        assert_eq!(g.counts(), Dims3::new(3, 2, 2));
+        assert_eq!(g.num_blocks(), 12);
+        let edge = g.block(2, 0, 0);
+        assert_eq!(edge.origin, [8, 0, 0]);
+        assert_eq!(edge.size, Dims3::new(2, 4, 4));
+    }
+
+    #[test]
+    fn iter_covers_domain_exactly_once() {
+        let g = BlockGrid::new(Dims3::new(6, 5, 7), 3);
+        let mut seen = vec![0u8; 6 * 5 * 7];
+        let d = g.domain();
+        for blk in g.iter() {
+            for x in blk.origin[0]..blk.origin[0] + blk.size.nx {
+                for y in blk.origin[1]..blk.origin[1] + blk.size.ny {
+                    for z in blk.origin[2]..blk.origin[2] + blk.size.nz {
+                        seen[d.idx(x, y, z)] += 1;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn ranges_detect_variation() {
+        let mut f = Field3::zeros(Dims3::cube(8));
+        f.set(5, 5, 5, 10.0); // block (1,1,1) for b=4
+        let g = BlockGrid::new(f.dims(), 4);
+        let ranges = g.block_ranges(&f);
+        let idx_of = |bx: usize, by: usize, bz: usize| (bx * 2 + by) * 2 + bz;
+        assert_eq!(ranges[idx_of(1, 1, 1)], 10.0);
+        assert_eq!(ranges[idx_of(0, 0, 0)], 0.0);
+    }
+
+    #[test]
+    fn top_range_selects_hot_blocks() {
+        let mut f = Field3::zeros(Dims3::cube(16));
+        f.set(1, 1, 1, 5.0);
+        f.set(9, 9, 9, 50.0);
+        let g = BlockGrid::new(f.dims(), 8);
+        let top = g.top_range_blocks(&f, 0.25); // 2 of 8 blocks
+        assert_eq!(top.len(), 2);
+        // Both hot blocks selected; indices are sorted.
+        let idx_of = |bx: usize, by: usize, bz: usize| (bx * 2 + by) * 2 + bz;
+        assert!(top.contains(&idx_of(0, 0, 0)));
+        assert!(top.contains(&idx_of(1, 1, 1)));
+    }
+
+    #[test]
+    fn top_range_frac_extremes() {
+        let f = Field3::zeros(Dims3::cube(8));
+        let g = BlockGrid::new(f.dims(), 4);
+        assert!(g.top_range_blocks(&f, 0.0).is_empty());
+        assert_eq!(g.top_range_blocks(&f, 1.0).len(), 8);
+        assert_eq!(g.top_range_blocks(&f, 5.0).len(), 8); // clamped
+    }
+}

@@ -1,0 +1,378 @@
+//! Dense row-major `f32` scalar field.
+
+use crate::dims::Dims3;
+
+/// A dense 3-D scalar field (`f32`, row-major, `z` fastest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field3 {
+    dims: Dims3,
+    data: Vec<f32>,
+}
+
+impl Field3 {
+    /// Constant-filled field.
+    pub fn new(dims: Dims3, fill: f32) -> Self {
+        Field3 { dims, data: vec![fill; dims.len()] }
+    }
+
+    /// Zero-filled field.
+    pub fn zeros(dims: Dims3) -> Self {
+        Self::new(dims, 0.0)
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != dims.len()`.
+    pub fn from_vec(dims: Dims3, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), dims.len(), "buffer does not match {dims}");
+        Field3 { dims, data }
+    }
+
+    /// Builds a field by evaluating `f(x, y, z)`.
+    pub fn from_fn(dims: Dims3, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(dims.len());
+        for x in 0..dims.nx {
+            for y in 0..dims.ny {
+                for z in 0..dims.nz {
+                    data.push(f(x, y, z));
+                }
+            }
+        }
+        Field3 { dims, data }
+    }
+
+    /// Grid extents.
+    #[inline]
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for zero-size fields.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable raw buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes into the raw buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value at `(x, y, z)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> f32 {
+        self.data[self.dims.idx(x, y, z)]
+    }
+
+    /// Sets the value at `(x, y, z)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: f32) {
+        let i = self.dims.idx(x, y, z);
+        self.data[i] = v;
+    }
+
+    /// Value with edge-clamped coordinates (for stencils near boundaries).
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize, z: isize) -> f32 {
+        let cx = x.clamp(0, self.dims.nx as isize - 1) as usize;
+        let cy = y.clamp(0, self.dims.ny as isize - 1) as usize;
+        let cz = z.clamp(0, self.dims.nz as isize - 1) as usize;
+        self.get(cx, cy, cz)
+    }
+
+    /// Minimum and maximum value (`(0, 0)` for empty fields). NaNs are ignored.
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut mn = f32::INFINITY;
+        let mut mx = f32::NEG_INFINITY;
+        for &v in &self.data {
+            if v < mn {
+                mn = v;
+            }
+            if v > mx {
+                mx = v;
+            }
+        }
+        if mn > mx {
+            (0.0, 0.0)
+        } else {
+            (mn, mx)
+        }
+    }
+
+    /// `max − min`.
+    pub fn range(&self) -> f32 {
+        let (mn, mx) = self.min_max();
+        mx - mn
+    }
+
+    /// Applies `f` to every value in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Copies the axis-aligned box `[origin, origin+size)` into a new field.
+    /// Out-of-range cells are edge-clamped (used when blocks overhang the
+    /// domain edge).
+    pub fn extract_box(&self, origin: [usize; 3], size: Dims3) -> Field3 {
+        Field3::from_fn(size, |x, y, z| {
+            self.get_clamped(
+                (origin[0] + x) as isize,
+                (origin[1] + y) as isize,
+                (origin[2] + z) as isize,
+            )
+        })
+    }
+
+    /// Writes `block` into this field at `origin`; cells falling outside the
+    /// domain are dropped.
+    pub fn insert_box(&mut self, origin: [usize; 3], block: &Field3) {
+        let bd = block.dims();
+        for x in 0..bd.nx {
+            let gx = origin[0] + x;
+            if gx >= self.dims.nx {
+                break;
+            }
+            for y in 0..bd.ny {
+                let gy = origin[1] + y;
+                if gy >= self.dims.ny {
+                    break;
+                }
+                let zn = bd.nz.min(self.dims.nz.saturating_sub(origin[2]));
+                let src = bd.idx(x, y, 0);
+                let dst = self.dims.idx(gx, gy, origin[2]);
+                self.data[dst..dst + zn].copy_from_slice(&block.data[src..src + zn]);
+            }
+        }
+    }
+
+    /// 2× average downsampling (each coarse cell is the mean of its ≤8 fine
+    /// children; odd extents round up and edge cells average fewer children).
+    pub fn downsample2(&self) -> Field3 {
+        let cd = self.dims.div_ceil(2);
+        Field3::from_fn(cd, |cx, cy, cz| {
+            let mut sum = 0.0f64;
+            let mut n = 0u32;
+            for dx in 0..2 {
+                let x = cx * 2 + dx;
+                if x >= self.dims.nx {
+                    continue;
+                }
+                for dy in 0..2 {
+                    let y = cy * 2 + dy;
+                    if y >= self.dims.ny {
+                        continue;
+                    }
+                    for dz in 0..2 {
+                        let z = cz * 2 + dz;
+                        if z >= self.dims.nz {
+                            continue;
+                        }
+                        sum += self.get(x, y, z) as f64;
+                        n += 1;
+                    }
+                }
+            }
+            (sum / n as f64) as f32
+        })
+    }
+
+    /// 2× nearest-neighbour upsampling to exactly `target` extents
+    /// (`target ≤ dims·2` component-wise).
+    pub fn upsample2_nearest(&self, target: Dims3) -> Field3 {
+        Field3::from_fn(target, |x, y, z| {
+            self.get(
+                (x / 2).min(self.dims.nx - 1),
+                (y / 2).min(self.dims.ny - 1),
+                (z / 2).min(self.dims.nz - 1),
+            )
+        })
+    }
+
+    /// 2× trilinear upsampling to `target` extents. Fine cell centres are
+    /// placed between coarse samples (cell-centred convention).
+    pub fn upsample2_trilinear(&self, target: Dims3) -> Field3 {
+        let lerp_axis = |t: usize, n: usize| -> (usize, usize, f32) {
+            // Fine cell centre in coarse coordinates (cell-centred): (t+0.5)/2 - 0.5.
+            let c = (t as f32 + 0.5) / 2.0 - 0.5;
+            let c0 = c.floor().clamp(0.0, (n - 1) as f32);
+            let i0 = c0 as usize;
+            let i1 = (i0 + 1).min(n - 1);
+            (i0, i1, (c - c0).clamp(0.0, 1.0))
+        };
+        Field3::from_fn(target, |x, y, z| {
+            let (x0, x1, fx) = lerp_axis(x, self.dims.nx);
+            let (y0, y1, fy) = lerp_axis(y, self.dims.ny);
+            let (z0, z1, fz) = lerp_axis(z, self.dims.nz);
+            let c000 = self.get(x0, y0, z0);
+            let c001 = self.get(x0, y0, z1);
+            let c010 = self.get(x0, y1, z0);
+            let c011 = self.get(x0, y1, z1);
+            let c100 = self.get(x1, y0, z0);
+            let c101 = self.get(x1, y0, z1);
+            let c110 = self.get(x1, y1, z0);
+            let c111 = self.get(x1, y1, z1);
+            let c00 = c000 + (c001 - c000) * fz;
+            let c01 = c010 + (c011 - c010) * fz;
+            let c10 = c100 + (c101 - c100) * fz;
+            let c11 = c110 + (c111 - c110) * fz;
+            let c0 = c00 + (c01 - c00) * fy;
+            let c1 = c10 + (c11 - c10) * fy;
+            c0 + (c1 - c0) * fx
+        })
+    }
+
+    /// Extracts the 2-D slice `z = k` as a row-major `(nx, ny)` buffer.
+    pub fn slice_z(&self, k: usize) -> (usize, usize, Vec<f32>) {
+        assert!(k < self.dims.nz);
+        let mut out = Vec::with_capacity(self.dims.nx * self.dims.ny);
+        for x in 0..self.dims.nx {
+            for y in 0..self.dims.ny {
+                out.push(self.get(x, y, k));
+            }
+        }
+        (self.dims.nx, self.dims.ny, out)
+    }
+
+    /// Extracts the 2-D slice `x = k` as a row-major `(ny, nz)` buffer.
+    pub fn slice_x(&self, k: usize) -> (usize, usize, Vec<f32>) {
+        assert!(k < self.dims.nx);
+        let mut out = Vec::with_capacity(self.dims.ny * self.dims.nz);
+        for y in 0..self.dims.ny {
+            let base = self.dims.idx(k, y, 0);
+            out.extend_from_slice(&self.data[base..base + self.dims.nz]);
+        }
+        (self.dims.ny, self.dims.nz, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_layout() {
+        let f = Field3::from_fn(Dims3::new(2, 3, 4), |x, y, z| (x * 100 + y * 10 + z) as f32);
+        assert_eq!(f.get(1, 2, 3), 123.0);
+        assert_eq!(f.data()[f.dims().idx(1, 0, 2)], 102.0);
+    }
+
+    #[test]
+    fn min_max_range() {
+        let mut f = Field3::zeros(Dims3::cube(3));
+        f.set(1, 1, 1, -4.0);
+        f.set(2, 2, 2, 6.0);
+        assert_eq!(f.min_max(), (-4.0, 6.0));
+        assert_eq!(f.range(), 10.0);
+    }
+
+    #[test]
+    fn extract_insert_roundtrip() {
+        let f = Field3::from_fn(Dims3::cube(8), |x, y, z| (x + y + z) as f32);
+        let b = f.extract_box([2, 3, 4], Dims3::cube(3));
+        assert_eq!(b.get(0, 0, 0), 9.0);
+        let mut g = Field3::zeros(Dims3::cube(8));
+        g.insert_box([2, 3, 4], &b);
+        assert_eq!(g.get(3, 4, 5), f.get(3, 4, 5));
+        assert_eq!(g.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn extract_clamps_at_edge() {
+        let f = Field3::from_fn(Dims3::cube(4), |x, _, _| x as f32);
+        let b = f.extract_box([3, 0, 0], Dims3::cube(2));
+        // x=4 is clamped back to x=3.
+        assert_eq!(b.get(1, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn insert_drops_out_of_domain() {
+        let mut f = Field3::zeros(Dims3::cube(4));
+        let b = Field3::new(Dims3::cube(3), 5.0);
+        f.insert_box([3, 3, 3], &b);
+        assert_eq!(f.get(3, 3, 3), 5.0);
+        // No panic, nothing else written.
+        assert_eq!(f.data().iter().filter(|&&v| v != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let f = Field3::from_fn(Dims3::cube(4), |x, _, _| x as f32);
+        let c = f.downsample2();
+        assert_eq!(c.dims(), Dims3::cube(2));
+        assert_eq!(c.get(0, 0, 0), 0.5); // mean of x=0,1
+        assert_eq!(c.get(1, 0, 0), 2.5); // mean of x=2,3
+    }
+
+    #[test]
+    fn downsample_odd_dims() {
+        let f = Field3::new(Dims3::new(3, 3, 3), 2.0);
+        let c = f.downsample2();
+        assert_eq!(c.dims(), Dims3::cube(2));
+        for &v in c.data() {
+            assert_eq!(v, 2.0);
+        }
+    }
+
+    #[test]
+    fn upsample_nearest_blocks() {
+        let c = Field3::from_fn(Dims3::cube(2), |x, y, z| (x * 4 + y * 2 + z) as f32);
+        let f = c.upsample2_nearest(Dims3::cube(4));
+        assert_eq!(f.get(0, 0, 0), 0.0);
+        assert_eq!(f.get(1, 1, 1), 0.0);
+        assert_eq!(f.get(2, 2, 2), 7.0);
+        assert_eq!(f.get(3, 3, 3), 7.0);
+    }
+
+    #[test]
+    fn upsample_trilinear_preserves_linear_ramp_interior() {
+        let c = Field3::from_fn(Dims3::cube(4), |x, _, _| x as f32);
+        let f = c.upsample2_trilinear(Dims3::cube(8));
+        // Interior fine samples of a linear ramp must stay linear: fine x maps
+        // to coarse coordinate (x+0.5)/2-0.5.
+        for x in 1..7 {
+            let expect = ((x as f32 + 0.5) / 2.0 - 0.5).clamp(0.0, 3.0);
+            assert!((f.get(x, 4, 4) - expect).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn downsample_then_upsample_constant_is_identity() {
+        let f = Field3::new(Dims3::cube(8), 3.25);
+        let r = f.downsample2().upsample2_trilinear(Dims3::cube(8));
+        for &v in r.data() {
+            assert!((v - 3.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn slices() {
+        let f = Field3::from_fn(Dims3::new(2, 3, 4), |x, y, z| (x * 100 + y * 10 + z) as f32);
+        let (w, h, s) = f.slice_z(2);
+        assert_eq!((w, h), (2, 3));
+        assert_eq!(s[1 * 3 + 2], 122.0);
+        let (w, h, s) = f.slice_x(1);
+        assert_eq!((w, h), (3, 4));
+        assert_eq!(s[2 * 4 + 3], 123.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Raw binary field I/O.
+//!
+//! Little-endian `f32` with a 28-byte header (magic, dims). This is the
+//! "write the decompressed file" step of the paper's offline workflow
+//! (Table IX column 1) and is also used by the examples to exchange fields.
+
+use crate::dims::Dims3;
+use crate::field::Field3;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"HQF3";
+
+/// Writes `field` to `w` (header + raw little-endian f32).
+pub fn write_field(mut w: impl Write, field: &Field3) -> io::Result<()> {
+    let d = field.dims();
+    w.write_all(MAGIC)?;
+    w.write_all(&(d.nx as u64).to_le_bytes())?;
+    w.write_all(&(d.ny as u64).to_le_bytes())?;
+    w.write_all(&(d.nz as u64).to_le_bytes())?;
+    // Write in slabs to avoid a full-size staging copy.
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for chunk in field.data().chunks(16 * 1024) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads a field written by [`write_field`].
+pub fn read_field(mut r: impl Read) -> io::Result<Field3> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad field magic"));
+    }
+    let mut u = [0u8; 8];
+    let mut rd = |r: &mut dyn Read| -> io::Result<usize> {
+        r.read_exact(&mut u)?;
+        Ok(u64::from_le_bytes(u) as usize)
+    };
+    let nx = rd(&mut r)?;
+    let ny = rd(&mut r)?;
+    let nz = rd(&mut r)?;
+    let dims = Dims3::new(nx, ny, nz);
+    let mut bytes = vec![0u8; dims.len() * 4];
+    r.read_exact(&mut bytes)?;
+    let data = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(Field3::from_vec(dims, data))
+}
+
+/// Writes a field to a file path.
+pub fn save_field(path: impl AsRef<Path>, field: &Field3) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_field(io::BufWriter::new(f), field)
+}
+
+/// Reads a field from a file path.
+pub fn load_field(path: impl AsRef<Path>) -> io::Result<Field3> {
+    let f = std::fs::File::open(path)?;
+    read_field(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let f = Field3::from_fn(Dims3::new(3, 4, 5), |x, y, z| (x + 10 * y + 100 * z) as f32);
+        let mut buf = Vec::new();
+        write_field(&mut buf, &f).unwrap();
+        let g = read_field(buf.as_slice()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOPE____________________".to_vec();
+        assert!(read_field(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let f = Field3::new(Dims3::cube(4), 1.0);
+        let mut buf = Vec::new();
+        write_field(&mut buf, &f).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_field(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_via_tempfile() {
+        let f = Field3::from_fn(Dims3::cube(8), |x, y, z| (x * y * z) as f32 * 0.5);
+        let path = std::env::temp_dir().join("hqmr_io_test.hqf3");
+        save_field(&path, &f).unwrap();
+        let g = load_field(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(f, g);
+    }
+}

@@ -1,0 +1,86 @@
+//! Summary statistics for fields.
+
+use crate::field::Field3;
+
+/// Basic moments and extrema of a field (computed in `f64`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldStats {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+}
+
+impl FieldStats {
+    /// Computes stats over `field` (single pass, Welford).
+    pub fn compute(field: &Field3) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut n = 0u64;
+        for &v in field.data() {
+            let v = v as f64;
+            n += 1;
+            let d = v - mean;
+            mean += d / n as f64;
+            m2 += d * (v - mean);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if n == 0 {
+            return FieldStats { min: 0.0, max: 0.0, mean: 0.0, variance: 0.0 };
+        }
+        FieldStats { min, max, mean, variance: m2 / n as f64 }
+    }
+
+    /// `max − min`.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dims3;
+
+    #[test]
+    fn constant_field() {
+        let f = Field3::new(Dims3::cube(4), 2.5);
+        let s = FieldStats::compute(&f);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.range(), 0.0);
+    }
+
+    #[test]
+    fn two_valued_field() {
+        let mut f = Field3::new(Dims3::new(1, 1, 4), 0.0);
+        f.set(0, 0, 2, 4.0);
+        f.set(0, 0, 3, 4.0);
+        let s = FieldStats::compute(&f);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.variance, 4.0);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn empty_field() {
+        let f = Field3::zeros(Dims3::new(0, 4, 4));
+        let s = FieldStats::compute(&f);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.range(), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Threshold + connected-components halo finder.
+//!
+//! Stands in for Nyx's halo post-analysis (Fig. 4: the ROI keeps "almost all
+//! the halos"). A halo is a 26-connected component of cells whose density
+//! exceeds `threshold × mean`; we report its cell count, total mass and
+//! centroid, and measure ROI/compression fidelity by halo *recall* with
+//! centroid matching.
+
+use hqmr_grid::Field3;
+
+/// One detected halo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Halo {
+    /// Number of member cells.
+    pub cells: usize,
+    /// Sum of member densities.
+    pub mass: f64,
+    /// Mass-weighted centroid (fine-grid coordinates).
+    pub centroid: [f64; 3],
+}
+
+/// Finds halos: 26-connected components above `rel_threshold × mean(field)`,
+/// keeping components with at least `min_cells` cells. Sorted by descending
+/// mass.
+pub fn find_halos(field: &Field3, rel_threshold: f64, min_cells: usize) -> Vec<Halo> {
+    if field.is_empty() {
+        return Vec::new();
+    }
+    let mean: f64 =
+        field.data().iter().map(|&v| v as f64).sum::<f64>() / field.len() as f64;
+    find_halos_abs(field, (rel_threshold * mean) as f32, min_cells)
+}
+
+/// [`find_halos`] with an absolute density threshold — required when
+/// comparing fields whose means differ (e.g. an ROI-masked field against its
+/// original, Fig. 4).
+pub fn find_halos_abs(field: &Field3, threshold: f32, min_cells: usize) -> Vec<Halo> {
+    let d = field.dims();
+    let n = d.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let thr = threshold;
+    let mut visited = vec![false; n];
+    let mut halos = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+
+    for start in 0..n {
+        if visited[start] || field.data()[start] < thr {
+            continue;
+        }
+        // BFS/DFS flood fill over the 26-neighbourhood.
+        let mut cells = 0usize;
+        let mut mass = 0.0f64;
+        let mut cx = 0.0f64;
+        let mut cy = 0.0f64;
+        let mut cz = 0.0f64;
+        visited[start] = true;
+        stack.push(start);
+        while let Some(i) = stack.pop() {
+            let (x, y, z) = d.coords(i);
+            let v = field.data()[i] as f64;
+            cells += 1;
+            mass += v;
+            cx += v * x as f64;
+            cy += v * y as f64;
+            cz += v * z as f64;
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dz in -1i64..=1 {
+                        if dx == 0 && dy == 0 && dz == 0 {
+                            continue;
+                        }
+                        let (nx2, ny2, nz2) =
+                            (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                        if nx2 < 0
+                            || ny2 < 0
+                            || nz2 < 0
+                            || nx2 >= d.nx as i64
+                            || ny2 >= d.ny as i64
+                            || nz2 >= d.nz as i64
+                        {
+                            continue;
+                        }
+                        let j = d.idx(nx2 as usize, ny2 as usize, nz2 as usize);
+                        if !visited[j] && field.data()[j] >= thr {
+                            visited[j] = true;
+                            stack.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        if cells >= min_cells && mass > 0.0 {
+            halos.push(Halo {
+                cells,
+                mass,
+                centroid: [cx / mass, cy / mass, cz / mass],
+            });
+        }
+    }
+    halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).unwrap_or(std::cmp::Ordering::Equal));
+    halos
+}
+
+/// Fraction of `reference` halos that have a counterpart in `candidate`
+/// within `match_dist` cells (centroid distance). The Fig. 4 fidelity metric.
+pub fn halo_recall(reference: &[Halo], candidate: &[Halo], match_dist: f64) -> f64 {
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let mut used = vec![false; candidate.len()];
+    let mut hits = 0usize;
+    for r in reference {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in candidate.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let dist = (0..3)
+                .map(|k| (r.centroid[k] - c.centroid[k]).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            if dist <= match_dist && best.is_none_or(|(_, bd)| dist < bd) {
+                best = Some((i, dist));
+            }
+        }
+        if let Some((i, _)) = best {
+            used[i] = true;
+            hits += 1;
+        }
+    }
+    hits as f64 / reference.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqmr_grid::Dims3;
+
+    /// A field with two Gaussian blobs over a low background.
+    fn two_blob_field() -> Field3 {
+        let blob = |x: usize, y: usize, z: usize, cx: f32, cy: f32, cz: f32, a: f32| {
+            let r2 = (x as f32 - cx).powi(2) + (y as f32 - cy).powi(2) + (z as f32 - cz).powi(2);
+            a * (-r2 / 4.0).exp()
+        };
+        Field3::from_fn(Dims3::cube(24), |x, y, z| {
+            1.0 + blob(x, y, z, 6.0, 6.0, 6.0, 100.0) + blob(x, y, z, 17.0, 17.0, 17.0, 60.0)
+        })
+    }
+
+    #[test]
+    fn finds_both_blobs() {
+        let f = two_blob_field();
+        let halos = find_halos(&f, 5.0, 2);
+        assert_eq!(halos.len(), 2);
+        // Sorted by mass: the amplitude-100 blob first.
+        assert!(halos[0].mass > halos[1].mass);
+        assert!((halos[0].centroid[0] - 6.0).abs() < 0.5);
+        assert!((halos[1].centroid[0] - 17.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn min_cells_filters_specks() {
+        let mut f = Field3::new(Dims3::cube(8), 1.0);
+        f.set(4, 4, 4, 1000.0); // single-cell speck
+        let halos = find_halos(&f, 5.0, 2);
+        assert!(halos.is_empty());
+        let halos = find_halos(&f, 5.0, 1);
+        assert_eq!(halos.len(), 1);
+    }
+
+    #[test]
+    fn connectivity_merges_touching_cells() {
+        let mut f = Field3::new(Dims3::cube(8), 0.001);
+        // Diagonal pair: 26-connectivity must join them.
+        f.set(2, 2, 2, 10.0);
+        f.set(3, 3, 3, 10.0);
+        let halos = find_halos(&f, 100.0, 1);
+        assert_eq!(halos.len(), 1);
+        assert_eq!(halos[0].cells, 2);
+    }
+
+    #[test]
+    fn recall_full_and_partial() {
+        let f = two_blob_field();
+        let halos = find_halos(&f, 5.0, 2);
+        assert_eq!(halo_recall(&halos, &halos, 1.0), 1.0);
+        assert_eq!(halo_recall(&halos, &halos[..1], 1.0), 0.5);
+        assert_eq!(halo_recall(&[], &halos, 1.0), 1.0);
+    }
+
+    #[test]
+    fn recall_does_not_double_match() {
+        let f = two_blob_field();
+        let halos = find_halos(&f, 5.0, 2);
+        // One candidate cannot satisfy two distinct references even with a
+        // huge matching radius.
+        let r = halo_recall(&halos, &halos[..1], 1e9);
+        assert_eq!(r, 0.5);
+    }
+}

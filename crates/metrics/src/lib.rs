@@ -1,0 +1,130 @@
+//! Quality metrics used throughout the evaluation (§IV).
+//!
+//! * [`psnr`] / [`mse`] / [`max_abs_err`] — rate-distortion metrics for every
+//!   figure and table;
+//! * [`ssim`] — Structural Similarity on 2-D slices (the paper reports SSIM of
+//!   rendered views) and [`ssim3d`] volumetric SSIM;
+//! * [`spectrum`] — the Nyx power-spectrum analysis of Table VI;
+//! * [`halo`] — a threshold + connected-components halo finder standing in
+//!   for Nyx's halo post-analysis (Fig. 4's "captures almost all the halos").
+
+pub mod halo;
+pub mod spectrum;
+mod similarity;
+
+pub use halo::{find_halos, find_halos_abs, halo_recall, Halo};
+pub use similarity::{ssim, ssim3d};
+pub use spectrum::{power_spectrum, spectrum_rel_errors};
+
+use hqmr_grid::Field3;
+
+/// Mean squared error (computed in `f64`).
+pub fn mse(a: &Field3, b: &Field3) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "field dims mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    sum / a.len() as f64
+}
+
+/// Maximum absolute pointwise error.
+pub fn max_abs_err(a: &Field3, b: &Field3) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "field dims mismatch");
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Peak signal-to-noise ratio in dB, using the *original* field's value range
+/// as the peak (the convention of the SZ/ZFP literature):
+/// `PSNR = 20·log₁₀(range) − 10·log₁₀(MSE)`.
+///
+/// Returns `f64::INFINITY` for identical fields.
+pub fn psnr(original: &Field3, decompressed: &Field3) -> f64 {
+    let e = mse(original, decompressed);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    let range = original.range() as f64;
+    20.0 * range.log10() - 10.0 * e.log10()
+}
+
+/// Normalized root-mean-square error (`RMSE / range`).
+pub fn nrmse(original: &Field3, decompressed: &Field3) -> f64 {
+    let range = original.range() as f64;
+    if range == 0.0 {
+        return 0.0;
+    }
+    mse(original, decompressed).sqrt() / range
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqmr_grid::Dims3;
+
+    fn ramp() -> Field3 {
+        Field3::from_fn(Dims3::cube(8), |x, y, z| (x + y + z) as f32)
+    }
+
+    #[test]
+    fn identical_fields() {
+        let f = ramp();
+        assert_eq!(mse(&f, &f), 0.0);
+        assert_eq!(max_abs_err(&f, &f), 0.0);
+        assert!(psnr(&f, &f).is_infinite());
+        assert_eq!(nrmse(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = Field3::new(Dims3::cube(4), 1.0);
+        let b = Field3::new(Dims3::cube(4), 3.0);
+        assert_eq!(mse(&a, &b), 4.0);
+        assert_eq!(max_abs_err(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // range = 21 (ramp 0..21), uniform error 0.21 → PSNR = 20·log10(1/0.01) = 40 dB.
+        let f = ramp();
+        let mut g = f.clone();
+        let range = f.range();
+        for v in g.data_mut() {
+            *v += range * 0.01;
+        }
+        let p = psnr(&f, &g);
+        assert!((p - 40.0).abs() < 0.01, "psnr = {p}");
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let f = ramp();
+        let mut g1 = f.clone();
+        let mut g2 = f.clone();
+        for v in g1.data_mut() {
+            *v += 0.1;
+        }
+        for v in g2.data_mut() {
+            *v += 1.0;
+        }
+        assert!(psnr(&f, &g1) > psnr(&f, &g2) + 19.0); // 10× error ⇒ 20 dB
+    }
+
+    #[test]
+    #[should_panic(expected = "dims mismatch")]
+    fn mismatched_dims_panic() {
+        mse(&Field3::zeros(Dims3::cube(2)), &Field3::zeros(Dims3::cube(3)));
+    }
+}

@@ -1,0 +1,225 @@
+//! Structural Similarity (SSIM), 2-D windowed and 3-D volumetric.
+//!
+//! Standard SSIM with `k₁ = 0.01`, `k₂ = 0.03` and the dynamic range taken
+//! from the reference data. The 2-D variant operates on row-major slices
+//! (as produced by `Field3::slice_z`) with 8×8 windows at stride 4; the 3-D
+//! variant uses 8³ windows at stride 4, matching how the paper reports SSIM
+//! for rendered views and volumes.
+
+use hqmr_grid::Field3;
+use rayon::prelude::*;
+
+const K1: f64 = 0.01;
+const K2: f64 = 0.03;
+
+/// Windowed statistics: means, variances, covariance.
+#[derive(Default, Clone, Copy)]
+struct WinStats {
+    mean_a: f64,
+    mean_b: f64,
+    var_a: f64,
+    var_b: f64,
+    cov: f64,
+}
+
+fn window_ssim(s: &WinStats, c1: f64, c2: f64) -> f64 {
+    ((2.0 * s.mean_a * s.mean_b + c1) * (2.0 * s.cov + c2))
+        / ((s.mean_a * s.mean_a + s.mean_b * s.mean_b + c1) * (s.var_a + s.var_b + c2))
+}
+
+fn stats<'a>(pairs: impl Iterator<Item = (&'a f32, &'a f32)>) -> WinStats {
+    let mut n = 0usize;
+    let mut sa = 0.0f64;
+    let mut sb = 0.0f64;
+    let mut saa = 0.0f64;
+    let mut sbb = 0.0f64;
+    let mut sab = 0.0f64;
+    for (&a, &b) in pairs {
+        let (a, b) = (a as f64, b as f64);
+        n += 1;
+        sa += a;
+        sb += b;
+        saa += a * a;
+        sbb += b * b;
+        sab += a * b;
+    }
+    if n == 0 {
+        return WinStats::default();
+    }
+    let nf = n as f64;
+    let ma = sa / nf;
+    let mb = sb / nf;
+    WinStats {
+        mean_a: ma,
+        mean_b: mb,
+        var_a: (saa / nf - ma * ma).max(0.0),
+        var_b: (sbb / nf - mb * mb).max(0.0),
+        cov: sab / nf - ma * mb,
+    }
+}
+
+/// Mean SSIM between two row-major 2-D images of shape `(w, h)`.
+///
+/// # Panics
+/// Panics if the buffers don't match `w·h`.
+pub fn ssim(a: &[f32], b: &[f32], w: usize, h: usize) -> f64 {
+    assert_eq!(a.len(), w * h, "image a shape mismatch");
+    assert_eq!(b.len(), w * h, "image b shape mismatch");
+    let range = a.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(mn, mx), &v| {
+        (mn.min(v), mx.max(v))
+    });
+    let l = (range.1 - range.0).max(f32::EPSILON) as f64;
+    let c1 = (K1 * l).powi(2);
+    let c2 = (K2 * l).powi(2);
+
+    let win = 8usize.min(w).min(h).max(1);
+    let stride = (win / 2).max(1);
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let mut x0 = 0usize;
+    loop {
+        let mut y0 = 0usize;
+        loop {
+            let s = stats((x0..x0 + win).flat_map(|x| {
+                (y0..y0 + win).map(move |y| {
+                    let i = x * h + y;
+                    (&a[i], &b[i])
+                })
+            }));
+            total += window_ssim(&s, c1, c2);
+            count += 1;
+            if y0 + win >= h {
+                break;
+            }
+            y0 = (y0 + stride).min(h - win);
+        }
+        if x0 + win >= w {
+            break;
+        }
+        x0 = (x0 + stride).min(w - win);
+    }
+    total / count as f64
+}
+
+/// Mean volumetric SSIM over 8³ windows at stride 4.
+///
+/// # Panics
+/// Panics if dims differ.
+pub fn ssim3d(a: &Field3, b: &Field3) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "field dims mismatch");
+    let d = a.dims();
+    let l = (a.range() as f64).max(f64::EPSILON);
+    let c1 = (K1 * l).powi(2);
+    let c2 = (K2 * l).powi(2);
+    let win = 8usize.min(d.nx).min(d.ny).min(d.nz).max(1);
+    let stride = (win / 2).max(1);
+
+    let starts = |n: usize| -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut p = 0usize;
+        loop {
+            v.push(p);
+            if p + win >= n {
+                break;
+            }
+            p = (p + stride).min(n - win);
+        }
+        v
+    };
+    let (xs, ys, zs) = (starts(d.nx), starts(d.ny), starts(d.nz));
+    let sums: Vec<f64> = xs
+        .par_iter()
+        .map(|&x0| {
+            let mut acc = 0.0f64;
+            for &y0 in &ys {
+                for &z0 in &zs {
+                    let s = stats((x0..x0 + win).flat_map(|x| {
+                        (y0..y0 + win).flat_map(move |y| {
+                            (z0..z0 + win).map(move |z| {
+                                let i = d.idx(x, y, z);
+                                (&a.data()[i], &b.data()[i])
+                            })
+                        })
+                    }));
+                    acc += window_ssim(&s, c1, c2);
+                }
+            }
+            acc
+        })
+        .collect();
+    sums.iter().sum::<f64>() / (xs.len() * ys.len() * zs.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqmr_grid::Dims3;
+
+    fn image(w: usize, h: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+        let mut v = Vec::with_capacity(w * h);
+        for x in 0..w {
+            for y in 0..h {
+                v.push(f(x, y));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn identical_images_are_one() {
+        let img = image(32, 32, |x, y| (x * y) as f32);
+        let s = ssim(&img, &img, 32, 32);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_lowers_ssim_monotonically() {
+        let a = image(32, 32, |x, y| ((x as f32 * 0.3).sin() + (y as f32 * 0.2).cos()) * 10.0);
+        let noisy = |amp: f32| {
+            let mut b = a.clone();
+            for (i, v) in b.iter_mut().enumerate() {
+                *v += amp * (((i * 2654435761) % 1000) as f32 / 1000.0 - 0.5);
+            }
+            b
+        };
+        let s1 = ssim(&a, &noisy(1.0), 32, 32);
+        let s2 = ssim(&a, &noisy(5.0), 32, 32);
+        assert!(s1 > s2, "{s1} vs {s2}");
+        assert!(s1 < 1.0 && s1 > 0.5);
+    }
+
+    #[test]
+    fn structural_break_hurts_more_than_offset() {
+        // Constant offset barely affects SSIM (it is luminance-normalized);
+        // scrambling structure destroys it.
+        let a = image(32, 32, |x, y| 10.0 + ((x as f32 * 0.4).sin() + (y as f32 * 0.3).sin()) * 5.0);
+        let offset: Vec<f32> = a.iter().map(|v| v + 0.5).collect();
+        let mut scrambled = a.clone();
+        scrambled.reverse();
+        let s_off = ssim(&a, &offset, 32, 32);
+        let s_scr = ssim(&a, &scrambled, 32, 32);
+        assert!(s_off > 0.9, "offset ssim {s_off}");
+        assert!(s_scr < 0.5, "scrambled ssim {s_scr}");
+    }
+
+    #[test]
+    fn ssim3d_identity_and_degradation() {
+        let f = Field3::from_fn(Dims3::cube(16), |x, y, z| {
+            ((x as f32 * 0.5).sin() + (y as f32 * 0.4).cos()) * (z as f32 + 1.0)
+        });
+        assert!((ssim3d(&f, &f) - 1.0).abs() < 1e-12);
+        let mut g = f.clone();
+        for (i, v) in g.data_mut().iter_mut().enumerate() {
+            *v += ((i % 7) as f32 - 3.0) * 0.8;
+        }
+        let s = ssim3d(&f, &g);
+        assert!(s < 1.0 && s > 0.0);
+    }
+
+    #[test]
+    fn small_images_dont_panic() {
+        let a = image(3, 5, |x, y| (x + y) as f32);
+        let s = ssim(&a, &a, 3, 5);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! Matter power spectrum `P(k)` (Table VI's Nyx post-analysis).
+//!
+//! Following the cosmology convention: the density contrast
+//! `δ = ρ/ρ̄ − 1` is Fourier-transformed and `|δ̂(k)|²` is averaged in
+//! spherical shells of integer `k = |k⃗|` (grid units). Table VI compares the
+//! relative error of the decompressed spectrum for all `k < 10`, with 1%
+//! as the usual acceptability threshold.
+
+use hqmr_fft::{fft_3d, Complex, Direction};
+use hqmr_grid::Field3;
+
+/// Shell-averaged power spectrum. Returns `P(k)` for integer
+/// `k = 0 … k_max` where `k_max = min_extent/2`; `P(0)` is excluded from
+/// error comparisons (it is the mean).
+///
+/// # Panics
+/// Panics if any extent is not a power of two.
+pub fn power_spectrum(field: &Field3) -> Vec<f64> {
+    let d = field.dims();
+    let n = d.len();
+    let mean: f64 = field.data().iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let denom = if mean.abs() > 0.0 { mean } else { 1.0 };
+    let mut data: Vec<Complex> = field
+        .data()
+        .iter()
+        .map(|&v| Complex::new(v as f64 / denom - 1.0, 0.0))
+        .collect();
+    fft_3d(&mut data, d.nx, d.ny, d.nz, Direction::Forward);
+
+    let kmax = d.min_extent() / 2;
+    let mut power = vec![0.0f64; kmax + 1];
+    let mut counts = vec![0u64; kmax + 1];
+    let signed = |i: usize, n: usize| -> f64 {
+        if i <= n / 2 {
+            i as f64
+        } else {
+            i as f64 - n as f64
+        }
+    };
+    for x in 0..d.nx {
+        let kx = signed(x, d.nx);
+        for y in 0..d.ny {
+            let ky = signed(y, d.ny);
+            for z in 0..d.nz {
+                let kz = signed(z, d.nz);
+                let k = (kx * kx + ky * ky + kz * kz).sqrt().round() as usize;
+                if k <= kmax {
+                    power[k] += data[d.idx(x, y, z)].norm_sqr();
+                    counts[k] += 1;
+                }
+            }
+        }
+    }
+    for (p, &c) in power.iter_mut().zip(&counts) {
+        if c > 0 {
+            *p /= (c as f64) * (n as f64); // FFT normalization + shell average
+        }
+    }
+    power
+}
+
+/// Relative spectrum errors `|P'(k) − P(k)| / P(k)` for `1 ≤ k < k_limit`.
+/// Returns `(max, mean)` — the two rows of Table VI.
+pub fn spectrum_rel_errors(original: &Field3, decompressed: &Field3, k_limit: usize) -> (f64, f64) {
+    let p0 = power_spectrum(original);
+    let p1 = power_spectrum(decompressed);
+    let hi = k_limit.min(p0.len()).min(p1.len());
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for k in 1..hi {
+        if p0[k] <= 0.0 {
+            continue;
+        }
+        let rel = (p1[k] - p0[k]).abs() / p0[k];
+        max = max.max(rel);
+        sum += rel;
+        n += 1;
+    }
+    (max, if n > 0 { sum / n as f64 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqmr_grid::Dims3;
+
+    #[test]
+    fn single_mode_lands_in_one_shell() {
+        let n = 32usize;
+        let k0 = 4usize;
+        // δ = cos(2π k0 x / n): power concentrated at k = k0.
+        let f = Field3::from_fn(Dims3::cube(n), |x, _, _| {
+            1.0 + 0.5 * ((2.0 * std::f32::consts::PI * k0 as f32 * x as f32) / n as f32).cos()
+        });
+        let p = power_spectrum(&f);
+        let total: f64 = p[1..].iter().sum();
+        assert!(p[k0] / total > 0.99, "P({k0}) fraction = {}", p[k0] / total);
+    }
+
+    #[test]
+    fn constant_field_has_zero_power() {
+        let f = Field3::new(Dims3::cube(16), 42.0);
+        let p = power_spectrum(&f);
+        assert!(p[1..].iter().all(|&v| v.abs() < 1e-20));
+    }
+
+    #[test]
+    fn identical_fields_zero_error() {
+        let f = Field3::from_fn(Dims3::cube(16), |x, y, z| {
+            1.0 + 0.1 * ((x + 2 * y + 3 * z) as f32 * 0.4).sin()
+        });
+        let (max, avg) = spectrum_rel_errors(&f, &f, 10);
+        assert_eq!(max, 0.0);
+        assert_eq!(avg, 0.0);
+    }
+
+    #[test]
+    fn small_perturbation_small_spectrum_error() {
+        let f = Field3::from_fn(Dims3::cube(32), |x, y, z| {
+            10.0 + ((x as f32 * 0.7).sin() + (y as f32 * 0.5).cos() + (z as f32 * 0.3).sin())
+        });
+        let mut g = f.clone();
+        for (i, v) in g.data_mut().iter_mut().enumerate() {
+            *v += (((i * 7919) % 100) as f32 / 100.0 - 0.5) * 1e-4;
+        }
+        let (max, avg) = spectrum_rel_errors(&f, &g, 10);
+        assert!(max < 0.01, "max rel err {max}");
+        assert!(avg <= max);
+    }
+
+    #[test]
+    fn larger_error_larger_spectrum_deviation() {
+        let f = Field3::from_fn(Dims3::cube(32), |x, y, z| {
+            10.0 + ((x as f32 * 0.7).sin() + (y as f32 * 0.5).cos() + (z as f32 * 0.3).sin())
+        });
+        let perturb = |amp: f32| {
+            let mut g = f.clone();
+            for (i, v) in g.data_mut().iter_mut().enumerate() {
+                *v += (((i * 7919) % 100) as f32 / 100.0 - 0.5) * amp;
+            }
+            g
+        };
+        let (_, avg_small) = spectrum_rel_errors(&f, &perturb(0.01), 10);
+        let (_, avg_big) = spectrum_rel_errors(&f, &perturb(0.5), 10);
+        assert!(avg_big > avg_small);
+    }
+}

@@ -1,0 +1,344 @@
+//! Unit-block arrangements for 3-D compression (§III-A, Fig. 6).
+//!
+//! A resolution level is a sparse set of `u³` unit blocks; global compressors
+//! need a dense array. Three arrangements are implemented:
+//!
+//! * [`MergeStrategy::Linear`] — the baseline (and the paper's choice):
+//!   concatenate blocks along `z` into a `(u, u, u·n)` array. Two small
+//!   dimensions, one long one.
+//! * [`MergeStrategy::Stack`] — AMRIC's cubic stacking into a
+//!   `(u·m)³` array, `m = ⌈n^{1/3}⌉`. Balanced dimensions, but non-adjacent
+//!   blocks become neighbours (the bold red line of Fig. 6-2b).
+//! * [`MergeStrategy::Tac`] — TAC's adjacency-preserving merge: greedy runs
+//!   along `z`, then `y`, then `x` produce variable-shaped boxes, each
+//!   compressed separately (encoding overhead per box, §IV-C).
+
+use crate::types::{LevelData, UnitBlock};
+use hqmr_grid::{Dims3, Field3};
+use std::collections::BTreeMap;
+
+/// Block arrangement strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Linear merge along `z` (baseline; what SZ3MR pads).
+    Linear,
+    /// AMRIC-style cubic stacking.
+    Stack,
+    /// TAC-style adjacency-preserving boxes.
+    Tac,
+}
+
+/// One dense array produced by merging, with enough layout to split it back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedArray {
+    /// The dense merged field.
+    pub field: Field3,
+    /// Unit block side.
+    pub unit: usize,
+    /// `(array-local origin, level-local origin)` for every real block.
+    pub slots: Vec<([usize; 3], [usize; 3])>,
+}
+
+impl MergedArray {
+    /// Extracts unit blocks back out of a (possibly decompressed) array with
+    /// the same dims as `self.field`.
+    ///
+    /// # Panics
+    /// Panics if `data` dims differ from the merged field's dims.
+    pub fn split(&self, data: &Field3) -> Vec<UnitBlock> {
+        assert_eq!(data.dims(), self.field.dims(), "split dims mismatch");
+        let u = self.unit;
+        self.slots
+            .iter()
+            .map(|&(slot, origin)| UnitBlock {
+                origin,
+                data: data.extract_box(slot, Dims3::cube(u)).into_vec(),
+            })
+            .collect()
+    }
+}
+
+/// Merges a level's blocks under `strategy`. Returns one array for
+/// `Linear`/`Stack`, and one per box for `Tac`. Empty levels yield no arrays.
+pub fn merge_level(level: &LevelData, strategy: MergeStrategy) -> Vec<MergedArray> {
+    if level.blocks.is_empty() {
+        return Vec::new();
+    }
+    match strategy {
+        MergeStrategy::Linear => vec![merge_linear(level)],
+        MergeStrategy::Stack => vec![merge_stack(level)],
+        MergeStrategy::Tac => merge_tac(level),
+    }
+}
+
+/// Reassembles a level from merged arrays and their decompressed data.
+///
+/// `pairs` associates each layout with the decompressed array contents;
+/// blocks are returned in the concatenated slot order.
+pub fn unsplit_level(pairs: &[(&MergedArray, &Field3)]) -> Vec<UnitBlock> {
+    let mut blocks: Vec<UnitBlock> = pairs.iter().flat_map(|(m, f)| m.split(f)).collect();
+    blocks.sort_by_key(|b| (b.origin[0], b.origin[1], b.origin[2]));
+    blocks
+}
+
+fn merge_linear(level: &LevelData) -> MergedArray {
+    let u = level.unit;
+    let n = level.blocks.len();
+    let mut field = Field3::zeros(Dims3::new(u, u, u * n));
+    let mut slots = Vec::with_capacity(n);
+    for (i, b) in level.blocks.iter().enumerate() {
+        let slot = [0, 0, i * u];
+        field.insert_box(slot, &Field3::from_vec(Dims3::cube(u), b.data.clone()));
+        slots.push((slot, b.origin));
+    }
+    MergedArray { field, unit: u, slots }
+}
+
+fn merge_stack(level: &LevelData) -> MergedArray {
+    let u = level.unit;
+    let n = level.blocks.len();
+    let m = (1..).find(|&m: &usize| m * m * m >= n).unwrap();
+    let mut field = Field3::zeros(Dims3::cube(u * m));
+    let mut slots = Vec::with_capacity(n);
+    for i in 0..m * m * m {
+        // Real blocks fill the first n slots; the rest replicate the last
+        // block so the filler does not create artificial discontinuities
+        // beyond those inherent to stacking.
+        let src = i.min(n - 1);
+        let slot = [(i / (m * m)) * u, ((i / m) % m) * u, (i % m) * u];
+        let b = &level.blocks[src];
+        field.insert_box(slot, &Field3::from_vec(Dims3::cube(u), b.data.clone()));
+        if i < n {
+            slots.push((slot, b.origin));
+        }
+    }
+    MergedArray { field, unit: u, slots }
+}
+
+/// Greedy adjacency-preserving box merge: maximal runs along `z`, rods merged
+/// along `y`, plates merged along `x`.
+fn merge_tac(level: &LevelData) -> Vec<MergedArray> {
+    let u = level.unit;
+    // Block coordinates in units, mapped to their index in `level.blocks`.
+    let mut by_coord: BTreeMap<(usize, usize, usize), usize> = BTreeMap::new();
+    for (i, b) in level.blocks.iter().enumerate() {
+        by_coord.insert((b.origin[0] / u, b.origin[1] / u, b.origin[2] / u), i);
+    }
+    // Rods: (x, y, z0, lz).
+    let mut rods: Vec<(usize, usize, usize, usize)> = Vec::new();
+    {
+        let mut it = by_coord.keys().copied().peekable();
+        while let Some((x, y, z0)) = it.next() {
+            let mut lz = 1usize;
+            while let Some(&(nx2, ny2, nz2)) = it.peek() {
+                if nx2 == x && ny2 == y && nz2 == z0 + lz {
+                    it.next();
+                    lz += 1;
+                } else {
+                    break;
+                }
+            }
+            rods.push((x, y, z0, lz));
+        }
+    }
+    // Plates: merge rods with equal (x, z0, lz) and consecutive y.
+    let mut plate_map: BTreeMap<(usize, usize, usize), Vec<(usize, usize)>> = BTreeMap::new();
+    for (x, y, z0, lz) in rods {
+        plate_map.entry((x, z0, lz)).or_default().push((y, 1));
+    }
+    // (x, y0, ly, z0, lz)
+    let mut plates: Vec<(usize, usize, usize, usize, usize)> = Vec::new();
+    for ((x, z0, lz), mut ys) in plate_map {
+        ys.sort_unstable();
+        let mut i = 0;
+        while i < ys.len() {
+            let y0 = ys[i].0;
+            let mut ly = 1usize;
+            while i + 1 < ys.len() && ys[i + 1].0 == y0 + ly {
+                ly += 1;
+                i += 1;
+            }
+            plates.push((x, y0, ly, z0, lz));
+            i += 1;
+        }
+    }
+    // Boxes: merge plates with equal (y0, ly, z0, lz) and consecutive x.
+    let mut box_map: BTreeMap<(usize, usize, usize, usize), Vec<usize>> = BTreeMap::new();
+    for (x, y0, ly, z0, lz) in plates {
+        box_map.entry((y0, ly, z0, lz)).or_default().push(x);
+    }
+    let mut boxes: Vec<([usize; 3], [usize; 3])> = Vec::new(); // (coord origin, extent in units)
+    for ((y0, ly, z0, lz), mut xs) in box_map {
+        xs.sort_unstable();
+        let mut i = 0;
+        while i < xs.len() {
+            let x0 = xs[i];
+            let mut lx = 1usize;
+            while i + 1 < xs.len() && xs[i + 1] == x0 + lx {
+                lx += 1;
+                i += 1;
+            }
+            boxes.push(([x0, y0, z0], [lx, ly, lz]));
+            i += 1;
+        }
+    }
+
+    boxes
+        .into_iter()
+        .map(|(bo, ext)| {
+            let dims = Dims3::new(ext[0] * u, ext[1] * u, ext[2] * u);
+            let mut field = Field3::zeros(dims);
+            let mut slots = Vec::new();
+            for cx in 0..ext[0] {
+                for cy in 0..ext[1] {
+                    for cz in 0..ext[2] {
+                        let coord = (bo[0] + cx, bo[1] + cy, bo[2] + cz);
+                        let bi = by_coord[&coord];
+                        let b = &level.blocks[bi];
+                        let slot = [cx * u, cy * u, cz * u];
+                        field.insert_box(slot, &Field3::from_vec(Dims3::cube(u), b.data.clone()));
+                        slots.push((slot, b.origin));
+                    }
+                }
+            }
+            MergedArray { field, unit: u, slots }
+        })
+        .collect()
+}
+
+/// Mean absolute jump across block-join faces inside merged arrays — the
+/// "unsmoothness" Fig. 6 depicts (bold red lines). Lower is smoother.
+pub fn merge_discontinuity(arrays: &[MergedArray]) -> f64 {
+    let mut acc = 0.0f64;
+    let mut count = 0u64;
+    for m in arrays {
+        let d = m.field.dims();
+        let u = m.unit;
+        // Faces normal to each axis at multiples of u (interior joins only).
+        for (axis, n) in [(0usize, d.nx), (1, d.ny), (2, d.nz)] {
+            let mut cut = u;
+            while cut < n {
+                for a in 0..if axis == 0 { d.ny } else { d.nx } {
+                    for b in 0..if axis == 2 { d.ny } else { d.nz } {
+                        let (lo, hi) = match axis {
+                            0 => (m.field.get(cut - 1, a, b), m.field.get(cut, a, b)),
+                            1 => (m.field.get(a, cut - 1, b), m.field.get(a, cut, b)),
+                            _ => (m.field.get(a, b, cut - 1), m.field.get(a, b, cut)),
+                        };
+                        acc += (hi - lo).abs() as f64;
+                        count += 1;
+                    }
+                }
+                cut += u;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        acc / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A level whose blocks tile an `nb³` region of a smooth ramp field.
+    fn ramp_level(nb: usize, u: usize, keep: impl Fn(usize, usize, usize) -> bool) -> LevelData {
+        let mut blocks = Vec::new();
+        for bx in 0..nb {
+            for by in 0..nb {
+                for bz in 0..nb {
+                    if !keep(bx, by, bz) {
+                        continue;
+                    }
+                    let origin = [bx * u, by * u, bz * u];
+                    let data = Field3::from_fn(Dims3::cube(u), |x, y, z| {
+                        ((origin[0] + x) + (origin[1] + y) + (origin[2] + z)) as f32
+                    });
+                    blocks.push(UnitBlock { origin, data: data.into_vec() });
+                }
+            }
+        }
+        LevelData { level: 0, unit: u, dims: Dims3::cube(nb * u), blocks }
+    }
+
+    #[test]
+    fn linear_merge_shape_and_roundtrip() {
+        let lvl = ramp_level(2, 4, |_, _, _| true); // 8 blocks
+        let merged = merge_level(&lvl, MergeStrategy::Linear);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].field.dims(), Dims3::new(4, 4, 32));
+        let back = unsplit_level(&[(&merged[0], &merged[0].field.clone())]);
+        assert_eq!(back, lvl.blocks);
+    }
+
+    #[test]
+    fn stack_merge_shape_and_roundtrip() {
+        let lvl = ramp_level(2, 4, |bx, by, bz| !(bx == 1 && by == 1 && bz == 1)); // 7 blocks
+        let merged = merge_level(&lvl, MergeStrategy::Stack);
+        assert_eq!(merged.len(), 1);
+        // ceil(7^(1/3)) = 2 → 8³ array.
+        assert_eq!(merged[0].field.dims(), Dims3::cube(8));
+        assert_eq!(merged[0].slots.len(), 7);
+        let back = unsplit_level(&[(&merged[0], &merged[0].field.clone())]);
+        assert_eq!(back, lvl.blocks);
+    }
+
+    #[test]
+    fn tac_merges_full_region_into_one_box() {
+        let lvl = ramp_level(2, 4, |_, _, _| true);
+        let merged = merge_level(&lvl, MergeStrategy::Tac);
+        assert_eq!(merged.len(), 1, "a full cube should merge into one box");
+        assert_eq!(merged[0].field.dims(), Dims3::cube(8));
+        let pairs: Vec<_> = merged.iter().map(|m| (m, &m.field)).collect();
+        let back = unsplit_level(&pairs.iter().map(|(m, f)| (*m, *f)).collect::<Vec<_>>());
+        assert_eq!(back, lvl.blocks);
+    }
+
+    #[test]
+    fn tac_sparse_produces_multiple_boxes_preserving_adjacency() {
+        // Two separated slabs → at least 2 boxes, never mixing them.
+        let lvl = ramp_level(4, 4, |bx, _, _| bx == 0 || bx == 3);
+        let merged = merge_level(&lvl, MergeStrategy::Tac);
+        assert_eq!(merged.len(), 2);
+        let pairs: Vec<_> = merged.iter().map(|m| (m, &m.field)).collect();
+        let back = unsplit_level(&pairs);
+        assert_eq!(back.len(), lvl.blocks.len());
+        assert_eq!(back, lvl.blocks);
+    }
+
+    #[test]
+    fn empty_level_merges_to_nothing() {
+        let lvl = LevelData { level: 0, unit: 4, dims: Dims3::cube(8), blocks: vec![] };
+        for s in [MergeStrategy::Linear, MergeStrategy::Stack, MergeStrategy::Tac] {
+            assert!(merge_level(&lvl, s).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_block_all_strategies() {
+        let lvl = ramp_level(1, 4, |_, _, _| true);
+        for s in [MergeStrategy::Linear, MergeStrategy::Stack, MergeStrategy::Tac] {
+            let merged = merge_level(&lvl, s);
+            let pairs: Vec<_> = merged.iter().map(|m| (m, &m.field)).collect();
+            assert_eq!(unsplit_level(&pairs), lvl.blocks, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn stack_is_less_smooth_than_tac_on_scattered_blocks() {
+        // A checkerboard of blocks from a smooth ramp: stacking juxtaposes
+        // non-neighbours (large jumps); TAC keeps physical neighbours together.
+        let lvl = ramp_level(4, 4, |bx, by, bz| (bx + by + bz) % 2 == 0);
+        let stack = merge_level(&lvl, MergeStrategy::Stack);
+        let tac = merge_level(&lvl, MergeStrategy::Tac);
+        let ds = merge_discontinuity(&stack);
+        let dt = merge_discontinuity(&tac);
+        assert!(
+            dt <= ds,
+            "tac ({dt}) should be at least as smooth as stack ({ds})"
+        );
+    }
+}

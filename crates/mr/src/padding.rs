@@ -1,0 +1,176 @@
+//! Padding for linearized merges (§III-A, Improvement 1).
+//!
+//! A linear merge has shape `(u, u, u·n)`: the two small dimensions leave the
+//! interpolator one point short of a full `2^k + 1` grid, forcing the
+//! extrapolations of Fig. 7. Padding appends **one extrapolated layer** to
+//! each small dimension (`(u+1, u+1, u·n)`), which removes every inner
+//! extrapolation (Fig. 8) at a size overhead of `(u+1)²/u²` — 13% for
+//! `u = 16`, but 56% for `u = 4`, which is why the workflow only pads when
+//! `u > 4`.
+//!
+//! The pad value matters: the paper tested constant, linear and quadratic
+//! extrapolation and found linear best overall; all three are implemented for
+//! the ablation bench.
+
+use hqmr_grid::{Dims3, Field3};
+
+/// Extrapolation used for the padded layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PadKind {
+    /// Repeat the outermost layer.
+    Constant,
+    /// `2·f[n−1] − f[n−2]` (the paper's choice).
+    Linear,
+    /// `3·f[n−1] − 3·f[n−2] + f[n−3]`.
+    Quadratic,
+}
+
+impl PadKind {
+    /// Extrapolates from up to three trailing samples `(last, prev, prev2)`.
+    #[inline]
+    fn extrapolate(self, last: f32, prev: Option<f32>, prev2: Option<f32>) -> f32 {
+        match (self, prev, prev2) {
+            (PadKind::Constant, _, _) => last,
+            (PadKind::Linear, Some(p), _) => 2.0 * last - p,
+            (PadKind::Quadratic, Some(p), Some(p2)) => 3.0 * last - 3.0 * p + p2,
+            // Degenerate extents fall back to lower orders.
+            (PadKind::Quadratic, Some(p), None) => 2.0 * last - p,
+            (_, None, _) => last,
+        }
+    }
+}
+
+/// Pads the two small dimensions (`x`, `y`) of a merged array by one layer:
+/// `(nx, ny, nz) → (nx+1, ny+1, nz)`.
+///
+/// Each z-column belongs to a single unit block, so the extrapolation is
+/// block-local by construction. The corner column `(nx, ny, ·)` is
+/// extrapolated from the padded `x` layer along `y`.
+pub fn pad_small_dims(field: &Field3, kind: PadKind) -> Field3 {
+    let d = field.dims();
+    let pd = Dims3::new(d.nx + 1, d.ny + 1, d.nz);
+    let mut out = Field3::zeros(pd);
+    // Copy the original data.
+    for x in 0..d.nx {
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                out.set(x, y, z, field.get(x, y, z));
+            }
+        }
+    }
+    // Pad x = nx from the last two/three x layers.
+    for y in 0..d.ny {
+        for z in 0..d.nz {
+            let last = field.get(d.nx - 1, y, z);
+            let prev = (d.nx >= 2).then(|| field.get(d.nx - 2, y, z));
+            let prev2 = (d.nx >= 3).then(|| field.get(d.nx - 3, y, z));
+            out.set(d.nx, y, z, kind.extrapolate(last, prev, prev2));
+        }
+    }
+    // Pad y = ny over the extended x range (covers the corner).
+    for x in 0..pd.nx {
+        for z in 0..d.nz {
+            let last = out.get(x, d.ny - 1, z);
+            let prev = (d.ny >= 2).then(|| out.get(x, d.ny - 2, z));
+            let prev2 = (d.ny >= 3).then(|| out.get(x, d.ny - 3, z));
+            out.set(x, d.ny, z, kind.extrapolate(last, prev, prev2));
+        }
+    }
+    out
+}
+
+/// Drops the padded layers: `(nx+1, ny+1, nz) → (nx, ny, nz)`.
+///
+/// # Panics
+/// Panics if the field is too small to have been padded.
+pub fn strip_padding(field: &Field3) -> Field3 {
+    let d = field.dims();
+    assert!(d.nx >= 2 && d.ny >= 2, "field {d} cannot carry padding");
+    field.extract_box([0, 0, 0], Dims3::new(d.nx - 1, d.ny - 1, d.nz))
+}
+
+/// Size overhead of padding a `(u, u, ·)` merge: `(u+1)²/u²`.
+pub fn pad_overhead(unit: usize) -> f64 {
+    let u = unit as f64;
+    (u + 1.0) * (u + 1.0) / (u * u)
+}
+
+/// The workflow's padding policy: pad only when the overhead is worth it
+/// (`u > 4`, §III-A).
+pub fn should_pad(unit: usize) -> bool {
+    unit > 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(d: Dims3) -> Field3 {
+        Field3::from_fn(d, |x, y, z| (3 * x + 2 * y) as f32 + z as f32 * 0.5)
+    }
+
+    #[test]
+    fn pad_strip_roundtrip() {
+        let f = ramp(Dims3::new(8, 8, 24));
+        for kind in [PadKind::Constant, PadKind::Linear, PadKind::Quadratic] {
+            let p = pad_small_dims(&f, kind);
+            assert_eq!(p.dims(), Dims3::new(9, 9, 24));
+            assert_eq!(strip_padding(&p), f, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn linear_pad_extends_ramps_exactly() {
+        let f = ramp(Dims3::new(4, 4, 8));
+        let p = pad_small_dims(&f, PadKind::Linear);
+        // x-pad continues the slope-3 ramp.
+        assert_eq!(p.get(4, 2, 3), (3 * 4 + 2 * 2) as f32 + 1.5);
+        // y-pad continues slope 2, including the corner.
+        assert_eq!(p.get(2, 4, 0), (3 * 2 + 2 * 4) as f32);
+        assert_eq!(p.get(4, 4, 0), (3 * 4 + 2 * 4) as f32);
+    }
+
+    #[test]
+    fn quadratic_pad_extends_parabola_exactly() {
+        let f = Field3::from_fn(Dims3::new(5, 5, 2), |x, _, _| (x * x) as f32);
+        let p = pad_small_dims(&f, PadKind::Quadratic);
+        assert_eq!(p.get(5, 1, 0), 25.0);
+    }
+
+    #[test]
+    fn constant_pad_repeats_edge() {
+        let f = ramp(Dims3::new(3, 3, 2));
+        let p = pad_small_dims(&f, PadKind::Constant);
+        assert_eq!(p.get(3, 1, 1), f.get(2, 1, 1));
+        assert_eq!(p.get(1, 3, 1), f.get(1, 2, 1));
+    }
+
+    #[test]
+    fn degenerate_one_layer_field() {
+        let f = Field3::new(Dims3::new(1, 1, 4), 2.0);
+        for kind in [PadKind::Constant, PadKind::Linear, PadKind::Quadratic] {
+            let p = pad_small_dims(&f, kind);
+            assert_eq!(p.get(1, 0, 0), 2.0);
+            assert_eq!(p.get(1, 1, 3), 2.0);
+        }
+    }
+
+    #[test]
+    fn overhead_matches_paper_numbers() {
+        // §III-A: u = 4 ⇒ 56% overhead; the workflow pads only above that.
+        assert!((pad_overhead(4) - 1.5625).abs() < 1e-12);
+        assert!((pad_overhead(16) - 1.12890625).abs() < 1e-12);
+        assert!(!should_pad(4));
+        assert!(should_pad(8));
+        assert!(should_pad(16));
+    }
+
+    #[test]
+    fn padded_dims_are_interpolation_friendly() {
+        // u = 16 → 17 = 2^4 + 1: a full interpolation grid.
+        let f = ramp(Dims3::new(16, 16, 32));
+        let p = pad_small_dims(&f, PadKind::Linear);
+        assert_eq!(p.dims().nx, 17);
+        assert_eq!(p.dims().ny, 17);
+    }
+}

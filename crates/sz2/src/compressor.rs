@@ -1,0 +1,430 @@
+//! Block-wise compression engine (Lorenzo ∥ regression selection).
+
+use crate::Sz2Config;
+use hqmr_codec::{
+    huffman_decode, huffman_encode, pack_maybe_rle, read_uvarint, rle_decode, rle_encode, tag,
+    unpack_maybe_rle, write_uvarint, Container, ContainerError, LinearQuantizer, QuantOutcome,
+};
+use hqmr_grid::{BlockGrid, Dims3, Field3};
+
+const TAG_HEAD: u32 = tag(b"S2HD");
+const TAG_FLAGS: u32 = tag(b"FLGS");
+const TAG_COEFFS: u32 = tag(b"COEF");
+const TAG_CODES: u32 = tag(b"QNTC");
+const TAG_OUTLIERS: u32 = tag(b"UNPR");
+
+/// Decompression errors.
+#[derive(Debug)]
+pub enum Sz2Error {
+    /// Malformed container.
+    Container(ContainerError),
+    /// Header/payload inconsistency.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for Sz2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sz2Error::Container(e) => write!(f, "container error: {e}"),
+            Sz2Error::Malformed(m) => write!(f, "malformed sz2 stream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Sz2Error {}
+
+impl From<ContainerError> for Sz2Error {
+    fn from(e: ContainerError) -> Self {
+        Sz2Error::Container(e)
+    }
+}
+
+/// Output of [`compress`].
+#[derive(Debug, Clone)]
+pub struct CompressResult {
+    /// Serialized stream.
+    pub bytes: Vec<u8>,
+    /// Blocks that chose the Lorenzo predictor.
+    pub lorenzo_blocks: usize,
+    /// Blocks that chose the regression predictor.
+    pub regression_blocks: usize,
+    /// Out-of-band points.
+    pub outliers: usize,
+}
+
+impl CompressResult {
+    /// Compression ratio versus raw `f32`.
+    pub fn ratio(&self, n_points: usize) -> f64 {
+        (n_points * 4) as f64 / self.bytes.len() as f64
+    }
+}
+
+/// Fitted plane coefficients `v ≈ c0 + c1·x + c2·y + c3·z` (block-local coords).
+#[derive(Debug, Clone, Copy)]
+struct Plane {
+    c: [f32; 4],
+}
+
+impl Plane {
+    #[inline]
+    fn eval(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.c[0] as f64 + self.c[1] as f64 * x as f64 + self.c[2] as f64 * y as f64
+            + self.c[3] as f64 * z as f64
+    }
+}
+
+/// Least-squares plane fit over a block. The regular grid makes the normal
+/// equations diagonal after centring, so the fit is four running sums.
+fn fit_plane(field: &Field3, origin: [usize; 3], size: Dims3) -> Plane {
+    let n = size.len() as f64;
+    let mean_c = |e: usize| (e as f64 - 1.0) / 2.0;
+    let (mx, my, mz) = (mean_c(size.nx), mean_c(size.ny), mean_c(size.nz));
+    // var(axis) summed over the block = n/extent * Σ(i-mean)² etc.
+    let axis_var = |e: usize| -> f64 {
+        (0..e).map(|i| (i as f64 - mean_c(e)).powi(2)).sum::<f64>() * n / e as f64
+    };
+    let (vx, vy, vz) = (axis_var(size.nx), axis_var(size.ny), axis_var(size.nz));
+    let mut sum = 0.0f64;
+    let mut cx = 0.0f64;
+    let mut cy = 0.0f64;
+    let mut cz = 0.0f64;
+    for x in 0..size.nx {
+        for y in 0..size.ny {
+            for z in 0..size.nz {
+                let v = field.get(origin[0] + x, origin[1] + y, origin[2] + z) as f64;
+                sum += v;
+                cx += (x as f64 - mx) * v;
+                cy += (y as f64 - my) * v;
+                cz += (z as f64 - mz) * v;
+            }
+        }
+    }
+    let mean = sum / n;
+    let c1 = if vx > 0.0 { cx / vx } else { 0.0 };
+    let c2 = if vy > 0.0 { cy / vy } else { 0.0 };
+    let c3 = if vz > 0.0 { cz / vz } else { 0.0 };
+    let c0 = mean - c1 * mx - c2 * my - c3 * mz;
+    Plane { c: [c0 as f32, c1 as f32, c2 as f32, c3 as f32] }
+}
+
+/// 3-D first-order Lorenzo prediction from the reconstruction buffer.
+/// Out-of-domain neighbours read as 0 (SZ convention).
+#[inline]
+fn lorenzo(buf: &[f32], dims: Dims3, x: usize, y: usize, z: usize) -> f64 {
+    let at = |x: isize, y: isize, z: isize| -> f64 {
+        if x < 0 || y < 0 || z < 0 {
+            0.0
+        } else {
+            buf[dims.idx(x as usize, y as usize, z as usize)] as f64
+        }
+    };
+    let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+    at(xi - 1, yi, zi) + at(xi, yi - 1, zi) + at(xi, yi, zi - 1)
+        - at(xi - 1, yi - 1, zi)
+        - at(xi - 1, yi, zi - 1)
+        - at(xi, yi - 1, zi - 1)
+        + at(xi - 1, yi - 1, zi - 1)
+}
+
+/// Estimated absolute Lorenzo error over the block, computed on *original*
+/// data (SZ2's selection heuristic: cheap, no reconstruction dependency).
+fn estimate_lorenzo_err(field: &Field3, origin: [usize; 3], size: Dims3) -> f64 {
+    let d = field.dims();
+    let mut acc = 0.0f64;
+    for x in 0..size.nx {
+        for y in 0..size.ny {
+            for z in 0..size.nz {
+                let (gx, gy, gz) = (origin[0] + x, origin[1] + y, origin[2] + z);
+                let pred = lorenzo(field.data(), d, gx, gy, gz);
+                acc += (field.get(gx, gy, gz) as f64 - pred).abs();
+            }
+        }
+    }
+    acc
+}
+
+fn estimate_plane_err(field: &Field3, origin: [usize; 3], size: Dims3, plane: &Plane) -> f64 {
+    let mut acc = 0.0f64;
+    for x in 0..size.nx {
+        for y in 0..size.ny {
+            for z in 0..size.nz {
+                let v = field.get(origin[0] + x, origin[1] + y, origin[2] + z) as f64;
+                acc += (v - plane.eval(x, y, z)).abs();
+            }
+        }
+    }
+    acc
+}
+
+/// Quantizes `actual` against `pred`, pushing the code and maintaining the
+/// invariant that the returned value (stored in the reconstruction buffer)
+/// matches decompression bit-for-bit.
+#[inline]
+fn encode_point(
+    q: &LinearQuantizer,
+    actual: f32,
+    pred: f64,
+    codes: &mut Vec<u32>,
+    outliers: &mut Vec<f32>,
+) -> f32 {
+    match q.quantize(actual as f64, pred) {
+        QuantOutcome::Predicted { code, recon } => {
+            let r32 = recon as f32;
+            if (r32 as f64 - actual as f64).abs() <= q.eb() {
+                codes.push(code);
+                return r32;
+            }
+            codes.push(LinearQuantizer::UNPREDICTABLE);
+            outliers.push(actual);
+            actual
+        }
+        QuantOutcome::Unpredictable => {
+            codes.push(LinearQuantizer::UNPREDICTABLE);
+            outliers.push(actual);
+            actual
+        }
+    }
+}
+
+/// Compresses `field` under `cfg`. The absolute error bound holds pointwise.
+pub fn compress(field: &Field3, cfg: &Sz2Config) -> CompressResult {
+    let dims = field.dims();
+    let grid = BlockGrid::new(dims, cfg.block);
+    let q = LinearQuantizer::new(cfg.eb);
+
+    let mut recon = vec![0f32; dims.len()];
+    let mut codes: Vec<u32> = Vec::with_capacity(dims.len());
+    let mut outliers: Vec<f32> = Vec::new();
+    let mut flags: Vec<u8> = Vec::with_capacity(grid.num_blocks());
+    let mut coeffs: Vec<u8> = Vec::new();
+    let (mut n_lorenzo, mut n_regression) = (0usize, 0usize);
+
+    for blk in grid.iter() {
+        let plane = fit_plane(field, blk.origin, blk.size);
+        let use_regression = blk.size.len() >= 8 && {
+            let le = estimate_lorenzo_err(field, blk.origin, blk.size);
+            let pe = estimate_plane_err(field, blk.origin, blk.size, &plane);
+            pe < le
+        };
+        flags.push(use_regression as u8);
+        if use_regression {
+            n_regression += 1;
+            for c in plane.c {
+                coeffs.extend_from_slice(&c.to_le_bytes());
+            }
+            for x in 0..blk.size.nx {
+                for y in 0..blk.size.ny {
+                    for z in 0..blk.size.nz {
+                        let (gx, gy, gz) = (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
+                        let actual = field.get(gx, gy, gz);
+                        let pred = plane.eval(x, y, z);
+                        recon[dims.idx(gx, gy, gz)] =
+                            encode_point(&q, actual, pred, &mut codes, &mut outliers);
+                    }
+                }
+            }
+        } else {
+            n_lorenzo += 1;
+            for x in 0..blk.size.nx {
+                for y in 0..blk.size.ny {
+                    for z in 0..blk.size.nz {
+                        let (gx, gy, gz) = (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
+                        let actual = field.get(gx, gy, gz);
+                        let pred = lorenzo(&recon, dims, gx, gy, gz);
+                        recon[dims.idx(gx, gy, gz)] =
+                            encode_point(&q, actual, pred, &mut codes, &mut outliers);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut head = Vec::new();
+    write_uvarint(&mut head, dims.nx as u64);
+    write_uvarint(&mut head, dims.ny as u64);
+    write_uvarint(&mut head, dims.nz as u64);
+    write_uvarint(&mut head, cfg.block as u64);
+    head.extend_from_slice(&cfg.eb.to_le_bytes());
+
+    let mut out_bytes = Vec::with_capacity(outliers.len() * 4 + 8);
+    write_uvarint(&mut out_bytes, outliers.len() as u64);
+    for v in &outliers {
+        out_bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    let mut c = Container::new();
+    c.push(TAG_HEAD, head);
+    c.push(TAG_FLAGS, rle_encode(&flags));
+    c.push(TAG_COEFFS, coeffs);
+    c.push(TAG_CODES, pack_maybe_rle(&huffman_encode(&codes)));
+    c.push(TAG_OUTLIERS, out_bytes);
+    CompressResult {
+        bytes: c.to_bytes(),
+        lorenzo_blocks: n_lorenzo,
+        regression_blocks: n_regression,
+        outliers: outliers.len(),
+    }
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz2Error> {
+    let c = Container::from_bytes(bytes)?;
+    let head = c.require(TAG_HEAD)?;
+    let mut pos = 0usize;
+    let nx = read_uvarint(head, &mut pos).ok_or(Sz2Error::Malformed("dims"))? as usize;
+    let ny = read_uvarint(head, &mut pos).ok_or(Sz2Error::Malformed("dims"))? as usize;
+    let nz = read_uvarint(head, &mut pos).ok_or(Sz2Error::Malformed("dims"))? as usize;
+    let block = read_uvarint(head, &mut pos).ok_or(Sz2Error::Malformed("block"))? as usize;
+    if block < 2 {
+        return Err(Sz2Error::Malformed("block size"));
+    }
+    let tail = head.get(pos..pos + 8).ok_or(Sz2Error::Malformed("eb"))?;
+    let eb = f64::from_le_bytes(tail.try_into().unwrap());
+    if !(eb.is_finite() && eb > 0.0) {
+        return Err(Sz2Error::Malformed("eb"));
+    }
+    let dims = Dims3::new(nx, ny, nz);
+    let grid = BlockGrid::new(dims, block);
+    let q = LinearQuantizer::new(eb);
+
+    let flags = rle_decode(c.require(TAG_FLAGS)?).ok_or(Sz2Error::Malformed("flags"))?;
+    if flags.len() != grid.num_blocks() {
+        return Err(Sz2Error::Malformed("flag count"));
+    }
+    let coeff_bytes = c.require(TAG_COEFFS)?;
+    let n_reg = flags.iter().filter(|&&f| f == 1).count();
+    if coeff_bytes.len() != n_reg * 16 {
+        return Err(Sz2Error::Malformed("coefficient payload"));
+    }
+    let packed = unpack_maybe_rle(c.require(TAG_CODES)?).ok_or(Sz2Error::Malformed("codes"))?;
+    let codes = huffman_decode(&packed).ok_or(Sz2Error::Malformed("codes"))?;
+    if codes.len() != dims.len() {
+        return Err(Sz2Error::Malformed("code count"));
+    }
+    let out_bytes = c.require(TAG_OUTLIERS)?;
+    let mut opos = 0usize;
+    let n_out = read_uvarint(out_bytes, &mut opos).ok_or(Sz2Error::Malformed("outliers"))? as usize;
+    let payload = out_bytes
+        .get(opos..opos + n_out * 4)
+        .ok_or(Sz2Error::Malformed("outlier payload"))?;
+    let outliers: Vec<f32> = payload
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect();
+
+    let mut recon = vec![0f32; dims.len()];
+    let mut code_it = codes.iter();
+    let mut out_it = outliers.iter();
+    let mut coeff_it = coeff_bytes.chunks_exact(16);
+    let mut underrun = false;
+    let mut decode_point = |pred: f64, recon_cell: &mut f32| {
+        let Some(&code) = code_it.next() else {
+            underrun = true;
+            return;
+        };
+        *recon_cell = if code == LinearQuantizer::UNPREDICTABLE {
+            match out_it.next() {
+                Some(&v) => v,
+                None => {
+                    underrun = true;
+                    0.0
+                }
+            }
+        } else {
+            q.recover(code, pred) as f32
+        };
+    };
+
+    for (bi, blk) in grid.iter().enumerate() {
+        if flags[bi] == 1 {
+            let cb = coeff_it.next().ok_or(Sz2Error::Malformed("coefficients"))?;
+            let plane = Plane {
+                c: [
+                    f32::from_le_bytes(cb[0..4].try_into().unwrap()),
+                    f32::from_le_bytes(cb[4..8].try_into().unwrap()),
+                    f32::from_le_bytes(cb[8..12].try_into().unwrap()),
+                    f32::from_le_bytes(cb[12..16].try_into().unwrap()),
+                ],
+            };
+            for x in 0..blk.size.nx {
+                for y in 0..blk.size.ny {
+                    for z in 0..blk.size.nz {
+                        let idx =
+                            dims.idx(blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
+                        let pred = plane.eval(x, y, z);
+                        let mut cell = 0f32;
+                        decode_point(pred, &mut cell);
+                        recon[idx] = cell;
+                    }
+                }
+            }
+        } else {
+            for x in 0..blk.size.nx {
+                for y in 0..blk.size.ny {
+                    for z in 0..blk.size.nz {
+                        let (gx, gy, gz) =
+                            (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
+                        let pred = lorenzo(&recon, dims, gx, gy, gz);
+                        let mut cell = 0f32;
+                        decode_point(pred, &mut cell);
+                        recon[dims.idx(gx, gy, gz)] = cell;
+                    }
+                }
+            }
+        }
+    }
+    if underrun {
+        return Err(Sz2Error::Malformed("stream underrun"));
+    }
+    Ok(Field3::from_vec(dims, recon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_fit_recovers_exact_plane() {
+        let f = Field3::from_fn(Dims3::cube(6), |x, y, z| {
+            2.0 + 1.5 * x as f32 - 0.5 * y as f32 + 0.25 * z as f32
+        });
+        let p = fit_plane(&f, [0, 0, 0], Dims3::cube(6));
+        assert!((p.c[0] - 2.0).abs() < 1e-4);
+        assert!((p.c[1] - 1.5).abs() < 1e-5);
+        assert!((p.c[2] + 0.5).abs() < 1e-5);
+        assert!((p.c[3] - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn plane_fit_degenerate_axis() {
+        // A 1-thick block cannot constrain its axis slope; fit must not NaN.
+        let f = Field3::from_fn(Dims3::new(1, 4, 4), |_, y, z| (y + z) as f32);
+        let p = fit_plane(&f, [0, 0, 0], Dims3::new(1, 4, 4));
+        assert!(p.c.iter().all(|c| c.is_finite()));
+        assert!((p.eval(0, 1, 2) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lorenzo_constant_field_is_exact() {
+        let dims = Dims3::cube(4);
+        let buf = vec![5.0f32; dims.len()];
+        // Interior point: Lorenzo of a constant field returns the constant.
+        assert!((lorenzo(&buf, dims, 2, 2, 2) - 5.0).abs() < 1e-12);
+        // Corner point: all neighbours out of domain => 0.
+        assert_eq!(lorenzo(&buf, dims, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn lorenzo_linear_field_is_exact_interior() {
+        let dims = Dims3::cube(5);
+        let f = Field3::from_fn(dims, |x, y, z| (3 * x + 2 * y + z) as f32);
+        for x in 1..5 {
+            for y in 1..5 {
+                for z in 1..5 {
+                    let pred = lorenzo(f.data(), dims, x, y, z);
+                    assert!((pred - f.get(x, y, z) as f64).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

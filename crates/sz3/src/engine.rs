@@ -1,0 +1,278 @@
+//! Level-wise interpolation traversal shared by compression and decompression.
+//!
+//! The traversal is the contract between the two directions: both must visit
+//! the same points in the same order with the same predictions, so it lives in
+//! one function parameterized by a visitor closure.
+
+use hqmr_grid::Dims3;
+
+/// Interpolator choice for interior points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpKind {
+    /// Two-point midpoint prediction.
+    Linear,
+    /// Four-point cubic (weights −1/16, 9/16, 9/16, −1/16), falling back to
+    /// linear near boundaries. SZ3's default.
+    Cubic,
+}
+
+/// How a point was predicted (for diagnostics and the Fig. 7/8 experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredKind {
+    /// The global first point, predicted from 0.
+    Seed,
+    /// Two-sided linear interpolation.
+    Midpoint,
+    /// Four-point cubic interpolation.
+    Cubic,
+    /// One-sided fallback: the `+stride` neighbour does not exist (the
+    /// pathology the paper's padding eliminates).
+    Extrapolated,
+}
+
+/// Prediction-kind counters accumulated over a traversal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Seed points (always 1 for non-empty arrays).
+    pub seeds: usize,
+    /// Midpoint-predicted points.
+    pub midpoint: usize,
+    /// Cubic-predicted points.
+    pub cubic: usize,
+    /// Extrapolated points (sub-optimal predictions).
+    pub extrapolated: usize,
+}
+
+impl InterpStats {
+    /// Total points visited.
+    pub fn total(&self) -> usize {
+        self.seeds + self.midpoint + self.cubic + self.extrapolated
+    }
+}
+
+/// Number of interpolation levels for a largest extent of `n`:
+/// `ceil(log2(n))` (0 when the array is a single point).
+pub fn interp_levels(n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// Predicts the point at line position `p` (an odd multiple of `s`) from its
+/// already-known neighbours at multiples of `2s`.
+#[inline]
+fn predict(
+    buf: &[f32],
+    base: usize,
+    stride_elems: usize,
+    n: usize,
+    p: usize,
+    s: usize,
+    interp: InterpKind,
+) -> (f64, PredKind) {
+    let at = |q: usize| buf[base + q * stride_elems] as f64;
+    let prev = at(p - s);
+    if p + s >= n {
+        // One-sided fallback: the point "depends solely" on its predecessor
+        // (the paper's Fig. 7 description of SZ3's behaviour — d1 extrapolates
+        // d5, d5 extrapolates d7). This limited accuracy is precisely what
+        // padding (Improvement 1) removes.
+        return (prev, PredKind::Extrapolated);
+    }
+    let next = at(p + s);
+    if interp == InterpKind::Cubic && p >= 3 * s && p + 3 * s < n {
+        let pred = (-at(p - 3 * s) + 9.0 * prev + 9.0 * next - at(p + 3 * s)) / 16.0;
+        return (pred, PredKind::Cubic);
+    }
+    ((prev + next) / 2.0, PredKind::Midpoint)
+}
+
+/// Runs the full coarse→fine traversal over `buf` (row-major, `dims`).
+///
+/// For every visited point, `visit(l, idx, cur, pred, kind)` is called with
+/// the 1-based processing step `l` (1 = coarsest), the linear index, the
+/// current buffer value and the prediction; its return value is stored back
+/// into the buffer. Compression passes original data in `buf` and returns
+/// reconstructions; decompression passes zeros and returns decoded values.
+///
+/// Returns the prediction-kind statistics.
+pub(crate) fn traverse(
+    dims: Dims3,
+    interp: InterpKind,
+    buf: &mut [f32],
+    mut visit: impl FnMut(usize, usize, f32, f64, PredKind) -> f32,
+) -> InterpStats {
+    assert_eq!(buf.len(), dims.len(), "buffer does not match {dims}");
+    let mut stats = InterpStats::default();
+    if buf.is_empty() {
+        return stats;
+    }
+    let maxlevel = interp_levels(dims.max_extent());
+    // Seed: the global first point, predicted from 0 ("level 0" in the paper).
+    buf[0] = visit(1, 0, buf[0], 0.0, PredKind::Seed);
+    stats.seeds += 1;
+
+    let strides = [dims.ny * dims.nz, dims.nz, 1usize];
+    let extents = dims.as_array();
+
+    for (step, level) in (1..=maxlevel).rev().enumerate() {
+        let l_proc = step + 1;
+        let s = 1usize << (level - 1);
+        for d in 0..3 {
+            let n_d = extents[d];
+            if s >= n_d {
+                continue; // no odd multiples of s inside this extent
+            }
+            // Other dims: already-processed dims this level use step `s`,
+            // not-yet-processed use `2s`.
+            let (o1, o2) = match d {
+                0 => (1, 2),
+                1 => (0, 2),
+                _ => (0, 1),
+            };
+            let step1 = if o1 < d { s } else { 2 * s };
+            let step2 = if o2 < d { s } else { 2 * s };
+            let mut c1 = 0usize;
+            while c1 < extents[o1] {
+                let mut c2 = 0usize;
+                while c2 < extents[o2] {
+                    let base = c1 * strides[o1] + c2 * strides[o2];
+                    let mut p = s;
+                    while p < n_d {
+                        let (pred, kind) = predict(buf, base, strides[d], n_d, p, s, interp);
+                        let idx = base + p * strides[d];
+                        buf[idx] = visit(l_proc, idx, buf[idx], pred, kind);
+                        match kind {
+                            PredKind::Midpoint => stats.midpoint += 1,
+                            PredKind::Cubic => stats.cubic += 1,
+                            PredKind::Extrapolated => stats.extrapolated += 1,
+                            PredKind::Seed => unreachable!(),
+                        }
+                        p += 2 * s;
+                    }
+                    c2 += step2;
+                }
+                c1 += step1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_visits(dims: Dims3) -> (Vec<u32>, InterpStats) {
+        let mut buf = vec![0f32; dims.len()];
+        let mut visits = vec![0u32; dims.len()];
+        let stats = traverse(dims, InterpKind::Linear, &mut buf, |_, idx, cur, _, _| {
+            visits[idx] += 1;
+            cur
+        });
+        (visits, stats)
+    }
+
+    #[test]
+    fn levels_formula() {
+        assert_eq!(interp_levels(1), 0);
+        assert_eq!(interp_levels(2), 1);
+        assert_eq!(interp_levels(8), 3);
+        assert_eq!(interp_levels(9), 4);
+        assert_eq!(interp_levels(17), 5);
+        assert_eq!(interp_levels(512), 9);
+    }
+
+    #[test]
+    fn every_cell_visited_exactly_once() {
+        for dims in [
+            Dims3::cube(8),
+            Dims3::cube(9),
+            Dims3::new(17, 17, 64),
+            Dims3::new(1, 1, 8),
+            Dims3::new(5, 3, 7),
+            Dims3::new(1, 1, 1),
+            Dims3::new(2, 1, 1),
+        ] {
+            let (visits, stats) = count_visits(dims);
+            assert!(visits.iter().all(|&v| v == 1), "dims {dims}");
+            assert_eq!(stats.total(), dims.len(), "dims {dims}");
+        }
+    }
+
+    /// Fig. 7: an 8-point line suffers inner extrapolations; Fig. 8: padding to
+    /// 9 points leaves only the single outer extrapolation.
+    #[test]
+    fn padding_eliminates_inner_extrapolation() {
+        let (_, s8) = count_visits(Dims3::new(1, 1, 8));
+        let (_, s9) = count_visits(Dims3::new(1, 1, 9));
+        // n=8: p=4 (stride 4), p=6 (stride 2), p=7 (stride 1) extrapolate.
+        assert_eq!(s8.extrapolated, 3);
+        // n=9: only the outer point p=8 (stride 8) extrapolates.
+        assert_eq!(s9.extrapolated, 1);
+    }
+
+    #[test]
+    fn padded_merge_shape_has_fewer_extrapolations_per_point() {
+        // A 16³ block vs its 17³ padded version (per Improvement 1, the gain
+        // holds in 3-D too).
+        let (_, raw) = count_visits(Dims3::cube(16));
+        let (_, pad) = count_visits(Dims3::cube(17));
+        let raw_frac = raw.extrapolated as f64 / raw.total() as f64;
+        let pad_frac = pad.extrapolated as f64 / pad.total() as f64;
+        assert!(
+            pad_frac < raw_frac / 4.0,
+            "padded {pad_frac:.4} vs raw {raw_frac:.4}"
+        );
+    }
+
+    #[test]
+    fn predictors_only_use_known_points() {
+        // Fill with NaN; the visitor replaces each visited cell with a real
+        // value. Any prediction touching an unvisited cell would go NaN.
+        let dims = Dims3::new(6, 10, 33);
+        let mut buf = vec![f32::NAN; dims.len()];
+        traverse(dims, InterpKind::Cubic, &mut buf, |_, _, _, pred, kind| {
+            if kind != PredKind::Seed {
+                assert!(pred.is_finite(), "prediction consumed an unknown point");
+            }
+            1.0
+        });
+        assert!(buf.iter().all(|v| *v == 1.0));
+    }
+
+    #[test]
+    fn linear_ramp_predicts_exactly_inside() {
+        // On a perfectly linear field, midpoint & cubic predictions are exact;
+        // passing the true values straight through must keep every interior
+        // prediction error at zero.
+        let dims = Dims3::new(1, 1, 9);
+        let mut buf: Vec<f32> = (0..9).map(|z| z as f32).collect();
+        let mut max_err = 0f64;
+        traverse(dims, InterpKind::Cubic, &mut buf, |_, _, cur, pred, kind| {
+            if matches!(kind, PredKind::Midpoint | PredKind::Cubic) {
+                max_err = max_err.max((pred - cur as f64).abs());
+            }
+            cur
+        });
+        assert!(max_err < 1e-12, "max interior error {max_err}");
+    }
+
+    #[test]
+    fn seed_gets_coarsest_level_number() {
+        let dims = Dims3::cube(8);
+        let mut buf = vec![0f32; dims.len()];
+        let mut seed_level = 0usize;
+        let mut max_level = 0usize;
+        traverse(dims, InterpKind::Linear, &mut buf, |l, _, cur, _, kind| {
+            if kind == PredKind::Seed {
+                seed_level = l;
+            }
+            max_level = max_level.max(l);
+            cur
+        });
+        assert_eq!(seed_level, 1);
+        assert_eq!(max_level, interp_levels(8));
+    }
+}

@@ -1,0 +1,342 @@
+//! Serialization: SZ3 bitstream = container{ header, Huffman codes, outliers }.
+
+use crate::engine::{interp_levels, traverse, InterpKind, InterpStats, PredKind};
+use crate::{LevelEbPolicy, Sz3Config};
+use hqmr_codec::{
+    huffman_decode, huffman_encode, pack_maybe_rle, read_uvarint, tag, unpack_maybe_rle,
+    write_uvarint, Container, ContainerError, LinearQuantizer, QuantOutcome,
+};
+use hqmr_grid::{Dims3, Field3};
+
+const TAG_HEAD: u32 = tag(b"S3HD");
+const TAG_CODES: u32 = tag(b"QNTC");
+const TAG_OUTLIERS: u32 = tag(b"UNPR");
+
+/// Decompression errors.
+#[derive(Debug)]
+pub enum Sz3Error {
+    /// Malformed container.
+    Container(ContainerError),
+    /// Header/payload inconsistency.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for Sz3Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sz3Error::Container(e) => write!(f, "container error: {e}"),
+            Sz3Error::Malformed(m) => write!(f, "malformed sz3 stream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Sz3Error {}
+
+impl From<ContainerError> for Sz3Error {
+    fn from(e: ContainerError) -> Self {
+        Sz3Error::Container(e)
+    }
+}
+
+/// Output of [`compress`].
+#[derive(Debug, Clone)]
+pub struct CompressResult {
+    /// Serialized stream (self-describing; feed to [`decompress`]).
+    pub bytes: Vec<u8>,
+    /// Prediction-kind statistics (Fig. 7/8 diagnostics).
+    pub stats: InterpStats,
+    /// Number of out-of-band (unpredictable) points.
+    pub outliers: usize,
+}
+
+impl CompressResult {
+    /// Compression ratio versus raw `f32` storage.
+    pub fn ratio(&self, n_points: usize) -> f64 {
+        (n_points * 4) as f64 / self.bytes.len() as f64
+    }
+}
+
+/// Builds per-processing-step quantizers (index 0 unused; 1..=maxlevel).
+fn level_quantizers(cfg: &Sz3Config, maxlevel: usize) -> Vec<LinearQuantizer> {
+    let policy = cfg.level_eb;
+    (0..=maxlevel.max(1))
+        .map(|l| {
+            let eb = match (l, policy) {
+                (0, _) => cfg.eb, // placeholder, never used
+                (_, Some(p)) => p.eb_for_level(cfg.eb, l, maxlevel.max(1)),
+                (_, None) => cfg.eb,
+            };
+            LinearQuantizer::new(eb)
+        })
+        .collect()
+}
+
+/// Compresses `field` under `cfg`.
+///
+/// The error bound is *absolute*: every reconstructed value differs from the
+/// original by at most `cfg.eb` (adaptive per-level bounds only tighten it).
+pub fn compress(field: &Field3, cfg: &Sz3Config) -> CompressResult {
+    let dims = field.dims();
+    let maxlevel = interp_levels(dims.max_extent());
+    let quants = level_quantizers(cfg, maxlevel);
+
+    let mut buf = field.data().to_vec();
+    let mut codes: Vec<u32> = Vec::with_capacity(buf.len());
+    let mut outliers: Vec<f32> = Vec::new();
+
+    let stats = traverse(dims, cfg.interp, &mut buf, |l, _idx, cur, pred, _kind| {
+        let q = &quants[l];
+        match q.quantize(cur as f64, pred) {
+            QuantOutcome::Predicted { code, recon } => {
+                let r32 = recon as f32;
+                // Re-check at f32 precision (the stored type).
+                if (r32 as f64 - cur as f64).abs() <= q.eb() {
+                    codes.push(code);
+                    return r32;
+                }
+                codes.push(LinearQuantizer::UNPREDICTABLE);
+                outliers.push(cur);
+                cur
+            }
+            QuantOutcome::Unpredictable => {
+                codes.push(LinearQuantizer::UNPREDICTABLE);
+                outliers.push(cur);
+                cur
+            }
+        }
+    });
+
+    let mut head = Vec::new();
+    write_uvarint(&mut head, dims.nx as u64);
+    write_uvarint(&mut head, dims.ny as u64);
+    write_uvarint(&mut head, dims.nz as u64);
+    head.extend_from_slice(&cfg.eb.to_le_bytes());
+    head.push(match cfg.interp {
+        InterpKind::Linear => 0,
+        InterpKind::Cubic => 1,
+    });
+    match cfg.level_eb {
+        None => head.push(0),
+        Some(p) => {
+            head.push(1);
+            head.extend_from_slice(&p.alpha.to_le_bytes());
+            head.extend_from_slice(&p.beta.to_le_bytes());
+        }
+    }
+
+    let mut out_bytes = Vec::with_capacity(outliers.len() * 4 + 8);
+    write_uvarint(&mut out_bytes, outliers.len() as u64);
+    for v in &outliers {
+        out_bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    let mut c = Container::new();
+    c.push(TAG_HEAD, head);
+    c.push(TAG_CODES, pack_maybe_rle(&huffman_encode(&codes)));
+    c.push(TAG_OUTLIERS, out_bytes);
+    CompressResult { bytes: c.to_bytes(), stats, outliers: outliers.len() }
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz3Error> {
+    let c = Container::from_bytes(bytes)?;
+    let head = c.require(TAG_HEAD)?;
+    let mut pos = 0usize;
+    let nx = read_uvarint(head, &mut pos).ok_or(Sz3Error::Malformed("dims"))? as usize;
+    let ny = read_uvarint(head, &mut pos).ok_or(Sz3Error::Malformed("dims"))? as usize;
+    let nz = read_uvarint(head, &mut pos).ok_or(Sz3Error::Malformed("dims"))? as usize;
+    let dims = Dims3::new(nx, ny, nz);
+    let fixed = head.get(pos..).ok_or(Sz3Error::Malformed("header tail"))?;
+    if fixed.len() < 10 {
+        return Err(Sz3Error::Malformed("header tail"));
+    }
+    let eb = f64::from_le_bytes(fixed[0..8].try_into().unwrap());
+    let interp = match fixed[8] {
+        0 => InterpKind::Linear,
+        1 => InterpKind::Cubic,
+        _ => return Err(Sz3Error::Malformed("interp kind")),
+    };
+    let level_eb = match fixed[9] {
+        0 => None,
+        1 => {
+            if fixed.len() < 26 {
+                return Err(Sz3Error::Malformed("level-eb params"));
+            }
+            Some(LevelEbPolicy {
+                alpha: f64::from_le_bytes(fixed[10..18].try_into().unwrap()),
+                beta: f64::from_le_bytes(fixed[18..26].try_into().unwrap()),
+            })
+        }
+        _ => return Err(Sz3Error::Malformed("level-eb flag")),
+    };
+    let cfg = Sz3Config { eb, interp, level_eb };
+
+    let packed = unpack_maybe_rle(c.require(TAG_CODES)?).ok_or(Sz3Error::Malformed("codes"))?;
+    let codes = huffman_decode(&packed).ok_or(Sz3Error::Malformed("codes"))?;
+    if codes.len() != dims.len() {
+        return Err(Sz3Error::Malformed("code count"));
+    }
+    let out_bytes = c.require(TAG_OUTLIERS)?;
+    let mut pos = 0usize;
+    let n_out = read_uvarint(out_bytes, &mut pos).ok_or(Sz3Error::Malformed("outliers"))? as usize;
+    let payload = out_bytes
+        .get(pos..pos + n_out * 4)
+        .ok_or(Sz3Error::Malformed("outlier payload"))?;
+    let outliers: Vec<f32> = payload
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect();
+
+    let maxlevel = interp_levels(dims.max_extent());
+    let quants = level_quantizers(&cfg, maxlevel);
+    let mut buf = vec![0f32; dims.len()];
+    let mut code_it = codes.iter();
+    let mut out_it = outliers.iter();
+    let mut missing = false;
+    traverse(dims, cfg.interp, &mut buf, |l, _idx, _cur, pred, _kind: PredKind| {
+        let Some(&code) = code_it.next() else {
+            missing = true;
+            return 0.0;
+        };
+        if code == LinearQuantizer::UNPREDICTABLE {
+            match out_it.next() {
+                Some(&v) => v,
+                None => {
+                    missing = true;
+                    0.0
+                }
+            }
+        } else {
+            quants[l].recover(code, pred) as f32
+        }
+    });
+    if missing {
+        return Err(Sz3Error::Malformed("stream underrun"));
+    }
+    Ok(Field3::from_vec(dims, buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &Field3, b: &Field3) -> f64 {
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| (x as f64 - y as f64).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn wavy(dims: Dims3) -> Field3 {
+        Field3::from_fn(dims, |x, y, z| {
+            ((x as f32 * 0.2).sin() + (y as f32 * 0.15).cos()) * 3.0 + (z as f32 * 0.1).sin()
+        })
+    }
+
+    #[test]
+    fn roundtrip_respects_bound() {
+        let f = wavy(Dims3::new(16, 16, 16));
+        for eb in [1e-1, 1e-2, 1e-3] {
+            let r = compress(&f, &Sz3Config::new(eb));
+            let g = decompress(&r.bytes).unwrap();
+            assert_eq!(g.dims(), f.dims());
+            let e = max_err(&f, &g);
+            assert!(e <= eb + 1e-12, "eb={eb}, err={e}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_level_eb_respects_bound() {
+        let f = wavy(Dims3::new(17, 17, 64));
+        let cfg = Sz3Config::new(0.05).with_level_eb(LevelEbPolicy::PAPER);
+        let r = compress(&f, &cfg);
+        let g = decompress(&r.bytes).unwrap();
+        assert!(max_err(&f, &g) <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let f = wavy(Dims3::cube(32));
+        let r = compress(&f, &Sz3Config::new(1e-2));
+        let cr = r.ratio(f.len());
+        assert!(cr > 8.0, "cr = {cr}");
+    }
+
+    #[test]
+    fn constant_field_is_tiny() {
+        let f = Field3::new(Dims3::cube(32), 7.0);
+        let r = compress(&f, &Sz3Config::new(1e-3));
+        assert!(r.ratio(f.len()) > 100.0);
+        let g = decompress(&r.bytes).unwrap();
+        assert!(max_err(&f, &g) <= 1e-3);
+    }
+
+    #[test]
+    fn random_noise_still_bounded() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let dims = Dims3::new(9, 8, 10);
+        let f = Field3::from_fn(dims, |_, _, _| rng.gen_range(-100.0..100.0));
+        let r = compress(&f, &Sz3Config::new(0.5));
+        let g = decompress(&r.bytes).unwrap();
+        assert!(max_err(&f, &g) <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn outliers_handled_exactly() {
+        // A field with one extreme spike: spike must come back exactly
+        // (outlier path) and everything else stays bounded.
+        let mut f = Field3::new(Dims3::cube(8), 1.0);
+        f.set(3, 3, 3, 1e30);
+        let r = compress(&f, &Sz3Config::new(1e-4));
+        assert!(r.outliers >= 1);
+        let g = decompress(&r.bytes).unwrap();
+        assert!(max_err(&f, &g) <= 1e-4);
+        assert_eq!(g.get(3, 3, 3), 1e30);
+    }
+
+    #[test]
+    fn degenerate_shapes_roundtrip() {
+        for dims in [Dims3::new(1, 1, 1), Dims3::new(1, 1, 17), Dims3::new(2, 1, 3)] {
+            let f = wavy(dims);
+            let r = compress(&f, &Sz3Config::new(1e-3));
+            let g = decompress(&r.bytes).unwrap();
+            assert!(max_err(&f, &g) <= 1e-3, "dims {dims}");
+        }
+    }
+
+    #[test]
+    fn linear_beats_nothing_cubic_beats_linear_on_smooth() {
+        let f = wavy(Dims3::cube(32));
+        let lin = compress(&f, &Sz3Config::new(1e-3).with_interp(InterpKind::Linear));
+        let cub = compress(&f, &Sz3Config::new(1e-3).with_interp(InterpKind::Cubic));
+        assert!(
+            cub.bytes.len() as f64 <= lin.bytes.len() as f64 * 1.05,
+            "cubic {} vs linear {}",
+            cub.bytes.len(),
+            lin.bytes.len()
+        );
+    }
+
+    #[test]
+    fn corrupted_stream_is_rejected() {
+        let f = wavy(Dims3::cube(8));
+        let r = compress(&f, &Sz3Config::new(1e-2));
+        let mut bad = r.bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(decompress(&bad).is_err());
+        assert!(decompress(&bad[..10]).is_err());
+    }
+
+    #[test]
+    fn header_roundtrips_config() {
+        let f = wavy(Dims3::cube(8));
+        let cfg = Sz3Config::new(0.01).with_level_eb(LevelEbPolicy { alpha: 3.0, beta: 5.0 });
+        let r = compress(&f, &cfg);
+        // Decompress succeeds and respects the tightest bound implied.
+        let g = decompress(&r.bytes).unwrap();
+        assert!(max_err(&f, &g) <= 0.01);
+    }
+}

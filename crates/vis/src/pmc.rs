@@ -1,0 +1,252 @@
+//! Probabilistic marching cubes for compression uncertainty (§III-C).
+//!
+//! Decompressed data is modelled as uncertain: each voxel carries a Gaussian
+//! `N(d̂, σ²)` whose parameters come from the compression-error samples the
+//! workflow already collects (§III-C "reusing the information"). The
+//! probability that the isosurface crosses a cell is
+//!
+//! `P(cross) = 1 − P(all corners ≥ iso) − P(all corners < iso)`.
+//!
+//! With independent corners both terms are products of per-corner normal
+//! CDFs (the closed form below); the Monte-Carlo variant adds a shared
+//! correlation term, following Pöthkow et al.'s correlated model.
+
+use hqmr_grid::{Dims3, Field3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// PMC evaluation settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmcConfig {
+    /// Isovalue.
+    pub iso: f32,
+    /// Error standard deviation (uniform; from the sampled error model).
+    pub sigma: f64,
+    /// Error mean (usually ≈ 0 for error-bounded compressors).
+    pub mean: f64,
+    /// `None` ⇒ closed-form independent model; `Some((rho, samples, seed))`
+    /// ⇒ Monte Carlo with inter-corner correlation `rho`.
+    pub monte_carlo: Option<(f64, usize, u64)>,
+}
+
+impl PmcConfig {
+    /// Independent-Gaussian closed form.
+    pub fn independent(iso: f32, mean: f64, sigma: f64) -> Self {
+        PmcConfig { iso, sigma, mean, monte_carlo: None }
+    }
+
+    /// Monte-Carlo with shared correlation `rho` across the cell's corners.
+    pub fn correlated(iso: f32, mean: f64, sigma: f64, rho: f64, samples: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho must be in [0,1]");
+        PmcConfig { iso, sigma, mean, monte_carlo: Some((rho, samples, seed)) }
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (|ε| < 1.5·10⁻⁷ — far below the probabilities visualized).
+pub fn gaussian_cdf(x: f64) -> f64 {
+    let z = x / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(z))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+const CORNERS: [(usize, usize, usize); 8] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (0, 1, 0),
+    (1, 1, 0),
+    (0, 0, 1),
+    (1, 0, 1),
+    (0, 1, 1),
+    (1, 1, 1),
+];
+
+/// Computes the per-cell crossing probability field (cell grid dims returned
+/// alongside). Probabilities are in `[0, 1]`.
+pub fn crossing_probability_field(field: &Field3, cfg: &PmcConfig) -> (Dims3, Vec<f32>) {
+    let d = field.dims();
+    let cd = Dims3::new(d.nx.saturating_sub(1), d.ny.saturating_sub(1), d.nz.saturating_sub(1));
+    if cd.is_empty() {
+        return (cd, Vec::new());
+    }
+    let sigma = cfg.sigma.max(1e-300);
+    let mut out = vec![0f32; cd.len()];
+    match cfg.monte_carlo {
+        None => {
+            out.par_chunks_mut(cd.ny * cd.nz).enumerate().for_each(|(x, slab)| {
+                for y in 0..cd.ny {
+                    for z in 0..cd.nz {
+                        // P(corner < iso) per corner; independence ⇒ products.
+                        let mut p_all_below = 1.0f64;
+                        let mut p_all_above = 1.0f64;
+                        for (dx, dy, dz) in CORNERS {
+                            let mu = field.get(x + dx, y + dy, z + dz) as f64 + cfg.mean;
+                            let p_below = gaussian_cdf((cfg.iso as f64 - mu) / sigma);
+                            p_all_below *= p_below;
+                            p_all_above *= 1.0 - p_below;
+                        }
+                        slab[y * cd.nz + z] =
+                            (1.0 - p_all_below - p_all_above).clamp(0.0, 1.0) as f32;
+                    }
+                }
+            });
+        }
+        Some((rho, samples, seed)) => {
+            let sr = rho.sqrt();
+            let si = (1.0 - rho).sqrt();
+            out.par_chunks_mut(cd.ny * cd.nz).enumerate().for_each(|(x, slab)| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (x as u64).wrapping_mul(0x9E37));
+                let mut normal = move || {
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                };
+                for y in 0..cd.ny {
+                    for z in 0..cd.nz {
+                        let mus: [f64; 8] = std::array::from_fn(|i| {
+                            let (dx, dy, dz) = CORNERS[i];
+                            field.get(x + dx, y + dy, z + dz) as f64 + cfg.mean
+                        });
+                        let mut crossings = 0usize;
+                        for _ in 0..samples {
+                            let shared = normal();
+                            let mut above = false;
+                            let mut below = false;
+                            for mu in mus {
+                                let v = mu + sigma * (sr * shared + si * normal());
+                                if v >= cfg.iso as f64 {
+                                    above = true;
+                                } else {
+                                    below = true;
+                                }
+                            }
+                            if above && below {
+                                crossings += 1;
+                            }
+                        }
+                        slab[y * cd.nz + z] = crossings as f32 / samples as f32;
+                    }
+                }
+            });
+        }
+    }
+    (cd, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_values() {
+        assert!((gaussian_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((gaussian_cdf(1.0) - 0.841_344_7).abs() < 1e-6);
+        assert!((gaussian_cdf(-1.0) - 0.158_655_3).abs() < 1e-6);
+        assert!(gaussian_cdf(8.0) > 1.0 - 1e-14);
+        assert!(gaussian_cdf(-8.0) < 1e-14);
+    }
+
+    fn ramp_field() -> Field3 {
+        // Linear in x: isosurface at x = 7.5 for iso = 7.5.
+        Field3::from_fn(Dims3::cube(16), |x, _, _| x as f32)
+    }
+
+    #[test]
+    fn certain_crossing_has_probability_one() {
+        let f = ramp_field();
+        let cfg = PmcConfig::independent(7.5, 0.0, 1e-6);
+        let (cd, p) = crossing_probability_field(&f, &cfg);
+        // Cells spanning x ∈ [7, 8] certainly cross.
+        assert!(p[cd.idx(7, 8, 8)] > 0.999);
+        // Cells far away certainly don't.
+        assert!(p[cd.idx(0, 8, 8)] < 1e-6);
+        assert!(p[cd.idx(14, 8, 8)] < 1e-6);
+    }
+
+    #[test]
+    fn uncertainty_spreads_the_surface() {
+        let f = ramp_field();
+        let tight = crossing_probability_field(&f, &PmcConfig::independent(7.5, 0.0, 0.01)).1;
+        let wide = crossing_probability_field(&f, &PmcConfig::independent(7.5, 0.0, 2.0)).1;
+        let count = |p: &Vec<f32>| p.iter().filter(|&&v| v > 0.05).count();
+        assert!(count(&wide) > 3 * count(&tight), "{} vs {}", count(&wide), count(&tight));
+    }
+
+    #[test]
+    fn probability_bounded() {
+        let f = ramp_field();
+        let (_, p) = crossing_probability_field(&f, &PmcConfig::independent(7.5, 0.1, 0.5));
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Small ramp for the Monte-Carlo tests (debug-mode sampling is slow).
+    fn small_ramp() -> Field3 {
+        Field3::from_fn(Dims3::cube(8), |x, _, _| x as f32)
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form_when_independent() {
+        let f = small_ramp();
+        let exact = crossing_probability_field(&f, &PmcConfig::independent(3.5, 0.0, 1.0)).1;
+        let mc =
+            crossing_probability_field(&f, &PmcConfig::correlated(3.5, 0.0, 1.0, 0.0, 3000, 7)).1;
+        let max_dev = exact
+            .iter()
+            .zip(&mc)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0f32, f32::max);
+        assert!(max_dev < 0.06, "max deviation {max_dev}");
+    }
+
+    #[test]
+    fn full_correlation_reduces_crossing_probability() {
+        // With rho = 1 all corners move together, so a far-away cell only
+        // crosses when the shared shift lands the isovalue inside the cell's
+        // (narrow) value span — much rarer than under independence.
+        let f = small_ramp();
+        let ind = crossing_probability_field(&f, &PmcConfig::independent(5.5, 0.0, 2.0)).1;
+        let cor =
+            crossing_probability_field(&f, &PmcConfig::correlated(5.5, 0.0, 2.0, 1.0, 3000, 3)).1;
+        let cd = Dims3::cube(7);
+        let far = cd.idx(1, 4, 4); // all corners below iso
+        assert!(ind[far] > 0.05, "independent model spreads to {}", ind[far]);
+        assert!(cor[far] < 0.6 * ind[far], "correlated {} vs independent {}", cor[far], ind[far]);
+    }
+
+    #[test]
+    fn full_correlation_never_crosses_constant_cells() {
+        // All eight corners equal ⇒ under rho = 1 they can never straddle.
+        let f = Field3::new(Dims3::cube(6), 5.0);
+        let (cd, p) =
+            crossing_probability_field(&f, &PmcConfig::correlated(5.5, 0.0, 2.0, 1.0, 2000, 9));
+        assert!(p[cd.idx(2, 2, 2)] == 0.0);
+        // Independent corners do cross.
+        let (_, pi) = crossing_probability_field(&f, &PmcConfig::independent(5.5, 0.0, 2.0));
+        assert!(pi[cd.idx(2, 2, 2)] > 0.3);
+    }
+
+    #[test]
+    fn recovers_features_destroyed_by_bias() {
+        // A small bump that compression error pushed just below the isovalue:
+        // deterministic extraction loses it; PMC shows nonzero probability.
+        let f = Field3::from_fn(Dims3::cube(12), |x, y, z| {
+            let r2 = (x as f32 - 5.5).powi(2) + (y as f32 - 5.5).powi(2)
+                + (z as f32 - 5.5).powi(2);
+            0.95 * (-r2 / 6.0).exp() // peak 0.95 < iso 1.0
+        });
+        let (cd, cross) = crate::iso::cell_crossings(&f, 1.0);
+        assert!(cross.iter().all(|&c| !c), "deterministic surface must be empty");
+        let (_, p) = crossing_probability_field(&f, &PmcConfig::independent(1.0, 0.0, 0.1));
+        assert!(p[cd.idx(5, 5, 5)] > 0.2, "PMC must flag the lost feature, got {}", p[cd.idx(5, 5, 5)]);
+    }
+}

