@@ -3,9 +3,9 @@
 //! FFT behind the power-spectrum analysis.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use hqmr_core::mrc::MrcConfig;
 use hqmr_core::post::{bezier_pass, PostConfig};
-use hqmr_core::sz3mr::Sz3MrConfig;
-use hqmr_grid::{synth, Dims3};
+use hqmr_grid::synth;
 use hqmr_mr::{merge_level, pad_small_dims, to_amr, AmrConfig, MergeStrategy, PadKind};
 
 fn bench_merges(c: &mut Criterion) {
@@ -63,10 +63,10 @@ fn bench_insitu(c: &mut Criterion) {
     let mut g = c.benchmark_group("insitu_snapshot");
     g.sample_size(10);
     g.bench_function("ours", |b| {
-        b.iter(|| hqmr_core::insitu::write_snapshot(&mr, &Sz3MrConfig::ours(eb), &path).unwrap())
+        b.iter(|| hqmr_core::insitu::write_snapshot(&mr, &MrcConfig::ours(eb), &path).unwrap())
     });
     g.bench_function("amric", |b| {
-        b.iter(|| hqmr_core::insitu::write_snapshot(&mr, &Sz3MrConfig::amric(eb), &path).unwrap())
+        b.iter(|| hqmr_core::insitu::write_snapshot(&mr, &MrcConfig::amric(eb), &path).unwrap())
     });
     g.finish();
     std::fs::remove_file(&path).ok();

@@ -10,6 +10,9 @@
 
 use hqmr_bench::{emit_report, experiments as ex};
 
+/// An experiment: scale in, report text out.
+type Experiment = fn(usize) -> String;
+
 const DEFAULT_SCALE: usize = 64;
 
 fn main() {
@@ -24,7 +27,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    let all: &[(&str, fn(usize) -> String)] = &[
+    let all: &[(&str, Experiment)] = &[
         ("tab03", ex::tab03),
         ("fig04", ex::fig04),
         ("fig05", ex::fig05),
@@ -45,6 +48,7 @@ fn main() {
         ("tab08", ex::tab08),
         ("tab09", ex::tab09),
         ("ablations", ex::ablations),
+        ("codecs", ex::codecs),
     ];
 
     let selected: Vec<_> = if which == "all" {
@@ -54,7 +58,10 @@ fn main() {
     };
     if selected.is_empty() {
         eprintln!("unknown experiment '{which}'. available:");
-        eprintln!("  all {}", all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" "));
+        eprintln!(
+            "  all {}",
+            all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+        );
         std::process::exit(2);
     }
     for (name, f) in selected {

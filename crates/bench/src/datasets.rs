@@ -40,27 +40,43 @@ fn unit_for(scale: usize) -> usize {
 pub fn nyx_t1(scale: usize, seed: u64) -> BenchDataset {
     let field = synth::nyx_like(scale, seed);
     let mr = to_amr(&field, &AmrConfig::new(unit_for(scale), vec![0.18, 0.82]));
-    BenchDataset { name: "Nyx-T1", field, mr: Some(mr) }
+    BenchDataset {
+        name: "Nyx-T1",
+        field,
+        mr: Some(mr),
+    }
 }
 
 /// Nyx-T2: offline AMR, 2 levels, fine 58% / coarse 42%.
 pub fn nyx_t2(scale: usize, seed: u64) -> BenchDataset {
     let field = synth::nyx_like(scale, seed ^ 0x1111);
     let mr = to_amr(&field, &AmrConfig::new(unit_for(scale), vec![0.58, 0.42]));
-    BenchDataset { name: "Nyx-T2", field, mr: Some(mr) }
+    BenchDataset {
+        name: "Nyx-T2",
+        field,
+        mr: Some(mr),
+    }
 }
 
 /// Nyx-T3: offline uniform.
 pub fn nyx_t3(scale: usize, seed: u64) -> BenchDataset {
     let field = synth::nyx_like(scale, seed ^ 0x2222);
-    BenchDataset { name: "Nyx-T3", field, mr: None }
+    BenchDataset {
+        name: "Nyx-T3",
+        field,
+        mr: None,
+    }
 }
 
 /// WarpX: in-situ adaptive (uniform → 2 levels, 50/50), shape n²×8n.
 pub fn warpx(scale: usize, seed: u64) -> BenchDataset {
     let field = synth::warpx_like(Dims3::new(scale, scale, 8 * scale), seed);
     let mr = to_adaptive(&field, &RoiConfig::new(unit_for(scale), 0.5));
-    BenchDataset { name: "WarpX", field, mr: Some(mr) }
+    BenchDataset {
+        name: "WarpX",
+        field,
+        mr: Some(mr),
+    }
 }
 
 /// RT: offline AMR, 3 levels, 15/31/54.
@@ -68,7 +84,11 @@ pub fn rt(scale: usize, seed: u64) -> BenchDataset {
     let field = synth::rt_like(scale, seed);
     let unit = unit_for(scale).max(16); // 3 levels need unit ≥ 16 for u/4 ≥ 4
     let mr = to_amr(&field, &AmrConfig::new(unit, vec![0.15, 0.31, 0.54]));
-    BenchDataset { name: "RT", field, mr: Some(mr) }
+    BenchDataset {
+        name: "RT",
+        field,
+        mr: Some(mr),
+    }
 }
 
 /// Hurricane: offline adaptive (uniform → 2 levels, 35/65), shape n²×n/4.
@@ -76,13 +96,21 @@ pub fn hurricane(scale: usize, seed: u64) -> BenchDataset {
     let nz = (scale / 4).max(unit_for(scale));
     let field = synth::hurricane_like(Dims3::new(scale, scale, nz), seed);
     let mr = to_adaptive(&field, &RoiConfig::new(unit_for(scale), 0.35));
-    BenchDataset { name: "Hurri", field, mr: Some(mr) }
+    BenchDataset {
+        name: "Hurri",
+        field,
+        mr: Some(mr),
+    }
 }
 
 /// S3D: offline uniform.
 pub fn s3d(scale: usize, seed: u64) -> BenchDataset {
     let field = synth::s3d_like(scale, seed);
-    BenchDataset { name: "S3D", field, mr: None }
+    BenchDataset {
+        name: "S3D",
+        field,
+        mr: None,
+    }
 }
 
 #[cfg(test)]

@@ -3,11 +3,11 @@
 
 use crate::datasets;
 use crate::runner::{
-    level_psnr, level_values, match_cr, mr_blockwise_roundtrip, psnr_slices, rd_sweep, row,
-    roundtrip_mr, single_level, BlockCodec, RdPoint,
+    level_psnr, level_values, match_cr, mr_blockwise_roundtrip, psnr_slices, rd_sweep,
+    roundtrip_mr, row, single_level, BlockCodec, MkConfig, RdPoint,
 };
+use hqmr_core::mrc::{compress_mr, decompress_mr, Backend, MrcConfig};
 use hqmr_core::post::{bezier_pass, select_intensity, select_intensity_sampled, PostConfig};
-use hqmr_core::sz3mr::{compress_mr, decompress_mr, Sz3MrConfig};
 use hqmr_core::uncertainty::{analyze_feature_recovery, model_near_isovalue, sample_error_pairs};
 use hqmr_core::{insitu, StageTimings};
 use hqmr_filters::{anisotropic_diffusion, gaussian_blur, median3};
@@ -21,18 +21,23 @@ use hqmr_sz3::interp_levels;
 use hqmr_vis::{render_slice, save_ppm, Colormap};
 use std::fmt::Write as _;
 
-const RD_CONFIGS: [(&str, fn(f64) -> Sz3MrConfig); 5] = [
-    ("Baseline-SZ3", Sz3MrConfig::baseline),
-    ("AMRIC-SZ3", Sz3MrConfig::amric),
-    ("TAC-SZ3", Sz3MrConfig::tac),
-    ("Ours(pad)", Sz3MrConfig::ours_pad),
-    ("Ours(pad+eb)", Sz3MrConfig::ours),
+const RD_CONFIGS: [(&str, MkConfig); 5] = [
+    ("Baseline-SZ3", MrcConfig::baseline),
+    ("AMRIC-SZ3", MrcConfig::amric),
+    ("TAC-SZ3", MrcConfig::tac),
+    ("Ours(pad)", MrcConfig::ours_pad),
+    ("Ours(pad+eb)", MrcConfig::ours),
 ];
 
 fn fmt_curves(out: &mut String, curves: &[(&'static str, Vec<RdPoint>)]) {
     for (name, pts) in curves {
         out.push_str(&row(&format!("{name} CR"), pts.iter().map(|p| p.cr), 9, 2));
-        out.push_str(&row(&format!("{name} PSNR"), pts.iter().map(|p| p.psnr), 9, 2));
+        out.push_str(&row(
+            &format!("{name} PSNR"),
+            pts.iter().map(|p| p.psnr),
+            9,
+            2,
+        ));
     }
 }
 
@@ -55,8 +60,14 @@ pub fn tab03(scale: usize) -> String {
         if let Some(mr) = &d.mr {
             write!(out, " levels={}", mr.levels.len()).unwrap();
             for l in &mr.levels {
-                write!(out, " [L{} unit={} density={:.0}%]", l.level, l.unit, 100.0 * l.density())
-                    .unwrap();
+                write!(
+                    out,
+                    " [L{} unit={} density={:.0}%]",
+                    l.level,
+                    l.unit,
+                    100.0 * l.density()
+                )
+                .unwrap();
             }
             write!(out, " storage_ratio={:.2}", mr.storage_ratio()).unwrap();
         } else {
@@ -115,7 +126,7 @@ pub fn fig05(scale: usize) -> String {
     let fine = single_level(mr, 0);
     let range = d.range();
     // Target CR: whatever "ours" reaches at a high relative bound.
-    let (target_cr, _) = roundtrip_mr(&fine, &Sz3MrConfig::ours(range * 2e-2));
+    let (target_cr, _) = roundtrip_mr(&fine, &MrcConfig::ours(range * 2e-2));
     let mut out = format!("Fig. 5 — Nyx fine level at matched CR ≈ {target_cr:.0}\n");
     out.push_str("method        CR       PSNR     SSIM(slice)\n");
     for (name, mk) in RD_CONFIGS {
@@ -137,16 +148,25 @@ pub fn fig05(scale: usize) -> String {
         let k = fa.dims().nz / 2;
         let (w, h, a) = fa.slice_z(k);
         let (_, _, b) = fb.slice_z(k);
-        writeln!(out, "{name:13} {:8.1} {p:8.2} {:10.4}", stats.ratio(), ssim(&a, &b, w, h))
-            .unwrap();
+        writeln!(
+            out,
+            "{name:13} {:8.1} {p:8.2} {:10.4}",
+            stats.ratio(),
+            ssim(&a, &b, w, h)
+        )
+        .unwrap();
     }
     out
 }
 
 /// Fig. 6: boundary unsmoothness of the three arrangements.
 pub fn fig06(scale: usize) -> String {
-    let mut out = String::from("Fig. 6 — mean |jump| across merged block joins (lower = smoother)\n");
-    for (name, d) in [("Nyx-T1", datasets::nyx_t1(scale, 31)), ("RT", datasets::rt(scale, 32))] {
+    let mut out =
+        String::from("Fig. 6 — mean |jump| across merged block joins (lower = smoother)\n");
+    for (name, d) in [
+        ("Nyx-T1", datasets::nyx_t1(scale, 31)),
+        ("RT", datasets::rt(scale, 32)),
+    ] {
         let mr = d.mr.as_ref().unwrap();
         write!(out, "{name:8}").unwrap();
         for (sname, s) in [
@@ -154,8 +174,7 @@ pub fn fig06(scale: usize) -> String {
             ("stack", MergeStrategy::Stack),
             ("tac", MergeStrategy::Tac),
         ] {
-            let arrays: Vec<_> =
-                mr.levels.iter().flat_map(|l| merge_level(l, s)).collect();
+            let arrays: Vec<_> = mr.levels.iter().flat_map(|l| merge_level(l, s)).collect();
             write!(out, "  {sname}={:.4e}", merge_discontinuity(&arrays)).unwrap();
         }
         out.push('\n');
@@ -165,9 +184,8 @@ pub fn fig06(scale: usize) -> String {
 
 /// Fig. 7/8: interpolation extrapolation counts with and without padding.
 pub fn fig07(_scale: usize) -> String {
-    let mut out = String::from(
-        "Fig. 7/8 — sub-optimal (extrapolated) predictions per line/array\n",
-    );
+    let mut out =
+        String::from("Fig. 7/8 — sub-optimal (extrapolated) predictions per line/array\n");
     for (label, dims) in [
         ("1-D n=8 (Fig.7)", Dims3::new(1, 1, 8)),
         ("1-D n=9 (Fig.8, padded)", Dims3::new(1, 1, 9)),
@@ -219,8 +237,13 @@ pub fn tab01(scale: usize) -> String {
         psnr(&d.field, &ours),
     )
     .unwrap();
-    writeln!(out, "(chosen a = {:?}, sample rate {:.2}%)", choice.a, 100.0 * choice.sample_rate)
-        .unwrap();
+    writeln!(
+        out,
+        "(chosen a = {:?}, sample rate {:.2}%)",
+        choice.a,
+        100.0 * choice.sample_rate
+    )
+    .unwrap();
     out
 }
 
@@ -327,9 +350,11 @@ pub fn fig14(scale: usize) -> String {
         }
         hqmr_vis::render::overlay_probability(&mut img_u, &slice, cd.nx, cd.ny);
     }
-    for (name, img) in
-        [("fig14_original", &img_o), ("fig14_decompressed", &img_d), ("fig14_uncertainty", &img_u)]
-    {
+    for (name, img) in [
+        ("fig14_original", &img_o),
+        ("fig14_decompressed", &img_d),
+        ("fig14_uncertainty", &img_u),
+    ] {
         let p = dir.join(format!("{name}.ppm"));
         if save_ppm(&p, img).is_ok() {
             writeln!(out, "wrote {}", p.display()).unwrap();
@@ -347,7 +372,12 @@ pub fn fig15(scale: usize) -> String {
     let mut out = String::from("Fig. 15 — Nyx-T1 rate-distortion per level (CR / PSNR rows)\n");
     for (idx, label) in [(0usize, "fine level"), (1, "coarse level")] {
         let lvl = single_level(mr, idx);
-        writeln!(out, "--- {label} (density {:.0}%)", 100.0 * mr.levels[idx].density()).unwrap();
+        writeln!(
+            out,
+            "--- {label} (density {:.0}%)",
+            100.0 * mr.levels[idx].density()
+        )
+        .unwrap();
         let curves = rd_sweep(&lvl, range, &rels, &RD_CONFIGS);
         fmt_curves(&mut out, &curves);
         // "Ours (processed)": ours + Bézier post on the merged arrays.
@@ -363,7 +393,7 @@ pub fn fig15(scale: usize) -> String {
 
 /// "Ours (processed)" point: SZ3MR(ours) + Bézier post on unit-block joins.
 fn processed_point(mr: &MultiResData, eb: f64) -> RdPoint {
-    let cfg = Sz3MrConfig::ours(eb);
+    let cfg = MrcConfig::ours(eb);
     let (bytes, stats) = compress_mr(mr, &cfg);
     let back = decompress_mr(&bytes).unwrap();
     let mut all_o: Vec<f32> = Vec::new();
@@ -380,7 +410,10 @@ fn processed_point(mr: &MultiResData, eb: f64) -> RdPoint {
             all_p.extend(post.data());
         }
     }
-    RdPoint { cr: stats.ratio(), psnr: psnr_slices(&all_o, &all_p) }
+    RdPoint {
+        cr: stats.ratio(),
+        psnr: psnr_slices(&all_o, &all_p),
+    }
 }
 
 /// Table IV: output time, AMRIC vs ours, big and small error bounds.
@@ -388,18 +421,20 @@ pub fn tab04(scale: usize) -> String {
     let d = datasets::nyx_t1(scale, 52);
     let mr = d.mr.as_ref().unwrap();
     let path = std::env::temp_dir().join("hqmr_tab04.bin");
-    let mut out = String::from(
-        "Table IV — output time (s): pre-process vs compress+write (Nyx-T1)\n",
-    );
+    let mut out =
+        String::from("Table IV — output time (s): pre-process vs compress+write (Nyx-T1)\n");
     out.push_str("eb      method  preprocess  comp+write  total\n");
     // Warm up.
-    let _ = insitu::write_snapshot(mr, &Sz3MrConfig::ours(d.range() * 1e-2), &path);
+    let _ = insitu::write_snapshot(mr, &MrcConfig::ours(d.range() * 1e-2), &path);
     for (label, rel) in [("big", 4e-2), ("small", 2e-3)] {
         for (name, cfg) in [
-            ("AMRIC", Sz3MrConfig::amric(d.range() * rel)),
-            ("Ours", Sz3MrConfig::ours(d.range() * rel)),
+            ("AMRIC", MrcConfig::amric(d.range() * rel)),
+            ("Ours", MrcConfig::ours(d.range() * rel)),
         ] {
-            let mut best = StageTimings { preprocess: f64::MAX, compress_write: f64::MAX };
+            let mut best = StageTimings {
+                preprocess: f64::MAX,
+                compress_write: f64::MAX,
+            };
             for _ in 0..3 {
                 let (t, _) = insitu::write_snapshot(mr, &cfg, &path).unwrap();
                 if t.total() < best.total() {
@@ -430,7 +465,9 @@ pub fn tab05(scale: usize) -> String {
         let vals = level_values(&lvl.levels[0]);
         let (mn, mx) = vals
             .iter()
-            .fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
         let range = (mx - mn) as f64;
         let mut crs = Vec::new();
         let mut ori = Vec::new();
@@ -454,16 +491,23 @@ pub fn fig16(scale: usize) -> String {
     let d = datasets::warpx(scale / 2, 54);
     let mr = d.mr.as_ref().unwrap();
     let range = d.range();
-    let (target_cr, _) = roundtrip_mr(mr, &Sz3MrConfig::ours(range * 2e-2));
+    let (target_cr, _) = roundtrip_mr(mr, &MrcConfig::ours(range * 2e-2));
     let mut out = format!("Fig. 16 — WarpX at matched CR ≈ {target_cr:.0}\n");
     out.push_str("method        CR       PSNR     SSIM(slice)\n");
     let dir = crate::results_dir();
     std::fs::create_dir_all(&dir).ok();
     let (mn, mx) = d.field.min_max();
-    for (name, mk) in
-        [("Baseline-SZ3", Sz3MrConfig::baseline as fn(f64) -> _), ("Ours", Sz3MrConfig::ours)]
-    {
-        let rel = match_cr(|r| roundtrip_mr(mr, &mk(range * r)).0, 1e-5, 0.3, target_cr, 18);
+    for (name, mk) in [
+        ("Baseline-SZ3", MrcConfig::baseline as fn(f64) -> _),
+        ("Ours", MrcConfig::ours),
+    ] {
+        let rel = match_cr(
+            |r| roundtrip_mr(mr, &mk(range * r)).0,
+            1e-5,
+            0.3,
+            target_cr,
+            18,
+        );
         let (bytes, stats) = compress_mr(mr, &mk(range * rel));
         let back = decompress_mr(&bytes).unwrap();
         let recon = back.reconstruct(Upsample::Trilinear);
@@ -479,10 +523,19 @@ pub fn fig16(scale: usize) -> String {
         )
         .unwrap();
         let img = render_slice(&recon, recon.dims().nz * 7 / 10, mn, mx, Colormap::CoolWarm);
-        let p = dir.join(format!("fig16_{}.ppm", name.to_lowercase().replace('-', "_")));
+        let p = dir.join(format!(
+            "fig16_{}.ppm",
+            name.to_lowercase().replace('-', "_")
+        ));
         save_ppm(&p, &img).ok();
     }
-    let img = render_slice(&d.field, d.field.dims().nz * 7 / 10, mn, mx, Colormap::CoolWarm);
+    let img = render_slice(
+        &d.field,
+        d.field.dims().nz * 7 / 10,
+        mn,
+        mx,
+        Colormap::CoolWarm,
+    );
     save_ppm(dir.join("fig16_original.ppm"), &img).ok();
     out
 }
@@ -490,12 +543,15 @@ pub fn fig16(scale: usize) -> String {
 /// Fig. 17: adaptive-data rate-distortion (WarpX + Hurricane), three curves.
 pub fn fig17(scale: usize) -> String {
     let mut out = String::from("Fig. 17 — adaptive data rate-distortion\n");
-    let configs: [(&str, fn(f64) -> Sz3MrConfig); 3] = [
-        ("Baseline-SZ3", Sz3MrConfig::baseline),
-        ("Ours(pad)", Sz3MrConfig::ours_pad),
-        ("Ours(pad+eb)", Sz3MrConfig::ours),
+    let configs: [(&str, MkConfig); 3] = [
+        ("Baseline-SZ3", MrcConfig::baseline),
+        ("Ours(pad)", MrcConfig::ours_pad),
+        ("Ours(pad+eb)", MrcConfig::ours),
     ];
-    for d in [datasets::warpx(scale / 2, 55), datasets::hurricane(scale, 56)] {
+    for d in [
+        datasets::warpx(scale / 2, 55),
+        datasets::hurricane(scale, 56),
+    ] {
         writeln!(out, "--- {}", d.name).unwrap();
         let mr = d.mr.as_ref().unwrap();
         let curves = rd_sweep(mr, d.range(), &[3e-4, 1e-3, 4e-3, 1.5e-2, 5e-2], &configs);
@@ -510,7 +566,12 @@ pub fn fig18(scale: usize) -> String {
     for d in [datasets::nyx_t2(scale, 57), datasets::rt(scale, 58)] {
         writeln!(out, "--- {}", d.name).unwrap();
         let mr = d.mr.as_ref().unwrap();
-        let curves = rd_sweep(mr, d.range(), &[3e-4, 1e-3, 4e-3, 1.5e-2, 5e-2], &RD_CONFIGS);
+        let curves = rd_sweep(
+            mr,
+            d.range(),
+            &[3e-4, 1e-3, 4e-3, 1.5e-2, 5e-2],
+            &RD_CONFIGS,
+        );
         fmt_curves(&mut out, &curves);
     }
     out
@@ -521,23 +582,35 @@ pub fn tab06(scale: usize) -> String {
     let d = datasets::nyx_t2(scale, 59);
     let mr = d.mr.as_ref().unwrap();
     let range = d.range();
-    let (target_cr, _) = roundtrip_mr(mr, &Sz3MrConfig::ours(range * 1.2e-2));
-    let mut out = format!("Table VI — Nyx-T2 power-spectrum error at CR ≈ {target_cr:.0}, k < 10\n");
+    let (target_cr, _) = roundtrip_mr(mr, &MrcConfig::ours(range * 1.2e-2));
+    let mut out =
+        format!("Table VI — Nyx-T2 power-spectrum error at CR ≈ {target_cr:.0}, k < 10\n");
     out.push_str("method        CR      max_rel_err   avg_rel_err\n");
-    let methods: [(&str, fn(f64) -> Sz3MrConfig); 4] = [
-        ("Baseline-SZ3", Sz3MrConfig::baseline),
-        ("AMRIC-SZ3", Sz3MrConfig::amric),
-        ("TAC-SZ3", Sz3MrConfig::tac),
-        ("Ours(pad+eb)", Sz3MrConfig::ours),
+    let methods: [(&str, MkConfig); 4] = [
+        ("Baseline-SZ3", MrcConfig::baseline),
+        ("AMRIC-SZ3", MrcConfig::amric),
+        ("TAC-SZ3", MrcConfig::tac),
+        ("Ours(pad+eb)", MrcConfig::ours),
     ];
     for (name, mk) in methods {
-        let rel = match_cr(|r| roundtrip_mr(mr, &mk(range * r)).0, 1e-5, 0.3, target_cr, 18);
+        let rel = match_cr(
+            |r| roundtrip_mr(mr, &mk(range * r)).0,
+            1e-5,
+            0.3,
+            target_cr,
+            18,
+        );
         let (bytes, stats) = compress_mr(mr, &mk(range * rel));
         let back = decompress_mr(&bytes).unwrap();
         let recon = back.reconstruct(Upsample::Trilinear);
         let orig = mr.reconstruct(Upsample::Trilinear);
         let (mx, avg) = spectrum_rel_errors(&orig, &recon, 10);
-        writeln!(out, "{name:13} {:7.1} {mx:13.3e} {avg:13.3e}", stats.ratio()).unwrap();
+        writeln!(
+            out,
+            "{name:13} {:7.1} {mx:13.3e} {avg:13.3e}",
+            stats.ratio()
+        )
+        .unwrap();
     }
     out
 }
@@ -551,11 +624,14 @@ pub fn tab07(scale: usize) -> String {
         let vals: Vec<f32> = mr.levels.iter().flat_map(level_values).collect();
         let (mn, mx) = vals
             .iter()
-            .fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
         let range = (mx - mn) as f64;
-        for (cname, codec) in
-            [("ZFP", BlockCodec::Zfp), ("SZ2", BlockCodec::Sz2 { block: 4 })]
-        {
+        for (cname, codec) in [
+            ("ZFP", BlockCodec::Zfp),
+            ("SZ2", BlockCodec::Sz2 { block: 4 }),
+        ] {
             writeln!(out, "--- {} + {cname}", d.name).unwrap();
             let mut crs = Vec::new();
             let mut ori = Vec::new();
@@ -614,7 +690,11 @@ pub fn tab09(scale: usize) -> String {
     for (cname, codec, post_cfg) in [
         ("ZFP(par)", BlockCodec::Zfp, PostConfig::zfp()),
         ("SZ2(par)", BlockCodec::Sz2 { block: 6 }, PostConfig::sz2()),
-        ("SZ2(serial)", BlockCodec::Sz2 { block: 6 }, PostConfig::sz2().serial()),
+        (
+            "SZ2(serial)",
+            BlockCodec::Sz2 { block: 6 },
+            PostConfig::sz2().serial(),
+        ),
     ] {
         for (elabel, rel) in [("small", 2e-3), ("mid", 1e-2), ("large", 5e-2)] {
             let eb = d.range() * rel;
@@ -629,12 +709,8 @@ pub fn tab09(scale: usize) -> String {
             let c2 = t.elapsed().as_secs_f64();
             // c3: sampling + modelling (round-trips only the samples).
             let t = Instant::now();
-            let choice = select_intensity_sampled(
-                &d.field,
-                |w| codec.roundtrip(w, eb).1,
-                eb,
-                &post_cfg,
-            );
+            let choice =
+                select_intensity_sampled(&d.field, |w| codec.roundtrip(w, eb).1, eb, &post_cfg);
             let c3 = t.elapsed().as_secs_f64();
             // c4: the post-process itself.
             let t = Instant::now();
@@ -669,7 +745,10 @@ pub fn ablations(scale: usize) -> String {
         hqmr_mr::PadKind::Linear,
         hqmr_mr::PadKind::Quadratic,
     ] {
-        let cfg = Sz3MrConfig { pad: Some(kind), ..Sz3MrConfig::ours_pad(eb) };
+        let cfg = MrcConfig {
+            pad: Some(kind),
+            ..MrcConfig::ours_pad(eb)
+        };
         let (cr, psnrs) = roundtrip_mr(mr, &cfg);
         writeln!(out, "{kind:?}: CR={cr:.2} PSNR(fine)={:.2}", psnrs[0]).unwrap();
     }
@@ -678,13 +757,17 @@ pub fn ablations(scale: usize) -> String {
     out.push_str("-- adaptive eb (alpha, beta) grid (WarpX)\n");
     for alpha in [1.5, 2.25, 3.0] {
         for beta in [4.0, 8.0, 16.0] {
-            let cfg = Sz3MrConfig {
-                adaptive_eb: Some(hqmr_sz3::LevelEbPolicy { alpha, beta }),
-                ..Sz3MrConfig::ours_pad(eb)
-            };
+            let cfg = MrcConfig::ours_pad(eb).with_backend(Backend::Sz3 {
+                interp: hqmr_sz3::InterpKind::Cubic,
+                level_eb: Some(hqmr_sz3::LevelEbPolicy { alpha, beta }),
+            });
             let (cr, psnrs) = roundtrip_mr(mr, &cfg);
-            writeln!(out, "alpha={alpha:<4} beta={beta:<4}: CR={cr:.2} PSNR(fine)={:.2}", psnrs[0])
-                .unwrap();
+            writeln!(
+                out,
+                "alpha={alpha:<4} beta={beta:<4}: CR={cr:.2} PSNR(fine)={:.2}",
+                psnrs[0]
+            )
+            .unwrap();
         }
     }
 
@@ -722,6 +805,97 @@ pub fn ablations(scale: usize) -> String {
             100.0 * (padded as f64 / plain as f64 - 1.0)
         )
         .unwrap();
+    }
+    out
+}
+
+/// Codec-backend matrix: backend × arrangement × error bound on Nyx-T1,
+/// reporting compression ratio, PSNR over stored cells, and wall-clock
+/// throughput per direction. Besides the text report, the full matrix lands
+/// in `BENCH_codecs.json` at the workspace root so future changes have a
+/// perf trajectory to compare against.
+pub fn codecs(scale: usize) -> String {
+    use std::time::Instant;
+    let d = datasets::nyx_t1(scale, 81);
+    let mr = d.mr.as_ref().unwrap();
+    let range = d.range();
+    let arrangements: [(&str, MkConfig); 3] = [
+        ("baseline", MrcConfig::baseline),
+        ("amric", MrcConfig::amric),
+        ("ours", MrcConfig::ours_pad),
+    ];
+    let rels = [1e-3, 8e-3, 5e-2];
+    let stored_mb = (mr.total_cells() * 4) as f64 / (1024.0 * 1024.0);
+
+    let mut out = format!(
+        "Codec matrix — {} (scale {scale}, {:.1} MiB stored)\n\
+         backend arrange   rel_eb       CR     PSNR  comp(MiB/s)  dec(MiB/s)\n",
+        d.name, stored_mb
+    );
+    let mut json = String::from("{\n");
+    write!(
+        json,
+        "  \"dataset\": \"{}\",\n  \"scale\": {scale},\n  \"stored_cells\": {},\n  \"records\": [\n",
+        d.name,
+        mr.total_cells()
+    )
+    .unwrap();
+    let mut first = true;
+    let vals_a: Vec<f32> = mr.levels.iter().flat_map(level_values).collect();
+    for backend in Backend::ALL {
+        for (aname, mk) in arrangements {
+            for rel in rels {
+                let cfg = mk(range * rel).with_backend(backend);
+                let t0 = Instant::now();
+                let (bytes, stats) = compress_mr(mr, &cfg);
+                let t_comp = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let back = decompress_mr(&bytes).expect("fresh stream must decompress");
+                let t_dec = t1.elapsed().as_secs_f64();
+                let vals_b: Vec<f32> = back.levels.iter().flat_map(level_values).collect();
+                let p = psnr_slices(&vals_a, &vals_b);
+                writeln!(
+                    out,
+                    "{:7} {aname:8} {rel:8.0e} {:8.1} {:8.2} {:12.1} {:11.1}",
+                    backend.name(),
+                    stats.ratio(),
+                    p,
+                    stored_mb / t_comp.max(1e-9),
+                    stored_mb / t_dec.max(1e-9),
+                )
+                .unwrap();
+                if !first {
+                    json.push_str(",\n");
+                }
+                first = false;
+                let psnr_json = if p.is_finite() {
+                    format!("{p:.3}")
+                } else {
+                    "null".to_string()
+                };
+                write!(
+                    json,
+                    "    {{\"backend\": \"{}\", \"arrangement\": \"{aname}\", \
+                     \"rel_eb\": {rel:e}, \"bytes\": {}, \"cr\": {:.3}, \"psnr\": {psnr_json}, \
+                     \"compress_s\": {t_comp:.6}, \"decompress_s\": {t_dec:.6}}}",
+                    backend.name(),
+                    bytes.len(),
+                    stats.ratio(),
+                )
+                .unwrap();
+            }
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+    if let Some(root) = crate::results_dir()
+        .parent()
+        .map(std::path::Path::to_path_buf)
+    {
+        let path = root.join("BENCH_codecs.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => writeln!(out, "wrote {}", path.display()).unwrap(),
+            Err(e) => writeln!(out, "could not write {}: {e}", path.display()).unwrap(),
+        }
     }
     out
 }

@@ -1,12 +1,16 @@
 //! Shared experiment machinery: rate-distortion sweeps, CR matching,
 //! block-wise multi-resolution round-trips, formatting.
 
+use hqmr_core::mrc::{compress_mr, decompress_mr, MrcConfig};
 use hqmr_core::post::{bezier_pass, select_intensity, PostConfig};
-use hqmr_core::sz3mr::{compress_mr, decompress_mr, Sz3MrConfig};
 use hqmr_grid::Field3;
 use hqmr_mr::{merge_level, LevelData, MergeStrategy, MultiResData};
 use hqmr_sz2::Sz2Config;
 use hqmr_zfp::ZfpConfig;
+
+/// A named `MrcConfig` constructor from an absolute error bound — the shape
+/// every sweep table is built from.
+pub type MkConfig = fn(f64) -> MrcConfig;
 
 /// One point on a rate-distortion curve.
 #[derive(Debug, Clone, Copy)]
@@ -38,7 +42,11 @@ pub fn psnr_slices(orig: &[f32], dec: &[f32]) -> f64 {
 
 /// Concatenated block values of a level (fine-to-coarse raster order).
 pub fn level_values(level: &LevelData) -> Vec<f32> {
-    level.blocks.iter().flat_map(|b| b.data.iter().copied()).collect()
+    level
+        .blocks
+        .iter()
+        .flat_map(|b| b.data.iter().copied())
+        .collect()
 }
 
 /// PSNR between two structurally identical levels, over stored block data.
@@ -51,12 +59,15 @@ pub fn level_psnr(a: &LevelData, b: &LevelData) -> f64 {
 pub fn single_level(mr: &MultiResData, idx: usize) -> MultiResData {
     let mut lvl = mr.levels[idx].clone();
     lvl.level = 0;
-    MultiResData { domain: lvl.dims, levels: vec![lvl] }
+    MultiResData {
+        domain: lvl.dims,
+        levels: vec![lvl],
+    }
 }
 
 /// Compresses `mr` under `cfg`, returning `(cr, per-level PSNR over stored
 /// blocks)`.
-pub fn roundtrip_mr(mr: &MultiResData, cfg: &Sz3MrConfig) -> (f64, Vec<f64>) {
+pub fn roundtrip_mr(mr: &MultiResData, cfg: &MrcConfig) -> (f64, Vec<f64>) {
     let (bytes, stats) = compress_mr(mr, cfg);
     let back = decompress_mr(&bytes).expect("fresh stream must decompress");
     let psnrs = mr
@@ -74,7 +85,7 @@ pub fn rd_sweep(
     mr: &MultiResData,
     range: f64,
     rel_ebs: &[f64],
-    configs: &[(&'static str, fn(f64) -> Sz3MrConfig)],
+    configs: &[(&'static str, MkConfig)],
 ) -> Vec<(&'static str, Vec<RdPoint>)> {
     configs
         .iter()
@@ -83,7 +94,10 @@ pub fn rd_sweep(
                 .iter()
                 .map(|&rel| {
                     let (cr, psnrs) = roundtrip_mr(mr, &mk(range * rel));
-                    RdPoint { cr, psnr: combine_level_psnr(mr, &psnrs) }
+                    RdPoint {
+                        cr,
+                        psnr: combine_level_psnr(mr, &psnrs),
+                    }
                 })
                 .collect();
             (name, pts)
@@ -106,10 +120,16 @@ fn combine_level_psnr(mr: &MultiResData, per_level: &[f64]) -> f64 {
         }
         let (mn, mx) = vals
             .iter()
-            .fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
         let r = (mx - mn) as f64;
         range = range.max(r);
-        let mse = if p.is_finite() { (r.powi(2)) / 10f64.powf(p / 10.0) } else { 0.0 };
+        let mse = if p.is_finite() {
+            (r.powi(2)) / 10f64.powf(p / 10.0)
+        } else {
+            0.0
+        };
         let n = vals.len() as f64;
         mse_acc += mse * n;
         total_cells += n;
@@ -234,7 +254,12 @@ pub fn mr_blockwise_roundtrip(mr: &MultiResData, codec: BlockCodec, eb: f64) -> 
 }
 
 /// Formats a labelled row of numbers.
-pub fn row(label: &str, values: impl IntoIterator<Item = f64>, width: usize, prec: usize) -> String {
+pub fn row(
+    label: &str,
+    values: impl IntoIterator<Item = f64>,
+    width: usize,
+    prec: usize,
+) -> String {
     let mut s = format!("{label:<16}");
     for v in values {
         if v.is_finite() {
@@ -275,6 +300,11 @@ mod tests {
         let eb = f.range() as f64 * 1e-3;
         let r = mr_blockwise_roundtrip(&mr, BlockCodec::Sz2 { block: 4 }, eb);
         assert!(r.cr > 1.0);
-        assert!(r.psnr_post >= r.psnr_ori - 0.01, "{} vs {}", r.psnr_post, r.psnr_ori);
+        assert!(
+            r.psnr_post >= r.psnr_ori - 0.01,
+            "{} vs {}",
+            r.psnr_post,
+            r.psnr_ori
+        );
     }
 }

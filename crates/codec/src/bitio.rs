@@ -20,7 +20,10 @@ impl BitWriter {
 
     /// Creates a writer with reserved capacity (in bytes).
     pub fn with_capacity(bytes: usize) -> Self {
-        BitWriter { buf: Vec::with_capacity(bytes), used: 0 }
+        BitWriter {
+            buf: Vec::with_capacity(bytes),
+            used: 0,
+        }
     }
 
     /// Writes a single bit.

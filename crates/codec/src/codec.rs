@@ -1,0 +1,242 @@
+//! The codec boundary: one trait every error-bounded backend implements.
+//!
+//! The paper (§II-A, §IV) treats the compressor as a swappable stage — SZ3,
+//! SZ2/AMRIC-style and ZFP/TAC-style backends are all evaluated against the
+//! same multi-resolution arrangement. [`Codec`] is that boundary: a backend
+//! turns a [`Field3`] into a self-describing byte stream under an absolute
+//! error bound, and back. The multi-resolution engine (`hqmr-core::mrc`)
+//! dispatches through `&dyn Codec`, records the backend's [`Codec::id`] in
+//! its container, and routes decompression on the stored id — so adding a
+//! backend is a one-file change that implements this trait.
+//!
+//! Every stream embeds its codec id in a `CDID` section (see
+//! [`push_stream_id`] / [`check_stream_id`]), which turns "fed SZ2 bytes to
+//! the SZ3 decoder" from a confusing missing-section failure into the typed
+//! [`CodecError::WrongStreamId`].
+
+use crate::container::{tag, Container, ContainerError};
+use hqmr_grid::{Dims3, Field3};
+
+/// Section tag carrying a stream's codec id.
+pub const TAG_STREAM_ID: u32 = tag(b"CDID");
+
+/// Errors shared by every codec backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Container-level failure (magic, CRC, truncation, missing section).
+    Container(ContainerError),
+    /// Structurally invalid payload for this codec.
+    Malformed(&'static str),
+    /// The stream names a codec nobody registered.
+    UnknownCodec(u32),
+    /// The stream belongs to a different codec.
+    WrongStreamId {
+        /// Id of the codec asked to decode.
+        expected: u32,
+        /// Id recorded in the stream.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Container(e) => write!(f, "container: {e}"),
+            CodecError::Malformed(m) => write!(f, "malformed stream: {m}"),
+            CodecError::UnknownCodec(id) => {
+                write!(
+                    f,
+                    "unknown codec id {:?}",
+                    id.to_le_bytes().map(|b| b as char)
+                )
+            }
+            CodecError::WrongStreamId { expected, found } => write!(
+                f,
+                "stream belongs to codec {:?}, not {:?}",
+                found.to_le_bytes().map(|b| b as char),
+                expected.to_le_bytes().map(|b| b as char)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<ContainerError> for CodecError {
+    fn from(e: ContainerError) -> Self {
+        CodecError::Container(e)
+    }
+}
+
+/// An error-bounded compressor backend.
+///
+/// Contract:
+/// * `decompress(compress(f, eb))` reconstructs a field of the same dims with
+///   `|x − x̂|∞ ≤ eb` for every finite input value;
+/// * the stream is self-describing — `decompress` needs no external
+///   configuration;
+/// * the stream carries [`Codec::id`] (via [`push_stream_id`]) and
+///   `decompress` rejects foreign streams with
+///   [`CodecError::WrongStreamId`] — never a panic.
+///
+/// The trait is dyn-safe: the MR engine dispatches through `&dyn Codec`.
+pub trait Codec: Send + Sync {
+    /// Four-byte stream id (e.g. `tag(b"SZ3S")`), unique per backend.
+    fn id(&self) -> u32;
+
+    /// Human-readable backend name (stable; used in reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Compresses `field` under the absolute error bound `eb`.
+    fn compress(&self, field: &Field3, eb: f64) -> Vec<u8>;
+
+    /// Decompresses a stream produced by this backend's [`Codec::compress`].
+    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CodecError>;
+}
+
+/// Records `id` in `c` so decoders can verify stream ownership.
+pub fn push_stream_id(c: &mut Container, id: u32) {
+    c.push(TAG_STREAM_ID, id.to_le_bytes().to_vec());
+}
+
+/// Verifies that the container's recorded codec id is `expected`.
+pub fn check_stream_id(c: &Container, expected: u32) -> Result<(), CodecError> {
+    let bytes = c
+        .get(TAG_STREAM_ID)
+        .ok_or(CodecError::Malformed("missing stream id"))?;
+    let found = u32::from_le_bytes(
+        bytes
+            .try_into()
+            .map_err(|_| CodecError::Malformed("stream id width"))?,
+    );
+    if found != expected {
+        return Err(CodecError::WrongStreamId { expected, found });
+    }
+    Ok(())
+}
+
+/// The passthrough backend: stores raw little-endian `f32`s, no loss, no
+/// reduction. Exists to (a) debug arrangement/layout issues with the codec
+/// stage taken out of the equation, and (b) demonstrate that a new backend is
+/// exactly one `impl Codec` — it is registered with the MR engine like the
+/// real compressors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullCodec;
+
+/// [`NullCodec`]'s stream id.
+pub const NULL_CODEC_ID: u32 = tag(b"RAWS");
+
+const TAG_RAW_HEAD: u32 = tag(b"RWHD");
+const TAG_RAW_DATA: u32 = tag(b"RWDT");
+
+impl Codec for NullCodec {
+    fn id(&self) -> u32 {
+        NULL_CODEC_ID
+    }
+
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn compress(&self, field: &Field3, _eb: f64) -> Vec<u8> {
+        let dims = field.dims();
+        let mut c = Container::new();
+        push_stream_id(&mut c, NULL_CODEC_ID);
+        let mut head = Vec::new();
+        crate::varint::write_uvarint(&mut head, dims.nx as u64);
+        crate::varint::write_uvarint(&mut head, dims.ny as u64);
+        crate::varint::write_uvarint(&mut head, dims.nz as u64);
+        c.push(TAG_RAW_HEAD, head);
+        let mut data = Vec::with_capacity(field.len() * 4);
+        for v in field.data() {
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        c.push(TAG_RAW_DATA, data);
+        c.to_bytes()
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CodecError> {
+        let c = Container::from_bytes(bytes)?;
+        check_stream_id(&c, NULL_CODEC_ID)?;
+        let head = c.require(TAG_RAW_HEAD)?;
+        let mut pos = 0usize;
+        let mut rd = || {
+            crate::varint::read_uvarint(head, &mut pos)
+                .map(|v| v as usize)
+                .ok_or(CodecError::Malformed("dims"))
+        };
+        let dims = Dims3::new(rd()?, rd()?, rd()?);
+        let data = c.require(TAG_RAW_DATA)?;
+        if data.len() != dims.len() * 4 {
+            return Err(CodecError::Malformed("payload size"));
+        }
+        let values: Vec<f32> = data
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        Ok(Field3::from_vec(dims, values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy() -> Field3 {
+        Field3::from_fn(Dims3::new(5, 6, 7), |x, y, z| {
+            (x as f32 * 0.3).sin() + (y as f32 * 0.2).cos() + z as f32 * 0.1
+        })
+    }
+
+    #[test]
+    fn null_codec_is_lossless() {
+        let f = wavy();
+        let bytes = NullCodec.compress(&f, 1e-3);
+        let g = NullCodec.decompress(&bytes).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn stream_id_is_checked() {
+        let mut c = Container::new();
+        push_stream_id(&mut c, tag(b"AAAA"));
+        assert!(check_stream_id(&c, tag(b"AAAA")).is_ok());
+        assert_eq!(
+            check_stream_id(&c, tag(b"BBBB")),
+            Err(CodecError::WrongStreamId {
+                expected: tag(b"BBBB"),
+                found: tag(b"AAAA")
+            })
+        );
+        let empty = Container::new();
+        assert_eq!(
+            check_stream_id(&empty, tag(b"BBBB")),
+            Err(CodecError::Malformed("missing stream id"))
+        );
+    }
+
+    #[test]
+    fn null_codec_rejects_foreign_and_corrupt_streams() {
+        let f = wavy();
+        let bytes = NullCodec.compress(&f, 0.0);
+        assert!(matches!(
+            NullCodec.decompress(&bytes[..bytes.len() / 2]),
+            Err(CodecError::Container(_))
+        ));
+        let mut foreign = Container::new();
+        push_stream_id(&mut foreign, tag(b"SZ3S"));
+        assert!(matches!(
+            NullCodec.decompress(&foreign.to_bytes()),
+            Err(CodecError::WrongStreamId { .. })
+        ));
+    }
+
+    #[test]
+    fn codec_is_dyn_safe() {
+        let c: &dyn Codec = &NullCodec;
+        let f = wavy();
+        let g = c.decompress(&c.compress(&f, 0.0)).unwrap();
+        assert_eq!(c.name(), "null");
+        assert_eq!(f, g);
+    }
+}

@@ -68,7 +68,10 @@ impl Container {
 
     /// Borrow the first section with `tag`.
     pub fn get(&self, tag: u32) -> Option<&[u8]> {
-        self.sections.iter().find(|s| s.tag == tag).map(|s| s.data.as_slice())
+        self.sections
+            .iter()
+            .find(|s| s.tag == tag)
+            .map(|s| s.data.as_slice())
     }
 
     /// Borrow the first section with `tag` or fail with `MissingSection`.
@@ -78,7 +81,10 @@ impl Container {
 
     /// All sections with `tag`, in insertion order.
     pub fn get_all(&self, tag: u32) -> impl Iterator<Item = &[u8]> {
-        self.sections.iter().filter(move |s| s.tag == tag).map(|s| s.data.as_slice())
+        self.sections
+            .iter()
+            .filter(move |s| s.tag == tag)
+            .map(|s| s.data.as_slice())
     }
 
     /// Number of sections.
@@ -124,7 +130,10 @@ impl Container {
             let tag = read_uvarint(bytes, &mut pos).ok_or(ContainerError::Truncated)? as u32;
             let len = read_uvarint(bytes, &mut pos).ok_or(ContainerError::Truncated)? as usize;
             let crc = read_uvarint(bytes, &mut pos).ok_or(ContainerError::Truncated)? as u32;
-            let data = bytes.get(pos..pos + len).ok_or(ContainerError::Truncated)?.to_vec();
+            let data = bytes
+                .get(pos..pos + len)
+                .ok_or(ContainerError::Truncated)?
+                .to_vec();
             pos += len;
             if crc32(&data) != crc {
                 return Err(ContainerError::Corrupt { tag });
@@ -178,10 +187,16 @@ mod tests {
         let c = Container::new();
         let mut bytes = c.to_bytes();
         bytes[0] = b'X';
-        assert!(matches!(Container::from_bytes(&bytes), Err(ContainerError::BadMagic)));
+        assert!(matches!(
+            Container::from_bytes(&bytes),
+            Err(ContainerError::BadMagic)
+        ));
         let mut bytes = Container::new().to_bytes();
         bytes[4] = 99;
-        assert!(matches!(Container::from_bytes(&bytes), Err(ContainerError::BadVersion(99))));
+        assert!(matches!(
+            Container::from_bytes(&bytes),
+            Err(ContainerError::BadVersion(99))
+        ));
     }
 
     #[test]

@@ -170,7 +170,11 @@ impl DecodeTable {
             idx += count;
             prev_len = len;
         }
-        DecodeTable { levels, symbols, max_len }
+        DecodeTable {
+            levels,
+            symbols,
+            max_len,
+        }
     }
 
     /// Decodes one symbol by reading MSB-first bits.

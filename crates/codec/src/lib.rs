@@ -1,12 +1,19 @@
-//! Lossless coding substrate shared by the three compressors.
+//! Coding substrate and the codec boundary shared by the three compressors.
 //!
 //! SZ2, SZ3 and ZFP (the paper's three targets, §II-A) all bottom out in the
 //! same machinery: a bit-granular stream, an entropy stage for quantization
 //! codes (Huffman in SZ; raw bit planes in ZFP), and a framed container so a
 //! decompressor can recover configuration, shapes and side channels. None of
 //! that exists in the approved crate set, so it is implemented here.
+//!
+//! On top of the substrate sits the [`Codec`] trait — the workspace's unified
+//! backend interface. Each compressor crate implements it ([`module@codec`]
+//! documents the contract and the recipe for adding a backend), every stream
+//! carries a self-describing codec id, and failures surface through the
+//! shared [`CodecError`].
 
 pub mod bitio;
+pub mod codec;
 pub mod container;
 pub mod huffman;
 pub mod quantizer;
@@ -14,6 +21,9 @@ pub mod rle;
 pub mod varint;
 
 pub use bitio::{BitReader, BitWriter};
+pub use codec::{
+    check_stream_id, push_stream_id, Codec, CodecError, NullCodec, NULL_CODEC_ID, TAG_STREAM_ID,
+};
 pub use container::{tag, Container, ContainerError, Section};
 pub use huffman::{huffman_decode, huffman_encode};
 pub use quantizer::{LinearQuantizer, QuantOutcome};

@@ -43,7 +43,10 @@ impl LinearQuantizer {
 
     /// Creates a quantizer with an explicit radius.
     pub fn with_radius(eb: f64, radius: i64) -> Self {
-        assert!(eb.is_finite() && eb > 0.0, "error bound must be positive, got {eb}");
+        assert!(
+            eb.is_finite() && eb > 0.0,
+            "error bound must be positive, got {eb}"
+        );
         assert!(radius > 1, "radius must exceed 1");
         LinearQuantizer { eb, radius }
     }
@@ -76,7 +79,10 @@ impl LinearQuantizer {
         if (recon - actual).abs() > self.eb {
             return QuantOutcome::Unpredictable;
         }
-        QuantOutcome::Predicted { code: (qi + self.radius) as u32, recon }
+        QuantOutcome::Predicted {
+            code: (qi + self.radius) as u32,
+            recon,
+        }
     }
 
     /// Recovers the reconstruction for a non-zero `code` produced by

@@ -90,9 +90,9 @@ mod tests {
     #[test]
     fn roundtrip_runs() {
         let mut data = vec![0u8; 1000];
-        data.extend(std::iter::repeat(1).take(500));
+        data.extend(std::iter::repeat_n(1, 500));
         data.push(2);
-        data.extend(std::iter::repeat(0).take(123));
+        data.extend(std::iter::repeat_n(0, 123));
         let enc = rle_encode(&data);
         assert!(enc.len() < 20);
         assert_eq!(rle_decode(&enc), Some(data));

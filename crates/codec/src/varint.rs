@@ -54,7 +54,17 @@ mod tests {
 
     #[test]
     fn varint_roundtrip() {
-        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         let mut buf = Vec::new();
         for &v in &values {
             write_uvarint(&mut buf, v);
@@ -77,7 +87,17 @@ mod tests {
 
     #[test]
     fn zigzag_roundtrip() {
-        for v in [-1i64, 0, 1, -2, 2, i64::MIN, i64::MAX, -1_000_000, 1_000_000] {
+        for v in [
+            -1i64,
+            0,
+            1,
+            -2,
+            2,
+            i64::MIN,
+            i64::MAX,
+            -1_000_000,
+            1_000_000,
+        ] {
             assert_eq!(zigzag_decode(zigzag_encode(v)), v);
         }
         // Small magnitudes map to small codes.

@@ -4,13 +4,12 @@
 //! — collecting unit blocks into the compression buffer (merging, padding;
 //! AMRIC's stacking does more data rearrangement than our linear merge) —
 //! and (2) compression + writing to the file system. [`write_snapshot`] runs
-//! both stages against the same SZ3MR machinery as the offline path and
-//! reports wall-clock per stage.
+//! both stages through the same backend-generic MRC engine as the offline
+//! path ([`prepare_mr`] then [`encode_prepared`]), so the file it writes is a
+//! complete, decompressible MRC stream — any [`crate::mrc::Backend`] works.
 
-use crate::sz3mr::{prepare_level, Sz3MrConfig};
-use hqmr_codec::{tag, write_uvarint, Container};
-use hqmr_grid::Field3;
-use hqmr_mr::{MergedArray, MultiResData};
+use crate::mrc::{encode_prepared, prepare_mr, MrcConfig};
+use hqmr_mr::MultiResData;
 use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
@@ -20,7 +19,7 @@ use std::time::Instant;
 pub struct StageTimings {
     /// Merge + pad: filling the compression buffer.
     pub preprocess: f64,
-    /// SZ3 compression and writing the stream to disk.
+    /// Codec compression and writing the stream to disk.
     pub compress_write: f64,
 }
 
@@ -32,41 +31,24 @@ impl StageTimings {
 }
 
 /// Compresses `mr` under `cfg` and writes the stream to `path`, timing the
-/// two stages separately. Returns the timings and the bytes written.
+/// two stages separately. Returns the timings and the bytes written. The
+/// file contains a full MRC container — [`crate::mrc::decompress_mr`] reads
+/// it back.
 pub fn write_snapshot(
     mr: &MultiResData,
-    cfg: &Sz3MrConfig,
+    cfg: &MrcConfig,
     path: impl AsRef<Path>,
 ) -> std::io::Result<(StageTimings, u64)> {
     let mut timings = StageTimings::default();
 
     // Stage 1: pre-process (merge + pad) every level into buffers.
     let t0 = Instant::now();
-    let prepared: Vec<(Vec<MergedArray>, Vec<Field3>, bool)> =
-        mr.levels.iter().map(|lvl| prepare_level(lvl, cfg)).collect();
+    let prepared = prepare_mr(mr, cfg);
     timings.preprocess = t0.elapsed().as_secs_f64();
 
     // Stage 2: compress and write.
     let t1 = Instant::now();
-    let sz3_cfg = hqmr_sz3::Sz3Config {
-        eb: cfg.eb,
-        interp: cfg.interp,
-        level_eb: cfg.adaptive_eb,
-    };
-    let mut c = Container::new();
-    let mut head = Vec::new();
-    write_uvarint(&mut head, mr.domain.nx as u64);
-    write_uvarint(&mut head, mr.domain.ny as u64);
-    write_uvarint(&mut head, mr.domain.nz as u64);
-    write_uvarint(&mut head, mr.levels.len() as u64);
-    c.push(tag(b"MRHD"), head);
-    for (arrays, fields, _padded) in &prepared {
-        for (_m, f) in arrays.iter().zip(fields) {
-            let r = hqmr_sz3::compress(f, &sz3_cfg);
-            c.push(tag(b"SZ3S"), r.bytes);
-        }
-    }
-    let bytes = c.to_bytes();
+    let (bytes, _stats) = encode_prepared(mr, &prepared, cfg);
     let file = std::fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(file);
     w.write_all(&bytes)?;
@@ -79,6 +61,7 @@ pub fn write_snapshot(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mrc::{decompress_mr, Backend};
     use hqmr_grid::synth;
     use hqmr_mr::{to_amr, AmrConfig};
 
@@ -87,13 +70,29 @@ mod tests {
         let f = synth::nyx_like(32, 5);
         let mr = to_amr(&f, &AmrConfig::new(8, vec![0.25, 0.75]));
         let path = std::env::temp_dir().join("hqmr_insitu_test.bin");
-        let (t, bytes) = write_snapshot(&mr, &Sz3MrConfig::ours(1e6), &path).unwrap();
+        let (t, bytes) = write_snapshot(&mr, &MrcConfig::ours(1e6), &path).unwrap();
         let on_disk = std::fs::metadata(&path).unwrap().len();
         std::fs::remove_file(&path).ok();
         assert_eq!(bytes, on_disk);
         assert!(bytes > 0);
         assert!(t.preprocess >= 0.0 && t.compress_write > 0.0);
         assert!(t.total() >= t.compress_write);
+    }
+
+    #[test]
+    fn snapshot_is_a_decompressible_stream_for_every_backend() {
+        let f = synth::nyx_like(32, 6);
+        let mr = to_amr(&f, &AmrConfig::new(8, vec![0.25, 0.75]));
+        let path = std::env::temp_dir().join("hqmr_insitu_roundtrip.bin");
+        for backend in Backend::ALL {
+            let cfg = MrcConfig::ours_pad(1e6).with_backend(backend);
+            write_snapshot(&mr, &cfg, &path).unwrap();
+            let loaded = std::fs::read(&path).unwrap();
+            let back = decompress_mr(&loaded).expect("snapshot must decompress");
+            assert_eq!(back.domain, mr.domain);
+            assert_eq!(back.levels.len(), mr.levels.len());
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -106,9 +105,9 @@ mod tests {
         let mr = to_amr(&f, &AmrConfig::nyx_t1());
         let path = std::env::temp_dir().join("hqmr_insitu_cmp.bin");
         // Warm-up to fault in pages and allocators.
-        write_snapshot(&mr, &Sz3MrConfig::ours(1e6), &path).unwrap();
-        let (lin, _) = write_snapshot(&mr, &Sz3MrConfig::ours(1e6), &path).unwrap();
-        let (stk, _) = write_snapshot(&mr, &Sz3MrConfig::amric(1e6), &path).unwrap();
+        write_snapshot(&mr, &MrcConfig::ours(1e6), &path).unwrap();
+        let (lin, _) = write_snapshot(&mr, &MrcConfig::ours(1e6), &path).unwrap();
+        let (stk, _) = write_snapshot(&mr, &MrcConfig::amric(1e6), &path).unwrap();
         std::fs::remove_file(&path).ok();
         for t in [lin, stk] {
             assert!(

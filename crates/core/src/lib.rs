@@ -1,10 +1,14 @@
 //! The paper's workflow (§III): high-quality multi-resolution scientific data
 //! reduction and visualization.
 //!
-//! * [`sz3mr`] — SZ3 optimized for multi-resolution data: linear merge +
-//!   single-layer padding (Improvement 1) and adaptive per-level error bounds
-//!   (Improvement 2), with the AMRIC (stack) and TAC (box) arrangements as
-//!   selectable baselines.
+//! * [`mrc`] — the backend-generic multi-resolution compression engine:
+//!   linear merge + single-layer padding (Improvement 1) and adaptive
+//!   per-level error bounds (Improvement 2), with the AMRIC (stack) and TAC
+//!   (box) arrangements as selectable baselines — all dispatching through
+//!   the [`hqmr_codec::Codec`] trait, so SZ3, SZ2, ZFP and the raw
+//!   passthrough are interchangeable backends ([`mrc::Backend`]).
+//! * [`sz3mr`] — deprecated aliases from before the engine was generalized;
+//!   kept for one release.
 //! * [`post`] — the error-bounded adaptive Bézier post-process (§III-B):
 //!   quadratic Bézier smoothing across compression-block boundaries, clamped
 //!   to `d ± a·eb`, with the intensity `a` chosen per dimension by sampling +
@@ -13,20 +17,25 @@
 //!   Gaussian modelling, and probabilistic-marching-cubes integration
 //!   (§III-C).
 //! * [`insitu`] — the staged output pipeline (pre-process vs. compress+write)
-//!   measured in Table IV.
-//! * [`workflow`] — one-call end-to-end API tying everything together.
+//!   measured in Table IV, reusing the engine's prepare/encode split.
+//! * [`workflow`] — one-call end-to-end API tying everything together, with
+//!   the compressor selected as arrangement × backend
+//!   ([`workflow::CompressorChoice`]).
 
 pub mod insitu;
+pub mod mrc;
 pub mod post;
 pub mod sz3mr;
 pub mod uncertainty;
 pub mod workflow;
 
 pub use insitu::{write_snapshot, StageTimings};
+pub use mrc::{compress_mr, decompress_mr, Backend, MrStats, MrcConfig, MrcError};
 pub use post::{bezier_pass, select_intensity, IntensityChoice, PostConfig};
-pub use sz3mr::{compress_mr, decompress_mr, MrStats, Sz3MrConfig};
 pub use uncertainty::{
-    analyze_feature_recovery, model_near_isovalue, sample_error_pairs, ErrorModel,
-    FeatureRecovery,
+    analyze_feature_recovery, model_near_isovalue, sample_error_pairs, ErrorModel, FeatureRecovery,
 };
-pub use workflow::{run_uniform_workflow, WorkflowConfig, WorkflowResult};
+pub use workflow::{
+    run_uniform_workflow, Arrangement, CompressorChoice, WorkflowConfig, WorkflowError,
+    WorkflowResult,
+};

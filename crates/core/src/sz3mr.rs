@@ -1,397 +1,22 @@
-//! SZ3MR: the paper's multi-resolution SZ3 pipeline (§III-A).
+//! Deprecated: `sz3mr` was generalized into the backend-generic [`crate::mrc`]
+//! engine when the codec axis (SZ3 / SZ2 / ZFP / passthrough) was introduced.
 //!
-//! Per resolution level: arrange unit blocks into dense arrays
-//! ([`MergeStrategy`]), optionally pad the two small dimensions
-//! (Improvement 1, only for linear merges with `unit > 4`), then compress
-//! each array with SZ3 under an optional adaptive per-level error bound
-//! (Improvement 2). The serialized stream is self-describing and
-//! [`decompress_mr`] reverses every step.
+//! This module keeps the old names alive for one release. The mapping:
+//!
+//! | old (`sz3mr`)            | new (`mrc`)                          |
+//! |--------------------------|--------------------------------------|
+//! | `Sz3MrConfig`            | [`MrcConfig`] (`adaptive_eb`/`interp` moved into [`crate::mrc::Backend::Sz3`]) |
+//! | `MrError`                | [`MrcError`]                         |
+//! | `compress_mr`            | [`compress_mr`] (unchanged signature) |
+//! | `decompress_mr`          | [`decompress_mr`] (unchanged)        |
+//! | `MrStats`                | [`MrStats`] (gains a `codec` field)  |
 
-use hqmr_codec::{read_uvarint, tag, write_uvarint, Container, ContainerError};
-use hqmr_grid::{Dims3, Field3};
-use hqmr_mr::{
-    merge_level, pad_small_dims, strip_padding, LevelData, MergeStrategy, MergedArray,
-    MultiResData, PadKind,
-};
-use hqmr_sz3::{InterpKind, LevelEbPolicy, Sz3Config};
+pub use crate::mrc::{compress_mr, decompress_mr, MrStats};
 
-const TAG_HEAD: u32 = tag(b"MRHD");
-const TAG_LEVEL: u32 = tag(b"LVHD");
-const TAG_LAYOUT: u32 = tag(b"LAYT");
-const TAG_STREAM: u32 = tag(b"SZ3S");
+/// Deprecated name for [`crate::mrc::MrcConfig`].
+#[deprecated(note = "renamed: use `mrc::MrcConfig` (codec knobs moved into `mrc::Backend`)")]
+pub type Sz3MrConfig = crate::mrc::MrcConfig;
 
-/// SZ3MR configuration: which arrangement, whether to pad, which error-bound
-/// policy. The named constructors map to the paper's curves.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Sz3MrConfig {
-    /// Absolute error bound.
-    pub eb: f64,
-    /// Unit-block arrangement.
-    pub merge: MergeStrategy,
-    /// Padding for the small dims of linear merges (applied when `unit > 4`).
-    pub pad: Option<PadKind>,
-    /// Adaptive per-level error bound (Improvement 2).
-    pub adaptive_eb: Option<LevelEbPolicy>,
-    /// SZ3 interpolator.
-    pub interp: InterpKind,
-}
-
-impl Sz3MrConfig {
-    /// "Baseline-SZ3": linear merge, no padding, uniform error bound.
-    pub fn baseline(eb: f64) -> Self {
-        Sz3MrConfig {
-            eb,
-            merge: MergeStrategy::Linear,
-            pad: None,
-            adaptive_eb: None,
-            interp: InterpKind::Cubic,
-        }
-    }
-
-    /// "AMRIC-SZ3": cubic stacking arrangement.
-    pub fn amric(eb: f64) -> Self {
-        Sz3MrConfig { merge: MergeStrategy::Stack, ..Self::baseline(eb) }
-    }
-
-    /// "TAC-SZ3": adjacency-preserving boxes, compressed separately.
-    pub fn tac(eb: f64) -> Self {
-        Sz3MrConfig { merge: MergeStrategy::Tac, ..Self::baseline(eb) }
-    }
-
-    /// "Ours (pad)": linear merge + linear-extrapolation padding.
-    pub fn ours_pad(eb: f64) -> Self {
-        Sz3MrConfig { pad: Some(PadKind::Linear), ..Self::baseline(eb) }
-    }
-
-    /// "Ours (pad+eb)": padding + the paper's α=2.25, β=8 level bounds.
-    pub fn ours(eb: f64) -> Self {
-        Sz3MrConfig { adaptive_eb: Some(LevelEbPolicy::PAPER), ..Self::ours_pad(eb) }
-    }
-
-    fn sz3_config(&self) -> Sz3Config {
-        Sz3Config { eb: self.eb, interp: self.interp, level_eb: self.adaptive_eb }
-    }
-}
-
-/// Per-compression statistics.
-#[derive(Debug, Clone, Default)]
-pub struct MrStats {
-    /// Stored cells across all levels (CR denominator × 4 bytes).
-    pub stored_cells: usize,
-    /// Compressed size in bytes.
-    pub compressed_bytes: usize,
-    /// Arrays compressed per level.
-    pub arrays_per_level: Vec<usize>,
-    /// Whether each level was padded.
-    pub padded_levels: Vec<bool>,
-}
-
-impl MrStats {
-    /// Compression ratio versus raw `f32` storage of the stored cells.
-    pub fn ratio(&self) -> f64 {
-        (self.stored_cells * 4) as f64 / self.compressed_bytes.max(1) as f64
-    }
-}
-
-/// Whether this config pads a level with the given unit size.
-fn pads(cfg: &Sz3MrConfig, unit: usize) -> bool {
-    cfg.pad.is_some() && cfg.merge == MergeStrategy::Linear && unit > 4
-}
-
-/// Pre-processing stage: merge (and pad) one level into compression-ready
-/// arrays. Split out so the in-situ writer can time it separately (Table IV).
-pub(crate) fn prepare_level(
-    level: &LevelData,
-    cfg: &Sz3MrConfig,
-) -> (Vec<MergedArray>, Vec<Field3>, bool) {
-    let arrays = merge_level(level, cfg.merge);
-    let padded = pads(cfg, level.unit);
-    let fields = arrays
-        .iter()
-        .map(|m| {
-            if padded {
-                pad_small_dims(&m.field, cfg.pad.unwrap_or(PadKind::Linear))
-            } else {
-                m.field.clone()
-            }
-        })
-        .collect();
-    (arrays, fields, padded)
-}
-
-fn encode_layout(m: &MergedArray, padded: bool) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.push(padded as u8);
-    write_uvarint(&mut out, m.unit as u64);
-    write_uvarint(&mut out, m.slots.len() as u64);
-    for (slot, origin) in &m.slots {
-        for v in slot.iter().chain(origin.iter()) {
-            write_uvarint(&mut out, *v as u64);
-        }
-    }
-    out
-}
-
-fn decode_layout(bytes: &[u8]) -> Option<(bool, usize, Vec<([usize; 3], [usize; 3])>)> {
-    let mut pos = 0usize;
-    let padded = *bytes.first()? != 0;
-    pos += 1;
-    let unit = read_uvarint(bytes, &mut pos)? as usize;
-    let n = read_uvarint(bytes, &mut pos)? as usize;
-    let mut slots = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut vals = [0usize; 6];
-        for v in &mut vals {
-            *v = read_uvarint(bytes, &mut pos)? as usize;
-        }
-        slots.push(([vals[0], vals[1], vals[2]], [vals[3], vals[4], vals[5]]));
-    }
-    Some((padded, unit, slots))
-}
-
-/// Compresses multi-resolution data under `cfg`.
-pub fn compress_mr(mr: &MultiResData, cfg: &Sz3MrConfig) -> (Vec<u8>, MrStats) {
-    let mut c = Container::new();
-    let mut head = Vec::new();
-    write_uvarint(&mut head, mr.domain.nx as u64);
-    write_uvarint(&mut head, mr.domain.ny as u64);
-    write_uvarint(&mut head, mr.domain.nz as u64);
-    write_uvarint(&mut head, mr.levels.len() as u64);
-    c.push(TAG_HEAD, head);
-
-    let mut stats = MrStats { stored_cells: mr.total_cells(), ..Default::default() };
-    let sz3_cfg = cfg.sz3_config();
-    for level in &mr.levels {
-        let (arrays, fields, padded) = prepare_level(level, cfg);
-        let mut lv = Vec::new();
-        write_uvarint(&mut lv, level.level as u64);
-        write_uvarint(&mut lv, level.unit as u64);
-        write_uvarint(&mut lv, level.dims.nx as u64);
-        write_uvarint(&mut lv, level.dims.ny as u64);
-        write_uvarint(&mut lv, level.dims.nz as u64);
-        write_uvarint(&mut lv, arrays.len() as u64);
-        c.push(TAG_LEVEL, lv);
-        for (m, f) in arrays.iter().zip(&fields) {
-            c.push(TAG_LAYOUT, encode_layout(m, padded));
-            let r = hqmr_sz3::compress(f, &sz3_cfg);
-            c.push(TAG_STREAM, r.bytes);
-        }
-        stats.arrays_per_level.push(arrays.len());
-        stats.padded_levels.push(padded);
-    }
-    let bytes = c.to_bytes();
-    stats.compressed_bytes = bytes.len();
-    (bytes, stats)
-}
-
-/// SZ3MR decompression errors.
-#[derive(Debug)]
-pub enum MrError {
-    /// Container-level failure.
-    Container(ContainerError),
-    /// Inner SZ3 stream failure.
-    Sz3(hqmr_sz3::Sz3Error),
-    /// Structural inconsistency.
-    Malformed(&'static str),
-}
-
-impl std::fmt::Display for MrError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            MrError::Container(e) => write!(f, "container: {e}"),
-            MrError::Sz3(e) => write!(f, "sz3: {e}"),
-            MrError::Malformed(m) => write!(f, "malformed sz3mr stream: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for MrError {}
-
-impl From<ContainerError> for MrError {
-    fn from(e: ContainerError) -> Self {
-        MrError::Container(e)
-    }
-}
-
-impl From<hqmr_sz3::Sz3Error> for MrError {
-    fn from(e: hqmr_sz3::Sz3Error) -> Self {
-        MrError::Sz3(e)
-    }
-}
-
-/// Decompresses a stream produced by [`compress_mr`].
-pub fn decompress_mr(bytes: &[u8]) -> Result<MultiResData, MrError> {
-    let c = Container::from_bytes(bytes)?;
-    let head = c.require(TAG_HEAD)?;
-    let mut pos = 0usize;
-    let rd = |buf: &[u8], pos: &mut usize| -> Result<usize, MrError> {
-        read_uvarint(buf, pos).map(|v| v as usize).ok_or(MrError::Malformed("varint"))
-    };
-    let nx = rd(head, &mut pos)?;
-    let ny = rd(head, &mut pos)?;
-    let nz = rd(head, &mut pos)?;
-    let n_levels = rd(head, &mut pos)?;
-    let domain = Dims3::new(nx, ny, nz);
-
-    let level_heads: Vec<&[u8]> = c.get_all(TAG_LEVEL).collect();
-    if level_heads.len() != n_levels {
-        return Err(MrError::Malformed("level count"));
-    }
-    let mut layouts = c.get_all(TAG_LAYOUT);
-    let mut streams = c.get_all(TAG_STREAM);
-
-    let mut levels = Vec::with_capacity(n_levels);
-    for lv in level_heads {
-        let mut p = 0usize;
-        let level = rd(lv, &mut p)?;
-        let unit = rd(lv, &mut p)?;
-        let dx = rd(lv, &mut p)?;
-        let dy = rd(lv, &mut p)?;
-        let dz = rd(lv, &mut p)?;
-        let n_arrays = rd(lv, &mut p)?;
-        let mut pairs: Vec<(MergedArray, Field3)> = Vec::with_capacity(n_arrays);
-        for _ in 0..n_arrays {
-            let layout = layouts.next().ok_or(MrError::Malformed("missing layout"))?;
-            let stream = streams.next().ok_or(MrError::Malformed("missing stream"))?;
-            let (padded, a_unit, slots) =
-                decode_layout(layout).ok_or(MrError::Malformed("layout"))?;
-            let mut field = hqmr_sz3::decompress(stream)?;
-            if padded {
-                field = strip_padding(&field);
-            }
-            let merged = MergedArray { field: Field3::zeros(field.dims()), unit: a_unit, slots };
-            pairs.push((merged, field));
-        }
-        let refs: Vec<(&MergedArray, &Field3)> = pairs.iter().map(|(m, f)| (m, f)).collect();
-        let blocks = hqmr_mr::unsplit_level(&refs);
-        levels.push(LevelData { level, unit, dims: Dims3::new(dx, dy, dz), blocks });
-    }
-    Ok(MultiResData { domain, levels })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use hqmr_grid::synth;
-    use hqmr_mr::{to_adaptive, to_amr, AmrConfig, RoiConfig, Upsample};
-
-    fn max_block_err(a: &MultiResData, b: &MultiResData) -> f64 {
-        let mut worst = 0.0f64;
-        for (la, lb) in a.levels.iter().zip(&b.levels) {
-            assert_eq!(la.blocks.len(), lb.blocks.len());
-            for (ba, bb) in la.blocks.iter().zip(&lb.blocks) {
-                assert_eq!(ba.origin, bb.origin);
-                for (&x, &y) in ba.data.iter().zip(&bb.data) {
-                    worst = worst.max((x as f64 - y as f64).abs());
-                }
-            }
-        }
-        worst
-    }
-
-    fn test_mr() -> MultiResData {
-        let f = synth::nyx_like(32, 9);
-        to_amr(&f, &AmrConfig::new(8, vec![0.25, 0.75]))
-    }
-
-    #[test]
-    fn roundtrip_all_strategies_respect_bound() {
-        let mr = test_mr();
-        let eb = 1e6; // nyx-scale values ~1e8
-        for cfg in [
-            Sz3MrConfig::baseline(eb),
-            Sz3MrConfig::amric(eb),
-            Sz3MrConfig::tac(eb),
-            Sz3MrConfig::ours_pad(eb),
-            Sz3MrConfig::ours(eb),
-        ] {
-            let (bytes, stats) = compress_mr(&mr, &cfg);
-            let back = decompress_mr(&bytes).unwrap();
-            assert_eq!(back.domain, mr.domain);
-            let err = max_block_err(&mr, &back);
-            assert!(err <= eb + 1e-3, "{cfg:?}: err {err}");
-            assert!(stats.ratio() > 1.0);
-        }
-    }
-
-    #[test]
-    fn padding_flag_follows_unit_size() {
-        let mr = test_mr(); // units 8 (fine) and 4 (coarse)
-        let (_, stats) = compress_mr(&mr, &Sz3MrConfig::ours(1e6));
-        assert_eq!(stats.padded_levels, vec![true, false], "pad only when unit > 4");
-        let (_, stats) = compress_mr(&mr, &Sz3MrConfig::baseline(1e6));
-        assert_eq!(stats.padded_levels, vec![false, false]);
-    }
-
-    #[test]
-    fn tac_produces_multiple_arrays_on_sparse_levels() {
-        let mr = test_mr();
-        let (_, tac_stats) = compress_mr(&mr, &Sz3MrConfig::tac(1e6));
-        let (_, lin_stats) = compress_mr(&mr, &Sz3MrConfig::baseline(1e6));
-        assert_eq!(lin_stats.arrays_per_level, vec![1, 1]);
-        assert!(tac_stats.arrays_per_level.iter().sum::<usize>() >= 2);
-    }
-
-    #[test]
-    fn adaptive_data_roundtrip() {
-        let f = synth::warpx_like(hqmr_grid::Dims3::new(16, 16, 128), 4);
-        let mr = to_adaptive(&f, &RoiConfig::new(8, 0.5));
-        let eb = f.range() as f64 * 1e-3;
-        let (bytes, _) = compress_mr(&mr, &Sz3MrConfig::ours(eb));
-        let back = decompress_mr(&bytes).unwrap();
-        assert!(max_block_err(&mr, &back) <= eb + 1e-9);
-        // End-to-end: reconstruction of decompressed MR stays close to the
-        // reconstruction of the uncompressed MR.
-        let r0 = mr.reconstruct(Upsample::Nearest);
-        let r1 = back.reconstruct(Upsample::Nearest);
-        assert!(hqmr_metrics::max_abs_err(&r0, &r1) <= eb + 1e-9);
-    }
-
-    #[test]
-    fn padding_wins_on_oscillatory_adaptive_data() {
-        // The Fig. 17 regime: on WarpX-like data at a moderate bound, the
-        // padded linear merge compresses better than the unpadded baseline
-        // (extrapolation across the small dims is very costly on waves), and
-        // the reconstruction is at least as accurate.
-        let f = synth::warpx_like(hqmr_grid::Dims3::new(32, 32, 256), 4);
-        let mr = to_adaptive(&f, &RoiConfig::new(16, 0.5));
-        let eb = f.range() as f64 * 8e-3;
-        let (bb, base) = compress_mr(&mr, &Sz3MrConfig::baseline(eb));
-        let (pb, pad) = compress_mr(&mr, &Sz3MrConfig::ours_pad(eb));
-        let rp = |bytes: &[u8]| {
-            decompress_mr(bytes).unwrap().reconstruct(Upsample::Nearest)
-        };
-        let r0 = mr.reconstruct(Upsample::Nearest);
-        let psnr_base = hqmr_metrics::psnr(&r0, &rp(&bb));
-        let psnr_pad = hqmr_metrics::psnr(&r0, &rp(&pb));
-        assert!(
-            pad.compressed_bytes <= base.compressed_bytes,
-            "pad {} vs base {} bytes",
-            pad.compressed_bytes,
-            base.compressed_bytes
-        );
-        assert!(psnr_pad >= psnr_base - 0.5, "pad {psnr_pad} vs base {psnr_base} dB");
-    }
-
-    #[test]
-    fn corrupted_stream_rejected() {
-        let mr = test_mr();
-        let (bytes, _) = compress_mr(&mr, &Sz3MrConfig::ours(1e6));
-        let mut bad = bytes.clone();
-        let n = bad.len();
-        bad[n / 3] ^= 0x80;
-        assert!(decompress_mr(&bad).is_err());
-        assert!(decompress_mr(&bytes[..20]).is_err());
-    }
-
-    #[test]
-    fn empty_level_handled() {
-        let mut mr = test_mr();
-        mr.levels[0].blocks.clear();
-        let (bytes, stats) = compress_mr(&mr, &Sz3MrConfig::ours(1e6));
-        assert_eq!(stats.arrays_per_level[0], 0);
-        let back = decompress_mr(&bytes).unwrap();
-        assert!(back.levels[0].blocks.is_empty());
-        assert_eq!(back.levels[1].blocks.len(), mr.levels[1].blocks.len());
-    }
-}
+/// Deprecated name for [`crate::mrc::MrcError`].
+#[deprecated(note = "renamed: use `mrc::MrcError`")]
+pub type MrError = crate::mrc::MrcError;

@@ -32,12 +32,7 @@ impl ErrorModel {
 
 /// Samples `(original value, error)` pairs at rate `frac` (deterministic in
 /// `seed`).
-pub fn sample_error_pairs(
-    orig: &Field3,
-    decomp: &Field3,
-    frac: f64,
-    seed: u64,
-) -> Vec<(f32, f64)> {
+pub fn sample_error_pairs(orig: &Field3, decomp: &Field3, frac: f64, seed: u64) -> Vec<(f32, f64)> {
     assert_eq!(orig.dims(), decomp.dims(), "field dims mismatch");
     let n = orig.len();
     let target = ((n as f64 * frac).ceil() as usize).clamp(1, n);
@@ -69,12 +64,20 @@ pub fn model_near_isovalue(pairs: &[(f32, f64)], iso: f32, band: f32) -> ErrorMo
         pairs.iter().map(|&(_, e)| e).collect()
     };
     if selected.is_empty() {
-        return ErrorModel { mean: 0.0, sigma: 0.0, samples: 0 };
+        return ErrorModel {
+            mean: 0.0,
+            sigma: 0.0,
+            samples: 0,
+        };
     }
     let n = selected.len() as f64;
     let mean = selected.iter().sum::<f64>() / n;
     let var = selected.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / n;
-    ErrorModel { mean, sigma: var.sqrt(), samples: selected.len() }
+    ErrorModel {
+        mean,
+        sigma: var.sqrt(),
+        samples: selected.len(),
+    }
 }
 
 /// Fig. 14's quantitative summary: how many isosurface features of the
@@ -91,7 +94,11 @@ pub struct FeatureRecovery {
 }
 
 /// Matches features by bounding-box centre distance (≤ `match_dist` cells).
-fn matched(a: &hqmr_vis::SurfaceFeature, candidates: &[hqmr_vis::SurfaceFeature], match_dist: f64) -> bool {
+fn matched(
+    a: &hqmr_vis::SurfaceFeature,
+    candidates: &[hqmr_vis::SurfaceFeature],
+    match_dist: f64,
+) -> bool {
     let c = a.center();
     candidates.iter().any(|b| {
         let d = b.center();
@@ -124,7 +131,11 @@ pub fn analyze_feature_recovery(
             recovered += 1;
         }
     }
-    FeatureRecovery { original: ref_feats.len(), preserved, recovered }
+    FeatureRecovery {
+        original: ref_feats.len(),
+        preserved,
+        recovered,
+    }
 }
 
 #[cfg(test)]
@@ -181,8 +192,8 @@ mod tests {
         // below the isovalue — deterministic extraction loses it; PMC with
         // the fitted sigma recovers it.
         let bump = |x: usize, y: usize, z: usize, c: [f32; 3], a: f32| {
-            let r2 = (x as f32 - c[0]).powi(2) + (y as f32 - c[1]).powi(2)
-                + (z as f32 - c[2]).powi(2);
+            let r2 =
+                (x as f32 - c[0]).powi(2) + (y as f32 - c[1]).powi(2) + (z as f32 - c[2]).powi(2);
             a * (-r2 / 8.0).exp()
         };
         let orig = Field3::from_fn(Dims3::cube(28), |x, y, z| {
@@ -194,7 +205,11 @@ mod tests {
                 *v -= 0.15; // push the small bump below iso = 1.0
             }
         }
-        let model = ErrorModel { mean: 0.0, sigma: 0.1, samples: 100 };
+        let model = ErrorModel {
+            mean: 0.0,
+            sigma: 0.1,
+            samples: 100,
+        };
         let r = analyze_feature_recovery(&orig, &dec, 1.0, &model, 0.15, 3, 6.0);
         assert_eq!(r.original, 2);
         assert_eq!(r.preserved, 1, "big bump survives");

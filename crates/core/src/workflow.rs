@@ -1,16 +1,17 @@
 //! End-to-end workflow convenience API (Fig. 3).
 //!
 //! One call runs the full pipeline on a uniform field: ROI extraction →
-//! multi-resolution conversion → SZ3MR compression → decompression →
-//! reconstruction → optional Bézier post-processing → optional uncertainty
-//! model. Examples and integration tests build on this; the individual
-//! stages remain available for finer control.
+//! multi-resolution conversion → MRC compression (any arrangement × codec
+//! backend) → decompression → reconstruction → optional Bézier
+//! post-processing → optional uncertainty model. Examples and integration
+//! tests build on this; the individual stages remain available for finer
+//! control.
 
+use crate::mrc::{compress_mr, decompress_mr, Backend, MrStats, MrcConfig, MrcError};
 use crate::post::{bezier_pass, select_intensity, PostConfig};
-use crate::sz3mr::{compress_mr, decompress_mr, MrStats, Sz3MrConfig};
 use crate::uncertainty::{model_near_isovalue, sample_error_pairs, ErrorModel};
 use hqmr_grid::Field3;
-use hqmr_mr::{to_adaptive, RoiConfig, Upsample};
+use hqmr_mr::{to_adaptive, MergeStrategy, PadKind, RoiConfig, Upsample};
 
 /// Workflow configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,7 +20,8 @@ pub struct WorkflowConfig {
     pub roi: RoiConfig,
     /// Error bound, *relative to the field's value range*.
     pub rel_eb: f64,
-    /// SZ3MR variant (defaults to the full "ours": pad + adaptive eb).
+    /// Compressor: arrangement × codec backend (defaults to the paper's full
+    /// "ours" arrangement on SZ3).
     pub compressor: CompressorChoice,
     /// Apply the Bézier post-process to the reconstruction.
     pub post_process: bool,
@@ -29,26 +31,91 @@ pub struct WorkflowConfig {
     pub upsample: Upsample,
 }
 
-/// Which SZ3MR variant the workflow runs.
+/// How unit blocks are arranged for compression — the paper's four curves,
+/// independent of which codec backend runs afterwards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CompressorChoice {
-    /// The paper's full method (linear merge + pad + adaptive eb).
+pub enum Arrangement {
+    /// The paper's full method: linear merge + single-layer padding.
     Ours,
-    /// Baseline SZ3 (linear merge only).
+    /// Linear merge only.
     Baseline,
-    /// AMRIC-style stacking.
+    /// AMRIC-style cubic stacking.
     Amric,
-    /// TAC-style boxes.
+    /// TAC-style adjacency-preserving boxes.
     Tac,
 }
 
+/// Which compressor the workflow runs: an [`Arrangement`] crossed with a
+/// codec [`Backend`]. The two axes are orthogonal — any arrangement works
+/// with any backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressorChoice {
+    /// Unit-block arrangement.
+    pub arrangement: Arrangement,
+    /// Codec backend.
+    pub backend: Backend,
+}
+
+impl CompressorChoice {
+    /// Crosses an arrangement with a backend.
+    pub const fn new(arrangement: Arrangement, backend: Backend) -> Self {
+        CompressorChoice {
+            arrangement,
+            backend,
+        }
+    }
+
+    /// The paper's full method: "ours" arrangement + SZ3 with adaptive
+    /// per-level error bounds.
+    pub const fn ours() -> Self {
+        Self::new(Arrangement::Ours, Backend::SZ3_PAPER)
+    }
+
+    /// Baseline SZ3 (linear merge only).
+    pub const fn baseline() -> Self {
+        Self::new(Arrangement::Baseline, Backend::SZ3)
+    }
+
+    /// AMRIC-style stacking on SZ3.
+    pub const fn amric() -> Self {
+        Self::new(Arrangement::Amric, Backend::SZ3)
+    }
+
+    /// TAC-style boxes on SZ3.
+    pub const fn tac() -> Self {
+        Self::new(Arrangement::Tac, Backend::SZ3)
+    }
+
+    /// Same arrangement, different codec backend.
+    pub const fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Lowers the choice to an engine configuration at absolute bound `eb`.
+    pub fn mrc_config(&self, eb: f64) -> MrcConfig {
+        let (merge, pad) = match self.arrangement {
+            Arrangement::Ours => (MergeStrategy::Linear, Some(PadKind::Linear)),
+            Arrangement::Baseline => (MergeStrategy::Linear, None),
+            Arrangement::Amric => (MergeStrategy::Stack, None),
+            Arrangement::Tac => (MergeStrategy::Tac, None),
+        };
+        MrcConfig {
+            eb,
+            merge,
+            pad,
+            backend: self.backend,
+        }
+    }
+}
+
 impl WorkflowConfig {
-    /// Paper defaults: b=16 blocks, top 50% ROI, full SZ3MR.
+    /// Paper defaults: b=16 blocks, top 50% ROI, full MRC on SZ3.
     pub fn new(rel_eb: f64) -> Self {
         WorkflowConfig {
             roi: RoiConfig::paper_default(),
             rel_eb,
-            compressor: CompressorChoice::Ours,
+            compressor: CompressorChoice::ours(),
             post_process: true,
             uncertainty_iso: None,
             upsample: Upsample::Nearest,
@@ -74,23 +141,46 @@ pub struct WorkflowResult {
     pub error_model: Option<ErrorModel>,
 }
 
+/// Workflow failures.
+#[derive(Debug)]
+pub enum WorkflowError {
+    /// The freshly produced stream failed to decompress — the engine and the
+    /// codec disagree, which is a bug or corruption, but must surface as an
+    /// error rather than a panic.
+    Roundtrip(MrcError),
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::Roundtrip(e) => write!(f, "workflow round-trip failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl From<MrcError> for WorkflowError {
+    fn from(e: MrcError) -> Self {
+        WorkflowError::Roundtrip(e)
+    }
+}
+
 /// Runs the full workflow on a uniform field.
-pub fn run_uniform_workflow(field: &Field3, cfg: &WorkflowConfig) -> WorkflowResult {
+pub fn run_uniform_workflow(
+    field: &Field3,
+    cfg: &WorkflowConfig,
+) -> Result<WorkflowResult, WorkflowError> {
     let eb = field.range() as f64 * cfg.rel_eb;
     let mr = to_adaptive(field, &cfg.roi);
-    let mr_cfg = match cfg.compressor {
-        CompressorChoice::Ours => Sz3MrConfig::ours(eb),
-        CompressorChoice::Baseline => Sz3MrConfig::baseline(eb),
-        CompressorChoice::Amric => Sz3MrConfig::amric(eb),
-        CompressorChoice::Tac => Sz3MrConfig::tac(eb),
-    };
+    let mr_cfg = cfg.compressor.mrc_config(eb);
     let (compressed, mr_stats) = compress_mr(&mr, &mr_cfg);
-    let decompressed = decompress_mr(&compressed).expect("fresh stream must decompress");
+    let decompressed = decompress_mr(&compressed)?;
     let mut reconstruction = decompressed.reconstruct(cfg.upsample);
 
     if cfg.post_process {
         // Boundaries along z with the fine unit period (the partition the
-        // SZ3MR pipeline introduced).
+        // MRC pipeline introduced).
         let post_cfg = PostConfig::sz3_multires(cfg.roi.block);
         let choice = select_intensity(field, &reconstruction, eb, &post_cfg);
         reconstruction = bezier_pass(&reconstruction, eb, choice.a, &post_cfg);
@@ -102,14 +192,14 @@ pub fn run_uniform_workflow(field: &Field3, cfg: &WorkflowConfig) -> WorkflowRes
         model_near_isovalue(&pairs, iso, band)
     });
 
-    WorkflowResult {
+    Ok(WorkflowResult {
         end_to_end_ratio: (field.len() * 4) as f64 / compressed.len() as f64,
         compressed,
         reconstruction,
         mr_stats,
         eb,
         error_model,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -121,8 +211,11 @@ mod tests {
     #[test]
     fn full_workflow_runs_and_reduces() {
         let f = synth::nyx_like(64, 11);
-        let cfg = WorkflowConfig { roi: RoiConfig::new(16, 0.3), ..WorkflowConfig::new(1e-3) };
-        let r = run_uniform_workflow(&f, &cfg);
+        let cfg = WorkflowConfig {
+            roi: RoiConfig::new(16, 0.3),
+            ..WorkflowConfig::new(1e-3)
+        };
+        let r = run_uniform_workflow(&f, &cfg).unwrap();
         assert!(r.end_to_end_ratio > 4.0, "ratio {}", r.end_to_end_ratio);
         assert_eq!(r.reconstruction.dims(), f.dims());
         // ROI cells are error-bounded; non-ROI cells carry downsampling error,
@@ -137,7 +230,7 @@ mod tests {
         let mut cfg = WorkflowConfig::new(5e-3);
         cfg.roi = RoiConfig::new(8, 0.4);
         cfg.uncertainty_iso = Some(20.0);
-        let r = run_uniform_workflow(&f, &cfg);
+        let r = run_uniform_workflow(&f, &cfg).unwrap();
         let m = r.error_model.expect("model requested");
         assert!(m.samples > 0);
         assert!(m.sigma >= 0.0);
@@ -151,10 +244,10 @@ mod tests {
             cfg.roi = RoiConfig::new(16, 0.3);
             cfg.compressor = choice;
             cfg.post_process = false;
-            run_uniform_workflow(&f, &cfg)
+            run_uniform_workflow(&f, &cfg).unwrap()
         };
-        let ours = mk(CompressorChoice::Ours);
-        let amric = mk(CompressorChoice::Amric);
+        let ours = mk(CompressorChoice::ours());
+        let amric = mk(CompressorChoice::amric());
         // Same error bound: our stream should not be meaningfully larger.
         assert!(
             (ours.compressed.len() as f64) < (amric.compressed.len() as f64) * 1.1,
@@ -162,5 +255,37 @@ mod tests {
             ours.compressed.len(),
             amric.compressed.len()
         );
+    }
+
+    #[test]
+    fn workflow_roundtrips_through_every_backend() {
+        let f = synth::nyx_like(32, 17);
+        for backend in Backend::ALL {
+            let mut cfg = WorkflowConfig::new(2e-3);
+            cfg.roi = RoiConfig::new(8, 0.4);
+            cfg.compressor = CompressorChoice::ours().with_backend(backend);
+            cfg.post_process = false;
+            let r = run_uniform_workflow(&f, &cfg).unwrap();
+            assert_eq!(r.reconstruction.dims(), f.dims(), "{backend:?}");
+            assert_eq!(r.mr_stats.codec, backend.name());
+            // The stream itself records the backend; decompression needs no
+            // configuration.
+            assert!(decompress_mr(&r.compressed).is_ok(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_surfaces_as_error_not_panic() {
+        let f = synth::nyx_like(32, 19);
+        let cfg = WorkflowConfig {
+            roi: RoiConfig::new(8, 0.4),
+            ..WorkflowConfig::new(1e-3)
+        };
+        let r = run_uniform_workflow(&f, &cfg).unwrap();
+        let mut bad = r.compressed.clone();
+        let n = bad.len();
+        bad[n / 2] ^= 0xFF;
+        assert!(decompress_mr(&bad).is_err());
+        assert!(decompress_mr(&bad[..n / 4]).is_err());
     }
 }

@@ -42,7 +42,12 @@ impl FftPlan {
         if log2n == 0 {
             rev[0] = 0;
         }
-        FftPlan { n, log2n, twiddles, rev }
+        FftPlan {
+            n,
+            log2n,
+            twiddles,
+            rev,
+        }
     }
 
     /// Transform length this plan was built for.

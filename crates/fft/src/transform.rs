@@ -78,7 +78,8 @@ pub fn fft_3d(data: &mut [Complex], nx: usize, ny: usize, nz: usize, dir: Direct
     assert_eq!(data.len(), nx * ny * nz, "shape mismatch");
     let plan_z = FftPlan::new(nz);
     // z lines are contiguous.
-    data.par_chunks_mut(nz).for_each(|line| fft_1d(&plan_z, line, dir));
+    data.par_chunks_mut(nz)
+        .for_each(|line| fft_1d(&plan_z, line, dir));
 
     // y lines: stride nz within each x-slab. Gather into scratch per line.
     let plan_y = FftPlan::new(ny);
@@ -226,8 +227,7 @@ mod tests {
         for x in 0..nx {
             for y in 0..ny {
                 for z in 0..nz {
-                    let phase = 2.0 * std::f64::consts::PI
-                        * (kx * x) as f64 / nx as f64
+                    let phase = 2.0 * std::f64::consts::PI * (kx * x) as f64 / nx as f64
                         + 2.0 * std::f64::consts::PI * (ky * y) as f64 / ny as f64
                         + 2.0 * std::f64::consts::PI * (kz * z) as f64 / nz as f64;
                     data[(x * ny + y) * nz + z] = Complex::cis(phase);
@@ -240,7 +240,11 @@ mod tests {
             for y in 0..ny {
                 for z in 0..nz {
                     let v = data[(x * ny + y) * nz + z];
-                    let expect = if (x, y, z) == (kx, ky, kz) { total } else { 0.0 };
+                    let expect = if (x, y, z) == (kx, ky, kz) {
+                        total
+                    } else {
+                        0.0
+                    };
                     assert!(
                         (v.re - expect).abs() < 1e-8 && v.im.abs() < 1e-8,
                         "bin ({x},{y},{z}) = {v:?}, expected {expect}"

@@ -219,7 +219,11 @@ mod tests {
         // compression error (±0.05) around sharp legitimate features, heavy
         // filtering destroys the features and *increases* total error.
         let truth = Field3::from_fn(Dims3::cube(12), |x, y, z| {
-            if (x + y + z) % 4 == 0 { 5.0 } else { 0.0 }
+            if (x + y + z) % 4 == 0 {
+                5.0
+            } else {
+                0.0
+            }
         });
         let mut decompressed = truth.clone();
         for (i, v) in decompressed.data_mut().iter_mut().enumerate() {

@@ -35,7 +35,11 @@ impl BlockGrid {
     /// Panics if `b == 0`.
     pub fn new(domain: Dims3, b: usize) -> Self {
         assert!(b > 0, "block size must be positive");
-        BlockGrid { domain, b, counts: domain.div_ceil(b) }
+        BlockGrid {
+            domain,
+            b,
+            counts: domain.div_ceil(b),
+        }
     }
 
     /// Block side length.
@@ -70,7 +74,11 @@ impl BlockGrid {
             self.b.min(self.domain.ny - origin[1]),
             self.b.min(self.domain.nz - origin[2]),
         );
-        BlockRef { index: [bx, by, bz], origin, size }
+        BlockRef {
+            index: [bx, by, bz],
+            origin,
+            size,
+        }
     }
 
     /// Iterates all blocks in row-major order.
@@ -84,7 +92,11 @@ impl BlockGrid {
     /// Per-block value range (`max − min`), computed in parallel. Index order
     /// matches [`Self::iter`].
     pub fn block_ranges(&self, field: &Field3) -> Vec<f32> {
-        assert_eq!(field.dims(), self.domain, "field does not match partition domain");
+        assert_eq!(
+            field.dims(),
+            self.domain,
+            "field does not match partition domain"
+        );
         let blocks: Vec<BlockRef> = self.iter().collect();
         blocks
             .par_iter()
@@ -113,7 +125,10 @@ impl BlockGrid {
         let k = ((ranges.len() as f64) * frac.clamp(0.0, 1.0)).round() as usize;
         let mut order: Vec<usize> = (0..ranges.len()).collect();
         order.sort_by(|&a, &b| {
-            ranges[b].partial_cmp(&ranges[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            ranges[b]
+                .partial_cmp(&ranges[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         let mut top: Vec<usize> = order.into_iter().take(k).collect();
         top.sort_unstable();

@@ -20,7 +20,11 @@ impl Dims3 {
 
     /// Cubic extents `n³`.
     pub const fn cube(n: usize) -> Self {
-        Dims3 { nx: n, ny: n, nz: n }
+        Dims3 {
+            nx: n,
+            ny: n,
+            nz: n,
+        }
     }
 
     /// Total number of cells.
@@ -74,7 +78,11 @@ impl Dims3 {
     /// Component-wise scaling.
     #[inline]
     pub const fn scaled(&self, s: usize) -> Dims3 {
-        Dims3 { nx: self.nx * s, ny: self.ny * s, nz: self.nz * s }
+        Dims3 {
+            nx: self.nx * s,
+            ny: self.ny * s,
+            nz: self.nz * s,
+        }
     }
 
     /// Largest extent.

@@ -12,7 +12,10 @@ pub struct Field3 {
 impl Field3 {
     /// Constant-filled field.
     pub fn new(dims: Dims3, fill: f32) -> Self {
-        Field3 { dims, data: vec![fill; dims.len()] }
+        Field3 {
+            dims,
+            data: vec![fill; dims.len()],
+        }
     }
 
     /// Zero-filled field.
@@ -366,6 +369,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spelled-out row*width+col indices
     fn slices() {
         let f = Field3::from_fn(Dims3::new(2, 3, 4), |x, y, z| (x * 100 + y * 10 + z) as f32);
         let (w, h, s) = f.slice_z(2);

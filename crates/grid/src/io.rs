@@ -35,7 +35,10 @@ pub fn read_field(mut r: impl Read) -> io::Result<Field3> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad field magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad field magic",
+        ));
     }
     let mut u = [0u8; 8];
     let mut rd = |r: &mut dyn Read| -> io::Result<usize> {

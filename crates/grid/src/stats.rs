@@ -33,9 +33,19 @@ impl FieldStats {
             max = max.max(v);
         }
         if n == 0 {
-            return FieldStats { min: 0.0, max: 0.0, mean: 0.0, variance: 0.0 };
+            return FieldStats {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                variance: 0.0,
+            };
         }
-        FieldStats { min, max, mean, variance: m2 / n as f64 }
+        FieldStats {
+            min,
+            max,
+            mean,
+            variance: m2 / n as f64,
+        }
     }
 
     /// `max − min`.

@@ -30,16 +30,29 @@ fn normal(rng: &mut StdRng) -> f64 {
 pub fn gaussian_random_field(dims: Dims3, spectral_index: f64, seed: u64) -> Field3 {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = dims.len();
-    let mut data: Vec<Complex> =
-        (0..n).map(|_| Complex::new(normal(&mut rng), 0.0)).collect();
+    let mut data: Vec<Complex> = (0..n)
+        .map(|_| Complex::new(normal(&mut rng), 0.0))
+        .collect();
     fft_3d(&mut data, dims.nx, dims.ny, dims.nz, Direction::Forward);
     for x in 0..dims.nx {
         // Signed frequency index (wrap to negative half).
-        let kx = if x <= dims.nx / 2 { x as f64 } else { x as f64 - dims.nx as f64 };
+        let kx = if x <= dims.nx / 2 {
+            x as f64
+        } else {
+            x as f64 - dims.nx as f64
+        };
         for y in 0..dims.ny {
-            let ky = if y <= dims.ny / 2 { y as f64 } else { y as f64 - dims.ny as f64 };
+            let ky = if y <= dims.ny / 2 {
+                y as f64
+            } else {
+                y as f64 - dims.ny as f64
+            };
             for z in 0..dims.nz {
-                let kz = if z <= dims.nz / 2 { z as f64 } else { z as f64 - dims.nz as f64 };
+                let kz = if z <= dims.nz / 2 {
+                    z as f64
+                } else {
+                    z as f64 - dims.nz as f64
+                };
                 let k2 = kx * kx + ky * ky + kz * kz;
                 let i = dims.idx(x, y, z);
                 if k2 == 0.0 {
@@ -109,8 +122,9 @@ pub fn warpx_like(dims: Dims3, seed: u64) -> Field3 {
         let trans = (-r2 / (w * w)).exp();
         let zf = z as f64;
         // Laser pulse.
-        let pulse =
-            e0 * (-((zf - z0) * (zf - z0)) / (2.0 * sigma_z * sigma_z)).exp() * (k_laser * zf).cos();
+        let pulse = e0
+            * (-((zf - z0) * (zf - z0)) / (2.0 * sigma_z * sigma_z)).exp()
+            * (k_laser * zf).cos();
         // Wake behind the pulse (z < z0), decaying with distance.
         let wake = if zf < z0 {
             0.35 * e0 * (-(z0 - zf) / wake_decay).exp() * (k_wake * (z0 - zf)).sin()
@@ -150,15 +164,14 @@ pub fn rt_like(n: usize, seed: u64) -> Field3 {
         let mut h = mid;
         for &(kx, ky, phase, amp) in &modes {
             h += amp
-                * ((tau * kx * x as f64 / n as f64).cos()
-                    * (tau * ky * y as f64 / n as f64).cos()
+                * ((tau * kx * x as f64 / n as f64).cos() * (tau * ky * y as f64 / n as f64).cos()
                     + phase)
                     .sin();
         }
         let s = ((z as f64 - h) / delta).tanh(); // −1 light … +1 heavy
         let base = 2.0 + s; // densities 1..3
-        // Mixing-layer turbulence, windowed to the interface region; clamped
-        // so density stays physical even at GRF tails.
+                            // Mixing-layer turbulence, windowed to the interface region; clamped
+                            // so density stays physical even at GRF tails.
         let window = (-(z as f64 - h).powi(2) / (2.0 * (6.0 * delta).powi(2))).exp();
         (base + 0.25 * window * turb.get(x, y, z) as f64).clamp(0.1, 4.0) as f32
     })
@@ -182,8 +195,8 @@ pub fn hurricane_like(dims: Dims3, seed: u64) -> Field3 {
     let n_sat = 5usize;
     let satellites: Vec<(f64, f64, f64, f64)> = (0..n_sat)
         .map(|i| {
-            let ang = i as f64 / n_sat as f64 * 2.0 * std::f64::consts::PI
-                + rng.gen_range(0.0..0.6);
+            let ang =
+                i as f64 / n_sat as f64 * 2.0 * std::f64::consts::PI + rng.gen_range(0.0..0.6);
             let rad = dims.nx as f64 * rng.gen_range(0.28..0.42);
             let amp = vmax * (0.62 + 0.1 * (i as f64 / n_sat as f64));
             (
@@ -230,7 +243,7 @@ pub fn s3d_like(n: usize, seed: u64) -> Field3 {
     Field3::from_fn(dims, |x, y, z| {
         let h = mid + wrinkle * front2d.get(x, y, 0) as f64;
         let c = 0.5 * (1.0 + ((z as f64 - h) / delta).tanh()); // progress variable
-        // Hot spots only in burnt gas.
+                                                               // Hot spots only in burnt gas.
         let spots = 120.0 * c * (hot.get(x, y, z) as f64).max(0.0);
         (t_cold + (t_hot - t_cold) * c + spots) as f32
     })
@@ -329,7 +342,12 @@ mod tests {
             }
             acc
         };
-        assert!(rough(&red) < rough(&white) * 0.5, "red {} white {}", rough(&red), rough(&white));
+        assert!(
+            rough(&red) < rough(&white) * 0.5,
+            "red {} white {}",
+            rough(&red),
+            rough(&white)
+        );
     }
 
     #[test]
@@ -342,7 +360,11 @@ mod tests {
         assert!(s.min < 0.5 * s.mean);
         assert!(s.min > 0.0, "density must stay positive");
         // Sparsity: < 20% of cells exceed 2× the mean.
-        let frac_hot = f.data().iter().filter(|&&v| v as f64 > 2.0 * s.mean).count() as f64
+        let frac_hot = f
+            .data()
+            .iter()
+            .filter(|&&v| v as f64 > 2.0 * s.mean)
+            .count() as f64
             / f.len() as f64;
         assert!(frac_hot < 0.2, "hot fraction {frac_hot}");
     }
@@ -375,7 +397,10 @@ mod tests {
         let f = hurricane_like(Dims3::new(64, 64, 16), 4);
         let eye_wall: f32 = f.get(35, 32, 0);
         let far: f32 = f.get(1, 1, 0);
-        assert!(eye_wall > 10.0 * far.max(0.5), "eye {eye_wall} vs far {far}");
+        assert!(
+            eye_wall > 10.0 * far.max(0.5),
+            "eye {eye_wall} vs far {far}"
+        );
     }
 
     #[test]
@@ -388,7 +413,10 @@ mod tests {
     #[test]
     fn dataset_enum_generates_expected_shapes() {
         assert_eq!(Dataset::WarpX.generate(8, 0).dims(), Dims3::new(8, 8, 64));
-        assert_eq!(Dataset::Hurricane.generate(16, 0).dims(), Dims3::new(16, 16, 4));
+        assert_eq!(
+            Dataset::Hurricane.generate(16, 0).dims(),
+            Dims3::new(16, 16, 4)
+        );
         assert_eq!(Dataset::NyxT1.generate(16, 0).dims(), Dims3::cube(16));
         assert_eq!(Dataset::Rt.name(), "RT");
     }

@@ -26,8 +26,7 @@ pub fn find_halos(field: &Field3, rel_threshold: f64, min_cells: usize) -> Vec<H
     if field.is_empty() {
         return Vec::new();
     }
-    let mean: f64 =
-        field.data().iter().map(|&v| v as f64).sum::<f64>() / field.len() as f64;
+    let mean: f64 = field.data().iter().map(|&v| v as f64).sum::<f64>() / field.len() as f64;
     find_halos_abs(field, (rel_threshold * mean) as f32, min_cells)
 }
 
@@ -71,8 +70,7 @@ pub fn find_halos_abs(field: &Field3, threshold: f32, min_cells: usize) -> Vec<H
                         if dx == 0 && dy == 0 && dz == 0 {
                             continue;
                         }
-                        let (nx2, ny2, nz2) =
-                            (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                        let (nx2, ny2, nz2) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                         if nx2 < 0
                             || ny2 < 0
                             || nz2 < 0
@@ -99,7 +97,11 @@ pub fn find_halos_abs(field: &Field3, threshold: f32, min_cells: usize) -> Vec<H
             });
         }
     }
-    halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).unwrap_or(std::cmp::Ordering::Equal));
+    halos.sort_by(|a, b| {
+        b.mass
+            .partial_cmp(&a.mass)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     halos
 }
 

@@ -9,8 +9,8 @@
 //!   for Nyx's halo post-analysis (Fig. 4's "captures almost all the halos").
 
 pub mod halo;
-pub mod spectrum;
 mod similarity;
+pub mod spectrum;
 
 pub use halo::{find_halos, find_halos_abs, halo_recall, Halo};
 pub use similarity::{ssim, ssim3d};
@@ -125,6 +125,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "dims mismatch")]
     fn mismatched_dims_panic() {
-        mse(&Field3::zeros(Dims3::cube(2)), &Field3::zeros(Dims3::cube(3)));
+        mse(
+            &Field3::zeros(Dims3::cube(2)),
+            &Field3::zeros(Dims3::cube(3)),
+        );
     }
 }

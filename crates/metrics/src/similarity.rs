@@ -65,9 +65,11 @@ fn stats<'a>(pairs: impl Iterator<Item = (&'a f32, &'a f32)>) -> WinStats {
 pub fn ssim(a: &[f32], b: &[f32], w: usize, h: usize) -> f64 {
     assert_eq!(a.len(), w * h, "image a shape mismatch");
     assert_eq!(b.len(), w * h, "image b shape mismatch");
-    let range = a.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(mn, mx), &v| {
-        (mn.min(v), mx.max(v))
-    });
+    let range = a
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(mn, mx), &v| {
+            (mn.min(v), mx.max(v))
+        });
     let l = (range.1 - range.0).max(f32::EPSILON) as f64;
     let c1 = (K1 * l).powi(2);
     let c2 = (K2 * l).powi(2);
@@ -174,7 +176,9 @@ mod tests {
 
     #[test]
     fn noise_lowers_ssim_monotonically() {
-        let a = image(32, 32, |x, y| ((x as f32 * 0.3).sin() + (y as f32 * 0.2).cos()) * 10.0);
+        let a = image(32, 32, |x, y| {
+            ((x as f32 * 0.3).sin() + (y as f32 * 0.2).cos()) * 10.0
+        });
         let noisy = |amp: f32| {
             let mut b = a.clone();
             for (i, v) in b.iter_mut().enumerate() {
@@ -192,7 +196,9 @@ mod tests {
     fn structural_break_hurts_more_than_offset() {
         // Constant offset barely affects SSIM (it is luminance-normalized);
         // scrambling structure destroys it.
-        let a = image(32, 32, |x, y| 10.0 + ((x as f32 * 0.4).sin() + (y as f32 * 0.3).sin()) * 5.0);
+        let a = image(32, 32, |x, y| {
+            10.0 + ((x as f32 * 0.4).sin() + (y as f32 * 0.3).sin()) * 5.0
+        });
         let offset: Vec<f32> = a.iter().map(|v| v + 0.5).collect();
         let mut scrambled = a.clone();
         scrambled.reverse();

@@ -47,7 +47,9 @@ impl RoiConfig {
 pub fn to_adaptive(field: &Field3, cfg: &RoiConfig) -> MultiResData {
     let domain = field.dims();
     assert!(
-        domain.nx.is_multiple_of(cfg.block) && domain.ny.is_multiple_of(cfg.block) && domain.nz.is_multiple_of(cfg.block),
+        domain.nx.is_multiple_of(cfg.block)
+            && domain.ny.is_multiple_of(cfg.block)
+            && domain.nz.is_multiple_of(cfg.block),
         "domain {domain} not divisible by ROI block {}",
         cfg.block
     );
@@ -63,7 +65,10 @@ pub fn to_adaptive(field: &Field3, cfg: &RoiConfig) -> MultiResData {
     for (i, blk) in grid.iter().enumerate() {
         let cube = field.extract_box(blk.origin, Dims3::cube(cfg.block));
         if is_roi[i] {
-            fine_blocks.push(UnitBlock { origin: blk.origin, data: cube.into_vec() });
+            fine_blocks.push(UnitBlock {
+                origin: blk.origin,
+                data: cube.into_vec(),
+            });
         } else {
             let down = cube.downsample2();
             coarse_blocks.push(UnitBlock {
@@ -76,7 +81,12 @@ pub fn to_adaptive(field: &Field3, cfg: &RoiConfig) -> MultiResData {
     MultiResData {
         domain,
         levels: vec![
-            LevelData { level: 0, unit: cfg.block, dims: domain, blocks: fine_blocks },
+            LevelData {
+                level: 0,
+                unit: cfg.block,
+                dims: domain,
+                blocks: fine_blocks,
+            },
             LevelData {
                 level: 1,
                 unit: cfg.block / 2,
@@ -142,10 +152,7 @@ mod tests {
         // 8³-block grid is 4³ so the corner spans 1 block... it spans blocks
         // with origin < 8 in every axis: exactly 1. All selected blocks must
         // include it.
-        let has_corner = mr.levels[0]
-            .blocks
-            .iter()
-            .any(|b| b.origin == [0, 0, 0]);
+        let has_corner = mr.levels[0].blocks.iter().any(|b| b.origin == [0, 0, 0]);
         assert!(has_corner);
     }
 

@@ -29,7 +29,10 @@ impl AmrConfig {
     pub fn new(unit: usize, densities: Vec<f64>) -> Self {
         assert!(densities.len() >= 2, "AMR needs at least 2 levels");
         let sum: f64 = densities.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-9, "densities must sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "densities must sum to 1, got {sum}"
+        );
         assert!(unit.is_power_of_two(), "unit must be a power of two");
         assert!(
             unit >> (densities.len() - 1) >= 2,
@@ -66,7 +69,9 @@ impl AmrConfig {
 pub fn to_amr(field: &Field3, cfg: &AmrConfig) -> MultiResData {
     let domain = field.dims();
     assert!(
-        domain.nx.is_multiple_of(cfg.unit) && domain.ny.is_multiple_of(cfg.unit) && domain.nz.is_multiple_of(cfg.unit),
+        domain.nx.is_multiple_of(cfg.unit)
+            && domain.ny.is_multiple_of(cfg.unit)
+            && domain.nz.is_multiple_of(cfg.unit),
         "domain {domain} not divisible by unit {}",
         cfg.unit
     );
@@ -74,7 +79,10 @@ pub fn to_amr(field: &Field3, cfg: &AmrConfig) -> MultiResData {
     let ranges = grid.block_ranges(field);
     let mut order: Vec<usize> = (0..ranges.len()).collect();
     order.sort_by(|&a, &b| {
-        ranges[b].partial_cmp(&ranges[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        ranges[b]
+            .partial_cmp(&ranges[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
 
     // Split the ranked blocks into per-level index sets by target density.
@@ -127,8 +135,8 @@ mod tests {
         // Range concentrates around a spherical shell: a natural "refine here".
         let c = n as f32 / 2.0;
         Field3::from_fn(Dims3::cube(n), |x, y, z| {
-            let r = ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2))
-                .sqrt();
+            let r =
+                ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)).sqrt();
             (-(r - n as f32 / 4.0).powi(2) / 8.0).exp() * 100.0 + 0.001 * (x + y) as f32
         })
     }
@@ -172,7 +180,10 @@ mod tests {
             let bi = (b.origin[0] / 8 * 4 + b.origin[1] / 8) * 4 + b.origin[2] / 8;
             coarse_max = coarse_max.max(ranges[bi]);
         }
-        assert!(fine_min >= coarse_max, "fine_min {fine_min} < coarse_max {coarse_max}");
+        assert!(
+            fine_min >= coarse_max,
+            "fine_min {fine_min} < coarse_max {coarse_max}"
+        );
     }
 
     #[test]
@@ -181,7 +192,10 @@ mod tests {
         let mr = to_amr(&f, &AmrConfig::new(8, vec![0.25, 0.75]));
         let r = mr.reconstruct(Upsample::Nearest);
         for b in &mr.levels[0].blocks {
-            assert_eq!(r.get(b.origin[0], b.origin[1], b.origin[2]), f.get(b.origin[0], b.origin[1], b.origin[2]));
+            assert_eq!(
+                r.get(b.origin[0], b.origin[1], b.origin[2]),
+                f.get(b.origin[0], b.origin[1], b.origin[2])
+            );
         }
     }
 

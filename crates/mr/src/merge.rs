@@ -91,7 +91,11 @@ fn merge_linear(level: &LevelData) -> MergedArray {
         field.insert_box(slot, &Field3::from_vec(Dims3::cube(u), b.data.clone()));
         slots.push((slot, b.origin));
     }
-    MergedArray { field, unit: u, slots }
+    MergedArray {
+        field,
+        unit: u,
+        slots,
+    }
 }
 
 fn merge_stack(level: &LevelData) -> MergedArray {
@@ -112,7 +116,11 @@ fn merge_stack(level: &LevelData) -> MergedArray {
             slots.push((slot, b.origin));
         }
     }
-    MergedArray { field, unit: u, slots }
+    MergedArray {
+        field,
+        unit: u,
+        slots,
+    }
 }
 
 /// Greedy adjacency-preserving box merge: maximal runs along `z`, rods merged
@@ -201,7 +209,11 @@ fn merge_tac(level: &LevelData) -> Vec<MergedArray> {
                     }
                 }
             }
-            MergedArray { field, unit: u, slots }
+            MergedArray {
+                field,
+                unit: u,
+                slots,
+            }
         })
         .collect()
 }
@@ -257,11 +269,19 @@ mod tests {
                     let data = Field3::from_fn(Dims3::cube(u), |x, y, z| {
                         ((origin[0] + x) + (origin[1] + y) + (origin[2] + z)) as f32
                     });
-                    blocks.push(UnitBlock { origin, data: data.into_vec() });
+                    blocks.push(UnitBlock {
+                        origin,
+                        data: data.into_vec(),
+                    });
                 }
             }
         }
-        LevelData { level: 0, unit: u, dims: Dims3::cube(nb * u), blocks }
+        LevelData {
+            level: 0,
+            unit: u,
+            dims: Dims3::cube(nb * u),
+            blocks,
+        }
     }
 
     #[test]
@@ -311,8 +331,17 @@ mod tests {
 
     #[test]
     fn empty_level_merges_to_nothing() {
-        let lvl = LevelData { level: 0, unit: 4, dims: Dims3::cube(8), blocks: vec![] };
-        for s in [MergeStrategy::Linear, MergeStrategy::Stack, MergeStrategy::Tac] {
+        let lvl = LevelData {
+            level: 0,
+            unit: 4,
+            dims: Dims3::cube(8),
+            blocks: vec![],
+        };
+        for s in [
+            MergeStrategy::Linear,
+            MergeStrategy::Stack,
+            MergeStrategy::Tac,
+        ] {
             assert!(merge_level(&lvl, s).is_empty());
         }
     }
@@ -320,7 +349,11 @@ mod tests {
     #[test]
     fn single_block_all_strategies() {
         let lvl = ramp_level(1, 4, |_, _, _| true);
-        for s in [MergeStrategy::Linear, MergeStrategy::Stack, MergeStrategy::Tac] {
+        for s in [
+            MergeStrategy::Linear,
+            MergeStrategy::Stack,
+            MergeStrategy::Tac,
+        ] {
             let merged = merge_level(&lvl, s);
             let pairs: Vec<_> = merged.iter().map(|m| (m, &m.field)).collect();
             assert_eq!(unsplit_level(&pairs), lvl.blocks, "{s:?}");

@@ -116,7 +116,11 @@ impl MultiResData {
             let factor = 1usize << lvl.level;
             let u = lvl.unit * factor;
             for b in &lvl.blocks {
-                let o = [b.origin[0] * factor, b.origin[1] * factor, b.origin[2] * factor];
+                let o = [
+                    b.origin[0] * factor,
+                    b.origin[1] * factor,
+                    b.origin[2] * factor,
+                ];
                 for x in o[0]..(o[0] + u).min(self.domain.nx) {
                     for y in o[1]..(o[1] + u).min(self.domain.ny) {
                         for z in o[2]..(o[2] + u).min(self.domain.nz) {
@@ -154,7 +158,10 @@ mod tests {
             level,
             unit,
             dims,
-            blocks: vec![UnitBlock { origin, data: vec![1.0; unit.pow(3)] }],
+            blocks: vec![UnitBlock {
+                origin,
+                data: vec![1.0; unit.pow(3)],
+            }],
         }
     }
 
@@ -175,15 +182,24 @@ mod tests {
             level: 0,
             unit: 4,
             dims: Dims3::cube(8),
-            blocks: vec![UnitBlock { origin: [0, 0, 0], data: vec![5.0; 64] }],
+            blocks: vec![UnitBlock {
+                origin: [0, 0, 0],
+                data: vec![5.0; 64],
+            }],
         };
         let coarse = LevelData {
             level: 1,
             unit: 2,
             dims: Dims3::cube(4),
-            blocks: vec![UnitBlock { origin: [2, 2, 2], data: vec![3.0; 8] }],
+            blocks: vec![UnitBlock {
+                origin: [2, 2, 2],
+                data: vec![3.0; 8],
+            }],
         };
-        let mr = MultiResData { domain: Dims3::cube(8), levels: vec![fine, coarse] };
+        let mr = MultiResData {
+            domain: Dims3::cube(8),
+            levels: vec![fine, coarse],
+        };
         let f = mr.reconstruct(Upsample::Nearest);
         assert_eq!(f.get(0, 0, 0), 5.0);
         assert_eq!(f.get(3, 3, 3), 5.0);
@@ -199,15 +215,24 @@ mod tests {
             level: 0,
             unit: 2,
             dims: Dims3::cube(4),
-            blocks: vec![UnitBlock { origin: [0, 0, 0], data: vec![9.0; 8] }],
+            blocks: vec![UnitBlock {
+                origin: [0, 0, 0],
+                data: vec![9.0; 8],
+            }],
         };
         let coarse = LevelData {
             level: 1,
             unit: 2,
             dims: Dims3::cube(2),
-            blocks: vec![UnitBlock { origin: [0, 0, 0], data: vec![1.0; 8] }],
+            blocks: vec![UnitBlock {
+                origin: [0, 0, 0],
+                data: vec![1.0; 8],
+            }],
         };
-        let mr = MultiResData { domain: Dims3::cube(4), levels: vec![fine, coarse] };
+        let mr = MultiResData {
+            domain: Dims3::cube(4),
+            levels: vec![fine, coarse],
+        };
         let f = mr.reconstruct(Upsample::Nearest);
         // Fine data wins where both exist.
         assert_eq!(f.get(0, 0, 0), 9.0);
@@ -224,12 +249,18 @@ mod tests {
                 level: 1,
                 unit: 2,
                 dims: Dims3::cube(2),
-                blocks: vec![UnitBlock { origin: [0, 0, 0], data: vec![0.0; 8] }],
+                blocks: vec![UnitBlock {
+                    origin: [0, 0, 0],
+                    data: vec![0.0; 8],
+                }],
             }],
         };
         assert_eq!(ok.coverage_defects(), 0);
 
-        let gap = MultiResData { domain: Dims3::cube(8), levels: ok.levels.clone() };
+        let gap = MultiResData {
+            domain: Dims3::cube(8),
+            levels: ok.levels.clone(),
+        };
         assert!(gap.coverage_defects() > 0);
     }
 

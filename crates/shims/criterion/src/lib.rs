@@ -1,0 +1,214 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of criterion's API the workspace benches use — `criterion_group!`,
+//! `criterion_main!`, benchmark groups with `sample_size`/`throughput`, and
+//! `Bencher::iter` — backed by a plain wall-clock loop. No statistics, plots,
+//! or outlier rejection: each bench runs a warm-up pass plus `sample_size`
+//! timed samples and prints min/mean per iteration (and MiB/s when a byte
+//! throughput is set). Benches must set `harness = false` (the usual
+//! criterion arrangement), which they already do.
+
+use std::fmt::Display;
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("sz3", 64)` renders as `sz3/64`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of benchmarks sharing sample count and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each bench collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let (min, mean) = b.summarize();
+        let mut line = format!(
+            "{}/{}: min {} mean {} ({} samples)",
+            self.name,
+            id.label,
+            fmt_duration(min),
+            fmt_duration(mean),
+            b.samples.len()
+        );
+        if let Some(Throughput::Bytes(n)) = self.throughput {
+            let mibs = n as f64 / (1 << 20) as f64 / mean.as_secs_f64().max(1e-12);
+            line.push_str(&format!(" [{mibs:.1} MiB/s]"));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        bb(routine());
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            bb(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn summarize(&self) -> (Duration, Duration) {
+        if self.samples.is_empty() {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let total: Duration = self.samples.iter().sum();
+        (min, total / self.samples.len() as u32)
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    bb(x)
+}
+
+/// Declares a bench entry function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).throughput(Throughput::Bytes(1024));
+        let mut runs = 0u32;
+        g.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        // One warm-up + three samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with(" ms"));
+        assert!(fmt_duration(Duration::from_micros(7)).ends_with(" µs"));
+    }
+}

@@ -2,10 +2,14 @@
 
 use crate::Sz2Config;
 use hqmr_codec::{
-    huffman_decode, huffman_encode, pack_maybe_rle, read_uvarint, rle_decode, rle_encode, tag,
-    unpack_maybe_rle, write_uvarint, Container, ContainerError, LinearQuantizer, QuantOutcome,
+    check_stream_id, huffman_decode, huffman_encode, pack_maybe_rle, push_stream_id, read_uvarint,
+    rle_decode, rle_encode, tag, unpack_maybe_rle, write_uvarint, Codec, CodecError, Container,
+    LinearQuantizer, QuantOutcome,
 };
 use hqmr_grid::{BlockGrid, Dims3, Field3};
+
+/// SZ2's codec/stream id (also the per-stream section tag in MR containers).
+pub const SZ2_CODEC_ID: u32 = tag(b"SZ2S");
 
 const TAG_HEAD: u32 = tag(b"S2HD");
 const TAG_FLAGS: u32 = tag(b"FLGS");
@@ -13,31 +17,9 @@ const TAG_COEFFS: u32 = tag(b"COEF");
 const TAG_CODES: u32 = tag(b"QNTC");
 const TAG_OUTLIERS: u32 = tag(b"UNPR");
 
-/// Decompression errors.
-#[derive(Debug)]
-pub enum Sz2Error {
-    /// Malformed container.
-    Container(ContainerError),
-    /// Header/payload inconsistency.
-    Malformed(&'static str),
-}
-
-impl std::fmt::Display for Sz2Error {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Sz2Error::Container(e) => write!(f, "container error: {e}"),
-            Sz2Error::Malformed(m) => write!(f, "malformed sz2 stream: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for Sz2Error {}
-
-impl From<ContainerError> for Sz2Error {
-    fn from(e: ContainerError) -> Self {
-        Sz2Error::Container(e)
-    }
-}
+/// Decompression errors — the shared [`CodecError`] under SZ2's historical
+/// name.
+pub type Sz2Error = CodecError;
 
 /// Output of [`compress`].
 #[derive(Debug, Clone)]
@@ -68,7 +50,9 @@ struct Plane {
 impl Plane {
     #[inline]
     fn eval(&self, x: usize, y: usize, z: usize) -> f64 {
-        self.c[0] as f64 + self.c[1] as f64 * x as f64 + self.c[2] as f64 * y as f64
+        self.c[0] as f64
+            + self.c[1] as f64 * x as f64
+            + self.c[2] as f64 * y as f64
             + self.c[3] as f64 * z as f64
     }
 }
@@ -104,7 +88,9 @@ fn fit_plane(field: &Field3, origin: [usize; 3], size: Dims3) -> Plane {
     let c2 = if vy > 0.0 { cy / vy } else { 0.0 };
     let c3 = if vz > 0.0 { cz / vz } else { 0.0 };
     let c0 = mean - c1 * mx - c2 * my - c3 * mz;
-    Plane { c: [c0 as f32, c1 as f32, c2 as f32, c3 as f32] }
+    Plane {
+        c: [c0 as f32, c1 as f32, c2 as f32, c3 as f32],
+    }
 }
 
 /// 3-D first-order Lorenzo prediction from the reconstruction buffer.
@@ -215,7 +201,8 @@ pub fn compress(field: &Field3, cfg: &Sz2Config) -> CompressResult {
             for x in 0..blk.size.nx {
                 for y in 0..blk.size.ny {
                     for z in 0..blk.size.nz {
-                        let (gx, gy, gz) = (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
+                        let (gx, gy, gz) =
+                            (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
                         let actual = field.get(gx, gy, gz);
                         let pred = plane.eval(x, y, z);
                         recon[dims.idx(gx, gy, gz)] =
@@ -228,7 +215,8 @@ pub fn compress(field: &Field3, cfg: &Sz2Config) -> CompressResult {
             for x in 0..blk.size.nx {
                 for y in 0..blk.size.ny {
                     for z in 0..blk.size.nz {
-                        let (gx, gy, gz) = (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
+                        let (gx, gy, gz) =
+                            (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
                         let actual = field.get(gx, gy, gz);
                         let pred = lorenzo(&recon, dims, gx, gy, gz);
                         recon[dims.idx(gx, gy, gz)] =
@@ -253,6 +241,7 @@ pub fn compress(field: &Field3, cfg: &Sz2Config) -> CompressResult {
     }
 
     let mut c = Container::new();
+    push_stream_id(&mut c, SZ2_CODEC_ID);
     c.push(TAG_HEAD, head);
     c.push(TAG_FLAGS, rle_encode(&flags));
     c.push(TAG_COEFFS, coeffs);
@@ -269,6 +258,7 @@ pub fn compress(field: &Field3, cfg: &Sz2Config) -> CompressResult {
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz2Error> {
     let c = Container::from_bytes(bytes)?;
+    check_stream_id(&c, SZ2_CODEC_ID)?;
     let head = c.require(TAG_HEAD)?;
     let mut pos = 0usize;
     let nx = read_uvarint(head, &mut pos).ok_or(Sz2Error::Malformed("dims"))? as usize;
@@ -349,8 +339,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz2Error> {
             for x in 0..blk.size.nx {
                 for y in 0..blk.size.ny {
                     for z in 0..blk.size.nz {
-                        let idx =
-                            dims.idx(blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
+                        let idx = dims.idx(blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
                         let pred = plane.eval(x, y, z);
                         let mut cell = 0f32;
                         decode_point(pred, &mut cell);
@@ -377,6 +366,50 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz2Error> {
         return Err(Sz2Error::Malformed("stream underrun"));
     }
     Ok(Field3::from_vec(dims, recon))
+}
+
+/// SZ2 as a pluggable [`Codec`] backend: the block size is the codec-specific
+/// knob; the error bound arrives per call through the trait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sz2Codec {
+    /// Block side length (6 for uniform data, 4 for multi-resolution data).
+    pub block: usize,
+}
+
+impl Default for Sz2Codec {
+    fn default() -> Self {
+        Sz2Codec { block: 6 }
+    }
+}
+
+impl Sz2Codec {
+    /// AMRIC's multi-resolution configuration (4³ blocks).
+    pub const MULTIRES: Sz2Codec = Sz2Codec { block: 4 };
+}
+
+impl Codec for Sz2Codec {
+    fn id(&self) -> u32 {
+        SZ2_CODEC_ID
+    }
+
+    fn name(&self) -> &'static str {
+        "sz2"
+    }
+
+    fn compress(&self, field: &Field3, eb: f64) -> Vec<u8> {
+        compress(
+            field,
+            &Sz2Config {
+                eb,
+                block: self.block,
+            },
+        )
+        .bytes
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CodecError> {
+        decompress(bytes)
+    }
 }
 
 #[cfg(test)]

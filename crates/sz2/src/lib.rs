@@ -16,7 +16,7 @@
 
 mod compressor;
 
-pub use compressor::{compress, decompress, CompressResult, Sz2Error};
+pub use compressor::{compress, decompress, CompressResult, Sz2Codec, Sz2Error, SZ2_CODEC_ID};
 
 /// SZ2 configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +61,8 @@ mod tests {
 
     fn wavy(dims: Dims3) -> Field3 {
         Field3::from_fn(dims, |x, y, z| {
-            ((x as f32 * 0.31).sin() * 2.0 + (y as f32 * 0.17).cos()) * ((z as f32 * 0.23).sin() + 2.0)
+            ((x as f32 * 0.31).sin() * 2.0 + (y as f32 * 0.17).cos())
+                * ((z as f32 * 0.23).sin() + 2.0)
         })
     }
 
@@ -146,7 +147,11 @@ mod tests {
 
     #[test]
     fn tiny_domains() {
-        for dims in [Dims3::new(1, 1, 1), Dims3::new(2, 3, 1), Dims3::new(1, 6, 6)] {
+        for dims in [
+            Dims3::new(1, 1, 1),
+            Dims3::new(2, 3, 1),
+            Dims3::new(1, 6, 6),
+        ] {
             let f = wavy(dims);
             let r = compress(&f, &Sz2Config::new(0.01));
             let g = decompress(&r.bytes).unwrap();

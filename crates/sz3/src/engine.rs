@@ -250,12 +250,17 @@ mod tests {
         let dims = Dims3::new(1, 1, 9);
         let mut buf: Vec<f32> = (0..9).map(|z| z as f32).collect();
         let mut max_err = 0f64;
-        traverse(dims, InterpKind::Cubic, &mut buf, |_, _, cur, pred, kind| {
-            if matches!(kind, PredKind::Midpoint | PredKind::Cubic) {
-                max_err = max_err.max((pred - cur as f64).abs());
-            }
-            cur
-        });
+        traverse(
+            dims,
+            InterpKind::Cubic,
+            &mut buf,
+            |_, _, cur, pred, kind| {
+                if matches!(kind, PredKind::Midpoint | PredKind::Cubic) {
+                    max_err = max_err.max((pred - cur as f64).abs());
+                }
+                cur
+            },
+        );
         assert!(max_err < 1e-12, "max interior error {max_err}");
     }
 

@@ -20,7 +20,7 @@ mod engine;
 mod stream;
 
 pub use engine::{interp_levels, InterpKind, InterpStats};
-pub use stream::{compress, decompress, CompressResult, Sz3Error};
+pub use stream::{compress, decompress, CompressResult, Sz3Codec, Sz3Error, SZ3_CODEC_ID};
 
 /// Adaptive per-level error-bound policy (the paper's Improvement 2).
 ///
@@ -39,7 +39,10 @@ pub struct LevelEbPolicy {
 
 impl LevelEbPolicy {
     /// The paper's fixed choice for multi-resolution data.
-    pub const PAPER: LevelEbPolicy = LevelEbPolicy { alpha: 2.25, beta: 8.0 };
+    pub const PAPER: LevelEbPolicy = LevelEbPolicy {
+        alpha: 2.25,
+        beta: 8.0,
+    };
 
     /// Error bound for processing step `l` (1-based) of `maxlevel` total.
     pub fn eb_for_level(&self, eb: f64, l: usize, maxlevel: usize) -> f64 {
@@ -63,7 +66,11 @@ pub struct Sz3Config {
 impl Sz3Config {
     /// Baseline SZ3: cubic interpolation, uniform error bound.
     pub fn new(eb: f64) -> Self {
-        Sz3Config { eb, interp: InterpKind::Cubic, level_eb: None }
+        Sz3Config {
+            eb,
+            interp: InterpKind::Cubic,
+            level_eb: None,
+        }
     }
 
     /// Enables the paper's adaptive per-level error bound.
@@ -87,7 +94,9 @@ mod tests {
     fn level_eb_monotone_tightening() {
         let p = LevelEbPolicy::PAPER;
         let maxlevel = 9;
-        let ebs: Vec<f64> = (1..=maxlevel).map(|l| p.eb_for_level(1.0, l, maxlevel)).collect();
+        let ebs: Vec<f64> = (1..=maxlevel)
+            .map(|l| p.eb_for_level(1.0, l, maxlevel))
+            .collect();
         // Finest level gets the full budget.
         assert!((ebs[maxlevel - 1] - 1.0).abs() < 1e-12);
         // Earlier levels are tighter, monotonically.

@@ -3,40 +3,22 @@
 use crate::engine::{interp_levels, traverse, InterpKind, InterpStats, PredKind};
 use crate::{LevelEbPolicy, Sz3Config};
 use hqmr_codec::{
-    huffman_decode, huffman_encode, pack_maybe_rle, read_uvarint, tag, unpack_maybe_rle,
-    write_uvarint, Container, ContainerError, LinearQuantizer, QuantOutcome,
+    check_stream_id, huffman_decode, huffman_encode, pack_maybe_rle, push_stream_id, read_uvarint,
+    tag, unpack_maybe_rle, write_uvarint, Codec, CodecError, Container, LinearQuantizer,
+    QuantOutcome,
 };
 use hqmr_grid::{Dims3, Field3};
+
+/// SZ3's codec/stream id (also the per-stream section tag in MR containers).
+pub const SZ3_CODEC_ID: u32 = tag(b"SZ3S");
 
 const TAG_HEAD: u32 = tag(b"S3HD");
 const TAG_CODES: u32 = tag(b"QNTC");
 const TAG_OUTLIERS: u32 = tag(b"UNPR");
 
-/// Decompression errors.
-#[derive(Debug)]
-pub enum Sz3Error {
-    /// Malformed container.
-    Container(ContainerError),
-    /// Header/payload inconsistency.
-    Malformed(&'static str),
-}
-
-impl std::fmt::Display for Sz3Error {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Sz3Error::Container(e) => write!(f, "container error: {e}"),
-            Sz3Error::Malformed(m) => write!(f, "malformed sz3 stream: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for Sz3Error {}
-
-impl From<ContainerError> for Sz3Error {
-    fn from(e: ContainerError) -> Self {
-        Sz3Error::Container(e)
-    }
-}
+/// Decompression errors — the shared [`CodecError`] under SZ3's historical
+/// name.
+pub type Sz3Error = CodecError;
 
 /// Output of [`compress`].
 #[derive(Debug, Clone)]
@@ -131,15 +113,21 @@ pub fn compress(field: &Field3, cfg: &Sz3Config) -> CompressResult {
     }
 
     let mut c = Container::new();
+    push_stream_id(&mut c, SZ3_CODEC_ID);
     c.push(TAG_HEAD, head);
     c.push(TAG_CODES, pack_maybe_rle(&huffman_encode(&codes)));
     c.push(TAG_OUTLIERS, out_bytes);
-    CompressResult { bytes: c.to_bytes(), stats, outliers: outliers.len() }
+    CompressResult {
+        bytes: c.to_bytes(),
+        stats,
+        outliers: outliers.len(),
+    }
 }
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz3Error> {
     let c = Container::from_bytes(bytes)?;
+    check_stream_id(&c, SZ3_CODEC_ID)?;
     let head = c.require(TAG_HEAD)?;
     let mut pos = 0usize;
     let nx = read_uvarint(head, &mut pos).ok_or(Sz3Error::Malformed("dims"))? as usize;
@@ -169,7 +157,11 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz3Error> {
         }
         _ => return Err(Sz3Error::Malformed("level-eb flag")),
     };
-    let cfg = Sz3Config { eb, interp, level_eb };
+    let cfg = Sz3Config {
+        eb,
+        interp,
+        level_eb,
+    };
 
     let packed = unpack_maybe_rle(c.require(TAG_CODES)?).ok_or(Sz3Error::Malformed("codes"))?;
     let codes = huffman_decode(&packed).ok_or(Sz3Error::Malformed("codes"))?;
@@ -193,27 +185,87 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz3Error> {
     let mut code_it = codes.iter();
     let mut out_it = outliers.iter();
     let mut missing = false;
-    traverse(dims, cfg.interp, &mut buf, |l, _idx, _cur, pred, _kind: PredKind| {
-        let Some(&code) = code_it.next() else {
-            missing = true;
-            return 0.0;
-        };
-        if code == LinearQuantizer::UNPREDICTABLE {
-            match out_it.next() {
-                Some(&v) => v,
-                None => {
-                    missing = true;
-                    0.0
+    traverse(
+        dims,
+        cfg.interp,
+        &mut buf,
+        |l, _idx, _cur, pred, _kind: PredKind| {
+            let Some(&code) = code_it.next() else {
+                missing = true;
+                return 0.0;
+            };
+            if code == LinearQuantizer::UNPREDICTABLE {
+                match out_it.next() {
+                    Some(&v) => v,
+                    None => {
+                        missing = true;
+                        0.0
+                    }
                 }
+            } else {
+                quants[l].recover(code, pred) as f32
             }
-        } else {
-            quants[l].recover(code, pred) as f32
-        }
-    });
+        },
+    );
     if missing {
         return Err(Sz3Error::Malformed("stream underrun"));
     }
     Ok(Field3::from_vec(dims, buf))
+}
+
+/// SZ3 as a pluggable [`Codec`] backend: the codec-specific knobs
+/// (interpolator, per-level error-bound policy) live here; the error bound
+/// arrives per call through the trait.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sz3Codec {
+    /// Interpolator (SZ3 defaults to cubic).
+    pub interp: InterpKind,
+    /// Optional adaptive per-level error bound (the paper's Improvement 2).
+    pub level_eb: Option<LevelEbPolicy>,
+}
+
+impl Default for Sz3Codec {
+    fn default() -> Self {
+        Sz3Codec {
+            interp: InterpKind::Cubic,
+            level_eb: None,
+        }
+    }
+}
+
+impl Sz3Codec {
+    /// The paper's multi-resolution configuration: cubic interpolation with
+    /// the α=2.25, β=8 level bounds.
+    pub const PAPER: Sz3Codec = Sz3Codec {
+        interp: InterpKind::Cubic,
+        level_eb: Some(LevelEbPolicy::PAPER),
+    };
+}
+
+impl Codec for Sz3Codec {
+    fn id(&self) -> u32 {
+        SZ3_CODEC_ID
+    }
+
+    fn name(&self) -> &'static str {
+        "sz3"
+    }
+
+    fn compress(&self, field: &Field3, eb: f64) -> Vec<u8> {
+        compress(
+            field,
+            &Sz3Config {
+                eb,
+                interp: self.interp,
+                level_eb: self.level_eb,
+            },
+        )
+        .bytes
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CodecError> {
+        decompress(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -298,7 +350,11 @@ mod tests {
 
     #[test]
     fn degenerate_shapes_roundtrip() {
-        for dims in [Dims3::new(1, 1, 1), Dims3::new(1, 1, 17), Dims3::new(2, 1, 3)] {
+        for dims in [
+            Dims3::new(1, 1, 1),
+            Dims3::new(1, 1, 17),
+            Dims3::new(2, 1, 3),
+        ] {
             let f = wavy(dims);
             let r = compress(&f, &Sz3Config::new(1e-3));
             let g = decompress(&r.bytes).unwrap();
@@ -333,7 +389,10 @@ mod tests {
     #[test]
     fn header_roundtrips_config() {
         let f = wavy(Dims3::cube(8));
-        let cfg = Sz3Config::new(0.01).with_level_eb(LevelEbPolicy { alpha: 3.0, beta: 5.0 });
+        let cfg = Sz3Config::new(0.01).with_level_eb(LevelEbPolicy {
+            alpha: 3.0,
+            beta: 5.0,
+        });
         let r = compress(&f, &cfg);
         // Decompress succeeds and respects the tightest bound implied.
         let g = decompress(&r.bytes).unwrap();

@@ -23,7 +23,11 @@ impl IsoMesh {
 /// `Dims3::idx` over the cell grid.
 pub fn cell_crossings(field: &Field3, iso: f32) -> (Dims3, Vec<bool>) {
     let d = field.dims();
-    let cd = Dims3::new(d.nx.saturating_sub(1), d.ny.saturating_sub(1), d.nz.saturating_sub(1));
+    let cd = Dims3::new(
+        d.nx.saturating_sub(1),
+        d.ny.saturating_sub(1),
+        d.nz.saturating_sub(1),
+    );
     let mut out = vec![false; cd.len()];
     for x in 0..cd.nx {
         for y in 0..cd.ny {
@@ -131,7 +135,10 @@ pub fn components_of(cd: Dims3, mask: &[bool], min_cells: usize) -> Vec<SurfaceF
             push(xi, yi, zi + 1);
         }
         if cells >= min_cells {
-            out.push(SurfaceFeature { cells, bbox: (lo, hi) });
+            out.push(SurfaceFeature {
+                cells,
+                bbox: (lo, hi),
+            });
         }
     }
     out.sort_by_key(|f| std::cmp::Reverse(f.cells));
@@ -164,7 +171,11 @@ pub fn extract_isosurface(field: &Field3, iso: f32) -> IsoMesh {
     // bit-exactly because the lerp inputs are identical).
     let mut vert_ids: std::collections::HashMap<[u64; 3], u32> = std::collections::HashMap::new();
     let mut add_vertex = |mesh: &mut IsoMesh, p: [f32; 3]| -> u32 {
-        let key = [p[0].to_bits() as u64, p[1].to_bits() as u64, p[2].to_bits() as u64];
+        let key = [
+            p[0].to_bits() as u64,
+            p[1].to_bits() as u64,
+            p[2].to_bits() as u64,
+        ];
         *vert_ids.entry(key).or_insert_with(|| {
             mesh.vertices.push(p);
             (mesh.vertices.len() - 1) as u32
@@ -202,8 +213,16 @@ fn lerp_edge(pa: [f32; 3], va: f32, pb: [f32; 3], vb: f32, iso: f32) -> [f32; 3]
     // Canonicalize the edge direction so the same grid edge yields a
     // bit-identical vertex no matter which tetrahedron/cube asks — required
     // for the position-based dedup to keep the mesh watertight.
-    let (pa, va, pb, vb) = if pb < pa { (pb, vb, pa, va) } else { (pa, va, pb, vb) };
-    let t = if (vb - va).abs() < f32::EPSILON { 0.5 } else { (iso - va) / (vb - va) };
+    let (pa, va, pb, vb) = if pb < pa {
+        (pb, vb, pa, va)
+    } else {
+        (pa, va, pb, vb)
+    };
+    let t = if (vb - va).abs() < f32::EPSILON {
+        0.5
+    } else {
+        (iso - va) / (vb - va)
+    };
     let t = t.clamp(0.0, 1.0);
     [
         pa[0] + t * (pb[0] - pa[0]),
@@ -233,9 +252,7 @@ fn march_tet(
             };
             let v: Vec<u32> = base
                 .iter()
-                .map(|&b| {
-                    add_vertex(mesh, lerp_edge(pos[apex], val[apex], pos[b], val[b], iso))
-                })
+                .map(|&b| add_vertex(mesh, lerp_edge(pos[apex], val[apex], pos[b], val[b], iso)))
                 .collect();
             if v[0] != v[1] && v[1] != v[2] && v[0] != v[2] {
                 mesh.triangles.push([v[0], v[1], v[2]]);
@@ -296,12 +313,12 @@ mod tests {
     #[test]
     fn two_spheres_two_features() {
         let f = Field3::from_fn(Dims3::cube(24), |x, y, z| {
-            let d1 = ((x as f32 - 6.0).powi(2) + (y as f32 - 6.0).powi(2)
-                + (z as f32 - 6.0).powi(2))
-            .sqrt();
-            let d2 = ((x as f32 - 17.0).powi(2) + (y as f32 - 17.0).powi(2)
-                + (z as f32 - 17.0).powi(2))
-            .sqrt();
+            let d1 =
+                ((x as f32 - 6.0).powi(2) + (y as f32 - 6.0).powi(2) + (z as f32 - 6.0).powi(2))
+                    .sqrt();
+            let d2 =
+                ((x as f32 - 17.0).powi(2) + (y as f32 - 17.0).powi(2) + (z as f32 - 17.0).powi(2))
+                    .sqrt();
             (3.0 - d1).max(3.0 - d2)
         });
         let feats = surface_features(&f, 0.0, 1);

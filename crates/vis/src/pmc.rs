@@ -33,13 +33,30 @@ pub struct PmcConfig {
 impl PmcConfig {
     /// Independent-Gaussian closed form.
     pub fn independent(iso: f32, mean: f64, sigma: f64) -> Self {
-        PmcConfig { iso, sigma, mean, monte_carlo: None }
+        PmcConfig {
+            iso,
+            sigma,
+            mean,
+            monte_carlo: None,
+        }
     }
 
     /// Monte-Carlo with shared correlation `rho` across the cell's corners.
-    pub fn correlated(iso: f32, mean: f64, sigma: f64, rho: f64, samples: usize, seed: u64) -> Self {
+    pub fn correlated(
+        iso: f32,
+        mean: f64,
+        sigma: f64,
+        rho: f64,
+        samples: usize,
+        seed: u64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&rho), "rho must be in [0,1]");
-        PmcConfig { iso, sigma, mean, monte_carlo: Some((rho, samples, seed)) }
+        PmcConfig {
+            iso,
+            sigma,
+            mean,
+            monte_carlo: Some((rho, samples, seed)),
+        }
     }
 }
 
@@ -56,7 +73,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -75,7 +93,11 @@ const CORNERS: [(usize, usize, usize); 8] = [
 /// alongside). Probabilities are in `[0, 1]`.
 pub fn crossing_probability_field(field: &Field3, cfg: &PmcConfig) -> (Dims3, Vec<f32>) {
     let d = field.dims();
-    let cd = Dims3::new(d.nx.saturating_sub(1), d.ny.saturating_sub(1), d.nz.saturating_sub(1));
+    let cd = Dims3::new(
+        d.nx.saturating_sub(1),
+        d.ny.saturating_sub(1),
+        d.nz.saturating_sub(1),
+    );
     if cd.is_empty() {
         return (cd, Vec::new());
     }
@@ -83,61 +105,65 @@ pub fn crossing_probability_field(field: &Field3, cfg: &PmcConfig) -> (Dims3, Ve
     let mut out = vec![0f32; cd.len()];
     match cfg.monte_carlo {
         None => {
-            out.par_chunks_mut(cd.ny * cd.nz).enumerate().for_each(|(x, slab)| {
-                for y in 0..cd.ny {
-                    for z in 0..cd.nz {
-                        // P(corner < iso) per corner; independence ⇒ products.
-                        let mut p_all_below = 1.0f64;
-                        let mut p_all_above = 1.0f64;
-                        for (dx, dy, dz) in CORNERS {
-                            let mu = field.get(x + dx, y + dy, z + dz) as f64 + cfg.mean;
-                            let p_below = gaussian_cdf((cfg.iso as f64 - mu) / sigma);
-                            p_all_below *= p_below;
-                            p_all_above *= 1.0 - p_below;
+            out.par_chunks_mut(cd.ny * cd.nz)
+                .enumerate()
+                .for_each(|(x, slab)| {
+                    for y in 0..cd.ny {
+                        for z in 0..cd.nz {
+                            // P(corner < iso) per corner; independence ⇒ products.
+                            let mut p_all_below = 1.0f64;
+                            let mut p_all_above = 1.0f64;
+                            for (dx, dy, dz) in CORNERS {
+                                let mu = field.get(x + dx, y + dy, z + dz) as f64 + cfg.mean;
+                                let p_below = gaussian_cdf((cfg.iso as f64 - mu) / sigma);
+                                p_all_below *= p_below;
+                                p_all_above *= 1.0 - p_below;
+                            }
+                            slab[y * cd.nz + z] =
+                                (1.0 - p_all_below - p_all_above).clamp(0.0, 1.0) as f32;
                         }
-                        slab[y * cd.nz + z] =
-                            (1.0 - p_all_below - p_all_above).clamp(0.0, 1.0) as f32;
                     }
-                }
-            });
+                });
         }
         Some((rho, samples, seed)) => {
             let sr = rho.sqrt();
             let si = (1.0 - rho).sqrt();
-            out.par_chunks_mut(cd.ny * cd.nz).enumerate().for_each(|(x, slab)| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (x as u64).wrapping_mul(0x9E37));
-                let mut normal = move || {
-                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                    let u2: f64 = rng.gen_range(0.0..1.0);
-                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-                };
-                for y in 0..cd.ny {
-                    for z in 0..cd.nz {
-                        let mus: [f64; 8] = std::array::from_fn(|i| {
-                            let (dx, dy, dz) = CORNERS[i];
-                            field.get(x + dx, y + dy, z + dz) as f64 + cfg.mean
-                        });
-                        let mut crossings = 0usize;
-                        for _ in 0..samples {
-                            let shared = normal();
-                            let mut above = false;
-                            let mut below = false;
-                            for mu in mus {
-                                let v = mu + sigma * (sr * shared + si * normal());
-                                if v >= cfg.iso as f64 {
-                                    above = true;
-                                } else {
-                                    below = true;
+            out.par_chunks_mut(cd.ny * cd.nz)
+                .enumerate()
+                .for_each(|(x, slab)| {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (x as u64).wrapping_mul(0x9E37));
+                    let mut normal = move || {
+                        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        let u2: f64 = rng.gen_range(0.0..1.0);
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                    };
+                    for y in 0..cd.ny {
+                        for z in 0..cd.nz {
+                            let mus: [f64; 8] = std::array::from_fn(|i| {
+                                let (dx, dy, dz) = CORNERS[i];
+                                field.get(x + dx, y + dy, z + dz) as f64 + cfg.mean
+                            });
+                            let mut crossings = 0usize;
+                            for _ in 0..samples {
+                                let shared = normal();
+                                let mut above = false;
+                                let mut below = false;
+                                for mu in mus {
+                                    let v = mu + sigma * (sr * shared + si * normal());
+                                    if v >= cfg.iso as f64 {
+                                        above = true;
+                                    } else {
+                                        below = true;
+                                    }
+                                }
+                                if above && below {
+                                    crossings += 1;
                                 }
                             }
-                            if above && below {
-                                crossings += 1;
-                            }
+                            slab[y * cd.nz + z] = crossings as f32 / samples as f32;
                         }
-                        slab[y * cd.nz + z] = crossings as f32 / samples as f32;
                     }
-                }
-            });
+                });
         }
     }
     (cd, out)
@@ -179,7 +205,12 @@ mod tests {
         let tight = crossing_probability_field(&f, &PmcConfig::independent(7.5, 0.0, 0.01)).1;
         let wide = crossing_probability_field(&f, &PmcConfig::independent(7.5, 0.0, 2.0)).1;
         let count = |p: &Vec<f32>| p.iter().filter(|&&v| v > 0.05).count();
-        assert!(count(&wide) > 3 * count(&tight), "{} vs {}", count(&wide), count(&tight));
+        assert!(
+            count(&wide) > 3 * count(&tight),
+            "{} vs {}",
+            count(&wide),
+            count(&tight)
+        );
     }
 
     #[test]
@@ -220,7 +251,12 @@ mod tests {
         let cd = Dims3::cube(7);
         let far = cd.idx(1, 4, 4); // all corners below iso
         assert!(ind[far] > 0.05, "independent model spreads to {}", ind[far]);
-        assert!(cor[far] < 0.6 * ind[far], "correlated {} vs independent {}", cor[far], ind[far]);
+        assert!(
+            cor[far] < 0.6 * ind[far],
+            "correlated {} vs independent {}",
+            cor[far],
+            ind[far]
+        );
     }
 
     #[test]
@@ -240,13 +276,19 @@ mod tests {
         // A small bump that compression error pushed just below the isovalue:
         // deterministic extraction loses it; PMC shows nonzero probability.
         let f = Field3::from_fn(Dims3::cube(12), |x, y, z| {
-            let r2 = (x as f32 - 5.5).powi(2) + (y as f32 - 5.5).powi(2)
-                + (z as f32 - 5.5).powi(2);
+            let r2 = (x as f32 - 5.5).powi(2) + (y as f32 - 5.5).powi(2) + (z as f32 - 5.5).powi(2);
             0.95 * (-r2 / 6.0).exp() // peak 0.95 < iso 1.0
         });
         let (cd, cross) = crate::iso::cell_crossings(&f, 1.0);
-        assert!(cross.iter().all(|&c| !c), "deterministic surface must be empty");
+        assert!(
+            cross.iter().all(|&c| !c),
+            "deterministic surface must be empty"
+        );
         let (_, p) = crossing_probability_field(&f, &PmcConfig::independent(1.0, 0.0, 0.1));
-        assert!(p[cd.idx(5, 5, 5)] > 0.2, "PMC must flag the lost feature, got {}", p[cd.idx(5, 5, 5)]);
+        assert!(
+            p[cd.idx(5, 5, 5)] > 0.2,
+            "PMC must flag the lost feature, got {}",
+            p[cd.idx(5, 5, 5)]
+        );
     }
 }

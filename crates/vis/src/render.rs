@@ -23,7 +23,11 @@ pub struct Image {
 impl Image {
     /// Creates a black image.
     pub fn new(width: usize, height: usize) -> Self {
-        Image { width, height, rgb: vec![0; 3 * width * height] }
+        Image {
+            width,
+            height,
+            rgb: vec![0; 3 * width * height],
+        }
     }
 
     /// Sets one pixel.
@@ -99,7 +103,11 @@ impl Colormap {
                         break;
                     }
                 }
-                let s = if hi.0 > lo.0 { (t - lo.0) / (hi.0 - lo.0) } else { 0.0 };
+                let s = if hi.0 > lo.0 {
+                    (t - lo.0) / (hi.0 - lo.0)
+                } else {
+                    0.0
+                };
                 std::array::from_fn(|k| (lo.1[k] + s * (hi.1[k] - lo.1[k])) as u8)
             }
         }
@@ -187,7 +195,7 @@ mod tests {
         let mut img = render_slice(&f, 0, 0.0, 1.0, Colormap::Gray);
         let before = img.get(0, 0);
         let mut prob = vec![0.0f32; 9];
-        prob[1 * 3 + 1] = 1.0; // cell (1,1) certain
+        prob[3 + 1] = 1.0; // cell (1,1) certain
         overlay_probability(&mut img, &prob, 3, 3);
         assert_eq!(img.get(0, 0), before);
         assert_eq!(img.get(1, 1), [255, 0, 0]);

@@ -104,7 +104,17 @@ mod tests {
 
     #[test]
     fn negabinary_roundtrip() {
-        for x in [-5i64, -1, 0, 1, 2, 1 << 32, -(1 << 32), (1 << 35) - 1, -(1 << 35)] {
+        for x in [
+            -5i64,
+            -1,
+            0,
+            1,
+            2,
+            1 << 32,
+            -(1 << 32),
+            (1 << 35) - 1,
+            -(1 << 35),
+        ] {
             assert_eq!(uint2int(int2uint(x)), x, "x = {x}");
         }
         // Small magnitudes stay small in negabinary.

@@ -19,7 +19,7 @@ mod stream;
 mod transform;
 
 pub use coder::{decode_block_ints, encode_block_ints, INTPREC};
-pub use stream::{compress, decompress, CompressResult, ZfpError};
+pub use stream::{compress, decompress, CompressResult, ZfpCodec, ZfpError, ZFP_CODEC_ID};
 pub use transform::{fwd_transform3, inv_transform3, COEFF_ORDER};
 
 /// ZFP configuration (fixed-accuracy mode).
@@ -35,7 +35,10 @@ impl ZfpConfig {
     /// # Panics
     /// Panics unless `tol` is positive and finite.
     pub fn new(tol: f64) -> Self {
-        assert!(tol.is_finite() && tol > 0.0, "tolerance must be positive, got {tol}");
+        assert!(
+            tol.is_finite() && tol > 0.0,
+            "tolerance must be positive, got {tol}"
+        );
         ZfpConfig { tol }
     }
 }

@@ -4,9 +4,13 @@ use crate::coder::{decode_block_ints, encode_block_ints, INTPREC};
 use crate::transform::{fwd_transform3, inv_transform3};
 use crate::{ZfpConfig, BLOCK, BLOCK_LEN};
 use hqmr_codec::{
-    read_uvarint, tag, write_uvarint, BitReader, BitWriter, Container, ContainerError,
+    check_stream_id, push_stream_id, read_uvarint, tag, write_uvarint, BitReader, BitWriter, Codec,
+    CodecError, Container,
 };
 use hqmr_grid::{BlockGrid, Dims3, Field3};
+
+/// ZFP's codec/stream id (also the per-stream section tag in MR containers).
+pub const ZFP_CODEC_ID: u32 = tag(b"ZFPS");
 
 const TAG_HEAD: u32 = tag(b"ZFHD");
 const TAG_PAYLOAD: u32 = tag(b"ZFBP");
@@ -22,31 +26,9 @@ const GUARD_BITS: i32 = 10;
 /// Bias for the 16-bit on-stream exponent.
 const EMAX_BIAS: i32 = 16384;
 
-/// Decompression errors.
-#[derive(Debug)]
-pub enum ZfpError {
-    /// Malformed container.
-    Container(ContainerError),
-    /// Header/payload inconsistency.
-    Malformed(&'static str),
-}
-
-impl std::fmt::Display for ZfpError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ZfpError::Container(e) => write!(f, "container error: {e}"),
-            ZfpError::Malformed(m) => write!(f, "malformed zfp stream: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for ZfpError {}
-
-impl From<ContainerError> for ZfpError {
-    fn from(e: ContainerError) -> Self {
-        ZfpError::Container(e)
-    }
-}
+/// Decompression errors — the shared [`CodecError`] under ZFP's historical
+/// name.
+pub type ZfpError = CodecError;
 
 /// Output of [`compress`].
 #[derive(Debug, Clone)]
@@ -116,14 +98,19 @@ pub fn compress(field: &Field3, cfg: &ZfpConfig) -> CompressResult {
     head.extend_from_slice(&cfg.tol.to_le_bytes());
 
     let mut c = Container::new();
+    push_stream_id(&mut c, ZFP_CODEC_ID);
     c.push(TAG_HEAD, head);
     c.push(TAG_PAYLOAD, w.finish());
-    CompressResult { bytes: c.to_bytes(), zero_blocks }
+    CompressResult {
+        bytes: c.to_bytes(),
+        zero_blocks,
+    }
 }
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Field3, ZfpError> {
     let c = Container::from_bytes(bytes)?;
+    check_stream_id(&c, ZFP_CODEC_ID)?;
     let head = c.require(TAG_HEAD)?;
     let mut pos = 0usize;
     let nx = read_uvarint(head, &mut pos).ok_or(ZfpError::Malformed("dims"))? as usize;
@@ -165,6 +152,30 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, ZfpError> {
         return Err(ZfpError::Malformed("stream underrun"));
     }
     Ok(out)
+}
+
+/// ZFP as a pluggable [`Codec`] backend. ZFP's only run-time knob is the
+/// tolerance, which arrives per call through the trait, so the codec itself
+/// is a unit struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZfpCodec;
+
+impl Codec for ZfpCodec {
+    fn id(&self) -> u32 {
+        ZFP_CODEC_ID
+    }
+
+    fn name(&self) -> &'static str {
+        "zfp"
+    }
+
+    fn compress(&self, field: &Field3, eb: f64) -> Vec<u8> {
+        compress(field, &ZfpConfig::new(eb)).bytes
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CodecError> {
+        decompress(bytes)
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,10 @@ fn main() {
     let mean = field.data().iter().map(|&v| v as f64).sum::<f64>() / field.len() as f64;
     let thr = (25.0 * mean) as f32;
     let halos = find_halos_abs(&field, thr, 3);
-    println!("Nyx-like field {n}^3: {} halos (25x mean overdensity)", halos.len());
+    println!(
+        "Nyx-like field {n}^3: {} halos (25x mean overdensity)",
+        halos.len()
+    );
     println!();
     println!("roi%   vol%   halo_recall  P(k) max_rel_err  storage_savings");
 
@@ -54,7 +57,15 @@ fn main() {
     let lf = logize(&field);
     let lr = logize(&roi);
     let (lmn, lmx) = (mn.max(1.0).ln(), mx.ln());
-    save_ppm("roi_original.ppm", &render_slice(&lf, k, lmn, lmx, Colormap::Viridis)).unwrap();
-    save_ppm("roi_extracted.ppm", &render_slice(&lr, k, lmn, lmx, Colormap::Viridis)).unwrap();
+    save_ppm(
+        "roi_original.ppm",
+        &render_slice(&lf, k, lmn, lmx, Colormap::Viridis),
+    )
+    .unwrap();
+    save_ppm(
+        "roi_extracted.ppm",
+        &render_slice(&lr, k, lmn, lmx, Colormap::Viridis),
+    )
+    .unwrap();
     println!("\nwrote roi_original.ppm and roi_extracted.ppm");
 }

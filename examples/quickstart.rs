@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Generates a Nyx-like density field, converts it to multi-resolution data
-//! via range-threshold ROI extraction, compresses it with SZ3MR (padding +
+//! via range-threshold ROI extraction, compresses it with MRC-SZ3 (padding +
 //! adaptive per-level error bounds), reconstructs, post-processes, and
 //! reports compression ratio and quality.
 
@@ -24,7 +24,7 @@ fn main() {
     cfg.uncertainty_iso = Some(field.range() * 0.3);
 
     println!("running the workflow (ROI -> SZ3MR -> post-process)...");
-    let result = run_uniform_workflow(&field, &cfg);
+    let result = run_uniform_workflow(&field, &cfg).expect("workflow round-trip");
 
     println!();
     println!(
@@ -34,10 +34,19 @@ fn main() {
         field.len()
     );
     println!("compression ratio (MR)  : {:.1}x", result.mr_stats.ratio());
-    println!("end-to-end ratio        : {:.1}x (vs raw uniform f32)", result.end_to_end_ratio);
+    println!(
+        "end-to-end ratio        : {:.1}x (vs raw uniform f32)",
+        result.end_to_end_ratio
+    );
     println!("absolute error bound    : {:.3e}", result.eb);
-    println!("PSNR                    : {:.2} dB", psnr(&field, &result.reconstruction));
-    println!("volumetric SSIM         : {:.4}", ssim3d(&field, &result.reconstruction));
+    println!(
+        "PSNR                    : {:.2} dB",
+        psnr(&field, &result.reconstruction)
+    );
+    println!(
+        "volumetric SSIM         : {:.4}",
+        ssim3d(&field, &result.reconstruction)
+    );
     if let Some(m) = result.error_model {
         println!(
             "error model near iso    : N({:.3e}, {:.3e}^2) from {} samples",

@@ -24,21 +24,36 @@ fn main() {
     let tol = (mx - mn) as f64 * 0.12;
     let r = compress(&field, &ZfpConfig::new(tol));
     let dec = decompress(&r.bytes).unwrap();
-    println!("ZFP: CR = {:.1}, PSNR = {:.1} dB", r.ratio(field.len()), psnr(&field, &dec));
+    println!(
+        "ZFP: CR = {:.1}, PSNR = {:.1} dB",
+        r.ratio(field.len()),
+        psnr(&field, &dec)
+    );
 
     // Isosurface comparison.
     let mesh_o = extract_isosurface(&field, iso);
     let mesh_d = extract_isosurface(&dec, iso);
-    println!("isosurface triangles: original {}, decompressed {}", mesh_o.triangle_count(), mesh_d.triangle_count());
+    println!(
+        "isosurface triangles: original {}, decompressed {}",
+        mesh_o.triangle_count(),
+        mesh_d.triangle_count()
+    );
     let feats_o = surface_features(&field, iso, 2);
     let feats_d = surface_features(&dec, iso, 2);
-    println!("surface features:     original {}, decompressed {}", feats_o.len(), feats_d.len());
+    println!(
+        "surface features:     original {}, decompressed {}",
+        feats_o.len(),
+        feats_d.len()
+    );
 
     // Error model from sampled (original, decompressed) pairs near the
     // isovalue — the same samples the post-processor collects.
     let pairs = sample_error_pairs(&field, &dec, 0.02, 0xCAFE);
     let model = model_near_isovalue(&pairs, iso, (mx - mn) * 0.1);
-    println!("error model near iso: N({:.4}, {:.4}^2), {} samples", model.mean, model.sigma, model.samples);
+    println!(
+        "error model near iso: N({:.4}, {:.4}^2), {} samples",
+        model.mean, model.sigma, model.samples
+    );
 
     let rec = analyze_feature_recovery(&field, &dec, iso, &model, 0.1, 2, 16.0);
     println!(
@@ -51,8 +66,11 @@ fn main() {
 
     // Render Fig. 14-style panels.
     let k = field.dims().nz / 2;
-    save_ppm("uncertainty_original.ppm", &render_slice(&field, k, mn, mx, Colormap::Viridis))
-        .unwrap();
+    save_ppm(
+        "uncertainty_original.ppm",
+        &render_slice(&field, k, mn, mx, Colormap::Viridis),
+    )
+    .unwrap();
     let mut img = render_slice(&dec, k, mn, mx, Colormap::Viridis);
     let (cd, prob) = hqmr::vis::crossing_probability_field(&dec, &model.pmc(iso));
     let mut slice = vec![0f32; cd.nx * cd.ny];

@@ -5,12 +5,51 @@
 //! points:
 //!
 //! * [`workflow`] ([`hqmr_core`]) — the paper's contribution: ROI-driven
-//!   multi-resolution conversion, SZ3MR compression, error-bounded Bézier
-//!   post-processing, and compression-uncertainty modelling.
+//!   multi-resolution conversion, backend-generic MRC compression,
+//!   error-bounded Bézier post-processing, and compression-uncertainty
+//!   modelling.
 //! * [`grid`] — fields and synthetic dataset proxies.
 //! * [`sz2`], [`sz3`], [`zfp`] — the three from-scratch compressors.
 //! * [`mr`] — the multi-resolution data model (ROI, AMR, merges, padding).
 //! * [`metrics`], [`filters`], [`vis`] — analysis and visualization.
+//!
+//! # The codec boundary
+//!
+//! Every compressor implements one trait, [`codec::Codec`] in [`hqmr_codec`]:
+//!
+//! ```text
+//! compress(&Field3, eb) -> Vec<u8>          // self-describing stream
+//! decompress(&[u8]) -> Result<Field3, CodecError>
+//! id() -> u32                               // 4-byte stream id, e.g. "SZ3S"
+//! ```
+//!
+//! The multi-resolution engine ([`workflow::mrc`]) is generic over that
+//! boundary: it merges and pads unit blocks the same way regardless of
+//! backend, dispatches the per-array compression through `&dyn Codec`,
+//! records the codec id in its container, and routes decompression on the
+//! stored id. The workflow's compressor choice is therefore a cross product —
+//! [`workflow::Arrangement`] (linear / padded / stacked / boxed) ×
+//! [`workflow::mrc::Backend`] (SZ3 / SZ2 / ZFP / passthrough):
+//!
+//! ```
+//! use hqmr::grid::synth;
+//! use hqmr::workflow::{run_uniform_workflow, Backend, CompressorChoice, WorkflowConfig};
+//!
+//! let field = synth::nyx_like(32, 1);
+//! let mut cfg = WorkflowConfig::new(1e-3);
+//! cfg.compressor = CompressorChoice::ours().with_backend(Backend::ZFP);
+//! let result = run_uniform_workflow(&field, &cfg).expect("fresh stream round-trips");
+//! assert_eq!(result.mr_stats.codec, "zfp");
+//! ```
+//!
+//! # Adding a backend
+//!
+//! A new compressor participates in the whole pipeline by implementing
+//! [`codec::Codec`] (unique id, self-describing stream, bound honoured,
+//! foreign streams rejected with `WrongStreamId`) and registering the id in
+//! [`workflow::mrc::Backend`]. `crates/README.md` walks through the recipe;
+//! [`codec::NullCodec`] — the raw passthrough used for debugging — is the
+//! minimal worked example.
 
 pub use hqmr_codec as codec;
 pub use hqmr_core as workflow;

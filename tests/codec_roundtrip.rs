@@ -1,0 +1,160 @@
+//! Property tests for the [`hqmr::codec::Codec`] trait contract, run
+//! uniformly over every backend: the error bound holds on arbitrary synthetic
+//! fields, streams are self-identifying, and malformed or foreign input
+//! produces typed errors — never panics.
+
+use hqmr::codec::{Codec, CodecError, NullCodec};
+use hqmr::grid::{Dims3, Field3};
+use hqmr::sz2::Sz2Codec;
+use hqmr::sz3::Sz3Codec;
+use hqmr::zfp::ZfpCodec;
+use proptest::prelude::*;
+
+/// Every registered backend, boxed for uniform iteration.
+fn all_codecs() -> Vec<Box<dyn Codec>> {
+    vec![
+        Box::new(Sz3Codec::default()),
+        Box::new(Sz3Codec::PAPER),
+        Box::new(Sz2Codec::default()),
+        Box::new(Sz2Codec::MULTIRES),
+        Box::new(ZfpCodec),
+        Box::new(NullCodec),
+    ]
+}
+
+fn max_abs(a: &Field3, b: &Field3) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Deterministic pseudo-random field from hashed coordinates.
+fn synth_field(dims: Dims3, seed: u64, exp: i32) -> Field3 {
+    Field3::from_fn(dims, |x, y, z| {
+        let h =
+            (x.wrapping_mul(73_856_093) ^ y.wrapping_mul(19_349_663) ^ z.wrapping_mul(83_492_791))
+                .wrapping_add(seed as usize);
+        ((h % 2048) as f32 / 1024.0 - 1.0) * 10f32.powi(exp)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `|x − x̂| ≤ eb` for every backend on arbitrary small fields.
+    #[test]
+    fn all_codecs_respect_error_bound(
+        nx in 1usize..10, ny in 1usize..10, nz in 1usize..20,
+        seedv in 0u64..1000, exp in -2i32..3,
+    ) {
+        let f = synth_field(Dims3::new(nx, ny, nz), seedv, exp);
+        let eb = (f.range() as f64 * 1e-2).max(1e-12);
+        for codec in all_codecs() {
+            let bytes = codec.compress(&f, eb);
+            let g = codec.decompress(&bytes).unwrap();
+            prop_assert_eq!(g.dims(), f.dims(), "{} changed dims", codec.name());
+            let e = max_abs(&f, &g);
+            prop_assert!(e <= eb + 1e-15, "{}: err {e} > eb {eb}", codec.name());
+        }
+    }
+
+    /// Truncation anywhere in the stream yields `Err`, never a panic.
+    #[test]
+    fn truncated_streams_error_for_all_codecs(
+        n in 2usize..8, seedv in 0u64..500, cut_frac in 1usize..99,
+    ) {
+        let f = synth_field(Dims3::cube(n), seedv, 0);
+        let eb = (f.range() as f64 * 1e-2).max(1e-12);
+        for codec in all_codecs() {
+            let bytes = codec.compress(&f, eb);
+            let cut = bytes.len() * cut_frac / 100;
+            prop_assert!(
+                codec.decompress(&bytes[..cut]).is_err(),
+                "{} accepted a stream cut at {cut}/{}",
+                codec.name(),
+                bytes.len()
+            );
+        }
+    }
+
+    /// Single-byte corruption is either detected (the overwhelmingly common
+    /// case, via CRC) or at worst decodes to *something* — it never panics.
+    #[test]
+    fn corrupted_streams_never_panic(
+        n in 2usize..8, seedv in 0u64..500, flip_at in any::<usize>(), flip_bit in 0u8..8,
+    ) {
+        let f = synth_field(Dims3::cube(n), seedv, 0);
+        let eb = (f.range() as f64 * 1e-2).max(1e-12);
+        for codec in all_codecs() {
+            let mut bytes = codec.compress(&f, eb);
+            let i = flip_at % bytes.len();
+            bytes[i] ^= 1 << flip_bit;
+            let _ = codec.decompress(&bytes);
+        }
+    }
+}
+
+/// Feeding one backend's stream to another yields the typed
+/// [`CodecError::WrongStreamId`] — the ids actually disagree pairwise.
+#[test]
+fn foreign_streams_yield_wrong_stream_id() {
+    let f = synth_field(Dims3::cube(8), 7, 0);
+    let eb = f.range() as f64 * 1e-2;
+    let codecs = all_codecs();
+    for producer in &codecs {
+        let bytes = producer.compress(&f, eb);
+        for consumer in &codecs {
+            let result = consumer.decompress(&bytes);
+            if consumer.id() == producer.id() {
+                assert!(
+                    result.is_ok(),
+                    "{} rejected its own stream",
+                    consumer.name()
+                );
+            } else {
+                match result {
+                    Err(CodecError::WrongStreamId { expected, found }) => {
+                        assert_eq!(expected, consumer.id());
+                        assert_eq!(found, producer.id());
+                    }
+                    other => panic!(
+                        "{} fed a {} stream returned {other:?}, want WrongStreamId",
+                        consumer.name(),
+                        producer.name()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Garbage that isn't a container at all is rejected with a container error.
+#[test]
+fn non_container_input_is_rejected() {
+    for codec in all_codecs() {
+        assert!(matches!(
+            codec.decompress(b"not a stream"),
+            Err(CodecError::Container(_))
+        ));
+        assert!(matches!(
+            codec.decompress(&[]),
+            Err(CodecError::Container(_))
+        ));
+    }
+}
+
+/// The backends' ids are pairwise distinct (the routing registry relies on
+/// this).
+#[test]
+fn codec_ids_are_unique() {
+    let codecs = all_codecs();
+    for (i, a) in codecs.iter().enumerate() {
+        for b in &codecs[i + 1..] {
+            if a.name() != b.name() {
+                assert_ne!(a.id(), b.id(), "{} vs {}", a.name(), b.name());
+            }
+        }
+    }
+}

@@ -5,8 +5,8 @@ use hqmr::grid::{synth, Dims3, Field3};
 use hqmr::metrics::{max_abs_err, psnr};
 use hqmr::mr::{to_adaptive, to_amr, AmrConfig, MergeStrategy, RoiConfig, Upsample};
 use hqmr::workflow::{
-    bezier_pass, compress_mr, decompress_mr, run_uniform_workflow, select_intensity, PostConfig,
-    Sz3MrConfig, WorkflowConfig,
+    bezier_pass, compress_mr, decompress_mr, run_uniform_workflow, select_intensity, Backend,
+    MrcConfig, PostConfig, WorkflowConfig,
 };
 
 fn stored_max_err(a: &hqmr::mr::MultiResData, b: &hqmr::mr::MultiResData) -> f64 {
@@ -33,13 +33,17 @@ fn error_bound_holds_across_all_pipeline_combinations() {
     for (name, f) in fields {
         let mr = to_amr(&f, &AmrConfig::new(8, vec![0.25, 0.75]));
         let eb = f.range() as f64 * 1e-3;
-        for cfg in [
-            Sz3MrConfig::baseline(eb),
-            Sz3MrConfig::amric(eb),
-            Sz3MrConfig::tac(eb),
-            Sz3MrConfig::ours_pad(eb),
-            Sz3MrConfig::ours(eb),
-        ] {
+        let mut configs = vec![
+            MrcConfig::baseline(eb),
+            MrcConfig::amric(eb),
+            MrcConfig::tac(eb),
+            MrcConfig::ours_pad(eb),
+            MrcConfig::ours(eb),
+        ];
+        // The codec axis: every backend honours the same bound through the
+        // same arrangement.
+        configs.extend(Backend::ALL.map(|b| MrcConfig::ours_pad(eb).with_backend(b)));
+        for cfg in configs {
             let (bytes, _) = compress_mr(&mr, &cfg);
             let back = decompress_mr(&bytes).unwrap();
             let err = stored_max_err(&mr, &back);
@@ -101,7 +105,7 @@ fn roi_cells_bounded_end_to_end() {
     let cfg = RoiConfig::new(8, 0.3);
     let mr = to_adaptive(&f, &cfg);
     let eb = f.range() as f64 * 1e-3;
-    let (bytes, _) = compress_mr(&mr, &Sz3MrConfig::ours(eb));
+    let (bytes, _) = compress_mr(&mr, &MrcConfig::ours(eb));
     let back = decompress_mr(&bytes).unwrap();
     let recon = back.reconstruct(Upsample::Nearest);
     // Check every cell covered by a fine-level (ROI) block.
@@ -125,7 +129,7 @@ fn workflow_end_to_end_consistency() {
     let mut cfg = WorkflowConfig::new(2e-3);
     cfg.roi = RoiConfig::new(8, 0.4);
     cfg.uncertainty_iso = Some(f.range() * 0.5);
-    let r = run_uniform_workflow(&f, &cfg);
+    let r = run_uniform_workflow(&f, &cfg).expect("workflow");
     assert_eq!(r.reconstruction.dims(), f.dims());
     assert!(r.end_to_end_ratio > 1.0);
     assert!(r.error_model.is_some());
@@ -140,8 +144,15 @@ fn workflow_end_to_end_consistency() {
 fn merges_are_structure_preserving() {
     let f = synth::rt_like(32, 12);
     let mr = to_amr(&f, &AmrConfig::new(8, vec![0.5, 0.5]));
-    for merge in [MergeStrategy::Linear, MergeStrategy::Stack, MergeStrategy::Tac] {
-        let cfg = Sz3MrConfig { merge, ..Sz3MrConfig::baseline(1e-6) };
+    for merge in [
+        MergeStrategy::Linear,
+        MergeStrategy::Stack,
+        MergeStrategy::Tac,
+    ] {
+        let cfg = MrcConfig {
+            merge,
+            ..MrcConfig::baseline(1e-6)
+        };
         let (bytes, _) = compress_mr(&mr, &cfg);
         let back = decompress_mr(&bytes).unwrap();
         assert_eq!(back.levels[0].blocks.len(), mr.levels[0].blocks.len());
@@ -158,7 +169,7 @@ fn streams_are_self_describing_files() {
     let f = synth::s3d_like(32, 13);
     let mr = to_adaptive(&f, &RoiConfig::new(8, 0.5));
     let eb = f.range() as f64 * 1e-3;
-    let (bytes, _) = compress_mr(&mr, &Sz3MrConfig::ours(eb));
+    let (bytes, _) = compress_mr(&mr, &MrcConfig::ours(eb));
     let path = std::env::temp_dir().join("hqmr_integration_stream.bin");
     std::fs::write(&path, &bytes).unwrap();
     let loaded = std::fs::read(&path).unwrap();
@@ -173,7 +184,7 @@ fn degenerate_inputs_handled() {
     // Constant field: everything compresses to almost nothing.
     let f = Field3::new(Dims3::cube(32), 7.5);
     let mr = to_adaptive(&f, &RoiConfig::new(8, 0.5));
-    let (bytes, stats) = compress_mr(&mr, &Sz3MrConfig::ours(1e-3));
+    let (bytes, stats) = compress_mr(&mr, &MrcConfig::ours(1e-3));
     assert!(stats.ratio() > 50.0, "constant field CR {}", stats.ratio());
     let back = decompress_mr(&bytes).unwrap();
     assert!(stored_max_err(&mr, &back) <= 1e-3);
