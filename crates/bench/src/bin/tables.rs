@@ -49,6 +49,7 @@ fn main() {
         ("tab09", ex::tab09),
         ("ablations", ex::ablations),
         ("codecs", ex::codecs),
+        ("store", ex::store),
     ];
 
     let selected: Vec<_> = if which == "all" {

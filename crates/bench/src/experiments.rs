@@ -809,6 +809,152 @@ pub fn ablations(scale: usize) -> String {
     out
 }
 
+/// Store container benchmark: full vs ROI vs progressive vs isovalue-skip
+/// reads on the block-indexed `hqmr-store`, per codec backend. The ROI is
+/// chosen the way a viewer would: features found on the *coarse* level
+/// (surface_features → features_bbox), scaled up and re-read at fine
+/// resolution through `read_roi`. Besides the text report, the full matrix
+/// lands in `BENCH_store.json` at the workspace root.
+pub fn store(scale: usize) -> String {
+    use hqmr_store::{write_store, StoreConfig, StoreReader};
+    use std::time::Instant;
+    let d = datasets::nyx_t1(scale, 91);
+    let mr = d.mr.as_ref().unwrap();
+    let eb = d.range() * 8e-3;
+    let (mn, mx) = d.field.min_max();
+    let iso = mn + 0.6 * (mx - mn);
+
+    let mut out = format!(
+        "Store reads — {} (scale {scale}, rel eb 8e-3, chunks of 4 blocks)\n\
+         backend  store(KiB)  write(s)   full(s)  full(KiB)   roi(s)  roi(KiB)   iso(s)  iso(KiB)\n",
+        d.name
+    );
+    let mut json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"scale\": {scale},\n  \"rel_eb\": 8e-3,\n  \
+         \"chunk_blocks\": 4,\n  \"records\": [\n",
+        d.name
+    );
+    let kib = |b: u64| b as f64 / 1024.0;
+    let mut first = true;
+    for backend in Backend::ALL {
+        let cfg = StoreConfig::new(eb).with_chunk_blocks(4);
+        let codec = backend.codec();
+        let t0 = Instant::now();
+        let buf = write_store(mr, &cfg, codec.as_ref());
+        let t_write = t0.elapsed().as_secs_f64();
+        let store_bytes = buf.len() as u64;
+        let reader = StoreReader::from_bytes(buf).expect("fresh store must parse");
+
+        // Full read: every chunk of every level.
+        let t0 = Instant::now();
+        let full = reader.read_all().expect("fresh store must decode");
+        let t_full = t0.elapsed().as_secs_f64();
+        let full_bytes = reader.bytes_decoded();
+
+        // ROI read: features on the coarse level pick the fine-level box.
+        let coarse_idx = reader.meta().levels.len() - 1;
+        let coarse = &full.levels[coarse_idx];
+        let factor = 1usize << coarse.level;
+        let fine = reader.meta().levels[0].dims;
+        let feats = hqmr_vis::surface_features(&coarse.to_field(mn), iso, 2);
+        let (lo, hi) = hqmr_vis::features_bbox(&feats)
+            .map(|(lo, hi)| {
+                let lo = std::array::from_fn(|a| lo[a] * factor);
+                let hi = [
+                    (hi[0] * factor).min(fine.nx),
+                    (hi[1] * factor).min(fine.ny),
+                    (hi[2] * factor).min(fine.nz),
+                ];
+                (lo, hi)
+            })
+            .filter(|(lo, hi)| (0..3).all(|a| lo[a] < hi[a]))
+            .unwrap_or_else(|| {
+                // No coarse features: fall back to the central octant.
+                (
+                    [fine.nx / 4, fine.ny / 4, fine.nz / 4],
+                    [3 * fine.nx / 4, 3 * fine.ny / 4, 3 * fine.nz / 4],
+                )
+            });
+        reader.reset_counters();
+        let t0 = Instant::now();
+        let _roi = reader.read_roi(0, lo, hi, mn).expect("roi read");
+        let t_roi = t0.elapsed().as_secs_f64();
+        let roi_bytes = reader.bytes_decoded();
+
+        // Isovalue read: min/max chunk skipping on the fine level.
+        reader.reset_counters();
+        let t0 = Instant::now();
+        let _skim = reader.read_level_iso(0, iso).expect("iso read");
+        let t_iso = t0.elapsed().as_secs_f64();
+        let iso_bytes = reader.bytes_decoded();
+
+        // Progressive refinement: coarse→fine, cumulative bytes per step.
+        reader.reset_counters();
+        let mut steps = Vec::new();
+        let t0 = Instant::now();
+        for step in reader.progressive(Upsample::Nearest) {
+            let step = step.expect("progressive step");
+            steps.push((
+                step.level,
+                t0.elapsed().as_secs_f64(),
+                reader.bytes_decoded(),
+            ));
+        }
+
+        writeln!(
+            out,
+            "{:7} {:11.1} {t_write:9.4} {t_full:9.4} {:10.1} {t_roi:8.4} {:9.1} {t_iso:8.4} {:9.1}",
+            backend.name(),
+            kib(store_bytes),
+            kib(full_bytes),
+            kib(roi_bytes),
+            kib(iso_bytes),
+        )
+        .unwrap();
+        for (level, s, bytes) in &steps {
+            writeln!(
+                out,
+                "        progressive L{level}: {s:.4}s cumulative, {:.1} KiB decoded",
+                kib(*bytes)
+            )
+            .unwrap();
+        }
+
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let prog: Vec<String> = steps
+            .iter()
+            .map(|(level, s, bytes)| {
+                format!("{{\"level\": {level}, \"cum_s\": {s:.6}, \"cum_bytes\": {bytes}}}")
+            })
+            .collect();
+        write!(
+            json,
+            "    {{\"backend\": \"{}\", \"store_bytes\": {store_bytes}, \
+             \"write_s\": {t_write:.6}, \
+             \"full_read_s\": {t_full:.6}, \"full_read_bytes\": {full_bytes}, \
+             \"roi\": [[{}, {}, {}], [{}, {}, {}]], \
+             \"roi_read_s\": {t_roi:.6}, \"roi_read_bytes\": {roi_bytes}, \
+             \"iso_read_s\": {t_iso:.6}, \"iso_read_bytes\": {iso_bytes}, \
+             \"progressive\": [{}]}}",
+            backend.name(),
+            lo[0],
+            lo[1],
+            lo[2],
+            hi[0],
+            hi[1],
+            hi[2],
+            prog.join(", "),
+        )
+        .unwrap();
+    }
+    json.push_str("\n  ]\n}\n");
+    crate::write_root_json("BENCH_store.json", &json, &mut out);
+    out
+}
+
 /// Codec-backend matrix: backend × arrangement × error bound on Nyx-T1,
 /// reporting compression ratio, PSNR over stored cells, and wall-clock
 /// throughput per direction. Besides the text report, the full matrix lands
@@ -887,15 +1033,6 @@ pub fn codecs(scale: usize) -> String {
         }
     }
     json.push_str("\n  ]\n}\n");
-    if let Some(root) = crate::results_dir()
-        .parent()
-        .map(std::path::Path::to_path_buf)
-    {
-        let path = root.join("BENCH_codecs.json");
-        match std::fs::write(&path, &json) {
-            Ok(()) => writeln!(out, "wrote {}", path.display()).unwrap(),
-            Err(e) => writeln!(out, "could not write {}: {e}", path.display()).unwrap(),
-        }
-    }
+    crate::write_root_json("BENCH_codecs.json", &json, &mut out);
     out
 }

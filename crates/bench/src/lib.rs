@@ -41,3 +41,18 @@ pub fn results_dir() -> PathBuf {
         .map(|p| p.join("results"))
         .unwrap_or_else(|| PathBuf::from("results"))
 }
+
+/// Writes a committed JSON baseline (e.g. `BENCH_codecs.json`,
+/// `BENCH_store.json`) at the workspace root, appending the outcome to the
+/// experiment's report body.
+pub fn write_root_json(name: &str, json: &str, report: &mut String) {
+    use std::fmt::Write as _;
+    let Some(root) = results_dir().parent().map(std::path::Path::to_path_buf) else {
+        return;
+    };
+    let path = root.join(name);
+    match std::fs::write(&path, json) {
+        Ok(()) => writeln!(report, "wrote {}", path.display()).unwrap(),
+        Err(e) => writeln!(report, "could not write {}: {e}", path.display()).unwrap(),
+    }
+}

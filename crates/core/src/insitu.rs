@@ -4,12 +4,15 @@
 //! — collecting unit blocks into the compression buffer (merging, padding;
 //! AMRIC's stacking does more data rearrangement than our linear merge) —
 //! and (2) compression + writing to the file system. [`write_snapshot`] runs
-//! both stages through the same backend-generic MRC engine as the offline
-//! path ([`prepare_mr`] then [`encode_prepared`]), so the file it writes is a
-//! complete, decompressible MRC stream — any [`crate::mrc::Backend`] works.
+//! both stages through the block-indexed `hqmr-store` container (the same
+//! pre-processing code as the offline path), so the file it writes is a
+//! complete, seekable store: a post-hoc reader can pull one coarse level, an
+//! ROI, or a progressive refinement out of the snapshot without decompressing
+//! the rest — any [`crate::mrc::Backend`] works.
 
-use crate::mrc::{encode_prepared, prepare_mr, MrcConfig};
+use crate::mrc::MrcConfig;
 use hqmr_mr::MultiResData;
+use hqmr_store::{encode_prepared_store, prepare_store, DEFAULT_CHUNK_BLOCKS};
 use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
@@ -30,25 +33,28 @@ impl StageTimings {
     }
 }
 
-/// Compresses `mr` under `cfg` and writes the stream to `path`, timing the
-/// two stages separately. Returns the timings and the bytes written. The
-/// file contains a full MRC container — [`crate::mrc::decompress_mr`] reads
-/// it back.
+/// Compresses `mr` under `cfg` into a block-indexed store file at `path`,
+/// timing the two stages separately. Returns the timings and the bytes
+/// written. The file is a complete `hqmr-store` container —
+/// [`hqmr_store::StoreReader::open`] serves level, ROI, and progressive
+/// reads from it directly.
 pub fn write_snapshot(
     mr: &MultiResData,
     cfg: &MrcConfig,
     path: impl AsRef<Path>,
 ) -> std::io::Result<(StageTimings, u64)> {
     let mut timings = StageTimings::default();
+    let scfg = cfg.store_config(DEFAULT_CHUNK_BLOCKS);
 
-    // Stage 1: pre-process (merge + pad) every level into buffers.
+    // Stage 1: pre-process (group + merge + pad) every level into buffers.
     let t0 = Instant::now();
-    let prepared = prepare_mr(mr, cfg);
+    let prepared = prepare_store(mr, &scfg);
     timings.preprocess = t0.elapsed().as_secs_f64();
 
-    // Stage 2: compress and write.
+    // Stage 2: compress each chunk and write the container.
     let t1 = Instant::now();
-    let (bytes, _stats) = encode_prepared(mr, &prepared, cfg);
+    let codec = cfg.backend.codec();
+    let bytes = encode_prepared_store(mr, &prepared, &scfg, codec.as_ref());
     let file = std::fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(file);
     w.write_all(&bytes)?;
@@ -61,9 +67,10 @@ pub fn write_snapshot(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mrc::{decompress_mr, Backend};
+    use crate::mrc::Backend;
     use hqmr_grid::synth;
     use hqmr_mr::{to_amr, AmrConfig};
+    use hqmr_store::StoreReader;
 
     #[test]
     fn snapshot_writes_and_times() {
@@ -80,17 +87,26 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_is_a_decompressible_stream_for_every_backend() {
+    fn snapshot_is_a_seekable_store_for_every_backend() {
         let f = synth::nyx_like(32, 6);
         let mr = to_amr(&f, &AmrConfig::new(8, vec![0.25, 0.75]));
         let path = std::env::temp_dir().join("hqmr_insitu_roundtrip.bin");
         for backend in Backend::ALL {
             let cfg = MrcConfig::ours_pad(1e6).with_backend(backend);
             write_snapshot(&mr, &cfg, &path).unwrap();
-            let loaded = std::fs::read(&path).unwrap();
-            let back = decompress_mr(&loaded).expect("snapshot must decompress");
+            let reader = StoreReader::open(&path).expect("snapshot must parse");
+            assert_eq!(reader.codec_name(), backend.name());
+            let back = reader.read_all().expect("snapshot must decode");
             assert_eq!(back.domain, mr.domain);
             assert_eq!(back.levels.len(), mr.levels.len());
+            // Random access: one coarse level decodes only its own chunks.
+            reader.reset_counters();
+            let coarse = reader.read_level(1).unwrap();
+            assert_eq!(coarse.blocks.len(), mr.levels[1].blocks.len());
+            assert_eq!(
+                reader.bytes_decoded(),
+                reader.meta().levels[1].compressed_bytes()
+            );
         }
         std::fs::remove_file(&path).ok();
     }

@@ -7,8 +7,6 @@
 //!   (box) arrangements as selectable baselines — all dispatching through
 //!   the [`hqmr_codec::Codec`] trait, so SZ3, SZ2, ZFP and the raw
 //!   passthrough are interchangeable backends ([`mrc::Backend`]).
-//! * [`sz3mr`] — deprecated aliases from before the engine was generalized;
-//!   kept for one release.
 //! * [`post`] — the error-bounded adaptive Bézier post-process (§III-B):
 //!   quadratic Bézier smoothing across compression-block boundaries, clamped
 //!   to `d ± a·eb`, with the intensity `a` chosen per dimension by sampling +
@@ -17,15 +15,17 @@
 //!   Gaussian modelling, and probabilistic-marching-cubes integration
 //!   (§III-C).
 //! * [`insitu`] — the staged output pipeline (pre-process vs. compress+write)
-//!   measured in Table IV, reusing the engine's prepare/encode split.
+//!   measured in Table IV; snapshots are written as block-indexed
+//!   `hqmr-store` containers, so post-hoc readers get level/ROI/progressive
+//!   access for free.
 //! * [`workflow`] — one-call end-to-end API tying everything together, with
 //!   the compressor selected as arrangement × backend
-//!   ([`workflow::CompressorChoice`]).
+//!   ([`workflow::CompressorChoice`]) and a store-backed variant
+//!   ([`workflow::run_uniform_workflow_store`]).
 
 pub mod insitu;
 pub mod mrc;
 pub mod post;
-pub mod sz3mr;
 pub mod uncertainty;
 pub mod workflow;
 
@@ -36,6 +36,6 @@ pub use uncertainty::{
     analyze_feature_recovery, model_near_isovalue, sample_error_pairs, ErrorModel, FeatureRecovery,
 };
 pub use workflow::{
-    run_uniform_workflow, Arrangement, CompressorChoice, WorkflowConfig, WorkflowError,
-    WorkflowResult,
+    run_uniform_workflow, run_uniform_workflow_store, Arrangement, CompressorChoice,
+    StoreWorkflowResult, WorkflowConfig, WorkflowError, WorkflowResult,
 };

@@ -10,18 +10,20 @@
 //!
 //! This module grew out of `sz3mr` (which hard-wired SZ3); the arrangement
 //! logic is unchanged, the per-level compress call now dispatches through
-//! `&dyn Codec`. The old names remain available via the deprecated
-//! [`crate::sz3mr`] aliases for one release.
+//! `&dyn Codec`. The pre-processing stage (merge + pad) lives in
+//! [`hqmr_mr::prepare`], shared with the block-indexed `hqmr-store`
+//! container so both formats feed codecs byte-identical arrays.
 
 use hqmr_codec::{
     read_uvarint, tag, write_uvarint, Codec, CodecError, Container, ContainerError, NullCodec,
     NULL_CODEC_ID,
 };
 use hqmr_grid::{Dims3, Field3};
-use hqmr_mr::{
-    merge_level, pad_small_dims, strip_padding, LevelData, MergeStrategy, MergedArray,
-    MultiResData, PadKind,
-};
+use hqmr_mr::prepare::{decode_layout, encode_layout};
+use hqmr_mr::{strip_padding, LevelData, MergeStrategy, MergedArray, MultiResData, PadKind};
+use hqmr_store::StoreConfig;
+
+pub use hqmr_mr::prepare::PreparedLevel;
 use hqmr_sz2::{Sz2Codec, SZ2_CODEC_ID};
 use hqmr_sz3::{InterpKind, LevelEbPolicy, Sz3Codec, SZ3_CODEC_ID};
 use hqmr_zfp::{ZfpCodec, ZFP_CODEC_ID};
@@ -106,19 +108,6 @@ impl Backend {
             Backend::Null => "null",
         }
     }
-
-    /// Decoder registry: the default backend able to decode streams carrying
-    /// `id`. Backend parameters don't matter for decoding — every stream is
-    /// self-describing — so the defaults suffice.
-    pub fn for_id(id: u32) -> Option<Backend> {
-        match id {
-            SZ3_CODEC_ID => Some(Self::SZ3),
-            SZ2_CODEC_ID => Some(Self::SZ2),
-            ZFP_CODEC_ID => Some(Self::ZFP),
-            NULL_CODEC_ID => Some(Self::NULL),
-            _ => None,
-        }
-    }
 }
 
 /// MRC configuration: the arrangement axis (merge strategy + padding), the
@@ -184,6 +173,19 @@ impl MrcConfig {
         self.backend = backend;
         self
     }
+
+    /// Lowers this config to the block-indexed store writer's configuration,
+    /// tiled every `chunk_blocks` unit blocks — the one place the
+    /// `MrcConfig` → [`StoreConfig`] mapping lives (used by both the in-situ
+    /// writer and the store-backed workflow).
+    pub fn store_config(&self, chunk_blocks: usize) -> StoreConfig {
+        StoreConfig {
+            eb: self.eb,
+            merge: self.merge,
+            pad: self.pad,
+            chunk_blocks: chunk_blocks.max(1),
+        }
+    }
 }
 
 /// Per-compression statistics.
@@ -208,93 +210,15 @@ impl MrStats {
     }
 }
 
-/// Whether this config pads a level with the given unit size.
-fn pads(cfg: &MrcConfig, unit: usize) -> bool {
-    cfg.pad.is_some() && cfg.merge == MergeStrategy::Linear && unit > 4
-}
-
-/// One level's compression-ready arrays — the output of the pre-processing
-/// stage (merge + pad), before any codec runs.
-#[derive(Debug, Clone)]
-pub struct PreparedLevel {
-    arrays: Vec<MergedArray>,
-    fields: Vec<Field3>,
-    padded: bool,
-}
-
-impl PreparedLevel {
-    /// Number of dense arrays this level produced.
-    pub fn array_count(&self) -> usize {
-        self.arrays.len()
-    }
-
-    /// Whether padding was applied.
-    pub fn padded(&self) -> bool {
-        self.padded
-    }
-}
-
-/// Pre-processing stage: merge (and pad) one level into compression-ready
-/// arrays. Split out so the in-situ writer can time it separately (Table IV).
-fn prepare_level(level: &LevelData, cfg: &MrcConfig) -> PreparedLevel {
-    let arrays = merge_level(level, cfg.merge);
-    let padded = pads(cfg, level.unit);
-    let fields = arrays
-        .iter()
-        .map(|m| {
-            if padded {
-                pad_small_dims(&m.field, cfg.pad.unwrap_or(PadKind::Linear))
-            } else {
-                m.field.clone()
-            }
-        })
-        .collect();
-    PreparedLevel {
-        arrays,
-        fields,
-        padded,
-    }
-}
-
-/// Stage 1 (Table IV "pre-process"): merges and pads every level.
+/// Stage 1 (Table IV "pre-process"): merges and pads every level. The stage
+/// itself lives in [`hqmr_mr::prepare`] so block-indexed containers
+/// (`hqmr-store`) run the *same* code and produce byte-identical codec
+/// inputs; this wrapper lowers the [`MrcConfig`] arrangement axis.
 pub fn prepare_mr(mr: &MultiResData, cfg: &MrcConfig) -> Vec<PreparedLevel> {
     mr.levels
         .iter()
-        .map(|level| prepare_level(level, cfg))
+        .map(|level| hqmr_mr::prepare_level(level, cfg.merge, cfg.pad))
         .collect()
-}
-
-fn encode_layout(m: &MergedArray, padded: bool) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.push(padded as u8);
-    write_uvarint(&mut out, m.unit as u64);
-    write_uvarint(&mut out, m.slots.len() as u64);
-    for (slot, origin) in &m.slots {
-        for v in slot.iter().chain(origin.iter()) {
-            write_uvarint(&mut out, *v as u64);
-        }
-    }
-    out
-}
-
-/// `(slot, origin)` placement pairs of a merged array.
-type LayoutSlots = Vec<([usize; 3], [usize; 3])>;
-
-fn decode_layout(bytes: &[u8]) -> Option<(bool, usize, LayoutSlots)> {
-    let mut pos = 0usize;
-    let padded = *bytes.first()? != 0;
-    pos += 1;
-    let unit = read_uvarint(bytes, &mut pos)? as usize;
-    let n = read_uvarint(bytes, &mut pos)? as usize;
-    let mut slots = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut vals = [0usize; 6];
-        for v in &mut vals {
-            *v = read_uvarint(bytes, &mut pos)? as usize;
-        }
-        slots.push(([vals[0], vals[1], vals[2]], [vals[3], vals[4], vals[5]]));
-    }
-    Some((padded, unit, slots))
 }
 
 /// Stage 2 (Table IV "compress + write"): runs the codec over prepared
@@ -330,14 +254,14 @@ pub fn encode_prepared(
         write_uvarint(&mut lv, level.dims.nx as u64);
         write_uvarint(&mut lv, level.dims.ny as u64);
         write_uvarint(&mut lv, level.dims.nz as u64);
-        write_uvarint(&mut lv, prep.arrays.len() as u64);
+        write_uvarint(&mut lv, prep.array_count() as u64);
         c.push(TAG_LEVEL, lv);
-        for (m, f) in prep.arrays.iter().zip(&prep.fields) {
-            c.push(TAG_LAYOUT, encode_layout(m, prep.padded));
+        for (m, f) in prep.blocks() {
+            c.push(TAG_LAYOUT, encode_layout(m, prep.padded()));
             c.push(stream_tag, codec.compress(f, cfg.eb));
         }
-        stats.arrays_per_level.push(prep.arrays.len());
-        stats.padded_levels.push(prep.padded);
+        stats.arrays_per_level.push(prep.array_count());
+        stats.padded_levels.push(prep.padded());
     }
     let bytes = c.to_bytes();
     stats.compressed_bytes = bytes.len();
@@ -413,8 +337,10 @@ pub fn decompress_mr(bytes: &[u8]) -> Result<MultiResData, MrcError> {
             .try_into()
             .map_err(|_| MrcError::Malformed("codec id width"))?,
     );
-    let backend = Backend::for_id(codec_id).ok_or(CodecError::UnknownCodec(codec_id))?;
-    let codec = backend.codec();
+    // One decode registry for both containers: `hqmr_store::codec_for_id`.
+    // Backend parameters don't matter for decoding — streams are
+    // self-describing — so the registry's defaults suffice.
+    let codec = hqmr_store::codec_for_id(codec_id).ok_or(CodecError::UnknownCodec(codec_id))?;
 
     let level_heads: Vec<&[u8]> = c.get_all(TAG_LEVEL).collect();
     if level_heads.len() != n_levels {

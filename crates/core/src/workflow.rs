@@ -12,6 +12,7 @@ use crate::post::{bezier_pass, select_intensity, PostConfig};
 use crate::uncertainty::{model_near_isovalue, sample_error_pairs, ErrorModel};
 use hqmr_grid::Field3;
 use hqmr_mr::{to_adaptive, MergeStrategy, PadKind, RoiConfig, Upsample};
+use hqmr_store::{write_store, StoreConfig, StoreError, StoreMeta, StoreReader};
 
 /// Workflow configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +108,12 @@ impl CompressorChoice {
             backend: self.backend,
         }
     }
+
+    /// Lowers the choice to a block-indexed store configuration at absolute
+    /// bound `eb`, tiling levels every `chunk_blocks` unit blocks.
+    pub fn store_config(&self, eb: f64, chunk_blocks: usize) -> StoreConfig {
+        self.mrc_config(eb).store_config(chunk_blocks)
+    }
 }
 
 impl WorkflowConfig {
@@ -148,12 +155,15 @@ pub enum WorkflowError {
     /// codec disagree, which is a bug or corruption, but must surface as an
     /// error rather than a panic.
     Roundtrip(MrcError),
+    /// The store-backed path failed to write or read back the container.
+    Store(StoreError),
 }
 
 impl std::fmt::Display for WorkflowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WorkflowError::Roundtrip(e) => write!(f, "workflow round-trip failed: {e}"),
+            WorkflowError::Store(e) => write!(f, "workflow store round-trip failed: {e}"),
         }
     }
 }
@@ -163,6 +173,12 @@ impl std::error::Error for WorkflowError {}
 impl From<MrcError> for WorkflowError {
     fn from(e: MrcError) -> Self {
         WorkflowError::Roundtrip(e)
+    }
+}
+
+impl From<StoreError> for WorkflowError {
+    fn from(e: StoreError) -> Self {
+        WorkflowError::Store(e)
     }
 }
 
@@ -199,6 +215,66 @@ pub fn run_uniform_workflow(
         mr_stats,
         eb,
         error_model,
+    })
+}
+
+/// Everything the store-backed workflow produced.
+#[derive(Debug, Clone)]
+pub struct StoreWorkflowResult {
+    /// The complete serialized store (header + chunk table + data region) —
+    /// ready to be written to disk or handed to [`StoreReader::from_bytes`]
+    /// for ROI/progressive reads.
+    pub store: Vec<u8>,
+    /// The parsed directory: per-level chunk tables with byte ranges and
+    /// value min/max.
+    pub meta: StoreMeta,
+    /// Dense reconstruction at the original resolution (post-processed when
+    /// requested), obtained through a full store read-back.
+    pub reconstruction: Field3,
+    /// End-to-end compression ratio: original uniform bytes / store bytes
+    /// (directory overhead included).
+    pub end_to_end_ratio: f64,
+    /// Absolute error bound used.
+    pub eb: f64,
+}
+
+/// Runs the workflow with the block-indexed `hqmr-store` container instead
+/// of the monolithic MRC stream: ROI extraction → MR conversion → per-chunk
+/// compression into a store → full read-back → reconstruction → optional
+/// Bézier post-process. The returned store supports level/ROI/progressive
+/// reads without decoding anything else.
+pub fn run_uniform_workflow_store(
+    field: &Field3,
+    cfg: &WorkflowConfig,
+    chunk_blocks: usize,
+) -> Result<StoreWorkflowResult, WorkflowError> {
+    let eb = field.range() as f64 * cfg.rel_eb;
+    let mr = to_adaptive(field, &cfg.roi);
+    let store_cfg = cfg.compressor.store_config(eb, chunk_blocks);
+    let codec = cfg.compressor.backend.codec();
+    let store = write_store(&mr, &store_cfg, codec.as_ref());
+    let reader = StoreReader::from_bytes(store)?;
+    let back = reader.read_all()?;
+    let mut reconstruction = back.reconstruct(cfg.upsample);
+
+    if cfg.post_process {
+        let post_cfg = PostConfig::sz3_multires(cfg.roi.block);
+        let choice = select_intensity(field, &reconstruction, eb, &post_cfg);
+        reconstruction = bezier_pass(&reconstruction, eb, choice.a, &post_cfg);
+    }
+
+    let meta = reader.meta().clone();
+    // Recover the buffer the reader was opened over instead of cloning the
+    // whole compressed container.
+    let store = reader
+        .into_buffer()
+        .expect("from_bytes readers own a buffer");
+    Ok(StoreWorkflowResult {
+        meta,
+        end_to_end_ratio: (field.len() * 4) as f64 / store.len() as f64,
+        store,
+        reconstruction,
+        eb,
     })
 }
 
@@ -271,6 +347,38 @@ mod tests {
             // The stream itself records the backend; decompression needs no
             // configuration.
             assert!(decompress_mr(&r.compressed).is_ok(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn store_workflow_matches_monolithic_reconstruction() {
+        // With one chunk per level, the store path feeds the codec
+        // byte-identical arrays, so the reconstructions agree exactly.
+        let f = synth::nyx_like(32, 23);
+        let mut cfg = WorkflowConfig::new(2e-3);
+        cfg.roi = RoiConfig::new(8, 0.4);
+        let mono = run_uniform_workflow(&f, &cfg).unwrap();
+        let store = run_uniform_workflow_store(&f, &cfg, usize::MAX).unwrap();
+        assert_eq!(store.reconstruction, mono.reconstruction);
+        assert!(store.end_to_end_ratio > 1.0);
+        assert_eq!(store.meta.levels.len(), 2);
+    }
+
+    #[test]
+    fn store_workflow_supports_roi_reads_per_backend() {
+        let f = synth::nyx_like(32, 29);
+        for backend in Backend::ALL {
+            let mut cfg = WorkflowConfig::new(2e-3);
+            cfg.roi = RoiConfig::new(8, 0.4);
+            cfg.compressor = CompressorChoice::ours().with_backend(backend);
+            cfg.post_process = false;
+            let r = run_uniform_workflow_store(&f, &cfg, 2).unwrap();
+            let reader = hqmr_store::StoreReader::from_bytes(r.store).unwrap();
+            let d = reader.meta().levels[0].dims;
+            let roi = reader
+                .read_roi(0, [0, 0, 0], [d.nx, d.ny, d.nz.min(8)], 0.0)
+                .unwrap();
+            assert_eq!(roi.dims().nz, d.nz.min(8), "{backend:?}");
         }
     }
 

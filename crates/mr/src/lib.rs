@@ -17,10 +17,16 @@ pub mod adaptive;
 pub mod amr;
 pub mod merge;
 pub mod padding;
+pub mod prepare;
 mod types;
 
 pub use adaptive::{roi_only_field, to_adaptive, RoiConfig};
 pub use amr::{to_amr, AmrConfig};
-pub use merge::{merge_discontinuity, merge_level, unsplit_level, MergeStrategy, MergedArray};
+pub use merge::{
+    merge_blocks, merge_discontinuity, merge_level, unsplit_level, MergeStrategy, MergedArray,
+};
 pub use padding::{pad_small_dims, strip_padding, PadKind};
+pub use prepare::{
+    decode_layout, encode_layout, prepare_blocks, prepare_level, LayoutSlots, PreparedLevel,
+};
 pub use types::{LevelData, MultiResData, UnitBlock, Upsample};

@@ -61,13 +61,24 @@ impl MergedArray {
 /// Merges a level's blocks under `strategy`. Returns one array for
 /// `Linear`/`Stack`, and one per box for `Tac`. Empty levels yield no arrays.
 pub fn merge_level(level: &LevelData, strategy: MergeStrategy) -> Vec<MergedArray> {
-    if level.blocks.is_empty() {
+    merge_blocks(&level.blocks, level.unit, strategy)
+}
+
+/// [`merge_level`] over a borrowed block slice — lets callers that tile a
+/// level into chunk groups (`hqmr-store`) merge each group without cloning
+/// the block data into a temporary [`LevelData`].
+pub fn merge_blocks(
+    blocks: &[UnitBlock],
+    unit: usize,
+    strategy: MergeStrategy,
+) -> Vec<MergedArray> {
+    if blocks.is_empty() {
         return Vec::new();
     }
     match strategy {
-        MergeStrategy::Linear => vec![merge_linear(level)],
-        MergeStrategy::Stack => vec![merge_stack(level)],
-        MergeStrategy::Tac => merge_tac(level),
+        MergeStrategy::Linear => vec![merge_linear(blocks, unit)],
+        MergeStrategy::Stack => vec![merge_stack(blocks, unit)],
+        MergeStrategy::Tac => merge_tac(blocks, unit),
     }
 }
 
@@ -81,12 +92,11 @@ pub fn unsplit_level(pairs: &[(&MergedArray, &Field3)]) -> Vec<UnitBlock> {
     blocks
 }
 
-fn merge_linear(level: &LevelData) -> MergedArray {
-    let u = level.unit;
-    let n = level.blocks.len();
+fn merge_linear(blocks: &[UnitBlock], u: usize) -> MergedArray {
+    let n = blocks.len();
     let mut field = Field3::zeros(Dims3::new(u, u, u * n));
     let mut slots = Vec::with_capacity(n);
-    for (i, b) in level.blocks.iter().enumerate() {
+    for (i, b) in blocks.iter().enumerate() {
         let slot = [0, 0, i * u];
         field.insert_box(slot, &Field3::from_vec(Dims3::cube(u), b.data.clone()));
         slots.push((slot, b.origin));
@@ -98,9 +108,8 @@ fn merge_linear(level: &LevelData) -> MergedArray {
     }
 }
 
-fn merge_stack(level: &LevelData) -> MergedArray {
-    let u = level.unit;
-    let n = level.blocks.len();
+fn merge_stack(blocks: &[UnitBlock], u: usize) -> MergedArray {
+    let n = blocks.len();
     let m = (1..).find(|&m: &usize| m * m * m >= n).unwrap();
     let mut field = Field3::zeros(Dims3::cube(u * m));
     let mut slots = Vec::with_capacity(n);
@@ -110,7 +119,7 @@ fn merge_stack(level: &LevelData) -> MergedArray {
         // beyond those inherent to stacking.
         let src = i.min(n - 1);
         let slot = [(i / (m * m)) * u, ((i / m) % m) * u, (i % m) * u];
-        let b = &level.blocks[src];
+        let b = &blocks[src];
         field.insert_box(slot, &Field3::from_vec(Dims3::cube(u), b.data.clone()));
         if i < n {
             slots.push((slot, b.origin));
@@ -125,11 +134,10 @@ fn merge_stack(level: &LevelData) -> MergedArray {
 
 /// Greedy adjacency-preserving box merge: maximal runs along `z`, rods merged
 /// along `y`, plates merged along `x`.
-fn merge_tac(level: &LevelData) -> Vec<MergedArray> {
-    let u = level.unit;
-    // Block coordinates in units, mapped to their index in `level.blocks`.
+fn merge_tac(blocks: &[UnitBlock], u: usize) -> Vec<MergedArray> {
+    // Block coordinates in units, mapped to their index in `blocks`.
     let mut by_coord: BTreeMap<(usize, usize, usize), usize> = BTreeMap::new();
-    for (i, b) in level.blocks.iter().enumerate() {
+    for (i, b) in blocks.iter().enumerate() {
         by_coord.insert((b.origin[0] / u, b.origin[1] / u, b.origin[2] / u), i);
     }
     // Rods: (x, y, z0, lz).
@@ -202,7 +210,7 @@ fn merge_tac(level: &LevelData) -> Vec<MergedArray> {
                     for cz in 0..ext[2] {
                         let coord = (bo[0] + cx, bo[1] + cy, bo[2] + cz);
                         let bi = by_coord[&coord];
-                        let b = &level.blocks[bi];
+                        let b = &blocks[bi];
                         let slot = [cx * u, cy * u, cz * u];
                         field.insert_box(slot, &Field3::from_vec(Dims3::cube(u), b.data.clone()));
                         slots.push((slot, b.origin));

@@ -123,7 +123,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed size or a range.
+    /// Length specification for [`vec()`]: a fixed size or a range.
     pub struct SizeRange(Range<usize>);
 
     impl From<usize> for SizeRange {

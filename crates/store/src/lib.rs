@@ -1,0 +1,769 @@
+//! `hqmr-store` — a seekable, block-indexed multi-resolution container.
+//!
+//! The monolithic MRC stream (`hqmr-core::mrc`) is one opaque blob: reading a
+//! single coarse level — let alone a region of interest — means decompressing
+//! everything. This crate is the random-access alternative, following the
+//! EXR-style tiled/mip-mapped pattern: a [`format::StoreMeta`] directory up
+//! front (per-level × per-chunk byte ranges, CRCs, value min/max) and an
+//! append-only data region of independently compressed chunks. A reader
+//! fetches and decodes *only* the chunks a query touches:
+//!
+//! * [`StoreReader::read_level`] — one resolution level, chunks decoded in
+//!   parallel through the rayon shim;
+//! * [`StoreReader::read_roi`] — an axis-aligned box, decoding only the
+//!   chunks whose unit blocks intersect it;
+//! * [`StoreReader::read_level_iso`] — an isovalue query that skips chunks
+//!   whose `[min − eb, max + eb]` band provably misses the isovalue,
+//!   substituting a same-side proxy value;
+//! * [`StoreReader::progressive`] — a coarse→fine refinement iterator whose
+//!   final step equals a full reconstruction.
+//!
+//! The writer runs the *same* pre-processing stage ([`hqmr_mr::prepare`]) as
+//! the monolithic engine, so a store written with
+//! [`StoreConfig::one_chunk_per_level`] produces byte-identical codec inputs
+//! — and therefore bit-identical decoded blocks — to `compress_mr` /
+//! `decompress_mr` under the same configuration.
+//!
+//! Every chunk payload carries a CRC-32 checked before the codec runs, so a
+//! flipped bit surfaces as the typed
+//! [`StoreError::CorruptChunk`]`{ level, block }` instead of garbage data.
+
+pub mod format;
+
+pub use format::{
+    parse_head, ChunkMeta, LevelMeta, StoreError, StoreMeta, MAGIC, PREFIX_LEN, VERSION,
+};
+
+use hqmr_codec::{crc32, Codec, NullCodec, NULL_CODEC_ID};
+use hqmr_grid::{Dims3, Field3};
+use hqmr_mr::prepare::{prepare_blocks, PreparedLevel};
+use hqmr_mr::{
+    strip_padding, LevelData, MergeStrategy, MultiResData, PadKind, UnitBlock, Upsample,
+};
+use hqmr_sz2::{Sz2Codec, SZ2_CODEC_ID};
+use hqmr_sz3::{Sz3Codec, SZ3_CODEC_ID};
+use hqmr_zfp::{ZfpCodec, ZFP_CODEC_ID};
+use rayon::prelude::*;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Decoder registry: the default codec able to decode chunks carrying `id`.
+/// Chunk streams are self-describing, so decode needs no backend parameters.
+pub fn codec_for_id(id: u32) -> Option<Box<dyn Codec>> {
+    match id {
+        SZ3_CODEC_ID => Some(Box::new(Sz3Codec::default())),
+        SZ2_CODEC_ID => Some(Box::new(Sz2Codec::default())),
+        ZFP_CODEC_ID => Some(Box::new(ZfpCodec)),
+        NULL_CODEC_ID => Some(Box::new(NullCodec)),
+        _ => None,
+    }
+}
+
+/// Writer configuration: the arrangement axis (shared with the monolithic
+/// engine), the error bound, and the tiling granularity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Absolute error bound every chunk is compressed under.
+    pub eb: f64,
+    /// Unit-block arrangement within a chunk.
+    pub merge: MergeStrategy,
+    /// Padding for the small dims of linear merges (applied when `unit > 4`).
+    pub pad: Option<PadKind>,
+    /// Maximum unit blocks per chunk. Small values mean finer random access
+    /// (ROI reads touch fewer bytes) at some compression-ratio cost;
+    /// [`StoreConfig::one_chunk_per_level`] reproduces the monolithic
+    /// engine's arrays exactly.
+    pub chunk_blocks: usize,
+}
+
+/// Default chunk granularity: enough blocks for the codec to find structure,
+/// small enough that ROI reads skip most of a level.
+pub const DEFAULT_CHUNK_BLOCKS: usize = 16;
+
+impl StoreConfig {
+    /// Paper-default arrangement (linear merge + padding) at bound `eb`,
+    /// tiled every [`DEFAULT_CHUNK_BLOCKS`] unit blocks.
+    pub fn new(eb: f64) -> Self {
+        StoreConfig {
+            eb,
+            merge: MergeStrategy::Linear,
+            pad: Some(PadKind::Linear),
+            chunk_blocks: DEFAULT_CHUNK_BLOCKS,
+        }
+    }
+
+    /// Tiling granularity in unit blocks per chunk.
+    pub fn with_chunk_blocks(mut self, blocks: usize) -> Self {
+        self.chunk_blocks = blocks.max(1);
+        self
+    }
+
+    /// One chunk per level: codec inputs byte-identical to the monolithic
+    /// `compress_mr` under the same merge/pad/eb — the parity configuration.
+    pub fn one_chunk_per_level(mut self) -> Self {
+        self.chunk_blocks = usize::MAX;
+        self
+    }
+}
+
+/// The prepared (pre-codec) form of one level: one [`PreparedLevel`] per
+/// chunk group. Produced by [`prepare_store`], consumed by
+/// [`encode_prepared_store`] — split so in-situ writers can time the two
+/// stages separately (Table IV), mirroring `mrc::prepare_mr`/`encode_prepared`.
+pub type PreparedStore = Vec<Vec<PreparedLevel>>;
+
+/// Stage 1: merges and pads every chunk group of every level. Groups are
+/// consecutive runs of the level's raster-ordered blocks, prepared straight
+/// off the borrowed slices — no block data is copied before merging.
+pub fn prepare_store(mr: &MultiResData, cfg: &StoreConfig) -> PreparedStore {
+    mr.levels
+        .iter()
+        .map(|level| {
+            level
+                .blocks
+                .chunks(cfg.chunk_blocks.max(1))
+                .map(|group| prepare_blocks(group, level.unit, cfg.merge, cfg.pad))
+                .collect()
+        })
+        .collect()
+}
+
+/// Stage 2: compresses every prepared chunk (in parallel) and frames the
+/// store buffer. `prepared` must come from [`prepare_store`] with the same
+/// `mr` and `cfg`.
+pub fn encode_prepared_store(
+    mr: &MultiResData,
+    prepared: &PreparedStore,
+    cfg: &StoreConfig,
+    codec: &dyn Codec,
+) -> Vec<u8> {
+    assert_eq!(prepared.len(), mr.levels.len(), "prepared levels mismatch");
+    let mut levels = Vec::with_capacity(mr.levels.len());
+    let mut data = Vec::new();
+    for (level, preps) in mr.levels.iter().zip(prepared) {
+        // One chunk per merged array of each group; compression fans out.
+        let inputs: Vec<(&hqmr_mr::MergedArray, &Field3, bool)> = preps
+            .iter()
+            .flat_map(|p| p.blocks().map(move |(m, f)| (m, f, p.padded())))
+            .collect();
+        let streams: Vec<Vec<u8>> = inputs
+            .par_iter()
+            .map(|(_, f, _)| codec.compress(f, cfg.eb))
+            .collect();
+        let mut chunks = Vec::with_capacity(inputs.len());
+        for ((m, f, padded), stream) in inputs.into_iter().zip(streams) {
+            let (min, max) = m.field.min_max();
+            chunks.push(ChunkMeta {
+                offset: data.len() as u64,
+                len: stream.len(),
+                crc: crc32(&stream),
+                min,
+                max,
+                enc_dims: f.dims(),
+                padded,
+                unit: m.unit,
+                slots: m.slots.clone(),
+            });
+            data.extend_from_slice(&stream);
+        }
+        levels.push(LevelMeta {
+            level: level.level,
+            unit: level.unit,
+            dims: level.dims,
+            chunks,
+        });
+    }
+    let meta = StoreMeta {
+        domain: mr.domain,
+        codec_id: codec.id(),
+        eb: cfg.eb,
+        levels,
+    };
+    format::frame(&meta, &data)
+}
+
+/// Writes `mr` into a complete in-memory store buffer (both stages).
+pub fn write_store(mr: &MultiResData, cfg: &StoreConfig, codec: &dyn Codec) -> Vec<u8> {
+    let prepared = prepare_store(mr, cfg);
+    encode_prepared_store(mr, &prepared, cfg, codec)
+}
+
+/// Where a reader's chunk bytes come from.
+enum Source {
+    /// The whole store buffer in memory (data region addressed by range).
+    Mem(Vec<u8>),
+    /// An open file, read with seek + exact reads under a mutex. Chunk
+    /// fetches serialize on the file; decoding still fans out.
+    File(Mutex<std::fs::File>),
+}
+
+/// Random-access reader over a store buffer or file.
+///
+/// Every chunk fetch verifies the chunk's CRC-32 before the codec touches
+/// the bytes ([`StoreError::CorruptChunk`] on mismatch) and adds the chunk's
+/// compressed length to a running counter ([`StoreReader::bytes_decoded`]) —
+/// the accounting that proves ROI and isovalue reads touch strictly fewer
+/// bytes than full reads.
+pub struct StoreReader {
+    meta: StoreMeta,
+    data_start: u64,
+    source: Source,
+    codec: Box<dyn Codec>,
+    bytes_decoded: AtomicU64,
+    chunks_decoded: AtomicU64,
+}
+
+impl StoreReader {
+    /// Opens an in-memory store buffer.
+    pub fn from_bytes(buf: Vec<u8>) -> Result<Self, StoreError> {
+        let (meta, data_start) = parse_head(&buf)?;
+        Self::with_source(meta, data_start, Source::Mem(buf))
+    }
+
+    /// Opens a store file. Only the prefix and directory are read here; chunk
+    /// bytes are fetched on demand per query.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        use std::io::Read;
+        let mut file = std::fs::File::open(path)?;
+        let mut prefix = [0u8; PREFIX_LEN];
+        file.read_exact(&mut prefix)?;
+        if &prefix[..4] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        if prefix[4] != VERSION {
+            return Err(StoreError::BadVersion(prefix[4]));
+        }
+        let meta_len = u32::from_le_bytes(prefix[5..9].try_into().unwrap()) as usize;
+        let mut head = prefix.to_vec();
+        head.resize(PREFIX_LEN + meta_len, 0);
+        file.read_exact(&mut head[PREFIX_LEN..])?;
+        let (meta, data_start) = parse_head(&head)?;
+        Self::with_source(meta, data_start, Source::File(Mutex::new(file)))
+    }
+
+    fn with_source(meta: StoreMeta, data_start: u64, source: Source) -> Result<Self, StoreError> {
+        let codec = codec_for_id(meta.codec_id).ok_or(StoreError::UnknownCodec(meta.codec_id))?;
+        // The chunk table is untrusted input (its CRC is integrity, not
+        // authentication): validate every byte range against the actual data
+        // region up front, so fetches can never overflow, over-allocate, or
+        // run past the end.
+        let data_len = match &source {
+            Source::Mem(buf) => (buf.len() as u64).saturating_sub(data_start),
+            Source::File(file) => file
+                .lock()
+                .expect("store file lock poisoned")
+                .metadata()?
+                .len()
+                .saturating_sub(data_start),
+        };
+        for lm in &meta.levels {
+            for c in &lm.chunks {
+                let end = c
+                    .offset
+                    .checked_add(c.len as u64)
+                    .ok_or(StoreError::Truncated)?;
+                if end > data_len {
+                    return Err(StoreError::Truncated);
+                }
+            }
+        }
+        Ok(StoreReader {
+            meta,
+            data_start,
+            source,
+            codec,
+            bytes_decoded: AtomicU64::new(0),
+            chunks_decoded: AtomicU64::new(0),
+        })
+    }
+
+    /// Recovers the in-memory buffer this reader was opened over
+    /// ([`StoreReader::from_bytes`]); `None` for file-backed readers.
+    pub fn into_buffer(self) -> Option<Vec<u8>> {
+        match self.source {
+            Source::Mem(buf) => Some(buf),
+            Source::File(_) => None,
+        }
+    }
+
+    /// The store's directory (levels, chunk table, codec id, error bound).
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Name of the codec decoding this store's chunks.
+    pub fn codec_name(&self) -> &'static str {
+        self.codec.name()
+    }
+
+    /// Compressed bytes fetched + decoded since the last
+    /// [`StoreReader::reset_counters`].
+    pub fn bytes_decoded(&self) -> u64 {
+        self.bytes_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Chunks fetched + decoded since the last counter reset.
+    pub fn chunks_decoded(&self) -> u64 {
+        self.chunks_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the read-accounting counters.
+    pub fn reset_counters(&self) {
+        self.bytes_decoded.store(0, Ordering::Relaxed);
+        self.chunks_decoded.store(0, Ordering::Relaxed);
+    }
+
+    fn level_meta(&self, level: usize) -> Result<&LevelMeta, StoreError> {
+        self.meta
+            .levels
+            .get(level)
+            .ok_or(StoreError::NoSuchLevel(level))
+    }
+
+    /// Fetches one chunk's compressed bytes and verifies its CRC. Byte
+    /// ranges were validated against the data region at open time, so the
+    /// only runtime surprise left is a file shrinking underneath us.
+    fn fetch(&self, level: usize, block: usize) -> Result<Vec<u8>, StoreError> {
+        let c = &self.level_meta(level)?.chunks[block];
+        let bytes = match &self.source {
+            Source::Mem(buf) => {
+                let start = (self.data_start + c.offset) as usize;
+                buf.get(start..start.saturating_add(c.len))
+                    .ok_or(StoreError::Truncated)?
+                    .to_vec()
+            }
+            Source::File(file) => {
+                use std::io::{Read, Seek, SeekFrom};
+                let mut f = file.lock().expect("store file lock poisoned");
+                f.seek(SeekFrom::Start(self.data_start + c.offset))?;
+                let mut out = vec![0u8; c.len];
+                f.read_exact(&mut out)?;
+                out
+            }
+        };
+        if crc32(&bytes) != c.crc {
+            return Err(StoreError::CorruptChunk { level, block });
+        }
+        self.bytes_decoded
+            .fetch_add(c.len as u64, Ordering::Relaxed);
+        self.chunks_decoded.fetch_add(1, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    /// Decodes the selected chunks of one level into unit blocks. Fetching is
+    /// serial (one pass over the file); decoding fans out per chunk.
+    fn decode_chunks(&self, level: usize, indices: &[usize]) -> Result<Vec<UnitBlock>, StoreError> {
+        let lm = self.level_meta(level)?;
+        let payloads: Vec<(usize, Vec<u8>)> = indices
+            .iter()
+            .map(|&i| Ok((i, self.fetch(level, i)?)))
+            .collect::<Result<_, StoreError>>()?;
+        let decoded: Vec<Result<Vec<UnitBlock>, StoreError>> = payloads
+            .par_iter()
+            .map(|(i, bytes)| self.decode_one(level, lm, *i, bytes))
+            .collect();
+        let mut blocks = Vec::new();
+        for r in decoded {
+            blocks.extend(r?);
+        }
+        blocks.sort_by_key(|b| b.origin);
+        Ok(blocks)
+    }
+
+    /// Decodes one CRC-verified chunk payload into its unit blocks.
+    fn decode_one(
+        &self,
+        level: usize,
+        lm: &LevelMeta,
+        block: usize,
+        bytes: &[u8],
+    ) -> Result<Vec<UnitBlock>, StoreError> {
+        let c = &lm.chunks[block];
+        let codec_err = |source| StoreError::Codec {
+            level,
+            block,
+            source,
+        };
+        let mut field = self.codec.decompress(bytes).map_err(codec_err)?;
+        if field.dims() != c.enc_dims {
+            return Err(StoreError::Malformed("decoded dims mismatch chunk table"));
+        }
+        if c.padded {
+            if c.enc_dims.nx < 2 || c.enc_dims.ny < 2 {
+                return Err(StoreError::Malformed("padded chunk too small"));
+            }
+            field = strip_padding(&field);
+        }
+        let d = field.dims();
+        for &(slot, _) in &c.slots {
+            if slot[0] + c.unit > d.nx || slot[1] + c.unit > d.ny || slot[2] + c.unit > d.nz {
+                return Err(StoreError::Malformed("chunk slot out of array bounds"));
+            }
+        }
+        let merged = hqmr_mr::MergedArray {
+            field: Field3::zeros(d),
+            unit: c.unit,
+            slots: c.slots.clone(),
+        };
+        Ok(merged.split(&field))
+    }
+
+    /// Reads one whole resolution level.
+    pub fn read_level(&self, level: usize) -> Result<LevelData, StoreError> {
+        let lm = self.level_meta(level)?;
+        let indices: Vec<usize> = (0..lm.chunks.len()).collect();
+        let blocks = self.decode_chunks(level, &indices)?;
+        Ok(LevelData {
+            level: lm.level,
+            unit: lm.unit,
+            dims: lm.dims,
+            blocks,
+        })
+    }
+
+    /// Reads every level (the store equivalent of `decompress_mr`).
+    pub fn read_all(&self) -> Result<MultiResData, StoreError> {
+        let levels = (0..self.meta.levels.len())
+            .map(|l| self.read_level(l))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MultiResData {
+            domain: self.meta.domain,
+            levels,
+        })
+    }
+
+    /// Indices of the chunks whose unit blocks intersect `[lo, hi)` (level
+    /// cell coordinates) — the chunk-table accounting behind
+    /// [`StoreReader::read_roi`].
+    pub fn roi_chunk_indices(
+        &self,
+        level: usize,
+        lo: [usize; 3],
+        hi: [usize; 3],
+    ) -> Result<Vec<usize>, StoreError> {
+        let lm = self.level_meta(level)?;
+        let d = lm.dims;
+        if hi[0] > d.nx || hi[1] > d.ny || hi[2] > d.nz || (0..3).any(|a| lo[a] >= hi[a]) {
+            return Err(StoreError::RoiOutOfBounds);
+        }
+        Ok(lm
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.intersects(lo, hi))
+            .map(|(i, _)| i)
+            .collect())
+    }
+
+    /// Reads the axis-aligned box `[lo, hi)` of one level, decoding only the
+    /// intersecting chunks. Returns a dense field of dims `hi − lo`; cells
+    /// not covered by any unit block hold `fill`. Equals the same region
+    /// cropped out of `read_level(level).to_field(fill)`.
+    pub fn read_roi(
+        &self,
+        level: usize,
+        lo: [usize; 3],
+        hi: [usize; 3],
+        fill: f32,
+    ) -> Result<Field3, StoreError> {
+        let indices = self.roi_chunk_indices(level, lo, hi)?;
+        let lm = self.level_meta(level)?;
+        let blocks = self.decode_chunks(level, &indices)?;
+        let dims = Dims3::new(hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]);
+        let mut out = Field3::new(dims, fill);
+        let u = lm.unit;
+        for b in &blocks {
+            // Clip the block to the ROI and copy the overlap.
+            let blo: [usize; 3] = std::array::from_fn(|a| b.origin[a].max(lo[a]));
+            let bhi: [usize; 3] = std::array::from_fn(|a| (b.origin[a] + u).min(hi[a]));
+            if (0..3).any(|a| blo[a] >= bhi[a]) {
+                continue;
+            }
+            let bd = Dims3::cube(u);
+            for x in blo[0]..bhi[0] {
+                for y in blo[1]..bhi[1] {
+                    for z in blo[2]..bhi[2] {
+                        let v = b.data[bd.idx(x - b.origin[0], y - b.origin[1], z - b.origin[2])];
+                        out.set(x - lo[0], y - lo[1], z - lo[2], v);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Indices of the chunks that *may* contain a crossing of `iso`, judged
+    /// from the chunk table's min/max widened by the stored error bound.
+    pub fn iso_chunk_indices(&self, level: usize, iso: f32) -> Result<Vec<usize>, StoreError> {
+        let eb = self.meta.eb;
+        Ok(self
+            .level_meta(level)?
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.may_cross(iso, eb))
+            .map(|(i, _)| i)
+            .collect())
+    }
+
+    /// Reads one level for an isovalue query: chunks provably on one side of
+    /// `iso` are skipped and their blocks synthesized as constants at the
+    /// chunk's same-side proxy value, so every cell-crossing of `iso` in the
+    /// result matches a full decode — while decoding strictly fewer bytes
+    /// whenever any chunk is skippable.
+    pub fn read_level_iso(&self, level: usize, iso: f32) -> Result<LevelData, StoreError> {
+        let lm = self.level_meta(level)?;
+        let keep = self.iso_chunk_indices(level, iso)?;
+        let mut blocks = self.decode_chunks(level, &keep)?;
+        let kept: std::collections::HashSet<usize> = keep.into_iter().collect();
+        let u = lm.unit;
+        for (i, c) in lm.chunks.iter().enumerate() {
+            if kept.contains(&i) {
+                continue;
+            }
+            let proxy = c.proxy_value(iso);
+            blocks.extend(c.slots.iter().map(|&(_, origin)| UnitBlock {
+                origin,
+                data: vec![proxy; u.pow(3)],
+            }));
+        }
+        blocks.sort_by_key(|b| b.origin);
+        Ok(LevelData {
+            level: lm.level,
+            unit: lm.unit,
+            dims: lm.dims,
+            blocks,
+        })
+    }
+
+    /// Coarse→fine progressive refinement. Each step decodes the next finer
+    /// level and yields the cumulative dense reconstruction at full domain
+    /// resolution; the last step equals `read_all().reconstruct(scheme)`.
+    pub fn progressive(&self, scheme: Upsample) -> Progressive<'_> {
+        Progressive {
+            reader: self,
+            scheme,
+            // Refinement order: coarsest (highest level index) first.
+            next: self.meta.levels.len(),
+            acc: Field3::zeros(self.meta.domain),
+        }
+    }
+}
+
+/// One step of progressive refinement.
+#[derive(Debug, Clone)]
+pub struct RefinementStep {
+    /// Level index (refinement distance) decoded in this step; the remaining
+    /// finer levels are not yet part of the reconstruction.
+    pub level: usize,
+    /// Cumulative reconstruction at full domain resolution. Regions owned by
+    /// not-yet-decoded levels are still zero-filled.
+    pub field: Field3,
+}
+
+/// Iterator returned by [`StoreReader::progressive`].
+pub struct Progressive<'a> {
+    reader: &'a StoreReader,
+    scheme: Upsample,
+    /// `levels[next]` is the next level to decode, counting down to 0.
+    next: usize,
+    /// The cumulative reconstruction, refined in place: each step overlays
+    /// only the newly decoded (finer) level's upsampled blocks, so blocks
+    /// decoded in earlier steps are never copied or reconstructed again.
+    acc: Field3,
+}
+
+impl Iterator for Progressive<'_> {
+    type Item = Result<RefinementStep, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next == 0 {
+            return None;
+        }
+        self.next -= 1;
+        let level = self.next;
+        match self.reader.read_level(level) {
+            Ok(lvl) => {
+                // Coarse→fine order means in-place insertion matches
+                // `MultiResData::reconstruct` exactly: finer blocks land
+                // later and overwrite coarser ones.
+                let factor = 1usize << lvl.level;
+                for b in &lvl.blocks {
+                    let mut block = Field3::from_vec(Dims3::cube(lvl.unit), b.data.clone());
+                    let mut f = factor;
+                    while f > 1 {
+                        let target = block.dims().scaled(2);
+                        block = match self.scheme {
+                            Upsample::Nearest => block.upsample2_nearest(target),
+                            Upsample::Trilinear => block.upsample2_trilinear(target),
+                        };
+                        f /= 2;
+                    }
+                    let origin = [
+                        b.origin[0] * factor,
+                        b.origin[1] * factor,
+                        b.origin[2] * factor,
+                    ];
+                    self.acc.insert_box(origin, &block);
+                }
+                Some(Ok(RefinementStep {
+                    level,
+                    field: self.acc.clone(),
+                }))
+            }
+            Err(e) => {
+                self.next = 0; // poison: no further refinement after an error
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqmr_grid::synth;
+    use hqmr_mr::{to_adaptive, RoiConfig};
+
+    fn test_mr() -> MultiResData {
+        let f = synth::nyx_like(32, 9);
+        to_adaptive(&f, &RoiConfig::new(8, 0.5))
+    }
+
+    fn eb() -> f64 {
+        1e6 // nyx-scale values ~1e8
+    }
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let mr = test_mr();
+        let cfg = StoreConfig::new(eb()).with_chunk_blocks(4);
+        let buf = write_store(&mr, &cfg, &NullCodec);
+        let r = StoreReader::from_bytes(buf).unwrap();
+        assert_eq!(r.codec_name(), "null");
+        let back = r.read_all().unwrap();
+        assert_eq!(back, mr, "null codec must round-trip losslessly");
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let mr = test_mr();
+        let cfg = StoreConfig::new(eb());
+        let codec = Sz3Codec::default();
+        let buf = write_store(&mr, &cfg, &codec);
+        let path = std::env::temp_dir().join("hqmr_store_file_test.hqst");
+        std::fs::write(&path, &buf).unwrap();
+        let from_file = StoreReader::open(&path).unwrap().read_all().unwrap();
+        let from_mem = StoreReader::from_bytes(buf).unwrap().read_all().unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(from_file, from_mem);
+    }
+
+    #[test]
+    fn chunking_follows_config() {
+        let mr = test_mr();
+        let fine_blocks = mr.levels[0].blocks.len();
+        assert!(fine_blocks > 4, "need a multi-block level");
+        let one = write_store(
+            &mr,
+            &StoreConfig::new(eb()).one_chunk_per_level(),
+            &NullCodec,
+        );
+        let many = write_store(
+            &mr,
+            &StoreConfig::new(eb()).with_chunk_blocks(1),
+            &NullCodec,
+        );
+        let one = StoreReader::from_bytes(one).unwrap();
+        let many = StoreReader::from_bytes(many).unwrap();
+        assert_eq!(one.meta().levels[0].chunks.len(), 1);
+        assert_eq!(many.meta().levels[0].chunks.len(), fine_blocks);
+    }
+
+    #[test]
+    fn reader_counts_bytes() {
+        let mr = test_mr();
+        let cfg = StoreConfig::new(eb()).with_chunk_blocks(2);
+        let r = StoreReader::from_bytes(write_store(&mr, &cfg, &NullCodec)).unwrap();
+        assert_eq!(r.bytes_decoded(), 0);
+        r.read_level(0).unwrap();
+        assert_eq!(
+            r.bytes_decoded(),
+            r.meta().levels[0].compressed_bytes(),
+            "a full level read decodes exactly the level's chunk bytes"
+        );
+        r.reset_counters();
+        assert_eq!(r.bytes_decoded(), 0);
+        assert_eq!(r.chunks_decoded(), 0);
+    }
+
+    #[test]
+    fn no_such_level_and_bad_roi_are_typed() {
+        let mr = test_mr();
+        let r =
+            StoreReader::from_bytes(write_store(&mr, &StoreConfig::new(eb()), &NullCodec)).unwrap();
+        assert!(matches!(r.read_level(99), Err(StoreError::NoSuchLevel(99))));
+        let d = r.meta().levels[0].dims;
+        assert!(matches!(
+            r.read_roi(0, [0; 3], [d.nx + 1, d.ny, d.nz], 0.0),
+            Err(StoreError::RoiOutOfBounds)
+        ));
+        assert!(matches!(
+            r.read_roi(0, [3, 0, 0], [3, d.ny, d.nz], 0.0),
+            Err(StoreError::RoiOutOfBounds)
+        ));
+    }
+
+    #[test]
+    fn progressive_refines_to_full_reconstruction() {
+        let mr = test_mr();
+        let cfg = StoreConfig::new(eb()).with_chunk_blocks(4);
+        let r = StoreReader::from_bytes(write_store(&mr, &cfg, &NullCodec)).unwrap();
+        let steps: Vec<RefinementStep> = r
+            .progressive(Upsample::Nearest)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(steps.len(), mr.levels.len());
+        // Coarse→fine order.
+        for w in steps.windows(2) {
+            assert!(w[0].level > w[1].level);
+        }
+        let full = r.read_all().unwrap().reconstruct(Upsample::Nearest);
+        assert_eq!(steps.last().unwrap().field, full);
+    }
+
+    #[test]
+    fn iso_read_skips_chunks_but_keeps_crossings() {
+        // A smooth ramp field: most chunks are provably far from the isovalue.
+        let f = Field3::from_fn(Dims3::new(8, 8, 64), |x, y, z| (x + y + z) as f32);
+        let mr = to_adaptive(&f, &RoiConfig::new(8, 1.0));
+        let cfg = StoreConfig {
+            eb: 0.01,
+            merge: MergeStrategy::Linear,
+            pad: None,
+            chunk_blocks: 1,
+        };
+        let r = StoreReader::from_bytes(write_store(&mr, &cfg, &Sz3Codec::default())).unwrap();
+        let iso = 40.0f32;
+        let kept = r.iso_chunk_indices(0, iso).unwrap();
+        let total = r.meta().levels[0].chunks.len();
+        assert!(
+            !kept.is_empty() && kept.len() < total,
+            "{}/{total}",
+            kept.len()
+        );
+
+        r.reset_counters();
+        let full = r.read_level(0).unwrap();
+        let full_bytes = r.bytes_decoded();
+        r.reset_counters();
+        let skim = r.read_level_iso(0, iso).unwrap();
+        let skim_bytes = r.bytes_decoded();
+        assert!(skim_bytes < full_bytes, "{skim_bytes} !< {full_bytes}");
+        assert_eq!(skim.blocks.len(), full.blocks.len(), "proxy blocks present");
+        let (cd, a) = hqmr_vis::cell_crossings(&full.to_field(0.0), iso);
+        let (_, b) = hqmr_vis::cell_crossings(&skim.to_field(0.0), iso);
+        assert_eq!(a, b, "crossings must survive chunk skipping ({cd})");
+    }
+}

@@ -1,0 +1,334 @@
+//! Property tests for the block-indexed store, run over every codec backend:
+//! ROI reads equal the crop of a full read, ROI reads decode strictly fewer
+//! bytes (proven by chunk-table accounting *and* the reader's byte counter),
+//! and damaged inputs — truncations, corrupted chunk tables, corrupted chunk
+//! payloads — fail with typed errors, never panics or garbage data.
+
+use hqmr_codec::{Codec, NullCodec};
+use hqmr_grid::{synth, Dims3, Field3};
+use hqmr_mr::{to_adaptive, MergeStrategy, MultiResData, PadKind, RoiConfig};
+use hqmr_store::{write_store, StoreConfig, StoreError, StoreReader, PREFIX_LEN};
+use hqmr_sz2::Sz2Codec;
+use hqmr_sz3::Sz3Codec;
+use hqmr_zfp::ZfpCodec;
+
+/// Every registered backend, decodable from a store without configuration.
+fn all_codecs() -> Vec<Box<dyn Codec>> {
+    vec![
+        Box::new(Sz3Codec::default()),
+        Box::new(Sz2Codec::MULTIRES),
+        Box::new(ZfpCodec),
+        Box::new(NullCodec),
+    ]
+}
+
+fn test_mr() -> MultiResData {
+    let f = synth::nyx_like(32, 41);
+    to_adaptive(&f, &RoiConfig::new(8, 0.5))
+}
+
+fn eb() -> f64 {
+    1e6 // nyx-scale values ~1e8
+}
+
+fn store_cfg(chunk_blocks: usize) -> StoreConfig {
+    StoreConfig {
+        eb: eb(),
+        merge: MergeStrategy::Linear,
+        pad: Some(PadKind::Linear),
+        chunk_blocks,
+    }
+}
+
+#[test]
+fn roi_equals_crop_of_full_read_across_backends() {
+    let mr = test_mr();
+    for codec in all_codecs() {
+        for chunk_blocks in [1, 3, 16] {
+            let buf = write_store(&mr, &store_cfg(chunk_blocks), codec.as_ref());
+            let r = StoreReader::from_bytes(buf).unwrap();
+            for level in 0..r.meta().levels.len() {
+                let full = r.read_level(level).unwrap().to_field(-7.0);
+                let d = full.dims();
+                if d.is_empty() {
+                    continue;
+                }
+                // A few representative boxes: interior, corner, full level.
+                let boxes = [
+                    ([0, 0, 0], [d.nx, d.ny, d.nz]),
+                    (
+                        [0, 0, 0],
+                        [1.max(d.nx / 2), 1.max(d.ny / 2), 1.max(d.nz / 3)],
+                    ),
+                    ([d.nx / 3, d.ny / 4, d.nz / 2], [d.nx, d.ny, d.nz]),
+                ];
+                for (lo, hi) in boxes {
+                    let roi = r.read_roi(level, lo, hi, -7.0).unwrap();
+                    let crop = full
+                        .extract_box(lo, Dims3::new(hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]));
+                    assert_eq!(
+                        roi,
+                        crop,
+                        "{} L{level} {lo:?}..{hi:?} cb={chunk_blocks}",
+                        codec.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn roi_decodes_strictly_fewer_bytes_than_full_read() {
+    let mr = test_mr();
+    assert!(mr.levels[0].blocks.len() > 4, "need a multi-block level");
+    for codec in all_codecs() {
+        let buf = write_store(&mr, &store_cfg(2), codec.as_ref());
+        let r = StoreReader::from_bytes(buf).unwrap();
+        let lm = &r.meta().levels[0];
+        let d = lm.dims;
+        let lo = [0, 0, 0];
+        let hi = [d.nx, d.ny, (d.nz / 4).max(1)];
+
+        // Chunk-table accounting: the ROI's chunk set is a strict subset,
+        // and its summed compressed length is strictly smaller.
+        let indices = r.roi_chunk_indices(0, lo, hi).unwrap();
+        assert!(!indices.is_empty());
+        assert!(indices.len() < lm.chunks.len(), "{}", codec.name());
+        let roi_table_bytes: u64 = indices.iter().map(|&i| lm.chunks[i].len as u64).sum();
+        assert!(roi_table_bytes < lm.compressed_bytes(), "{}", codec.name());
+
+        // Runtime accounting: the reader actually fetched only those bytes.
+        r.reset_counters();
+        r.read_level(0).unwrap();
+        let full_bytes = r.bytes_decoded();
+        assert_eq!(full_bytes, lm.compressed_bytes());
+        r.reset_counters();
+        r.read_roi(0, lo, hi, 0.0).unwrap();
+        assert_eq!(r.bytes_decoded(), roi_table_bytes, "{}", codec.name());
+        assert!(r.bytes_decoded() < full_bytes, "{}", codec.name());
+    }
+}
+
+#[test]
+fn truncated_stores_fail_cleanly_across_backends() {
+    let mr = test_mr();
+    for codec in all_codecs() {
+        let buf = write_store(&mr, &store_cfg(4), codec.as_ref());
+        // Sweep cuts through the prefix, the chunk table, and the data
+        // region; nothing may panic, and any successfully opened reader must
+        // report Truncated when a chunk read runs off the end.
+        for cut in [
+            0,
+            3,
+            PREFIX_LEN - 1,
+            PREFIX_LEN + 1,
+            buf.len() / 3,
+            buf.len() - buf.len() / 4,
+            buf.len() - 1,
+        ] {
+            match StoreReader::from_bytes(buf[..cut].to_vec()) {
+                Ok(r) => {
+                    let err = r.read_all().expect_err("data region is truncated");
+                    assert!(
+                        matches!(err, StoreError::Truncated),
+                        "{} cut={cut}: {err:?}",
+                        codec.name()
+                    );
+                }
+                Err(e) => assert!(
+                    matches!(
+                        e,
+                        StoreError::Truncated | StoreError::CorruptTable | StoreError::Malformed(_)
+                    ),
+                    "{} cut={cut}: {e:?}",
+                    codec.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_chunk_table_is_typed_across_backends() {
+    let mr = test_mr();
+    for codec in all_codecs() {
+        let buf = write_store(&mr, &store_cfg(4), codec.as_ref());
+        // Any bit flip inside the meta region must trip the table CRC.
+        for pos in [PREFIX_LEN, PREFIX_LEN + 9, PREFIX_LEN + 23] {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                matches!(StoreReader::from_bytes(bad), Err(StoreError::CorruptTable)),
+                "{} pos={pos}",
+                codec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_chunk_payload_names_the_chunk() {
+    let mr = test_mr();
+    for codec in all_codecs() {
+        let buf = write_store(&mr, &store_cfg(2), codec.as_ref());
+        let r = StoreReader::from_bytes(buf.clone()).unwrap();
+        let meta = r.meta().clone();
+        let data_start = buf.len() - meta.compressed_bytes() as usize;
+        // Flip one byte inside a specific chunk of the fine level.
+        let victim = meta.levels[0].chunks.len() / 2;
+        let c = &meta.levels[0].chunks[victim];
+        let mut bad = buf.clone();
+        bad[data_start + c.offset as usize + c.len / 2] ^= 0xFF;
+        let r = StoreReader::from_bytes(bad).unwrap();
+        let err = r.read_level(0).expect_err("chunk CRC must trip");
+        assert!(
+            matches!(err, StoreError::CorruptChunk { level: 0, block } if block == victim),
+            "{}: {err:?}",
+            codec.name()
+        );
+        // Other levels remain readable: damage is contained to the chunk.
+        assert!(r.read_level(1).is_ok(), "{}", codec.name());
+        // And an ROI that misses the damaged chunk still succeeds.
+        let first = &r.meta().levels[0].chunks[0];
+        if victim != 0 {
+            let (_, origin) = first.slots[0];
+            let u = first.unit;
+            let hi = [origin[0] + u, origin[1] + u, origin[2] + u];
+            assert!(r.read_roi(0, origin, hi, 0.0).is_ok(), "{}", codec.name());
+        }
+    }
+}
+
+#[test]
+fn error_bound_holds_per_level_for_every_backend() {
+    let mr = test_mr();
+    for codec in all_codecs() {
+        let buf = write_store(&mr, &store_cfg(4), codec.as_ref());
+        let back = StoreReader::from_bytes(buf).unwrap().read_all().unwrap();
+        assert_eq!(back.domain, mr.domain);
+        for (la, lb) in mr.levels.iter().zip(&back.levels) {
+            assert_eq!(la.blocks.len(), lb.blocks.len());
+            for (ba, bb) in la.blocks.iter().zip(&lb.blocks) {
+                assert_eq!(ba.origin, bb.origin);
+                for (&x, &y) in ba.data.iter().zip(&bb.data) {
+                    assert!(
+                        (x as f64 - y as f64).abs() <= eb() + 1e-3,
+                        "{}: |{x} - {y}| > eb",
+                        codec.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn progressive_partial_steps_decode_partial_bytes() {
+    let mr = test_mr();
+    let buf = write_store(&mr, &store_cfg(4), &NullCodec);
+    let r = StoreReader::from_bytes(buf).unwrap();
+    let total: u64 = r.meta().compressed_bytes();
+    let coarse: u64 = r.meta().levels[1].compressed_bytes();
+    let mut it = r.progressive(hqmr_mr::Upsample::Nearest);
+    let first = it.next().unwrap().unwrap();
+    assert_eq!(first.level, 1);
+    assert_eq!(
+        r.bytes_decoded(),
+        coarse,
+        "first step reads only the coarse level"
+    );
+    assert!(coarse < total);
+    let second = it.next().unwrap().unwrap();
+    assert_eq!(second.level, 0);
+    assert_eq!(r.bytes_decoded(), total);
+    assert!(it.next().is_none());
+    // The refined field is the full reconstruction.
+    let full = r
+        .read_all()
+        .unwrap()
+        .reconstruct(hqmr_mr::Upsample::Nearest);
+    assert_eq!(second.field, full);
+}
+
+#[test]
+fn roi_of_an_empty_level_is_fill() {
+    let mut mr = test_mr();
+    mr.levels[0].blocks.clear();
+    let buf = write_store(&mr, &store_cfg(4), &NullCodec);
+    let r = StoreReader::from_bytes(buf).unwrap();
+    let roi = r.read_roi(0, [0, 0, 0], [4, 4, 4], 2.5).unwrap();
+    assert!(roi.data().iter().all(|&v| v == 2.5));
+    assert_eq!(r.bytes_decoded(), 0);
+}
+
+#[test]
+fn unknown_codec_id_is_rejected_at_open() {
+    let mr = test_mr();
+    let buf = write_store(&mr, &store_cfg(4), &NullCodec);
+    let (mut meta, _) = hqmr_store::parse_head(&buf).unwrap();
+    let data = buf[buf.len() - meta.compressed_bytes() as usize..].to_vec();
+    meta.codec_id = hqmr_codec::tag(b"????");
+    let bad = hqmr_store::format::frame(&meta, &data);
+    assert!(matches!(
+        StoreReader::from_bytes(bad),
+        Err(StoreError::UnknownCodec(_))
+    ));
+}
+
+/// The store and the stacked/boxed arrangements compose like the monolithic
+/// engine: every merge strategy round-trips.
+#[test]
+fn all_merge_strategies_roundtrip_through_store() {
+    let mr = test_mr();
+    for merge in [
+        MergeStrategy::Linear,
+        MergeStrategy::Stack,
+        MergeStrategy::Tac,
+    ] {
+        let cfg = StoreConfig {
+            eb: eb(),
+            merge,
+            pad: None,
+            chunk_blocks: 4,
+        };
+        let buf = write_store(&mr, &cfg, &NullCodec);
+        let back = StoreReader::from_bytes(buf).unwrap().read_all().unwrap();
+        assert_eq!(back, mr, "{merge:?} with the lossless backend");
+    }
+}
+
+/// Sanity for the min/max directory: every chunk's recorded band contains
+/// every original value of its blocks.
+#[test]
+fn chunk_min_max_bounds_block_values() {
+    let mr = test_mr();
+    let buf = write_store(&mr, &store_cfg(3), &NullCodec);
+    let r = StoreReader::from_bytes(buf).unwrap();
+    for (l, lm) in r.meta().levels.iter().enumerate() {
+        let full = r.read_level(l).unwrap();
+        let by_origin: std::collections::HashMap<[usize; 3], &Vec<f32>> =
+            full.blocks.iter().map(|b| (b.origin, &b.data)).collect();
+        for c in &lm.chunks {
+            for &(_, origin) in &c.slots {
+                for &v in by_origin[&origin] {
+                    assert!(
+                        c.min <= v && v <= c.max,
+                        "{v} outside [{}, {}]",
+                        c.min,
+                        c.max
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `Field3::is_empty` helper used above exists; keep the compiler honest
+/// about unused-import drift in this integration file.
+#[test]
+fn store_header_constants_are_stable() {
+    assert_eq!(hqmr_store::MAGIC, b"HQST");
+    assert_eq!(hqmr_store::VERSION, 1);
+    let _ = Field3::zeros(Dims3::new(1, 1, 1));
+}

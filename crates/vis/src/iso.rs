@@ -89,6 +89,26 @@ pub fn surface_features(field: &Field3, iso: f32, min_cells: usize) -> Vec<Surfa
     components_of(cd, &crossing, min_cells)
 }
 
+/// Union bounding box of a set of features as a half-open `[lo, hi)` cell
+/// range — the box a region-of-interest read should fetch to cover them
+/// (e.g. features found on a coarse store level, scaled up and re-read at
+/// fine resolution through `read_roi`). `None` when `features` is empty.
+pub fn features_bbox(features: &[SurfaceFeature]) -> Option<([usize; 3], [usize; 3])> {
+    let mut lo = [usize::MAX; 3];
+    let mut hi = [0usize; 3];
+    for f in features {
+        for a in 0..3 {
+            lo[a] = lo[a].min(f.bbox.0[a]);
+            // Feature bboxes are inclusive cell coords; +1 makes `hi` the
+            // half-open upper corner (crossing cells span 2 grid points, so
+            // +2 would cover the far corner point — callers reading *cells*
+            // want +1, and clamp to level dims either way).
+            hi[a] = hi[a].max(f.bbox.1[a] + 1);
+        }
+    }
+    (lo[0] < hi[0]).then_some((lo, hi))
+}
+
 /// Connected components of an arbitrary boolean cell mask (shared by
 /// [`surface_features`] and the PMC probability-threshold analysis).
 pub fn components_of(cd: Dims3, mask: &[bool], min_cells: usize) -> Vec<SurfaceFeature> {
@@ -308,6 +328,24 @@ mod tests {
         assert_eq!(feats.len(), 1);
         let c = feats[0].center();
         assert!((c[0] - 7.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn features_bbox_unions_and_is_half_open() {
+        assert_eq!(features_bbox(&[]), None);
+        let feats = [
+            SurfaceFeature {
+                cells: 4,
+                bbox: ([1, 2, 3], [4, 5, 6]),
+            },
+            SurfaceFeature {
+                cells: 2,
+                bbox: ([0, 7, 3], [2, 9, 4]),
+            },
+        ];
+        let (lo, hi) = features_bbox(&feats).unwrap();
+        assert_eq!(lo, [0, 2, 3]);
+        assert_eq!(hi, [5, 10, 7]);
     }
 
     #[test]

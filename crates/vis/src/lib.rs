@@ -18,7 +18,8 @@ pub mod pmc;
 pub mod render;
 
 pub use iso::{
-    cell_crossings, components_of, extract_isosurface, surface_features, IsoMesh, SurfaceFeature,
+    cell_crossings, components_of, extract_isosurface, features_bbox, surface_features, IsoMesh,
+    SurfaceFeature,
 };
 pub use pmc::{crossing_probability_field, gaussian_cdf, PmcConfig};
 pub use render::{render_slice, save_ppm, Colormap, Image};

@@ -57,15 +57,18 @@ fn main() {
     let lf = logize(&field);
     let lr = logize(&roi);
     let (lmn, lmx) = (mn.max(1.0).ln(), mx.ln());
+    // Renders land under results/ with the other experiment artifacts, not
+    // in the repo root.
+    std::fs::create_dir_all("results").unwrap();
     save_ppm(
-        "roi_original.ppm",
+        "results/roi_original.ppm",
         &render_slice(&lf, k, lmn, lmx, Colormap::Viridis),
     )
     .unwrap();
     save_ppm(
-        "roi_extracted.ppm",
+        "results/roi_extracted.ppm",
         &render_slice(&lr, k, lmn, lmx, Colormap::Viridis),
     )
     .unwrap();
-    println!("\nwrote roi_original.ppm and roi_extracted.ppm");
+    println!("\nwrote results/roi_original.ppm and results/roi_extracted.ppm");
 }

@@ -8,14 +8,18 @@
 //! Each "timestep" produces an Ez field, converts it to adaptive
 //! multi-resolution data (WarpX does not support AMR, §I), and writes a
 //! compressed snapshot, reporting the pre-process vs compress+write split for
-//! our linear merge versus AMRIC's stacking. Snapshots are complete MRC
-//! streams: the verification pass reads each file back from disk and
-//! decompresses it via the codec id recorded in the stream.
+//! our linear merge versus AMRIC's stacking. Snapshots are block-indexed
+//! `hqmr-store` containers: the verification pass opens each file from disk
+//! (codec routing comes from the directory, no configuration needed), reads
+//! it back fully, and then demonstrates random access by pulling a coarse
+//! first refinement and a small fine-level ROI out of the same file while
+//! counting how few of the compressed bytes those touch.
 
 use hqmr::grid::{synth, Dims3};
 use hqmr::metrics::psnr;
 use hqmr::mr::{to_adaptive, RoiConfig, Upsample};
-use hqmr::workflow::{decompress_mr, write_snapshot, Backend, MrcConfig};
+use hqmr::store::StoreReader;
+use hqmr::workflow::{write_snapshot, Backend, MrcConfig};
 
 fn main() {
     let dims = Dims3::new(32, 32, 256);
@@ -26,6 +30,7 @@ fn main() {
     println!("simulating {steps} WarpX-like timesteps at {dims}...");
     println!();
     println!("step  method  preproc(s)  comp+write(s)  total(s)   bytes      CR     PSNR");
+    let mut last_path = None;
     for step in 0..steps {
         let field = synth::warpx_like(dims, 100 + step as u64);
         let mr = to_adaptive(&field, &RoiConfig::new(16, 0.5));
@@ -36,12 +41,12 @@ fn main() {
             ("O-zfp", MrcConfig::ours_pad(eb).with_backend(Backend::ZFP)),
         ];
         for (name, cfg) in methods {
-            let path = out_dir.join(format!("snap_{step}_{name}.hqmr"));
+            let path = out_dir.join(format!("snap_{step}_{name}.hqst"));
             let (t, bytes) = write_snapshot(&mr, &cfg, &path).unwrap();
-            // Verify by reading the snapshot back: the stream is
-            // self-describing, so no configuration is needed to decode it.
-            let stored = std::fs::read(&path).unwrap();
-            let back = decompress_mr(&stored).unwrap();
+            // Verify by reading the snapshot back: the store directory
+            // records the codec, so no configuration is needed to decode it.
+            let reader = StoreReader::open(&path).unwrap();
+            let back = reader.read_all().unwrap();
             let recon = back.reconstruct(Upsample::Trilinear);
             let cr = (mr.total_cells() * 4) as f64 / bytes as f64;
             println!(
@@ -51,8 +56,38 @@ fn main() {
                 t.total(),
                 psnr(&field, &recon)
             );
+            last_path = Some(path);
         }
     }
+
+    // Random access on the last snapshot: the point of the store format.
+    let reader = StoreReader::open(last_path.unwrap()).unwrap();
+    let total = reader.meta().compressed_bytes();
+    let first = reader
+        .progressive(Upsample::Nearest)
+        .next()
+        .unwrap()
+        .unwrap();
+    let coarse_bytes = reader.bytes_decoded();
+    reader.reset_counters();
+    let fine = &reader.meta().levels[0];
+    // Anchor the ROI on an occupied fine block (the adaptive conversion only
+    // keeps the high-energy half of the domain at full resolution).
+    let (_, origin) = fine.chunks[0].slots[0];
+    let hi = [
+        origin[0] + fine.unit,
+        origin[1] + fine.unit,
+        origin[2] + fine.unit,
+    ];
+    let roi = reader.read_roi(0, origin, hi, 0.0).unwrap();
+    println!(
+        "\nrandom access: first refinement (L{}, {} of {total} compressed bytes), \
+         {} ROI ({} bytes) — no full decode required",
+        first.level,
+        coarse_bytes,
+        roi.dims(),
+        reader.bytes_decoded()
+    );
     std::fs::remove_dir_all(&out_dir).ok();
-    println!("\n(our linear merge pre-processes with less data movement than stacking)");
+    println!("(our linear merge pre-processes with less data movement than stacking)");
 }

@@ -8,6 +8,10 @@
 //!   multi-resolution conversion, backend-generic MRC compression,
 //!   error-bounded Bézier post-processing, and compression-uncertainty
 //!   modelling.
+//! * [`store`] — the seekable, block-indexed multi-resolution container:
+//!   per-chunk compression behind the same codec boundary, serving level,
+//!   ROI, isovalue-skip, and coarse→fine progressive reads without
+//!   decompressing the rest of the file.
 //! * [`grid`] — fields and synthetic dataset proxies.
 //! * [`sz2`], [`sz3`], [`zfp`] — the three from-scratch compressors.
 //! * [`mr`] — the multi-resolution data model (ROI, AMR, merges, padding).
@@ -58,6 +62,7 @@ pub use hqmr_filters as filters;
 pub use hqmr_grid as grid;
 pub use hqmr_metrics as metrics;
 pub use hqmr_mr as mr;
+pub use hqmr_store as store;
 pub use hqmr_sz2 as sz2;
 pub use hqmr_sz3 as sz3;
 pub use hqmr_vis as vis;
