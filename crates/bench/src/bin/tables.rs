@@ -50,6 +50,7 @@ fn main() {
         ("ablations", ex::ablations),
         ("codecs", ex::codecs),
         ("store", ex::store),
+        ("hotpath", ex::hotpath),
     ];
 
     let selected: Vec<_> = if which == "all" {

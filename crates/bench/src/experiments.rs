@@ -1036,3 +1036,210 @@ pub fn codecs(scale: usize) -> String {
     crate::write_root_json("BENCH_codecs.json", &json, &mut out);
     out
 }
+
+/// Hot-path throughput: the word-at-a-time bit-IO and table-driven Huffman
+/// coder measured against the per-bit reference implementations they
+/// replaced, on the *actual* quantization-code blocks SZ3 emits for Nyx-T1 —
+/// plus end-to-end codec throughput for context. Emits `BENCH_hotpath.json`
+/// at the workspace root so the before/after MB/s is committed evidence.
+pub fn hotpath(scale: usize) -> String {
+    use hqmr_codec::bitio;
+    use hqmr_codec::{
+        huffman_decode, huffman_decode_reference, huffman_encode, huffman_encode_reference, tag,
+        unpack_maybe_rle, Codec, Container,
+    };
+    use std::time::Instant;
+
+    /// Best-of-N wall-clock of `f`, in seconds.
+    fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    let d = datasets::nyx_t1(scale, 81);
+    let mr = d.mr.as_ref().unwrap();
+    let eb = d.range() * 1e-3;
+
+    // The real entropy workload: every Huffman block inside the SZ3 streams
+    // of the paper-default arrangement (one per prepared array).
+    let prepared = hqmr_core::mrc::prepare_mr(mr, &MrcConfig::ours_pad(eb));
+    let codec = hqmr_sz3::Sz3Codec::default();
+    let mut blocks: Vec<Vec<u8>> = Vec::new();
+    let mut symbol_count = 0usize;
+    for prep in &prepared {
+        for (_, f) in prep.blocks() {
+            let stream = codec.compress(f, eb);
+            let c = Container::from_bytes(&stream).expect("fresh stream parses");
+            let packed = c.require(tag(b"QNTC")).expect("codes section present");
+            let block = unpack_maybe_rle(packed).expect("codes unpack");
+            symbol_count += huffman_decode(&block).expect("fresh block decodes").len();
+            blocks.push(block);
+        }
+    }
+    let symbol_mb = (symbol_count * 4) as f64 / (1024.0 * 1024.0);
+
+    let reps = 7;
+    let mut records: Vec<(&str, f64, f64)> = Vec::new(); // (stage, before MB/s, after MB/s)
+
+    let t_dec_ref = best_of(reps, || {
+        blocks
+            .iter()
+            .map(|b| huffman_decode_reference(b).unwrap().len())
+            .sum::<usize>()
+    });
+    let t_dec_tab = best_of(reps, || {
+        blocks
+            .iter()
+            .map(|b| huffman_decode(b).unwrap().len())
+            .sum::<usize>()
+    });
+    records.push((
+        "huffman_decode",
+        symbol_mb / t_dec_ref,
+        symbol_mb / t_dec_tab,
+    ));
+
+    let symbol_sets: Vec<Vec<u32>> = blocks.iter().map(|b| huffman_decode(b).unwrap()).collect();
+    let t_enc_ref = best_of(reps, || {
+        symbol_sets
+            .iter()
+            .map(|s| huffman_encode_reference(s).len())
+            .sum::<usize>()
+    });
+    let t_enc_tab = best_of(reps, || {
+        symbol_sets
+            .iter()
+            .map(|s| huffman_encode(s).len())
+            .sum::<usize>()
+    });
+    records.push((
+        "huffman_encode",
+        symbol_mb / t_enc_ref,
+        symbol_mb / t_enc_tab,
+    ));
+
+    // Bit-IO on a ZFP-like width mix (bit-plane coding interleaves 1-bit
+    // group tests with up-to-64-bit verbatim runs).
+    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    let pattern: Vec<(u64, u32)> = (0..400_000)
+        .map(|_| {
+            x = x.rotate_left(11).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (x, 1 + (x % 24) as u32)
+        })
+        .collect();
+    let total_bits: usize = pattern.iter().map(|&(_, n)| n as usize).sum();
+    let bit_mb = (total_bits / 8) as f64 / (1024.0 * 1024.0);
+    let t_w_ref = best_of(reps, || {
+        let mut w = bitio::reference::BitWriter::new();
+        for &(v, n) in &pattern {
+            w.write_bits(v, n);
+        }
+        w.finish().len()
+    });
+    let t_w_word = best_of(reps, || {
+        let mut w = bitio::BitWriter::new();
+        for &(v, n) in &pattern {
+            w.write_bits(v, n);
+        }
+        w.finish().len()
+    });
+    records.push(("bitio_write", bit_mb / t_w_ref, bit_mb / t_w_word));
+
+    let mut w = bitio::BitWriter::new();
+    for &(v, n) in &pattern {
+        w.write_bits(v, n);
+    }
+    let stream = w.finish();
+    let t_r_ref = best_of(reps, || {
+        let mut r = bitio::reference::BitReader::new(&stream);
+        pattern
+            .iter()
+            .fold(0u64, |a, &(_, n)| a.wrapping_add(r.read_bits(n)))
+    });
+    let t_r_word = best_of(reps, || {
+        let mut r = bitio::BitReader::new(&stream);
+        pattern
+            .iter()
+            .fold(0u64, |a, &(_, n)| a.wrapping_add(r.read_bits(n)))
+    });
+    records.push(("bitio_read", bit_mb / t_r_ref, bit_mb / t_r_word));
+
+    let mut out = format!(
+        "Hot-path throughput — {} (scale {scale}, {:.2} MiB of quant codes, \
+         {} Huffman blocks)\n\
+         stage            before(MB/s)  after(MB/s)  speedup\n",
+        d.name,
+        symbol_mb,
+        blocks.len()
+    );
+    for (stage, before, after) in &records {
+        writeln!(
+            out,
+            "{stage:16} {before:12.1} {after:12.1} {:8.2}x",
+            after / before
+        )
+        .unwrap();
+    }
+
+    // End-to-end codec throughput on the same data (context: the entropy
+    // stage is one term of the full pipeline).
+    let stored_mb = (mr.total_cells() * 4) as f64 / (1024.0 * 1024.0);
+    writeln!(out, "\nend-to-end (paper arrangement, rel_eb 1e-3):").unwrap();
+    let mut e2e: Vec<(&str, f64, f64)> = Vec::new();
+    for backend in [Backend::SZ3, Backend::SZ2, Backend::ZFP] {
+        let cfg = MrcConfig::ours_pad(eb).with_backend(backend);
+        let t_c = best_of(3, || compress_mr(mr, &cfg).0.len());
+        let bytes = compress_mr(mr, &cfg).0;
+        let t_d = best_of(3, || decompress_mr(&bytes).unwrap().levels.len());
+        writeln!(
+            out,
+            "{:7} compress {:8.1} MB/s   decompress {:8.1} MB/s",
+            backend.name(),
+            stored_mb / t_c,
+            stored_mb / t_d
+        )
+        .unwrap();
+        e2e.push((backend.name(), stored_mb / t_c, stored_mb / t_d));
+    }
+
+    let mut json = String::from("{\n");
+    write!(
+        json,
+        "  \"dataset\": \"{}\",\n  \"scale\": {scale},\n  \"symbol_mb\": {symbol_mb:.3},\n  \
+         \"records\": [\n",
+        d.name
+    )
+    .unwrap();
+    for (i, (stage, before, after)) in records.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        write!(
+            json,
+            "    {{\"stage\": \"{stage}\", \"before_MBps\": {before:.1}, \
+             \"after_MBps\": {after:.1}, \"speedup\": {:.3}}}",
+            after / before
+        )
+        .unwrap();
+    }
+    json.push_str("\n  ],\n  \"end_to_end\": [\n");
+    for (i, (name, comp, dec)) in e2e.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        write!(
+            json,
+            "    {{\"backend\": \"{name}\", \"compress_MBps\": {comp:.1}, \
+             \"decompress_MBps\": {dec:.1}}}"
+        )
+        .unwrap();
+    }
+    json.push_str("\n  ]\n}\n");
+    crate::write_root_json("BENCH_hotpath.json", &json, &mut out);
+    out
+}

@@ -27,6 +27,14 @@ pub enum CodecError {
     Container(ContainerError),
     /// Structurally invalid payload for this codec.
     Malformed(&'static str),
+    /// The entropy stage (Huffman block) rejected its input — distinguishes
+    /// "the quantization-code payload is corrupt" from container-level or
+    /// header failures, so a store's `CorruptChunk` diagnostics name the
+    /// failing stage.
+    Entropy {
+        /// What the entropy decoder tripped over.
+        reason: &'static str,
+    },
     /// The stream names a codec nobody registered.
     UnknownCodec(u32),
     /// The stream belongs to a different codec.
@@ -43,6 +51,7 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::Container(e) => write!(f, "container: {e}"),
             CodecError::Malformed(m) => write!(f, "malformed stream: {m}"),
+            CodecError::Entropy { reason } => write!(f, "entropy stage: {reason}"),
             CodecError::UnknownCodec(id) => {
                 write!(
                     f,
@@ -92,6 +101,26 @@ pub trait Codec: Send + Sync {
 
     /// Decompresses a stream produced by this backend's [`Codec::compress`].
     fn decompress(&self, bytes: &[u8]) -> Result<Field3, CodecError>;
+
+    /// Scratch-buffer variant of [`Codec::compress`]: clears `out` and
+    /// writes the stream into it, so per-chunk writers reuse one allocation
+    /// across chunks. The default delegates to the allocating version;
+    /// backends override it to serialize straight into `out`.
+    fn compress_into(&self, field: &Field3, eb: f64, out: &mut Vec<u8>) {
+        out.clear();
+        let bytes = self.compress(field, eb);
+        out.extend_from_slice(&bytes);
+    }
+
+    /// Scratch-buffer variant of [`Codec::decompress`]: reshapes `out`
+    /// (reusing its allocation) and decodes into it, so per-chunk readers —
+    /// the store's ROI/progressive queries above all — reuse one field
+    /// across chunks. The default delegates to the allocating version;
+    /// backends override it to decode in place.
+    fn decompress_into(&self, bytes: &[u8], out: &mut Field3) -> Result<(), CodecError> {
+        *out = self.decompress(bytes)?;
+        Ok(())
+    }
 }
 
 /// Records `id` in `c` so decoders can verify stream ownership.
@@ -138,7 +167,20 @@ impl Codec for NullCodec {
         "null"
     }
 
-    fn compress(&self, field: &Field3, _eb: f64) -> Vec<u8> {
+    fn compress(&self, field: &Field3, eb: f64) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.compress_into(field, eb, &mut out);
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CodecError> {
+        let mut out = Field3::zeros(Dims3::new(0, 0, 0));
+        self.decompress_into(bytes, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(&self, field: &Field3, _eb: f64, out: &mut Vec<u8>) {
+        out.clear();
         let dims = field.dims();
         let mut c = Container::new();
         push_stream_id(&mut c, NULL_CODEC_ID);
@@ -152,10 +194,10 @@ impl Codec for NullCodec {
             data.extend_from_slice(&v.to_le_bytes());
         }
         c.push(TAG_RAW_DATA, data);
-        c.to_bytes()
+        c.write_into(out);
     }
 
-    fn decompress(&self, bytes: &[u8]) -> Result<Field3, CodecError> {
+    fn decompress_into(&self, bytes: &[u8], out: &mut Field3) -> Result<(), CodecError> {
         let c = Container::from_bytes(bytes)?;
         check_stream_id(&c, NULL_CODEC_ID)?;
         let head = c.require(TAG_RAW_HEAD)?;
@@ -170,11 +212,11 @@ impl Codec for NullCodec {
         if data.len() != dims.len() * 4 {
             return Err(CodecError::Malformed("payload size"));
         }
-        let values: Vec<f32> = data
-            .chunks_exact(4)
-            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-            .collect();
-        Ok(Field3::from_vec(dims, values))
+        out.reshape(dims, 0.0);
+        for (cell, b) in out.data_mut().iter_mut().zip(data.chunks_exact(4)) {
+            *cell = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        }
+        Ok(())
     }
 }
 

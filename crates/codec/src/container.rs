@@ -100,16 +100,29 @@ impl Container {
     /// Serializes to bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Serializes into a caller-owned buffer (appending), so per-chunk
+    /// compressors can reuse one output allocation across calls.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        out.reserve(
+            self.sections
+                .iter()
+                .map(|s| s.data.len() + 16)
+                .sum::<usize>()
+                + 8,
+        );
         out.extend_from_slice(MAGIC);
         out.push(VERSION);
-        write_uvarint(&mut out, self.sections.len() as u64);
+        write_uvarint(out, self.sections.len() as u64);
         for s in &self.sections {
-            write_uvarint(&mut out, s.tag as u64);
-            write_uvarint(&mut out, s.data.len() as u64);
-            write_uvarint(&mut out, crc32(&s.data) as u64);
+            write_uvarint(out, s.tag as u64);
+            write_uvarint(out, s.data.len() as u64);
+            write_uvarint(out, crc32(&s.data) as u64);
             out.extend_from_slice(&s.data);
         }
-        out
     }
 
     /// Parses and CRC-validates a serialized container.

@@ -4,13 +4,38 @@
 //! is sharply peaked at the zero-offset code, which is exactly where Huffman
 //! earns the compression ratio. The encoded block is self-contained: it embeds
 //! the code-length table (run-length compressed) followed by the bit payload.
+//!
+//! The coder is table-driven in both directions. Encoding emits each symbol
+//! as one `write_bits` call from a precomputed per-symbol `(code, len)` table
+//! (codes bit-reversed once so MSB-first canonical codes land correctly in
+//! the LSB-first stream). Decoding peeks `TABLE_BITS` (11) bits into a flat
+//! lookup table that yields `(symbol, length)` in one probe for every code of
+//! length ≤ 11 — longer codes (rare by construction: canonical codes past 11
+//! bits carry tiny probability mass) spill to the canonical
+//! per-bit walk. The pre-overhaul per-bit coder survives as
+//! [`huffman_encode_reference`] / [`huffman_decode_reference`]: differential
+//! tests pin the two paths together and the `tables hotpath` bench measures
+//! the gap.
 
-use crate::bitio::{BitReader, BitWriter};
+use crate::bitio::{reference, BitReader, BitWriter};
+use crate::codec::CodecError;
 use crate::varint::{read_uvarint, write_uvarint};
 
 /// Maximum admitted code length. Length-limiting keeps decode tables sane even
 /// for adversarial frequency skews.
 const MAX_CODE_LEN: u8 = 32;
+
+/// Width of the primary decode lookup table. 2^11 entries × 4 bytes = 8 KiB —
+/// resident in L1 — while covering every code the quantizer's peaked
+/// distributions emit in practice.
+const TABLE_BITS: u32 = 11;
+
+/// Alphabet ceiling accepted by the decoder. The lookup table packs
+/// `(symbol << 6) | len` into a `u32`, so symbols must fit in 26 bits; real
+/// alphabets (quantizer radius 2·32768) sit orders of magnitude below, and an
+/// encoder input beyond this would already have failed allocating its
+/// frequency table.
+const MAX_ALPHABET: usize = 1 << 26;
 
 /// Builds Huffman code lengths from symbol frequencies (freqs[i] = count of
 /// symbol i). Zero-frequency symbols get length 0 (absent).
@@ -131,18 +156,46 @@ fn canonical_codes(lengths: &[u8]) -> Vec<(u64, u8)> {
     codes
 }
 
-/// Canonical decode table: for each length, the first code value and the base
-/// index into the length-sorted symbol list.
+/// Reverses the low `len` bits of a canonical (MSB-first) code value, i.e.
+/// the order the LSB-first bit stream stores them in.
+#[inline]
+fn reverse_code(code: u64, len: u8) -> u64 {
+    if len == 0 {
+        0
+    } else {
+        code.reverse_bits() >> (64 - len as u32)
+    }
+}
+
+/// Canonical decode table: a flat primary lookup over the next [`TABLE_BITS`]
+/// stream bits, spilling to the per-length canonical walk for longer codes.
 struct DecodeTable {
-    /// (first_code, base_index, count) per length 1..=MAX.
+    /// (first_code, base_index, count) per length 1..=MAX — the canonical
+    /// walk used for codes longer than the primary table.
     levels: Vec<(u64, u32, u32)>,
     /// Symbols sorted by (length, symbol).
     symbols: Vec<u32>,
     max_len: u8,
+    /// Primary table, indexed by the next `table_bits` stream bits (LSB
+    /// first). Entry = `(symbol << 6) | code_len`; 0 ⇒ no code of length
+    /// ≤ `table_bits` matches this prefix (spill or invalid).
+    lut: Vec<u32>,
+    table_bits: u32,
 }
 
 impl DecodeTable {
     fn from_lengths(lengths: &[u8]) -> Self {
+        Self::build(lengths, true)
+    }
+
+    /// The walk-only variant: exactly the structure the pre-overhaul decoder
+    /// built (no primary table). [`huffman_decode_reference`] uses this so
+    /// the benched baseline pays only the costs the original code paid.
+    fn from_lengths_walk_only(lengths: &[u8]) -> Self {
+        Self::build(lengths, false)
+    }
+
+    fn build(lengths: &[u8], with_lut: bool) -> Self {
         let mut by_len: Vec<(u8, u32)> = lengths
             .iter()
             .enumerate()
@@ -153,6 +206,13 @@ impl DecodeTable {
         let max_len = by_len.last().map_or(0, |&(l, _)| l);
         let symbols: Vec<u32> = by_len.iter().map(|&(_, s)| s).collect();
         let mut levels = vec![(0u64, 0u32, 0u32); max_len as usize + 1];
+        let table_bits = TABLE_BITS.min(max_len as u32);
+        let lut_len = if max_len == 0 || !with_lut {
+            0
+        } else {
+            1 << table_bits
+        };
+        let mut lut = vec![0u32; lut_len];
         let mut code = 0u64;
         let mut idx = 0u32;
         let mut prev_len = 0u8;
@@ -166,6 +226,22 @@ impl DecodeTable {
             }
             let count = (i - start) as u32;
             levels[len as usize] = (code, idx, count);
+            // Fill the primary table: every `table_bits`-wide stream prefix
+            // that starts with this code (bit-reversed, since the stream is
+            // LSB-first) resolves in one probe.
+            if with_lut && (len as u32) <= table_bits {
+                for k in 0..count {
+                    let sym = by_len[start + k as usize].1;
+                    let rev = reverse_code(code + k as u64, len) as usize;
+                    let entry = (sym << 6) | len as u32;
+                    let step = 1usize << len;
+                    let mut at = rev;
+                    while at < lut.len() {
+                        lut[at] = entry;
+                        at += step;
+                    }
+                }
+            }
             code += count as u64;
             idx += count;
             prev_len = len;
@@ -174,13 +250,37 @@ impl DecodeTable {
             levels,
             symbols,
             max_len,
+            lut,
+            table_bits,
         }
     }
 
-    /// Decodes one symbol by reading MSB-first bits.
+    /// Decodes one symbol: one table probe for codes of length
+    /// ≤ `table_bits`, canonical walk continuation otherwise.
+    #[inline]
     fn decode(&self, reader: &mut BitReader<'_>) -> Option<u32> {
-        let mut code = 0u64;
-        for len in 1..=self.max_len {
+        if self.lut.is_empty() {
+            return None; // no codes at all — old decoder also never matched
+        }
+        let probe = reader.peek_bits(self.table_bits);
+        let entry = self.lut[probe as usize];
+        if entry != 0 {
+            reader.consume(entry & 63);
+            return Some(entry >> 6);
+        }
+        self.decode_spill(reader, probe)
+    }
+
+    /// Spill continuation: no code of length ≤ `table_bits` matches, so the
+    /// peeked prefix is consumed wholesale (bit-reversed back into MSB-first
+    /// code order) and the canonical walk continues from `table_bits + 1` —
+    /// never re-reading the prefix bit by bit. Total bits consumed match the
+    /// pre-overhaul decoder exactly, including on failure (`max_len` bits).
+    #[cold]
+    fn decode_spill(&self, reader: &mut BitReader<'_>, probe: u64) -> Option<u32> {
+        let mut code = probe.reverse_bits() >> (64 - self.table_bits);
+        reader.consume(self.table_bits);
+        for len in (self.table_bits + 1)..=(self.max_len as u32) {
             code = (code << 1) | reader.read_bit() as u64;
             let (first, base, count) = self.levels[len as usize];
             if count > 0 && code >= first && code < first + count as u64 {
@@ -197,13 +297,36 @@ impl DecodeTable {
 /// (pairs of `uvarint run-length`, `u8 length`), `uvarint payload_bytes`,
 /// payload bits.
 pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
-    let alphabet = symbols.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
+    let Some((mut out, lengths)) = encode_header(symbols) else {
+        return empty_block();
+    };
+    let codes = canonical_codes(&lengths);
+    // Bit-reverse each code once; the payload loop is then a single
+    // `write_bits` per symbol.
+    let enc: Vec<(u64, u8)> = codes
+        .iter()
+        .map(|&(code, len)| (reverse_code(code, len), len))
+        .collect();
+    let mut bits = BitWriter::with_capacity(symbols.len() / 2 + 16);
+    for &s in symbols {
+        let (rev, len) = enc[s as usize];
+        bits.write_bits(rev, len as u32);
+    }
+    let payload = bits.finish();
+    write_uvarint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Shared header construction (symbol count, alphabet, RLE'd length table).
+/// `None` for the empty input, which both encoders special-case identically.
+fn encode_header(symbols: &[u32]) -> Option<(Vec<u8>, Vec<u8>)> {
+    let alphabet = symbols.iter().map(|&s| s as usize + 1).max()?;
     let mut freqs = vec![0u64; alphabet];
     for &s in symbols {
         freqs[s as usize] += 1;
     }
     let lengths = build_lengths(&freqs);
-    let codes = canonical_codes(&lengths);
 
     let mut out = Vec::new();
     write_uvarint(&mut out, symbols.len() as u64);
@@ -220,52 +343,130 @@ pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
         out.push(v);
         i = j;
     }
+    Some((out, lengths))
+}
 
-    let mut bits = BitWriter::with_capacity(symbols.len() / 2 + 16);
-    for &s in symbols {
-        let (code, len) = codes[s as usize];
-        // MSB-first emission so canonical decode works bit by bit.
-        for k in (0..len).rev() {
-            bits.write_bit((code >> k) & 1 == 1);
-        }
-    }
-    let payload = bits.finish();
-    write_uvarint(&mut out, payload.len() as u64);
-    out.extend_from_slice(&payload);
+/// The encoding of zero symbols: `n_symbols = 0`, `alphabet = 0`, empty
+/// payload.
+fn empty_block() -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, 0); // n_symbols
+    write_uvarint(&mut out, 0); // alphabet
+    write_uvarint(&mut out, 0); // payload bytes
     out
 }
 
-/// Decodes a block produced by [`huffman_encode`]. Returns `None` on malformed
-/// input.
-pub fn huffman_decode(bytes: &[u8]) -> Option<Vec<u32>> {
+/// Parsed block header: lengths table plus payload slice and symbol count.
+fn decode_header(bytes: &[u8]) -> Result<(usize, Vec<u8>, &[u8]), CodecError> {
+    let bad = |reason| CodecError::Entropy { reason };
     let mut pos = 0usize;
-    let n_symbols = read_uvarint(bytes, &mut pos)? as usize;
-    let alphabet = read_uvarint(bytes, &mut pos)? as usize;
+    let n_symbols = read_uvarint(bytes, &mut pos).ok_or(bad("truncated symbol count"))? as usize;
+    let alphabet = read_uvarint(bytes, &mut pos).ok_or(bad("truncated alphabet size"))? as usize;
+    if alphabet > MAX_ALPHABET {
+        return Err(bad("alphabet too large"));
+    }
     let mut lengths = vec![0u8; alphabet];
     let mut filled = 0usize;
     while filled < alphabet {
-        let run = read_uvarint(bytes, &mut pos)? as usize;
-        let v = *bytes.get(pos)?;
+        let run = read_uvarint(bytes, &mut pos).ok_or(bad("truncated length table"))? as usize;
+        let v = *bytes.get(pos).ok_or(bad("truncated length table"))?;
         pos += 1;
+        if v > MAX_CODE_LEN {
+            return Err(bad("code length exceeds limit"));
+        }
         if filled + run > alphabet {
-            return None;
+            return Err(bad("length-table run overflows alphabet"));
         }
         lengths[filled..filled + run].fill(v);
         filled += run;
     }
-    let payload_len = read_uvarint(bytes, &mut pos)? as usize;
-    let payload = bytes.get(pos..pos + payload_len)?;
+    // Kraft inequality: a table that over-subscribes the code space cannot
+    // have come from the encoder, and a prefix-free guarantee is what makes
+    // the primary-table and canonical-walk decoders provably agree.
+    let kraft: u64 = lengths
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| 1u64 << (MAX_CODE_LEN - l))
+        .sum();
+    if kraft > 1u64 << MAX_CODE_LEN {
+        return Err(bad("code lengths violate Kraft inequality"));
+    }
+    let payload_len = read_uvarint(bytes, &mut pos).ok_or(bad("truncated payload size"))? as usize;
+    let payload = bytes
+        .get(pos..pos.saturating_add(payload_len))
+        .ok_or(bad("truncated payload"))?;
+    Ok((n_symbols, lengths, payload))
+}
 
+/// Decodes a block produced by [`huffman_encode`].
+pub fn huffman_decode(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
+    let (n_symbols, lengths, payload) = decode_header(bytes)?;
     if n_symbols == 0 {
-        return Some(Vec::new());
+        return Ok(Vec::new());
     }
     let table = DecodeTable::from_lengths(&lengths);
     let mut reader = BitReader::new(payload);
     let mut out = Vec::with_capacity(n_symbols);
     for _ in 0..n_symbols {
-        out.push(table.decode(&mut reader)?);
+        out.push(table.decode(&mut reader).ok_or(CodecError::Entropy {
+            reason: "invalid code",
+        })?);
     }
-    Some(out)
+    Ok(out)
+}
+
+/// Pre-overhaul encoder (per-bit emission through the reference
+/// [`reference::BitWriter`]). Produces byte-identical blocks to
+/// [`huffman_encode`]; kept for differential tests and the hot-path bench.
+pub fn huffman_encode_reference(symbols: &[u32]) -> Vec<u8> {
+    match encode_header(symbols) {
+        None => empty_block(),
+        Some((mut out, lengths)) => {
+            let codes = canonical_codes(&lengths);
+            let mut bits = reference::BitWriter::new();
+            for &s in symbols {
+                let (code, len) = codes[s as usize];
+                // MSB-first emission so canonical decode works bit by bit.
+                for k in (0..len).rev() {
+                    bits.write_bit((code >> k) & 1 == 1);
+                }
+            }
+            let payload = bits.finish();
+            write_uvarint(&mut out, payload.len() as u64);
+            out.extend_from_slice(&payload);
+            out
+        }
+    }
+}
+
+/// Pre-overhaul decoder (per-bit canonical walk over the reference
+/// [`reference::BitReader`]). Accepts exactly the blocks
+/// [`huffman_decode`] accepts; kept for differential tests and the hot-path
+/// bench.
+pub fn huffman_decode_reference(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
+    let (n_symbols, lengths, payload) = decode_header(bytes)?;
+    if n_symbols == 0 {
+        return Ok(Vec::new());
+    }
+    let table = DecodeTable::from_lengths_walk_only(&lengths);
+    let mut reader = reference::BitReader::new(payload);
+    let mut out = Vec::with_capacity(n_symbols);
+    for _ in 0..n_symbols {
+        let mut code = 0u64;
+        let mut found = None;
+        for len in 1..=table.max_len {
+            code = (code << 1) | reader.read_bit() as u64;
+            let (first, base, count) = table.levels[len as usize];
+            if count > 0 && code >= first && code < first + count as u64 {
+                found = Some(table.symbols[(base + (code - first) as u32) as usize]);
+                break;
+            }
+        }
+        out.push(found.ok_or(CodecError::Entropy {
+            reason: "invalid code",
+        })?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -275,14 +476,14 @@ mod tests {
     #[test]
     fn empty_roundtrip() {
         let enc = huffman_encode(&[]);
-        assert_eq!(huffman_decode(&enc), Some(vec![]));
+        assert_eq!(huffman_decode(&enc).unwrap(), Vec::<u32>::new());
     }
 
     #[test]
     fn single_symbol_roundtrip() {
         let data = vec![7u32; 100];
         let enc = huffman_encode(&data);
-        assert_eq!(huffman_decode(&enc), Some(data));
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
         // 100 identical symbols should cost ~1 bit each plus a tiny header.
         assert!(enc.len() < 40, "got {} bytes", enc.len());
     }
@@ -295,7 +496,7 @@ mod tests {
             data.push(if i % 10 == 0 { 1 + i % 4 } else { 0 });
         }
         let enc = huffman_encode(&data);
-        assert_eq!(huffman_decode(&enc), Some(data.clone()));
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
         let bits_per_symbol = enc.len() as f64 * 8.0 / data.len() as f64;
         assert!(bits_per_symbol < 1.6, "got {bits_per_symbol} bits/sym");
     }
@@ -304,14 +505,14 @@ mod tests {
     fn uniform_distribution_roundtrip() {
         let data: Vec<u32> = (0..4096).map(|i| i % 256).collect();
         let enc = huffman_encode(&data);
-        assert_eq!(huffman_decode(&enc), Some(data));
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
     }
 
     #[test]
     fn two_symbols() {
         let data = vec![3u32, 9, 3, 3, 9, 3];
         let enc = huffman_encode(&data);
-        assert_eq!(huffman_decode(&enc), Some(data));
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
     }
 
     #[test]
@@ -322,10 +523,65 @@ mod tests {
             let r = huffman_decode(&enc[..cut]);
             // Either cleanly rejected or (for mid-payload cuts) wrong length —
             // never a panic.
-            if let Some(v) = r {
+            if let Ok(v) = r {
                 assert_ne!(v, data);
             }
         }
+    }
+
+    #[test]
+    fn corrupt_input_reports_entropy_stage() {
+        assert!(matches!(
+            huffman_decode(&[]),
+            Err(CodecError::Entropy { .. })
+        ));
+        // A giant claimed alphabet is rejected before any allocation.
+        let mut bytes = Vec::new();
+        write_uvarint(&mut bytes, 10); // n_symbols
+        write_uvarint(&mut bytes, 1 << 40); // absurd alphabet
+        assert_eq!(
+            huffman_decode(&bytes),
+            Err(CodecError::Entropy {
+                reason: "alphabet too large"
+            })
+        );
+    }
+
+    #[test]
+    fn corrupt_length_table_is_rejected_not_panicking() {
+        // Length byte beyond MAX_CODE_LEN: previously a debug shift-overflow
+        // panic in table construction, now a typed rejection.
+        let mut bytes = Vec::new();
+        write_uvarint(&mut bytes, 1); // n_symbols
+        write_uvarint(&mut bytes, 2); // alphabet
+        write_uvarint(&mut bytes, 2); // run
+        bytes.push(200); // absurd code length
+        write_uvarint(&mut bytes, 0); // payload len
+        assert_eq!(
+            huffman_decode(&bytes),
+            Err(CodecError::Entropy {
+                reason: "code length exceeds limit"
+            })
+        );
+        assert_eq!(huffman_decode_reference(&bytes), huffman_decode(&bytes));
+
+        // Kraft-violating table (three symbols of length 1): the code space
+        // is over-subscribed, so the canonical construction is meaningless —
+        // typed rejection instead of garbage symbols.
+        let mut bytes = Vec::new();
+        write_uvarint(&mut bytes, 1); // n_symbols
+        write_uvarint(&mut bytes, 3); // alphabet
+        write_uvarint(&mut bytes, 3); // run
+        bytes.push(1); // three 1-bit codes
+        write_uvarint(&mut bytes, 1); // payload len
+        bytes.push(0);
+        assert_eq!(
+            huffman_decode(&bytes),
+            Err(CodecError::Entropy {
+                reason: "code lengths violate Kraft inequality"
+            })
+        );
+        assert_eq!(huffman_decode_reference(&bytes), huffman_decode(&bytes));
     }
 
     #[test]
@@ -342,7 +598,7 @@ mod tests {
             b = c;
         }
         let enc = huffman_encode(&data);
-        assert_eq!(huffman_decode(&enc), Some(data));
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
     }
 
     #[test]
@@ -355,5 +611,64 @@ mod tests {
             .map(|&l| 2f64.powi(-(l as i32)))
             .sum();
         assert!(kraft <= 1.0 + 1e-12, "kraft = {kraft}");
+    }
+
+    #[test]
+    fn table_and_reference_paths_agree() {
+        // Deep trees force the spill path; peaked ones stay in the table.
+        let cases: Vec<Vec<u32>> = vec![
+            Vec::new(),
+            vec![5; 17],
+            (0..4096u32).map(|i| i % 256).collect(),
+            (0..10_000u32)
+                .map(|i| if i % 11 == 0 { i % 90 } else { 0 })
+                .collect(),
+            {
+                let mut v = Vec::new();
+                let (mut a, mut b) = (1u64, 1u64);
+                for sym in 0..40u32 {
+                    for _ in 0..a.min(5_000) {
+                        v.push(sym);
+                    }
+                    let c = a + b;
+                    a = b;
+                    b = c;
+                }
+                v
+            },
+        ];
+        for data in cases {
+            let fast = huffman_encode(&data);
+            let slow = huffman_encode_reference(&data);
+            assert_eq!(fast, slow, "encoders diverged ({} syms)", data.len());
+            assert_eq!(
+                huffman_decode(&fast).unwrap(),
+                huffman_decode_reference(&fast).unwrap(),
+                "decoders diverged ({} syms)",
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn long_codes_spill_past_primary_table() {
+        // Fibonacci frequencies push max code length well past TABLE_BITS;
+        // decode must route those through the canonical walk.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_lengths(&freqs);
+        assert!(
+            *lengths.iter().max().unwrap() > TABLE_BITS as u8,
+            "test needs codes longer than the primary table"
+        );
+        let data: Vec<u32> = (0..40u32).flat_map(|s| std::iter::repeat_n(s, 3)).collect();
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc).unwrap(), data);
     }
 }

@@ -25,7 +25,9 @@ pub use codec::{
     check_stream_id, push_stream_id, Codec, CodecError, NullCodec, NULL_CODEC_ID, TAG_STREAM_ID,
 };
 pub use container::{tag, Container, ContainerError, Section};
-pub use huffman::{huffman_decode, huffman_encode};
+pub use huffman::{
+    huffman_decode, huffman_decode_reference, huffman_encode, huffman_encode_reference,
+};
 pub use quantizer::{LinearQuantizer, QuantOutcome};
 pub use rle::{pack_maybe_rle, rle_decode, rle_encode, unpack_maybe_rle};
 pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};

@@ -20,7 +20,7 @@ use hqmr_codec::{
 };
 use hqmr_grid::{Dims3, Field3};
 use hqmr_mr::prepare::{decode_layout, encode_layout};
-use hqmr_mr::{strip_padding, LevelData, MergeStrategy, MergedArray, MultiResData, PadKind};
+use hqmr_mr::{strip_padding, LevelData, MergeStrategy, MultiResData, PadKind};
 use hqmr_store::StoreConfig;
 
 pub use hqmr_mr::prepare::PreparedLevel;
@@ -350,6 +350,9 @@ pub fn decompress_mr(bytes: &[u8]) -> Result<MultiResData, MrcError> {
     let mut streams = c.get_all(codec_id);
 
     let mut levels = Vec::with_capacity(n_levels);
+    // One reconstruction buffer reused across every per-array decode —
+    // `decompress_into` reshapes it instead of allocating per stream.
+    let mut scratch = Field3::zeros(Dims3::new(0, 0, 0));
     for lv in level_heads {
         let mut p = 0usize;
         let level = rd(lv, &mut p)?;
@@ -358,7 +361,7 @@ pub fn decompress_mr(bytes: &[u8]) -> Result<MultiResData, MrcError> {
         let dy = rd(lv, &mut p)?;
         let dz = rd(lv, &mut p)?;
         let n_arrays = rd(lv, &mut p)?;
-        let mut pairs: Vec<(MergedArray, Field3)> = Vec::with_capacity(n_arrays);
+        let mut blocks = Vec::new();
         for _ in 0..n_arrays {
             let layout = layouts
                 .next()
@@ -368,19 +371,15 @@ pub fn decompress_mr(bytes: &[u8]) -> Result<MultiResData, MrcError> {
                 .ok_or(MrcError::Malformed("missing stream"))?;
             let (padded, a_unit, slots) =
                 decode_layout(layout).ok_or(MrcError::Malformed("layout"))?;
-            let mut field = codec.decompress(stream)?;
+            codec.decompress_into(stream, &mut scratch)?;
             if padded {
-                field = strip_padding(&field);
+                let stripped = strip_padding(&scratch);
+                blocks.extend(hqmr_mr::split_blocks(&stripped, a_unit, &slots));
+            } else {
+                blocks.extend(hqmr_mr::split_blocks(&scratch, a_unit, &slots));
             }
-            let merged = MergedArray {
-                field: Field3::zeros(field.dims()),
-                unit: a_unit,
-                slots,
-            };
-            pairs.push((merged, field));
         }
-        let refs: Vec<(&MergedArray, &Field3)> = pairs.iter().map(|(m, f)| (m, f)).collect();
-        let blocks = hqmr_mr::unsplit_level(&refs);
+        blocks.sort_by_key(|b| (b.origin[0], b.origin[1], b.origin[2]));
         levels.push(LevelData {
             level,
             unit,

@@ -80,6 +80,16 @@ impl Field3 {
         self.data
     }
 
+    /// Re-dimensions the field in place to `dims`, filled with `fill`,
+    /// reusing the existing allocation. The scratch-buffer primitive behind
+    /// the codecs' `decompress_into`: a reader decoding many chunks pays for
+    /// one buffer, not one per chunk.
+    pub fn reshape(&mut self, dims: Dims3, fill: f32) {
+        self.dims = dims;
+        self.data.clear();
+        self.data.resize(dims.len(), fill);
+    }
+
     /// Value at `(x, y, z)`.
     #[inline]
     pub fn get(&self, x: usize, y: usize, z: usize) -> f32 {
@@ -138,19 +148,62 @@ impl Field3 {
     /// Out-of-range cells are edge-clamped (used when blocks overhang the
     /// domain edge).
     pub fn extract_box(&self, origin: [usize; 3], size: Dims3) -> Field3 {
-        Field3::from_fn(size, |x, y, z| {
-            self.get_clamped(
-                (origin[0] + x) as isize,
-                (origin[1] + y) as isize,
-                (origin[2] + z) as isize,
-            )
-        })
+        let mut data = vec![0f32; size.len()];
+        self.extract_box_into(origin, size, &mut data);
+        Field3 { dims: size, data }
+    }
+
+    /// [`Self::extract_box`] into a caller-owned buffer of exactly
+    /// `size.len()` cells — the allocation-free variant block-loop hot paths
+    /// (e.g. ZFP's 4³ gather) run on.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != size.len()`.
+    pub fn extract_box_into(&self, origin: [usize; 3], size: Dims3, out: &mut [f32]) {
+        assert_eq!(out.len(), size.len(), "output buffer does not match {size}");
+        let interior = origin[0] + size.nx <= self.dims.nx
+            && origin[1] + size.ny <= self.dims.ny
+            && origin[2] + size.nz <= self.dims.nz;
+        if interior {
+            // Fully inside: straight row copies, no clamping arithmetic.
+            for x in 0..size.nx {
+                for y in 0..size.ny {
+                    let src = self.dims.idx(origin[0] + x, origin[1] + y, origin[2]);
+                    let dst = size.idx(x, y, 0);
+                    out[dst..dst + size.nz].copy_from_slice(&self.data[src..src + size.nz]);
+                }
+            }
+            return;
+        }
+        let mut i = 0usize;
+        for x in 0..size.nx {
+            for y in 0..size.ny {
+                for z in 0..size.nz {
+                    out[i] = self.get_clamped(
+                        (origin[0] + x) as isize,
+                        (origin[1] + y) as isize,
+                        (origin[2] + z) as isize,
+                    );
+                    i += 1;
+                }
+            }
+        }
     }
 
     /// Writes `block` into this field at `origin`; cells falling outside the
     /// domain are dropped.
     pub fn insert_box(&mut self, origin: [usize; 3], block: &Field3) {
-        let bd = block.dims();
+        self.insert_box_from(origin, block.dims(), &block.data);
+    }
+
+    /// [`Self::insert_box`] from a raw row-major buffer of dims `bd` — lets
+    /// unit-block data (`Vec<f32>`) land without being wrapped in a temporary
+    /// `Field3` first.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != bd.len()`.
+    pub fn insert_box_from(&mut self, origin: [usize; 3], bd: Dims3, data: &[f32]) {
+        assert_eq!(data.len(), bd.len(), "source buffer does not match {bd}");
         for x in 0..bd.nx {
             let gx = origin[0] + x;
             if gx >= self.dims.nx {
@@ -164,7 +217,7 @@ impl Field3 {
                 let zn = bd.nz.min(self.dims.nz.saturating_sub(origin[2]));
                 let src = bd.idx(x, y, 0);
                 let dst = self.dims.idx(gx, gy, origin[2]);
-                self.data[dst..dst + zn].copy_from_slice(&block.data[src..src + zn]);
+                self.data[dst..dst + zn].copy_from_slice(&data[src..src + zn]);
             }
         }
     }

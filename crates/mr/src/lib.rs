@@ -23,7 +23,8 @@ mod types;
 pub use adaptive::{roi_only_field, to_adaptive, RoiConfig};
 pub use amr::{to_amr, AmrConfig};
 pub use merge::{
-    merge_blocks, merge_discontinuity, merge_level, unsplit_level, MergeStrategy, MergedArray,
+    merge_blocks, merge_discontinuity, merge_level, split_blocks, unsplit_level, MergeStrategy,
+    MergedArray,
 };
 pub use padding::{pad_small_dims, strip_padding, PadKind};
 pub use prepare::{

@@ -47,15 +47,31 @@ impl MergedArray {
     /// Panics if `data` dims differ from the merged field's dims.
     pub fn split(&self, data: &Field3) -> Vec<UnitBlock> {
         assert_eq!(data.dims(), self.field.dims(), "split dims mismatch");
-        let u = self.unit;
-        self.slots
-            .iter()
-            .map(|&(slot, origin)| UnitBlock {
-                origin,
-                data: data.extract_box(slot, Dims3::cube(u)).into_vec(),
-            })
-            .collect()
+        split_blocks(data, self.unit, &self.slots)
     }
+}
+
+/// [`MergedArray::split`] from the raw layout — unit side plus
+/// `(array slot, level origin)` pairs — so readers that reconstruct the
+/// layout from a directory (`hqmr-store`) can split a decoded array without
+/// materializing a throwaway [`MergedArray`] (and its zero-filled field).
+pub fn split_blocks(
+    data: &Field3,
+    unit: usize,
+    slots: &[([usize; 3], [usize; 3])],
+) -> Vec<UnitBlock> {
+    let size = Dims3::cube(unit);
+    slots
+        .iter()
+        .map(|&(slot, origin)| {
+            let mut block = vec![0f32; size.len()];
+            data.extract_box_into(slot, size, &mut block);
+            UnitBlock {
+                origin,
+                data: block,
+            }
+        })
+        .collect()
 }
 
 /// Merges a level's blocks under `strategy`. Returns one array for
@@ -98,7 +114,7 @@ fn merge_linear(blocks: &[UnitBlock], u: usize) -> MergedArray {
     let mut slots = Vec::with_capacity(n);
     for (i, b) in blocks.iter().enumerate() {
         let slot = [0, 0, i * u];
-        field.insert_box(slot, &Field3::from_vec(Dims3::cube(u), b.data.clone()));
+        field.insert_box_from(slot, Dims3::cube(u), &b.data);
         slots.push((slot, b.origin));
     }
     MergedArray {
@@ -120,7 +136,7 @@ fn merge_stack(blocks: &[UnitBlock], u: usize) -> MergedArray {
         let src = i.min(n - 1);
         let slot = [(i / (m * m)) * u, ((i / m) % m) * u, (i % m) * u];
         let b = &blocks[src];
-        field.insert_box(slot, &Field3::from_vec(Dims3::cube(u), b.data.clone()));
+        field.insert_box_from(slot, Dims3::cube(u), &b.data);
         if i < n {
             slots.push((slot, b.origin));
         }
@@ -212,7 +228,7 @@ fn merge_tac(blocks: &[UnitBlock], u: usize) -> Vec<MergedArray> {
                         let bi = by_coord[&coord];
                         let b = &blocks[bi];
                         let slot = [cx * u, cy * u, cz * u];
-                        field.insert_box(slot, &Field3::from_vec(Dims3::cube(u), b.data.clone()));
+                        field.insert_box_from(slot, Dims3::cube(u), &b.data);
                         slots.push((slot, b.origin));
                     }
                 }

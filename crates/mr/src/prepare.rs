@@ -24,10 +24,15 @@ use hqmr_grid::Field3;
 
 /// One level's compression-ready arrays — the output of the pre-processing
 /// stage (merge + pad), before any codec runs.
+///
+/// Unpadded levels do not duplicate their data: the compression-ready field
+/// *is* the merged array, borrowed in place. Only padded levels materialize
+/// separate (padded) fields.
 #[derive(Debug, Clone)]
 pub struct PreparedLevel {
     arrays: Vec<MergedArray>,
-    fields: Vec<Field3>,
+    /// Padded variants of `arrays[i].field`; empty when `!padded`.
+    padded_fields: Vec<Field3>,
     padded: bool,
 }
 
@@ -47,16 +52,29 @@ impl PreparedLevel {
         &self.arrays
     }
 
-    /// The compression-ready fields, padded when [`Self::padded`] — what a
-    /// codec actually compresses, aligned index-wise with [`Self::arrays`].
-    pub fn fields(&self) -> &[Field3] {
-        &self.fields
+    /// The compression-ready field of array `i`: the padded variant when
+    /// [`Self::padded`], the merged array itself otherwise.
+    pub fn field(&self, i: usize) -> &Field3 {
+        if self.padded {
+            &self.padded_fields[i]
+        } else {
+            &self.arrays[i].field
+        }
+    }
+
+    /// Iterates the compression-ready fields, aligned index-wise with
+    /// [`Self::arrays`].
+    pub fn fields(&self) -> impl Iterator<Item = &Field3> {
+        (0..self.arrays.len()).map(move |i| self.field(i))
     }
 
     /// Iterates `(layout, compression-ready field)` pairs — one per block a
     /// container writer would compress independently.
     pub fn blocks(&self) -> impl Iterator<Item = (&MergedArray, &Field3)> {
-        self.arrays.iter().zip(&self.fields)
+        self.arrays
+            .iter()
+            .enumerate()
+            .map(move |(i, m)| (m, self.field(i)))
     }
 }
 
@@ -90,19 +108,18 @@ pub fn prepare_blocks(
 ) -> PreparedLevel {
     let arrays = merge_blocks(blocks, unit, merge);
     let padded = pads(merge, pad, unit);
-    let fields = arrays
-        .iter()
-        .map(|m| {
-            if padded {
-                pad_small_dims(&m.field, pad.unwrap_or(PadKind::Linear))
-            } else {
-                m.field.clone()
-            }
-        })
-        .collect();
+    let padded_fields = if padded {
+        arrays
+            .iter()
+            .map(|m| pad_small_dims(&m.field, pad.unwrap_or(PadKind::Linear)))
+            .collect()
+    } else {
+        // Unpadded: codecs read the merged arrays directly — no copy.
+        Vec::new()
+    };
     PreparedLevel {
         arrays,
-        fields,
+        padded_fields,
         padded,
     }
 }
@@ -178,7 +195,7 @@ mod tests {
         let prep = prepare_level(&lvl, MergeStrategy::Linear, Some(PadKind::Linear));
         assert!(prep.padded());
         assert_eq!(prep.array_count(), 1);
-        assert_eq!(prep.fields()[0].dims(), Dims3::new(9, 9, 24));
+        assert_eq!(prep.field(0).dims(), Dims3::new(9, 9, 24));
         assert_eq!(prep.arrays()[0].field.dims(), Dims3::new(8, 8, 24));
         assert_eq!(prep.blocks().count(), 1);
     }

@@ -47,8 +47,7 @@ impl LevelData {
         let mut f = Field3::new(self.dims, fill);
         let u = self.unit;
         for b in &self.blocks {
-            let block = Field3::from_vec(Dims3::cube(u), b.data.clone());
-            f.insert_box(b.origin, &block);
+            f.insert_box_from(b.origin, Dims3::cube(u), &b.data);
         }
         f
     }
@@ -95,14 +94,20 @@ impl MultiResData {
             let factor = 1usize << lvl.level;
             let u = lvl.unit;
             for b in &lvl.blocks {
-                let block = Field3::from_vec(Dims3::cube(u), b.data.clone());
-                let fine = upsample_block(&block, factor, scheme);
                 let origin = [
                     b.origin[0] * factor,
                     b.origin[1] * factor,
                     b.origin[2] * factor,
                 ];
-                out.insert_box(origin, &fine);
+                if factor == 1 {
+                    // Finest level: land the block data directly, no
+                    // temporary field or upsample pipeline.
+                    out.insert_box_from(origin, Dims3::cube(u), &b.data);
+                } else {
+                    let block = Field3::from_vec(Dims3::cube(u), b.data.clone());
+                    let fine = upsample_block(&block, factor, scheme);
+                    out.insert_box(origin, &fine);
+                }
             }
         }
         out

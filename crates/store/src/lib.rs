@@ -38,15 +38,26 @@ use hqmr_codec::{crc32, Codec, NullCodec, NULL_CODEC_ID};
 use hqmr_grid::{Dims3, Field3};
 use hqmr_mr::prepare::{prepare_blocks, PreparedLevel};
 use hqmr_mr::{
-    strip_padding, LevelData, MergeStrategy, MultiResData, PadKind, UnitBlock, Upsample,
+    split_blocks, strip_padding, LevelData, MergeStrategy, MultiResData, PadKind, UnitBlock,
+    Upsample,
 };
 use hqmr_sz2::{Sz2Codec, SZ2_CODEC_ID};
 use hqmr_sz3::{Sz3Codec, SZ3_CODEC_ID};
 use hqmr_zfp::{ZfpCodec, ZFP_CODEC_ID};
 use rayon::prelude::*;
+use std::borrow::Cow;
+use std::cell::RefCell;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// Per-thread chunk-decode scratch: `decompress_into` reshapes this one
+    /// field per worker instead of allocating a fresh reconstruction buffer
+    /// for every chunk — the store's ROI/progressive readers decode hundreds
+    /// of chunks per query.
+    static DECODE_SCRATCH: RefCell<Field3> = RefCell::new(Field3::zeros(Dims3::new(0, 0, 0)));
+}
 
 /// Decoder registry: the default codec able to decode chunks carrying `id`.
 /// Chunk streams are self-describing, so decode needs no backend parameters.
@@ -149,7 +160,11 @@ pub fn encode_prepared_store(
             .collect();
         let streams: Vec<Vec<u8>> = inputs
             .par_iter()
-            .map(|(_, f, _)| codec.compress(f, cfg.eb))
+            .map(|(_, f, _)| {
+                let mut stream = Vec::new();
+                codec.compress_into(f, cfg.eb, &mut stream);
+                stream
+            })
             .collect();
         let mut chunks = Vec::with_capacity(inputs.len());
         for ((m, f, padded), stream) in inputs.into_iter().zip(streams) {
@@ -321,17 +336,20 @@ impl StoreReader {
             .ok_or(StoreError::NoSuchLevel(level))
     }
 
-    /// Fetches one chunk's compressed bytes and verifies its CRC. Byte
-    /// ranges were validated against the data region at open time, so the
-    /// only runtime surprise left is a file shrinking underneath us.
-    fn fetch(&self, level: usize, block: usize) -> Result<Vec<u8>, StoreError> {
+    /// Fetches one chunk's compressed bytes and verifies its CRC. In-memory
+    /// stores hand out a borrowed slice (no copy); only file-backed stores
+    /// materialize an owned buffer. Byte ranges were validated against the
+    /// data region at open time, so the only runtime surprise left is a file
+    /// shrinking underneath us.
+    fn fetch(&self, level: usize, block: usize) -> Result<Cow<'_, [u8]>, StoreError> {
         let c = &self.level_meta(level)?.chunks[block];
-        let bytes = match &self.source {
+        let bytes: Cow<'_, [u8]> = match &self.source {
             Source::Mem(buf) => {
                 let start = (self.data_start + c.offset) as usize;
-                buf.get(start..start.saturating_add(c.len))
-                    .ok_or(StoreError::Truncated)?
-                    .to_vec()
+                Cow::Borrowed(
+                    buf.get(start..start.saturating_add(c.len))
+                        .ok_or(StoreError::Truncated)?,
+                )
             }
             Source::File(file) => {
                 use std::io::{Read, Seek, SeekFrom};
@@ -339,7 +357,7 @@ impl StoreReader {
                 f.seek(SeekFrom::Start(self.data_start + c.offset))?;
                 let mut out = vec![0u8; c.len];
                 f.read_exact(&mut out)?;
-                out
+                Cow::Owned(out)
             }
         };
         if crc32(&bytes) != c.crc {
@@ -355,7 +373,7 @@ impl StoreReader {
     /// serial (one pass over the file); decoding fans out per chunk.
     fn decode_chunks(&self, level: usize, indices: &[usize]) -> Result<Vec<UnitBlock>, StoreError> {
         let lm = self.level_meta(level)?;
-        let payloads: Vec<(usize, Vec<u8>)> = indices
+        let payloads: Vec<(usize, Cow<'_, [u8]>)> = indices
             .iter()
             .map(|&i| Ok((i, self.fetch(level, i)?)))
             .collect::<Result<_, StoreError>>()?;
@@ -385,28 +403,32 @@ impl StoreReader {
             block,
             source,
         };
-        let mut field = self.codec.decompress(bytes).map_err(codec_err)?;
-        if field.dims() != c.enc_dims {
-            return Err(StoreError::Malformed("decoded dims mismatch chunk table"));
-        }
-        if c.padded {
-            if c.enc_dims.nx < 2 || c.enc_dims.ny < 2 {
-                return Err(StoreError::Malformed("padded chunk too small"));
+        DECODE_SCRATCH.with(|scratch| {
+            let mut field = scratch.borrow_mut();
+            self.codec
+                .decompress_into(bytes, &mut field)
+                .map_err(codec_err)?;
+            if field.dims() != c.enc_dims {
+                return Err(StoreError::Malformed("decoded dims mismatch chunk table"));
             }
-            field = strip_padding(&field);
-        }
-        let d = field.dims();
-        for &(slot, _) in &c.slots {
-            if slot[0] + c.unit > d.nx || slot[1] + c.unit > d.ny || slot[2] + c.unit > d.nz {
-                return Err(StoreError::Malformed("chunk slot out of array bounds"));
+            let stripped;
+            let data: &Field3 = if c.padded {
+                if c.enc_dims.nx < 2 || c.enc_dims.ny < 2 {
+                    return Err(StoreError::Malformed("padded chunk too small"));
+                }
+                stripped = strip_padding(&field);
+                &stripped
+            } else {
+                &field
+            };
+            let d = data.dims();
+            for &(slot, _) in &c.slots {
+                if slot[0] + c.unit > d.nx || slot[1] + c.unit > d.ny || slot[2] + c.unit > d.nz {
+                    return Err(StoreError::Malformed("chunk slot out of array bounds"));
+                }
             }
-        }
-        let merged = hqmr_mr::MergedArray {
-            field: Field3::zeros(d),
-            unit: c.unit,
-            slots: c.slots.clone(),
-        };
-        Ok(merged.split(&field))
+            Ok(split_blocks(data, c.unit, &c.slots))
+        })
     }
 
     /// Reads one whole resolution level.
@@ -590,6 +612,18 @@ impl Iterator for Progressive<'_> {
                 // later and overwrite coarser ones.
                 let factor = 1usize << lvl.level;
                 for b in &lvl.blocks {
+                    let origin = [
+                        b.origin[0] * factor,
+                        b.origin[1] * factor,
+                        b.origin[2] * factor,
+                    ];
+                    if factor == 1 {
+                        // Finest level: no upsampling, land the block data
+                        // directly without a temporary field.
+                        self.acc
+                            .insert_box_from(origin, Dims3::cube(lvl.unit), &b.data);
+                        continue;
+                    }
                     let mut block = Field3::from_vec(Dims3::cube(lvl.unit), b.data.clone());
                     let mut f = factor;
                     while f > 1 {
@@ -600,11 +634,6 @@ impl Iterator for Progressive<'_> {
                         };
                         f /= 2;
                     }
-                    let origin = [
-                        b.origin[0] * factor,
-                        b.origin[1] * factor,
-                        b.origin[2] * factor,
-                    ];
                     self.acc.insert_box(origin, &block);
                 }
                 Some(Ok(RefinementStep {

@@ -174,6 +174,26 @@ fn encode_point(
 
 /// Compresses `field` under `cfg`. The absolute error bound holds pointwise.
 pub fn compress(field: &Field3, cfg: &Sz2Config) -> CompressResult {
+    let (c, lorenzo_blocks, regression_blocks, outliers) = compress_container(field, cfg);
+    CompressResult {
+        bytes: c.to_bytes(),
+        lorenzo_blocks,
+        regression_blocks,
+        outliers,
+    }
+}
+
+/// [`compress`] serializing into a caller-owned buffer (cleared first), so
+/// per-chunk writers reuse one output allocation.
+pub fn compress_into(field: &Field3, cfg: &Sz2Config, out: &mut Vec<u8>) {
+    out.clear();
+    let (c, _, _, _) = compress_container(field, cfg);
+    c.write_into(out);
+}
+
+/// The compression pipeline up to (but not including) serialization.
+/// Returns `(container, lorenzo_blocks, regression_blocks, outliers)`.
+fn compress_container(field: &Field3, cfg: &Sz2Config) -> (Container, usize, usize, usize) {
     let dims = field.dims();
     let grid = BlockGrid::new(dims, cfg.block);
     let q = LinearQuantizer::new(cfg.eb);
@@ -247,16 +267,20 @@ pub fn compress(field: &Field3, cfg: &Sz2Config) -> CompressResult {
     c.push(TAG_COEFFS, coeffs);
     c.push(TAG_CODES, pack_maybe_rle(&huffman_encode(&codes)));
     c.push(TAG_OUTLIERS, out_bytes);
-    CompressResult {
-        bytes: c.to_bytes(),
-        lorenzo_blocks: n_lorenzo,
-        regression_blocks: n_regression,
-        outliers: outliers.len(),
-    }
+    let n_outliers = outliers.len();
+    (c, n_lorenzo, n_regression, n_outliers)
 }
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz2Error> {
+    let mut out = Field3::zeros(Dims3::new(0, 0, 0));
+    decompress_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned field (reshaped in place), so
+/// per-chunk readers reuse one reconstruction buffer.
+pub fn decompress_into(bytes: &[u8], out: &mut Field3) -> Result<(), Sz2Error> {
     let c = Container::from_bytes(bytes)?;
     check_stream_id(&c, SZ2_CODEC_ID)?;
     let head = c.require(TAG_HEAD)?;
@@ -287,7 +311,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz2Error> {
         return Err(Sz2Error::Malformed("coefficient payload"));
     }
     let packed = unpack_maybe_rle(c.require(TAG_CODES)?).ok_or(Sz2Error::Malformed("codes"))?;
-    let codes = huffman_decode(&packed).ok_or(Sz2Error::Malformed("codes"))?;
+    let codes = huffman_decode(&packed)?;
     if codes.len() != dims.len() {
         return Err(Sz2Error::Malformed("code count"));
     }
@@ -302,7 +326,8 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz2Error> {
         .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
         .collect();
 
-    let mut recon = vec![0f32; dims.len()];
+    out.reshape(dims, 0.0);
+    let recon = out.data_mut();
     let mut code_it = codes.iter();
     let mut out_it = outliers.iter();
     let mut coeff_it = coeff_bytes.chunks_exact(16);
@@ -353,7 +378,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz2Error> {
                     for z in 0..blk.size.nz {
                         let (gx, gy, gz) =
                             (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
-                        let pred = lorenzo(&recon, dims, gx, gy, gz);
+                        let pred = lorenzo(recon, dims, gx, gy, gz);
                         let mut cell = 0f32;
                         decode_point(pred, &mut cell);
                         recon[dims.idx(gx, gy, gz)] = cell;
@@ -365,7 +390,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz2Error> {
     if underrun {
         return Err(Sz2Error::Malformed("stream underrun"));
     }
-    Ok(Field3::from_vec(dims, recon))
+    Ok(())
 }
 
 /// SZ2 as a pluggable [`Codec`] backend: the block size is the codec-specific
@@ -409,6 +434,21 @@ impl Codec for Sz2Codec {
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field3, CodecError> {
         decompress(bytes)
+    }
+
+    fn compress_into(&self, field: &Field3, eb: f64, out: &mut Vec<u8>) {
+        compress_into(
+            field,
+            &Sz2Config {
+                eb,
+                block: self.block,
+            },
+            out,
+        );
+    }
+
+    fn decompress_into(&self, bytes: &[u8], out: &mut Field3) -> Result<(), CodecError> {
+        decompress_into(bytes, out)
     }
 }
 

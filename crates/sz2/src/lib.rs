@@ -16,7 +16,10 @@
 
 mod compressor;
 
-pub use compressor::{compress, decompress, CompressResult, Sz2Codec, Sz2Error, SZ2_CODEC_ID};
+pub use compressor::{
+    compress, compress_into, decompress, decompress_into, CompressResult, Sz2Codec, Sz2Error,
+    SZ2_CODEC_ID,
+};
 
 /// SZ2 configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -20,7 +20,10 @@ mod engine;
 mod stream;
 
 pub use engine::{interp_levels, InterpKind, InterpStats};
-pub use stream::{compress, decompress, CompressResult, Sz3Codec, Sz3Error, SZ3_CODEC_ID};
+pub use stream::{
+    compress, compress_into, decompress, decompress_into, CompressResult, Sz3Codec, Sz3Error,
+    SZ3_CODEC_ID,
+};
 
 /// Adaptive per-level error-bound policy (the paper's Improvement 2).
 ///

@@ -58,6 +58,25 @@ fn level_quantizers(cfg: &Sz3Config, maxlevel: usize) -> Vec<LinearQuantizer> {
 /// The error bound is *absolute*: every reconstructed value differs from the
 /// original by at most `cfg.eb` (adaptive per-level bounds only tighten it).
 pub fn compress(field: &Field3, cfg: &Sz3Config) -> CompressResult {
+    let (c, stats, n_outliers) = compress_container(field, cfg);
+    CompressResult {
+        bytes: c.to_bytes(),
+        stats,
+        outliers: n_outliers,
+    }
+}
+
+/// [`compress`] serializing into a caller-owned buffer (cleared first), so
+/// per-chunk writers reuse one output allocation.
+pub fn compress_into(field: &Field3, cfg: &Sz3Config, out: &mut Vec<u8>) -> InterpStats {
+    out.clear();
+    let (c, stats, _) = compress_container(field, cfg);
+    c.write_into(out);
+    stats
+}
+
+/// The compression pipeline up to (but not including) serialization.
+fn compress_container(field: &Field3, cfg: &Sz3Config) -> (Container, InterpStats, usize) {
     let dims = field.dims();
     let maxlevel = interp_levels(dims.max_extent());
     let quants = level_quantizers(cfg, maxlevel);
@@ -117,15 +136,20 @@ pub fn compress(field: &Field3, cfg: &Sz3Config) -> CompressResult {
     c.push(TAG_HEAD, head);
     c.push(TAG_CODES, pack_maybe_rle(&huffman_encode(&codes)));
     c.push(TAG_OUTLIERS, out_bytes);
-    CompressResult {
-        bytes: c.to_bytes(),
-        stats,
-        outliers: outliers.len(),
-    }
+    let n_outliers = outliers.len();
+    (c, stats, n_outliers)
 }
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz3Error> {
+    let mut out = Field3::zeros(Dims3::new(0, 0, 0));
+    decompress_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned field (reshaped in place), so
+/// per-chunk readers reuse one reconstruction buffer.
+pub fn decompress_into(bytes: &[u8], out: &mut Field3) -> Result<(), Sz3Error> {
     let c = Container::from_bytes(bytes)?;
     check_stream_id(&c, SZ3_CODEC_ID)?;
     let head = c.require(TAG_HEAD)?;
@@ -164,7 +188,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz3Error> {
     };
 
     let packed = unpack_maybe_rle(c.require(TAG_CODES)?).ok_or(Sz3Error::Malformed("codes"))?;
-    let codes = huffman_decode(&packed).ok_or(Sz3Error::Malformed("codes"))?;
+    let codes = huffman_decode(&packed)?;
     if codes.len() != dims.len() {
         return Err(Sz3Error::Malformed("code count"));
     }
@@ -181,14 +205,14 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz3Error> {
 
     let maxlevel = interp_levels(dims.max_extent());
     let quants = level_quantizers(&cfg, maxlevel);
-    let mut buf = vec![0f32; dims.len()];
+    out.reshape(dims, 0.0);
     let mut code_it = codes.iter();
     let mut out_it = outliers.iter();
     let mut missing = false;
     traverse(
         dims,
         cfg.interp,
-        &mut buf,
+        out.data_mut(),
         |l, _idx, _cur, pred, _kind: PredKind| {
             let Some(&code) = code_it.next() else {
                 missing = true;
@@ -210,7 +234,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz3Error> {
     if missing {
         return Err(Sz3Error::Malformed("stream underrun"));
     }
-    Ok(Field3::from_vec(dims, buf))
+    Ok(())
 }
 
 /// SZ3 as a pluggable [`Codec`] backend: the codec-specific knobs
@@ -265,6 +289,22 @@ impl Codec for Sz3Codec {
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field3, CodecError> {
         decompress(bytes)
+    }
+
+    fn compress_into(&self, field: &Field3, eb: f64, out: &mut Vec<u8>) {
+        compress_into(
+            field,
+            &Sz3Config {
+                eb,
+                interp: self.interp,
+                level_eb: self.level_eb,
+            },
+            out,
+        );
+    }
+
+    fn decompress_into(&self, bytes: &[u8], out: &mut Field3) -> Result<(), CodecError> {
+        decompress_into(bytes, out)
     }
 }
 

@@ -55,6 +55,23 @@ fn block_maxprec(emax: i32, minexp: i32) -> i32 {
 
 /// Compresses `field` with the fixed-accuracy tolerance in `cfg`.
 pub fn compress(field: &Field3, cfg: &ZfpConfig) -> CompressResult {
+    let (c, zero_blocks) = compress_container(field, cfg);
+    CompressResult {
+        bytes: c.to_bytes(),
+        zero_blocks,
+    }
+}
+
+/// [`compress`] serializing into a caller-owned buffer (cleared first), so
+/// per-chunk writers reuse one output allocation.
+pub fn compress_into(field: &Field3, cfg: &ZfpConfig, out: &mut Vec<u8>) {
+    out.clear();
+    let (c, _) = compress_container(field, cfg);
+    c.write_into(out);
+}
+
+/// The compression pipeline up to (but not including) serialization.
+fn compress_container(field: &Field3, cfg: &ZfpConfig) -> (Container, usize) {
     let dims = field.dims();
     let grid = BlockGrid::new(dims, BLOCK);
     let minexp = cfg.tol.log2().floor() as i32;
@@ -64,9 +81,9 @@ pub fn compress(field: &Field3, cfg: &ZfpConfig) -> CompressResult {
     let mut vals = [0f32; BLOCK_LEN];
     let mut ints = [0i64; BLOCK_LEN];
     for blk in grid.iter() {
-        // Gather with edge replication (extract_box clamps).
-        let cube = field.extract_box(blk.origin, Dims3::cube(BLOCK));
-        vals.copy_from_slice(cube.data());
+        // Gather with edge replication straight into the block scratch —
+        // no per-block field allocation.
+        field.extract_box_into(blk.origin, Dims3::cube(BLOCK), &mut vals);
         let maxabs = vals.iter().fold(0f32, |m, &v| m.max(v.abs()));
         if maxabs == 0.0 || !maxabs.is_finite() {
             w.write_bit(false);
@@ -101,14 +118,19 @@ pub fn compress(field: &Field3, cfg: &ZfpConfig) -> CompressResult {
     push_stream_id(&mut c, ZFP_CODEC_ID);
     c.push(TAG_HEAD, head);
     c.push(TAG_PAYLOAD, w.finish());
-    CompressResult {
-        bytes: c.to_bytes(),
-        zero_blocks,
-    }
+    (c, zero_blocks)
 }
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Field3, ZfpError> {
+    let mut out = Field3::zeros(Dims3::new(0, 0, 0));
+    decompress_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned field (reshaped in place), so
+/// per-chunk readers reuse one reconstruction buffer.
+pub fn decompress_into(bytes: &[u8], out: &mut Field3) -> Result<(), ZfpError> {
     let c = Container::from_bytes(bytes)?;
     check_stream_id(&c, ZFP_CODEC_ID)?;
     let head = c.require(TAG_HEAD)?;
@@ -127,7 +149,8 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, ZfpError> {
     let payload = c.require(TAG_PAYLOAD)?;
     let mut r = BitReader::new(payload);
 
-    let mut out = Field3::zeros(dims);
+    out.reshape(dims, 0.0);
+    let mut fvals = [0f32; BLOCK_LEN];
     for blk in grid.iter() {
         if !r.read_bit() {
             continue; // zero block
@@ -140,18 +163,18 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, ZfpError> {
         let mut ints = decode_block_ints(&mut r, maxprec as u32);
         inv_transform3(&mut ints);
         let scale = 2f64.powi(emax - Q);
-        let cube = Field3::from_vec(
-            Dims3::cube(BLOCK),
-            ints.iter().map(|&i| (i as f64 * scale) as f32).collect(),
-        );
-        // Write back only the valid (possibly clipped) region.
-        let valid = cube.extract_box([0, 0, 0], blk.size);
-        out.insert_box(blk.origin, &valid);
+        for (f, &i) in fvals.iter_mut().zip(&ints) {
+            *f = (i as f64 * scale) as f32;
+        }
+        // Write back through the clipping insert — cells past the domain
+        // edge (the replicated gather padding) are dropped, no per-block
+        // field temporaries.
+        out.insert_box_from(blk.origin, Dims3::cube(BLOCK), &fvals);
     }
     if r.bit_pos() > payload.len() * 8 {
         return Err(ZfpError::Malformed("stream underrun"));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// ZFP as a pluggable [`Codec`] backend. ZFP's only run-time knob is the
@@ -175,6 +198,14 @@ impl Codec for ZfpCodec {
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field3, CodecError> {
         decompress(bytes)
+    }
+
+    fn compress_into(&self, field: &Field3, eb: f64, out: &mut Vec<u8>) {
+        compress_into(field, &ZfpConfig::new(eb), out);
+    }
+
+    fn decompress_into(&self, bytes: &[u8], out: &mut Field3) -> Result<(), CodecError> {
+        decompress_into(bytes, out)
     }
 }
 

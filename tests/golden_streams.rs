@@ -1,0 +1,100 @@
+//! Golden-stream format lock: committed encoded fixtures for every backend ×
+//! arrangement, produced by the pre-overhaul bit-IO/Huffman path.
+//!
+//! The throughput work on the codec hot path (word-at-a-time bit-IO,
+//! table-driven entropy coding) must not change a single bit of the on-disk
+//! formats. These tests prove it: `compress_mr` must reproduce each fixture
+//! byte-for-byte, and each fixture must still decode to the same blocks as a
+//! fresh stream.
+//!
+//! Regenerate (only when the format is *intentionally* changed) with:
+//! `HQMR_BLESS_GOLDEN=1 cargo test --test golden_streams`
+
+use hqmr::grid::{Dims3, Field3};
+use hqmr::mr::{to_adaptive, MergeStrategy, PadKind, RoiConfig};
+use hqmr::workflow::mrc::{compress_mr, decompress_mr, Backend, MrcConfig};
+use std::path::PathBuf;
+
+/// Deterministic test field: pure integer arithmetic mapped to f32 (no
+/// transcendentals, no RNG), so the fixture input is bit-stable everywhere.
+/// A spike exercises the SZ outlier path; the modular pattern gives the
+/// entropy stage a skewed but multi-symbol distribution.
+fn golden_field() -> Field3 {
+    let mut f = Field3::from_fn(Dims3::new(24, 24, 24), |x, y, z| {
+        let h = (x * 31 + y * 17 + z * 7) % 23;
+        let r = (x * 13 + y * 29 + z * 5) % 97;
+        h as f32 * 0.5 + r as f32 * 0.01 - 5.0
+    });
+    f.set(5, 6, 7, 4.0e4);
+    f
+}
+
+const ARRANGEMENTS: [(&str, MergeStrategy, Option<PadKind>); 4] = [
+    ("linpad", MergeStrategy::Linear, Some(PadKind::Linear)),
+    ("linear", MergeStrategy::Linear, None),
+    ("stack", MergeStrategy::Stack, None),
+    ("tac", MergeStrategy::Tac, None),
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn backend_name(b: Backend) -> &'static str {
+    b.name()
+}
+
+#[test]
+fn compressed_streams_match_committed_fixtures() {
+    let f = golden_field();
+    let mr = to_adaptive(&f, &RoiConfig::new(8, 0.5));
+    let eb = f.range() as f64 * 2e-3;
+    let bless = std::env::var_os("HQMR_BLESS_GOLDEN").is_some();
+    if bless {
+        std::fs::create_dir_all(fixture_dir()).unwrap();
+    }
+
+    for backend in Backend::ALL {
+        for (aname, merge, pad) in ARRANGEMENTS {
+            let cfg = MrcConfig {
+                eb,
+                merge,
+                pad,
+                backend,
+            };
+            let (bytes, _) = compress_mr(&mr, &cfg);
+            let path = fixture_dir().join(format!("{}_{aname}.bin", backend_name(backend)));
+            if bless {
+                std::fs::write(&path, &bytes).unwrap();
+                continue;
+            }
+            let fixture = std::fs::read(&path)
+                .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+            assert_eq!(
+                bytes.len(),
+                fixture.len(),
+                "{backend:?}/{aname}: stream length drifted from the committed format"
+            );
+            assert_eq!(
+                bytes, fixture,
+                "{backend:?}/{aname}: compressed stream is no longer bit-identical \
+                 to the committed format"
+            );
+
+            // The fixture (old-path bytes) must decode identically to a fresh
+            // stream — locks the read side too.
+            let from_fixture = decompress_mr(&fixture).unwrap();
+            let from_fresh = decompress_mr(&bytes).unwrap();
+            assert_eq!(
+                from_fixture, from_fresh,
+                "{backend:?}/{aname}: decode drift"
+            );
+        }
+    }
+    assert!(
+        !bless,
+        "fixtures regenerated; rerun without HQMR_BLESS_GOLDEN"
+    );
+}

@@ -1,0 +1,148 @@
+//! Differential property tests for the codec hot path: the word-at-a-time
+//! bit-IO and table-driven Huffman coder must be observationally identical to
+//! the per-bit reference implementations they replaced — same bytes out, same
+//! symbols (or the same typed error) back, for generated distributions,
+//! length-limited codes, and truncated input.
+
+use hqmr::codec::bitio::{self, reference};
+use hqmr::codec::huffman::{
+    huffman_decode, huffman_decode_reference, huffman_encode, huffman_encode_reference,
+};
+use proptest::prelude::*;
+
+/// Reads the same width sequence from both readers and asserts bit-for-bit
+/// agreement, including positions and zero-padded reads past the end.
+fn assert_readers_agree(stream: &[u8], widths: &[u32]) {
+    let mut fast = bitio::BitReader::new(stream);
+    let mut slow = reference::BitReader::new(stream);
+    for &n in widths {
+        assert_eq!(fast.read_bits(n), slow.read_bits(n), "width {n}");
+        assert_eq!(fast.bit_pos(), slow.bit_pos());
+        assert_eq!(fast.remaining(), slow.remaining());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Word-at-a-time writes produce byte-identical streams to per-bit
+    /// writes, and both readers recover the same values.
+    #[test]
+    fn bitio_write_read_equivalence(ops in proptest::collection::vec(any::<u64>(), 1..300)) {
+        let mut fast = bitio::BitWriter::new();
+        let mut slow = reference::BitWriter::new();
+        let mut widths = Vec::with_capacity(ops.len() + 8);
+        for &v in &ops {
+            let n = 1 + (v % 64) as u32;
+            fast.write_bits(v, n);
+            slow.write_bits(v, n);
+            prop_assert_eq!(fast.bit_len(), slow.bit_len());
+            widths.push(n);
+        }
+        let fb = fast.finish();
+        let sb = slow.finish();
+        prop_assert_eq!(&fb, &sb, "writer streams diverged");
+        // Read back with the writing widths, then overshoot the end to pin
+        // the zero-padding semantics too.
+        widths.extend([64u32, 1, 7, 13, 64]);
+        assert_readers_agree(&fb, &widths);
+    }
+
+    /// Readers agree on arbitrary byte streams under arbitrary read splits —
+    /// not just splits aligned with how the stream was written.
+    #[test]
+    fn bitio_read_split_equivalence(
+        stream in proptest::collection::vec(any::<u8>(), 0..200),
+        splits in proptest::collection::vec(0u32..65, 1..200),
+    ) {
+        assert_readers_agree(&stream, &splits);
+    }
+
+    /// Peek/consume (the table-decoder primitive) equals plain reads.
+    #[test]
+    fn peek_consume_equivalence(
+        stream in proptest::collection::vec(any::<u8>(), 0..200),
+        splits in proptest::collection::vec(1u32..57, 1..200),
+    ) {
+        let mut peeker = bitio::BitReader::new(&stream);
+        let mut reader = reference::BitReader::new(&stream);
+        for &n in &splits {
+            let peeked = peeker.peek_bits(n);
+            peeker.consume(n);
+            prop_assert_eq!(peeked, reader.read_bits(n), "width {}", n);
+            prop_assert_eq!(peeker.bit_pos(), reader.bit_pos());
+        }
+    }
+
+    /// Table-driven Huffman encode/decode is byte- and symbol-identical to
+    /// the per-bit reference over skewed (quantizer-like) distributions.
+    #[test]
+    fn huffman_equivalence_skewed(seeds in proptest::collection::vec(any::<u64>(), 0..3000)) {
+        // Sharpen the distribution: most symbols collapse to one code, a
+        // tail stays spread — the shape SZ quantizers emit.
+        let symbols: Vec<u32> = seeds
+            .iter()
+            .map(|&s| match s % 100 {
+                0..=79 => 1000,
+                80..=94 => 1000 + (s % 7) as u32,
+                _ => (s % 4096) as u32,
+            })
+            .collect();
+        let fast = huffman_encode(&symbols);
+        let slow = huffman_encode_reference(&symbols);
+        prop_assert_eq!(&fast, &slow, "encoders diverged");
+        prop_assert_eq!(huffman_decode(&fast).unwrap(), symbols.clone());
+        prop_assert_eq!(huffman_decode_reference(&fast).unwrap(), symbols);
+    }
+
+    /// Equivalence holds on uniform (deep-table) distributions too.
+    #[test]
+    fn huffman_equivalence_uniform(symbols in proptest::collection::vec(0u32..5000, 0..2000)) {
+        let fast = huffman_encode(&symbols);
+        let slow = huffman_encode_reference(&symbols);
+        prop_assert_eq!(&fast, &slow, "encoders diverged");
+        prop_assert_eq!(huffman_decode(&fast).unwrap(), symbols.clone());
+        prop_assert_eq!(huffman_decode_reference(&fast).unwrap(), symbols);
+    }
+
+    /// On truncated input both decoders return the *same* outcome — the same
+    /// recovered prefix or the same typed error, never a panic.
+    #[test]
+    fn huffman_truncation_equivalence(
+        seeds in proptest::collection::vec(any::<u64>(), 1..500),
+        cut_frac in 0u32..100,
+    ) {
+        let symbols: Vec<u32> = seeds.iter().map(|&s| (s % 97) as u32).collect();
+        let enc = huffman_encode(&symbols);
+        let cut = (enc.len() * cut_frac as usize) / 100;
+        let fast = huffman_decode(&enc[..cut]);
+        let slow = huffman_decode_reference(&enc[..cut]);
+        prop_assert_eq!(fast, slow, "decoders diverged on cut {}", cut);
+    }
+}
+
+/// Fibonacci-weighted frequencies deep enough to trip the Kraft length
+/// limiter (`MAX_CODE_LEN = 32`): both coders must agree on the limited code
+/// set, and the (large) stream must round-trip on both paths.
+#[test]
+fn huffman_equivalence_length_limited() {
+    // 35 symbols with Fibonacci counts force an unlimited depth of 34 > 32,
+    // so this exercises the limit_lengths fixup, the spill path (codes far
+    // past the 11-bit table), and the walk.
+    let mut symbols = Vec::new();
+    let (mut a, mut b) = (1u64, 1u64);
+    for sym in 0..35u32 {
+        for _ in 0..a {
+            symbols.push(sym);
+        }
+        let c = a + b;
+        a = b;
+        b = c;
+    }
+    assert!(symbols.len() > 9_000_000, "need enough mass for depth > 32");
+    let fast = huffman_encode(&symbols);
+    let slow = huffman_encode_reference(&symbols);
+    assert_eq!(fast, slow, "length-limited encoders diverged");
+    assert_eq!(huffman_decode(&fast).unwrap(), symbols);
+    assert_eq!(huffman_decode_reference(&fast).unwrap(), symbols);
+}
