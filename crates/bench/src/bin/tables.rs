@@ -50,6 +50,7 @@ fn main() {
         ("ablations", ex::ablations),
         ("codecs", ex::codecs),
         ("store", ex::store),
+        ("serve", ex::serve),
         ("hotpath", ex::hotpath),
     ];
 

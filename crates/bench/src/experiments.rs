@@ -1037,6 +1037,193 @@ pub fn codecs(scale: usize) -> String {
     out
 }
 
+/// Serving-layer benchmark (`BENCH_serve.json`): cold vs warm vs
+/// 16-concurrent-client throughput of the `hqmr-serve` chunk-cache layer,
+/// per codec backend, on a viewer-like query mix (sliding ROI bricks, an
+/// isovalue skim, a coarse overview). Three effects are measured:
+///
+/// * **cold vs warm** — the LRU cache turns repeat queries into assembly
+///   only (no fetch, CRC or codec work);
+/// * **batched** — `serve_batch` unions overlapping requests, so one batch
+///   decodes each chunk once even with the cache disabled;
+/// * **concurrent clients** — 16 threads over one *cold* shared server:
+///   single-flight + the shared cache mean the fleet collectively decodes
+///   each chunk once, so aggregate throughput scales with the client count
+///   instead of redoing the work 16× (this host has 1 core, so the win is
+///   pure work-sharing, not parallel decode).
+pub fn serve(scale: usize) -> String {
+    use hqmr_serve::{Query, StoreServer};
+    use hqmr_store::{write_store, StoreConfig, StoreReader};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const CLIENTS: usize = 16;
+    let d = datasets::nyx_t1(scale, 97);
+    let mr = d.mr.as_ref().unwrap();
+    let eb = d.range() * 8e-3;
+    let (mn, mx) = d.field.min_max();
+    let iso = mn + 0.6 * (mx - mn);
+
+    // The query mix one interactive client issues per pass: eight ROI
+    // bricks sweeping the fine level (half of them revisiting earlier
+    // regions, as a panning viewer does), one isovalue skim, one coarse
+    // overview.
+    let fine = mr.levels[0].dims;
+    let brick = [
+        (fine.nx / 2).max(1),
+        (fine.ny / 2).max(1),
+        (fine.nz / 4).max(1),
+    ];
+    let mut queries: Vec<Query> = Vec::new();
+    for k in 0..8usize {
+        let lo = [
+            (k % 2) * (fine.nx - brick[0]),
+            ((k / 2) % 2) * (fine.ny - brick[1]),
+            (k % 4) * (fine.nz - brick[2]) / 3,
+        ];
+        queries.push(Query::Roi {
+            level: 0,
+            lo,
+            hi: [lo[0] + brick[0], lo[1] + brick[1], lo[2] + brick[2]],
+            fill: mn,
+        });
+    }
+    queries.push(Query::Iso { level: 0, iso });
+    queries.push(Query::Level {
+        level: mr.levels.len() - 1,
+    });
+
+    let run_client = |server: &StoreServer| {
+        for q in &queries {
+            match *q {
+                Query::Roi {
+                    level,
+                    lo,
+                    hi,
+                    fill,
+                } => {
+                    std::hint::black_box(server.read_roi(level, lo, hi, fill).expect("roi"));
+                }
+                Query::Iso { level, iso } => {
+                    std::hint::black_box(server.read_level_iso(level, iso).expect("iso"));
+                }
+                Query::Level { level } => {
+                    std::hint::black_box(server.read_level(level).expect("level"));
+                }
+            }
+        }
+    };
+
+    let mut out = format!(
+        "Serving layer — {} (scale {scale}, rel eb 8e-3, chunks of 4 blocks, {} queries/pass)\n\
+         backend  cold(s)   warm(s)  warm_speedup  batch(s)  1-client(q/s)  {CLIENTS}-client agg(q/s)  agg_speedup\n",
+        d.name,
+        queries.len()
+    );
+    let mut json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"scale\": {scale},\n  \"rel_eb\": 8e-3,\n  \
+         \"chunk_blocks\": 4,\n  \"queries_per_pass\": {},\n  \"clients\": {CLIENTS},\n  \
+         \"records\": [\n",
+        d.name,
+        queries.len()
+    );
+    let mut first = true;
+    for backend in Backend::ALL {
+        let cfg = StoreConfig::new(eb).with_chunk_blocks(4);
+        let codec = backend.codec();
+        let buf = write_store(mr, &cfg, codec.as_ref());
+        let mk_server =
+            || StoreServer::unbounded(Arc::new(StoreReader::from_bytes(buf.clone()).unwrap()));
+
+        // Cold: every chunk the mix touches decodes (once — later queries in
+        // the pass already reuse the cache, which is the serving point).
+        let server = mk_server();
+        let t0 = Instant::now();
+        run_client(&server);
+        let cold_s = t0.elapsed().as_secs_f64();
+        let cold_stats = server.stats();
+        let cold_bytes = server.reader().bytes_decoded();
+
+        // Warm: same mix again, answered from the resident cache.
+        const WARM_REPS: usize = 3;
+        let t0 = Instant::now();
+        for _ in 0..WARM_REPS {
+            run_client(&server);
+        }
+        let warm_s = t0.elapsed().as_secs_f64() / WARM_REPS as f64;
+        let warm_speedup = cold_s / warm_s;
+
+        // Batched: the planner unions the same mix into one decode set.
+        let server_b = mk_server();
+        let t0 = Instant::now();
+        std::hint::black_box(server_b.serve_batch(&queries).expect("batch"));
+        let batch_s = t0.elapsed().as_secs_f64();
+
+        // 16 concurrent clients on one cold server: single-flight + shared
+        // cache collapse the fleet's decodes to one per chunk.
+        let server_c = mk_server();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..CLIENTS {
+                let server_c = &server_c;
+                s.spawn(move || run_client(server_c));
+            }
+        });
+        let conc_s = t0.elapsed().as_secs_f64();
+        let conc_stats = server_c.stats();
+
+        let single_qps = queries.len() as f64 / cold_s;
+        let agg_qps = (CLIENTS * queries.len()) as f64 / conc_s;
+        let agg_speedup = agg_qps / single_qps;
+        writeln!(
+            out,
+            "{:7} {cold_s:8.4} {warm_s:9.5} {warm_speedup:13.1} {batch_s:9.4} {single_qps:14.1} {agg_qps:19.1} {agg_speedup:12.1}",
+            backend.name(),
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "        cold: {} misses, {} hits, {:.1} KiB decoded; {CLIENTS}-client: {} misses, {} hits ({} shared waits)",
+            cold_stats.misses,
+            cold_stats.hits,
+            cold_bytes as f64 / 1024.0,
+            conc_stats.misses,
+            conc_stats.hits,
+            conc_stats.shared,
+        )
+        .unwrap();
+
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        write!(
+            json,
+            "    {{\"backend\": \"{}\", \"store_bytes\": {}, \
+             \"cold_s\": {cold_s:.6}, \"warm_s\": {warm_s:.6}, \"warm_speedup\": {warm_speedup:.2}, \
+             \"batch_cold_s\": {batch_s:.6}, \
+             \"single_client_qps\": {single_qps:.2}, \"concurrent_agg_qps\": {agg_qps:.2}, \
+             \"agg_speedup\": {agg_speedup:.2}, \
+             \"cold_cache\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}, \"bytes_decoded\": {cold_bytes}}}, \
+             \"concurrent_cache\": {{\"requests\": {}, \"hits\": {}, \"shared\": {}, \"misses\": {}, \"resident_bytes\": {}}}}}",
+            backend.name(),
+            buf.len(),
+            cold_stats.requests,
+            cold_stats.hits,
+            cold_stats.misses,
+            conc_stats.requests,
+            conc_stats.hits,
+            conc_stats.shared,
+            conc_stats.misses,
+            conc_stats.resident_bytes,
+        )
+        .unwrap();
+    }
+    json.push_str("\n  ]\n}\n");
+    crate::write_root_json("BENCH_serve.json", &json, &mut out);
+    out
+}
+
 /// Hot-path throughput: the word-at-a-time bit-IO and table-driven Huffman
 /// coder measured against the per-bit reference implementations they
 /// replaced, on the *actual* quantization-code blocks SZ3 emits for Nyx-T1 —

@@ -20,8 +20,10 @@
 //!   access for free.
 //! * [`workflow`] — one-call end-to-end API tying everything together, with
 //!   the compressor selected as arrangement × backend
-//!   ([`workflow::CompressorChoice`]) and a store-backed variant
-//!   ([`workflow::run_uniform_workflow_store`]).
+//!   ([`workflow::CompressorChoice`]), a store-backed variant
+//!   ([`workflow::run_uniform_workflow_store`]), and a serve-backed variant
+//!   ([`workflow::run_uniform_workflow_serve`]) that hands back a
+//!   concurrent, chunk-cached query server for many-client traffic.
 
 pub mod insitu;
 pub mod mrc;
@@ -36,6 +38,7 @@ pub use uncertainty::{
     analyze_feature_recovery, model_near_isovalue, sample_error_pairs, ErrorModel, FeatureRecovery,
 };
 pub use workflow::{
-    run_uniform_workflow, run_uniform_workflow_store, Arrangement, CompressorChoice,
-    StoreWorkflowResult, WorkflowConfig, WorkflowError, WorkflowResult,
+    run_uniform_workflow, run_uniform_workflow_serve, run_uniform_workflow_store, Arrangement,
+    CompressorChoice, ServeWorkflowResult, StoreWorkflowResult, WorkflowConfig, WorkflowError,
+    WorkflowResult,
 };

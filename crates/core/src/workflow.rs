@@ -12,7 +12,9 @@ use crate::post::{bezier_pass, select_intensity, PostConfig};
 use crate::uncertainty::{model_near_isovalue, sample_error_pairs, ErrorModel};
 use hqmr_grid::Field3;
 use hqmr_mr::{to_adaptive, MergeStrategy, PadKind, RoiConfig, Upsample};
+use hqmr_serve::StoreServer;
 use hqmr_store::{write_store, StoreConfig, StoreError, StoreMeta, StoreReader};
+use std::sync::Arc;
 
 /// Workflow configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -278,6 +280,61 @@ pub fn run_uniform_workflow_store(
     })
 }
 
+/// Everything the serve-backed workflow produced: the compressed container
+/// already wrapped in a concurrent, cache-backed query server.
+pub struct ServeWorkflowResult {
+    /// The serving layer over the freshly written store: `Send + Sync`,
+    /// ready to be shared across client threads (wrap in an `Arc` or borrow
+    /// through `std::thread::scope`) for cached level/ROI/iso/progressive
+    /// and batched queries.
+    pub server: StoreServer,
+    /// The parsed directory: per-level chunk tables with byte ranges and
+    /// value min/max.
+    pub meta: StoreMeta,
+    /// End-to-end compression ratio: original uniform bytes / store bytes.
+    pub end_to_end_ratio: f64,
+    /// Absolute error bound used.
+    pub eb: f64,
+}
+
+/// Runs the reduction workflow and hands back a query *server* instead of a
+/// raw container: ROI extraction → MR conversion → per-chunk compression
+/// into a block-indexed store → [`StoreServer`] with a decoded-chunk cache
+/// of at most `cache_budget` bytes. This is the entry point for the
+/// many-clients scenario: every read the server answers is byte-identical
+/// to a bare [`StoreReader`] over the same container, but hot chunks decode
+/// once and are shared.
+///
+/// Of the [`WorkflowConfig`] fields, only `roi`, `rel_eb` and `compressor`
+/// apply here. `post_process`, `uncertainty_iso` and `upsample` shape a
+/// *dense reconstruction*, which this variant deliberately never builds —
+/// the server answers level/ROI/iso/progressive queries straight from the
+/// store, so those fields are ignored (unlike [`run_uniform_workflow`] /
+/// [`run_uniform_workflow_store`], which produce the post-processed
+/// reconstruction). Run a step of [`StoreServer::progressive`] and apply
+/// `bezier_pass` yourself if a served client needs the post-processed view.
+pub fn run_uniform_workflow_serve(
+    field: &Field3,
+    cfg: &WorkflowConfig,
+    chunk_blocks: usize,
+    cache_budget: usize,
+) -> Result<ServeWorkflowResult, WorkflowError> {
+    let eb = field.range() as f64 * cfg.rel_eb;
+    let mr = to_adaptive(field, &cfg.roi);
+    let store_cfg = cfg.compressor.store_config(eb, chunk_blocks);
+    let codec = cfg.compressor.backend.codec();
+    let store = write_store(&mr, &store_cfg, codec.as_ref());
+    let store_bytes = store.len();
+    let reader = Arc::new(StoreReader::from_bytes(store)?);
+    let meta = reader.meta().clone();
+    Ok(ServeWorkflowResult {
+        server: StoreServer::new(reader, cache_budget),
+        meta,
+        end_to_end_ratio: (field.len() * 4) as f64 / store_bytes as f64,
+        eb,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +437,38 @@ mod tests {
                 .unwrap();
             assert_eq!(roi.dims().nz, d.nz.min(8), "{backend:?}");
         }
+    }
+
+    #[test]
+    fn serve_workflow_answers_cached_queries_identically() {
+        let f = synth::nyx_like(32, 37);
+        let mut cfg = WorkflowConfig::new(2e-3);
+        cfg.roi = RoiConfig::new(8, 0.4);
+        cfg.post_process = false;
+        let store = run_uniform_workflow_store(&f, &cfg, 2).unwrap();
+        let served = run_uniform_workflow_serve(&f, &cfg, 2, hqmr_serve::UNBOUNDED).unwrap();
+        assert_eq!(served.meta, store.meta);
+        assert!((served.end_to_end_ratio - store.end_to_end_ratio).abs() < 1e-12);
+        // Cold read through the server == bare reader over the same bytes.
+        let oracle = hqmr_store::StoreReader::from_bytes(store.store).unwrap();
+        assert_eq!(
+            served.server.read_all().unwrap(),
+            oracle.read_all().unwrap()
+        );
+        // Warm read is answered from the cache, byte-identically.
+        let before = served.server.reader().bytes_decoded();
+        assert_eq!(
+            served.server.read_all().unwrap(),
+            oracle.read_all().unwrap()
+        );
+        assert_eq!(
+            served.server.reader().bytes_decoded(),
+            before,
+            "warm pass decodes nothing"
+        );
+        let st = served.server.stats();
+        assert_eq!(st.requests, st.hits + st.misses);
+        assert!(st.hits >= st.misses, "second pass was all hits");
     }
 
     #[test]

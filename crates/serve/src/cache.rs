@@ -1,0 +1,358 @@
+//! The decoded-chunk LRU cache with single-flight decode.
+//!
+//! Internals of [`StoreServer`](crate::StoreServer): a byte-budgeted LRU
+//! over [`DecodedChunk`]s plus an in-flight table that deduplicates
+//! concurrent decodes of the same chunk. One mutex guards the cache state
+//! (entry map, recency order, in-flight table); decoding itself never runs
+//! under that lock — a decode's waiters park on the flight's own
+//! mutex/condvar pair, so a slow chunk stalls only its own requesters.
+
+use hqmr_store::{DecodedChunk, StoreError, StoreReader};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Cache key: `(level, chunk index)`.
+pub(crate) type Key = (usize, usize);
+
+/// Snapshot of the serving layer's cache accounting.
+///
+/// Counter identities (all counts since construction or the last
+/// [`StoreServer::reset_stats`](crate::StoreServer::reset_stats)):
+///
+/// * `requests == hits + misses` — every chunk lookup is classified as
+///   exactly one of the two;
+/// * `hits` — served without running the codec: either resident in the
+///   cache, or joined another client's in-flight decode (`shared`, a subset
+///   of `hits`, counts the latter);
+/// * `misses` — lookups that performed a decode themselves (the store
+///   reader's own `bytes_decoded` counter grows by the chunk's compressed
+///   length for each of these, and only these);
+/// * `evictions` — resident entries pushed out by the byte budget;
+/// * `resident_bytes` / `peak_resident_bytes` — current and high-water
+///   decoded-payload footprint; both are `≤ budget_bytes` at all times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total chunk lookups.
+    pub requests: u64,
+    /// Lookups served without decoding (resident or shared in-flight).
+    pub hits: u64,
+    /// Subset of `hits` that waited on another client's in-flight decode.
+    pub shared: u64,
+    /// Lookups that decoded the chunk themselves.
+    pub misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Decoded bytes currently resident.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes`.
+    pub peak_resident_bytes: u64,
+    /// The configured byte budget (`u64::MAX` when unbounded).
+    pub budget_bytes: u64,
+}
+
+/// Monotonic counters, updated lock-free with `Relaxed` ordering (same
+/// contract as `StoreReader`'s byte accounting: individually exact tallies,
+/// no cross-counter snapshot guarantee while requests are in flight).
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    shared: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// One in-flight decode. Waiters park on `cv` until the leader publishes.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    /// The leader is still decoding.
+    Pending,
+    /// Decode succeeded; every waiter clones the shared chunk.
+    Done(DecodedChunk),
+    /// Decode failed. Waiters re-derive their own typed error by decoding
+    /// themselves: `StoreError` holds non-`Clone` payloads (`io::Error`),
+    /// and wrapping a shared error in an `Arc` variant would change the
+    /// variant every caller pattern-matches (`CorruptChunk { .. }` etc.).
+    /// Accepted trade-off: on a *corrupt* chunk, each of the N concurrent
+    /// waiters pays one redundant fetch+CRC+decode-attempt — bounded by the
+    /// waiters present at failure time, on a path that only exists when the
+    /// store is damaged. The success path stays one decode total.
+    Failed,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// A resident entry and its recency stamp (the key into `order`).
+struct Entry {
+    chunk: DecodedChunk,
+    stamp: u64,
+}
+
+/// Mutex-guarded cache state.
+struct CacheState {
+    /// Resident chunks.
+    entries: HashMap<Key, Entry>,
+    /// Recency order: stamp → key, oldest first. Kept in lockstep with
+    /// `entries` (every entry's `stamp` is a key in `order` and vice versa).
+    order: BTreeMap<u64, Key>,
+    /// Next recency stamp.
+    clock: u64,
+    /// Sum of resident `DecodedChunk::resident_bytes`.
+    resident: usize,
+    /// High-water mark of `resident`.
+    peak: usize,
+    /// Decodes currently running, by chunk.
+    inflight: HashMap<Key, Arc<Flight>>,
+}
+
+impl CacheState {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Moves `key`'s entry to most-recently-used and returns a clone.
+    fn touch(&mut self, key: Key) -> Option<DecodedChunk> {
+        let stamp = self.tick();
+        let e = self.entries.get_mut(&key)?;
+        let old = std::mem::replace(&mut e.stamp, stamp);
+        let chunk = e.chunk.clone();
+        self.order.remove(&old);
+        self.order.insert(stamp, key);
+        Some(chunk)
+    }
+}
+
+/// The cache proper. All methods take `&self`; the type is `Send + Sync`.
+pub(crate) struct ChunkCache {
+    budget: usize,
+    state: Mutex<CacheState>,
+    counters: Counters,
+}
+
+impl ChunkCache {
+    pub(crate) fn new(budget: usize) -> Self {
+        ChunkCache {
+            budget,
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                order: BTreeMap::new(),
+                clock: 0,
+                resident: 0,
+                peak: 0,
+                inflight: HashMap::new(),
+            }),
+            counters: Counters::default(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.state.lock().expect("chunk cache lock poisoned")
+    }
+
+    /// Returns `key`'s chunk, decoding at most once across all concurrent
+    /// callers: the first requester of a non-resident chunk decodes it
+    /// through `reader` while later requesters wait on the shared flight and
+    /// clone its result.
+    pub(crate) fn get_or_decode(
+        &self,
+        reader: &StoreReader,
+        level: usize,
+        block: usize,
+    ) -> Result<DecodedChunk, StoreError> {
+        let key = (level, block);
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let joined = {
+            let mut st = self.lock();
+            if let Some(chunk) = st.touch(key) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(chunk);
+            }
+            match st.inflight.get(&key) {
+                Some(f) => Some(Arc::clone(f)),
+                None => {
+                    st.inflight.insert(key, Arc::new(Flight::new()));
+                    None
+                }
+            }
+        };
+
+        match joined {
+            Some(flight) => {
+                // Follower: park until the leader publishes.
+                let mut fs = flight.state.lock().expect("flight lock poisoned");
+                while matches!(*fs, FlightState::Pending) {
+                    fs = flight.cv.wait(fs).expect("flight lock poisoned");
+                }
+                match &*fs {
+                    FlightState::Done(chunk) => {
+                        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.shared.fetch_add(1, Ordering::Relaxed);
+                        Ok(chunk.clone())
+                    }
+                    FlightState::Failed => {
+                        drop(fs);
+                        // Re-derive the precise typed error for this caller.
+                        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                        reader.decode_chunk(level, block)
+                    }
+                    FlightState::Pending => unreachable!("loop exits only on completion"),
+                }
+            }
+            None => {
+                // Leader: decode outside every lock, then publish. The
+                // publish runs from a drop guard so it happens on *every*
+                // exit path — in particular, if the decode panics (a codec
+                // bug; typed failures return `Err`), the unwind still clears
+                // the in-flight slot and flips the flight to `Failed`
+                // instead of leaving every present and future requester of
+                // this chunk parked on a `Pending` flight forever.
+                struct Publish<'a> {
+                    cache: &'a ChunkCache,
+                    key: Key,
+                    /// `Some` once the decode succeeded; `None` means the
+                    /// decode failed or panicked.
+                    outcome: Option<DecodedChunk>,
+                }
+                impl Drop for Publish<'_> {
+                    fn drop(&mut self) {
+                        let flight = {
+                            let mut st = self.cache.lock();
+                            let flight = st
+                                .inflight
+                                .remove(&self.key)
+                                .expect("leader's flight is registered");
+                            if let Some(chunk) = &self.outcome {
+                                self.cache.insert(&mut st, self.key, chunk.clone());
+                            }
+                            flight
+                        };
+                        let mut fs = flight.state.lock().expect("flight lock poisoned");
+                        *fs = match self.outcome.take() {
+                            Some(chunk) => FlightState::Done(chunk),
+                            None => FlightState::Failed,
+                        };
+                        drop(fs);
+                        flight.cv.notify_all();
+                    }
+                }
+                let mut publish = Publish {
+                    cache: self,
+                    key,
+                    outcome: None,
+                };
+                let res = reader.decode_chunk(level, block);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                if let Ok(chunk) = &res {
+                    publish.outcome = Some(chunk.clone());
+                }
+                drop(publish);
+                res
+            }
+        }
+    }
+
+    /// Bulk hit probe: one lock acquisition for the whole index list,
+    /// returning the resident chunks and `None` for the rest. Only the hits
+    /// are counted here — the caller resolves the `None`s through
+    /// [`ChunkCache::get_or_decode`], which does its own accounting.
+    pub(crate) fn get_resident(
+        &self,
+        level: usize,
+        indices: &[usize],
+    ) -> Vec<Option<DecodedChunk>> {
+        let mut st = self.lock();
+        let out: Vec<Option<DecodedChunk>> =
+            indices.iter().map(|&i| st.touch((level, i))).collect();
+        drop(st);
+        let hits = out.iter().filter(|o| o.is_some()).count() as u64;
+        self.counters.requests.fetch_add(hits, Ordering::Relaxed);
+        self.counters.hits.fetch_add(hits, Ordering::Relaxed);
+        out
+    }
+
+    /// Inserts under the held lock, evicting LRU entries first so that
+    /// `resident` never exceeds the budget at any instant. Chunks larger
+    /// than the whole budget are served but never cached (budget 0 therefore
+    /// caches nothing while single-flight keeps working).
+    fn insert(&self, st: &mut CacheState, key: Key, chunk: DecodedChunk) {
+        let bytes = chunk.resident_bytes();
+        if bytes > self.budget {
+            return;
+        }
+        while st.resident + bytes > self.budget {
+            let (&stamp, &victim) = st
+                .order
+                .iter()
+                .next()
+                .expect("over budget implies a resident entry");
+            st.order.remove(&stamp);
+            let evicted = st
+                .entries
+                .remove(&victim)
+                .expect("order and entries stay in lockstep");
+            st.resident -= evicted.chunk.resident_bytes();
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let stamp = st.tick();
+        st.order.insert(stamp, key);
+        let prev = st.entries.insert(key, Entry { chunk, stamp });
+        debug_assert!(prev.is_none(), "single-flight admits one leader per key");
+        st.resident += bytes;
+        st.peak = st.peak.max(st.resident);
+    }
+
+    /// Point-in-time stats snapshot.
+    pub(crate) fn stats(&self) -> CacheStats {
+        let (resident, peak) = {
+            let st = self.lock();
+            (st.resident as u64, st.peak as u64)
+        };
+        CacheStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            shared: self.counters.shared.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            resident_bytes: resident,
+            peak_resident_bytes: peak,
+            budget_bytes: self.budget as u64,
+        }
+    }
+
+    /// Zeroes the counters and restarts the high-water mark from the current
+    /// residency. Cache contents are untouched.
+    pub(crate) fn reset_stats(&self) {
+        let mut st = self.lock();
+        st.peak = st.resident;
+        for c in [
+            &self.counters.requests,
+            &self.counters.hits,
+            &self.counters.shared,
+            &self.counters.misses,
+            &self.counters.evictions,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every resident entry (counters and peak are kept).
+    pub(crate) fn clear(&self) {
+        let mut st = self.lock();
+        st.entries.clear();
+        st.order.clear();
+        st.resident = 0;
+    }
+}

@@ -1,0 +1,442 @@
+//! `hqmr-serve` — the concurrent serving layer over a block-indexed store.
+//!
+//! A [`StoreReader`] gives random access to a compressed multi-resolution
+//! container, but every query re-fetches and re-decodes its chunks from
+//! scratch. Interactive visualization traffic does the opposite of touching
+//! each chunk once: many clients pan and zoom over the *same* hot regions,
+//! and a chunk decoded for one ROI is needed again milliseconds later by the
+//! next. [`StoreServer`] is the layer in between — a `Send + Sync` server
+//! wrapping an `Arc<StoreReader>` with:
+//!
+//! * a **decoded-chunk LRU cache** keyed by `(level, chunk)` under a
+//!   configurable byte budget — chunk payloads are shared `Arc<[f32]>`
+//!   slabs, so a cache hit is a refcount bump, not a copy;
+//! * **single-flight decode**: concurrent requests for the same non-resident
+//!   chunk decode it once; the first requester runs the codec while the rest
+//!   wait on the shared flight and clone its result;
+//! * a **batched query planner** ([`StoreServer::serve_batch`]): a set of
+//!   level/ROI/isovalue requests is planned as the *union* of needed chunks,
+//!   misses decode in parallel through the rayon shim, and every response is
+//!   assembled from the shared decoded set — overlapping requests in one
+//!   batch never decode a chunk twice, whatever the cache budget;
+//! * [`CacheStats`] — hits / misses / shared waits / evictions / resident
+//!   bytes, alongside the reader's existing `bytes_decoded` accounting.
+//!
+//! Every read method returns results byte-identical to the bare
+//! [`StoreReader`]: both funnel through the provider-generic assembly in
+//! [`hqmr_store::read`], and the differential property suite in
+//! `tests/serve_props.rs` pins the equivalence across every backend,
+//! arrangement and budget (including 0 and unbounded).
+
+mod cache;
+
+pub use cache::CacheStats;
+
+use cache::Key;
+use hqmr_grid::Field3;
+use hqmr_mr::{LevelData, MultiResData, Upsample};
+use hqmr_store::read::{self, ChunkSource};
+use hqmr_store::{DecodedChunk, Progressive, StoreError, StoreMeta, StoreReader};
+use rayon::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+// Compile-time thread-safety contract: the whole point of the server is to
+// be shared across client threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StoreServer>();
+    assert_send_sync::<CacheStats>();
+};
+
+/// Cache budget meaning "never evict" ([`StoreServer::unbounded`]).
+pub const UNBOUNDED: usize = usize::MAX;
+
+/// One client request in a batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// One whole resolution level.
+    Level {
+        /// Level index (refinement distance, 0 = finest).
+        level: usize,
+    },
+    /// An axis-aligned box `[lo, hi)` of one level, uncovered cells filled
+    /// with `fill`.
+    Roi {
+        /// Level index.
+        level: usize,
+        /// Low corner, level cell coordinates.
+        lo: [usize; 3],
+        /// High corner (exclusive).
+        hi: [usize; 3],
+        /// Fill value for cells no unit block covers.
+        fill: f32,
+    },
+    /// One level under isovalue chunk-skipping.
+    Iso {
+        /// Level index.
+        level: usize,
+        /// The isovalue.
+        iso: f32,
+    },
+}
+
+/// The response to one [`Query`], same order as the request slice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Query::Level`].
+    Level(LevelData),
+    /// Answer to [`Query::Roi`].
+    Roi(Field3),
+    /// Answer to [`Query::Iso`].
+    Iso(LevelData),
+}
+
+/// A `Send + Sync` serving layer over one shared [`StoreReader`].
+///
+/// All methods take `&self`; clone the `Arc<StoreServer>` (or borrow across
+/// `std::thread::scope`) into as many client threads as needed. Results are
+/// byte-identical to the bare reader's at every cache budget.
+pub struct StoreServer {
+    reader: Arc<StoreReader>,
+    cache: cache::ChunkCache,
+}
+
+impl StoreServer {
+    /// Wraps `reader` with a decoded-chunk cache of at most `cache_budget`
+    /// bytes (decoded payload footprint). A budget of `0` disables caching
+    /// entirely — reads stay correct and single-flight still deduplicates
+    /// concurrent decodes; [`UNBOUNDED`] never evicts.
+    pub fn new(reader: Arc<StoreReader>, cache_budget: usize) -> Self {
+        StoreServer {
+            reader,
+            cache: cache::ChunkCache::new(cache_budget),
+        }
+    }
+
+    /// [`StoreServer::new`] with an unbounded budget.
+    pub fn unbounded(reader: Arc<StoreReader>) -> Self {
+        Self::new(reader, UNBOUNDED)
+    }
+
+    /// The wrapped reader (e.g. for its `bytes_decoded` accounting).
+    pub fn reader(&self) -> &StoreReader {
+        &self.reader
+    }
+
+    /// The store's directory.
+    pub fn meta(&self) -> &StoreMeta {
+        self.reader.meta()
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Zeroes the cache counters and restarts the high-water mark from the
+    /// current residency; resident chunks are kept.
+    pub fn reset_stats(&self) {
+        self.cache.reset_stats();
+    }
+
+    /// Drops every resident chunk (a cold cache without rebuilding the
+    /// server). Counters are kept.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Reads one whole resolution level through the cache.
+    pub fn read_level(&self, level: usize) -> Result<LevelData, StoreError> {
+        read::read_level(self, level)
+    }
+
+    /// Reads every level through the cache.
+    pub fn read_all(&self) -> Result<MultiResData, StoreError> {
+        read::read_all(self)
+    }
+
+    /// Reads the axis-aligned box `[lo, hi)` of one level through the cache;
+    /// equals [`StoreReader::read_roi`] byte-for-byte.
+    pub fn read_roi(
+        &self,
+        level: usize,
+        lo: [usize; 3],
+        hi: [usize; 3],
+        fill: f32,
+    ) -> Result<Field3, StoreError> {
+        read::read_roi(self, level, lo, hi, fill)
+    }
+
+    /// Reads one level under isovalue chunk-skipping through the cache;
+    /// equals [`StoreReader::read_level_iso`] byte-for-byte.
+    pub fn read_level_iso(&self, level: usize, iso: f32) -> Result<LevelData, StoreError> {
+        read::read_level_iso(self, level, iso)
+    }
+
+    /// Coarse→fine progressive refinement through the cache.
+    pub fn progressive(&self, scheme: Upsample) -> Progressive<'_, Self> {
+        read::progressive(self, scheme)
+    }
+
+    /// The set of `(level, chunk)` pairs a batch of queries needs — the
+    /// union across requests, each chunk exactly once.
+    pub fn plan(&self, queries: &[Query]) -> Result<BTreeSet<(usize, usize)>, StoreError> {
+        let meta = self.meta();
+        let mut need: BTreeSet<Key> = BTreeSet::new();
+        for q in queries {
+            match *q {
+                Query::Level { level } => {
+                    let lm = meta
+                        .levels
+                        .get(level)
+                        .ok_or(StoreError::NoSuchLevel(level))?;
+                    need.extend((0..lm.chunks.len()).map(|i| (level, i)));
+                }
+                Query::Roi { level, lo, hi, .. } => {
+                    need.extend(
+                        read::roi_chunk_indices(meta, level, lo, hi)?
+                            .into_iter()
+                            .map(|i| (level, i)),
+                    );
+                }
+                Query::Iso { level, iso } => {
+                    need.extend(
+                        read::iso_chunk_indices(meta, level, iso)?
+                            .into_iter()
+                            .map(|i| (level, i)),
+                    );
+                }
+            }
+        }
+        Ok(need)
+    }
+
+    /// Serves a batch of queries: plans the union of needed chunks, decodes
+    /// the misses in parallel (each through single-flight, so a concurrent
+    /// batch on another thread still shares the work), then assembles every
+    /// response from the shared decoded set. Overlapping queries in one
+    /// batch touch each chunk once even at cache budget 0. Responses are in
+    /// request order and byte-identical to issuing each query alone.
+    pub fn serve_batch(&self, queries: &[Query]) -> Result<Vec<Response>, StoreError> {
+        let keys: Vec<Key> = self.plan(queries)?.into_iter().collect();
+        let fetched: Vec<Result<DecodedChunk, StoreError>> = keys
+            .par_iter()
+            .map(|&(level, block)| self.chunk(level, block))
+            .collect();
+        let mut chunks: HashMap<Key, DecodedChunk> = HashMap::with_capacity(keys.len());
+        for (key, res) in keys.into_iter().zip(fetched) {
+            chunks.insert(key, res?);
+        }
+        // Assembly pulls from the batch's own decoded set, so the responses
+        // are immune to evictions happening underneath (budget 0 included).
+        let view = BatchView {
+            server: self,
+            chunks,
+        };
+        queries
+            .iter()
+            .map(|q| match *q {
+                Query::Level { level } => read::read_level(&view, level).map(Response::Level),
+                Query::Roi {
+                    level,
+                    lo,
+                    hi,
+                    fill,
+                } => read::read_roi(&view, level, lo, hi, fill).map(Response::Roi),
+                Query::Iso { level, iso } => {
+                    read::read_level_iso(&view, level, iso).map(Response::Iso)
+                }
+            })
+            .collect()
+    }
+}
+
+impl ChunkSource for StoreServer {
+    fn store_meta(&self) -> &StoreMeta {
+        self.reader.meta()
+    }
+
+    fn chunk(&self, level: usize, block: usize) -> Result<DecodedChunk, StoreError> {
+        self.cache.get_or_decode(&self.reader, level, block)
+    }
+
+    /// Bulk override: one lock acquisition harvests every resident chunk,
+    /// then only the misses go through the (parallel) single-flight decode
+    /// path — a warm read never pays per-chunk locking or thread fan-out.
+    fn chunks(&self, level: usize, indices: &[usize]) -> Result<Vec<DecodedChunk>, StoreError> {
+        let mut out = self.cache.get_resident(level, indices);
+        let missing: Vec<(usize, usize)> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(pos, _)| (pos, indices[pos]))
+            .collect();
+        if missing.is_empty() {
+            return Ok(out.into_iter().map(|c| c.expect("all resident")).collect());
+        }
+        let decoded: Vec<Result<DecodedChunk, StoreError>> = missing
+            .par_iter()
+            .map(|&(_, block)| self.chunk(level, block))
+            .collect();
+        for ((pos, _), res) in missing.into_iter().zip(decoded) {
+            out[pos] = Some(res?);
+        }
+        Ok(out
+            .into_iter()
+            .map(|c| c.expect("misses just filled"))
+            .collect())
+    }
+}
+
+/// One batch's decoded chunk set, viewed as a [`ChunkSource`] for assembly.
+/// Falls back to the server for anything outside the plan (which only
+/// happens if a query slips past [`StoreServer::plan`] — correctness never
+/// depends on the plan being complete).
+struct BatchView<'a> {
+    server: &'a StoreServer,
+    chunks: HashMap<Key, DecodedChunk>,
+}
+
+impl ChunkSource for BatchView<'_> {
+    fn store_meta(&self) -> &StoreMeta {
+        self.server.meta()
+    }
+
+    fn chunk(&self, level: usize, block: usize) -> Result<DecodedChunk, StoreError> {
+        match self.chunks.get(&(level, block)) {
+            Some(c) => Ok(c.clone()),
+            None => self.server.chunk(level, block),
+        }
+    }
+
+    /// Assembly from an in-memory map: plain serial lookups, no fan-out.
+    fn chunks(&self, level: usize, indices: &[usize]) -> Result<Vec<DecodedChunk>, StoreError> {
+        indices.iter().map(|&i| self.chunk(level, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqmr_grid::synth;
+    use hqmr_mr::{to_adaptive, RoiConfig};
+    use hqmr_store::{write_store, StoreConfig};
+    use hqmr_sz3::Sz3Codec;
+
+    fn test_server(budget: usize) -> StoreServer {
+        let f = synth::nyx_like(32, 77);
+        let mr = to_adaptive(&f, &RoiConfig::new(8, 0.5));
+        let buf = write_store(
+            &mr,
+            &StoreConfig::new(1e6).with_chunk_blocks(2),
+            &Sz3Codec::default(),
+        );
+        StoreServer::new(Arc::new(StoreReader::from_bytes(buf).unwrap()), budget)
+    }
+
+    #[test]
+    fn warm_reads_hit_the_cache() {
+        let s = test_server(UNBOUNDED);
+        let cold = s.read_level(0).unwrap();
+        let st = s.stats();
+        assert_eq!(st.hits, 0);
+        assert_eq!(st.misses, st.requests);
+        assert!(st.resident_bytes > 0);
+        let warm = s.read_level(0).unwrap();
+        assert_eq!(cold, warm);
+        let st = s.stats();
+        assert_eq!(st.hits, st.misses, "second pass is all hits");
+        assert_eq!(st.requests, st.hits + st.misses);
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing_but_serves_correctly() {
+        let s = test_server(0);
+        let a = s.read_level(0).unwrap();
+        let b = s.read_level(0).unwrap();
+        assert_eq!(a, b);
+        let st = s.stats();
+        assert_eq!(st.resident_bytes, 0);
+        assert_eq!(st.peak_resident_bytes, 0);
+        assert_eq!(st.hits, 0, "nothing resident to hit");
+        assert_eq!(st.requests, st.misses);
+    }
+
+    #[test]
+    fn tiny_budget_evicts_but_never_exceeds() {
+        let budget = 64 * 1024;
+        let s = test_server(budget);
+        for _ in 0..3 {
+            s.read_all().unwrap();
+        }
+        let st = s.stats();
+        assert!(st.evictions > 0, "a 64 KiB budget must evict at 32^3");
+        assert!(st.peak_resident_bytes <= budget as u64);
+        assert_eq!(st.requests, st.hits + st.misses);
+    }
+
+    #[test]
+    fn batch_reuses_overlapping_chunks() {
+        let s = test_server(0); // even without a cache, a batch decodes once
+        let d = s.meta().levels[0].dims;
+        let queries = [
+            Query::Level { level: 0 },
+            Query::Roi {
+                level: 0,
+                lo: [0, 0, 0],
+                hi: [d.nx, d.ny, d.nz],
+                fill: 0.0,
+            },
+            Query::Roi {
+                level: 0,
+                lo: [0, 0, 0],
+                hi: [d.nx / 2, d.ny, d.nz],
+                fill: 0.0,
+            },
+        ];
+        let total = s.meta().levels[0].chunks.len() as u64;
+        let responses = s.serve_batch(&queries).unwrap();
+        let st = s.stats();
+        assert_eq!(
+            st.misses, total,
+            "three overlapping fine-level queries decode each chunk once"
+        );
+        // Responses equal the individual reads.
+        let oracle = s.reader();
+        match &responses[0] {
+            Response::Level(l) => assert_eq!(*l, oracle.read_level(0).unwrap()),
+            other => panic!("wrong response kind: {other:?}"),
+        }
+        match &responses[1] {
+            Response::Roi(f) => {
+                assert_eq!(
+                    *f,
+                    oracle
+                        .read_roi(0, [0, 0, 0], [d.nx, d.ny, d.nz], 0.0)
+                        .unwrap()
+                )
+            }
+            other => panic!("wrong response kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_propagates_typed_errors() {
+        let s = test_server(UNBOUNDED);
+        let err = s
+            .serve_batch(&[Query::Level { level: 99 }])
+            .expect_err("no such level");
+        assert!(matches!(err, StoreError::NoSuchLevel(99)));
+        let d = s.meta().levels[0].dims;
+        let err = s
+            .serve_batch(&[Query::Roi {
+                level: 0,
+                lo: [0, 0, 0],
+                hi: [d.nx + 1, d.ny, d.nz],
+                fill: 0.0,
+            }])
+            .expect_err("roi out of bounds");
+        assert!(matches!(err, StoreError::RoiOutOfBounds));
+    }
+}

@@ -1,0 +1,304 @@
+//! Differential property suite: every `StoreServer` read is byte-identical
+//! to the bare `StoreReader` result — across all 4 codec backends × all 4
+//! arrangements × cache budgets 0, tiny (evicting) and unbounded — and the
+//! store's own invariants (ROI == crop of full read) survive the cache.
+
+use hqmr_codec::{Codec, NullCodec};
+use hqmr_grid::{synth, Dims3};
+use hqmr_mr::{to_adaptive, MergeStrategy, MultiResData, PadKind, RoiConfig, Upsample};
+use hqmr_serve::{Query, Response, StoreServer, UNBOUNDED};
+use hqmr_store::{write_store, StoreConfig, StoreReader};
+use hqmr_sz2::Sz2Codec;
+use hqmr_sz3::Sz3Codec;
+use hqmr_zfp::ZfpCodec;
+use std::sync::Arc;
+
+/// Every registered backend, decodable from a store without configuration.
+fn all_codecs() -> Vec<Box<dyn Codec>> {
+    vec![
+        Box::new(Sz3Codec::default()),
+        Box::new(Sz2Codec::MULTIRES),
+        Box::new(ZfpCodec),
+        Box::new(NullCodec),
+    ]
+}
+
+/// The four unit-block arrangements of the workflow's compressor matrix.
+fn all_arrangements() -> [(&'static str, MergeStrategy, Option<PadKind>); 4] {
+    [
+        ("ours", MergeStrategy::Linear, Some(PadKind::Linear)),
+        ("baseline", MergeStrategy::Linear, None),
+        ("amric", MergeStrategy::Stack, None),
+        ("tac", MergeStrategy::Tac, None),
+    ]
+}
+
+/// Budgets covering the three regimes: no caching, constant eviction
+/// pressure, never evicting.
+const BUDGETS: [usize; 3] = [0, 32 * 1024, UNBOUNDED];
+
+fn test_mr(seed: u64) -> MultiResData {
+    let f = synth::nyx_like(32, seed);
+    to_adaptive(&f, &RoiConfig::new(8, 0.5))
+}
+
+fn eb() -> f64 {
+    1e6 // nyx-scale values ~1e8
+}
+
+/// Exhaustive read-path equivalence over the full backend × arrangement ×
+/// budget matrix on one random field per (backend, arrangement) cell.
+#[test]
+fn server_reads_equal_bare_reader_across_matrix() {
+    for (ci, codec) in all_codecs().iter().enumerate() {
+        for (ai, (arr, merge, pad)) in all_arrangements().into_iter().enumerate() {
+            let mr = test_mr(100 + (ci * 4 + ai) as u64);
+            let cfg = StoreConfig {
+                eb: eb(),
+                merge,
+                pad,
+                chunk_blocks: 3,
+            };
+            let buf = write_store(&mr, &cfg, codec.as_ref());
+            let oracle = StoreReader::from_bytes(buf.clone()).unwrap();
+            for budget in BUDGETS {
+                let ctx = format!("{} × {arr}, budget {budget}", codec.name());
+                let server = StoreServer::new(
+                    Arc::new(StoreReader::from_bytes(buf.clone()).unwrap()),
+                    budget,
+                );
+                // Two passes: cold (misses) and warm (hits / evict-churn)
+                // must both equal the oracle bit-for-bit.
+                for pass in ["cold", "warm"] {
+                    for level in 0..oracle.meta().levels.len() {
+                        assert_eq!(
+                            server.read_level(level).unwrap(),
+                            oracle.read_level(level).unwrap(),
+                            "read_level {ctx} {pass}"
+                        );
+                        let d = oracle.meta().levels[level].dims;
+                        if d.is_empty() {
+                            continue;
+                        }
+                        let boxes = [
+                            ([0, 0, 0], [d.nx, d.ny, d.nz]),
+                            (
+                                [0, 0, 0],
+                                [1.max(d.nx / 2), 1.max(d.ny / 2), 1.max(d.nz / 3)],
+                            ),
+                            ([d.nx / 3, d.ny / 4, d.nz / 2], [d.nx, d.ny, d.nz]),
+                        ];
+                        for (lo, hi) in boxes {
+                            assert_eq!(
+                                server.read_roi(level, lo, hi, -7.0).unwrap(),
+                                oracle.read_roi(level, lo, hi, -7.0).unwrap(),
+                                "read_roi {ctx} {pass} {lo:?}..{hi:?}"
+                            );
+                        }
+                        for iso in [0.0f32, 1e8, 5e8] {
+                            assert_eq!(
+                                server.read_level_iso(level, iso).unwrap(),
+                                oracle.read_level_iso(level, iso).unwrap(),
+                                "read_level_iso {ctx} {pass} iso={iso}"
+                            );
+                        }
+                    }
+                    assert_eq!(
+                        server.read_all().unwrap(),
+                        oracle.read_all().unwrap(),
+                        "read_all {ctx} {pass}"
+                    );
+                }
+                // Whatever the budget did, it never overshot.
+                let st = server.stats();
+                assert!(
+                    st.peak_resident_bytes <= budget as u64,
+                    "budget exceeded: {ctx}: {} > {budget}",
+                    st.peak_resident_bytes
+                );
+                assert_eq!(st.requests, st.hits + st.misses, "{ctx}");
+            }
+        }
+    }
+}
+
+/// ROI == crop of the full read, with the crop coming from the *cached*
+/// level read and the ROI from a separately budgeted server (and vice
+/// versa) — the store invariant must hold through any cache interleaving.
+#[test]
+fn roi_equals_crop_through_the_cache() {
+    let mr = test_mr(7);
+    let buf = write_store(
+        &mr,
+        &StoreConfig::new(eb()).with_chunk_blocks(2),
+        &Sz3Codec::default(),
+    );
+    for budget in BUDGETS {
+        let server = StoreServer::new(
+            Arc::new(StoreReader::from_bytes(buf.clone()).unwrap()),
+            budget,
+        );
+        for level in 0..server.meta().levels.len() {
+            let full = server.read_level(level).unwrap().to_field(-7.0);
+            let d = full.dims();
+            let boxes = [
+                ([0, 0, 0], [d.nx, d.ny, 1.max(d.nz / 2)]),
+                ([d.nx / 4, 0, d.nz / 3], [d.nx, d.ny / 2 + 1, d.nz]),
+            ];
+            for (lo, hi) in boxes {
+                let roi = server.read_roi(level, lo, hi, -7.0).unwrap();
+                let crop =
+                    full.extract_box(lo, Dims3::new(hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]));
+                assert_eq!(roi, crop, "L{level} {lo:?}..{hi:?} budget {budget}");
+            }
+        }
+    }
+}
+
+/// Progressive refinement through the cache matches the bare reader step by
+/// step, and its final step is the full reconstruction, at every budget.
+#[test]
+fn progressive_through_cache_matches_bare_reader() {
+    let mr = test_mr(13);
+    let buf = write_store(
+        &mr,
+        &StoreConfig::new(eb()).with_chunk_blocks(4),
+        &NullCodec,
+    );
+    let oracle = StoreReader::from_bytes(buf.clone()).unwrap();
+    for budget in BUDGETS {
+        let server = StoreServer::new(
+            Arc::new(StoreReader::from_bytes(buf.clone()).unwrap()),
+            budget,
+        );
+        for scheme in [Upsample::Nearest, Upsample::Trilinear] {
+            let a: Vec<_> = server
+                .progressive(scheme)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            let b: Vec<_> = oracle
+                .progressive(scheme)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.level, y.level, "budget {budget}");
+                assert_eq!(x.field, y.field, "L{} budget {budget}", x.level);
+            }
+            let full = oracle.read_all().unwrap().reconstruct(scheme);
+            assert_eq!(a.last().unwrap().field, full, "budget {budget}");
+        }
+    }
+}
+
+/// Batched responses equal the corresponding individual reads on the bare
+/// reader, at every budget, for a mix of overlapping queries.
+#[test]
+fn batch_responses_equal_individual_reads() {
+    let mr = test_mr(23);
+    let buf = write_store(
+        &mr,
+        &StoreConfig::new(eb()).with_chunk_blocks(2),
+        &Sz2Codec::MULTIRES,
+    );
+    let oracle = StoreReader::from_bytes(buf.clone()).unwrap();
+    let d = oracle.meta().levels[0].dims;
+    let queries = [
+        Query::Level { level: 1 },
+        Query::Roi {
+            level: 0,
+            lo: [0, 0, 0],
+            hi: [d.nx, d.ny / 2 + 1, d.nz],
+            fill: 3.25,
+        },
+        Query::Iso { level: 0, iso: 2e8 },
+        Query::Roi {
+            level: 0,
+            lo: [d.nx / 2, d.ny / 4, 0],
+            hi: [d.nx, d.ny, d.nz / 2 + 1],
+            fill: -1.0,
+        },
+        Query::Level { level: 0 },
+    ];
+    for budget in BUDGETS {
+        let server = StoreServer::new(
+            Arc::new(StoreReader::from_bytes(buf.clone()).unwrap()),
+            budget,
+        );
+        let responses = server.serve_batch(&queries).unwrap();
+        assert_eq!(responses.len(), queries.len());
+        for (q, r) in queries.iter().zip(&responses) {
+            match (q, r) {
+                (Query::Level { level }, Response::Level(l)) => {
+                    assert_eq!(*l, oracle.read_level(*level).unwrap(), "budget {budget}")
+                }
+                (
+                    Query::Roi {
+                        level,
+                        lo,
+                        hi,
+                        fill,
+                    },
+                    Response::Roi(f),
+                ) => assert_eq!(
+                    *f,
+                    oracle.read_roi(*level, *lo, *hi, *fill).unwrap(),
+                    "budget {budget}"
+                ),
+                (Query::Iso { level, iso }, Response::Iso(l)) => {
+                    assert_eq!(
+                        *l,
+                        oracle.read_level_iso(*level, *iso).unwrap(),
+                        "budget {budget}"
+                    )
+                }
+                (q, r) => panic!("response kind mismatch: {q:?} -> {r:?}"),
+            }
+        }
+        // The planner unions overlapping queries: the decode count for the
+        // whole batch is the union size, not the per-query sum.
+        let st = server.stats();
+        let union = server.plan(&queries).unwrap().len() as u64;
+        assert_eq!(st.misses, union, "budget {budget}");
+    }
+}
+
+/// Corruption surfaces through the server with the same typed error as the
+/// bare reader, and other chunks stay servable.
+#[test]
+fn corruption_is_typed_through_the_cache() {
+    let mr = test_mr(31);
+    let buf = write_store(
+        &mr,
+        &StoreConfig::new(eb()).with_chunk_blocks(2),
+        &NullCodec,
+    );
+    let reader = StoreReader::from_bytes(buf.clone()).unwrap();
+    let meta = reader.meta().clone();
+    let data_start = buf.len() - meta.compressed_bytes() as usize;
+    let victim = meta.levels[0].chunks.len() / 2;
+    let c = &meta.levels[0].chunks[victim];
+    let mut bad = buf;
+    bad[data_start + c.offset as usize + c.len / 2] ^= 0xFF;
+    let server = StoreServer::unbounded(Arc::new(StoreReader::from_bytes(bad).unwrap()));
+    let err = server.read_level(0).expect_err("chunk CRC must trip");
+    assert!(
+        matches!(err, hqmr_store::StoreError::CorruptChunk { level: 0, block } if block == victim),
+        "{err:?}"
+    );
+    // Failed decodes are never cached; retrying re-fails with the same type.
+    let err = server.read_level(0).expect_err("still corrupt");
+    assert!(matches!(err, hqmr_store::StoreError::CorruptChunk { .. }));
+    // The coarse level is untouched and fully servable.
+    assert_eq!(
+        server.read_level(1).unwrap(),
+        StoreReader::from_bytes(write_store(
+            &mr,
+            &StoreConfig::new(eb()).with_chunk_blocks(2),
+            &NullCodec
+        ))
+        .unwrap()
+        .read_level(1)
+        .unwrap()
+    );
+}

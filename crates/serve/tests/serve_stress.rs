@@ -1,0 +1,255 @@
+//! Multi-threaded stress: many client threads hammer one shared
+//! `StoreServer` with randomized interleaved ROI / isovalue / level /
+//! progressive queries. Every result must match a single-threaded oracle
+//! (the bare `StoreReader`), the cache byte budget must never be exceeded —
+//! not even transiently, which `peak_resident_bytes` witnesses — and the
+//! `CacheStats` ledger must stay consistent (`hits + misses == requests`).
+//!
+//! CI runs this file twice: in the debug tier-1 suite and as a dedicated
+//! `cargo test --release -p hqmr-serve` job, where the tighter timings make
+//! interleavings far more adversarial.
+
+use hqmr_grid::synth;
+use hqmr_mr::{to_adaptive, RoiConfig, Upsample};
+use hqmr_serve::{StoreServer, UNBOUNDED};
+use hqmr_store::{write_store, StoreConfig, StoreReader};
+use hqmr_sz3::Sz3Codec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 24;
+
+fn build_store(seed: u64) -> Vec<u8> {
+    let f = synth::nyx_like(32, seed);
+    let mr = to_adaptive(&f, &RoiConfig::new(8, 0.5));
+    write_store(
+        &mr,
+        &StoreConfig::new(1e6).with_chunk_blocks(2),
+        &Sz3Codec::default(),
+    )
+}
+
+/// One randomized client op, checked against the oracle in place.
+fn run_op(server: &StoreServer, oracle: &StoreReader, rng: &mut StdRng, tag: &str) {
+    let n_levels = server.meta().levels.len();
+    match rng.gen_range(0u32..10) {
+        // ROI reads dominate, like real viewer traffic.
+        0..=4 => {
+            let level = rng.gen_range(0..n_levels);
+            let d = server.meta().levels[level].dims;
+            let lo = [
+                rng.gen_range(0..d.nx),
+                rng.gen_range(0..d.ny),
+                rng.gen_range(0..d.nz),
+            ];
+            let hi = [
+                rng.gen_range(lo[0]..d.nx) + 1,
+                rng.gen_range(lo[1]..d.ny) + 1,
+                rng.gen_range(lo[2]..d.nz) + 1,
+            ];
+            assert_eq!(
+                server.read_roi(level, lo, hi, 0.5).unwrap(),
+                oracle.read_roi(level, lo, hi, 0.5).unwrap(),
+                "{tag}: roi L{level} {lo:?}..{hi:?}"
+            );
+        }
+        5..=6 => {
+            let level = rng.gen_range(0..n_levels);
+            let iso = rng.gen_range(0.0f32..6e8);
+            assert_eq!(
+                server.read_level_iso(level, iso).unwrap(),
+                oracle.read_level_iso(level, iso).unwrap(),
+                "{tag}: iso L{level} {iso}"
+            );
+        }
+        7..=8 => {
+            let level = rng.gen_range(0..n_levels);
+            assert_eq!(
+                server.read_level(level).unwrap(),
+                oracle.read_level(level).unwrap(),
+                "{tag}: level {level}"
+            );
+        }
+        _ => {
+            let steps: Vec<_> = server
+                .progressive(Upsample::Nearest)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            let expect: Vec<_> = oracle
+                .progressive(Upsample::Nearest)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(steps.len(), expect.len(), "{tag}: progressive");
+            for (a, b) in steps.iter().zip(&expect) {
+                assert_eq!(a.field, b.field, "{tag}: progressive L{}", a.level);
+            }
+        }
+    }
+}
+
+/// The stress proper, exercised at an evicting budget and at unbounded.
+fn stress_at_budget(budget: usize, seed: u64) {
+    let buf = build_store(seed);
+    let oracle = StoreReader::from_bytes(buf.clone()).unwrap();
+    let server = StoreServer::new(Arc::new(StoreReader::from_bytes(buf).unwrap()), budget);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (server, oracle, barrier) = (&server, &oracle, &barrier);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed * 1000 + t as u64);
+                barrier.wait();
+                for i in 0..OPS_PER_THREAD {
+                    run_op(server, oracle, &mut rng, &format!("t{t} op{i}"));
+                }
+            });
+        }
+    });
+    let st = server.stats();
+    assert_eq!(
+        st.requests,
+        st.hits + st.misses,
+        "ledger must balance: {st:?}"
+    );
+    assert!(st.shared <= st.hits, "shared waits are a subset of hits");
+    assert!(
+        st.peak_resident_bytes <= budget as u64,
+        "budget exceeded: {} > {budget}",
+        st.peak_resident_bytes
+    );
+    assert!(st.requests > 0);
+    if budget == UNBOUNDED {
+        // Never-evicting cache: at most one decode per chunk in the store.
+        assert_eq!(st.evictions, 0);
+        assert!(st.misses <= server.meta().chunk_count() as u64);
+    } else {
+        // The evicting budget is small enough that the workload must churn.
+        assert!(st.evictions > 0, "expected evictions at budget {budget}");
+    }
+}
+
+#[test]
+fn concurrent_clients_match_oracle_with_evicting_budget() {
+    // The whole decoded store is ~72 KiB at this scale, so 32 KiB keeps the
+    // cache under constant replacement pressure.
+    stress_at_budget(32 * 1024, 51);
+}
+
+#[test]
+fn concurrent_clients_match_oracle_with_unbounded_budget() {
+    stress_at_budget(UNBOUNDED, 52);
+}
+
+/// All clients storm the same cold chunk simultaneously: single-flight must
+/// collapse the decodes to exactly one, with everyone else hitting the
+/// shared result.
+#[test]
+fn single_flight_collapses_identical_cold_requests() {
+    let buf = build_store(53);
+    let server = StoreServer::unbounded(Arc::new(StoreReader::from_bytes(buf).unwrap()));
+    let d = server.meta().levels[0].dims;
+    let clients = 12;
+    let barrier = Barrier::new(clients);
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let (server, barrier) = (&server, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                server
+                    .read_roi(0, [0, 0, 0], [d.nx.min(8), d.ny.min(8), d.nz.min(8)], 0.0)
+                    .unwrap();
+            });
+        }
+    });
+    let st = server.stats();
+    let union = server
+        .reader()
+        .roi_chunk_indices(0, [0, 0, 0], [d.nx.min(8), d.ny.min(8), d.nz.min(8)])
+        .unwrap()
+        .len() as u64;
+    assert_eq!(
+        st.misses, union,
+        "each needed chunk decodes exactly once across {clients} clients: {st:?}"
+    );
+    assert_eq!(st.requests, union * clients as u64);
+    assert_eq!(st.hits, union * (clients as u64 - 1));
+    // The reader's byte ledger agrees: compressed bytes were paid once.
+    let once: u64 = {
+        let lm = &server.meta().levels[0];
+        server
+            .reader()
+            .roi_chunk_indices(0, [0, 0, 0], [d.nx.min(8), d.ny.min(8), d.nz.min(8)])
+            .unwrap()
+            .iter()
+            .map(|&i| lm.chunks[i].len as u64)
+            .sum()
+    };
+    assert_eq!(server.reader().bytes_decoded(), once);
+}
+
+/// Interleaved batched and direct queries across threads stay consistent:
+/// every batch response equals the oracle, under eviction pressure.
+#[test]
+fn concurrent_batches_match_oracle() {
+    use hqmr_serve::{Query, Response};
+    let buf = build_store(54);
+    let oracle = StoreReader::from_bytes(buf.clone()).unwrap();
+    let server = StoreServer::new(Arc::new(StoreReader::from_bytes(buf).unwrap()), 128 * 1024);
+    let errors = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..6 {
+            let (server, oracle, errors) = (&server, &oracle, &errors);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(5400 + t);
+                for _ in 0..8 {
+                    let d = server.meta().levels[0].dims;
+                    let lo = [
+                        rng.gen_range(0..d.nx / 2),
+                        rng.gen_range(0..d.ny / 2),
+                        rng.gen_range(0..d.nz / 2),
+                    ];
+                    let hi = [
+                        rng.gen_range(lo[0] + 1..=d.nx),
+                        rng.gen_range(lo[1] + 1..=d.ny),
+                        rng.gen_range(lo[2] + 1..=d.nz),
+                    ];
+                    let queries = [
+                        Query::Roi {
+                            level: 0,
+                            lo,
+                            hi,
+                            fill: 0.0,
+                        },
+                        Query::Iso {
+                            level: 0,
+                            iso: rng.gen_range(0.0f32..6e8),
+                        },
+                        Query::Level { level: 1 },
+                    ];
+                    let responses = server.serve_batch(&queries).unwrap();
+                    let ok = match (&responses[0], &responses[1], &responses[2]) {
+                        (Response::Roi(f), Response::Iso(i), Response::Level(l)) => {
+                            let Query::Iso { iso, .. } = queries[1] else {
+                                unreachable!()
+                            };
+                            *f == oracle.read_roi(0, lo, hi, 0.0).unwrap()
+                                && *i == oracle.read_level_iso(0, iso).unwrap()
+                                && *l == oracle.read_level(1).unwrap()
+                        }
+                        _ => false,
+                    };
+                    if !ok {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(errors.load(Ordering::Relaxed), 0);
+    let st = server.stats();
+    assert_eq!(st.requests, st.hits + st.misses);
+    assert!(st.peak_resident_bytes <= 128 * 1024);
+}

@@ -27,20 +27,35 @@
 //! Every chunk payload carries a CRC-32 checked before the codec runs, so a
 //! flipped bit surfaces as the typed
 //! [`StoreError::CorruptChunk`]`{ level, block }` instead of garbage data.
+//!
+//! # Thread safety
+//!
+//! [`StoreReader`] is `Send + Sync` by contract (enforced at compile time
+//! below) and every read method takes `&self`: one reader can serve many
+//! client threads concurrently. In-memory readers fetch chunk bytes without
+//! any locking; file-backed readers serialize the seek+read of each fetch
+//! behind a mutex while decoding still fans out. The read-accounting
+//! counters ([`StoreReader::bytes_decoded`] / [`StoreReader::chunks_decoded`])
+//! are independent monotonic tallies maintained with `Ordering::Relaxed`
+//! throughout — including [`StoreReader::reset_counters`] — because they
+//! carry no synchronization duty; see `reset_counters` for the exact
+//! cross-counter consistency contract. Caching layers (`hqmr-serve`) share a
+//! reader via `Arc<StoreReader>` and drive the borrowed per-chunk API
+//! ([`StoreReader::fetch_chunk_bytes`] / [`StoreReader::decode_chunk`])
+//! directly.
 
 pub mod format;
+pub mod read;
 
 pub use format::{
     parse_head, ChunkMeta, LevelMeta, StoreError, StoreMeta, MAGIC, PREFIX_LEN, VERSION,
 };
+pub use read::{ChunkSource, DecodedChunk, Progressive, RefinementStep};
 
 use hqmr_codec::{crc32, Codec, NullCodec, NULL_CODEC_ID};
 use hqmr_grid::{Dims3, Field3};
 use hqmr_mr::prepare::{prepare_blocks, PreparedLevel};
-use hqmr_mr::{
-    split_blocks, strip_padding, LevelData, MergeStrategy, MultiResData, PadKind, UnitBlock,
-    Upsample,
-};
+use hqmr_mr::{strip_padding, LevelData, MergeStrategy, MultiResData, PadKind, Upsample};
 use hqmr_sz2::{Sz2Codec, SZ2_CODEC_ID};
 use hqmr_sz3::{Sz3Codec, SZ3_CODEC_ID};
 use hqmr_zfp::{ZfpCodec, ZFP_CODEC_ID};
@@ -50,6 +65,17 @@ use std::cell::RefCell;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+// Compile-time thread-safety contract: `hqmr-serve` shares one reader across
+// arbitrarily many client threads through `Arc<StoreReader>`, so losing
+// `Send + Sync` (e.g. by storing an `Rc` or a raw pointer in a future
+// refactor) must fail the build, not surface as a downstream type error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StoreReader>();
+    assert_send_sync::<StoreError>();
+    assert_send_sync::<DecodedChunk>();
+};
 
 thread_local! {
     /// Per-thread chunk-decode scratch: `decompress_into` reshapes this one
@@ -324,6 +350,20 @@ impl StoreReader {
     }
 
     /// Zeroes the read-accounting counters.
+    ///
+    /// Ordering contract: both counters are plain monotonic tallies — every
+    /// load, increment and this reset use `Ordering::Relaxed`, deliberately
+    /// and consistently, because the counters never guard other memory.
+    /// Each counter is individually exact: increments from any thread are
+    /// never lost. What Relaxed (or indeed any ordering, short of locking
+    /// both counters together) does *not* give you is a consistent snapshot
+    /// **across** the two counters, or a reset that is atomic with respect
+    /// to a fetch happening on another thread — a concurrent fetch may land
+    /// its byte count before the reset and its chunk count after. Callers
+    /// that want exact accounting for a specific set of reads (as the tests
+    /// and benches do) must quiesce readers around the reset; callers that
+    /// just watch throughput can ignore the skew, which is bounded by one
+    /// in-flight fetch per thread.
     pub fn reset_counters(&self) {
         self.bytes_decoded.store(0, Ordering::Relaxed);
         self.chunks_decoded.store(0, Ordering::Relaxed);
@@ -341,8 +381,19 @@ impl StoreReader {
     /// materialize an owned buffer. Byte ranges were validated against the
     /// data region at open time, so the only runtime surprise left is a file
     /// shrinking underneath us.
-    fn fetch(&self, level: usize, block: usize) -> Result<Cow<'_, [u8]>, StoreError> {
-        let c = &self.level_meta(level)?.chunks[block];
+    ///
+    /// This is the raw half of the borrowed per-chunk API caching layers
+    /// drive; [`StoreReader::decode_chunk`] is the decoded half.
+    pub fn fetch_chunk_bytes(
+        &self,
+        level: usize,
+        block: usize,
+    ) -> Result<Cow<'_, [u8]>, StoreError> {
+        let c = self
+            .level_meta(level)?
+            .chunks
+            .get(block)
+            .ok_or(StoreError::Malformed("chunk index out of range"))?;
         let bytes: Cow<'_, [u8]> = match &self.source {
             Source::Mem(buf) => {
                 let start = (self.data_start + c.offset) as usize;
@@ -369,34 +420,14 @@ impl StoreReader {
         Ok(bytes)
     }
 
-    /// Decodes the selected chunks of one level into unit blocks. Fetching is
-    /// serial (one pass over the file); decoding fans out per chunk.
-    fn decode_chunks(&self, level: usize, indices: &[usize]) -> Result<Vec<UnitBlock>, StoreError> {
-        let lm = self.level_meta(level)?;
-        let payloads: Vec<(usize, Cow<'_, [u8]>)> = indices
-            .iter()
-            .map(|&i| Ok((i, self.fetch(level, i)?)))
-            .collect::<Result<_, StoreError>>()?;
-        let decoded: Vec<Result<Vec<UnitBlock>, StoreError>> = payloads
-            .par_iter()
-            .map(|(i, bytes)| self.decode_one(level, lm, *i, bytes))
-            .collect();
-        let mut blocks = Vec::new();
-        for r in decoded {
-            blocks.extend(r?);
-        }
-        blocks.sort_by_key(|b| b.origin);
-        Ok(blocks)
-    }
-
-    /// Decodes one CRC-verified chunk payload into its unit blocks.
+    /// Decodes one CRC-verified chunk payload into its decoded form.
     fn decode_one(
         &self,
         level: usize,
         lm: &LevelMeta,
         block: usize,
         bytes: &[u8],
-    ) -> Result<Vec<UnitBlock>, StoreError> {
+    ) -> Result<DecodedChunk, StoreError> {
         let c = &lm.chunks[block];
         let codec_err = |source| StoreError::Codec {
             level,
@@ -427,32 +458,43 @@ impl StoreReader {
                     return Err(StoreError::Malformed("chunk slot out of array bounds"));
                 }
             }
-            Ok(split_blocks(data, c.unit, &c.slots))
+            // One contiguous slab for the whole chunk: the unit a cache can
+            // share across clients with a single refcount bump.
+            let n = c.unit.pow(3);
+            let size = Dims3::cube(c.unit);
+            let mut slab = vec![0f32; c.slots.len() * n];
+            for (k, &(slot, _)) in c.slots.iter().enumerate() {
+                data.extract_box_into(slot, size, &mut slab[k * n..(k + 1) * n]);
+            }
+            Ok(DecodedChunk {
+                unit: c.unit,
+                origins: c.slots.iter().map(|&(_, origin)| origin).collect(),
+                data: slab.into(),
+            })
         })
+    }
+
+    /// Fetches, CRC-checks and decodes one chunk — the decoded half of the
+    /// borrowed per-chunk API. `hqmr-serve`'s cache calls this exactly once
+    /// per miss; the reader's own `read_*` methods funnel through it (via
+    /// [`ChunkSource`]) as well, so cached and uncached reads share one code
+    /// path. Decoding reuses a per-thread scratch field, so a client thread
+    /// issuing many chunk decodes allocates one reconstruction buffer, not
+    /// one per chunk.
+    pub fn decode_chunk(&self, level: usize, block: usize) -> Result<DecodedChunk, StoreError> {
+        let lm = self.level_meta(level)?;
+        let bytes = self.fetch_chunk_bytes(level, block)?;
+        self.decode_one(level, lm, block, &bytes)
     }
 
     /// Reads one whole resolution level.
     pub fn read_level(&self, level: usize) -> Result<LevelData, StoreError> {
-        let lm = self.level_meta(level)?;
-        let indices: Vec<usize> = (0..lm.chunks.len()).collect();
-        let blocks = self.decode_chunks(level, &indices)?;
-        Ok(LevelData {
-            level: lm.level,
-            unit: lm.unit,
-            dims: lm.dims,
-            blocks,
-        })
+        read::read_level(self, level)
     }
 
     /// Reads every level (the store equivalent of `decompress_mr`).
     pub fn read_all(&self) -> Result<MultiResData, StoreError> {
-        let levels = (0..self.meta.levels.len())
-            .map(|l| self.read_level(l))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(MultiResData {
-            domain: self.meta.domain,
-            levels,
-        })
+        read::read_all(self)
     }
 
     /// Indices of the chunks whose unit blocks intersect `[lo, hi)` (level
@@ -464,18 +506,7 @@ impl StoreReader {
         lo: [usize; 3],
         hi: [usize; 3],
     ) -> Result<Vec<usize>, StoreError> {
-        let lm = self.level_meta(level)?;
-        let d = lm.dims;
-        if hi[0] > d.nx || hi[1] > d.ny || hi[2] > d.nz || (0..3).any(|a| lo[a] >= hi[a]) {
-            return Err(StoreError::RoiOutOfBounds);
-        }
-        Ok(lm
-            .chunks
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.intersects(lo, hi))
-            .map(|(i, _)| i)
-            .collect())
+        read::roi_chunk_indices(&self.meta, level, lo, hi)
     }
 
     /// Reads the axis-aligned box `[lo, hi)` of one level, decoding only the
@@ -489,44 +520,13 @@ impl StoreReader {
         hi: [usize; 3],
         fill: f32,
     ) -> Result<Field3, StoreError> {
-        let indices = self.roi_chunk_indices(level, lo, hi)?;
-        let lm = self.level_meta(level)?;
-        let blocks = self.decode_chunks(level, &indices)?;
-        let dims = Dims3::new(hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]);
-        let mut out = Field3::new(dims, fill);
-        let u = lm.unit;
-        for b in &blocks {
-            // Clip the block to the ROI and copy the overlap.
-            let blo: [usize; 3] = std::array::from_fn(|a| b.origin[a].max(lo[a]));
-            let bhi: [usize; 3] = std::array::from_fn(|a| (b.origin[a] + u).min(hi[a]));
-            if (0..3).any(|a| blo[a] >= bhi[a]) {
-                continue;
-            }
-            let bd = Dims3::cube(u);
-            for x in blo[0]..bhi[0] {
-                for y in blo[1]..bhi[1] {
-                    for z in blo[2]..bhi[2] {
-                        let v = b.data[bd.idx(x - b.origin[0], y - b.origin[1], z - b.origin[2])];
-                        out.set(x - lo[0], y - lo[1], z - lo[2], v);
-                    }
-                }
-            }
-        }
-        Ok(out)
+        read::read_roi(self, level, lo, hi, fill)
     }
 
     /// Indices of the chunks that *may* contain a crossing of `iso`, judged
     /// from the chunk table's min/max widened by the stored error bound.
     pub fn iso_chunk_indices(&self, level: usize, iso: f32) -> Result<Vec<usize>, StoreError> {
-        let eb = self.meta.eb;
-        Ok(self
-            .level_meta(level)?
-            .chunks
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.may_cross(iso, eb))
-            .map(|(i, _)| i)
-            .collect())
+        read::iso_chunk_indices(&self.meta, level, iso)
     }
 
     /// Reads one level for an isovalue query: chunks provably on one side of
@@ -535,117 +535,39 @@ impl StoreReader {
     /// result matches a full decode — while decoding strictly fewer bytes
     /// whenever any chunk is skippable.
     pub fn read_level_iso(&self, level: usize, iso: f32) -> Result<LevelData, StoreError> {
-        let lm = self.level_meta(level)?;
-        let keep = self.iso_chunk_indices(level, iso)?;
-        let mut blocks = self.decode_chunks(level, &keep)?;
-        let kept: std::collections::HashSet<usize> = keep.into_iter().collect();
-        let u = lm.unit;
-        for (i, c) in lm.chunks.iter().enumerate() {
-            if kept.contains(&i) {
-                continue;
-            }
-            let proxy = c.proxy_value(iso);
-            blocks.extend(c.slots.iter().map(|&(_, origin)| UnitBlock {
-                origin,
-                data: vec![proxy; u.pow(3)],
-            }));
-        }
-        blocks.sort_by_key(|b| b.origin);
-        Ok(LevelData {
-            level: lm.level,
-            unit: lm.unit,
-            dims: lm.dims,
-            blocks,
-        })
+        read::read_level_iso(self, level, iso)
     }
 
     /// Coarse→fine progressive refinement. Each step decodes the next finer
     /// level and yields the cumulative dense reconstruction at full domain
     /// resolution; the last step equals `read_all().reconstruct(scheme)`.
-    pub fn progressive(&self, scheme: Upsample) -> Progressive<'_> {
-        Progressive {
-            reader: self,
-            scheme,
-            // Refinement order: coarsest (highest level index) first.
-            next: self.meta.levels.len(),
-            acc: Field3::zeros(self.meta.domain),
-        }
+    pub fn progressive(&self, scheme: Upsample) -> Progressive<'_, Self> {
+        read::progressive(self, scheme)
     }
 }
 
-/// One step of progressive refinement.
-#[derive(Debug, Clone)]
-pub struct RefinementStep {
-    /// Level index (refinement distance) decoded in this step; the remaining
-    /// finer levels are not yet part of the reconstruction.
-    pub level: usize,
-    /// Cumulative reconstruction at full domain resolution. Regions owned by
-    /// not-yet-decoded levels are still zero-filled.
-    pub field: Field3,
-}
+impl ChunkSource for StoreReader {
+    fn store_meta(&self) -> &StoreMeta {
+        &self.meta
+    }
 
-/// Iterator returned by [`StoreReader::progressive`].
-pub struct Progressive<'a> {
-    reader: &'a StoreReader,
-    scheme: Upsample,
-    /// `levels[next]` is the next level to decode, counting down to 0.
-    next: usize,
-    /// The cumulative reconstruction, refined in place: each step overlays
-    /// only the newly decoded (finer) level's upsampled blocks, so blocks
-    /// decoded in earlier steps are never copied or reconstructed again.
-    acc: Field3,
-}
+    fn chunk(&self, level: usize, block: usize) -> Result<DecodedChunk, StoreError> {
+        self.decode_chunk(level, block)
+    }
 
-impl Iterator for Progressive<'_> {
-    type Item = Result<RefinementStep, StoreError>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        if self.next == 0 {
-            return None;
-        }
-        self.next -= 1;
-        let level = self.next;
-        match self.reader.read_level(level) {
-            Ok(lvl) => {
-                // Coarse→fine order means in-place insertion matches
-                // `MultiResData::reconstruct` exactly: finer blocks land
-                // later and overwrite coarser ones.
-                let factor = 1usize << lvl.level;
-                for b in &lvl.blocks {
-                    let origin = [
-                        b.origin[0] * factor,
-                        b.origin[1] * factor,
-                        b.origin[2] * factor,
-                    ];
-                    if factor == 1 {
-                        // Finest level: no upsampling, land the block data
-                        // directly without a temporary field.
-                        self.acc
-                            .insert_box_from(origin, Dims3::cube(lvl.unit), &b.data);
-                        continue;
-                    }
-                    let mut block = Field3::from_vec(Dims3::cube(lvl.unit), b.data.clone());
-                    let mut f = factor;
-                    while f > 1 {
-                        let target = block.dims().scaled(2);
-                        block = match self.scheme {
-                            Upsample::Nearest => block.upsample2_nearest(target),
-                            Upsample::Trilinear => block.upsample2_trilinear(target),
-                        };
-                        f /= 2;
-                    }
-                    self.acc.insert_box(origin, &block);
-                }
-                Some(Ok(RefinementStep {
-                    level,
-                    field: self.acc.clone(),
-                }))
-            }
-            Err(e) => {
-                self.next = 0; // poison: no further refinement after an error
-                Some(Err(e))
-            }
-        }
+    /// Bulk override: fetching is serial (one pass over the file, friendly
+    /// to the file-backed mutex); decoding fans out per chunk.
+    fn chunks(&self, level: usize, indices: &[usize]) -> Result<Vec<DecodedChunk>, StoreError> {
+        let lm = self.level_meta(level)?;
+        let payloads: Vec<(usize, Cow<'_, [u8]>)> = indices
+            .iter()
+            .map(|&i| Ok((i, self.fetch_chunk_bytes(level, i)?)))
+            .collect::<Result<_, StoreError>>()?;
+        let decoded: Vec<Result<DecodedChunk, StoreError>> = payloads
+            .par_iter()
+            .map(|(i, bytes)| self.decode_one(level, lm, *i, bytes))
+            .collect();
+        decoded.into_iter().collect()
     }
 }
 

@@ -12,6 +12,10 @@
 //!   per-chunk compression behind the same codec boundary, serving level,
 //!   ROI, isovalue-skip, and coarse→fine progressive reads without
 //!   decompressing the rest of the file.
+//! * [`serve`] — the concurrent serving layer over a shared store reader:
+//!   a byte-budgeted decoded-chunk LRU cache with single-flight decode and
+//!   a batched query planner, for many clients hammering one container
+//!   (`examples/roi_storm.rs` is the demo).
 //! * [`grid`] — fields and synthetic dataset proxies.
 //! * [`sz2`], [`sz3`], [`zfp`] — the three from-scratch compressors.
 //! * [`mr`] — the multi-resolution data model (ROI, AMR, merges, padding).
@@ -62,6 +66,7 @@ pub use hqmr_filters as filters;
 pub use hqmr_grid as grid;
 pub use hqmr_metrics as metrics;
 pub use hqmr_mr as mr;
+pub use hqmr_serve as serve;
 pub use hqmr_store as store;
 pub use hqmr_sz2 as sz2;
 pub use hqmr_sz3 as sz3;
