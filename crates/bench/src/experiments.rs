@@ -1224,11 +1224,14 @@ pub fn serve(scale: usize) -> String {
     out
 }
 
-/// Hot-path throughput: the word-at-a-time bit-IO and table-driven Huffman
-/// coder measured against the per-bit reference implementations they
-/// replaced, on the *actual* quantization-code blocks SZ3 emits for Nyx-T1 —
-/// plus end-to-end codec throughput for context. Emits `BENCH_hotpath.json`
-/// at the workspace root so the before/after MB/s is committed evidence.
+/// Hot-path throughput: every overhauled stage measured against the
+/// reference implementation it replaced, on real Nyx-T1 inputs —
+/// word-at-a-time bit-IO and table-driven Huffman (entropy overhaul) plus
+/// the predictor/quantizer kernel rows (line-kernel SZ3 passes,
+/// interior-split SZ2 blocks, in-place/fused ZFP transform + batched
+/// bit-plane decode), a store-write throughput row, and end-to-end codec
+/// throughput for context. Emits `BENCH_hotpath.json` at the workspace root
+/// so the before/after MB/s is committed evidence.
 pub fn hotpath(scale: usize) -> String {
     use hqmr_codec::bitio;
     use hqmr_codec::{
@@ -1356,10 +1359,150 @@ pub fn hotpath(scale: usize) -> String {
     });
     records.push(("bitio_read", bit_mb / t_r_ref, bit_mb / t_r_word));
 
+    // Predictor/quantizer kernel rows: full codec compress/decompress,
+    // reference vs current, over the same prepared arrays. The entropy
+    // stage is shared between the two paths, so the delta isolates the
+    // kernel overhaul (line kernels / interior splits / fused transform).
+    let stored_mb = (mr.total_cells() * 4) as f64 / (1024.0 * 1024.0);
+    let fields: Vec<&hqmr_grid::Field3> = prepared.iter().flat_map(|p| p.fields()).collect();
+    {
+        use hqmr_sz3::Sz3Config;
+        let cfg = Sz3Config::new(eb);
+        let t_ref = best_of(reps, || {
+            fields
+                .iter()
+                .map(|f| hqmr_sz3::reference::compress(f, &cfg).bytes.len())
+                .sum::<usize>()
+        });
+        let t_cur = best_of(reps, || {
+            fields
+                .iter()
+                .map(|f| hqmr_sz3::compress(f, &cfg).bytes.len())
+                .sum::<usize>()
+        });
+        records.push(("sz3_compress_kernel", stored_mb / t_ref, stored_mb / t_cur));
+        let streams: Vec<Vec<u8>> = fields
+            .iter()
+            .map(|f| hqmr_sz3::compress(f, &cfg).bytes)
+            .collect();
+        let t_ref = best_of(reps, || {
+            streams
+                .iter()
+                .map(|b| hqmr_sz3::reference::decompress(b).unwrap().len())
+                .sum::<usize>()
+        });
+        let t_cur = best_of(reps, || {
+            streams
+                .iter()
+                .map(|b| hqmr_sz3::decompress(b).unwrap().len())
+                .sum::<usize>()
+        });
+        records.push((
+            "sz3_decompress_kernel",
+            stored_mb / t_ref,
+            stored_mb / t_cur,
+        ));
+    }
+    {
+        use hqmr_sz2::Sz2Config;
+        let cfg = Sz2Config::multires(eb);
+        let t_ref = best_of(reps, || {
+            fields
+                .iter()
+                .map(|f| hqmr_sz2::reference::compress(f, &cfg).bytes.len())
+                .sum::<usize>()
+        });
+        let t_cur = best_of(reps, || {
+            fields
+                .iter()
+                .map(|f| hqmr_sz2::compress(f, &cfg).bytes.len())
+                .sum::<usize>()
+        });
+        records.push(("sz2_compress_kernel", stored_mb / t_ref, stored_mb / t_cur));
+        let streams: Vec<Vec<u8>> = fields
+            .iter()
+            .map(|f| hqmr_sz2::compress(f, &cfg).bytes)
+            .collect();
+        let t_ref = best_of(reps, || {
+            streams
+                .iter()
+                .map(|b| hqmr_sz2::reference::decompress(b).unwrap().len())
+                .sum::<usize>()
+        });
+        let t_cur = best_of(reps, || {
+            streams
+                .iter()
+                .map(|b| hqmr_sz2::decompress(b).unwrap().len())
+                .sum::<usize>()
+        });
+        records.push((
+            "sz2_decompress_kernel",
+            stored_mb / t_ref,
+            stored_mb / t_cur,
+        ));
+    }
+    {
+        use hqmr_zfp::ZfpConfig;
+        let cfg = ZfpConfig::new(eb);
+        let t_ref = best_of(reps, || {
+            fields
+                .iter()
+                .map(|f| hqmr_zfp::reference::compress(f, &cfg).bytes.len())
+                .sum::<usize>()
+        });
+        let t_cur = best_of(reps, || {
+            fields
+                .iter()
+                .map(|f| hqmr_zfp::compress(f, &cfg).bytes.len())
+                .sum::<usize>()
+        });
+        records.push(("zfp_compress_kernel", stored_mb / t_ref, stored_mb / t_cur));
+        let streams: Vec<Vec<u8>> = fields
+            .iter()
+            .map(|f| hqmr_zfp::compress(f, &cfg).bytes)
+            .collect();
+        let t_ref = best_of(reps, || {
+            streams
+                .iter()
+                .map(|b| hqmr_zfp::reference::decompress(b).unwrap().len())
+                .sum::<usize>()
+        });
+        let t_cur = best_of(reps, || {
+            streams
+                .iter()
+                .map(|b| hqmr_zfp::decompress(b).unwrap().len())
+                .sum::<usize>()
+        });
+        records.push((
+            "zfp_decompress_kernel",
+            stored_mb / t_ref,
+            stored_mb / t_cur,
+        ));
+    }
+
+    // Store-write throughput (the production-critical in-situ direction),
+    // with the parallel full read alongside so the write/read gap is
+    // committed evidence.
+    let (store_write_mbps, store_read_mbps) = {
+        use hqmr_store::{write_store, write_store_into, StoreConfig, StoreReader};
+        let cfg = StoreConfig::new(eb).with_chunk_blocks(4);
+        let codec = hqmr_sz3::Sz3Codec::default();
+        let mut buf = Vec::new();
+        let t_w = best_of(reps, || {
+            write_store_into(mr, &cfg, &codec, &mut buf);
+            buf.len()
+        });
+        let reader = StoreReader::from_bytes(write_store(mr, &cfg, &codec)).expect("store parses");
+        let t_r = best_of(reps, || {
+            reader.read_all().expect("store decodes").levels.len()
+        });
+        (stored_mb / t_w, stored_mb / t_r)
+    };
+
     let mut out = format!(
         "Hot-path throughput — {} (scale {scale}, {:.2} MiB of quant codes, \
          {} Huffman blocks)\n\
-         stage            before(MB/s)  after(MB/s)  speedup\n",
+         stage                before(MB/s)  after(MB/s)  speedup\n",
         d.name,
         symbol_mb,
         blocks.len()
@@ -1367,22 +1510,27 @@ pub fn hotpath(scale: usize) -> String {
     for (stage, before, after) in &records {
         writeln!(
             out,
-            "{stage:16} {before:12.1} {after:12.1} {:8.2}x",
+            "{stage:20} {before:12.1} {after:12.1} {:8.2}x",
             after / before
         )
         .unwrap();
     }
+    writeln!(
+        out,
+        "\nstore write (sz3, 4-block chunks): {store_write_mbps:8.1} MB/s \
+         (full parallel read: {store_read_mbps:.1} MB/s)"
+    )
+    .unwrap();
 
     // End-to-end codec throughput on the same data (context: the entropy
     // stage is one term of the full pipeline).
-    let stored_mb = (mr.total_cells() * 4) as f64 / (1024.0 * 1024.0);
     writeln!(out, "\nend-to-end (paper arrangement, rel_eb 1e-3):").unwrap();
     let mut e2e: Vec<(&str, f64, f64)> = Vec::new();
     for backend in [Backend::SZ3, Backend::SZ2, Backend::ZFP] {
         let cfg = MrcConfig::ours_pad(eb).with_backend(backend);
-        let t_c = best_of(3, || compress_mr(mr, &cfg).0.len());
+        let t_c = best_of(5, || compress_mr(mr, &cfg).0.len());
         let bytes = compress_mr(mr, &cfg).0;
-        let t_d = best_of(3, || decompress_mr(&bytes).unwrap().levels.len());
+        let t_d = best_of(5, || decompress_mr(&bytes).unwrap().levels.len());
         writeln!(
             out,
             "{:7} compress {:8.1} MB/s   decompress {:8.1} MB/s",
@@ -1414,7 +1562,14 @@ pub fn hotpath(scale: usize) -> String {
         )
         .unwrap();
     }
-    json.push_str("\n  ],\n  \"end_to_end\": [\n");
+    json.push_str("\n  ],\n");
+    writeln!(
+        json,
+        "  \"store_write\": {{\"backend\": \"sz3\", \"chunk_blocks\": 4, \
+         \"write_MBps\": {store_write_mbps:.1}, \"full_read_MBps\": {store_read_mbps:.1}}},"
+    )
+    .unwrap();
+    json.push_str("  \"end_to_end\": [\n");
     for (i, (name, comp, dec)) in e2e.iter().enumerate() {
         if i > 0 {
             json.push_str(",\n");

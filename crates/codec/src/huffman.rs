@@ -20,6 +20,7 @@
 use crate::bitio::{reference, BitReader, BitWriter};
 use crate::codec::CodecError;
 use crate::varint::{read_uvarint, write_uvarint};
+use std::cell::RefCell;
 
 /// Maximum admitted code length. Length-limiting keeps decode tables sane even
 /// for adversarial frequency skews.
@@ -37,21 +38,94 @@ const TABLE_BITS: u32 = 11;
 /// frequency table.
 const MAX_ALPHABET: usize = 1 << 26;
 
-/// Builds Huffman code lengths from symbol frequencies (freqs[i] = count of
-/// symbol i). Zero-frequency symbols get length 0 (absent).
-fn build_lengths(freqs: &[u64]) -> Vec<u8> {
-    let present: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
-    let mut lengths = vec![0u8; freqs.len()];
-    match present.len() {
+thread_local! {
+    /// Reusable per-symbol frequency table for [`histogram`]. Sized to the
+    /// largest alphabet this thread has seen (capped at [`SCRATCH_CAP`]) and
+    /// re-zeroed entry-by-entry after each use, so per-block encodes pay
+    /// O(distinct symbols), not O(alphabet) — the quantizer's 2·radius
+    /// alphabet is ~64 K while a store chunk holds a few thousand points.
+    static FREQ_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Reusable per-symbol `(reversed code, length)` encode table. Only the
+    /// entries of symbols present in the current block are (re)written, and
+    /// only those are ever read, so no clearing is needed.
+    static ENC_SCRATCH: RefCell<Vec<(u64, u8)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Largest alphabet the thread-local scratch tables are allowed to retain:
+/// 2^17 entries comfortably covers the quantizer's `2·radius` (~64 K)
+/// alphabet at ~1 MiB (freq) + ~2 MiB (enc) per thread. A caller feeding a
+/// pathologically large symbol (the encoder itself imposes no alphabet cap)
+/// falls back to transient per-call tables — same behaviour the pre-sparse
+/// encoder had — instead of pinning gigabytes in a worker thread for its
+/// lifetime.
+const SCRATCH_CAP: usize = 1 << 17;
+
+/// Sorted `(symbol, code length)` pairs for the symbols present in a block.
+type PresentLengths = Vec<(u32, u8)>;
+
+/// Counts `symbols` into sorted `(symbol, frequency)` pairs plus the alphabet
+/// size (`max symbol + 1`). `None` for empty input.
+fn histogram(symbols: &[u32]) -> Option<(Vec<(u32, u64)>, usize)> {
+    let alphabet = symbols.iter().map(|&s| s as usize + 1).max()?;
+    let count = |freqs: &mut [u64]| {
+        let mut present: Vec<u32> = Vec::new();
+        for &s in symbols {
+            let c = &mut freqs[s as usize];
+            if *c == 0 {
+                present.push(s);
+            }
+            *c += 1;
+        }
+        present.sort_unstable();
+        // Harvest counts and leave the table all-zero behind us.
+        let pairs: Vec<(u32, u64)> = present
+            .iter()
+            .map(|&s| {
+                let c = &mut freqs[s as usize];
+                let freq = *c;
+                *c = 0;
+                (s, freq)
+            })
+            .collect();
+        pairs
+    };
+    if alphabet > SCRATCH_CAP {
+        let mut freqs = vec![0u64; alphabet];
+        return Some((count(&mut freqs), alphabet));
+    }
+    FREQ_SCRATCH.with(|f| {
+        let mut freqs = f.borrow_mut();
+        if freqs.len() < alphabet {
+            freqs.resize(alphabet, 0);
+        }
+        Some((count(&mut freqs), alphabet))
+    })
+}
+
+/// Builds Huffman code lengths for sorted `(symbol, frequency)` pairs.
+/// Returns lengths aligned index-wise with `pairs` (every entry ≥ 1).
+///
+/// Equivalent to the historical dense-table construction: leaves sorted by
+/// `(frequency, symbol)` feed the same two-queue merge, so ties break
+/// identically and the emitted length table is byte-for-byte unchanged.
+fn build_lengths(pairs: &[(u32, u64)]) -> Vec<u8> {
+    let mut lengths = vec![0u8; pairs.len()];
+    match pairs.len() {
         0 => return lengths,
         1 => {
-            lengths[present[0]] = 1;
+            lengths[0] = 1;
             return lengths;
         }
         _ => {}
     }
     // Heap-free O(n log n) two-queue construction after sorting by frequency.
-    let mut leaves: Vec<(u64, usize)> = present.iter().map(|&i| (freqs[i], i)).collect();
+    // Pair indices rise with symbol ids, so sorting `(freq, pair index)`
+    // reproduces the historical `(freq, symbol)` order exactly.
+    let mut leaves: Vec<(u64, usize)> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, f))| (f, i))
+        .collect();
     leaves.sort_unstable();
     // Internal nodes: (freq, left child, right child). Children index into a
     // combined id space: 0..n_leaves are leaves, n_leaves.. are internals.
@@ -91,8 +165,8 @@ fn build_lengths(freqs: &[u64]) -> Vec<u8> {
         depth[a] = d + 1;
         depth[b] = d + 1;
     }
-    for (leaf_idx, &(_, sym)) in leaves.iter().enumerate() {
-        lengths[sym] = depth[leaf_idx].max(1);
+    for (leaf_idx, &(_, pair_idx)) in leaves.iter().enumerate() {
+        lengths[pair_idx] = depth[leaf_idx].max(1);
     }
     limit_lengths(&mut lengths);
     lengths
@@ -297,53 +371,125 @@ impl DecodeTable {
 /// (pairs of `uvarint run-length`, `u8 length`), `uvarint payload_bytes`,
 /// payload bits.
 pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
-    let Some((mut out, lengths)) = encode_header(symbols) else {
+    let Some((mut out, present)) = encode_header(symbols) else {
         return empty_block();
     };
-    let codes = canonical_codes(&lengths);
-    // Bit-reverse each code once; the payload loop is then a single
-    // `write_bits` per symbol.
-    let enc: Vec<(u64, u8)> = codes
-        .iter()
-        .map(|&(code, len)| (reverse_code(code, len), len))
-        .collect();
-    let mut bits = BitWriter::with_capacity(symbols.len() / 2 + 16);
-    for &s in symbols {
-        let (rev, len) = enc[s as usize];
-        bits.write_bits(rev, len as u32);
+    // Canonical codes assigned in (length, symbol) order, bit-reversed once
+    // and scattered into a per-symbol table — the thread-local scratch for
+    // realistic alphabets, a transient table above the retention cap. Only
+    // present entries are written and only present entries are read, so the
+    // scratch needs no clearing between blocks.
+    let mut by_len: Vec<(u8, u32)> = present.iter().map(|&(s, l)| (l, s)).collect();
+    by_len.sort_unstable();
+    let alphabet = present.last().map_or(0, |&(s, _)| s as usize + 1);
+    let emit = |enc: &mut [(u64, u8)], out: &mut Vec<u8>| {
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for &(len, sym) in &by_len {
+            code <<= (len - prev_len) as u32;
+            enc[sym as usize] = (reverse_code(code, len), len);
+            code += 1;
+            prev_len = len;
+        }
+        let mut bits = BitWriter::with_capacity(symbols.len() / 2 + 16);
+        // Emit four symbols per `write_bits` when they fit one word (codes
+        // average a few bits, so they almost always do), two otherwise —
+        // `MAX_CODE_LEN = 32` guarantees any *pair* fits 64 bits, and
+        // LSB-first packing makes the fused call produce the identical
+        // stream to one call per symbol.
+        let mut quads = symbols.chunks_exact(4);
+        for quad in &mut quads {
+            let (r0, l0) = enc[quad[0] as usize];
+            let (r1, l1) = enc[quad[1] as usize];
+            let (r2, l2) = enc[quad[2] as usize];
+            let (r3, l3) = enc[quad[3] as usize];
+            let a = r0 | (r1 << l0);
+            let la = l0 as u32 + l1 as u32;
+            let b = r2 | (r3 << l2);
+            let lb = l2 as u32 + l3 as u32;
+            if la + lb <= 64 {
+                // la ≤ 62 here (lb ≥ 2), so the shift is in range.
+                bits.write_bits(a | (b << la), la + lb);
+            } else {
+                bits.write_bits(a, la);
+                bits.write_bits(b, lb);
+            }
+        }
+        for &s in quads.remainder() {
+            let (rev, len) = enc[s as usize];
+            bits.write_bits(rev, len as u32);
+        }
+        let payload = bits.finish();
+        write_uvarint(out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+    };
+    if alphabet > SCRATCH_CAP {
+        let mut enc = vec![(0u64, 0u8); alphabet];
+        emit(&mut enc, &mut out);
+        return out;
     }
-    let payload = bits.finish();
-    write_uvarint(&mut out, payload.len() as u64);
-    out.extend_from_slice(&payload);
+    ENC_SCRATCH.with(|e| {
+        let mut enc = e.borrow_mut();
+        if enc.len() < alphabet {
+            enc.resize(alphabet, (0, 0));
+        }
+        emit(&mut enc, &mut out);
+    });
     out
 }
 
 /// Shared header construction (symbol count, alphabet, RLE'd length table).
-/// `None` for the empty input, which both encoders special-case identically.
-fn encode_header(symbols: &[u32]) -> Option<(Vec<u8>, Vec<u8>)> {
-    let alphabet = symbols.iter().map(|&s| s as usize + 1).max()?;
-    let mut freqs = vec![0u64; alphabet];
-    for &s in symbols {
-        freqs[s as usize] += 1;
-    }
-    let lengths = build_lengths(&freqs);
+/// Returns the header bytes plus the present `(symbol, code length)` pairs,
+/// sorted by symbol. `None` for the empty input, which both encoders
+/// special-case identically.
+///
+/// All work is proportional to the number of *distinct* symbols, but the
+/// emitted header is byte-identical to the historical dense-table scan: gaps
+/// between present symbols become zero runs, adjacent equal lengths coalesce
+/// — exactly the maximal runs a full-table RLE would find (the alphabet ends
+/// at the largest present symbol, so there is never a trailing zero run).
+fn encode_header(symbols: &[u32]) -> Option<(Vec<u8>, PresentLengths)> {
+    let (pairs, alphabet) = histogram(symbols)?;
+    let lengths = build_lengths(&pairs);
 
     let mut out = Vec::new();
     write_uvarint(&mut out, symbols.len() as u64);
     write_uvarint(&mut out, alphabet as u64);
-    // RLE the length table: (run, value) pairs.
-    let mut i = 0usize;
-    while i < lengths.len() {
-        let v = lengths[i];
-        let mut j = i + 1;
-        while j < lengths.len() && lengths[j] == v {
-            j += 1;
+    // RLE over the (virtual) full-length table, emitted straight from the
+    // present pairs. Present lengths are always ≥ 1, so they never merge
+    // into a zero run.
+    let mut pending: Option<(usize, u8)> = None; // (run, value)
+    let mut push_run = |out: &mut Vec<u8>, v: u8, n: usize| {
+        if n == 0 {
+            return;
         }
-        write_uvarint(&mut out, (j - i) as u64);
-        out.push(v);
-        i = j;
+        if let Some((run, pv)) = &mut pending {
+            if *pv == v {
+                *run += n;
+                return;
+            }
+            let (run, pv) = (*run, *pv);
+            write_uvarint(out, run as u64);
+            out.push(pv);
+        }
+        pending = Some((n, v));
+    };
+    let mut pos = 0usize;
+    for (i, &(sym, _)) in pairs.iter().enumerate() {
+        push_run(&mut out, 0, sym as usize - pos);
+        push_run(&mut out, lengths[i], 1);
+        pos = sym as usize + 1;
     }
-    Some((out, lengths))
+    if let Some((run, v)) = pending {
+        write_uvarint(&mut out, run as u64);
+        out.push(v);
+    }
+    let present = pairs
+        .iter()
+        .zip(&lengths)
+        .map(|(&(s, _), &l)| (s, l))
+        .collect();
+    Some((out, present))
 }
 
 /// The encoding of zero symbols: `n_symbols = 0`, `alphabet = 0`, empty
@@ -421,7 +567,14 @@ pub fn huffman_decode(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
 pub fn huffman_encode_reference(symbols: &[u32]) -> Vec<u8> {
     match encode_header(symbols) {
         None => empty_block(),
-        Some((mut out, lengths)) => {
+        Some((mut out, present)) => {
+            // Rebuild the dense per-symbol length table the pre-overhaul
+            // encoder worked from.
+            let alphabet = present.last().map_or(0, |&(s, _)| s as usize + 1);
+            let mut lengths = vec![0u8; alphabet];
+            for &(s, l) in &present {
+                lengths[s as usize] = l;
+            }
             let codes = canonical_codes(&lengths);
             let mut bits = reference::BitWriter::new();
             for &s in symbols {
@@ -603,8 +756,8 @@ mod tests {
 
     #[test]
     fn lengths_satisfy_kraft() {
-        let freqs: Vec<u64> = (1..=64u64).map(|i| i * i * i).collect();
-        let lengths = build_lengths(&freqs);
+        let pairs: Vec<(u32, u64)> = (1..=64u64).map(|i| (i as u32 - 1, i * i * i)).collect();
+        let lengths = build_lengths(&pairs);
         let kraft: f64 = lengths
             .iter()
             .filter(|&&l| l > 0)
@@ -654,15 +807,15 @@ mod tests {
     fn long_codes_spill_past_primary_table() {
         // Fibonacci frequencies push max code length well past TABLE_BITS;
         // decode must route those through the canonical walk.
-        let mut freqs = vec![0u64; 40];
+        let mut pairs = Vec::new();
         let (mut a, mut b) = (1u64, 1u64);
-        for f in freqs.iter_mut() {
-            *f = a;
+        for sym in 0..40u32 {
+            pairs.push((sym, a));
             let c = a + b;
             a = b;
             b = c;
         }
-        let lengths = build_lengths(&freqs);
+        let lengths = build_lengths(&pairs);
         assert!(
             *lengths.iter().max().unwrap() > TABLE_BITS as u8,
             "test needs codes longer than the primary table"

@@ -28,7 +28,7 @@ pub use container::{tag, Container, ContainerError, Section};
 pub use huffman::{
     huffman_decode, huffman_decode_reference, huffman_encode, huffman_encode_reference,
 };
-pub use quantizer::{LinearQuantizer, QuantOutcome};
+pub use quantizer::{round_ties_away_i64, LinearQuantizer, QuantOutcome};
 pub use rle::{pack_maybe_rle, rle_decode, rle_encode, unpack_maybe_rle};
 pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};
 

@@ -6,6 +6,40 @@
 //! whose residual overflows the code range; their original value is stored
 //! verbatim in a side channel, so the bound holds unconditionally.
 
+/// `x.round() as i64` — round half away from zero — for every input
+/// (including NaN and ±∞, which saturate exactly like the `as` cast does),
+/// without calling out to libm.
+///
+/// The baseline x86-64 target (SSE2) lowers `f64::round` to a library call,
+/// which was the single largest per-point cost of the quantizer hot loop.
+/// This version is an add plus the (intrinsic) int casts behind two guards
+/// that *never fire on real data*, so the branch predictor retires them for
+/// free regardless of the residual distribution — a select on the
+/// data-dependent `|x| < 0.5` would mispredict on every other point of a
+/// mixed-code stream.
+///
+/// Exactness of `trunc(x ± 0.5)` as round-half-away: for `0.5 ≤ |x| < 2^52`
+/// the addition either is exact or correctly rounds across an integer
+/// boundary only when the true sum reaches it (above 2^51 the spacing makes
+/// it exact outright); for `|x| < 0.5` the truncation gives 0 for every
+/// value except `nextbelow(0.5)`, whose sum ties to 1.0 — that lone
+/// counterexample gets its own guard. At `|x| ≥ 2^52` every float is
+/// already integral. NaN falls through both guards and casts to 0, matching
+/// `NaN.round() as i64`.
+#[inline]
+pub fn round_ties_away_i64(x: f64) -> i64 {
+    let a = x.abs();
+    if a >= 4_503_599_627_370_496.0 {
+        // |x| ≥ 2^52: already integral (±∞ saturates like the cast does).
+        return x as i64;
+    }
+    if a == 0.499_999_999_999_999_94 {
+        // nextbelow(0.5): x + 0.5 ties to 1.0, the one value trunc gets wrong.
+        return 0;
+    }
+    (x + f64::copysign(0.5, x)) as i64
+}
+
 /// Outcome of quantizing one value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QuantOutcome {
@@ -65,14 +99,26 @@ impl LinearQuantizer {
     }
 
     /// Quantizes `actual` against `pred`.
+    ///
+    /// Outcome-identical to the historical
+    /// `let q = (diff / (2·eb)).round(); q.abs() ≥ radius−1 || !q.is_finite()`
+    /// formulation: with ties rounding away from zero,
+    /// `round(t).abs() ≥ L ⇔ |t| ≥ L − 0.5`, and NaN/±∞ fail the negated
+    /// comparison exactly like the `is_finite` test did. The reformulation
+    /// exists so the hot loop needs no libm `round` call
+    /// ([`round_ties_away_i64`]).
     #[inline]
     pub fn quantize(&self, actual: f64, pred: f64) -> QuantOutcome {
         let diff = actual - pred;
-        let q = (diff / (2.0 * self.eb)).round();
-        if q.abs() >= (self.radius - 1) as f64 || !q.is_finite() {
+        let t = diff / (2.0 * self.eb);
+        let limit = (self.radius - 1) as f64;
+        // The negated comparison is load-bearing: NaN must fail it and land
+        // here, exactly as `!q.is_finite()` used to send it.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(t.abs() < limit - 0.5) {
             return QuantOutcome::Unpredictable;
         }
-        let qi = q as i64;
+        let qi = round_ties_away_i64(t);
         let recon = pred + 2.0 * self.eb * qi as f64;
         // Floating-point rounding can push the reconstruction just past the
         // bound; SZ handles this by demoting to unpredictable.

@@ -346,15 +346,23 @@ impl StoreMeta {
 /// Frames a serialized meta block and the data region into a complete store
 /// byte buffer.
 pub fn frame(meta: &StoreMeta, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    frame_into(meta, data, &mut out);
+    out
+}
+
+/// [`frame`] into a caller-owned buffer (cleared first), so repeated store
+/// writes reuse one allocation.
+pub fn frame_into(meta: &StoreMeta, data: &[u8], out: &mut Vec<u8>) {
     let meta_bytes = meta.to_bytes();
-    let mut out = Vec::with_capacity(PREFIX_LEN + meta_bytes.len() + data.len());
+    out.clear();
+    out.reserve(PREFIX_LEN + meta_bytes.len() + data.len());
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
     out.extend_from_slice(&(meta_bytes.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(&meta_bytes).to_le_bytes());
     out.extend_from_slice(&meta_bytes);
     out.extend_from_slice(data);
-    out
 }
 
 /// Parses and CRC-validates the prefix + meta of a store buffer (or file

@@ -33,8 +33,10 @@
 //! [`StoreReader`] is `Send + Sync` by contract (enforced at compile time
 //! below) and every read method takes `&self`: one reader can serve many
 //! client threads concurrently. In-memory readers fetch chunk bytes without
-//! any locking; file-backed readers serialize the seek+read of each fetch
-//! behind a mutex while decoding still fans out. The read-accounting
+//! any locking; file-backed readers use positional reads (`pread` via
+//! `FileExt::read_at` on unix), so concurrent chunk fetches do not
+//! serialize on a file lock either (non-unix targets fall back to
+//! seek + read behind a mutex). The read-accounting
 //! counters ([`StoreReader::bytes_decoded`] / [`StoreReader::chunks_decoded`])
 //! are independent monotonic tallies maintained with `Ordering::Relaxed`
 //! throughout — including [`StoreReader::reset_counters`] — because they
@@ -64,6 +66,7 @@ use std::borrow::Cow;
 use std::cell::RefCell;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(unix))]
 use std::sync::Mutex;
 
 // Compile-time thread-safety contract: `hqmr-serve` shares one reader across
@@ -169,31 +172,58 @@ pub fn prepare_store(mr: &MultiResData, cfg: &StoreConfig) -> PreparedStore {
 /// Stage 2: compresses every prepared chunk (in parallel) and frames the
 /// store buffer. `prepared` must come from [`prepare_store`] with the same
 /// `mr` and `cfg`.
+///
+/// The encode fan-out is *global*: every chunk of every level joins one
+/// work list, so coarse levels with a single chunk can no longer serialize
+/// a round of the thread pool per level (the read path's per-level decode
+/// has had the same shape since the Cow-fetch refactor).
 pub fn encode_prepared_store(
     mr: &MultiResData,
     prepared: &PreparedStore,
     cfg: &StoreConfig,
     codec: &dyn Codec,
 ) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_prepared_store_into(mr, prepared, cfg, codec, &mut out);
+    out
+}
+
+/// [`encode_prepared_store`] serializing into a caller-owned buffer
+/// (cleared first), so repeated in-situ snapshots reuse one store
+/// allocation.
+pub fn encode_prepared_store_into(
+    mr: &MultiResData,
+    prepared: &PreparedStore,
+    cfg: &StoreConfig,
+    codec: &dyn Codec,
+    out: &mut Vec<u8>,
+) {
     assert_eq!(prepared.len(), mr.levels.len(), "prepared levels mismatch");
+    // One flat work list over all levels; compression fans out across it.
+    let inputs: Vec<(&hqmr_mr::MergedArray, &Field3, bool)> = prepared
+        .iter()
+        .flat_map(|preps| {
+            preps
+                .iter()
+                .flat_map(|p| p.blocks().map(move |(m, f)| (m, f, p.padded())))
+        })
+        .collect();
+    let streams: Vec<Vec<u8>> = inputs
+        .par_iter()
+        .map(|(_, f, _)| {
+            let mut stream = Vec::new();
+            codec.compress_into(f, cfg.eb, &mut stream);
+            stream
+        })
+        .collect();
+
     let mut levels = Vec::with_capacity(mr.levels.len());
     let mut data = Vec::new();
+    let mut it = inputs.into_iter().zip(streams);
     for (level, preps) in mr.levels.iter().zip(prepared) {
-        // One chunk per merged array of each group; compression fans out.
-        let inputs: Vec<(&hqmr_mr::MergedArray, &Field3, bool)> = preps
-            .iter()
-            .flat_map(|p| p.blocks().map(move |(m, f)| (m, f, p.padded())))
-            .collect();
-        let streams: Vec<Vec<u8>> = inputs
-            .par_iter()
-            .map(|(_, f, _)| {
-                let mut stream = Vec::new();
-                codec.compress_into(f, cfg.eb, &mut stream);
-                stream
-            })
-            .collect();
-        let mut chunks = Vec::with_capacity(inputs.len());
-        for ((m, f, padded), stream) in inputs.into_iter().zip(streams) {
+        let n_chunks: usize = preps.iter().map(|p| p.array_count()).sum();
+        let mut chunks = Vec::with_capacity(n_chunks);
+        for ((m, f, padded), stream) in it.by_ref().take(n_chunks) {
             let (min, max) = m.field.min_max();
             chunks.push(ChunkMeta {
                 offset: data.len() as u64,
@@ -221,7 +251,7 @@ pub fn encode_prepared_store(
         eb: cfg.eb,
         levels,
     };
-    format::frame(&meta, &data)
+    format::frame_into(&meta, &data, out);
 }
 
 /// Writes `mr` into a complete in-memory store buffer (both stages).
@@ -230,13 +260,86 @@ pub fn write_store(mr: &MultiResData, cfg: &StoreConfig, codec: &dyn Codec) -> V
     encode_prepared_store(mr, &prepared, cfg, codec)
 }
 
+/// [`write_store`] into a caller-owned buffer (cleared first): an in-situ
+/// writer emitting one store per timestep reuses a single output
+/// allocation instead of growing a fresh one per snapshot.
+pub fn write_store_into(
+    mr: &MultiResData,
+    cfg: &StoreConfig,
+    codec: &dyn Codec,
+    out: &mut Vec<u8>,
+) {
+    let prepared = prepare_store(mr, cfg);
+    encode_prepared_store_into(mr, &prepared, cfg, codec, out);
+}
+
 /// Where a reader's chunk bytes come from.
 enum Source {
     /// The whole store buffer in memory (data region addressed by range).
     Mem(Vec<u8>),
-    /// An open file, read with seek + exact reads under a mutex. Chunk
-    /// fetches serialize on the file; decoding still fans out.
-    File(Mutex<std::fs::File>),
+    /// An open file, read with positional reads — concurrent chunk fetches
+    /// (e.g. from `hqmr-serve` client threads) do not serialize on a lock.
+    File(PositionalFile),
+}
+
+/// A read-only file accessed at explicit offsets. On unix this is a bare
+/// `File` driven through `FileExt::read_at` (`pread`), which takes `&self`
+/// and never touches the shared cursor — concurrent chunk fetches proceed
+/// in parallel. Elsewhere it falls back to seek + read behind a mutex.
+struct PositionalFile {
+    #[cfg(unix)]
+    file: std::fs::File,
+    #[cfg(not(unix))]
+    file: Mutex<std::fs::File>,
+}
+
+impl PositionalFile {
+    fn new(file: std::fs::File) -> Self {
+        #[cfg(unix)]
+        {
+            PositionalFile { file }
+        }
+        #[cfg(not(unix))]
+        {
+            PositionalFile {
+                file: Mutex::new(file),
+            }
+        }
+    }
+
+    /// Size of the underlying file in bytes.
+    fn len(&self) -> std::io::Result<u64> {
+        #[cfg(unix)]
+        {
+            Ok(self.file.metadata()?.len())
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(self
+                .file
+                .lock()
+                .expect("store file lock poisoned")
+                .metadata()?
+                .len())
+        }
+    }
+
+    /// Fills `buf` from the absolute file `offset` (EOF ⇒ error, matching
+    /// `read_exact`).
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = self.file.lock().expect("store file lock poisoned");
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(buf)
+        }
+    }
 }
 
 /// Random-access reader over a store buffer or file.
@@ -280,7 +383,7 @@ impl StoreReader {
         head.resize(PREFIX_LEN + meta_len, 0);
         file.read_exact(&mut head[PREFIX_LEN..])?;
         let (meta, data_start) = parse_head(&head)?;
-        Self::with_source(meta, data_start, Source::File(Mutex::new(file)))
+        Self::with_source(meta, data_start, Source::File(PositionalFile::new(file)))
     }
 
     fn with_source(meta: StoreMeta, data_start: u64, source: Source) -> Result<Self, StoreError> {
@@ -291,12 +394,7 @@ impl StoreReader {
         // run past the end.
         let data_len = match &source {
             Source::Mem(buf) => (buf.len() as u64).saturating_sub(data_start),
-            Source::File(file) => file
-                .lock()
-                .expect("store file lock poisoned")
-                .metadata()?
-                .len()
-                .saturating_sub(data_start),
+            Source::File(file) => file.len()?.saturating_sub(data_start),
         };
         for lm in &meta.levels {
             for c in &lm.chunks {
@@ -403,11 +501,8 @@ impl StoreReader {
                 )
             }
             Source::File(file) => {
-                use std::io::{Read, Seek, SeekFrom};
-                let mut f = file.lock().expect("store file lock poisoned");
-                f.seek(SeekFrom::Start(self.data_start + c.offset))?;
                 let mut out = vec![0u8; c.len];
-                f.read_exact(&mut out)?;
+                file.read_exact_at(&mut out, self.data_start + c.offset)?;
                 Cow::Owned(out)
             }
         };
@@ -595,6 +690,21 @@ mod tests {
         assert_eq!(r.codec_name(), "null");
         let back = r.read_all().unwrap();
         assert_eq!(back, mr, "null codec must round-trip losslessly");
+    }
+
+    #[test]
+    fn write_into_reuses_buffer_and_matches() {
+        let mr = test_mr();
+        let cfg = StoreConfig::new(eb()).with_chunk_blocks(4);
+        let codec = Sz3Codec::default();
+        let fresh = write_store(&mr, &cfg, &codec);
+        // Pre-dirty the buffer: `write_store_into` must clear and reproduce
+        // the exact same bytes while keeping the allocation.
+        let mut buf = vec![0xABu8; 1 << 20];
+        let cap = buf.capacity();
+        write_store_into(&mr, &cfg, &codec, &mut buf);
+        assert_eq!(buf, fresh, "buffer-reuse write drifted from write_store");
+        assert!(buf.capacity() >= cap.min(fresh.len()), "allocation reused");
     }
 
     #[test]

@@ -1,4 +1,14 @@
 //! Block-wise compression engine (Lorenzo ∥ regression selection).
+//!
+//! The per-block kernels are split interior/boundary: rows whose `x`/`y`
+//! coordinate touches the domain face (or whose first cell sits at `z = 0`)
+//! take the general edge-aware [`lorenzo`] gather, every other row runs a
+//! branch-free inner loop over direct indices — seven neighbour loads at
+//! fixed offsets instead of seven bounds-tested coordinate probes, with the
+//! plane predictor's row terms hoisted (`(c0 + c1·x) + c2·y` once per row;
+//! the float associativity is unchanged, so predictions are bit-identical).
+//! The pre-overhaul per-point loops survive in [`reference`] as the
+//! differential oracle.
 
 use crate::Sz2Config;
 use hqmr_codec::{
@@ -58,7 +68,9 @@ impl Plane {
 }
 
 /// Least-squares plane fit over a block. The regular grid makes the normal
-/// equations diagonal after centring, so the fit is four running sums.
+/// equations diagonal after centring, so the fit is four running sums,
+/// accumulated in row-major point order (bit-stable across refactors) over
+/// direct row slices.
 fn fit_plane(field: &Field3, origin: [usize; 3], size: Dims3) -> Plane {
     let n = size.len() as f64;
     let mean_c = |e: usize| (e as f64 - 1.0) / 2.0;
@@ -68,17 +80,22 @@ fn fit_plane(field: &Field3, origin: [usize; 3], size: Dims3) -> Plane {
         (0..e).map(|i| (i as f64 - mean_c(e)).powi(2)).sum::<f64>() * n / e as f64
     };
     let (vx, vy, vz) = (axis_var(size.nx), axis_var(size.ny), axis_var(size.nz));
+    let dims = field.dims();
+    let data = field.data();
     let mut sum = 0.0f64;
     let mut cx = 0.0f64;
     let mut cy = 0.0f64;
     let mut cz = 0.0f64;
     for x in 0..size.nx {
+        let wx = x as f64 - mx;
         for y in 0..size.ny {
-            for z in 0..size.nz {
-                let v = field.get(origin[0] + x, origin[1] + y, origin[2] + z) as f64;
+            let wy = y as f64 - my;
+            let row = dims.idx(origin[0] + x, origin[1] + y, origin[2]);
+            for (z, &vf) in data[row..row + size.nz].iter().enumerate() {
+                let v = vf as f64;
                 sum += v;
-                cx += (x as f64 - mx) * v;
-                cy += (y as f64 - my) * v;
+                cx += wx * v;
+                cy += wy * v;
                 cz += (z as f64 - mz) * v;
             }
         }
@@ -112,17 +129,48 @@ fn lorenzo(buf: &[f32], dims: Dims3, x: usize, y: usize, z: usize) -> f64 {
         + at(xi - 1, yi - 1, zi - 1)
 }
 
+/// The seven-neighbour Lorenzo stencil read at direct offsets from `i` —
+/// the interior fast path. Term order matches [`lorenzo`] exactly.
+#[inline]
+fn lorenzo_interior(buf: &[f32], i: usize, sx: usize, sy: usize) -> f64 {
+    buf[i - sx] as f64 + buf[i - sy] as f64 + buf[i - 1] as f64
+        - buf[i - sx - sy] as f64
+        - buf[i - sx - 1] as f64
+        - buf[i - sy - 1] as f64
+        + buf[i - sx - sy - 1] as f64
+}
+
 /// Estimated absolute Lorenzo error over the block, computed on *original*
 /// data (SZ2's selection heuristic: cheap, no reconstruction dependency).
+/// Interior rows use the direct-offset stencil; rows on a domain face fall
+/// back to the edge-aware gather. Accumulation order is point order.
 fn estimate_lorenzo_err(field: &Field3, origin: [usize; 3], size: Dims3) -> f64 {
     let d = field.dims();
+    let data = field.data();
+    let (sx, sy) = (d.ny * d.nz, d.nz);
     let mut acc = 0.0f64;
     for x in 0..size.nx {
+        let gx = origin[0] + x;
         for y in 0..size.ny {
-            for z in 0..size.nz {
-                let (gx, gy, gz) = (origin[0] + x, origin[1] + y, origin[2] + z);
-                let pred = lorenzo(field.data(), d, gx, gy, gz);
-                acc += (field.get(gx, gy, gz) as f64 - pred).abs();
+            let gy = origin[1] + y;
+            let row = d.idx(gx, gy, origin[2]);
+            if gx == 0 || gy == 0 {
+                for z in 0..size.nz {
+                    let gz = origin[2] + z;
+                    let pred = lorenzo(data, d, gx, gy, gz);
+                    acc += (data[row + z] as f64 - pred).abs();
+                }
+            } else {
+                let mut z0 = 0usize;
+                if origin[2] == 0 {
+                    let pred = lorenzo(data, d, gx, gy, 0);
+                    acc += (data[row] as f64 - pred).abs();
+                    z0 = 1;
+                }
+                for i in row + z0..row + size.nz {
+                    let pred = lorenzo_interior(data, i, sx, sy);
+                    acc += (data[i] as f64 - pred).abs();
+                }
             }
         }
     }
@@ -130,12 +178,18 @@ fn estimate_lorenzo_err(field: &Field3, origin: [usize; 3], size: Dims3) -> f64 
 }
 
 fn estimate_plane_err(field: &Field3, origin: [usize; 3], size: Dims3, plane: &Plane) -> f64 {
+    let d = field.dims();
+    let data = field.data();
     let mut acc = 0.0f64;
     for x in 0..size.nx {
+        let bx = plane.c[0] as f64 + plane.c[1] as f64 * x as f64;
         for y in 0..size.ny {
-            for z in 0..size.nz {
-                let v = field.get(origin[0] + x, origin[1] + y, origin[2] + z) as f64;
-                acc += (v - plane.eval(x, y, z)).abs();
+            // Same association as `eval`: ((c0 + c1·x) + c2·y) + c3·z.
+            let bxy = bx + plane.c[2] as f64 * y as f64;
+            let row = d.idx(origin[0] + x, origin[1] + y, origin[2]);
+            for (z, &vf) in data[row..row + size.nz].iter().enumerate() {
+                let pred = bxy + plane.c[3] as f64 * z as f64;
+                acc += (vf as f64 - pred).abs();
             }
         }
     }
@@ -191,62 +245,150 @@ pub fn compress_into(field: &Field3, cfg: &Sz2Config, out: &mut Vec<u8>) {
     c.write_into(out);
 }
 
-/// The compression pipeline up to (but not including) serialization.
-/// Returns `(container, lorenzo_blocks, regression_blocks, outliers)`.
-fn compress_container(field: &Field3, cfg: &Sz2Config) -> (Container, usize, usize, usize) {
+/// Per-block encode state threaded through the kernel loops.
+struct EncodeState {
+    recon: Vec<f32>,
+    codes: Vec<u32>,
+    outliers: Vec<f32>,
+    flags: Vec<u8>,
+    coeffs: Vec<u8>,
+    n_lorenzo: usize,
+    n_regression: usize,
+}
+
+/// Selects the predictor for one block and records its flag/coefficients —
+/// shared by the production and reference encoders so selection is defined
+/// once.
+fn select_block(
+    field: &Field3,
+    origin: [usize; 3],
+    size: Dims3,
+    st: &mut EncodeState,
+) -> Option<Plane> {
+    let plane = fit_plane(field, origin, size);
+    let use_regression = size.len() >= 8 && {
+        let le = estimate_lorenzo_err(field, origin, size);
+        let pe = estimate_plane_err(field, origin, size, &plane);
+        pe < le
+    };
+    st.flags.push(use_regression as u8);
+    if use_regression {
+        st.n_regression += 1;
+        for c in plane.c {
+            st.coeffs.extend_from_slice(&c.to_le_bytes());
+        }
+        Some(plane)
+    } else {
+        st.n_lorenzo += 1;
+        None
+    }
+}
+
+/// Runs the predictor-selection + quantization kernels over every block.
+fn encode_blocks(field: &Field3, cfg: &Sz2Config) -> EncodeState {
     let dims = field.dims();
     let grid = BlockGrid::new(dims, cfg.block);
     let q = LinearQuantizer::new(cfg.eb);
+    let data = field.data();
+    let (sx, sy) = (dims.ny * dims.nz, dims.nz);
 
-    let mut recon = vec![0f32; dims.len()];
-    let mut codes: Vec<u32> = Vec::with_capacity(dims.len());
-    let mut outliers: Vec<f32> = Vec::new();
-    let mut flags: Vec<u8> = Vec::with_capacity(grid.num_blocks());
-    let mut coeffs: Vec<u8> = Vec::new();
-    let (mut n_lorenzo, mut n_regression) = (0usize, 0usize);
+    let mut st = EncodeState {
+        recon: vec![0f32; dims.len()],
+        codes: Vec::with_capacity(dims.len()),
+        outliers: Vec::new(),
+        flags: Vec::with_capacity(grid.num_blocks()),
+        coeffs: Vec::new(),
+        n_lorenzo: 0,
+        n_regression: 0,
+    };
 
     for blk in grid.iter() {
-        let plane = fit_plane(field, blk.origin, blk.size);
-        let use_regression = blk.size.len() >= 8 && {
-            let le = estimate_lorenzo_err(field, blk.origin, blk.size);
-            let pe = estimate_plane_err(field, blk.origin, blk.size, &plane);
-            pe < le
-        };
-        flags.push(use_regression as u8);
-        if use_regression {
-            n_regression += 1;
-            for c in plane.c {
-                coeffs.extend_from_slice(&c.to_le_bytes());
-            }
-            for x in 0..blk.size.nx {
-                for y in 0..blk.size.ny {
-                    for z in 0..blk.size.nz {
-                        let (gx, gy, gz) =
-                            (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
-                        let actual = field.get(gx, gy, gz);
-                        let pred = plane.eval(x, y, z);
-                        recon[dims.idx(gx, gy, gz)] =
-                            encode_point(&q, actual, pred, &mut codes, &mut outliers);
+        match select_block(field, blk.origin, blk.size, &mut st) {
+            Some(plane) => {
+                for x in 0..blk.size.nx {
+                    let bx = plane.c[0] as f64 + plane.c[1] as f64 * x as f64;
+                    for y in 0..blk.size.ny {
+                        // ((c0 + c1·x) + c2·y) + c3·z, the `eval` association.
+                        let bxy = bx + plane.c[2] as f64 * y as f64;
+                        let row = dims.idx(blk.origin[0] + x, blk.origin[1] + y, blk.origin[2]);
+                        for z in 0..blk.size.nz {
+                            let pred = bxy + plane.c[3] as f64 * z as f64;
+                            st.recon[row + z] = encode_point(
+                                &q,
+                                data[row + z],
+                                pred,
+                                &mut st.codes,
+                                &mut st.outliers,
+                            );
+                        }
                     }
                 }
             }
-        } else {
-            n_lorenzo += 1;
-            for x in 0..blk.size.nx {
-                for y in 0..blk.size.ny {
-                    for z in 0..blk.size.nz {
-                        let (gx, gy, gz) =
-                            (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
-                        let actual = field.get(gx, gy, gz);
-                        let pred = lorenzo(&recon, dims, gx, gy, gz);
-                        recon[dims.idx(gx, gy, gz)] =
-                            encode_point(&q, actual, pred, &mut codes, &mut outliers);
+            None => {
+                for x in 0..blk.size.nx {
+                    let gx = blk.origin[0] + x;
+                    for y in 0..blk.size.ny {
+                        let gy = blk.origin[1] + y;
+                        let row = dims.idx(gx, gy, blk.origin[2]);
+                        if gx == 0 || gy == 0 {
+                            // Domain face: every cell needs the edge-aware gather.
+                            for z in 0..blk.size.nz {
+                                let gz = blk.origin[2] + z;
+                                let pred = lorenzo(&st.recon, dims, gx, gy, gz);
+                                st.recon[row + z] = encode_point(
+                                    &q,
+                                    data[row + z],
+                                    pred,
+                                    &mut st.codes,
+                                    &mut st.outliers,
+                                );
+                            }
+                        } else {
+                            let mut i = row;
+                            if blk.origin[2] == 0 {
+                                // First cell reads z−1 out of domain.
+                                let pred = lorenzo(&st.recon, dims, gx, gy, 0);
+                                st.recon[i] = encode_point(
+                                    &q,
+                                    data[i],
+                                    pred,
+                                    &mut st.codes,
+                                    &mut st.outliers,
+                                );
+                                i += 1;
+                            }
+                            while i < row + blk.size.nz {
+                                let pred = lorenzo_interior(&st.recon, i, sx, sy);
+                                st.recon[i] = encode_point(
+                                    &q,
+                                    data[i],
+                                    pred,
+                                    &mut st.codes,
+                                    &mut st.outliers,
+                                );
+                                i += 1;
+                            }
+                        }
                     }
                 }
             }
         }
     }
+    st
+}
 
+/// The compression pipeline up to (but not including) serialization.
+/// Returns `(container, lorenzo_blocks, regression_blocks, outliers)`.
+fn compress_container(field: &Field3, cfg: &Sz2Config) -> (Container, usize, usize, usize) {
+    let st = encode_blocks(field, cfg);
+    let (n_l, n_r, n_o) = (st.n_lorenzo, st.n_regression, st.outliers.len());
+    (serialize(field.dims(), cfg, st), n_l, n_r, n_o)
+}
+
+/// Frames one encoded field into the self-describing container — shared by
+/// the production and reference paths. Takes the state by value so the
+/// coefficient buffer moves into the container without a copy.
+fn serialize(dims: Dims3, cfg: &Sz2Config, st: EncodeState) -> Container {
     let mut head = Vec::new();
     write_uvarint(&mut head, dims.nx as u64);
     write_uvarint(&mut head, dims.ny as u64);
@@ -254,21 +396,20 @@ fn compress_container(field: &Field3, cfg: &Sz2Config) -> (Container, usize, usi
     write_uvarint(&mut head, cfg.block as u64);
     head.extend_from_slice(&cfg.eb.to_le_bytes());
 
-    let mut out_bytes = Vec::with_capacity(outliers.len() * 4 + 8);
-    write_uvarint(&mut out_bytes, outliers.len() as u64);
-    for v in &outliers {
+    let mut out_bytes = Vec::with_capacity(st.outliers.len() * 4 + 8);
+    write_uvarint(&mut out_bytes, st.outliers.len() as u64);
+    for v in &st.outliers {
         out_bytes.extend_from_slice(&v.to_le_bytes());
     }
 
     let mut c = Container::new();
     push_stream_id(&mut c, SZ2_CODEC_ID);
     c.push(TAG_HEAD, head);
-    c.push(TAG_FLAGS, rle_encode(&flags));
-    c.push(TAG_COEFFS, coeffs);
-    c.push(TAG_CODES, pack_maybe_rle(&huffman_encode(&codes)));
+    c.push(TAG_FLAGS, rle_encode(&st.flags));
+    c.push(TAG_COEFFS, st.coeffs);
+    c.push(TAG_CODES, pack_maybe_rle(&huffman_encode(&st.codes)));
     c.push(TAG_OUTLIERS, out_bytes);
-    let n_outliers = outliers.len();
-    (c, n_lorenzo, n_regression, n_outliers)
+    c
 }
 
 /// Decompresses a stream produced by [`compress`].
@@ -278,9 +419,30 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz2Error> {
     Ok(out)
 }
 
+/// Everything [`decompress_into`] needs after validation: geometry,
+/// quantizer, per-block flags, fitted planes (decoded straight off the
+/// borrowed coefficient section — no byte-buffer copy), codes and outliers.
+struct Parsed {
+    dims: Dims3,
+    block: usize,
+    eb: f64,
+    flags: Vec<u8>,
+    planes: Vec<Plane>,
+    codes: Vec<u32>,
+    outliers: Vec<f32>,
+}
+
 /// [`decompress`] into a caller-owned field (reshaped in place), so
 /// per-chunk readers reuse one reconstruction buffer.
 pub fn decompress_into(bytes: &[u8], out: &mut Field3) -> Result<(), Sz2Error> {
+    let p = parse(bytes)?;
+    out.reshape(p.dims, 0.0);
+    decode_blocks(&p, out.data_mut())
+}
+
+/// Parses and validates a stream — shared by the production and reference
+/// decode paths.
+fn parse(bytes: &[u8]) -> Result<Parsed, Sz2Error> {
     let c = Container::from_bytes(bytes)?;
     check_stream_id(&c, SZ2_CODEC_ID)?;
     let head = c.require(TAG_HEAD)?;
@@ -299,7 +461,6 @@ pub fn decompress_into(bytes: &[u8], out: &mut Field3) -> Result<(), Sz2Error> {
     }
     let dims = Dims3::new(nx, ny, nz);
     let grid = BlockGrid::new(dims, block);
-    let q = LinearQuantizer::new(eb);
 
     let flags = rle_decode(c.require(TAG_FLAGS)?).ok_or(Sz2Error::Malformed("flags"))?;
     if flags.len() != grid.num_blocks() {
@@ -325,72 +486,235 @@ pub fn decompress_into(bytes: &[u8], out: &mut Field3) -> Result<(), Sz2Error> {
         .chunks_exact(4)
         .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
         .collect();
+    let planes: Vec<Plane> = coeff_bytes
+        .chunks_exact(16)
+        .map(|cb| Plane {
+            c: [
+                f32::from_le_bytes(cb[0..4].try_into().unwrap()),
+                f32::from_le_bytes(cb[4..8].try_into().unwrap()),
+                f32::from_le_bytes(cb[8..12].try_into().unwrap()),
+                f32::from_le_bytes(cb[12..16].try_into().unwrap()),
+            ],
+        })
+        .collect();
+    Ok(Parsed {
+        dims,
+        block,
+        eb,
+        flags,
+        planes,
+        codes,
+        outliers,
+    })
+}
 
-    out.reshape(dims, 0.0);
-    let recon = out.data_mut();
-    let mut code_it = codes.iter();
-    let mut out_it = outliers.iter();
-    let mut coeff_it = coeff_bytes.chunks_exact(16);
-    let mut underrun = false;
-    let mut decode_point = |pred: f64, recon_cell: &mut f32| {
-        let Some(&code) = code_it.next() else {
-            underrun = true;
-            return;
-        };
-        *recon_cell = if code == LinearQuantizer::UNPREDICTABLE {
-            match out_it.next() {
-                Some(&v) => v,
-                None => {
-                    underrun = true;
-                    0.0
-                }
+/// Recovers one cell from its code, drawing out-of-band values from the
+/// outlier cursor. Clears `ok` on underrun (decode continues with zeros so
+/// one typed error surfaces at the end, like the reference path).
+#[inline]
+fn decode_value(
+    q: &LinearQuantizer,
+    pred: f64,
+    code: u32,
+    outliers: &[f32],
+    oi: &mut usize,
+    ok: &mut bool,
+) -> f32 {
+    if code == LinearQuantizer::UNPREDICTABLE {
+        match outliers.get(*oi) {
+            Some(&v) => {
+                *oi += 1;
+                v
             }
-        } else {
-            q.recover(code, pred) as f32
-        };
-    };
+            None => {
+                *ok = false;
+                0.0
+            }
+        }
+    } else {
+        q.recover(code, pred) as f32
+    }
+}
+
+/// Reconstructs every block from a parsed stream — the interior/boundary
+/// split mirror of [`encode_blocks`].
+fn decode_blocks(p: &Parsed, recon: &mut [f32]) -> Result<(), Sz2Error> {
+    let dims = p.dims;
+    let grid = BlockGrid::new(dims, p.block);
+    let q = LinearQuantizer::new(p.eb);
+    let (sx, sy) = (dims.ny * dims.nz, dims.nz);
+    let mut plane_it = p.planes.iter();
+    let (mut ci, mut oi) = (0usize, 0usize);
+    let mut ok = true;
 
     for (bi, blk) in grid.iter().enumerate() {
-        if flags[bi] == 1 {
-            let cb = coeff_it.next().ok_or(Sz2Error::Malformed("coefficients"))?;
-            let plane = Plane {
-                c: [
-                    f32::from_le_bytes(cb[0..4].try_into().unwrap()),
-                    f32::from_le_bytes(cb[4..8].try_into().unwrap()),
-                    f32::from_le_bytes(cb[8..12].try_into().unwrap()),
-                    f32::from_le_bytes(cb[12..16].try_into().unwrap()),
-                ],
-            };
+        if p.flags[bi] == 1 {
+            let plane = plane_it.next().ok_or(Sz2Error::Malformed("coefficients"))?;
             for x in 0..blk.size.nx {
+                let bx = plane.c[0] as f64 + plane.c[1] as f64 * x as f64;
                 for y in 0..blk.size.ny {
+                    // ((c0 + c1·x) + c2·y) + c3·z, the `eval` association.
+                    let bxy = bx + plane.c[2] as f64 * y as f64;
+                    let row = dims.idx(blk.origin[0] + x, blk.origin[1] + y, blk.origin[2]);
                     for z in 0..blk.size.nz {
-                        let idx = dims.idx(blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
-                        let pred = plane.eval(x, y, z);
-                        let mut cell = 0f32;
-                        decode_point(pred, &mut cell);
-                        recon[idx] = cell;
+                        let pred = bxy + plane.c[3] as f64 * z as f64;
+                        recon[row + z] =
+                            decode_value(&q, pred, p.codes[ci], &p.outliers, &mut oi, &mut ok);
+                        ci += 1;
                     }
                 }
             }
         } else {
             for x in 0..blk.size.nx {
+                let gx = blk.origin[0] + x;
                 for y in 0..blk.size.ny {
-                    for z in 0..blk.size.nz {
-                        let (gx, gy, gz) =
-                            (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
-                        let pred = lorenzo(recon, dims, gx, gy, gz);
-                        let mut cell = 0f32;
-                        decode_point(pred, &mut cell);
-                        recon[dims.idx(gx, gy, gz)] = cell;
+                    let gy = blk.origin[1] + y;
+                    let row = dims.idx(gx, gy, blk.origin[2]);
+                    if gx == 0 || gy == 0 {
+                        for z in 0..blk.size.nz {
+                            let gz = blk.origin[2] + z;
+                            let pred = lorenzo(recon, dims, gx, gy, gz);
+                            recon[row + z] =
+                                decode_value(&q, pred, p.codes[ci], &p.outliers, &mut oi, &mut ok);
+                            ci += 1;
+                        }
+                    } else {
+                        let mut i = row;
+                        if blk.origin[2] == 0 {
+                            let pred = lorenzo(recon, dims, gx, gy, 0);
+                            recon[i] =
+                                decode_value(&q, pred, p.codes[ci], &p.outliers, &mut oi, &mut ok);
+                            ci += 1;
+                            i += 1;
+                        }
+                        while i < row + blk.size.nz {
+                            let pred = lorenzo_interior(recon, i, sx, sy);
+                            recon[i] =
+                                decode_value(&q, pred, p.codes[ci], &p.outliers, &mut oi, &mut ok);
+                            ci += 1;
+                            i += 1;
+                        }
                     }
                 }
             }
         }
     }
-    if underrun {
+    if !ok {
         return Err(Sz2Error::Malformed("stream underrun"));
     }
     Ok(())
+}
+
+/// Pre-overhaul per-point codec paths, kept verbatim as the differential
+/// oracle for the interior/boundary-split kernels (the `bitio::reference`
+/// pattern): the same selection, serialization and parsing drive the
+/// original all-points edge-aware gathers.
+pub mod reference {
+    use super::*;
+
+    /// [`super::compress`] with the original per-point block loops —
+    /// byte-identical output.
+    pub fn compress(field: &Field3, cfg: &Sz2Config) -> CompressResult {
+        let dims = field.dims();
+        let grid = BlockGrid::new(dims, cfg.block);
+        let q = LinearQuantizer::new(cfg.eb);
+        let mut st = EncodeState {
+            recon: vec![0f32; dims.len()],
+            codes: Vec::with_capacity(dims.len()),
+            outliers: Vec::new(),
+            flags: Vec::with_capacity(grid.num_blocks()),
+            coeffs: Vec::new(),
+            n_lorenzo: 0,
+            n_regression: 0,
+        };
+        for blk in grid.iter() {
+            match select_block(field, blk.origin, blk.size, &mut st) {
+                Some(plane) => {
+                    for x in 0..blk.size.nx {
+                        for y in 0..blk.size.ny {
+                            for z in 0..blk.size.nz {
+                                let (gx, gy, gz) =
+                                    (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
+                                let actual = field.get(gx, gy, gz);
+                                let pred = plane.eval(x, y, z);
+                                st.recon[dims.idx(gx, gy, gz)] =
+                                    encode_point(&q, actual, pred, &mut st.codes, &mut st.outliers);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for x in 0..blk.size.nx {
+                        for y in 0..blk.size.ny {
+                            for z in 0..blk.size.nz {
+                                let (gx, gy, gz) =
+                                    (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
+                                let actual = field.get(gx, gy, gz);
+                                let pred = lorenzo(&st.recon, dims, gx, gy, gz);
+                                st.recon[dims.idx(gx, gy, gz)] =
+                                    encode_point(&q, actual, pred, &mut st.codes, &mut st.outliers);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let (n_l, n_r, n_o) = (st.n_lorenzo, st.n_regression, st.outliers.len());
+        CompressResult {
+            bytes: serialize(dims, cfg, st).to_bytes(),
+            lorenzo_blocks: n_l,
+            regression_blocks: n_r,
+            outliers: n_o,
+        }
+    }
+
+    /// [`super::decompress`] with the original per-point block loops — same
+    /// reconstructions, same typed errors.
+    pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz2Error> {
+        let p = parse(bytes)?;
+        let dims = p.dims;
+        let grid = BlockGrid::new(dims, p.block);
+        let q = LinearQuantizer::new(p.eb);
+        let mut out = Field3::zeros(dims);
+        let recon = out.data_mut();
+        let mut plane_it = p.planes.iter();
+        let (mut ci, mut oi) = (0usize, 0usize);
+        let mut ok = true;
+        for (bi, blk) in grid.iter().enumerate() {
+            if p.flags[bi] == 1 {
+                let plane = plane_it.next().ok_or(Sz2Error::Malformed("coefficients"))?;
+                for x in 0..blk.size.nx {
+                    for y in 0..blk.size.ny {
+                        for z in 0..blk.size.nz {
+                            let idx =
+                                dims.idx(blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
+                            let pred = plane.eval(x, y, z);
+                            recon[idx] =
+                                decode_value(&q, pred, p.codes[ci], &p.outliers, &mut oi, &mut ok);
+                            ci += 1;
+                        }
+                    }
+                }
+            } else {
+                for x in 0..blk.size.nx {
+                    for y in 0..blk.size.ny {
+                        for z in 0..blk.size.nz {
+                            let (gx, gy, gz) =
+                                (blk.origin[0] + x, blk.origin[1] + y, blk.origin[2] + z);
+                            let pred = lorenzo(recon, dims, gx, gy, gz);
+                            recon[dims.idx(gx, gy, gz)] =
+                                decode_value(&q, pred, p.codes[ci], &p.outliers, &mut oi, &mut ok);
+                            ci += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if !ok {
+            return Err(Sz2Error::Malformed("stream underrun"));
+        }
+        Ok(out)
+    }
 }
 
 /// SZ2 as a pluggable [`Codec`] backend: the block size is the codec-specific

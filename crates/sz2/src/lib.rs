@@ -21,6 +21,14 @@ pub use compressor::{
     SZ2_CODEC_ID,
 };
 
+/// Pre-overhaul per-point implementations, kept verbatim as differential
+/// oracles for the interior/boundary-split kernels
+/// (`tests/kernel_equivalence.rs`) and the `tables hotpath` before/after
+/// rows — the `bitio::reference` pattern.
+pub mod reference {
+    pub use crate::compressor::reference::{compress, decompress};
+}
+
 /// SZ2 configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sz2Config {

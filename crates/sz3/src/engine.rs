@@ -1,9 +1,32 @@
-//! Level-wise interpolation traversal shared by compression and decompression.
+//! Level-wise interpolation kernels shared by compression and decompression.
 //!
-//! The traversal is the contract between the two directions: both must visit
-//! the same points in the same order with the same predictions, so it lives in
-//! one function parameterized by a visitor closure.
+//! Two implementations live here:
+//!
+//! * [`compress_pass`] / [`decompress_pass`] — the production kernels. Each
+//!   level-sweep is decomposed into independent *lines* along the sweep
+//!   dimension, and every line is peeled into four branch-free segments from
+//!   its geometry alone (`LineGeom`): a midpoint head, a cubic interior
+//!   run, a midpoint tail, and (at most) one extrapolated boundary point.
+//!   Within a line every prediction reads only even multiples of the stride
+//!   (already-known points) while writes land on odd multiples, so the
+//!   interior loops carry no dependency and no per-point predicate: the
+//!   finest level along `z` walks the buffer at element stride 2, which is
+//!   what lets the compiler keep it in registers/vectors. Prediction-kind
+//!   statistics are derived from the level geometry (lines × per-line
+//!   segment counts), not from a per-point `match`.
+//!
+//! * [`mod@reference`] — the original per-point traversal (an `FnMut` visit
+//!   closure plus a gather-closure predictor), kept verbatim as the oracle.
+//!   The differential suite (`tests/kernel_equivalence.rs`) pins the two
+//!   bit-for-bit — same codes, same outliers, same reconstructions, same
+//!   stats — mirroring the `bitio::reference` pattern from the entropy-stage
+//!   overhaul.
+//!
+//! Both paths evaluate predictions with the same f64 expressions in the same
+//! order, so IEEE determinism makes them bit-identical by construction; the
+//! tests make it checked, not assumed.
 
+use hqmr_codec::{LinearQuantizer, QuantOutcome};
 use hqmr_grid::Dims3;
 
 /// Interpolator choice for interior points.
@@ -59,109 +82,536 @@ pub fn interp_levels(n: usize) -> usize {
     (usize::BITS - (n - 1).leading_zeros()) as usize
 }
 
-/// Predicts the point at line position `p` (an odd multiple of `s`) from its
-/// already-known neighbours at multiples of `2s`.
-#[inline]
-fn predict(
-    buf: &[f32],
-    base: usize,
-    stride_elems: usize,
-    n: usize,
-    p: usize,
-    s: usize,
-    interp: InterpKind,
-) -> (f64, PredKind) {
-    let at = |q: usize| buf[base + q * stride_elems] as f64;
-    let prev = at(p - s);
-    if p + s >= n {
-        // One-sided fallback: the point "depends solely" on its predecessor
-        // (the paper's Fig. 7 description of SZ3's behaviour — d1 extrapolates
-        // d5, d5 extrapolates d7). This limited accuracy is precisely what
-        // padding (Improvement 1) removes.
-        return (prev, PredKind::Extrapolated);
-    }
-    let next = at(p + s);
-    if interp == InterpKind::Cubic && p >= 3 * s && p + 3 * s < n {
-        let pred = (-at(p - 3 * s) + 9.0 * prev + 9.0 * next - at(p + 3 * s)) / 16.0;
-        return (pred, PredKind::Cubic);
-    }
-    ((prev + next) / 2.0, PredKind::Midpoint)
+/// Per-line segment counts for one level-sweep: every line of a sweep shares
+/// the same extent `n` and stride `s`, so its prediction kinds are a pure
+/// function of geometry. Target points sit at `p_k = (2k+1)·s < n`;
+/// `predict`'s rules translate to contiguous `k`-ranges:
+///
+/// * only the last point can be one-sided (`p + s ≥ n` for an earlier point
+///   would put its successor past the array);
+/// * cubic requires `p ≥ 3s` (⇔ `k ≥ 1`) and `p + 3s < n`, which implies the
+///   point is interior — so cubic points form one run sandwiched between a
+///   single midpoint head point and a midpoint tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LineGeom {
+    /// Midpoint points before the cubic run (`k < 1` or all-interior when
+    /// the interpolator is linear).
+    mid_head: usize,
+    /// Cubic interior points.
+    cubic: usize,
+    /// Midpoint points after the cubic run (`p + 3s ≥ n` but `p + s < n`).
+    mid_tail: usize,
+    /// Whether the final point extrapolates from its predecessor.
+    extra: bool,
 }
 
-/// Runs the full coarse→fine traversal over `buf` (row-major, `dims`).
+impl LineGeom {
+    fn new(n: usize, s: usize, interp: InterpKind) -> Self {
+        debug_assert!(s < n, "no odd multiples of {s} inside extent {n}");
+        let cnt = (n - 1 - s) / (2 * s) + 1;
+        let last = (2 * cnt - 1) * s;
+        let extra = last + s >= n;
+        let interior = cnt - extra as usize;
+        match interp {
+            InterpKind::Linear => LineGeom {
+                mid_head: interior,
+                cubic: 0,
+                mid_tail: 0,
+                extra,
+            },
+            InterpKind::Cubic => {
+                // k is cubic iff 1 ≤ k and (2k+4)·s ≤ n−1.
+                let m = (n - 1) / s;
+                let c_upper = if m >= 5 { (m - 4) / 2 + 1 } else { 0 };
+                let hi = c_upper.min(interior);
+                let cubic = hi.saturating_sub(1);
+                let mid_head = interior.min(1);
+                LineGeom {
+                    mid_head,
+                    cubic,
+                    mid_tail: interior - mid_head - cubic,
+                    extra,
+                }
+            }
+        }
+    }
+
+    fn interior(&self) -> usize {
+        self.mid_head + self.cubic + self.mid_tail
+    }
+}
+
+/// Quantizes `cur` against `pred`, pushing the code (and, for out-of-band
+/// points, the original value) while returning the value decompression will
+/// reproduce — the invariant that keeps both directions bit-identical.
+#[inline]
+fn quantize_store(
+    q: &LinearQuantizer,
+    cur: f32,
+    pred: f64,
+    codes: &mut Vec<u32>,
+    outliers: &mut Vec<f32>,
+) -> f32 {
+    match q.quantize(cur as f64, pred) {
+        QuantOutcome::Predicted { code, recon } => {
+            let r32 = recon as f32;
+            // Re-check at f32 precision (the stored type).
+            if (r32 as f64 - cur as f64).abs() <= q.eb() {
+                codes.push(code);
+                return r32;
+            }
+            codes.push(LinearQuantizer::UNPREDICTABLE);
+            outliers.push(cur);
+            cur
+        }
+        QuantOutcome::Unpredictable => {
+            codes.push(LinearQuantizer::UNPREDICTABLE);
+            outliers.push(cur);
+            cur
+        }
+    }
+}
+
+/// Recovers one value from its code (out-of-band values come from
+/// `outliers`). On outlier underrun, clears `ok` and substitutes 0 — the
+/// traversal continues so the caller can surface one typed error at the end,
+/// exactly like the reference path.
+#[inline]
+fn recover_value(
+    q: &LinearQuantizer,
+    pred: f64,
+    code: u32,
+    outliers: &[f32],
+    oi: &mut usize,
+    ok: &mut bool,
+) -> f32 {
+    if code == LinearQuantizer::UNPREDICTABLE {
+        match outliers.get(*oi) {
+            Some(&v) => {
+                *oi += 1;
+                v
+            }
+            None => {
+                *ok = false;
+                0.0
+            }
+        }
+    } else {
+        q.recover(code, pred) as f32
+    }
+}
+
+/// Compression kernel for one line: points at odd multiples of `s` along
+/// element stride `e`, peeled into the [`LineGeom`] segments. Every
+/// prediction reads even multiples only — never a value this line writes —
+/// so the interior loops carry no dependency and keep a *rolling window* of
+/// neighbour values: consecutive cubic points share three of their four
+/// support points, so each iteration loads exactly one new value. The f64
+/// expressions match [`super::reference`] term for term, which (IEEE
+/// determinism) makes the two paths bit-identical.
+#[inline]
+#[allow(clippy::too_many_arguments)] // the line kernel's full register set
+fn compress_line(
+    buf: &mut [f32],
+    base: usize,
+    e: usize,
+    s: usize,
+    g: &LineGeom,
+    q: &LinearQuantizer,
+    codes: &mut Vec<u32>,
+    outliers: &mut Vec<f32>,
+) {
+    let se = s * e;
+    let step = 2 * se;
+    let mut i = base + se;
+    if g.mid_head > 0 {
+        let mut prev = buf[i - se] as f64;
+        for _ in 0..g.mid_head {
+            let next = buf[i + se] as f64;
+            let pred = (prev + next) / 2.0;
+            buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+            i += step;
+            prev = next;
+        }
+    }
+    if g.cubic > 0 {
+        let se3 = 3 * se;
+        let mut a = buf[i - se3] as f64;
+        let mut b = buf[i - se] as f64;
+        let mut c = buf[i + se] as f64;
+        let mut d = buf[i + se3] as f64;
+        for _ in 1..g.cubic {
+            let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+            buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+            i += step;
+            (a, b, c) = (b, c, d);
+            d = buf[i + se3] as f64;
+        }
+        let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+        buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+        i += step;
+    }
+    if g.mid_tail > 0 {
+        let mut prev = buf[i - se] as f64;
+        for _ in 0..g.mid_tail {
+            let next = buf[i + se] as f64;
+            let pred = (prev + next) / 2.0;
+            buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+            i += step;
+            prev = next;
+        }
+    }
+    if g.extra {
+        let pred = buf[i - se] as f64;
+        buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+    }
+}
+
+/// Decompression kernel for one line — the mirror of [`compress_line`],
+/// including the rolling neighbour window (predictions read only even
+/// multiples, which decoding never rewrites mid-line).
+#[inline]
+#[allow(clippy::too_many_arguments)] // the line kernel's full register set
+fn decompress_line(
+    buf: &mut [f32],
+    base: usize,
+    e: usize,
+    s: usize,
+    g: &LineGeom,
+    q: &LinearQuantizer,
+    codes: &[u32],
+    ci: &mut usize,
+    outliers: &[f32],
+    oi: &mut usize,
+    ok: &mut bool,
+) {
+    let se = s * e;
+    let step = 2 * se;
+    let mut i = base + se;
+    if g.mid_head > 0 {
+        let mut prev = buf[i - se] as f64;
+        for _ in 0..g.mid_head {
+            let next = buf[i + se] as f64;
+            let pred = (prev + next) / 2.0;
+            buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+            *ci += 1;
+            i += step;
+            prev = next;
+        }
+    }
+    if g.cubic > 0 {
+        let se3 = 3 * se;
+        let mut a = buf[i - se3] as f64;
+        let mut b = buf[i - se] as f64;
+        let mut c = buf[i + se] as f64;
+        let mut d = buf[i + se3] as f64;
+        for _ in 1..g.cubic {
+            let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+            buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+            *ci += 1;
+            i += step;
+            (a, b, c) = (b, c, d);
+            d = buf[i + se3] as f64;
+        }
+        let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+        buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+        *ci += 1;
+        i += step;
+    }
+    if g.mid_tail > 0 {
+        let mut prev = buf[i - se] as f64;
+        for _ in 0..g.mid_tail {
+            let next = buf[i + se] as f64;
+            let pred = (prev + next) / 2.0;
+            buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+            *ci += 1;
+            i += step;
+            prev = next;
+        }
+    }
+    if g.extra {
+        let pred = buf[i - se] as f64;
+        buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+        *ci += 1;
+    }
+}
+
+/// One level-sweep's loop bounds, shared by both passes so the visit order is
+/// defined in exactly one place (and matches [`reference::traverse`]).
+struct Sweep {
+    l_proc: usize,
+    stride: usize,
+    n: usize,
+    s: usize,
+    o_strides: [usize; 2],
+    o_steps: [usize; 2],
+    o_extents: [usize; 2],
+}
+
+impl Sweep {
+    /// Number of lines this sweep visits.
+    fn lines(&self) -> usize {
+        self.o_extents[0].div_ceil(self.o_steps[0]) * self.o_extents[1].div_ceil(self.o_steps[1])
+    }
+
+    /// Calls `f(base)` for every line, in traversal order.
+    #[inline]
+    fn for_each_base(&self, mut f: impl FnMut(usize)) {
+        let mut c1 = 0usize;
+        while c1 < self.o_extents[0] {
+            let b1 = c1 * self.o_strides[0];
+            let mut c2 = 0usize;
+            while c2 < self.o_extents[1] {
+                f(b1 + c2 * self.o_strides[1]);
+                c2 += self.o_steps[1];
+            }
+            c1 += self.o_steps[0];
+        }
+    }
+}
+
+/// Yields every level-sweep of the coarse→fine traversal in processing order.
+fn sweeps(dims: Dims3) -> impl Iterator<Item = Sweep> {
+    let maxlevel = interp_levels(dims.max_extent());
+    let strides = [dims.ny * dims.nz, dims.nz, 1usize];
+    let extents = dims.as_array();
+    (1..=maxlevel)
+        .rev()
+        .enumerate()
+        .flat_map(move |(step, level)| {
+            let l_proc = step + 1;
+            let s = 1usize << (level - 1);
+            (0..3).filter_map(move |d| {
+                let n_d = extents[d];
+                if s >= n_d {
+                    return None; // no odd multiples of s inside this extent
+                }
+                // Other dims: already-processed dims this level use step `s`,
+                // not-yet-processed use `2s`.
+                let (o1, o2) = match d {
+                    0 => (1, 2),
+                    1 => (0, 2),
+                    _ => (0, 1),
+                };
+                Some(Sweep {
+                    l_proc,
+                    stride: strides[d],
+                    n: n_d,
+                    s,
+                    o_strides: [strides[o1], strides[o2]],
+                    o_steps: [
+                        if o1 < d { s } else { 2 * s },
+                        if o2 < d { s } else { 2 * s },
+                    ],
+                    o_extents: [extents[o1], extents[o2]],
+                })
+            })
+        })
+}
+
+/// Runs the full compression pass over `buf` (row-major, `dims`), quantizing
+/// every point's prediction residual with the per-processing-step quantizers
+/// `quants` (index 0 unused; `1..=maxlevel`, clamped to the last entry).
+/// Codes and out-of-band values append to `codes` / `outliers`; `buf` ends up
+/// holding the reconstruction decompression will reproduce.
 ///
-/// For every visited point, `visit(l, idx, cur, pred, kind)` is called with
-/// the 1-based processing step `l` (1 = coarsest), the linear index, the
-/// current buffer value and the prediction; its return value is stored back
-/// into the buffer. Compression passes original data in `buf` and returns
-/// reconstructions; decompression passes zeros and returns decoded values.
-///
-/// Returns the prediction-kind statistics.
-pub(crate) fn traverse(
+/// Returns the prediction-kind statistics, derived from level geometry.
+pub fn compress_pass(
     dims: Dims3,
     interp: InterpKind,
+    quants: &[LinearQuantizer],
     buf: &mut [f32],
-    mut visit: impl FnMut(usize, usize, f32, f64, PredKind) -> f32,
+    codes: &mut Vec<u32>,
+    outliers: &mut Vec<f32>,
 ) -> InterpStats {
     assert_eq!(buf.len(), dims.len(), "buffer does not match {dims}");
     let mut stats = InterpStats::default();
     if buf.is_empty() {
         return stats;
     }
-    let maxlevel = interp_levels(dims.max_extent());
+    codes.reserve(buf.len());
     // Seed: the global first point, predicted from 0 ("level 0" in the paper).
-    buf[0] = visit(1, 0, buf[0], 0.0, PredKind::Seed);
+    buf[0] = quantize_store(
+        &quants[1.min(quants.len() - 1)],
+        buf[0],
+        0.0,
+        codes,
+        outliers,
+    );
     stats.seeds += 1;
-
-    let strides = [dims.ny * dims.nz, dims.nz, 1usize];
-    let extents = dims.as_array();
-
-    for (step, level) in (1..=maxlevel).rev().enumerate() {
-        let l_proc = step + 1;
-        let s = 1usize << (level - 1);
-        for d in 0..3 {
-            let n_d = extents[d];
-            if s >= n_d {
-                continue; // no odd multiples of s inside this extent
-            }
-            // Other dims: already-processed dims this level use step `s`,
-            // not-yet-processed use `2s`.
-            let (o1, o2) = match d {
-                0 => (1, 2),
-                1 => (0, 2),
-                _ => (0, 1),
-            };
-            let step1 = if o1 < d { s } else { 2 * s };
-            let step2 = if o2 < d { s } else { 2 * s };
-            let mut c1 = 0usize;
-            while c1 < extents[o1] {
-                let mut c2 = 0usize;
-                while c2 < extents[o2] {
-                    let base = c1 * strides[o1] + c2 * strides[o2];
-                    let mut p = s;
-                    while p < n_d {
-                        let (pred, kind) = predict(buf, base, strides[d], n_d, p, s, interp);
-                        let idx = base + p * strides[d];
-                        buf[idx] = visit(l_proc, idx, buf[idx], pred, kind);
-                        match kind {
-                            PredKind::Midpoint => stats.midpoint += 1,
-                            PredKind::Cubic => stats.cubic += 1,
-                            PredKind::Extrapolated => stats.extrapolated += 1,
-                            PredKind::Seed => unreachable!(),
-                        }
-                        p += 2 * s;
-                    }
-                    c2 += step2;
-                }
-                c1 += step1;
-            }
-        }
+    for sw in sweeps(dims) {
+        let q = &quants[sw.l_proc.min(quants.len() - 1)];
+        let g = LineGeom::new(sw.n, sw.s, interp);
+        sw.for_each_base(|base| {
+            compress_line(buf, base, sw.stride, sw.s, &g, q, codes, outliers);
+        });
+        let lines = sw.lines();
+        stats.midpoint += lines * (g.mid_head + g.mid_tail);
+        stats.cubic += lines * g.cubic;
+        stats.extrapolated += lines * g.extra as usize;
+        debug_assert_eq!(g.interior() + g.extra as usize, {
+            (sw.n - 1 - sw.s) / (2 * sw.s) + 1
+        });
     }
     stats
 }
 
+/// Runs the full decompression pass into `buf`, consuming one code per point
+/// (and one `outliers` entry per out-of-band code) in traversal order.
+///
+/// `codes` must hold exactly `dims.len()` entries (the caller validates the
+/// stream before the pass). Returns `false` when the outlier side channel
+/// underruns — the pass still completes, substituting zeros, so the caller
+/// reports one typed error.
+pub fn decompress_pass(
+    dims: Dims3,
+    interp: InterpKind,
+    quants: &[LinearQuantizer],
+    codes: &[u32],
+    outliers: &[f32],
+    buf: &mut [f32],
+) -> bool {
+    assert_eq!(buf.len(), dims.len(), "buffer does not match {dims}");
+    assert_eq!(codes.len(), buf.len(), "one code per point");
+    if buf.is_empty() {
+        return true;
+    }
+    let mut ok = true;
+    let (mut ci, mut oi) = (0usize, 0usize);
+    buf[0] = recover_value(
+        &quants[1.min(quants.len() - 1)],
+        0.0,
+        codes[0],
+        outliers,
+        &mut oi,
+        &mut ok,
+    );
+    ci += 1;
+    for sw in sweeps(dims) {
+        let q = &quants[sw.l_proc.min(quants.len() - 1)];
+        let g = LineGeom::new(sw.n, sw.s, interp);
+        sw.for_each_base(|base| {
+            decompress_line(
+                buf, base, sw.stride, sw.s, &g, q, codes, &mut ci, outliers, &mut oi, &mut ok,
+            );
+        });
+    }
+    debug_assert_eq!(ci, codes.len(), "every code consumed exactly once");
+    ok
+}
+
+/// The pre-overhaul per-point traversal, kept verbatim as the differential
+/// oracle for the line kernels (the `bitio::reference` pattern).
+pub mod reference {
+    use super::{interp_levels, InterpKind, InterpStats, PredKind};
+    use hqmr_grid::Dims3;
+
+    /// Predicts the point at line position `p` (an odd multiple of `s`) from
+    /// its already-known neighbours at multiples of `2s`.
+    #[inline]
+    fn predict(
+        buf: &[f32],
+        base: usize,
+        stride_elems: usize,
+        n: usize,
+        p: usize,
+        s: usize,
+        interp: InterpKind,
+    ) -> (f64, PredKind) {
+        let at = |q: usize| buf[base + q * stride_elems] as f64;
+        let prev = at(p - s);
+        if p + s >= n {
+            // One-sided fallback: the point "depends solely" on its
+            // predecessor (the paper's Fig. 7 description of SZ3's behaviour
+            // — d1 extrapolates d5, d5 extrapolates d7). This limited
+            // accuracy is precisely what padding (Improvement 1) removes.
+            return (prev, PredKind::Extrapolated);
+        }
+        let next = at(p + s);
+        if interp == InterpKind::Cubic && p >= 3 * s && p + 3 * s < n {
+            let pred = (-at(p - 3 * s) + 9.0 * prev + 9.0 * next - at(p + 3 * s)) / 16.0;
+            return (pred, PredKind::Cubic);
+        }
+        ((prev + next) / 2.0, PredKind::Midpoint)
+    }
+
+    /// Runs the full coarse→fine traversal over `buf` (row-major, `dims`).
+    ///
+    /// For every visited point, `visit(l, idx, cur, pred, kind)` is called
+    /// with the 1-based processing step `l` (1 = coarsest), the linear index,
+    /// the current buffer value and the prediction; its return value is
+    /// stored back into the buffer. Compression passes original data in
+    /// `buf` and returns reconstructions; decompression passes zeros and
+    /// returns decoded values.
+    ///
+    /// Returns the prediction-kind statistics.
+    pub fn traverse(
+        dims: Dims3,
+        interp: InterpKind,
+        buf: &mut [f32],
+        mut visit: impl FnMut(usize, usize, f32, f64, PredKind) -> f32,
+    ) -> InterpStats {
+        assert_eq!(buf.len(), dims.len(), "buffer does not match {dims}");
+        let mut stats = InterpStats::default();
+        if buf.is_empty() {
+            return stats;
+        }
+        let maxlevel = interp_levels(dims.max_extent());
+        // Seed: the global first point, predicted from 0 ("level 0").
+        buf[0] = visit(1, 0, buf[0], 0.0, PredKind::Seed);
+        stats.seeds += 1;
+
+        let strides = [dims.ny * dims.nz, dims.nz, 1usize];
+        let extents = dims.as_array();
+
+        for (step, level) in (1..=maxlevel).rev().enumerate() {
+            let l_proc = step + 1;
+            let s = 1usize << (level - 1);
+            for d in 0..3 {
+                let n_d = extents[d];
+                if s >= n_d {
+                    continue; // no odd multiples of s inside this extent
+                }
+                // Other dims: already-processed dims this level use step
+                // `s`, not-yet-processed use `2s`.
+                let (o1, o2) = match d {
+                    0 => (1, 2),
+                    1 => (0, 2),
+                    _ => (0, 1),
+                };
+                let step1 = if o1 < d { s } else { 2 * s };
+                let step2 = if o2 < d { s } else { 2 * s };
+                let mut c1 = 0usize;
+                while c1 < extents[o1] {
+                    let mut c2 = 0usize;
+                    while c2 < extents[o2] {
+                        let base = c1 * strides[o1] + c2 * strides[o2];
+                        let mut p = s;
+                        while p < n_d {
+                            let (pred, kind) = predict(buf, base, strides[d], n_d, p, s, interp);
+                            let idx = base + p * strides[d];
+                            buf[idx] = visit(l_proc, idx, buf[idx], pred, kind);
+                            match kind {
+                                PredKind::Midpoint => stats.midpoint += 1,
+                                PredKind::Cubic => stats.cubic += 1,
+                                PredKind::Extrapolated => stats.extrapolated += 1,
+                                PredKind::Seed => unreachable!(),
+                            }
+                            p += 2 * s;
+                        }
+                        c2 += step2;
+                    }
+                    c1 += step1;
+                }
+            }
+        }
+        stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::reference::traverse;
     use super::*;
 
     fn count_visits(dims: Dims3) -> (Vec<u32>, InterpStats) {
@@ -201,8 +651,36 @@ mod tests {
         }
     }
 
-    /// Fig. 7: an 8-point line suffers inner extrapolations; Fig. 8: padding to
-    /// 9 points leaves only the single outer extrapolation.
+    /// The geometry-derived statistics of the line kernels must equal the
+    /// per-point tally of the reference traversal on every shape.
+    #[test]
+    fn geometry_stats_match_reference_tally() {
+        for dims in [
+            Dims3::cube(8),
+            Dims3::cube(9),
+            Dims3::new(17, 17, 64),
+            Dims3::new(1, 1, 8),
+            Dims3::new(5, 3, 7),
+            Dims3::new(1, 1, 1),
+            Dims3::new(2, 1, 1),
+            Dims3::new(1, 31, 2),
+        ] {
+            for interp in [InterpKind::Linear, InterpKind::Cubic] {
+                let mut buf = vec![1f32; dims.len()];
+                let ref_stats = traverse(dims, interp, &mut buf, |_, _, cur, _, _| cur);
+                let quants = [LinearQuantizer::new(1.0); 2];
+                let mut buf = vec![1f32; dims.len()];
+                let (mut codes, mut outliers) = (Vec::new(), Vec::new());
+                let new_stats =
+                    compress_pass(dims, interp, &quants, &mut buf, &mut codes, &mut outliers);
+                assert_eq!(new_stats, ref_stats, "dims {dims} {interp:?}");
+                assert_eq!(codes.len(), dims.len(), "one code per point");
+            }
+        }
+    }
+
+    /// Fig. 7: an 8-point line suffers inner extrapolations; Fig. 8: padding
+    /// to 9 points leaves only the single outer extrapolation.
     #[test]
     fn padding_eliminates_inner_extrapolation() {
         let (_, s8) = count_visits(Dims3::new(1, 1, 8));
@@ -244,9 +722,9 @@ mod tests {
 
     #[test]
     fn linear_ramp_predicts_exactly_inside() {
-        // On a perfectly linear field, midpoint & cubic predictions are exact;
-        // passing the true values straight through must keep every interior
-        // prediction error at zero.
+        // On a perfectly linear field, midpoint & cubic predictions are
+        // exact; passing the true values straight through must keep every
+        // interior prediction error at zero.
         let dims = Dims3::new(1, 1, 9);
         let mut buf: Vec<f32> = (0..9).map(|z| z as f32).collect();
         let mut max_err = 0f64;

@@ -16,14 +16,22 @@
 //! * [`LevelEbPolicy`] implements the paper's adaptive per-level error bound
 //!   `eb_l = eb · (min(α^{maxlevel−l}, β))⁻¹` (§III-A, Improvement 2).
 
-mod engine;
+pub mod engine;
 mod stream;
 
-pub use engine::{interp_levels, InterpKind, InterpStats};
+pub use engine::{interp_levels, InterpKind, InterpStats, PredKind};
 pub use stream::{
     compress, compress_into, decompress, decompress_into, CompressResult, Sz3Codec, Sz3Error,
     SZ3_CODEC_ID,
 };
+
+/// Pre-overhaul per-point implementations, kept verbatim as differential
+/// oracles for the line kernels (`tests/kernel_equivalence.rs`) and the
+/// `tables hotpath` before/after rows — the `bitio::reference` pattern.
+pub mod reference {
+    pub use crate::engine::reference::traverse;
+    pub use crate::stream::reference::{compress, decompress};
+}
 
 /// Adaptive per-level error-bound policy (the paper's Improvement 2).
 ///

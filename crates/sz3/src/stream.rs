@@ -1,6 +1,14 @@
 //! Serialization: SZ3 bitstream = container{ header, Huffman codes, outliers }.
+//!
+//! The quantization/prediction work happens in the `engine` line kernels
+//! ([`crate::engine::compress_pass`] / [`crate::engine::decompress_pass`]);
+//! this module owns the container layout, shared by the production kernels
+//! and the [`reference`]-oracle paths so both serialize byte-identically.
 
-use crate::engine::{interp_levels, traverse, InterpKind, InterpStats, PredKind};
+use crate::engine::{
+    compress_pass, decompress_pass, interp_levels, reference::traverse, InterpKind, InterpStats,
+    PredKind,
+};
 use crate::{LevelEbPolicy, Sz3Config};
 use hqmr_codec::{
     check_stream_id, huffman_decode, huffman_encode, pack_maybe_rle, push_stream_id, read_uvarint,
@@ -82,31 +90,22 @@ fn compress_container(field: &Field3, cfg: &Sz3Config) -> (Container, InterpStat
     let quants = level_quantizers(cfg, maxlevel);
 
     let mut buf = field.data().to_vec();
-    let mut codes: Vec<u32> = Vec::with_capacity(buf.len());
+    let mut codes: Vec<u32> = Vec::new();
     let mut outliers: Vec<f32> = Vec::new();
+    let stats = compress_pass(
+        dims,
+        cfg.interp,
+        &quants,
+        &mut buf,
+        &mut codes,
+        &mut outliers,
+    );
+    let n_outliers = outliers.len();
+    (serialize(dims, cfg, &codes, &outliers), stats, n_outliers)
+}
 
-    let stats = traverse(dims, cfg.interp, &mut buf, |l, _idx, cur, pred, _kind| {
-        let q = &quants[l];
-        match q.quantize(cur as f64, pred) {
-            QuantOutcome::Predicted { code, recon } => {
-                let r32 = recon as f32;
-                // Re-check at f32 precision (the stored type).
-                if (r32 as f64 - cur as f64).abs() <= q.eb() {
-                    codes.push(code);
-                    return r32;
-                }
-                codes.push(LinearQuantizer::UNPREDICTABLE);
-                outliers.push(cur);
-                cur
-            }
-            QuantOutcome::Unpredictable => {
-                codes.push(LinearQuantizer::UNPREDICTABLE);
-                outliers.push(cur);
-                cur
-            }
-        }
-    });
-
+/// Frames quantization codes + outliers into the self-describing container.
+fn serialize(dims: Dims3, cfg: &Sz3Config, codes: &[u32], outliers: &[f32]) -> Container {
     let mut head = Vec::new();
     write_uvarint(&mut head, dims.nx as u64);
     write_uvarint(&mut head, dims.ny as u64);
@@ -127,17 +126,16 @@ fn compress_container(field: &Field3, cfg: &Sz3Config) -> (Container, InterpStat
 
     let mut out_bytes = Vec::with_capacity(outliers.len() * 4 + 8);
     write_uvarint(&mut out_bytes, outliers.len() as u64);
-    for v in &outliers {
+    for v in outliers {
         out_bytes.extend_from_slice(&v.to_le_bytes());
     }
 
     let mut c = Container::new();
     push_stream_id(&mut c, SZ3_CODEC_ID);
     c.push(TAG_HEAD, head);
-    c.push(TAG_CODES, pack_maybe_rle(&huffman_encode(&codes)));
+    c.push(TAG_CODES, pack_maybe_rle(&huffman_encode(codes)));
     c.push(TAG_OUTLIERS, out_bytes);
-    let n_outliers = outliers.len();
-    (c, stats, n_outliers)
+    c
 }
 
 /// Decompresses a stream produced by [`compress`].
@@ -150,6 +148,21 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz3Error> {
 /// [`decompress`] into a caller-owned field (reshaped in place), so
 /// per-chunk readers reuse one reconstruction buffer.
 pub fn decompress_into(bytes: &[u8], out: &mut Field3) -> Result<(), Sz3Error> {
+    let (cfg, dims, codes, outliers) = parse(bytes)?;
+    let maxlevel = interp_levels(dims.max_extent());
+    let quants = level_quantizers(&cfg, maxlevel);
+    out.reshape(dims, 0.0);
+    if !decompress_pass(dims, cfg.interp, &quants, &codes, &outliers, out.data_mut()) {
+        return Err(Sz3Error::Malformed("stream underrun"));
+    }
+    Ok(())
+}
+
+/// Parses and validates a stream back into its config, dims, quantization
+/// codes and outlier side channel — shared by the production and reference
+/// decode paths.
+#[allow(clippy::type_complexity)]
+fn parse(bytes: &[u8]) -> Result<(Sz3Config, Dims3, Vec<u32>, Vec<f32>), Sz3Error> {
     let c = Container::from_bytes(bytes)?;
     check_stream_id(&c, SZ3_CODEC_ID)?;
     let head = c.require(TAG_HEAD)?;
@@ -202,39 +215,92 @@ pub fn decompress_into(bytes: &[u8], out: &mut Field3) -> Result<(), Sz3Error> {
         .chunks_exact(4)
         .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
         .collect();
+    Ok((cfg, dims, codes, outliers))
+}
 
-    let maxlevel = interp_levels(dims.max_extent());
-    let quants = level_quantizers(&cfg, maxlevel);
-    out.reshape(dims, 0.0);
-    let mut code_it = codes.iter();
-    let mut out_it = outliers.iter();
-    let mut missing = false;
-    traverse(
-        dims,
-        cfg.interp,
-        out.data_mut(),
-        |l, _idx, _cur, pred, _kind: PredKind| {
-            let Some(&code) = code_it.next() else {
-                missing = true;
-                return 0.0;
-            };
-            if code == LinearQuantizer::UNPREDICTABLE {
-                match out_it.next() {
-                    Some(&v) => v,
-                    None => {
-                        missing = true;
-                        0.0
+/// Pre-overhaul codec paths: the per-point visit-closure traversal driving
+/// the same quantizers and the same serialization. These are the full-stream
+/// oracles the differential suite compares [`compress`] / [`decompress`]
+/// against, mirroring `bitio::reference`.
+pub mod reference {
+    use super::*;
+
+    /// [`super::compress`] built on [`traverse`] — byte-identical output.
+    pub fn compress(field: &Field3, cfg: &Sz3Config) -> CompressResult {
+        let dims = field.dims();
+        let maxlevel = interp_levels(dims.max_extent());
+        let quants = level_quantizers(cfg, maxlevel);
+
+        let mut buf = field.data().to_vec();
+        let mut codes: Vec<u32> = Vec::with_capacity(buf.len());
+        let mut outliers: Vec<f32> = Vec::new();
+
+        let stats = traverse(dims, cfg.interp, &mut buf, |l, _idx, cur, pred, _kind| {
+            let q = &quants[l];
+            match q.quantize(cur as f64, pred) {
+                QuantOutcome::Predicted { code, recon } => {
+                    let r32 = recon as f32;
+                    // Re-check at f32 precision (the stored type).
+                    if (r32 as f64 - cur as f64).abs() <= q.eb() {
+                        codes.push(code);
+                        return r32;
                     }
+                    codes.push(LinearQuantizer::UNPREDICTABLE);
+                    outliers.push(cur);
+                    cur
                 }
-            } else {
-                quants[l].recover(code, pred) as f32
+                QuantOutcome::Unpredictable => {
+                    codes.push(LinearQuantizer::UNPREDICTABLE);
+                    outliers.push(cur);
+                    cur
+                }
             }
-        },
-    );
-    if missing {
-        return Err(Sz3Error::Malformed("stream underrun"));
+        });
+        let n_outliers = outliers.len();
+        CompressResult {
+            bytes: serialize(dims, cfg, &codes, &outliers).to_bytes(),
+            stats,
+            outliers: n_outliers,
+        }
     }
-    Ok(())
+
+    /// [`super::decompress`] built on [`traverse`] — same reconstructions,
+    /// same typed errors.
+    pub fn decompress(bytes: &[u8]) -> Result<Field3, Sz3Error> {
+        let (cfg, dims, codes, outliers) = parse(bytes)?;
+        let maxlevel = interp_levels(dims.max_extent());
+        let quants = level_quantizers(&cfg, maxlevel);
+        let mut out = Field3::zeros(dims);
+        let mut code_it = codes.iter();
+        let mut out_it = outliers.iter();
+        let mut missing = false;
+        traverse(
+            dims,
+            cfg.interp,
+            out.data_mut(),
+            |l, _idx, _cur, pred, _kind: PredKind| {
+                let Some(&code) = code_it.next() else {
+                    missing = true;
+                    return 0.0;
+                };
+                if code == LinearQuantizer::UNPREDICTABLE {
+                    match out_it.next() {
+                        Some(&v) => v,
+                        None => {
+                            missing = true;
+                            0.0
+                        }
+                    }
+                } else {
+                    quants[l].recover(code, pred) as f32
+                }
+            },
+        );
+        if missing {
+            return Err(Sz3Error::Malformed("stream underrun"));
+        }
+        Ok(out)
+    }
 }
 
 /// SZ3 as a pluggable [`Codec`] backend: the codec-specific knobs

@@ -69,6 +69,14 @@ pub fn encode_block_ints(w: &mut BitWriter, data: &[i64; 64], maxprec: u32) {
 }
 
 /// Decodes a block encoded by [`encode_block_ints`] with the same `maxprec`.
+///
+/// The unary run lengths of the group test are decoded word-at-a-time: a
+/// `peek_bits`/`trailing_zeros` pair replaces the per-bit loop, consuming
+/// exactly the same bits (the reader zero-pads past the end just like
+/// `read_bit` returning `false`). Plane deposits walk set bits with
+/// `trailing_zeros` instead of shifting through all 64 positions. Kept
+/// observationally identical to [`reference::decode_block_ints`] — same
+/// coefficients, same stream position — and pinned by differential tests.
 pub fn decode_block_ints(r: &mut BitReader<'_>, maxprec: u32) -> [i64; 64] {
     let kmin = INTPREC.saturating_sub(maxprec);
     let mut ub = [0u64; 64];
@@ -77,25 +85,76 @@ pub fn decode_block_ints(r: &mut BitReader<'_>, maxprec: u32) -> [i64; 64] {
         let mut x = if n > 0 { r.read_bits(n as u32) } else { 0 };
         let mut m = n;
         while m < 64 && r.read_bit() {
-            while m < 63 && !r.read_bit() {
-                m += 1;
+            // Unary run: count zeros until the marker 1, capped at position
+            // 63 (whose marker is implicit).
+            loop {
+                let cap = 63 - m as u32;
+                if cap == 0 {
+                    break;
+                }
+                let width = cap.min(56);
+                let window = r.peek_bits(width);
+                if window == 0 {
+                    r.consume(width);
+                    m += width as usize;
+                    continue;
+                }
+                let zeros = window.trailing_zeros();
+                r.consume(zeros + 1);
+                m += zeros as usize;
+                break;
             }
             x |= 1u64 << m;
             m += 1;
         }
         n = m;
-        // Deposit plane k.
-        let mut i = 0usize;
+        // Deposit plane k: visit only the set bits.
         let mut bits = x;
         while bits != 0 {
-            if bits & 1 == 1 {
-                ub[i] |= 1u64 << k;
-            }
-            bits >>= 1;
-            i += 1;
+            let i = bits.trailing_zeros() as usize;
+            ub[i] |= 1u64 << k;
+            bits &= bits - 1;
         }
     }
     std::array::from_fn(|i| uint2int(ub[i]))
+}
+
+/// The pre-overhaul per-bit decoder, kept verbatim as the differential
+/// oracle for the batched group-test decode.
+pub mod reference {
+    use super::{uint2int, INTPREC};
+    use hqmr_codec::BitReader;
+
+    /// Original [`super::decode_block_ints`]: one `read_bit` per group-test
+    /// and unary-run bit, bit-by-bit plane deposit.
+    pub fn decode_block_ints(r: &mut BitReader<'_>, maxprec: u32) -> [i64; 64] {
+        let kmin = INTPREC.saturating_sub(maxprec);
+        let mut ub = [0u64; 64];
+        let mut n = 0usize;
+        for k in (kmin..INTPREC).rev() {
+            let mut x = if n > 0 { r.read_bits(n as u32) } else { 0 };
+            let mut m = n;
+            while m < 64 && r.read_bit() {
+                while m < 63 && !r.read_bit() {
+                    m += 1;
+                }
+                x |= 1u64 << m;
+                m += 1;
+            }
+            n = m;
+            // Deposit plane k.
+            let mut i = 0usize;
+            let mut bits = x;
+            while bits != 0 {
+                if bits & 1 == 1 {
+                    ub[i] |= 1u64 << k;
+                }
+                bits >>= 1;
+                i += 1;
+            }
+        }
+        std::array::from_fn(|i| uint2int(ub[i]))
+    }
 }
 
 #[cfg(test)]

@@ -4,8 +4,8 @@ use crate::coder::{decode_block_ints, encode_block_ints, INTPREC};
 use crate::transform::{fwd_transform3, inv_transform3};
 use crate::{ZfpConfig, BLOCK, BLOCK_LEN};
 use hqmr_codec::{
-    check_stream_id, push_stream_id, read_uvarint, tag, write_uvarint, BitReader, BitWriter, Codec,
-    CodecError, Container,
+    check_stream_id, push_stream_id, read_uvarint, round_ties_away_i64, tag, write_uvarint,
+    BitReader, BitWriter, Codec, CodecError, Container,
 };
 use hqmr_grid::{BlockGrid, Dims3, Field3};
 
@@ -72,6 +72,16 @@ pub fn compress_into(field: &Field3, cfg: &ZfpConfig, out: &mut Vec<u8>) {
 
 /// The compression pipeline up to (but not including) serialization.
 fn compress_container(field: &Field3, cfg: &ZfpConfig) -> (Container, usize) {
+    compress_container_with(field, cfg, fwd_transform3)
+}
+
+/// [`compress_container`] parameterized over the block transform, so the
+/// [`reference`] path reuses everything but the kernel under test.
+fn compress_container_with(
+    field: &Field3,
+    cfg: &ZfpConfig,
+    fwd: fn(&mut [i64; 64]),
+) -> (Container, usize) {
     let dims = field.dims();
     let grid = BlockGrid::new(dims, BLOCK);
     let minexp = cfg.tol.log2().floor() as i32;
@@ -102,9 +112,9 @@ fn compress_container(field: &Field3, cfg: &ZfpConfig) -> (Container, usize) {
         w.write_bits((emax + EMAX_BIAS) as u64, 16);
         let scale = 2f64.powi(Q - emax);
         for (i, &v) in vals.iter().enumerate() {
-            ints[i] = (v as f64 * scale).round() as i64;
+            ints[i] = round_ties_away_i64(v as f64 * scale);
         }
-        fwd_transform3(&mut ints);
+        fwd(&mut ints);
         encode_block_ints(&mut w, &ints, maxprec as u32);
     }
 
@@ -131,6 +141,18 @@ pub fn decompress(bytes: &[u8]) -> Result<Field3, ZfpError> {
 /// [`decompress`] into a caller-owned field (reshaped in place), so
 /// per-chunk readers reuse one reconstruction buffer.
 pub fn decompress_into(bytes: &[u8], out: &mut Field3) -> Result<(), ZfpError> {
+    decompress_into_with(bytes, out, decode_block_ints, inv_transform3)
+}
+
+/// [`decompress_into`] parameterized over the bit-plane decoder and inverse
+/// transform, so the [`reference`] path reuses everything but the kernels
+/// under test.
+fn decompress_into_with(
+    bytes: &[u8],
+    out: &mut Field3,
+    decode: fn(&mut BitReader<'_>, u32) -> [i64; 64],
+    inv: fn(&mut [i64; 64]),
+) -> Result<(), ZfpError> {
     let c = Container::from_bytes(bytes)?;
     check_stream_id(&c, ZFP_CODEC_ID)?;
     let head = c.require(TAG_HEAD)?;
@@ -160,8 +182,8 @@ pub fn decompress_into(bytes: &[u8], out: &mut Field3) -> Result<(), ZfpError> {
         if maxprec <= 0 {
             return Err(ZfpError::Malformed("nonzero block below tolerance"));
         }
-        let mut ints = decode_block_ints(&mut r, maxprec as u32);
-        inv_transform3(&mut ints);
+        let mut ints = decode(&mut r, maxprec as u32);
+        inv(&mut ints);
         let scale = 2f64.powi(emax - Q);
         for (f, &i) in fvals.iter_mut().zip(&ints) {
             *f = (i as f64 * scale) as f32;
@@ -175,6 +197,37 @@ pub fn decompress_into(bytes: &[u8], out: &mut Field3) -> Result<(), ZfpError> {
         return Err(ZfpError::Malformed("stream underrun"));
     }
     Ok(())
+}
+
+/// Pre-overhaul codec paths built on the reference transform and per-bit
+/// plane decoder — full-stream differential oracles for the in-place/fused
+/// kernels (the `bitio::reference` pattern).
+pub mod reference {
+    use super::*;
+
+    /// [`super::compress`] built on the line-copying reference transform —
+    /// byte-identical output.
+    pub fn compress(field: &Field3, cfg: &ZfpConfig) -> CompressResult {
+        let (c, zero_blocks) =
+            compress_container_with(field, cfg, crate::transform::reference::fwd_transform3);
+        CompressResult {
+            bytes: c.to_bytes(),
+            zero_blocks,
+        }
+    }
+
+    /// [`super::decompress`] built on the reference plane decoder and
+    /// inverse transform — same reconstructions, same typed errors.
+    pub fn decompress(bytes: &[u8]) -> Result<Field3, ZfpError> {
+        let mut out = Field3::zeros(Dims3::new(0, 0, 0));
+        decompress_into_with(
+            bytes,
+            &mut out,
+            crate::coder::reference::decode_block_ints,
+            crate::transform::reference::inv_transform3,
+        )?;
+        Ok(out)
+    }
 }
 
 /// ZFP as a pluggable [`Codec`] backend. ZFP's only run-time knob is the

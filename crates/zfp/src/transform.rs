@@ -70,80 +70,192 @@ const fn coeff_order() -> [u8; 64] {
     order
 }
 
+/// Position of transform-layout index `i` in the frequency ordering
+/// (`COEFF_POS[COEFF_ORDER[o]] == o`) — the scatter map that lets the last
+/// forward sweep write its outputs directly into frequency order.
+const COEFF_POS: [u8; 64] = coeff_pos();
+
+const fn coeff_pos() -> [u8; 64] {
+    let mut pos = [0u8; 64];
+    let mut o = 0usize;
+    while o < 64 {
+        pos[COEFF_ORDER[o] as usize] = o as u8;
+        o += 1;
+    }
+    pos
+}
+
 /// Forward transform of a 4³ block (in place, layout `i = (x*4+y)*4+z`),
 /// followed by reordering into frequency order.
+///
+/// The z and y sweeps lift in place through direct indices (no per-4-group
+/// line copies); the x sweep fuses the coefficient reorder by scattering its
+/// outputs straight to their [`COEFF_ORDER`] positions. Integer lifting is
+/// exact, so this is bit-identical to [`reference::fwd_transform3`] (pinned
+/// by the differential tests).
 pub fn fwd_transform3(block: &mut [i64; 64]) {
-    let mut line = [0i64; 4];
-    // Along z (stride 1).
+    // Along z (stride 1), in place.
     for base in (0..64).step_by(4) {
-        line.copy_from_slice(&block[base..base + 4]);
-        fwd4(&mut line);
-        block[base..base + 4].copy_from_slice(&line);
+        let (a0, d0) = s_fwd(block[base], block[base + 1]);
+        let (a1, d1) = s_fwd(block[base + 2], block[base + 3]);
+        let (a, dd) = s_fwd(a0, a1);
+        block[base] = a;
+        block[base + 1] = dd;
+        block[base + 2] = d0;
+        block[base + 3] = d1;
     }
-    // Along y (stride 4).
+    // Along y (stride 4), in place.
     for x in 0..4 {
         for z in 0..4 {
             let base = x * 16 + z;
+            let (a0, d0) = s_fwd(block[base], block[base + 4]);
+            let (a1, d1) = s_fwd(block[base + 8], block[base + 12]);
+            let (a, dd) = s_fwd(a0, a1);
+            block[base] = a;
+            block[base + 4] = dd;
+            block[base + 8] = d0;
+            block[base + 12] = d1;
+        }
+    }
+    // Along x (stride 16), scattering outputs into frequency order.
+    let mut out = [0i64; 64];
+    for yz in 0..16 {
+        let (a0, d0) = s_fwd(block[yz], block[yz + 16]);
+        let (a1, d1) = s_fwd(block[yz + 32], block[yz + 48]);
+        let (a, dd) = s_fwd(a0, a1);
+        out[COEFF_POS[yz] as usize] = a;
+        out[COEFF_POS[yz + 16] as usize] = dd;
+        out[COEFF_POS[yz + 32] as usize] = d0;
+        out[COEFF_POS[yz + 48] as usize] = d1;
+    }
+    *block = out;
+}
+
+/// Inverse of [`fwd_transform3`]: the x sweep gathers straight from the
+/// frequency-ordered input (fusing the un-reorder), then y and z lift in
+/// place.
+pub fn inv_transform3(block: &mut [i64; 64]) {
+    let mut out = [0i64; 64];
+    // Along x (stride 16), reading each coefficient from its frequency slot.
+    for yz in 0..16 {
+        let a = block[COEFF_POS[yz] as usize];
+        let dd = block[COEFF_POS[yz + 16] as usize];
+        let d0 = block[COEFF_POS[yz + 32] as usize];
+        let d1 = block[COEFF_POS[yz + 48] as usize];
+        let (a0, a1) = s_inv(a, dd);
+        let (p0, p1) = s_inv(a0, d0);
+        let (p2, p3) = s_inv(a1, d1);
+        out[yz] = p0;
+        out[yz + 16] = p1;
+        out[yz + 32] = p2;
+        out[yz + 48] = p3;
+    }
+    // Along y (stride 4), in place.
+    for x in 0..4 {
+        for z in 0..4 {
+            let base = x * 16 + z;
+            let (a0, a1) = s_inv(out[base], out[base + 4]);
+            let (p0, p1) = s_inv(a0, out[base + 8]);
+            let (p2, p3) = s_inv(a1, out[base + 12]);
+            out[base] = p0;
+            out[base + 4] = p1;
+            out[base + 8] = p2;
+            out[base + 12] = p3;
+        }
+    }
+    // Along z (stride 1), in place.
+    for base in (0..64).step_by(4) {
+        let (a0, a1) = s_inv(out[base], out[base + 1]);
+        let (p0, p1) = s_inv(a0, out[base + 2]);
+        let (p2, p3) = s_inv(a1, out[base + 3]);
+        out[base] = p0;
+        out[base + 1] = p1;
+        out[base + 2] = p2;
+        out[base + 3] = p3;
+    }
+    *block = out;
+}
+
+/// The pre-overhaul line-copying transforms, kept verbatim as differential
+/// oracles for the in-place/fused kernels.
+pub mod reference {
+    use super::{fwd4, inv4, COEFF_ORDER};
+
+    /// Original [`super::fwd_transform3`]: per-4-group line copies plus a
+    /// separate reorder pass.
+    pub fn fwd_transform3(block: &mut [i64; 64]) {
+        let mut line = [0i64; 4];
+        // Along z (stride 1).
+        for base in (0..64).step_by(4) {
+            line.copy_from_slice(&block[base..base + 4]);
+            fwd4(&mut line);
+            block[base..base + 4].copy_from_slice(&line);
+        }
+        // Along y (stride 4).
+        for x in 0..4 {
+            for z in 0..4 {
+                let base = x * 16 + z;
+                for (i, l) in line.iter_mut().enumerate() {
+                    *l = block[base + 4 * i];
+                }
+                fwd4(&mut line);
+                for (i, &l) in line.iter().enumerate() {
+                    block[base + 4 * i] = l;
+                }
+            }
+        }
+        // Along x (stride 16).
+        for yz in 0..16 {
             for (i, l) in line.iter_mut().enumerate() {
-                *l = block[base + 4 * i];
+                *l = block[yz + 16 * i];
             }
             fwd4(&mut line);
             for (i, &l) in line.iter().enumerate() {
-                block[base + 4 * i] = l;
+                block[yz + 16 * i] = l;
             }
         }
-    }
-    // Along x (stride 16).
-    for yz in 0..16 {
-        for (i, l) in line.iter_mut().enumerate() {
-            *l = block[yz + 16 * i];
-        }
-        fwd4(&mut line);
-        for (i, &l) in line.iter().enumerate() {
-            block[yz + 16 * i] = l;
+        // Reorder into frequency order.
+        let copy = *block;
+        for (o, &src) in COEFF_ORDER.iter().enumerate() {
+            block[o] = copy[src as usize];
         }
     }
-    // Reorder into frequency order.
-    let copy = *block;
-    for (o, &src) in COEFF_ORDER.iter().enumerate() {
-        block[o] = copy[src as usize];
-    }
-}
 
-/// Inverse of [`fwd_transform3`].
-pub fn inv_transform3(block: &mut [i64; 64]) {
-    // Undo the reordering.
-    let copy = *block;
-    for (o, &src) in COEFF_ORDER.iter().enumerate() {
-        block[src as usize] = copy[o];
-    }
-    let mut line = [0i64; 4];
-    // Inverse order of the forward sweeps.
-    for yz in 0..16 {
-        for (i, l) in line.iter_mut().enumerate() {
-            *l = block[yz + 16 * i];
+    /// Original [`super::inv_transform3`].
+    pub fn inv_transform3(block: &mut [i64; 64]) {
+        // Undo the reordering.
+        let copy = *block;
+        for (o, &src) in COEFF_ORDER.iter().enumerate() {
+            block[src as usize] = copy[o];
         }
-        inv4(&mut line);
-        for (i, &l) in line.iter().enumerate() {
-            block[yz + 16 * i] = l;
-        }
-    }
-    for x in 0..4 {
-        for z in 0..4 {
-            let base = x * 16 + z;
+        let mut line = [0i64; 4];
+        // Inverse order of the forward sweeps.
+        for yz in 0..16 {
             for (i, l) in line.iter_mut().enumerate() {
-                *l = block[base + 4 * i];
+                *l = block[yz + 16 * i];
             }
             inv4(&mut line);
             for (i, &l) in line.iter().enumerate() {
-                block[base + 4 * i] = l;
+                block[yz + 16 * i] = l;
             }
         }
-    }
-    for base in (0..64).step_by(4) {
-        line.copy_from_slice(&block[base..base + 4]);
-        inv4(&mut line);
-        block[base..base + 4].copy_from_slice(&line);
+        for x in 0..4 {
+            for z in 0..4 {
+                let base = x * 16 + z;
+                for (i, l) in line.iter_mut().enumerate() {
+                    *l = block[base + 4 * i];
+                }
+                inv4(&mut line);
+                for (i, &l) in line.iter().enumerate() {
+                    block[base + 4 * i] = l;
+                }
+            }
+        }
+        for base in (0..64).step_by(4) {
+            line.copy_from_slice(&block[base..base + 4]);
+            inv4(&mut line);
+            block[base..base + 4].copy_from_slice(&line);
+        }
     }
 }
 
@@ -208,6 +320,27 @@ mod tests {
         let front: i64 = block[..8].iter().map(|v| v.abs()).sum();
         let back: i64 = block[32..].iter().map(|v| v.abs()).sum();
         assert!(front > 4 * back, "front {front} back {back}");
+    }
+
+    #[test]
+    fn fused_transforms_match_reference() {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..200 {
+            let mut blk = [0i64; 64];
+            for v in blk.iter_mut() {
+                x = x.rotate_left(13).wrapping_mul(0x2545_F491_4F6C_DD1D);
+                *v = ((x >> 20) as i64 & ((1 << 32) - 1)) - (1 << 31);
+            }
+            let mut a = blk;
+            let mut b = blk;
+            fwd_transform3(&mut a);
+            reference::fwd_transform3(&mut b);
+            assert_eq!(a, b, "forward transforms diverged");
+            inv_transform3(&mut a);
+            reference::inv_transform3(&mut b);
+            assert_eq!(a, b, "inverse transforms diverged");
+            assert_eq!(a, blk, "roundtrip lost data");
+        }
     }
 
     #[test]

@@ -64,10 +64,12 @@ fn main() {
         rec.recovered
     );
 
-    // Render Fig. 14-style panels.
+    // Render Fig. 14-style panels. Renders land under results/ with the
+    // other experiment artifacts, not in the repo root.
     let k = field.dims().nz / 2;
+    std::fs::create_dir_all("results").unwrap();
     save_ppm(
-        "uncertainty_original.ppm",
+        "results/uncertainty_original.ppm",
         &render_slice(&field, k, mn, mx, Colormap::Viridis),
     )
     .unwrap();
@@ -80,6 +82,6 @@ fn main() {
         }
     }
     hqmr::vis::render::overlay_probability(&mut img, &slice, cd.nx, cd.ny);
-    save_ppm("uncertainty_pmc.ppm", &img).unwrap();
-    println!("\nwrote uncertainty_original.ppm and uncertainty_pmc.ppm");
+    save_ppm("results/uncertainty_pmc.ppm", &img).unwrap();
+    println!("\nwrote results/uncertainty_original.ppm and results/uncertainty_pmc.ppm");
 }

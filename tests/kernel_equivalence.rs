@@ -1,0 +1,241 @@
+//! Differential property suite for the prediction/quantization kernel
+//! overhaul: the batched, direction-specialized line kernels (SZ3), the
+//! interior/boundary-split Lorenzo + hoisted plane kernels (SZ2), and the
+//! in-place/fused transform + batched bit-plane decode (ZFP) must be
+//! *bit-identical* to the pre-overhaul per-point implementations they
+//! replaced — same compressed streams out, same reconstructions (or the
+//! same typed error) back.
+//!
+//! Coverage deliberately includes non-power-of-two and degenerate extents
+//! (1×N×M lines and planes, single-point arrays): those are where boundary
+//! peeling and line-geometry math would break first. The final test runs
+//! every backend × arrangement over the real multi-resolution prepare stage,
+//! comparing production streams against reference streams per prepared
+//! array.
+
+use hqmr::grid::{synth, Dims3, Field3};
+use hqmr::mr::{to_adaptive, MergeStrategy, PadKind, RoiConfig};
+use hqmr::workflow::mrc::Backend;
+use hqmr_sz3::{InterpKind, LevelEbPolicy, Sz3Config};
+
+/// Shapes that stress every kernel edge: cubes, non-power-of-two extents,
+/// thin slabs, pure lines, and single points.
+const SHAPES: [Dims3; 10] = [
+    Dims3::new(1, 1, 1),
+    Dims3::new(2, 1, 1),
+    Dims3::new(1, 1, 17),
+    Dims3::new(1, 31, 2),
+    Dims3::new(1, 9, 40),
+    Dims3::new(5, 3, 7),
+    Dims3::new(8, 8, 8),
+    Dims3::new(9, 9, 33),
+    Dims3::new(17, 17, 24),
+    Dims3::new(4, 4, 97),
+];
+
+/// Deterministic rough field: integer arithmetic only (bit-stable), with a
+/// spike to exercise the outlier path and a plateaued region for zero-ish
+/// residuals.
+fn rough(dims: Dims3, salt: u32) -> Field3 {
+    let mut f = Field3::from_fn(dims, |x, y, z| {
+        let h = (x as u32)
+            .wrapping_mul(31)
+            .wrapping_add((y as u32).wrapping_mul(17))
+            .wrapping_add((z as u32).wrapping_mul(7))
+            .wrapping_add(salt)
+            % 97;
+        let p = (x / 3 + y / 3 + z / 5) % 2;
+        h as f32 * 0.25 + p as f32 * 10.0 - 12.0
+    });
+    if dims.len() > 8 {
+        let (cx, cy, cz) = (dims.nx / 2, dims.ny / 2, dims.nz / 2);
+        f.set(cx, cy, cz, 3.0e4);
+    }
+    f
+}
+
+#[test]
+fn sz3_kernels_match_reference_streams() {
+    for (i, dims) in SHAPES.into_iter().enumerate() {
+        let f = rough(dims, i as u32);
+        for interp in [InterpKind::Linear, InterpKind::Cubic] {
+            for level_eb in [None, Some(LevelEbPolicy::PAPER)] {
+                for eb in [1e-1, 1e-3] {
+                    let mut cfg = Sz3Config::new(eb).with_interp(interp);
+                    if let Some(p) = level_eb {
+                        cfg = cfg.with_level_eb(p);
+                    }
+                    let fast = hqmr_sz3::compress(&f, &cfg);
+                    let slow = hqmr_sz3::reference::compress(&f, &cfg);
+                    assert_eq!(
+                        fast.bytes, slow.bytes,
+                        "sz3 {dims} {interp:?} eb={eb} level_eb={level_eb:?}: stream drift"
+                    );
+                    assert_eq!(fast.stats, slow.stats, "sz3 {dims}: stats drift");
+                    assert_eq!(fast.outliers, slow.outliers, "sz3 {dims}: outlier drift");
+                    let df = hqmr_sz3::decompress(&fast.bytes).expect("fresh stream decodes");
+                    let ds = hqmr_sz3::reference::decompress(&fast.bytes).unwrap();
+                    assert_eq!(
+                        as_bits(&df),
+                        as_bits(&ds),
+                        "sz3 {dims} {interp:?}: reconstruction drift"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sz2_kernels_match_reference_streams() {
+    for (i, dims) in SHAPES.into_iter().enumerate() {
+        let f = rough(dims, 1000 + i as u32);
+        for block in [2usize, 4, 6] {
+            for eb in [1e-1, 1e-3] {
+                let cfg = hqmr::sz2::Sz2Config { eb, block };
+                let fast = hqmr_sz2::compress(&f, &cfg);
+                let slow = hqmr_sz2::reference::compress(&f, &cfg);
+                assert_eq!(
+                    fast.bytes, slow.bytes,
+                    "sz2 {dims} block={block} eb={eb}: stream drift"
+                );
+                assert_eq!(
+                    (fast.lorenzo_blocks, fast.regression_blocks, fast.outliers),
+                    (slow.lorenzo_blocks, slow.regression_blocks, slow.outliers),
+                    "sz2 {dims}: selection drift"
+                );
+                let df = hqmr_sz2::decompress(&fast.bytes).expect("fresh stream decodes");
+                let ds = hqmr_sz2::reference::decompress(&fast.bytes).unwrap();
+                assert_eq!(
+                    as_bits(&df),
+                    as_bits(&ds),
+                    "sz2 {dims}: reconstruction drift"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zfp_kernels_match_reference_streams() {
+    for (i, dims) in SHAPES.into_iter().enumerate() {
+        let f = rough(dims, 2000 + i as u32);
+        for tol in [1.0, 1e-2] {
+            let cfg = hqmr::zfp::ZfpConfig::new(tol);
+            let fast = hqmr_zfp::compress(&f, &cfg);
+            let slow = hqmr_zfp::reference::compress(&f, &cfg);
+            assert_eq!(fast.bytes, slow.bytes, "zfp {dims} tol={tol}: stream drift");
+            assert_eq!(
+                fast.zero_blocks, slow.zero_blocks,
+                "zfp {dims}: zero-block drift"
+            );
+            let df = hqmr_zfp::decompress(&fast.bytes).expect("fresh stream decodes");
+            let ds = hqmr_zfp::reference::decompress(&fast.bytes).unwrap();
+            assert_eq!(
+                as_bits(&df),
+                as_bits(&ds),
+                "zfp {dims}: reconstruction drift"
+            );
+        }
+    }
+}
+
+/// Truncated and corrupted streams must fail identically through both
+/// decode paths — kernels may not change error behaviour.
+#[test]
+fn corrupt_streams_fail_identically() {
+    let f = rough(Dims3::new(9, 9, 33), 77);
+    let sz3 = hqmr_sz3::compress(&f, &Sz3Config::new(1e-3)).bytes;
+    let sz2 = hqmr_sz2::compress(&f, &hqmr::sz2::Sz2Config { eb: 1e-3, block: 4 }).bytes;
+    let zfp = hqmr_zfp::compress(&f, &hqmr::zfp::ZfpConfig::new(1e-2)).bytes;
+    for cut in [0usize, 7, 40] {
+        let c3 = &sz3[..sz3.len().min(cut.max(1) * sz3.len() / 41)];
+        assert_eq!(
+            hqmr_sz3::decompress(c3).is_err(),
+            hqmr_sz3::reference::decompress(c3).is_err(),
+            "sz3 truncation outcome drift at {cut}"
+        );
+        let c2 = &sz2[..sz2.len().min(cut.max(1) * sz2.len() / 41)];
+        assert_eq!(
+            hqmr_sz2::decompress(c2).is_err(),
+            hqmr_sz2::reference::decompress(c2).is_err(),
+            "sz2 truncation outcome drift at {cut}"
+        );
+        let cz = &zfp[..zfp.len().min(cut.max(1) * zfp.len() / 41)];
+        assert_eq!(
+            hqmr_zfp::decompress(cz).is_err(),
+            hqmr_zfp::reference::decompress(cz).is_err(),
+            "zfp truncation outcome drift at {cut}"
+        );
+    }
+}
+
+/// Every backend × arrangement over the *real* multi-resolution prepare
+/// stage: the production codec must emit bit-identical streams to its
+/// reference twin for every prepared array (merged, padded, degenerate
+/// small-dims linear shapes included). The null backend has no kernels and
+/// serves as the layout control: its stream must round-trip the prepared
+/// arrays losslessly.
+#[test]
+fn all_backends_and_arrangements_are_bit_identical() {
+    let field = synth::nyx_like(32, 5);
+    let mr = to_adaptive(&field, &RoiConfig::new(8, 0.5));
+    let eb = field.range() as f64 * 2e-3;
+    let arrangements: [(MergeStrategy, Option<PadKind>); 4] = [
+        (MergeStrategy::Linear, Some(PadKind::Linear)),
+        (MergeStrategy::Linear, None),
+        (MergeStrategy::Stack, None),
+        (MergeStrategy::Tac, None),
+    ];
+    for backend in Backend::ALL {
+        let codec = backend.codec();
+        for (merge, pad) in arrangements {
+            for level in &mr.levels {
+                let prep = hqmr::mr::prepare_level(level, merge, pad);
+                for (_, f) in prep.blocks() {
+                    let fast = codec.compress(f, eb);
+                    let slow: Vec<u8> = match backend {
+                        Backend::Sz3 { interp, level_eb } => {
+                            hqmr_sz3::reference::compress(
+                                f,
+                                &Sz3Config {
+                                    eb,
+                                    interp,
+                                    level_eb,
+                                },
+                            )
+                            .bytes
+                        }
+                        Backend::Sz2 { block } => {
+                            hqmr_sz2::reference::compress(f, &hqmr::sz2::Sz2Config { eb, block })
+                                .bytes
+                        }
+                        Backend::Zfp => {
+                            hqmr_zfp::reference::compress(f, &hqmr::zfp::ZfpConfig::new(eb)).bytes
+                        }
+                        Backend::Null => {
+                            let back = codec.decompress(&fast).expect("null decodes");
+                            assert_eq!(
+                                as_bits(&back),
+                                as_bits(f),
+                                "null backend must round-trip prepared arrays"
+                            );
+                            fast.clone()
+                        }
+                    };
+                    assert_eq!(
+                        fast,
+                        slow,
+                        "{backend:?} {merge:?} pad={pad:?} {}: stream drift",
+                        f.dims()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// f32 payloads compared exactly (NaN-safe, −0.0 ≠ +0.0).
+fn as_bits(f: &Field3) -> Vec<u32> {
+    f.data().iter().map(|v| v.to_bits()).collect()
+}
