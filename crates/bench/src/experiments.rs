@@ -1235,8 +1235,8 @@ pub fn serve(scale: usize) -> String {
 pub fn hotpath(scale: usize) -> String {
     use hqmr_codec::bitio;
     use hqmr_codec::{
-        huffman_decode, huffman_decode_reference, huffman_encode, huffman_encode_reference, tag,
-        unpack_maybe_rle, Codec, Container,
+        huffman_decode, huffman_decode_reference, huffman_encode, huffman_encode_reference,
+        kernels, tag, unpack_maybe_rle, Codec, Container,
     };
     use std::time::Instant;
 
@@ -1274,7 +1274,9 @@ pub fn hotpath(scale: usize) -> String {
     let symbol_mb = (symbol_count * 4) as f64 / (1024.0 * 1024.0);
 
     let reps = 7;
-    let mut records: Vec<(&str, f64, f64)> = Vec::new(); // (stage, before MB/s, after MB/s)
+    // (stage, before MB/s, after MB/s, forced-scalar MB/s for SIMD-dispatched
+    // kernels — `None` for stages with no vector arm).
+    let mut records: Vec<(&str, f64, f64, Option<f64>)> = Vec::new();
 
     let t_dec_ref = best_of(reps, || {
         blocks
@@ -1292,6 +1294,7 @@ pub fn hotpath(scale: usize) -> String {
         "huffman_decode",
         symbol_mb / t_dec_ref,
         symbol_mb / t_dec_tab,
+        None,
     ));
 
     let symbol_sets: Vec<Vec<u32>> = blocks.iter().map(|b| huffman_decode(b).unwrap()).collect();
@@ -1311,6 +1314,7 @@ pub fn hotpath(scale: usize) -> String {
         "huffman_encode",
         symbol_mb / t_enc_ref,
         symbol_mb / t_enc_tab,
+        None,
     ));
 
     // Bit-IO on a ZFP-like width mix (bit-plane coding interleaves 1-bit
@@ -1338,7 +1342,7 @@ pub fn hotpath(scale: usize) -> String {
         }
         w.finish().len()
     });
-    records.push(("bitio_write", bit_mb / t_w_ref, bit_mb / t_w_word));
+    records.push(("bitio_write", bit_mb / t_w_ref, bit_mb / t_w_word, None));
 
     let mut w = bitio::BitWriter::new();
     for &(v, n) in &pattern {
@@ -1357,12 +1361,15 @@ pub fn hotpath(scale: usize) -> String {
             .iter()
             .fold(0u64, |a, &(_, n)| a.wrapping_add(r.read_bits(n)))
     });
-    records.push(("bitio_read", bit_mb / t_r_ref, bit_mb / t_r_word));
+    records.push(("bitio_read", bit_mb / t_r_ref, bit_mb / t_r_word, None));
 
     // Predictor/quantizer kernel rows: full codec compress/decompress,
     // reference vs current, over the same prepared arrays. The entropy
     // stage is shared between the two paths, so the delta isolates the
     // kernel overhaul (line kernels / interior splits / fused transform).
+    // The third column repeats the current path under `HQMR_FORCE_SCALAR`
+    // so the SIMD dispatch contribution is visible in isolation; streams
+    // are bit-identical across arms, only the clock differs.
     let stored_mb = (mr.total_cells() * 4) as f64 / (1024.0 * 1024.0);
     let fields: Vec<&hqmr_grid::Field3> = prepared.iter().flat_map(|p| p.fields()).collect();
     {
@@ -1380,7 +1387,20 @@ pub fn hotpath(scale: usize) -> String {
                 .map(|f| hqmr_sz3::compress(f, &cfg).bytes.len())
                 .sum::<usize>()
         });
-        records.push(("sz3_compress_kernel", stored_mb / t_ref, stored_mb / t_cur));
+        kernels::set_force_scalar(true);
+        let t_sca = best_of(reps, || {
+            fields
+                .iter()
+                .map(|f| hqmr_sz3::compress(f, &cfg).bytes.len())
+                .sum::<usize>()
+        });
+        kernels::set_force_scalar(false);
+        records.push((
+            "sz3_compress_kernel",
+            stored_mb / t_ref,
+            stored_mb / t_cur,
+            Some(stored_mb / t_sca),
+        ));
         let streams: Vec<Vec<u8>> = fields
             .iter()
             .map(|f| hqmr_sz3::compress(f, &cfg).bytes)
@@ -1397,10 +1417,19 @@ pub fn hotpath(scale: usize) -> String {
                 .map(|b| hqmr_sz3::decompress(b).unwrap().len())
                 .sum::<usize>()
         });
+        kernels::set_force_scalar(true);
+        let t_sca = best_of(reps, || {
+            streams
+                .iter()
+                .map(|b| hqmr_sz3::decompress(b).unwrap().len())
+                .sum::<usize>()
+        });
+        kernels::set_force_scalar(false);
         records.push((
             "sz3_decompress_kernel",
             stored_mb / t_ref,
             stored_mb / t_cur,
+            Some(stored_mb / t_sca),
         ));
     }
     {
@@ -1418,7 +1447,20 @@ pub fn hotpath(scale: usize) -> String {
                 .map(|f| hqmr_sz2::compress(f, &cfg).bytes.len())
                 .sum::<usize>()
         });
-        records.push(("sz2_compress_kernel", stored_mb / t_ref, stored_mb / t_cur));
+        kernels::set_force_scalar(true);
+        let t_sca = best_of(reps, || {
+            fields
+                .iter()
+                .map(|f| hqmr_sz2::compress(f, &cfg).bytes.len())
+                .sum::<usize>()
+        });
+        kernels::set_force_scalar(false);
+        records.push((
+            "sz2_compress_kernel",
+            stored_mb / t_ref,
+            stored_mb / t_cur,
+            Some(stored_mb / t_sca),
+        ));
         let streams: Vec<Vec<u8>> = fields
             .iter()
             .map(|f| hqmr_sz2::compress(f, &cfg).bytes)
@@ -1435,10 +1477,19 @@ pub fn hotpath(scale: usize) -> String {
                 .map(|b| hqmr_sz2::decompress(b).unwrap().len())
                 .sum::<usize>()
         });
+        kernels::set_force_scalar(true);
+        let t_sca = best_of(reps, || {
+            streams
+                .iter()
+                .map(|b| hqmr_sz2::decompress(b).unwrap().len())
+                .sum::<usize>()
+        });
+        kernels::set_force_scalar(false);
         records.push((
             "sz2_decompress_kernel",
             stored_mb / t_ref,
             stored_mb / t_cur,
+            Some(stored_mb / t_sca),
         ));
     }
     {
@@ -1456,7 +1507,20 @@ pub fn hotpath(scale: usize) -> String {
                 .map(|f| hqmr_zfp::compress(f, &cfg).bytes.len())
                 .sum::<usize>()
         });
-        records.push(("zfp_compress_kernel", stored_mb / t_ref, stored_mb / t_cur));
+        kernels::set_force_scalar(true);
+        let t_sca = best_of(reps, || {
+            fields
+                .iter()
+                .map(|f| hqmr_zfp::compress(f, &cfg).bytes.len())
+                .sum::<usize>()
+        });
+        kernels::set_force_scalar(false);
+        records.push((
+            "zfp_compress_kernel",
+            stored_mb / t_ref,
+            stored_mb / t_cur,
+            Some(stored_mb / t_sca),
+        ));
         let streams: Vec<Vec<u8>> = fields
             .iter()
             .map(|f| hqmr_zfp::compress(f, &cfg).bytes)
@@ -1473,18 +1537,27 @@ pub fn hotpath(scale: usize) -> String {
                 .map(|b| hqmr_zfp::decompress(b).unwrap().len())
                 .sum::<usize>()
         });
+        kernels::set_force_scalar(true);
+        let t_sca = best_of(reps, || {
+            streams
+                .iter()
+                .map(|b| hqmr_zfp::decompress(b).unwrap().len())
+                .sum::<usize>()
+        });
+        kernels::set_force_scalar(false);
         records.push((
             "zfp_decompress_kernel",
             stored_mb / t_ref,
             stored_mb / t_cur,
+            Some(stored_mb / t_sca),
         ));
     }
 
     // Store-write throughput (the production-critical in-situ direction),
     // with the parallel full read alongside so the write/read gap is
     // committed evidence.
-    let (store_write_mbps, store_read_mbps) = {
-        use hqmr_store::{write_store, write_store_into, StoreConfig, StoreReader};
+    let (store_write_mbps, store_read_mbps, tile_threads) = {
+        use hqmr_store::{write_store, write_store_into, ChunkSource, StoreConfig, StoreReader};
         let cfg = StoreConfig::new(eb).with_chunk_blocks(4);
         let codec = hqmr_sz3::Sz3Codec::default();
         let mut buf = Vec::new();
@@ -1496,21 +1569,49 @@ pub fn hotpath(scale: usize) -> String {
         let t_r = best_of(reps, || {
             reader.read_all().expect("store decodes").levels.len()
         });
-        (stored_mb / t_w, stored_mb / t_r)
+
+        // Single-chunk decode: the serve-path unit of work on a cache miss.
+        // Both arms decode the largest chunk in the store; "before" forces
+        // the serial path, "after" allows intra-chunk tile parallelism.
+        // The gap scales with `tile_threads` — on a single-core runner the
+        // arms coincide because the rayon shim degrades to inline calls.
+        let (mut lv, mut blk, mut cells) = (0usize, 0usize, 0usize);
+        for (l, lm) in reader.store_meta().levels.iter().enumerate() {
+            for (b, c) in lm.chunks.iter().enumerate() {
+                let n = c.slots.len() * c.unit.pow(3);
+                if n > cells {
+                    (lv, blk, cells) = (l, b, n);
+                }
+            }
+        }
+        let chunk_mb = (cells * 4) as f64 / (1024.0 * 1024.0);
+        kernels::set_tile_parallel(false);
+        let t_ser = best_of(reps, || reader.decode_chunk(lv, blk).unwrap().data.len());
+        kernels::set_tile_parallel(true);
+        let t_par = best_of(reps, || reader.decode_chunk(lv, blk).unwrap().data.len());
+        records.push((
+            "single_chunk_decode",
+            chunk_mb / t_ser,
+            chunk_mb / t_par,
+            None,
+        ));
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (stored_mb / t_w, stored_mb / t_r, threads)
     };
 
     let mut out = format!(
         "Hot-path throughput — {} (scale {scale}, {:.2} MiB of quant codes, \
-         {} Huffman blocks)\n\
-         stage                before(MB/s)  after(MB/s)  speedup\n",
+         {} Huffman blocks, {tile_threads} thread(s))\n\
+         stage                 before(MB/s)  after(MB/s)  scalar(MB/s)  speedup\n",
         d.name,
         symbol_mb,
         blocks.len()
     );
-    for (stage, before, after) in &records {
+    for (stage, before, after, scalar) in &records {
+        let sca = scalar.map_or("           -".into(), |s| format!("{s:12.1}"));
         writeln!(
             out,
-            "{stage:20} {before:12.1} {after:12.1} {:8.2}x",
+            "{stage:21} {before:12.1} {after:12.1} {sca}  {:6.2}x",
             after / before
         )
         .unwrap();
@@ -1545,19 +1646,21 @@ pub fn hotpath(scale: usize) -> String {
     let mut json = String::from("{\n");
     write!(
         json,
-        "  \"dataset\": \"{}\",\n  \"scale\": {scale},\n  \"symbol_mb\": {symbol_mb:.3},\n  \
-         \"records\": [\n",
+        "  \"dataset\": \"{}\",\n  \"scale\": {scale},\n  \"stored_mb\": {stored_mb:.3},\n  \
+         \"symbol_mb\": {symbol_mb:.3},\n  \"symbol_count\": {symbol_count},\n  \
+         \"tile_threads\": {tile_threads},\n  \"records\": [\n",
         d.name
     )
     .unwrap();
-    for (i, (stage, before, after)) in records.iter().enumerate() {
+    for (i, (stage, before, after, scalar)) in records.iter().enumerate() {
         if i > 0 {
             json.push_str(",\n");
         }
+        let sca = scalar.map_or(String::new(), |s| format!(", \"scalar_MBps\": {s:.1}"));
         write!(
             json,
             "    {{\"stage\": \"{stage}\", \"before_MBps\": {before:.1}, \
-             \"after_MBps\": {after:.1}, \"speedup\": {:.3}}}",
+             \"after_MBps\": {after:.1}{sca}, \"speedup\": {:.3}}}",
             after / before
         )
         .unwrap();

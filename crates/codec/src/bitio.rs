@@ -45,6 +45,20 @@ impl BitWriter {
         }
     }
 
+    /// Creates a writer that appends to an existing buffer, starting
+    /// byte-aligned after its current contents. [`BitWriter::finish`] returns
+    /// the whole buffer (prefix included), and [`BitWriter::bit_len`] counts
+    /// the seeded bytes — serializers use this to emit bit payloads directly
+    /// behind an already-written header instead of packing into a fresh
+    /// buffer and copying.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        BitWriter {
+            buf,
+            acc: 0,
+            used: 0,
+        }
+    }
+
     /// Writes a single bit.
     #[inline]
     pub fn write_bit(&mut self, bit: bool) {

@@ -371,8 +371,33 @@ impl DecodeTable {
 /// (pairs of `uvarint run-length`, `u8 length`), `uvarint payload_bytes`,
 /// payload bits.
 pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
-    let Some((mut out, present)) = encode_header(symbols) else {
-        return empty_block();
+    let mut out = Vec::new();
+    encode_append(symbols, &mut out);
+    out
+}
+
+/// [`huffman_encode`] framed like `pack_maybe_rle(&huffman_encode(symbols))`
+/// — byte-identical output — but encoding straight into the flagged buffer,
+/// so the raw arm (the usual one: Huffman output rarely has byte runs) skips
+/// the extra block-sized copy.
+pub fn huffman_encode_packed(symbols: &[u32]) -> Vec<u8> {
+    let mut out = vec![0u8]; // pack flag: raw
+    encode_append(symbols, &mut out);
+    let rle = crate::rle::rle_encode(&out[1..]);
+    if rle.len() < out.len() - 1 {
+        let mut packed = Vec::with_capacity(rle.len() + 1);
+        packed.push(1);
+        packed.extend_from_slice(&rle);
+        return packed;
+    }
+    out
+}
+
+/// Encodes one Huffman block directly onto the end of `out`.
+fn encode_append(symbols: &[u32], out: &mut Vec<u8>) {
+    let Some((present, payload_bits)) = encode_header(symbols, out) else {
+        empty_block(out);
+        return;
     };
     // Canonical codes assigned in (length, symbol) order, bit-reversed once
     // and scattered into a per-symbol table — the thread-local scratch for
@@ -382,6 +407,11 @@ pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
     let mut by_len: Vec<(u8, u32)> = present.iter().map(|&(s, l)| (l, s)).collect();
     by_len.sort_unstable();
     let alphabet = present.last().map_or(0, |&(s, _)| s as usize + 1);
+    // The payload byte count is fully determined by the histogram, so the
+    // size prefix goes out *before* the bits and the payload streams straight
+    // into the output buffer — no separate payload vector, no append copy.
+    let payload_bytes = payload_bits.div_ceil(8);
+    write_uvarint(out, payload_bytes);
     let emit = |enc: &mut [(u64, u8)], out: &mut Vec<u8>| {
         let mut code = 0u64;
         let mut prev_len = 0u8;
@@ -391,7 +421,9 @@ pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
             code += 1;
             prev_len = len;
         }
-        let mut bits = BitWriter::with_capacity(symbols.len() / 2 + 16);
+        out.reserve(payload_bytes as usize + 8);
+        let prefix_bytes = out.len();
+        let mut bits = BitWriter::from_vec(std::mem::take(out));
         // Emit four symbols per `write_bits` when they fit one word (codes
         // average a few bits, so they almost always do), two otherwise —
         // `MAX_CODE_LEN = 32` guarantees any *pair* fits 64 bits, and
@@ -419,42 +451,45 @@ pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
             let (rev, len) = enc[s as usize];
             bits.write_bits(rev, len as u32);
         }
-        let payload = bits.finish();
-        write_uvarint(out, payload.len() as u64);
-        out.extend_from_slice(&payload);
+        *out = bits.finish();
+        debug_assert_eq!(out.len() - prefix_bytes, payload_bytes as usize);
     };
     if alphabet > SCRATCH_CAP {
         let mut enc = vec![(0u64, 0u8); alphabet];
-        emit(&mut enc, &mut out);
-        return out;
+        emit(&mut enc, out);
+        return;
     }
     ENC_SCRATCH.with(|e| {
         let mut enc = e.borrow_mut();
         if enc.len() < alphabet {
             enc.resize(alphabet, (0, 0));
         }
-        emit(&mut enc, &mut out);
+        emit(&mut enc, out);
     });
-    out
 }
 
-/// Shared header construction (symbol count, alphabet, RLE'd length table).
-/// Returns the header bytes plus the present `(symbol, code length)` pairs,
-/// sorted by symbol. `None` for the empty input, which both encoders
-/// special-case identically.
+/// Shared header construction (symbol count, alphabet, RLE'd length table),
+/// appended to `out`. Returns the present `(symbol, code length)` pairs,
+/// sorted by symbol, plus the total payload bit count (Σ count·length —
+/// known before a single payload bit is written). `None` for the empty
+/// input, which both encoders special-case identically (nothing is written).
 ///
 /// All work is proportional to the number of *distinct* symbols, but the
 /// emitted header is byte-identical to the historical dense-table scan: gaps
 /// between present symbols become zero runs, adjacent equal lengths coalesce
 /// — exactly the maximal runs a full-table RLE would find (the alphabet ends
 /// at the largest present symbol, so there is never a trailing zero run).
-fn encode_header(symbols: &[u32]) -> Option<(Vec<u8>, PresentLengths)> {
+fn encode_header(symbols: &[u32], out: &mut Vec<u8>) -> Option<(PresentLengths, u64)> {
     let (pairs, alphabet) = histogram(symbols)?;
     let lengths = build_lengths(&pairs);
+    let payload_bits: u64 = pairs
+        .iter()
+        .zip(&lengths)
+        .map(|(&(_, c), &l)| c * l as u64)
+        .sum();
 
-    let mut out = Vec::new();
-    write_uvarint(&mut out, symbols.len() as u64);
-    write_uvarint(&mut out, alphabet as u64);
+    write_uvarint(out, symbols.len() as u64);
+    write_uvarint(out, alphabet as u64);
     // RLE over the (virtual) full-length table, emitted straight from the
     // present pairs. Present lengths are always ≥ 1, so they never merge
     // into a zero run.
@@ -476,12 +511,12 @@ fn encode_header(symbols: &[u32]) -> Option<(Vec<u8>, PresentLengths)> {
     };
     let mut pos = 0usize;
     for (i, &(sym, _)) in pairs.iter().enumerate() {
-        push_run(&mut out, 0, sym as usize - pos);
-        push_run(&mut out, lengths[i], 1);
+        push_run(out, 0, sym as usize - pos);
+        push_run(out, lengths[i], 1);
         pos = sym as usize + 1;
     }
     if let Some((run, v)) = pending {
-        write_uvarint(&mut out, run as u64);
+        write_uvarint(out, run as u64);
         out.push(v);
     }
     let present = pairs
@@ -489,17 +524,15 @@ fn encode_header(symbols: &[u32]) -> Option<(Vec<u8>, PresentLengths)> {
         .zip(&lengths)
         .map(|(&(s, _), &l)| (s, l))
         .collect();
-    Some((out, present))
+    Some((present, payload_bits))
 }
 
 /// The encoding of zero symbols: `n_symbols = 0`, `alphabet = 0`, empty
 /// payload.
-fn empty_block() -> Vec<u8> {
-    let mut out = Vec::new();
-    write_uvarint(&mut out, 0); // n_symbols
-    write_uvarint(&mut out, 0); // alphabet
-    write_uvarint(&mut out, 0); // payload bytes
-    out
+fn empty_block(out: &mut Vec<u8>) {
+    write_uvarint(out, 0); // n_symbols
+    write_uvarint(out, 0); // alphabet
+    write_uvarint(out, 0); // payload bytes
 }
 
 /// Parsed block header: lengths table plus payload slice and symbol count.
@@ -565,9 +598,13 @@ pub fn huffman_decode(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
 /// [`reference::BitWriter`]). Produces byte-identical blocks to
 /// [`huffman_encode`]; kept for differential tests and the hot-path bench.
 pub fn huffman_encode_reference(symbols: &[u32]) -> Vec<u8> {
-    match encode_header(symbols) {
-        None => empty_block(),
-        Some((mut out, present)) => {
+    let mut out = Vec::new();
+    match encode_header(symbols, &mut out) {
+        None => {
+            empty_block(&mut out);
+            out
+        }
+        Some((present, _payload_bits)) => {
             // Rebuild the dense per-symbol length table the pre-overhaul
             // encoder worked from.
             let alphabet = present.last().map_or(0, |&(s, _)| s as usize + 1);
@@ -588,6 +625,30 @@ pub fn huffman_encode_reference(symbols: &[u32]) -> Vec<u8> {
             write_uvarint(&mut out, payload.len() as u64);
             out.extend_from_slice(&payload);
             out
+        }
+    }
+}
+
+#[cfg(test)]
+mod packed_tests {
+    use super::*;
+    use crate::rle::pack_maybe_rle;
+
+    #[test]
+    fn packed_matches_two_step_framing() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![7; 500],                          // single symbol => RLE-friendly
+            (0..2000u32).map(|i| i % 3).collect(), // tiny alphabet
+            (0..5000u32)
+                .map(|i| i.wrapping_mul(2_654_435_761) % 4001)
+                .collect(), // dense
+        ];
+        for symbols in cases {
+            let two_step = pack_maybe_rle(&huffman_encode(&symbols));
+            let fused = huffman_encode_packed(&symbols);
+            assert_eq!(fused, two_step, "n={}", symbols.len());
         }
     }
 }

@@ -98,6 +98,13 @@ impl LinearQuantizer {
         (2 * self.radius) as usize
     }
 
+    /// The code radius (codes are `radius + q`), needed by kernels that
+    /// reproduce the quantization arithmetic lane-wise.
+    #[inline]
+    pub fn radius(&self) -> i64 {
+        self.radius
+    }
+
     /// Quantizes `actual` against `pred`.
     ///
     /// Outcome-identical to the historical

@@ -54,6 +54,7 @@ pub use format::{
 };
 pub use read::{ChunkSource, DecodedChunk, Progressive, RefinementStep};
 
+use hqmr_codec::kernels;
 use hqmr_codec::{crc32, Codec, NullCodec, NULL_CODEC_ID};
 use hqmr_grid::{Dims3, Field3};
 use hqmr_mr::prepare::{prepare_blocks, PreparedLevel};
@@ -87,6 +88,10 @@ thread_local! {
     /// of chunks per query.
     static DECODE_SCRATCH: RefCell<Field3> = RefCell::new(Field3::zeros(Dims3::new(0, 0, 0)));
 }
+
+/// Minimum slab size (cells) before a chunk's per-slot extractions fan out
+/// across the rayon shim; below this the spawn cost outweighs the copies.
+const PAR_MIN_EXTRACT: usize = 1 << 16;
 
 /// Decoder registry: the default codec able to decode chunks carrying `id`.
 /// Chunk streams are self-describing, so decode needs no backend parameters.
@@ -554,12 +559,22 @@ impl StoreReader {
                 }
             }
             // One contiguous slab for the whole chunk: the unit a cache can
-            // share across clients with a single refcount bump.
+            // share across clients with a single refcount bump. Per-slot
+            // extractions write disjoint slab ranges, so large chunks fan
+            // them across the rayon shim (one tile per slot) unless tile
+            // parallelism is disabled.
             let n = c.unit.pow(3);
             let size = Dims3::cube(c.unit);
             let mut slab = vec![0f32; c.slots.len() * n];
-            for (k, &(slot, _)) in c.slots.iter().enumerate() {
-                data.extract_box_into(slot, size, &mut slab[k * n..(k + 1) * n]);
+            if kernels::tile_parallel() && c.slots.len() >= 2 && slab.len() >= PAR_MIN_EXTRACT {
+                slab.par_chunks_mut(n).enumerate().for_each(|(k, out)| {
+                    let (slot, _) = c.slots[k];
+                    data.extract_box_into(slot, size, out);
+                });
+            } else {
+                for (k, &(slot, _)) in c.slots.iter().enumerate() {
+                    data.extract_box_into(slot, size, &mut slab[k * n..(k + 1) * n]);
+                }
             }
             Ok(DecodedChunk {
                 unit: c.unit,

@@ -11,12 +11,16 @@
 //! differential oracle.
 
 use crate::Sz2Config;
+use hqmr_codec::kernels::{self, SimdLevel};
 use hqmr_codec::{
-    check_stream_id, huffman_decode, huffman_encode, pack_maybe_rle, push_stream_id, read_uvarint,
+    check_stream_id, huffman_decode, huffman_encode_packed, push_stream_id, read_uvarint,
     rle_decode, rle_encode, tag, unpack_maybe_rle, write_uvarint, Codec, CodecError, Container,
     LinearQuantizer, QuantOutcome,
 };
 use hqmr_grid::{BlockGrid, Dims3, Field3};
+
+#[cfg(target_arch = "x86_64")]
+mod simd;
 
 /// SZ2's codec/stream id (also the per-stream section tag in MR containers).
 pub const SZ2_CODEC_ID: u32 = tag(b"SZ2S");
@@ -80,6 +84,34 @@ fn fit_plane(field: &Field3, origin: [usize; 3], size: Dims3) -> Plane {
         (0..e).map(|i| (i as f64 - mean_c(e)).powi(2)).sum::<f64>() * n / e as f64
     };
     let (vx, vy, vz) = (axis_var(size.nx), axis_var(size.ny), axis_var(size.nz));
+    let (sum, cx, cy, cz) = match kernels::simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { simd::fit_plane_sums_avx2(field, origin, size, mx, my, mz) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { simd::fit_plane_sums_sse2(field, origin, size, mx, my, mz) },
+        _ => fit_plane_sums(field, origin, size, mx, my, mz),
+    };
+    let mean = sum / n;
+    let c1 = if vx > 0.0 { cx / vx } else { 0.0 };
+    let c2 = if vy > 0.0 { cy / vy } else { 0.0 };
+    let c3 = if vz > 0.0 { cz / vz } else { 0.0 };
+    let c0 = mean - c1 * mx - c2 * my - c3 * mz;
+    Plane {
+        c: [c0 as f32, c1 as f32, c2 as f32, c3 as f32],
+    }
+}
+
+/// Scalar arm of the plane-fit accumulation: four running sums in row-major
+/// point order (bit-stable across refactors — the SIMD arms keep one sum per
+/// lane so each lane replays exactly this add sequence).
+fn fit_plane_sums(
+    field: &Field3,
+    origin: [usize; 3],
+    size: Dims3,
+    mx: f64,
+    my: f64,
+    mz: f64,
+) -> (f64, f64, f64, f64) {
     let dims = field.dims();
     let data = field.data();
     let mut sum = 0.0f64;
@@ -100,14 +132,7 @@ fn fit_plane(field: &Field3, origin: [usize; 3], size: Dims3) -> Plane {
             }
         }
     }
-    let mean = sum / n;
-    let c1 = if vx > 0.0 { cx / vx } else { 0.0 };
-    let c2 = if vy > 0.0 { cy / vy } else { 0.0 };
-    let c3 = if vz > 0.0 { cz / vz } else { 0.0 };
-    let c0 = mean - c1 * mx - c2 * my - c3 * mz;
-    Plane {
-        c: [c0 as f32, c1 as f32, c2 as f32, c3 as f32],
-    }
+    (sum, cx, cy, cz)
 }
 
 /// 3-D first-order Lorenzo prediction from the reconstruction buffer.
@@ -140,11 +165,42 @@ fn lorenzo_interior(buf: &[f32], i: usize, sx: usize, sy: usize) -> f64 {
         + buf[i - sx - sy - 1] as f64
 }
 
-/// Estimated absolute Lorenzo error over the block, computed on *original*
-/// data (SZ2's selection heuristic: cheap, no reconstruction dependency).
+/// [`lorenzo_interior`] with the `z − 1` neighbour passed in a register.
+/// In the quantization loops that neighbour is the value stored on the
+/// previous iteration, so reading it from `buf` would put a store-to-load
+/// forward on the loop-carried critical path. `prev` must equal `buf[i - 1]`
+/// bit-for-bit (the caller carries the just-stored value), making this
+/// identical to [`lorenzo_interior`] — term order included.
+#[inline]
+fn lorenzo_interior_carried(buf: &[f32], i: usize, sx: usize, sy: usize, prev: f32) -> f64 {
+    buf[i - sx] as f64 + buf[i - sy] as f64 + prev as f64
+        - buf[i - sx - sy] as f64
+        - buf[i - sx - 1] as f64
+        - buf[i - sy - 1] as f64
+        + buf[i - sx - sy - 1] as f64
+}
+
+/// Whether the block's estimated absolute Lorenzo error exceeds `bound`,
+/// computed on *original* data (SZ2's selection heuristic: cheap, no
+/// reconstruction dependency). The error is accumulated in point order
+/// exactly like the historical full scan, but because every term is
+/// non-negative the partial sum is monotone — the scan bails out after any
+/// row once it already exceeds `bound`, which skips most of the work on
+/// regression-dominated data without ever changing the selection decision.
 /// Interior rows use the direct-offset stencil; rows on a domain face fall
-/// back to the edge-aware gather. Accumulation order is point order.
-fn estimate_lorenzo_err(field: &Field3, origin: [usize; 3], size: Dims3) -> f64 {
+/// back to the edge-aware gather.
+fn lorenzo_err_exceeds(field: &Field3, origin: [usize; 3], size: Dims3, bound: f64) -> bool {
+    match kernels::simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { simd::lorenzo_exceeds_avx2(field, origin, size, bound) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { simd::lorenzo_exceeds_sse2(field, origin, size, bound) },
+        _ => lorenzo_exceeds_scalar(field, origin, size, bound),
+    }
+}
+
+/// Scalar arm of [`lorenzo_err_exceeds`] (also the non-x86 path).
+fn lorenzo_exceeds_scalar(field: &Field3, origin: [usize; 3], size: Dims3, bound: f64) -> bool {
     let d = field.dims();
     let data = field.data();
     let (sx, sy) = (d.ny * d.nz, d.nz);
@@ -161,39 +217,54 @@ fn estimate_lorenzo_err(field: &Field3, origin: [usize; 3], size: Dims3) -> f64 
                     acc += (data[row + z] as f64 - pred).abs();
                 }
             } else {
-                let mut z0 = 0usize;
+                let mut i = row;
                 if origin[2] == 0 {
                     let pred = lorenzo(data, d, gx, gy, 0);
-                    acc += (data[row] as f64 - pred).abs();
-                    z0 = 1;
+                    acc += (data[i] as f64 - pred).abs();
+                    i += 1;
                 }
-                for i in row + z0..row + size.nz {
+                while i < row + size.nz {
                     let pred = lorenzo_interior(data, i, sx, sy);
                     acc += (data[i] as f64 - pred).abs();
+                    i += 1;
                 }
             }
-        }
-    }
-    acc
-}
-
-fn estimate_plane_err(field: &Field3, origin: [usize; 3], size: Dims3, plane: &Plane) -> f64 {
-    let d = field.dims();
-    let data = field.data();
-    let mut acc = 0.0f64;
-    for x in 0..size.nx {
-        let bx = plane.c[0] as f64 + plane.c[1] as f64 * x as f64;
-        for y in 0..size.ny {
-            // Same association as `eval`: ((c0 + c1·x) + c2·y) + c3·z.
-            let bxy = bx + plane.c[2] as f64 * y as f64;
-            let row = d.idx(origin[0] + x, origin[1] + y, origin[2]);
-            for (z, &vf) in data[row..row + size.nz].iter().enumerate() {
-                let pred = bxy + plane.c[3] as f64 * z as f64;
-                acc += (vf as f64 - pred).abs();
+            if acc > bound {
+                return true;
             }
         }
     }
-    acc
+    acc > bound
+}
+
+/// Estimated absolute plane-predictor error over the block, accumulated in
+/// point order.
+fn estimate_plane_err(field: &Field3, origin: [usize; 3], size: Dims3, plane: &Plane) -> f64 {
+    match kernels::simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { simd::plane_err_block_avx2(field, origin, size, plane) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { simd::plane_err_block_sse2(field, origin, size, plane) },
+        _ => {
+            let d = field.dims();
+            let data = field.data();
+            let c3 = plane.c[3] as f64;
+            let mut acc = 0.0f64;
+            for x in 0..size.nx {
+                let bx = plane.c[0] as f64 + plane.c[1] as f64 * x as f64;
+                for y in 0..size.ny {
+                    // Same association as `eval`: ((c0 + c1·x) + c2·y) + c3·z.
+                    let bxy = bx + plane.c[2] as f64 * y as f64;
+                    let row = d.idx(origin[0] + x, origin[1] + y, origin[2]);
+                    for (z, &vf) in data[row..row + size.nz].iter().enumerate() {
+                        let pred = bxy + c3 * z as f64;
+                        acc += (vf as f64 - pred).abs();
+                    }
+                }
+            }
+            acc
+        }
+    }
 }
 
 /// Quantizes `actual` against `pred`, pushing the code and maintaining the
@@ -266,10 +337,11 @@ fn select_block(
     st: &mut EncodeState,
 ) -> Option<Plane> {
     let plane = fit_plane(field, origin, size);
+    // `pe < le` asked as `le > pe` so the (more expensive) Lorenzo scan can
+    // stop as soon as its monotone partial sum settles the comparison.
     let use_regression = size.len() >= 8 && {
-        let le = estimate_lorenzo_err(field, origin, size);
         let pe = estimate_plane_err(field, origin, size, &plane);
-        pe < le
+        lorenzo_err_exceeds(field, origin, size, pe)
     };
     st.flags.push(use_regression as u8);
     if use_regression {
@@ -302,28 +374,60 @@ fn encode_blocks(field: &Field3, cfg: &Sz2Config) -> EncodeState {
         n_regression: 0,
     };
 
+    let lvl = kernels::simd_level();
     for blk in grid.iter() {
         match select_block(field, blk.origin, blk.size, &mut st) {
-            Some(plane) => {
-                for x in 0..blk.size.nx {
-                    let bx = plane.c[0] as f64 + plane.c[1] as f64 * x as f64;
-                    for y in 0..blk.size.ny {
-                        // ((c0 + c1·x) + c2·y) + c3·z, the `eval` association.
-                        let bxy = bx + plane.c[2] as f64 * y as f64;
-                        let row = dims.idx(blk.origin[0] + x, blk.origin[1] + y, blk.origin[2]);
-                        for z in 0..blk.size.nz {
-                            let pred = bxy + plane.c[3] as f64 * z as f64;
-                            st.recon[row + z] = encode_point(
-                                &q,
-                                data[row + z],
-                                pred,
-                                &mut st.codes,
-                                &mut st.outliers,
-                            );
+            Some(plane) => match lvl {
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Avx2 => unsafe {
+                    simd::quant_plane_block_avx2(
+                        &q,
+                        data,
+                        &mut st.recon,
+                        dims,
+                        blk.origin,
+                        blk.size,
+                        &plane,
+                        &mut st.codes,
+                        &mut st.outliers,
+                    )
+                },
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Sse2 => unsafe {
+                    simd::quant_plane_block_sse2(
+                        &q,
+                        data,
+                        &mut st.recon,
+                        dims,
+                        blk.origin,
+                        blk.size,
+                        &plane,
+                        &mut st.codes,
+                        &mut st.outliers,
+                    )
+                },
+                _ => {
+                    let c3 = plane.c[3] as f64;
+                    for x in 0..blk.size.nx {
+                        let bx = plane.c[0] as f64 + plane.c[1] as f64 * x as f64;
+                        for y in 0..blk.size.ny {
+                            // ((c0 + c1·x) + c2·y) + c3·z, the `eval` association.
+                            let bxy = bx + plane.c[2] as f64 * y as f64;
+                            let row = dims.idx(blk.origin[0] + x, blk.origin[1] + y, blk.origin[2]);
+                            for z in 0..blk.size.nz {
+                                let pred = bxy + c3 * z as f64;
+                                st.recon[row + z] = encode_point(
+                                    &q,
+                                    data[row + z],
+                                    pred,
+                                    &mut st.codes,
+                                    &mut st.outliers,
+                                );
+                            }
                         }
                     }
                 }
-            }
+            },
             None => {
                 for x in 0..blk.size.nx {
                     let gx = blk.origin[0] + x;
@@ -357,16 +461,24 @@ fn encode_blocks(field: &Field3, cfg: &Sz2Config) -> EncodeState {
                                 );
                                 i += 1;
                             }
-                            while i < row + blk.size.nz {
-                                let pred = lorenzo_interior(&st.recon, i, sx, sy);
-                                st.recon[i] = encode_point(
-                                    &q,
-                                    data[i],
-                                    pred,
-                                    &mut st.codes,
-                                    &mut st.outliers,
-                                );
-                                i += 1;
+                            if i < row + blk.size.nz {
+                                // Carry the z−1 reconstruction in a register:
+                                // it is the value this loop just stored, and
+                                // reloading it would put a store-to-load
+                                // forward on the critical path.
+                                let mut prev = st.recon[i - 1];
+                                while i < row + blk.size.nz {
+                                    let pred = lorenzo_interior_carried(&st.recon, i, sx, sy, prev);
+                                    prev = encode_point(
+                                        &q,
+                                        data[i],
+                                        pred,
+                                        &mut st.codes,
+                                        &mut st.outliers,
+                                    );
+                                    st.recon[i] = prev;
+                                    i += 1;
+                                }
                             }
                         }
                     }
@@ -407,7 +519,7 @@ fn serialize(dims: Dims3, cfg: &Sz2Config, st: EncodeState) -> Container {
     c.push(TAG_HEAD, head);
     c.push(TAG_FLAGS, rle_encode(&st.flags));
     c.push(TAG_COEFFS, st.coeffs);
-    c.push(TAG_CODES, pack_maybe_rle(&huffman_encode(&st.codes)));
+    c.push(TAG_CODES, huffman_encode_packed(&st.codes));
     c.push(TAG_OUTLIERS, out_bytes);
     c
 }
@@ -547,23 +659,68 @@ fn decode_blocks(p: &Parsed, recon: &mut [f32]) -> Result<(), Sz2Error> {
     let (mut ci, mut oi) = (0usize, 0usize);
     let mut ok = true;
 
+    let lvl = kernels::simd_level();
     for (bi, blk) in grid.iter().enumerate() {
         if p.flags[bi] == 1 {
             let plane = plane_it.next().ok_or(Sz2Error::Malformed("coefficients"))?;
-            for x in 0..blk.size.nx {
-                let bx = plane.c[0] as f64 + plane.c[1] as f64 * x as f64;
-                for y in 0..blk.size.ny {
-                    // ((c0 + c1·x) + c2·y) + c3·z, the `eval` association.
-                    let bxy = bx + plane.c[2] as f64 * y as f64;
-                    let row = dims.idx(blk.origin[0] + x, blk.origin[1] + y, blk.origin[2]);
-                    for z in 0..blk.size.nz {
-                        let pred = bxy + plane.c[3] as f64 * z as f64;
-                        recon[row + z] =
-                            decode_value(&q, pred, p.codes[ci], &p.outliers, &mut oi, &mut ok);
-                        ci += 1;
+            let n = blk.size.len();
+            match lvl {
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Avx2 => unsafe {
+                    simd::recover_plane_block_avx2(
+                        &q,
+                        &p.codes[ci..ci + n],
+                        recon,
+                        dims,
+                        blk.origin,
+                        blk.size,
+                        plane,
+                        &p.outliers,
+                        &mut oi,
+                        &mut ok,
+                    )
+                },
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Sse2 => unsafe {
+                    simd::recover_plane_block_sse2(
+                        &q,
+                        &p.codes[ci..ci + n],
+                        recon,
+                        dims,
+                        blk.origin,
+                        blk.size,
+                        plane,
+                        &p.outliers,
+                        &mut oi,
+                        &mut ok,
+                    )
+                },
+                _ => {
+                    let c3 = plane.c[3] as f64;
+                    let mut k = ci;
+                    for x in 0..blk.size.nx {
+                        let bx = plane.c[0] as f64 + plane.c[1] as f64 * x as f64;
+                        for y in 0..blk.size.ny {
+                            // ((c0 + c1·x) + c2·y) + c3·z, the `eval` association.
+                            let bxy = bx + plane.c[2] as f64 * y as f64;
+                            let row = dims.idx(blk.origin[0] + x, blk.origin[1] + y, blk.origin[2]);
+                            for z in 0..blk.size.nz {
+                                let pred = bxy + c3 * z as f64;
+                                recon[row + z] = decode_value(
+                                    &q,
+                                    pred,
+                                    p.codes[k + z],
+                                    &p.outliers,
+                                    &mut oi,
+                                    &mut ok,
+                                );
+                            }
+                            k += blk.size.nz;
+                        }
                     }
                 }
             }
+            ci += n;
         } else {
             for x in 0..blk.size.nx {
                 let gx = blk.origin[0] + x;
@@ -587,12 +744,24 @@ fn decode_blocks(p: &Parsed, recon: &mut [f32]) -> Result<(), Sz2Error> {
                             ci += 1;
                             i += 1;
                         }
-                        while i < row + blk.size.nz {
-                            let pred = lorenzo_interior(recon, i, sx, sy);
-                            recon[i] =
-                                decode_value(&q, pred, p.codes[ci], &p.outliers, &mut oi, &mut ok);
-                            ci += 1;
-                            i += 1;
+                        if i < row + blk.size.nz {
+                            // Register-carried z−1 value, mirroring the
+                            // encode loop (see `lorenzo_interior_carried`).
+                            let mut prev = recon[i - 1];
+                            while i < row + blk.size.nz {
+                                let pred = lorenzo_interior_carried(recon, i, sx, sy, prev);
+                                prev = decode_value(
+                                    &q,
+                                    pred,
+                                    p.codes[ci],
+                                    &p.outliers,
+                                    &mut oi,
+                                    &mut ok,
+                                );
+                                recon[i] = prev;
+                                ci += 1;
+                                i += 1;
+                            }
                         }
                     }
                 }

@@ -26,8 +26,13 @@
 //! order, so IEEE determinism makes them bit-identical by construction; the
 //! tests make it checked, not assumed.
 
+use hqmr_codec::kernels::{self, SimdLevel};
 use hqmr_codec::{LinearQuantizer, QuantOutcome};
 use hqmr_grid::Dims3;
+use rayon::prelude::*;
+
+#[cfg(target_arch = "x86_64")]
+mod simd;
 
 /// Interpolator choice for interior points.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -336,6 +341,97 @@ fn decompress_line(
     }
 }
 
+/// The SIMD arm for one sweep: only the finest-`z` sweep (`stride == 1 &&
+/// s == 1`) has vector kernels — its lines are contiguous stride-2 walks and
+/// it visits about half of all points; every other sweep stays scalar.
+fn sweep_arm(sw: &Sweep) -> SimdLevel {
+    if sw.stride == 1 && sw.s == 1 {
+        kernels::simd_level()
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+/// Encodes one line through the arm selected by [`sweep_arm`]. Every arm is
+/// bit-identical; the scalar [`compress_line`] is the oracle.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn encode_line(
+    arm: SimdLevel,
+    buf: &mut [f32],
+    base: usize,
+    e: usize,
+    s: usize,
+    g: &LineGeom,
+    q: &LinearQuantizer,
+    codes: &mut Vec<u32>,
+    outliers: &mut Vec<f32>,
+) {
+    match arm {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { simd::compress_line_z1_avx2(buf, base, g, q, codes, outliers) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { simd::compress_line_z1_sse2(buf, base, g, q, codes, outliers) },
+        _ => compress_line(buf, base, e, s, g, q, codes, outliers),
+    }
+}
+
+/// Decodes one line through the arm selected by [`sweep_arm`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn decode_line(
+    arm: SimdLevel,
+    buf: &mut [f32],
+    base: usize,
+    e: usize,
+    s: usize,
+    g: &LineGeom,
+    q: &LinearQuantizer,
+    codes: &[u32],
+    ci: &mut usize,
+    outliers: &[f32],
+    oi: &mut usize,
+    ok: &mut bool,
+) {
+    match arm {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe {
+            simd::decompress_line_z1_avx2(buf, base, g, q, codes, ci, outliers, oi, ok)
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe {
+            simd::decompress_line_z1_sse2(buf, base, g, q, codes, ci, outliers, oi, ok)
+        },
+        _ => decompress_line(buf, base, e, s, g, q, codes, ci, outliers, oi, ok),
+    }
+}
+
+/// Minimum sweep size (in points) before the decode fans its lines across
+/// the rayon shim — below this, scoped-thread spawn overhead dominates.
+const PAR_MIN_POINTS: usize = 1 << 16;
+
+/// A `*mut f32` the sweep workers share. Lines of one sweep write disjoint
+/// cells (odd multiples of `s` along the sweep dim, at distinct bases) and
+/// read only cells no line of the sweep writes (even multiples), so the
+/// overlapping mutable views the workers re-materialize never touch the same
+/// element.
+struct SharedBuf {
+    ptr: *mut f32,
+    len: usize,
+}
+
+unsafe impl Send for SharedBuf {}
+unsafe impl Sync for SharedBuf {}
+
+impl SharedBuf {
+    /// # Safety
+    /// Callers must write disjoint element sets (see the type docs).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice(&self) -> &mut [f32] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+}
+
 /// One level-sweep's loop bounds, shared by both passes so the visit order is
 /// defined in exactly one place (and matches [`reference::traverse`]).
 struct Sweep {
@@ -442,8 +538,9 @@ pub fn compress_pass(
     for sw in sweeps(dims) {
         let q = &quants[sw.l_proc.min(quants.len() - 1)];
         let g = LineGeom::new(sw.n, sw.s, interp);
+        let arm = sweep_arm(&sw);
         sw.for_each_base(|base| {
-            compress_line(buf, base, sw.stride, sw.s, &g, q, codes, outliers);
+            encode_line(arm, buf, base, sw.stride, sw.s, &g, q, codes, outliers);
         });
         let lines = sw.lines();
         stats.midpoint += lines * (g.mid_head + g.mid_tail);
@@ -487,14 +584,61 @@ pub fn decompress_pass(
         &mut ok,
     );
     ci += 1;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     for sw in sweeps(dims) {
         let q = &quants[sw.l_proc.min(quants.len() - 1)];
         let g = LineGeom::new(sw.n, sw.s, interp);
-        sw.for_each_base(|base| {
-            decompress_line(
-                buf, base, sw.stride, sw.s, &g, q, codes, &mut ci, outliers, &mut oi, &mut ok,
-            );
-        });
+        let arm = sweep_arm(&sw);
+        let per_line = g.interior() + g.extra as usize;
+        let lines = sw.lines();
+        if kernels::tile_parallel() && cores > 1 && lines >= 2 && lines * per_line >= PAR_MIN_POINTS
+        {
+            // Every line of a sweep consumes exactly `per_line` codes, so
+            // per-line code cursors are a multiplication; per-line outlier
+            // cursors come from prefix-counting the `UNPREDICTABLE` codes
+            // (each consumes exactly one side-channel value — on underrun a
+            // worker substitutes zero and clears its flag, and the caller
+            // discards the buffer).
+            let mut jobs: Vec<(usize, usize, usize)> = Vec::with_capacity(lines);
+            let (mut co, mut oo) = (ci, oi);
+            sw.for_each_base(|base| {
+                jobs.push((base, co, oo));
+                oo += codes[co..co + per_line]
+                    .iter()
+                    .filter(|&&c| c == LinearQuantizer::UNPREDICTABLE)
+                    .count();
+                co += per_line;
+            });
+            let shared = SharedBuf {
+                ptr: buf.as_mut_ptr(),
+                len: buf.len(),
+            };
+            let line_ok: Vec<bool> = jobs
+                .par_iter()
+                .map(|&(base, co, oo)| {
+                    // Safety: sweep lines write disjoint cells (SharedBuf docs).
+                    let b = unsafe { shared.slice() };
+                    let (mut ci_l, mut oi_l, mut ok_l) = (co, oo, true);
+                    decode_line(
+                        arm, b, base, sw.stride, sw.s, &g, q, codes, &mut ci_l, outliers,
+                        &mut oi_l, &mut ok_l,
+                    );
+                    ok_l
+                })
+                .collect();
+            ok &= line_ok.iter().all(|&x| x);
+            ci = co;
+            oi = oo;
+        } else {
+            sw.for_each_base(|base| {
+                decode_line(
+                    arm, buf, base, sw.stride, sw.s, &g, q, codes, &mut ci, outliers, &mut oi,
+                    &mut ok,
+                );
+            });
+        }
     }
     debug_assert_eq!(ci, codes.len(), "every code consumed exactly once");
     ok

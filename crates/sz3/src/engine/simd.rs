@@ -1,0 +1,586 @@
+//! x86-64 SIMD arms of the finest-level `z` line kernels.
+//!
+//! Only the sweep with `stride == 1 && s == 1` is vectorized: it is the one
+//! sweep whose lines are contiguous in memory (targets at odd indices,
+//! supports at even indices, element stride 2) and it alone visits about
+//! half of all points — every other sweep walks the buffer at a large
+//! stride where gathers would cost more than the math. The parent module
+//! dispatches on [`hqmr_codec::kernels::simd_level`] and keeps the scalar
+//! [`super::compress_line`] / [`super::decompress_line`] as the oracle.
+//!
+//! Bit-identity follows the same rules as the sz2 kernels: predictions are
+//! evaluated lane-per-point with the scalar association (`9·b − a` is the
+//! IEEE-identical commutation of `−a + 9·b`), and a group takes the vector
+//! fast path only when every lane is predicted, tie-free and passes both
+//! reconstruction rechecks — otherwise the whole group replays through the
+//! scalar [`super::quantize_store`] / [`super::recover_value`], keeping the
+//! code and outlier pushes in point order.
+
+use super::{quantize_store, recover_value, LineGeom};
+use hqmr_codec::LinearQuantizer;
+use std::arch::x86_64::*;
+
+/// `nextDown(0.5)` — the rounding tie [`hqmr_codec::round_ties_away_i64`]
+/// guards against; tie lanes take the scalar replay path.
+const TIE: f64 = 0.499_999_999_999_999_94;
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn abs4(x: __m256d) -> __m256d {
+    _mm256_andnot_pd(_mm256_set1_pd(-0.0), x)
+}
+
+#[inline]
+unsafe fn abs2(x: __m128d) -> __m128d {
+    _mm_andnot_pd(_mm_set1_pd(-0.0), x)
+}
+
+/// Four even-stride values `buf[at], buf[at+2], buf[at+4], buf[at+6]` as
+/// f32 lanes. Loads eight floats, so the caller guarantees
+/// `at + 8 <= buf.len()` (the discarded odd lanes may read one element past
+/// the line, never past the buffer).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn ev4f(buf: &[f32], at: usize) -> __m128 {
+    debug_assert!(at + 8 <= buf.len());
+    let v = _mm256_loadu_ps(buf.as_ptr().add(at));
+    let idx = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+    _mm256_castps256_ps128(_mm256_permutevar8x32_ps(v, idx))
+}
+
+/// [`ev4f`] widened to f64.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn ev4(buf: &[f32], at: usize) -> __m256d {
+    _mm256_cvtps_pd(ev4f(buf, at))
+}
+
+/// One-f64 left shift across two adjacent even windows:
+/// `shift1([E0..E3], [E4..E7]) = [E1..E4]` (and the derived
+/// `[E2..E5]` quarter via [`_mm256_permute2f128_pd`]). The kernels roll
+/// `e_hi → e_lo` across groups so each even support is loaded and widened
+/// exactly once — the vector analogue of the scalar rolling window — and so
+/// the 8-float loads never span a just-stored odd target (which would
+/// defeat store-to-load forwarding).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn shift1(e_lo: __m256d, mid: __m256d) -> __m256d {
+    _mm256_shuffle_pd::<0b0101>(e_lo, mid)
+}
+
+/// Scatters four f32 reconstructions to the stride-2 targets at `i`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn scatter4(buf: &mut [f32], i: usize, r32: __m128) {
+    debug_assert!(i + 6 < buf.len());
+    let mut rs = [0f32; 4];
+    _mm_storeu_ps(rs.as_mut_ptr(), r32);
+    *buf.get_unchecked_mut(i) = rs[0];
+    *buf.get_unchecked_mut(i + 2) = rs[1];
+    *buf.get_unchecked_mut(i + 4) = rs[2];
+    *buf.get_unchecked_mut(i + 6) = rs[3];
+}
+
+/// Two even-stride values as f64 lanes (scalar gathers: no over-read).
+#[inline]
+unsafe fn ev2(buf: &[f32], at: usize) -> __m128d {
+    _mm_set_pd(buf[at + 2] as f64, buf[at] as f64)
+}
+
+/// Hoisted quantizer constants for the four-lane fast path.
+struct Qc4 {
+    sign: __m256d,
+    half: __m256d,
+    eb2: __m256d,
+    eb: __m256d,
+    lim: __m256d,
+    tie: __m256d,
+    rad: __m128i,
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn qc4(q: &LinearQuantizer) -> Qc4 {
+    Qc4 {
+        sign: _mm256_set1_pd(-0.0),
+        half: _mm256_set1_pd(0.5),
+        eb2: _mm256_set1_pd(2.0 * q.eb()),
+        eb: _mm256_set1_pd(q.eb()),
+        lim: _mm256_set1_pd((q.radius() - 1) as f64 - 0.5),
+        tie: _mm256_set1_pd(TIE),
+        rad: _mm_set1_epi32(q.radius() as i32),
+    }
+}
+
+/// Vector quantize of four targets (`cur` lanes) against `pred`. On success
+/// fills `cs` with the codes and `r32` with the f32 reconstructions and
+/// returns true; returns false when any lane must replay through the scalar
+/// path (outlier, rounding tie, or a failed recheck).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn quant4(k: &Qc4, pred: __m256d, cur: __m128, cs: &mut [u32; 4], out: &mut __m128) -> bool {
+    let a = _mm256_cvtps_pd(cur);
+    let t = _mm256_div_pd(_mm256_sub_pd(a, pred), k.eb2);
+    let tabs = abs4(t);
+    // In-range (NaN fails, like the scalar negated compare) and not the
+    // rounding tie.
+    let ok1 = _mm256_cmp_pd::<_CMP_LT_OQ>(tabs, k.lim);
+    let tie = _mm256_cmp_pd::<_CMP_EQ_OQ>(tabs, k.tie);
+    let rt = _mm256_add_pd(t, _mm256_or_pd(_mm256_and_pd(t, k.sign), k.half));
+    let qi = _mm256_cvttpd_epi32(rt); // |t| < 32766.5: fits i32
+    let recon64 = _mm256_add_pd(pred, _mm256_mul_pd(k.eb2, _mm256_cvtepi32_pd(qi)));
+    let ok2 = _mm256_cmp_pd::<_CMP_LE_OQ>(abs4(_mm256_sub_pd(recon64, a)), k.eb);
+    let r32 = _mm256_cvtpd_ps(recon64);
+    let ok3 = _mm256_cmp_pd::<_CMP_LE_OQ>(abs4(_mm256_sub_pd(_mm256_cvtps_pd(r32), a)), k.eb);
+    let okm = _mm256_and_pd(_mm256_and_pd(ok1, ok2), ok3);
+    if _mm256_movemask_pd(okm) != 0xF || _mm256_movemask_pd(tie) != 0 {
+        return false;
+    }
+    _mm_storeu_si128(cs.as_mut_ptr() as *mut __m128i, _mm_add_epi32(qi, k.rad));
+    *out = r32;
+    true
+}
+
+/// AVX2 arm of [`super::compress_line`] for the contiguous finest-z sweep.
+///
+/// # Safety
+/// Requires AVX2 (guaranteed by the dispatcher); `base` must be a valid line
+/// base for a sweep with `stride == 1 && s == 1`.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn compress_line_z1_avx2(
+    buf: &mut [f32],
+    base: usize,
+    g: &LineGeom,
+    q: &LinearQuantizer,
+    codes: &mut Vec<u32>,
+    outliers: &mut Vec<f32>,
+) {
+    let k = qc4(q);
+    let two = _mm256_set1_pd(2.0);
+    let nine = _mm256_set1_pd(9.0);
+    let sixteen = _mm256_set1_pd(16.0);
+    let n = buf.len();
+    let mut i = base + 1;
+
+    // Midpoint head (the whole interior when the interpolator is linear).
+    let mut r = g.mid_head;
+    if r >= 4 && i + 15 <= n {
+        let mut e_lo = ev4(buf, i - 1); // [E0..E3], E_k = buf[i−1+2k]
+        while r >= 4 && i + 15 <= n {
+            let e_hi = ev4(buf, i + 7); // [E4..E7]
+            let mid = _mm256_permute2f128_pd::<0x21>(e_lo, e_hi); // [E2..E5]
+            let next = shift1(e_lo, mid); // [E1..E4]
+            let pred = _mm256_div_pd(_mm256_add_pd(e_lo, next), two);
+            let mut cs = [0u32; 4];
+            let mut r32 = _mm_setzero_ps();
+            if quant4(&k, pred, ev4f(buf, i), &mut cs, &mut r32) {
+                codes.extend_from_slice(&cs);
+                scatter4(buf, i, r32);
+            } else {
+                for j in 0..4 {
+                    let p = i + 2 * j;
+                    let pred = (buf[p - 1] as f64 + buf[p + 1] as f64) / 2.0;
+                    buf[p] = quantize_store(q, buf[p], pred, codes, outliers);
+                }
+            }
+            e_lo = e_hi;
+            i += 8;
+            r -= 4;
+        }
+    }
+    while r > 0 {
+        let pred = (buf[i - 1] as f64 + buf[i + 1] as f64) / 2.0;
+        buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+        i += 2;
+        r -= 1;
+    }
+
+    // Cubic interior run.
+    r = g.cubic;
+    if r >= 4 && i + 13 <= n {
+        let mut e_lo = ev4(buf, i - 3); // [E0..E3], E_k = buf[i−3+2k]
+        while r >= 4 && i + 13 <= n {
+            let e_hi = ev4(buf, i + 5); // [E4..E7]
+            let cv = _mm256_permute2f128_pd::<0x21>(e_lo, e_hi); // [E2..E5]
+            let bv = shift1(e_lo, cv); // [E1..E4]
+            let dv = shift1(cv, e_hi); // [E3..E6]
+                                       // 9·b − a ≡ −a + 9·b and the rest is the scalar association.
+            let t0 = _mm256_add_pd(
+                _mm256_sub_pd(_mm256_mul_pd(nine, bv), e_lo),
+                _mm256_mul_pd(nine, cv),
+            );
+            let pred = _mm256_div_pd(_mm256_sub_pd(t0, dv), sixteen);
+            let mut cs = [0u32; 4];
+            let mut r32 = _mm_setzero_ps();
+            if quant4(&k, pred, ev4f(buf, i), &mut cs, &mut r32) {
+                codes.extend_from_slice(&cs);
+                scatter4(buf, i, r32);
+            } else {
+                for j in 0..4 {
+                    let p = i + 2 * j;
+                    let (a, b) = (buf[p - 3] as f64, buf[p - 1] as f64);
+                    let (c, d) = (buf[p + 1] as f64, buf[p + 3] as f64);
+                    let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+                    buf[p] = quantize_store(q, buf[p], pred, codes, outliers);
+                }
+            }
+            e_lo = e_hi;
+            i += 8;
+            r -= 4;
+        }
+    }
+    while r > 0 {
+        let (a, b) = (buf[i - 3] as f64, buf[i - 1] as f64);
+        let (c, d) = (buf[i + 1] as f64, buf[i + 3] as f64);
+        let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+        buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+        i += 2;
+        r -= 1;
+    }
+
+    // Midpoint tail (at most two points) and the extrapolated boundary.
+    for _ in 0..g.mid_tail {
+        let pred = (buf[i - 1] as f64 + buf[i + 1] as f64) / 2.0;
+        buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+        i += 2;
+    }
+    if g.extra {
+        let pred = buf[i - 1] as f64;
+        buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+    }
+}
+
+/// SSE2 arm of [`compress_line_z1_avx2`] (pairs; scalar gathers, no
+/// over-read).
+///
+/// # Safety
+/// SSE2 baseline; same geometry contract as the AVX2 arm.
+pub(super) unsafe fn compress_line_z1_sse2(
+    buf: &mut [f32],
+    base: usize,
+    g: &LineGeom,
+    q: &LinearQuantizer,
+    codes: &mut Vec<u32>,
+    outliers: &mut Vec<f32>,
+) {
+    let sign = _mm_set1_pd(-0.0);
+    let half = _mm_set1_pd(0.5);
+    let eb2v = _mm_set1_pd(2.0 * q.eb());
+    let ebv = _mm_set1_pd(q.eb());
+    let limv = _mm_set1_pd((q.radius() - 1) as f64 - 0.5);
+    let tiev = _mm_set1_pd(TIE);
+    let radv = _mm_set1_epi32(q.radius() as i32);
+    let two = _mm_set1_pd(2.0);
+    let nine = _mm_set1_pd(9.0);
+    let sixteen = _mm_set1_pd(16.0);
+    let mut i = base + 1;
+
+    let quant2 = |buf: &mut [f32], i: usize, pred: __m128d, codes: &mut Vec<u32>| -> bool {
+        let a = ev2(buf, i);
+        let t = _mm_div_pd(_mm_sub_pd(a, pred), eb2v);
+        let tabs = abs2(t);
+        let ok1 = _mm_cmplt_pd(tabs, limv);
+        let tie = _mm_cmpeq_pd(tabs, tiev);
+        let rt = _mm_add_pd(t, _mm_or_pd(_mm_and_pd(t, sign), half));
+        let qi = _mm_cvttpd_epi32(rt);
+        let recon64 = _mm_add_pd(pred, _mm_mul_pd(eb2v, _mm_cvtepi32_pd(qi)));
+        let ok2 = _mm_cmple_pd(abs2(_mm_sub_pd(recon64, a)), ebv);
+        let r32 = _mm_cvtpd_ps(recon64);
+        let ok3 = _mm_cmple_pd(abs2(_mm_sub_pd(_mm_cvtps_pd(r32), a)), ebv);
+        let okm = _mm_and_pd(_mm_and_pd(ok1, ok2), ok3);
+        if _mm_movemask_pd(okm) != 0x3 || _mm_movemask_pd(tie) != 0 {
+            return false;
+        }
+        let mut cs = [0u32; 4];
+        _mm_storeu_si128(cs.as_mut_ptr() as *mut __m128i, _mm_add_epi32(qi, radv));
+        codes.extend_from_slice(&cs[..2]);
+        let mut rs = [0f32; 4];
+        _mm_storeu_ps(rs.as_mut_ptr(), r32);
+        buf[i] = rs[0];
+        buf[i + 2] = rs[1];
+        true
+    };
+
+    let mut r = g.mid_head;
+    while r >= 2 {
+        let pred = _mm_div_pd(_mm_add_pd(ev2(buf, i - 1), ev2(buf, i + 1)), two);
+        if !quant2(buf, i, pred, codes) {
+            for j in 0..2 {
+                let p = i + 2 * j;
+                let pred = (buf[p - 1] as f64 + buf[p + 1] as f64) / 2.0;
+                buf[p] = quantize_store(q, buf[p], pred, codes, outliers);
+            }
+        }
+        i += 4;
+        r -= 2;
+    }
+    if r > 0 {
+        let pred = (buf[i - 1] as f64 + buf[i + 1] as f64) / 2.0;
+        buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+        i += 2;
+    }
+
+    r = g.cubic;
+    while r >= 2 {
+        let bv = _mm_mul_pd(nine, ev2(buf, i - 1));
+        let cv = _mm_mul_pd(nine, ev2(buf, i + 1));
+        let t0 = _mm_add_pd(_mm_sub_pd(bv, ev2(buf, i - 3)), cv);
+        let pred = _mm_div_pd(_mm_sub_pd(t0, ev2(buf, i + 3)), sixteen);
+        if !quant2(buf, i, pred, codes) {
+            for j in 0..2 {
+                let p = i + 2 * j;
+                let (a, b) = (buf[p - 3] as f64, buf[p - 1] as f64);
+                let (c, d) = (buf[p + 1] as f64, buf[p + 3] as f64);
+                let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+                buf[p] = quantize_store(q, buf[p], pred, codes, outliers);
+            }
+        }
+        i += 4;
+        r -= 2;
+    }
+    if r > 0 {
+        let (a, b) = (buf[i - 3] as f64, buf[i - 1] as f64);
+        let (c, d) = (buf[i + 1] as f64, buf[i + 3] as f64);
+        let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+        buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+        i += 2;
+    }
+
+    for _ in 0..g.mid_tail {
+        let pred = (buf[i - 1] as f64 + buf[i + 1] as f64) / 2.0;
+        buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+        i += 2;
+    }
+    if g.extra {
+        let pred = buf[i - 1] as f64;
+        buf[i] = quantize_store(q, buf[i], pred, codes, outliers);
+    }
+}
+
+/// AVX2 arm of [`super::decompress_line`] for the contiguous finest-z sweep.
+/// Quads with no `UNPREDICTABLE` lane reconstruct vectorially; any outlier
+/// replays the quad through [`recover_value`] so the side-channel cursor
+/// stays in point order.
+///
+/// # Safety
+/// Requires AVX2 (guaranteed by the dispatcher); same geometry contract as
+/// the compress arm, and `codes` must hold at least one code per remaining
+/// target.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn decompress_line_z1_avx2(
+    buf: &mut [f32],
+    base: usize,
+    g: &LineGeom,
+    q: &LinearQuantizer,
+    codes: &[u32],
+    ci: &mut usize,
+    outliers: &[f32],
+    oi: &mut usize,
+    ok: &mut bool,
+) {
+    let eb2 = _mm256_set1_pd(2.0 * q.eb());
+    let rad = _mm_set1_epi32(q.radius() as i32);
+    let zero = _mm_setzero_si128();
+    let two = _mm256_set1_pd(2.0);
+    let nine = _mm256_set1_pd(9.0);
+    let sixteen = _mm256_set1_pd(16.0);
+    let n = buf.len();
+    let mut i = base + 1;
+
+    let mut r = g.mid_head;
+    if r >= 4 && i + 15 <= n {
+        let mut e_lo = ev4(buf, i - 1); // [E0..E3]
+        while r >= 4 && i + 15 <= n {
+            let e_hi = ev4(buf, i + 7); // [E4..E7]
+            let c = _mm_loadu_si128(codes.as_ptr().add(*ci) as *const __m128i);
+            if _mm_movemask_epi8(_mm_cmpeq_epi32(c, zero)) == 0 {
+                let mid = _mm256_permute2f128_pd::<0x21>(e_lo, e_hi);
+                let next = shift1(e_lo, mid);
+                let pred = _mm256_div_pd(_mm256_add_pd(e_lo, next), two);
+                let qf = _mm256_cvtepi32_pd(_mm_sub_epi32(c, rad));
+                let r32 = _mm256_cvtpd_ps(_mm256_add_pd(pred, _mm256_mul_pd(eb2, qf)));
+                scatter4(buf, i, r32);
+            } else {
+                for j in 0..4 {
+                    let p = i + 2 * j;
+                    let pred = (buf[p - 1] as f64 + buf[p + 1] as f64) / 2.0;
+                    buf[p] = recover_value(q, pred, codes[*ci + j], outliers, oi, ok);
+                }
+            }
+            e_lo = e_hi;
+            *ci += 4;
+            i += 8;
+            r -= 4;
+        }
+    }
+    while r > 0 {
+        let pred = (buf[i - 1] as f64 + buf[i + 1] as f64) / 2.0;
+        buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+        *ci += 1;
+        i += 2;
+        r -= 1;
+    }
+
+    r = g.cubic;
+    if r >= 4 && i + 13 <= n {
+        let mut e_lo = ev4(buf, i - 3); // [E0..E3]
+        while r >= 4 && i + 13 <= n {
+            let e_hi = ev4(buf, i + 5); // [E4..E7]
+            let c = _mm_loadu_si128(codes.as_ptr().add(*ci) as *const __m128i);
+            if _mm_movemask_epi8(_mm_cmpeq_epi32(c, zero)) == 0 {
+                let cv = _mm256_permute2f128_pd::<0x21>(e_lo, e_hi);
+                let bv = shift1(e_lo, cv);
+                let dv = shift1(cv, e_hi);
+                let t0 = _mm256_add_pd(
+                    _mm256_sub_pd(_mm256_mul_pd(nine, bv), e_lo),
+                    _mm256_mul_pd(nine, cv),
+                );
+                let pred = _mm256_div_pd(_mm256_sub_pd(t0, dv), sixteen);
+                let qf = _mm256_cvtepi32_pd(_mm_sub_epi32(c, rad));
+                let r32 = _mm256_cvtpd_ps(_mm256_add_pd(pred, _mm256_mul_pd(eb2, qf)));
+                scatter4(buf, i, r32);
+            } else {
+                for j in 0..4 {
+                    let p = i + 2 * j;
+                    let (a, b) = (buf[p - 3] as f64, buf[p - 1] as f64);
+                    let (c, d) = (buf[p + 1] as f64, buf[p + 3] as f64);
+                    let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+                    buf[p] = recover_value(q, pred, codes[*ci + j], outliers, oi, ok);
+                }
+            }
+            e_lo = e_hi;
+            *ci += 4;
+            i += 8;
+            r -= 4;
+        }
+    }
+    while r > 0 {
+        let (a, b) = (buf[i - 3] as f64, buf[i - 1] as f64);
+        let (c, d) = (buf[i + 1] as f64, buf[i + 3] as f64);
+        let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+        buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+        *ci += 1;
+        i += 2;
+        r -= 1;
+    }
+
+    for _ in 0..g.mid_tail {
+        let pred = (buf[i - 1] as f64 + buf[i + 1] as f64) / 2.0;
+        buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+        *ci += 1;
+        i += 2;
+    }
+    if g.extra {
+        let pred = buf[i - 1] as f64;
+        buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+        *ci += 1;
+    }
+}
+
+/// SSE2 arm of [`decompress_line_z1_avx2`] (pairs; scalar gathers).
+///
+/// # Safety
+/// SSE2 baseline; same contract as the AVX2 arm.
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn decompress_line_z1_sse2(
+    buf: &mut [f32],
+    base: usize,
+    g: &LineGeom,
+    q: &LinearQuantizer,
+    codes: &[u32],
+    ci: &mut usize,
+    outliers: &[f32],
+    oi: &mut usize,
+    ok: &mut bool,
+) {
+    let eb2 = _mm_set1_pd(2.0 * q.eb());
+    let rad = _mm_set1_epi32(q.radius() as i32);
+    let two = _mm_set1_pd(2.0);
+    let nine = _mm_set1_pd(9.0);
+    let sixteen = _mm_set1_pd(16.0);
+    let mut i = base + 1;
+
+    let mut r = g.mid_head;
+    while r >= 2 {
+        let (c0, c1) = (codes[*ci], codes[*ci + 1]);
+        if c0 != 0 && c1 != 0 {
+            let c = _mm_set_epi32(0, 0, c1 as i32, c0 as i32);
+            let pred = _mm_div_pd(_mm_add_pd(ev2(buf, i - 1), ev2(buf, i + 1)), two);
+            let qf = _mm_cvtepi32_pd(_mm_sub_epi32(c, rad));
+            let mut rs = [0f32; 4];
+            _mm_storeu_ps(
+                rs.as_mut_ptr(),
+                _mm_cvtpd_ps(_mm_add_pd(pred, _mm_mul_pd(eb2, qf))),
+            );
+            buf[i] = rs[0];
+            buf[i + 2] = rs[1];
+        } else {
+            for j in 0..2 {
+                let p = i + 2 * j;
+                let pred = (buf[p - 1] as f64 + buf[p + 1] as f64) / 2.0;
+                buf[p] = recover_value(q, pred, codes[*ci + j], outliers, oi, ok);
+            }
+        }
+        *ci += 2;
+        i += 4;
+        r -= 2;
+    }
+    if r > 0 {
+        let pred = (buf[i - 1] as f64 + buf[i + 1] as f64) / 2.0;
+        buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+        *ci += 1;
+        i += 2;
+    }
+
+    r = g.cubic;
+    while r >= 2 {
+        let (c0, c1) = (codes[*ci], codes[*ci + 1]);
+        if c0 != 0 && c1 != 0 {
+            let c = _mm_set_epi32(0, 0, c1 as i32, c0 as i32);
+            let bv = _mm_mul_pd(nine, ev2(buf, i - 1));
+            let cv = _mm_mul_pd(nine, ev2(buf, i + 1));
+            let t0 = _mm_add_pd(_mm_sub_pd(bv, ev2(buf, i - 3)), cv);
+            let pred = _mm_div_pd(_mm_sub_pd(t0, ev2(buf, i + 3)), sixteen);
+            let qf = _mm_cvtepi32_pd(_mm_sub_epi32(c, rad));
+            let mut rs = [0f32; 4];
+            _mm_storeu_ps(
+                rs.as_mut_ptr(),
+                _mm_cvtpd_ps(_mm_add_pd(pred, _mm_mul_pd(eb2, qf))),
+            );
+            buf[i] = rs[0];
+            buf[i + 2] = rs[1];
+        } else {
+            for j in 0..2 {
+                let p = i + 2 * j;
+                let (a, b) = (buf[p - 3] as f64, buf[p - 1] as f64);
+                let (c, d) = (buf[p + 1] as f64, buf[p + 3] as f64);
+                let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+                buf[p] = recover_value(q, pred, codes[*ci + j], outliers, oi, ok);
+            }
+        }
+        *ci += 2;
+        i += 4;
+        r -= 2;
+    }
+    if r > 0 {
+        let (a, b) = (buf[i - 3] as f64, buf[i - 1] as f64);
+        let (c, d) = (buf[i + 1] as f64, buf[i + 3] as f64);
+        let pred = (-a + 9.0 * b + 9.0 * c - d) / 16.0;
+        buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+        *ci += 1;
+        i += 2;
+    }
+
+    for _ in 0..g.mid_tail {
+        let pred = (buf[i - 1] as f64 + buf[i + 1] as f64) / 2.0;
+        buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+        *ci += 1;
+        i += 2;
+    }
+    if g.extra {
+        let pred = buf[i - 1] as f64;
+        buf[i] = recover_value(q, pred, codes[*ci], outliers, oi, ok);
+        *ci += 1;
+    }
+}

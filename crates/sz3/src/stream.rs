@@ -11,9 +11,8 @@ use crate::engine::{
 };
 use crate::{LevelEbPolicy, Sz3Config};
 use hqmr_codec::{
-    check_stream_id, huffman_decode, huffman_encode, pack_maybe_rle, push_stream_id, read_uvarint,
-    tag, unpack_maybe_rle, write_uvarint, Codec, CodecError, Container, LinearQuantizer,
-    QuantOutcome,
+    check_stream_id, huffman_decode, huffman_encode_packed, push_stream_id, read_uvarint, tag,
+    unpack_maybe_rle, write_uvarint, Codec, CodecError, Container, LinearQuantizer, QuantOutcome,
 };
 use hqmr_grid::{Dims3, Field3};
 
@@ -133,7 +132,7 @@ fn serialize(dims: Dims3, cfg: &Sz3Config, codes: &[u32], outliers: &[f32]) -> C
     let mut c = Container::new();
     push_stream_id(&mut c, SZ3_CODEC_ID);
     c.push(TAG_HEAD, head);
-    c.push(TAG_CODES, pack_maybe_rle(&huffman_encode(codes)));
+    c.push(TAG_CODES, huffman_encode_packed(codes));
     c.push(TAG_OUTLIERS, out_bytes);
     c
 }

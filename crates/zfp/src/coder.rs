@@ -28,41 +28,71 @@ pub fn uint2int(x: u64) -> i64 {
     (x ^ NBMASK).wrapping_sub(NBMASK) as i64
 }
 
+/// Transposes a 64×64 bit matrix in place (`a[r]` bit `c` ↔ `a[c]` bit `r`),
+/// by recursive block swaps — six masked exchange rounds instead of 4096
+/// single-bit moves. Used to turn 64 negabinary coefficients into 64 ready
+/// bit planes in one pass.
+#[inline]
+fn transpose_bits_64x64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k0 = 0usize;
+        while k0 < 64 {
+            for k in k0..k0 + j {
+                // Swap row k's upper-half columns with row k+j's lower half.
+                let t = ((a[k] >> j) ^ a[k + j]) & m;
+                a[k] ^= t << j;
+                a[k + j] ^= t;
+            }
+            k0 += 2 * j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
 /// Encodes the 64 transform coefficients down to bit plane `kmin`
 /// (`kmin = INTPREC − maxprec`). Coefficients must already be in frequency
 /// order.
+///
+/// Word-at-a-time rewrite of the per-bit loop kept as
+/// [`reference::encode_block_ints`]: plane gathers become one bit-matrix
+/// transpose up front (each plane is then a single word read), and the
+/// unary/group-test emission walks set bits with `trailing_zeros`, writing
+/// each `1 + zero-run + marker` group as one `write_bits` call — the exact
+/// bit sequence of the reference loop, pinned by the differential tests.
 pub fn encode_block_ints(w: &mut BitWriter, data: &[i64; 64], maxprec: u32) {
     let kmin = INTPREC.saturating_sub(maxprec);
-    let ub: [u64; 64] = std::array::from_fn(|i| int2uint(data[i]));
+    let mut planes: [u64; 64] = std::array::from_fn(|i| int2uint(data[i]));
+    transpose_bits_64x64(&mut planes);
+    // planes[k] bit i == negabinary bit k of coefficient i.
     let mut n = 0usize; // coefficients significant so far
     for k in (kmin..INTPREC).rev() {
-        // Step 1: gather bit plane k.
-        let mut x = 0u64;
-        for (i, &u) in ub.iter().enumerate() {
-            x |= ((u >> k) & 1) << i;
-        }
-        // Step 2: verbatim bits for already-significant coefficients.
+        let mut x = planes[k as usize];
+        // Verbatim bits for already-significant coefficients.
         if n > 0 {
             w.write_bits(x, n as u32);
             x = if n >= 64 { 0 } else { x >> n };
         }
-        // Step 3: unary run-length / group test for the rest.
+        // Unary run-length / group test for the rest, one write_bits per
+        // group: the test '1', the zero run, and the terminating marker
+        // (implicit at position 63, where the decoder stops unconditionally).
         let mut m = n;
-        while m < 64 && {
-            let any = x != 0;
-            w.write_bit(any);
-            any
-        } {
-            while m < 63 && {
-                let bit = x & 1 == 1;
-                w.write_bit(bit);
-                !bit
-            } {
-                x >>= 1;
-                m += 1;
+        while m < 64 {
+            if x == 0 {
+                w.write_bit(false);
+                break;
             }
-            x >>= 1;
-            m += 1;
+            let g = x.trailing_zeros() as usize; // g ≤ 63 − m
+            if m + g == 63 {
+                w.write_bits(1, g as u32 + 1); // '1' + g zeros, no marker
+                m = 64;
+            } else {
+                w.write_bits(1 | (1u64 << (g + 1)), g as u32 + 2);
+                x >>= g + 1;
+                m += g + 1;
+            }
         }
         n = m;
     }
@@ -119,11 +149,51 @@ pub fn decode_block_ints(r: &mut BitReader<'_>, maxprec: u32) -> [i64; 64] {
     std::array::from_fn(|i| uint2int(ub[i]))
 }
 
-/// The pre-overhaul per-bit decoder, kept verbatim as the differential
-/// oracle for the batched group-test decode.
+/// The pre-overhaul per-bit coder loops, kept verbatim as the differential
+/// oracles for the batched group-test decode and the transpose/word-at-a-time
+/// encode.
 pub mod reference {
-    use super::{uint2int, INTPREC};
-    use hqmr_codec::BitReader;
+    use super::{int2uint, uint2int, INTPREC};
+    use hqmr_codec::{BitReader, BitWriter};
+
+    /// Original [`super::encode_block_ints`]: per-coefficient plane gather,
+    /// one `write_bit` per group-test and unary-run bit.
+    pub fn encode_block_ints(w: &mut BitWriter, data: &[i64; 64], maxprec: u32) {
+        let kmin = INTPREC.saturating_sub(maxprec);
+        let ub: [u64; 64] = std::array::from_fn(|i| int2uint(data[i]));
+        let mut n = 0usize; // coefficients significant so far
+        for k in (kmin..INTPREC).rev() {
+            // Step 1: gather bit plane k.
+            let mut x = 0u64;
+            for (i, &u) in ub.iter().enumerate() {
+                x |= ((u >> k) & 1) << i;
+            }
+            // Step 2: verbatim bits for already-significant coefficients.
+            if n > 0 {
+                w.write_bits(x, n as u32);
+                x = if n >= 64 { 0 } else { x >> n };
+            }
+            // Step 3: unary run-length / group test for the rest.
+            let mut m = n;
+            while m < 64 && {
+                let any = x != 0;
+                w.write_bit(any);
+                any
+            } {
+                while m < 63 && {
+                    let bit = x & 1 == 1;
+                    w.write_bit(bit);
+                    !bit
+                } {
+                    x >>= 1;
+                    m += 1;
+                }
+                x >>= 1;
+                m += 1;
+            }
+            n = m;
+        }
+    }
 
     /// Original [`super::decode_block_ints`]: one `read_bit` per group-test
     /// and unary-run bit, bit-by-bit plane deposit.
@@ -248,6 +318,37 @@ mod tests {
             let bytes = w.finish();
             let mut r = BitReader::new(&bytes);
             assert_eq!(decode_block_ints(&mut r, INTPREC), data, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn word_at_a_time_encoder_matches_reference() {
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let mut rnd = |bits: u32| {
+            x = x.rotate_left(11).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            ((x >> 16) & ((1 << bits) - 1)) as i64 - (1 << (bits - 1))
+        };
+        for trial in 0..300 {
+            // Mix dense, sparse and degenerate blocks across precisions.
+            let mut data = [0i64; 64];
+            match trial % 4 {
+                0 => data.iter_mut().for_each(|v| *v = rnd(31)),
+                1 => data[(trial / 4) % 64] = rnd(24),
+                2 => data.iter_mut().step_by(7).for_each(|v| *v = rnd(12)),
+                _ => {} // all zeros
+            }
+            for maxprec in [1u32, 7, 20, INTPREC] {
+                let mut w = BitWriter::new();
+                encode_block_ints(&mut w, &data, maxprec);
+                let mut wr = BitWriter::new();
+                reference::encode_block_ints(&mut wr, &data, maxprec);
+                assert_eq!(w.bit_len(), wr.bit_len(), "trial {trial} prec {maxprec}");
+                assert_eq!(
+                    w.finish(),
+                    wr.finish(),
+                    "trial {trial} prec {maxprec} diverged"
+                );
+            }
         }
     }
 

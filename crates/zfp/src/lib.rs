@@ -15,6 +15,7 @@
 //! round-trips bit-exact at full precision.
 
 mod coder;
+mod simd;
 mod stream;
 mod transform;
 
@@ -30,7 +31,7 @@ pub use transform::{fwd_transform3, inv_transform3, COEFF_ORDER};
 /// kernels (`tests/kernel_equivalence.rs`) and the `tables hotpath`
 /// before/after rows — the `bitio::reference` pattern.
 pub mod reference {
-    pub use crate::coder::reference::decode_block_ints;
+    pub use crate::coder::reference::{decode_block_ints, encode_block_ints};
     pub use crate::stream::reference::{compress, decompress};
     pub use crate::transform::reference::{fwd_transform3, inv_transform3};
 }

@@ -4,8 +4,8 @@ use crate::coder::{decode_block_ints, encode_block_ints, INTPREC};
 use crate::transform::{fwd_transform3, inv_transform3};
 use crate::{ZfpConfig, BLOCK, BLOCK_LEN};
 use hqmr_codec::{
-    check_stream_id, push_stream_id, read_uvarint, round_ties_away_i64, tag, write_uvarint,
-    BitReader, BitWriter, Codec, CodecError, Container,
+    check_stream_id, push_stream_id, read_uvarint, tag, write_uvarint, BitReader, BitWriter, Codec,
+    CodecError, Container,
 };
 use hqmr_grid::{BlockGrid, Dims3, Field3};
 
@@ -72,15 +72,24 @@ pub fn compress_into(field: &Field3, cfg: &ZfpConfig, out: &mut Vec<u8>) {
 
 /// The compression pipeline up to (but not including) serialization.
 fn compress_container(field: &Field3, cfg: &ZfpConfig) -> (Container, usize) {
-    compress_container_with(field, cfg, fwd_transform3)
+    compress_container_with(
+        field,
+        cfg,
+        crate::simd::scale_block,
+        fwd_transform3,
+        encode_block_ints,
+    )
 }
 
-/// [`compress_container`] parameterized over the block transform, so the
-/// [`reference`] path reuses everything but the kernel under test.
+/// [`compress_container`] parameterized over the fixed-point scaling, block
+/// transform and bit-plane encoder, so the [`reference`] path reuses
+/// everything but the kernels under test.
 fn compress_container_with(
     field: &Field3,
     cfg: &ZfpConfig,
+    scale_block: fn(&[f32; 64], &mut [i64; 64], f64),
     fwd: fn(&mut [i64; 64]),
+    enc: fn(&mut BitWriter, &[i64; 64], u32),
 ) -> (Container, usize) {
     let dims = field.dims();
     let grid = BlockGrid::new(dims, BLOCK);
@@ -111,11 +120,9 @@ fn compress_container_with(
         w.write_bit(true);
         w.write_bits((emax + EMAX_BIAS) as u64, 16);
         let scale = 2f64.powi(Q - emax);
-        for (i, &v) in vals.iter().enumerate() {
-            ints[i] = round_ties_away_i64(v as f64 * scale);
-        }
+        scale_block(&vals, &mut ints, scale);
         fwd(&mut ints);
-        encode_block_ints(&mut w, &ints, maxprec as u32);
+        enc(&mut w, &ints, maxprec as u32);
     }
 
     let mut head = Vec::new();
@@ -205,11 +212,17 @@ fn decompress_into_with(
 pub mod reference {
     use super::*;
 
-    /// [`super::compress`] built on the line-copying reference transform —
+    /// [`super::compress`] built on the scalar scaling loop, the
+    /// line-copying reference transform and the per-bit plane encoder —
     /// byte-identical output.
     pub fn compress(field: &Field3, cfg: &ZfpConfig) -> CompressResult {
-        let (c, zero_blocks) =
-            compress_container_with(field, cfg, crate::transform::reference::fwd_transform3);
+        let (c, zero_blocks) = compress_container_with(
+            field,
+            cfg,
+            crate::simd::scale_block_scalar,
+            crate::transform::reference::fwd_transform3,
+            crate::coder::reference::encode_block_ints,
+        );
         CompressResult {
             bytes: c.to_bytes(),
             zero_blocks,

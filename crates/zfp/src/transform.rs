@@ -73,7 +73,7 @@ const fn coeff_order() -> [u8; 64] {
 /// Position of transform-layout index `i` in the frequency ordering
 /// (`COEFF_POS[COEFF_ORDER[o]] == o`) — the scatter map that lets the last
 /// forward sweep write its outputs directly into frequency order.
-const COEFF_POS: [u8; 64] = coeff_pos();
+pub(crate) const COEFF_POS: [u8; 64] = coeff_pos();
 
 const fn coeff_pos() -> [u8; 64] {
     let mut pos = [0u8; 64];
@@ -88,12 +88,29 @@ const fn coeff_pos() -> [u8; 64] {
 /// Forward transform of a 4³ block (in place, layout `i = (x*4+y)*4+z`),
 /// followed by reordering into frequency order.
 ///
-/// The z and y sweeps lift in place through direct indices (no per-4-group
-/// line copies); the x sweep fuses the coefficient reorder by scattering its
-/// outputs straight to their [`COEFF_ORDER`] positions. Integer lifting is
-/// exact, so this is bit-identical to [`reference::fwd_transform3`] (pinned
-/// by the differential tests).
+/// Dispatches on [`hqmr_codec::kernels::simd_level`]: integer lifting has one
+/// two's-complement answer, so the AVX2/SSE2 sweeps in `simd::x86` are
+/// bit-identical to the scalar body by construction (pinned by the
+/// differential tests).
 pub fn fwd_transform3(block: &mut [i64; 64]) {
+    match hqmr_codec::kernels::simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        hqmr_codec::kernels::SimdLevel::Avx2 => unsafe {
+            crate::simd::x86::fwd_transform3_avx2(block)
+        },
+        #[cfg(target_arch = "x86_64")]
+        hqmr_codec::kernels::SimdLevel::Sse2 => unsafe {
+            crate::simd::x86::fwd_transform3_sse2(block)
+        },
+        _ => fwd_transform3_scalar(block),
+    }
+}
+
+/// The scalar arm of [`fwd_transform3`]: z and y sweeps lift in place through
+/// direct indices (no per-4-group line copies); the x sweep fuses the
+/// coefficient reorder by scattering its outputs straight to their
+/// [`COEFF_ORDER`] positions.
+pub(crate) fn fwd_transform3_scalar(block: &mut [i64; 64]) {
     // Along z (stride 1), in place.
     for base in (0..64).step_by(4) {
         let (a0, d0) = s_fwd(block[base], block[base + 1]);
@@ -131,10 +148,25 @@ pub fn fwd_transform3(block: &mut [i64; 64]) {
     *block = out;
 }
 
-/// Inverse of [`fwd_transform3`]: the x sweep gathers straight from the
-/// frequency-ordered input (fusing the un-reorder), then y and z lift in
-/// place.
+/// Inverse of [`fwd_transform3`], dispatched like the forward direction.
 pub fn inv_transform3(block: &mut [i64; 64]) {
+    match hqmr_codec::kernels::simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        hqmr_codec::kernels::SimdLevel::Avx2 => unsafe {
+            crate::simd::x86::inv_transform3_avx2(block)
+        },
+        #[cfg(target_arch = "x86_64")]
+        hqmr_codec::kernels::SimdLevel::Sse2 => unsafe {
+            crate::simd::x86::inv_transform3_sse2(block)
+        },
+        _ => inv_transform3_scalar(block),
+    }
+}
+
+/// The scalar arm of [`inv_transform3`]: the x sweep gathers straight from
+/// the frequency-ordered input (fusing the un-reorder), then y and z lift in
+/// place.
+pub(crate) fn inv_transform3_scalar(block: &mut [i64; 64]) {
     let mut out = [0i64; 64];
     // Along x (stride 16), reading each coefficient from its frequency slot.
     for yz in 0..16 {

@@ -1,0 +1,99 @@
+//! Property tests for the runtime SIMD dispatch layer in
+//! `hqmr_codec::kernels`: for arbitrary field shapes — degenerate axes,
+//! non-power-of-two line lengths, values spanning smooth and rough content —
+//! the dispatched kernels and the forced-scalar arm must produce
+//! byte-identical streams, and each arm must decode the other's output to
+//! the same reconstruction.
+//!
+//! The force-scalar switch is process-global, so every toggle lives inside a
+//! single `#[test]` per codec family and is always restored; the properties
+//! themselves hold under either ambient arm, so the three tests may still
+//! run concurrently.
+
+use hqmr::codec::kernels;
+use hqmr::grid::{Dims3, Field3};
+use proptest::prelude::*;
+
+/// Deterministic field mixing a smooth ramp with value-dependent roughness,
+/// so quantizer fast paths and outlier/replay paths both get exercised.
+fn mk_field(nx: usize, ny: usize, nz: usize, seed: u32) -> Field3 {
+    let dims = Dims3::new(nx, ny, nz);
+    let mut x = seed as u64 | 1;
+    let data: Vec<f32> = (0..dims.len())
+        .map(|i| {
+            x = x.rotate_left(13).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let rough = ((x >> 40) as f64 / (1 << 24) as f64) - 0.5;
+            (i as f64 * 0.37).sin() as f32 * 100.0 + rough as f32 * (i % 7) as f32
+        })
+        .collect();
+    Field3::from_vec(dims, data)
+}
+
+/// Compresses under both dispatch arms and asserts byte identity, then
+/// cross-decodes: the scalar arm decodes the SIMD stream and vice versa.
+fn assert_arms_identical(
+    f: &Field3,
+    compress: impl Fn(&Field3) -> Vec<u8>,
+    decompress: impl Fn(&[u8]) -> Field3,
+) {
+    kernels::set_force_scalar(false);
+    let simd = compress(f);
+    kernels::set_force_scalar(true);
+    let scalar = compress(f);
+    assert_eq!(simd, scalar, "compressed streams differ between arms");
+    let dec_scalar = decompress(&simd);
+    kernels::set_force_scalar(false);
+    let dec_simd = decompress(&scalar);
+    assert_eq!(
+        dec_simd.data(),
+        dec_scalar.data(),
+        "reconstructions differ between arms"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SZ3's interpolation sweeps hit every `LineGeom` split (mid head,
+    /// cubic run, mid tail, extrapolated boundary) as the axes vary.
+    #[test]
+    fn sz3_dispatch_arms_identical(
+        nx in 1usize..12, ny in 1usize..14, nz in 1usize..40, seed in any::<u32>(),
+    ) {
+        let f = mk_field(nx, ny, nz, seed);
+        let cfg = hqmr::sz3::Sz3Config::new(0.5);
+        assert_arms_identical(
+            &f,
+            |f| hqmr::sz3::compress(f, &cfg).bytes,
+            |b| hqmr::sz3::decompress(b).expect("fresh stream decodes"),
+        );
+    }
+
+    /// SZ2's block Lorenzo path, including partial edge blocks.
+    #[test]
+    fn sz2_dispatch_arms_identical(
+        nx in 1usize..12, ny in 1usize..14, nz in 1usize..40, seed in any::<u32>(),
+    ) {
+        let f = mk_field(nx, ny, nz, seed);
+        let cfg = hqmr::sz2::Sz2Config::new(0.5);
+        assert_arms_identical(
+            &f,
+            |f| hqmr::sz2::compress(f, &cfg).bytes,
+            |b| hqmr::sz2::decompress(b).expect("fresh stream decodes"),
+        );
+    }
+
+    /// ZFP's 4³-block lifting, including partial blocks on every face.
+    #[test]
+    fn zfp_dispatch_arms_identical(
+        nx in 1usize..12, ny in 1usize..14, nz in 1usize..40, seed in any::<u32>(),
+    ) {
+        let f = mk_field(nx, ny, nz, seed);
+        let cfg = hqmr::zfp::ZfpConfig::new(0.5);
+        assert_arms_identical(
+            &f,
+            |f| hqmr::zfp::compress(f, &cfg).bytes,
+            |b| hqmr::zfp::decompress(b).expect("fresh stream decodes"),
+        );
+    }
+}
