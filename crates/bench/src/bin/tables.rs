@@ -52,6 +52,7 @@ fn main() {
         ("store", ex::store),
         ("serve", ex::serve),
         ("hotpath", ex::hotpath),
+        ("net", ex::net),
     ];
 
     let selected: Vec<_> = if which == "all" {

@@ -1688,3 +1688,226 @@ pub fn hotpath(scale: usize) -> String {
     crate::write_root_json("BENCH_hotpath.json", &json, &mut out);
     out
 }
+
+/// Network serving benchmark (`BENCH_net.json`): per-request latency
+/// (p50/p99) and aggregate QPS of the `hqmr-net` fleet over real TCP
+/// loopback, across client count × cache budget, plus a deliberately
+/// saturated cell (1 worker, depth-1 queue, cache off, 16 clients) showing
+/// overload surfacing as typed `Busy` responses — bounded answers, not an
+/// unbounded backlog. Each request is one single-query batch from a
+/// viewer-like mix (ROI bricks, an isovalue skim, a coarse overview), so a
+/// latency sample is one full round-trip: encode, two socket hops, shard
+/// dispatch, serve, decode.
+pub fn net(scale: usize) -> String {
+    use hqmr_net::{DatasetSpec, NetClient, NetConfig, NetError, NetServer};
+    use hqmr_serve::{Query, UNBOUNDED};
+    use hqmr_store::{write_store, StoreConfig, StoreReader};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const PASSES: usize = 3;
+    let d = datasets::nyx_t1(scale, 53);
+    let mr = d.mr.as_ref().unwrap();
+    let eb = d.range() * 8e-3;
+    let (mn, mx) = d.field.min_max();
+    let iso = mn + 0.6 * (mx - mn);
+
+    // Same viewer-like mix as the in-process serving bench, issued as
+    // individual requests so each one is a latency sample.
+    let fine = mr.levels[0].dims;
+    let brick = [
+        (fine.nx / 2).max(1),
+        (fine.ny / 2).max(1),
+        (fine.nz / 4).max(1),
+    ];
+    let mut mix: Vec<Query> = Vec::new();
+    for k in 0..8usize {
+        let lo = [
+            (k % 2) * (fine.nx - brick[0]),
+            ((k / 2) % 2) * (fine.ny - brick[1]),
+            (k % 4) * (fine.nz - brick[2]) / 3,
+        ];
+        mix.push(Query::Roi {
+            level: 0,
+            lo,
+            hi: [lo[0] + brick[0], lo[1] + brick[1], lo[2] + brick[2]],
+            fill: mn,
+        });
+    }
+    mix.push(Query::Iso { level: 0, iso });
+    mix.push(Query::Level {
+        level: mr.levels.len() - 1,
+    });
+
+    let buf = write_store(
+        mr,
+        &StoreConfig::new(eb).with_chunk_blocks(4),
+        &hqmr_sz3::Sz3Codec::default(),
+    );
+    let store_bytes = buf.len();
+    let spawn = |cfg: NetConfig| {
+        NetServer::spawn(
+            "127.0.0.1:0",
+            cfg,
+            vec![DatasetSpec {
+                id: 0,
+                name: d.name.to_string(),
+                reader: Arc::new(StoreReader::from_bytes(buf.clone()).unwrap()),
+            }],
+        )
+        .expect("spawn fleet")
+    };
+
+    /// Drives `clients` threads × `PASSES` passes of the mix against
+    /// `addr`; returns (per-request seconds, wall seconds, busy retries).
+    fn drive(
+        addr: std::net::SocketAddr,
+        clients: usize,
+        mix: &[Query],
+        passes: usize,
+    ) -> (Vec<f64>, f64, u64) {
+        let t0 = Instant::now();
+        let results: Vec<(Vec<f64>, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut client = NetClient::connect(addr).expect("connect");
+                        let mut lat = Vec::with_capacity(passes * mix.len());
+                        let mut busy = 0u64;
+                        for _ in 0..passes {
+                            for q in mix {
+                                let t = Instant::now();
+                                loop {
+                                    match client.batch(0, std::slice::from_ref(q)) {
+                                        Ok(r) => {
+                                            std::hint::black_box(r);
+                                            break;
+                                        }
+                                        Err(NetError::Busy) => {
+                                            busy += 1;
+                                            std::thread::yield_now();
+                                        }
+                                        Err(e) => panic!("request failed: {e}"),
+                                    }
+                                }
+                                lat.push(t.elapsed().as_secs_f64());
+                            }
+                        }
+                        (lat, busy)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        let mut lat = Vec::new();
+        let mut busy = 0;
+        for (l, b) in results {
+            lat.extend(l);
+            busy += b;
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (lat, wall, busy)
+    }
+
+    fn pct(sorted: &[f64], q: f64) -> f64 {
+        let i = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[i]
+    }
+
+    let budgets: [(&str, usize); 2] = [("64KiB", 64 << 10), ("unbounded", UNBOUNDED)];
+    let client_counts = [1usize, 4, 16];
+
+    let mut out = format!(
+        "Network serving — {} (scale {scale}, rel eb 8e-3, sz3 store {:.1} KiB, \
+         {} requests/client-pass, {PASSES} passes, TCP loopback)\n\
+         budget     clients   p50(ms)   p99(ms)   agg(q/s)   busy_retries   hits   misses\n",
+        d.name,
+        store_bytes as f64 / 1024.0,
+        mix.len(),
+    );
+    let mut json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"scale\": {scale},\n  \"rel_eb\": 8e-3,\n  \
+         \"store_bytes\": {store_bytes},\n  \"requests_per_pass\": {},\n  \
+         \"passes\": {PASSES},\n  \"records\": [\n",
+        d.name,
+        mix.len(),
+    );
+    let mut first = true;
+    for (bname, budget) in budgets {
+        for clients in client_counts {
+            // Fresh fleet per cell: cold cache, default worker pool.
+            let server = spawn(NetConfig {
+                cache_budget: budget,
+                max_connections: 64,
+                ..NetConfig::default()
+            });
+            let (lat, wall, busy) = drive(server.local_addr(), clients, &mix, PASSES);
+            let total = lat.len() as f64;
+            let (p50, p99) = (pct(&lat, 0.50) * 1e3, pct(&lat, 0.99) * 1e3);
+            let qps = total / wall;
+            let mut probe = NetClient::connect(server.local_addr()).expect("stats probe");
+            let stats = probe.stats(0, false).expect("stats");
+            writeln!(
+                out,
+                "{bname:9} {clients:8} {p50:9.3} {p99:9.3} {qps:10.1} {busy:14} {:6} {:8}",
+                stats.hits, stats.misses,
+            )
+            .unwrap();
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            write!(
+                json,
+                "    {{\"budget\": \"{bname}\", \"clients\": {clients}, \
+                 \"p50_ms\": {p50:.4}, \"p99_ms\": {p99:.4}, \"agg_qps\": {qps:.2}, \
+                 \"requests\": {}, \"busy_retries\": {busy}, \
+                 \"cache\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}}}}}",
+                lat.len(),
+                stats.requests,
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+            )
+            .unwrap();
+        }
+    }
+
+    // Saturation: a deliberately starved fleet — overload must surface as
+    // typed Busy answers while every client still finishes its work.
+    let server = spawn(NetConfig {
+        workers: 1,
+        queue_depth: 1,
+        cache_budget: 0,
+        max_connections: 64,
+        ..NetConfig::default()
+    });
+    let (lat, wall, busy) = drive(server.local_addr(), 16, &mix, 1);
+    let busy_server = server.busy_rejections();
+    writeln!(
+        out,
+        "saturation (1 worker, queue depth 1, cache off, 16 clients): \
+         {} requests in {wall:.2}s, {busy} Busy retries observed by clients \
+         ({busy_server} rejected server-side), p99 {:.1} ms",
+        lat.len(),
+        pct(&lat, 0.99) * 1e3,
+    )
+    .unwrap();
+    write!(
+        json,
+        ",\n    {{\"budget\": \"saturation\", \"clients\": 16, \"workers\": 1, \
+         \"queue_depth\": 1, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
+         \"agg_qps\": {:.2}, \"requests\": {}, \"busy_retries\": {busy}, \
+         \"busy_rejections_server\": {busy_server}}}",
+        pct(&lat, 0.50) * 1e3,
+        pct(&lat, 0.99) * 1e3,
+        lat.len() as f64 / wall,
+        lat.len(),
+    )
+    .unwrap();
+
+    json.push_str("\n  ]\n}\n");
+    crate::write_root_json("BENCH_net.json", &json, &mut out);
+    out
+}

@@ -1,0 +1,125 @@
+//! `netd` — the HQNW serving daemon.
+//!
+//! Hosts one or more `.hqst` stores behind the wire protocol:
+//!
+//! ```text
+//! netd [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N]
+//!      [--budget BYTES] (--demo SCALE | STORE.hqst ...)
+//! ```
+//!
+//! Dataset ids are assigned in argument order. `--demo SCALE` hosts two
+//! synthetic stores (SCALE³ cells each) instead of files, for smoke tests
+//! and load generation without data on disk.
+
+use hqmr_mr::{to_adaptive, RoiConfig};
+use hqmr_net::{DatasetSpec, NetConfig, NetServer};
+use hqmr_store::{write_store, StoreConfig, StoreReader};
+use hqmr_sz3::Sz3Codec;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: netd [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N] \
+         [--budget BYTES] (--demo SCALE | STORE.hqst ...)"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("netd: {flag} needs a value");
+        usage()
+    })
+}
+
+fn demo_datasets(scale: usize) -> Vec<DatasetSpec> {
+    ["nyx-demo", "shell-demo"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            // The synthetic field generator is FFT-based: power-of-two only.
+            let n = scale.max(8).next_power_of_two();
+            let f = hqmr_grid::synth::nyx_like(n, 41 + i as u64);
+            let mr = to_adaptive(&f, &RoiConfig::new(8, 0.5));
+            let buf = write_store(&mr, &StoreConfig::new(1e-3), &Sz3Codec::default());
+            DatasetSpec {
+                id: i as u32,
+                name: (*name).to_string(),
+                reader: Arc::new(StoreReader::from_bytes(buf).expect("encode demo store")),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7745".to_string();
+    let mut cfg = NetConfig::default();
+    let mut demo: Option<usize> = None;
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse("--addr", args.next()),
+            "--workers" => cfg.workers = parse("--workers", args.next()),
+            "--queue" => cfg.queue_depth = parse("--queue", args.next()),
+            "--max-conns" => cfg.max_connections = parse("--max-conns", args.next()),
+            "--budget" => cfg.cache_budget = parse("--budget", args.next()),
+            "--demo" => demo = Some(parse("--demo", args.next())),
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => {
+                eprintln!("netd: unknown flag {arg}");
+                usage();
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    let datasets = match (demo, paths.is_empty()) {
+        (Some(scale), true) => demo_datasets(scale),
+        (None, false) => paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                // The typed `Open` variant carries the path; print it as-is.
+                let reader = StoreReader::open(p).unwrap_or_else(|e| {
+                    eprintln!("netd: {e}");
+                    std::process::exit(1);
+                });
+                let name = std::path::Path::new(p)
+                    .file_stem()
+                    .map_or_else(|| p.clone(), |s| s.to_string_lossy().into_owned());
+                DatasetSpec {
+                    id: i as u32,
+                    name,
+                    reader: Arc::new(reader),
+                }
+            })
+            .collect(),
+        _ => usage(),
+    };
+
+    let server = NetServer::spawn(&addr, cfg, datasets).unwrap_or_else(|e| {
+        eprintln!("netd: bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("netd: serving on {}", server.local_addr());
+    // Self-describing catalog, one line per dataset.
+    let mut client =
+        hqmr_net::NetClient::connect(server.local_addr()).expect("loopback catalog connection");
+    for d in client.datasets().expect("catalog") {
+        println!(
+            "  [{}] {} — {} levels, {} chunks, {} compressed bytes, domain {}×{}×{}",
+            d.id,
+            d.name,
+            d.levels,
+            d.chunks,
+            d.compressed_bytes,
+            d.domain.nx,
+            d.domain.ny,
+            d.domain.nz
+        );
+    }
+    drop(client);
+    server.join();
+}

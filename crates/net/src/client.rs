@@ -1,0 +1,209 @@
+//! Blocking client for the HQNW protocol.
+//!
+//! One [`NetClient`] owns one connection. Calls are synchronous — send a
+//! frame, wait for the matching response — which is exactly the shape the
+//! load-generator bench needs (each client thread measures its own
+//! request latency). Backpressure surfaces as the typed [`NetError::Busy`]
+//! so callers can implement their own retry policy; every other remote
+//! failure arrives as [`NetError::Remote`] carrying the server's typed
+//! error frame.
+
+use crate::proto::{
+    read_frame, read_hello, write_frame, write_hello, DatasetInfo, ErrorFrame, Kind, NetResponse,
+    ProtocolError, Request, DEFAULT_MAX_FRAME,
+};
+use hqmr_mr::Upsample;
+use hqmr_serve::{CacheStats, Query, Response};
+use hqmr_store::RefinementStep;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Wire-level failure (framing, CRC, malformed body).
+    Protocol(ProtocolError),
+    /// The server's owning shard had a full queue — retry later.
+    Busy,
+    /// The server refused the connection at its admission cap.
+    TooManyConnections,
+    /// Any other typed error the server returned.
+    Remote(ErrorFrame),
+    /// The server answered with a well-formed frame of the wrong kind or id.
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol: {e}"),
+            NetError::Busy => write!(f, "server busy, retry"),
+            NetError::TooManyConnections => write!(f, "server at connection limit"),
+            NetError::Remote(e) => write!(f, "server error: {e}"),
+            NetError::UnexpectedResponse => write!(f, "unexpected response frame"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for NetError {
+    fn from(e: ProtocolError) -> Self {
+        match e {
+            ProtocolError::Io(io) => NetError::Io(io),
+            other => NetError::Protocol(other),
+        }
+    }
+}
+
+fn remote(e: ErrorFrame) -> NetError {
+    match e {
+        ErrorFrame::Busy => NetError::Busy,
+        ErrorFrame::TooManyConnections => NetError::TooManyConnections,
+        other => NetError::Remote(other),
+    }
+}
+
+/// A blocking connection to a [`NetServer`](crate::NetServer).
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    max_frame_len: usize,
+}
+
+impl NetClient {
+    /// Connects and performs the mutual hello. An over-limit server
+    /// completes the hello and answers the *first frame read* with
+    /// [`NetError::TooManyConnections`]; the handshake itself stays cheap.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = NetClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            max_frame_len: DEFAULT_MAX_FRAME,
+        };
+        write_hello(&mut client.writer)?;
+        client.writer.flush()?;
+        read_hello(&mut client.reader)?;
+        Ok(client)
+    }
+
+    /// Caps the response frames this client will accept.
+    pub fn set_max_frame_len(&mut self, max: usize) {
+        self.max_frame_len = max;
+    }
+
+    /// Sends one request and waits for its response frame.
+    fn call(&mut self, req: &Request) -> Result<NetResponse, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        // A server that already hung up (e.g. admission refusal) makes the
+        // write fail — but its typed error frame is still sitting in the
+        // receive buffer. Always try the read; prefer its answer over the
+        // raw broken-pipe error.
+        let wrote = write_frame(&mut self.writer, req.kind(), id, &req.encode())
+            .and_then(|()| self.writer.flush());
+        let (header, body) = match (read_frame(&mut self.reader, self.max_frame_len), wrote) {
+            (Ok(frame), _) => frame,
+            (Err(_), Err(io)) => return Err(NetError::Io(io)),
+            (Err(e), Ok(())) => return Err(e.into()),
+        };
+        // Responses echo the request id; id 0 is reserved for
+        // connection-scoped errors (admission refusal, desynced stream).
+        if header.req_id != id && !(header.req_id == 0 && header.kind == Kind::RError) {
+            return Err(NetError::UnexpectedResponse);
+        }
+        let resp = NetResponse::decode(header.kind, &body)?;
+        match resp {
+            NetResponse::Error(e) => Err(remote(e)),
+            other => Ok(other),
+        }
+    }
+
+    /// The server's dataset catalog.
+    pub fn datasets(&mut self) -> Result<Vec<DatasetInfo>, NetError> {
+        match self.call(&Request::List)? {
+            NetResponse::Datasets(list) => Ok(list),
+            _ => Err(NetError::UnexpectedResponse),
+        }
+    }
+
+    /// Runs a batch of queries against `dataset` — the remote form of
+    /// [`StoreServer::serve_batch`](hqmr_serve::StoreServer::serve_batch),
+    /// answers in request order.
+    pub fn batch(&mut self, dataset: u32, queries: &[Query]) -> Result<Vec<Response>, NetError> {
+        let req = Request::Batch {
+            dataset,
+            queries: queries.to_vec(),
+        };
+        match self.call(&req)? {
+            NetResponse::Batch(rs) => Ok(rs),
+            _ => Err(NetError::UnexpectedResponse),
+        }
+    }
+
+    /// Like [`batch`](NetClient::batch), but retries [`NetError::Busy`] up
+    /// to `retries` times, yielding the thread between attempts. The bench
+    /// and storm clients use this as their standard backoff loop.
+    pub fn batch_retry(
+        &mut self,
+        dataset: u32,
+        queries: &[Query],
+        retries: usize,
+    ) -> Result<Vec<Response>, NetError> {
+        let mut attempt = 0;
+        loop {
+            match self.batch(dataset, queries) {
+                Err(NetError::Busy) if attempt < retries => {
+                    attempt += 1;
+                    std::thread::yield_now();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Full coarse→fine refinement of `dataset`.
+    pub fn progressive(
+        &mut self,
+        dataset: u32,
+        scheme: Upsample,
+    ) -> Result<Vec<RefinementStep>, NetError> {
+        let req = Request::Progressive { dataset, scheme };
+        match self.call(&req)? {
+            NetResponse::Progressive(steps) => Ok(steps),
+            _ => Err(NetError::UnexpectedResponse),
+        }
+    }
+
+    /// Per-tenant cache stats; `take` drains the counter window
+    /// (snapshot-and-reset) like
+    /// [`StoreServer::take_stats`](hqmr_serve::StoreServer::take_stats).
+    pub fn stats(&mut self, dataset: u32, take: bool) -> Result<CacheStats, NetError> {
+        let req = Request::Stats { dataset, take };
+        match self.call(&req)? {
+            NetResponse::Stats(s) => Ok(s),
+            _ => Err(NetError::UnexpectedResponse),
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! `hqmr-net` — the wire-protocol serving fleet.
+//!
+//! `hqmr-serve` answers post-hoc analysis queries in process; this crate
+//! puts that capability on a socket. Three pieces:
+//!
+//! * [`proto`] — the HQNW length-framed binary protocol: versioned hello,
+//!   CRC-guarded frames, request ids, and body encodings that mirror the
+//!   serve layer's query/response enums bit-for-bit. Every decoder treats
+//!   input as untrusted and fails typed ([`ProtocolError`]), never panics.
+//! * [`NetServer`] — one TCP listener feeding a thread-per-core worker
+//!   pool; datasets are sharded across workers by id so each store's cache
+//!   stays hot on one shard. Bounded per-worker queues answer overload
+//!   with typed [`ErrorFrame::Busy`] frames (backpressure, not backlog);
+//!   a hard connection cap answers with
+//!   [`ErrorFrame::TooManyConnections`]. Per-tenant cache budgets are
+//!   carved from one global byte budget.
+//! * [`NetClient`] — a blocking client whose results are bit-identical to
+//!   calling [`StoreServer::serve_batch`](hqmr_serve::StoreServer::serve_batch)
+//!   in process (the loopback differential tests pin this down per codec
+//!   backend).
+//!
+//! Everything is built on `std::net` — no external dependencies.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{NetClient, NetError};
+pub use proto::{DatasetInfo, ErrorFrame, NetResponse, ProtocolError, Request, WireStoreError};
+pub use server::{DatasetSpec, NetConfig, NetServer};
+
+// The server handle crosses threads in the bench harness; the client is
+// moved into per-thread load generators.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NetServer>();
+    assert_send::<NetClient>();
+};

@@ -1,0 +1,1242 @@
+//! The HQNW wire protocol: length-framed, CRC-guarded, versioned.
+//!
+//! # Connection handshake
+//!
+//! Both sides open with an 8-byte hello — `"HQNW" | version u8 | 3 zero
+//! bytes` — and reject anything else with a typed error. The version byte
+//! follows the store's rule: any layout change bumps [`WIRE_VERSION`] and
+//! peers refuse versions they don't know instead of guessing.
+//!
+//! # Frames
+//!
+//! ```text
+//! body_len u32le | kind u8 | req_id u64le | frame_crc u32le | body
+//! ```
+//!
+//! `body_len` counts only `body`; the 17-byte header is fixed. `frame_crc`
+//! guards the header *and* the body (CRC-32 of the first 13 header bytes
+//! XOR CRC-32 of the body), so a flipped bit anywhere on the wire —
+//! including a kind byte flipping into another valid kind — surfaces as
+//! the typed [`ProtocolError::BadCrc`] instead of a mis-parse. Frames above the
+//! receiver's limit are rejected *before* any allocation
+//! ([`ProtocolError::FrameTooLarge`]). Request ids are chosen by the
+//! client and echoed verbatim in the response, so one connection can carry
+//! batched traffic without ambiguity.
+//!
+//! # Bodies
+//!
+//! Requests mirror `hqmr-serve`'s query surface: a [`Request::Batch`]
+//! carries any mix of Level/Roi/Iso queries (the same
+//! [`Query`] enum the in-process planner unions), and
+//! [`Request::Progressive`] streams the coarse→fine refinement steps.
+//! Responses reuse the serve layer's [`Response`]
+//! payloads, so a loopback differential test can compare wire results
+//! against `serve_batch` with plain `==`. Failures travel as the typed
+//! [`ErrorFrame`] — including every [`StoreError`] variant (a corrupt
+//! chunk's `(level, block)` survives the trip) and the serving-fleet
+//! conditions ([`ErrorFrame::Busy`] backpressure,
+//! [`ErrorFrame::TooManyConnections`] admission control).
+//!
+//! Every decoder treats its input as untrusted: lengths are checked against
+//! the remaining bytes before any allocation, arithmetic is checked, and
+//! malformed input yields a typed [`ProtocolError`] — never a panic. The
+//! fuzz/property suite in `tests/proto_props.rs` pins this down.
+
+use hqmr_codec::{crc32, read_uvarint, write_uvarint};
+use hqmr_grid::{Dims3, Field3};
+use hqmr_mr::{LevelData, UnitBlock, Upsample};
+use hqmr_serve::{CacheStats, Query, Response};
+use hqmr_store::{RefinementStep, StoreError};
+use std::io::{Read, Write};
+
+/// Wire magic exchanged in the connection hello.
+pub const WIRE_MAGIC: &[u8; 4] = b"HQNW";
+/// Current protocol version; peers reject anything else.
+pub const WIRE_VERSION: u8 = 1;
+/// Hello length: magic + version + 3 reserved zero bytes.
+pub const HELLO_LEN: usize = 8;
+/// Frame header length: body_len + kind + req_id + body_crc.
+pub const HEADER_LEN: usize = 4 + 1 + 8 + 4;
+/// Default cap on a single frame body (sender and receiver side).
+pub const DEFAULT_MAX_FRAME: usize = 256 << 20;
+
+/// Frame kinds. Requests have the high bit clear, responses set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kind {
+    /// Dataset catalog request.
+    List = 0x01,
+    /// Batched Level/Roi/Iso queries against one dataset.
+    Batch = 0x02,
+    /// Progressive refinement of one dataset.
+    Progressive = 0x03,
+    /// Per-tenant cache stats (peek or take-window).
+    Stats = 0x04,
+    /// Catalog response.
+    RDatasets = 0x81,
+    /// Batch response (one payload per query, request order).
+    RBatch = 0x82,
+    /// Progressive response (coarse→fine steps).
+    RProgressive = 0x83,
+    /// Stats response.
+    RStats = 0x84,
+    /// Typed error response.
+    RError = 0xEE,
+}
+
+impl Kind {
+    fn from_u8(b: u8) -> Result<Kind, ProtocolError> {
+        Ok(match b {
+            0x01 => Kind::List,
+            0x02 => Kind::Batch,
+            0x03 => Kind::Progressive,
+            0x04 => Kind::Stats,
+            0x81 => Kind::RDatasets,
+            0x82 => Kind::RBatch,
+            0x83 => Kind::RProgressive,
+            0x84 => Kind::RStats,
+            0xEE => Kind::RError,
+            other => return Err(ProtocolError::UnknownKind(other)),
+        })
+    }
+}
+
+/// Protocol-level failures. Every decoder returns these instead of
+/// panicking, whatever the input.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying socket failure (includes clean EOF mid-frame).
+    Io(std::io::Error),
+    /// The hello did not start with [`WIRE_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a version we don't.
+    BadVersion(u8),
+    /// A frame body or structure ended early.
+    Truncated,
+    /// The frame announces a body larger than the configured cap.
+    FrameTooLarge {
+        /// Announced body length.
+        len: u64,
+        /// The receiver's configured cap.
+        max: u64,
+    },
+    /// The body failed its CRC — bytes were corrupted in flight.
+    BadCrc,
+    /// Unknown frame kind byte.
+    UnknownKind(u8),
+    /// Structurally invalid body.
+    Malformed(&'static str),
+    /// The body decoded cleanly but bytes were left over.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "io: {e}"),
+            ProtocolError::BadMagic(m) => write!(f, "bad wire magic {m:?}"),
+            ProtocolError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            ProtocolError::Truncated => write!(f, "truncated frame"),
+            ProtocolError::FrameTooLarge { len, max } => {
+                write!(f, "frame body {len} B exceeds cap {max} B")
+            }
+            ProtocolError::BadCrc => write!(f, "frame body failed CRC"),
+            ProtocolError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            ProtocolError::Malformed(m) => write!(f, "malformed frame body: {m}"),
+            ProtocolError::TrailingBytes => write!(f, "trailing bytes after frame body"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated
+        } else {
+            ProtocolError::Io(e)
+        }
+    }
+}
+
+/// One dataset's catalog entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetInfo {
+    /// Dataset id — the sharding and addressing key.
+    pub id: u32,
+    /// Human-readable name (file stem or registry label).
+    pub name: String,
+    /// Codec id of the dataset's chunks.
+    pub codec_id: u32,
+    /// Error bound the store was written under.
+    pub eb: f64,
+    /// Fine-level domain extents.
+    pub domain: Dims3,
+    /// Number of resolution levels.
+    pub levels: usize,
+    /// Total chunks across levels.
+    pub chunks: usize,
+    /// Total compressed bytes across levels.
+    pub compressed_bytes: u64,
+}
+
+/// A client→server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Dataset catalog.
+    List,
+    /// Batched queries against `dataset` — the wire form of `serve_batch`.
+    Batch {
+        /// Target dataset id.
+        dataset: u32,
+        /// Queries, answered in order.
+        queries: Vec<Query>,
+    },
+    /// Full coarse→fine progressive refinement of `dataset`.
+    Progressive {
+        /// Target dataset id.
+        dataset: u32,
+        /// Upsampling scheme for the refinement.
+        scheme: Upsample,
+    },
+    /// Per-tenant cache stats.
+    Stats {
+        /// Target dataset id.
+        dataset: u32,
+        /// `true` drains the counter window (snapshot-and-reset);
+        /// `false` peeks.
+        take: bool,
+    },
+}
+
+/// A server→client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetResponse {
+    /// Catalog.
+    Datasets(Vec<DatasetInfo>),
+    /// One payload per query, request order.
+    Batch(Vec<Response>),
+    /// Coarse→fine refinement steps.
+    Progressive(Vec<RefinementStep>),
+    /// Per-tenant cache stats snapshot.
+    Stats(CacheStats),
+    /// Typed failure.
+    Error(ErrorFrame),
+}
+
+/// Typed error frame. `Busy` and `TooManyConnections` are the serving
+/// fleet's backpressure/admission signals; `Store` carries the full
+/// [`StoreError`] taxonomy across the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorFrame {
+    /// The owning worker's queue is full — retry later (backpressure, not
+    /// failure).
+    Busy,
+    /// The server is at its connection limit.
+    TooManyConnections,
+    /// No dataset with this id is registered.
+    NoSuchDataset(u32),
+    /// The request was structurally invalid at the server.
+    BadRequest(String),
+    /// A store-layer failure, variant-preserving.
+    Store(WireStoreError),
+}
+
+impl std::fmt::Display for ErrorFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorFrame::Busy => write!(f, "server busy (queue full), retry"),
+            ErrorFrame::TooManyConnections => write!(f, "server connection limit reached"),
+            ErrorFrame::NoSuchDataset(id) => write!(f, "no dataset {id}"),
+            ErrorFrame::BadRequest(m) => write!(f, "bad request: {m}"),
+            ErrorFrame::Store(e) => write!(f, "store: {e}"),
+        }
+    }
+}
+
+/// [`StoreError`] flattened for the wire: every variant keeps its
+/// discriminating payload (so `CorruptChunk { level, block }` survives the
+/// trip bit-for-bit), with non-`Clone` payloads (`io::Error`, paths,
+/// codec sources) carried as rendered strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireStoreError {
+    /// `StoreError::Io`, message-preserving.
+    Io(String),
+    /// `StoreError::Open`, path and message preserved.
+    Open {
+        /// Path of the store that failed to open.
+        path: String,
+        /// Rendered underlying error.
+        message: String,
+    },
+    /// `StoreError::BadMagic`.
+    BadMagic,
+    /// `StoreError::BadVersion`.
+    BadVersion(u8),
+    /// `StoreError::Truncated`.
+    Truncated,
+    /// `StoreError::CorruptTable`.
+    CorruptTable,
+    /// `StoreError::Malformed`, message preserved.
+    Malformed(String),
+    /// `StoreError::UnknownCodec`.
+    UnknownCodec(u32),
+    /// `StoreError::CorruptChunk` — the addressable damage report.
+    CorruptChunk {
+        /// Level index of the damaged chunk.
+        level: usize,
+        /// Chunk index within the level.
+        block: usize,
+    },
+    /// `StoreError::Codec`, source rendered.
+    Codec {
+        /// Level index of the failing chunk.
+        level: usize,
+        /// Chunk index within the level.
+        block: usize,
+        /// Rendered codec error.
+        message: String,
+    },
+    /// `StoreError::NoSuchLevel`.
+    NoSuchLevel(usize),
+    /// `StoreError::RoiOutOfBounds`.
+    RoiOutOfBounds,
+}
+
+impl std::fmt::Display for WireStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireStoreError::Io(m) => write!(f, "io: {m}"),
+            WireStoreError::Open { path, message } => write!(f, "open {path}: {message}"),
+            WireStoreError::BadMagic => write!(f, "bad store magic"),
+            WireStoreError::BadVersion(v) => write!(f, "unsupported store version {v}"),
+            WireStoreError::Truncated => write!(f, "truncated store"),
+            WireStoreError::CorruptTable => write!(f, "store chunk table failed CRC"),
+            WireStoreError::Malformed(m) => write!(f, "malformed store: {m}"),
+            WireStoreError::UnknownCodec(id) => write!(f, "unknown codec id {id:#x}"),
+            WireStoreError::CorruptChunk { level, block } => {
+                write!(f, "chunk (level {level}, block {block}) failed CRC")
+            }
+            WireStoreError::Codec {
+                level,
+                block,
+                message,
+            } => write!(f, "chunk (level {level}, block {block}) codec: {message}"),
+            WireStoreError::NoSuchLevel(l) => write!(f, "no level {l} in store"),
+            WireStoreError::RoiOutOfBounds => write!(f, "ROI exceeds level extents"),
+        }
+    }
+}
+
+impl From<&StoreError> for WireStoreError {
+    fn from(e: &StoreError) -> Self {
+        match e {
+            StoreError::Io(io) => WireStoreError::Io(io.to_string()),
+            StoreError::Open { path, source } => WireStoreError::Open {
+                path: path.display().to_string(),
+                message: source.to_string(),
+            },
+            StoreError::BadMagic => WireStoreError::BadMagic,
+            StoreError::BadVersion(v) => WireStoreError::BadVersion(*v),
+            StoreError::Truncated => WireStoreError::Truncated,
+            StoreError::CorruptTable => WireStoreError::CorruptTable,
+            StoreError::Malformed(m) => WireStoreError::Malformed((*m).to_string()),
+            StoreError::UnknownCodec(id) => WireStoreError::UnknownCodec(*id),
+            StoreError::CorruptChunk { level, block } => WireStoreError::CorruptChunk {
+                level: *level,
+                block: *block,
+            },
+            StoreError::Codec {
+                level,
+                block,
+                source,
+            } => WireStoreError::Codec {
+                level: *level,
+                block: *block,
+                message: source.to_string(),
+            },
+            StoreError::NoSuchLevel(l) => WireStoreError::NoSuchLevel(*l),
+            StoreError::RoiOutOfBounds => WireStoreError::RoiOutOfBounds,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+/// Writes the 8-byte hello.
+pub fn write_hello(w: &mut impl Write) -> std::io::Result<()> {
+    let mut hello = [0u8; HELLO_LEN];
+    hello[..4].copy_from_slice(WIRE_MAGIC);
+    hello[4] = WIRE_VERSION;
+    w.write_all(&hello)
+}
+
+/// Reads and validates the peer's hello.
+pub fn read_hello(r: &mut impl Read) -> Result<(), ProtocolError> {
+    let mut hello = [0u8; HELLO_LEN];
+    r.read_exact(&mut hello)?;
+    if &hello[..4] != WIRE_MAGIC {
+        return Err(ProtocolError::BadMagic(hello[..4].try_into().unwrap()));
+    }
+    if hello[4] != WIRE_VERSION {
+        return Err(ProtocolError::BadVersion(hello[4]));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// A parsed frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame kind.
+    pub kind: Kind,
+    /// Request id (echoed by responses).
+    pub req_id: u64,
+}
+
+/// The frame guard: CRC-32 of the 13 leading header bytes XOR CRC-32 of
+/// the body. Not the CRC of the concatenation, but it detects any
+/// corruption confined to either part — including kind bytes flipping into
+/// *other valid kinds*, which a body-only CRC would wave through — without
+/// copying the body to checksum it.
+fn frame_crc(header13: &[u8], body: &[u8]) -> u32 {
+    crc32(header13) ^ crc32(body)
+}
+
+/// Writes one complete frame.
+pub fn write_frame(
+    w: &mut impl Write,
+    kind: Kind,
+    req_id: u64,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&(body.len() as u32).to_le_bytes());
+    header[4] = kind as u8;
+    header[5..13].copy_from_slice(&req_id.to_le_bytes());
+    let crc = frame_crc(&header[..13], body);
+    header[13..17].copy_from_slice(&crc.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(body)
+}
+
+/// Reads one complete frame, verifying length cap and CRC. `max_body` is
+/// checked *before* the body is allocated.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_body: usize,
+) -> Result<(FrameHeader, Vec<u8>), ProtocolError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let body_len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    if body_len > max_body {
+        return Err(ProtocolError::FrameTooLarge {
+            len: body_len as u64,
+            max: max_body as u64,
+        });
+    }
+    let kind = Kind::from_u8(header[4])?;
+    let req_id = u64::from_le_bytes(header[5..13].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[13..17].try_into().unwrap());
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    if frame_crc(&header[..13], &body) != crc {
+        return Err(ProtocolError::BadCrc);
+    }
+    Ok((FrameHeader { kind, req_id }, body))
+}
+
+// ---------------------------------------------------------------------------
+// Body encoding
+// ---------------------------------------------------------------------------
+
+/// Bounded cursor over an untrusted body.
+struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Cur { b, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(ProtocolError::Malformed("length overflow"))?;
+        let s = self.b.get(self.pos..end).ok_or(ProtocolError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32le(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f32le(&mut self) -> Result<f32, ProtocolError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64le(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u64le(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn uvarint(&mut self) -> Result<u64, ProtocolError> {
+        read_uvarint(self.b, &mut self.pos).ok_or(ProtocolError::Malformed("varint"))
+    }
+
+    fn usize(&mut self) -> Result<usize, ProtocolError> {
+        usize::try_from(self.uvarint()?).map_err(|_| ProtocolError::Malformed("usize overflow"))
+    }
+
+    /// A count that is about to drive `count × min_bytes` of further reads:
+    /// rejected up front if the body cannot possibly hold it, so crafted
+    /// counts cannot trigger huge allocations.
+    fn count(&mut self, min_bytes: usize) -> Result<usize, ProtocolError> {
+        let n = self.usize()?;
+        if n.checked_mul(min_bytes.max(1))
+            .is_none_or(|need| need > self.remaining())
+        {
+            return Err(ProtocolError::Malformed("count exceeds body"));
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Malformed("utf8"))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, ProtocolError> {
+        let need = n
+            .checked_mul(4)
+            .ok_or(ProtocolError::Malformed("length overflow"))?;
+        let raw = self.take(need)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn done(self) -> Result<(), ProtocolError> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::TrailingBytes)
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    write_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, data: &[f32]) {
+    out.reserve(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_dims(out: &mut Vec<u8>, d: Dims3) {
+    write_uvarint(out, d.nx as u64);
+    write_uvarint(out, d.ny as u64);
+    write_uvarint(out, d.nz as u64);
+}
+
+fn get_dims(c: &mut Cur) -> Result<Dims3, ProtocolError> {
+    Ok(Dims3::new(c.usize()?, c.usize()?, c.usize()?))
+}
+
+fn put_field(out: &mut Vec<u8>, f: &Field3) {
+    put_dims(out, f.dims());
+    put_f32s(out, f.data());
+}
+
+fn get_field(c: &mut Cur) -> Result<Field3, ProtocolError> {
+    let dims = get_dims(c)?;
+    let n = dims
+        .nx
+        .checked_mul(dims.ny)
+        .and_then(|p| p.checked_mul(dims.nz))
+        .ok_or(ProtocolError::Malformed("field dims overflow"))?;
+    // `f32s` bounds the allocation by the actual remaining bytes.
+    Ok(Field3::from_vec(dims, c.f32s(n)?))
+}
+
+fn put_level_data(out: &mut Vec<u8>, l: &LevelData) {
+    write_uvarint(out, l.level as u64);
+    write_uvarint(out, l.unit as u64);
+    put_dims(out, l.dims);
+    write_uvarint(out, l.blocks.len() as u64);
+    for b in &l.blocks {
+        write_uvarint(out, b.origin[0] as u64);
+        write_uvarint(out, b.origin[1] as u64);
+        write_uvarint(out, b.origin[2] as u64);
+        put_f32s(out, &b.data);
+    }
+}
+
+fn get_level_data(c: &mut Cur) -> Result<LevelData, ProtocolError> {
+    let level = c.usize()?;
+    let unit = c.usize()?;
+    let dims = get_dims(c)?;
+    let cube = unit
+        .checked_pow(3)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or(ProtocolError::Malformed("unit overflow"))?;
+    // Each block needs at least 3 origin bytes + unit³ f32s.
+    let n_blocks = c.count(cube.saturating_add(3))?;
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let origin = [c.usize()?, c.usize()?, c.usize()?];
+        let data = c.f32s(cube / 4)?;
+        blocks.push(UnitBlock { origin, data });
+    }
+    Ok(LevelData {
+        level,
+        unit,
+        dims,
+        blocks,
+    })
+}
+
+fn put_query(out: &mut Vec<u8>, q: &Query) {
+    match *q {
+        Query::Level { level } => {
+            out.push(0);
+            write_uvarint(out, level as u64);
+        }
+        Query::Roi {
+            level,
+            lo,
+            hi,
+            fill,
+        } => {
+            out.push(1);
+            write_uvarint(out, level as u64);
+            for v in lo.iter().chain(hi.iter()) {
+                write_uvarint(out, *v as u64);
+            }
+            out.extend_from_slice(&fill.to_le_bytes());
+        }
+        Query::Iso { level, iso } => {
+            out.push(2);
+            write_uvarint(out, level as u64);
+            out.extend_from_slice(&iso.to_le_bytes());
+        }
+    }
+}
+
+fn get_query(c: &mut Cur) -> Result<Query, ProtocolError> {
+    Ok(match c.u8()? {
+        0 => Query::Level { level: c.usize()? },
+        1 => {
+            let level = c.usize()?;
+            let lo = [c.usize()?, c.usize()?, c.usize()?];
+            let hi = [c.usize()?, c.usize()?, c.usize()?];
+            let fill = c.f32le()?;
+            Query::Roi {
+                level,
+                lo,
+                hi,
+                fill,
+            }
+        }
+        2 => Query::Iso {
+            level: c.usize()?,
+            iso: c.f32le()?,
+        },
+        _ => return Err(ProtocolError::Malformed("query tag")),
+    })
+}
+
+fn put_upsample(out: &mut Vec<u8>, s: Upsample) {
+    out.push(match s {
+        Upsample::Nearest => 0,
+        Upsample::Trilinear => 1,
+    });
+}
+
+fn get_upsample(c: &mut Cur) -> Result<Upsample, ProtocolError> {
+    match c.u8()? {
+        0 => Ok(Upsample::Nearest),
+        1 => Ok(Upsample::Trilinear),
+        _ => Err(ProtocolError::Malformed("upsample tag")),
+    }
+}
+
+impl Request {
+    /// The frame kind this request travels under.
+    pub fn kind(&self) -> Kind {
+        match self {
+            Request::List => Kind::List,
+            Request::Batch { .. } => Kind::Batch,
+            Request::Progressive { .. } => Kind::Progressive,
+            Request::Stats { .. } => Kind::Stats,
+        }
+    }
+
+    /// Serializes the request body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::List => {}
+            Request::Batch { dataset, queries } => {
+                out.extend_from_slice(&dataset.to_le_bytes());
+                write_uvarint(&mut out, queries.len() as u64);
+                for q in queries {
+                    put_query(&mut out, q);
+                }
+            }
+            Request::Progressive { dataset, scheme } => {
+                out.extend_from_slice(&dataset.to_le_bytes());
+                put_upsample(&mut out, *scheme);
+            }
+            Request::Stats { dataset, take } => {
+                out.extend_from_slice(&dataset.to_le_bytes());
+                out.push(u8::from(*take));
+            }
+        }
+        out
+    }
+
+    /// Parses a request body of the given kind. Malformed input yields a
+    /// typed error, never a panic.
+    pub fn decode(kind: Kind, body: &[u8]) -> Result<Request, ProtocolError> {
+        let mut c = Cur::new(body);
+        let req = match kind {
+            Kind::List => Request::List,
+            Kind::Batch => {
+                let dataset = c.u32le()?;
+                let n = c.count(1)?;
+                let mut queries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    queries.push(get_query(&mut c)?);
+                }
+                Request::Batch { dataset, queries }
+            }
+            Kind::Progressive => Request::Progressive {
+                dataset: c.u32le()?,
+                scheme: get_upsample(&mut c)?,
+            },
+            Kind::Stats => {
+                let dataset = c.u32le()?;
+                let take = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ProtocolError::Malformed("stats take flag")),
+                };
+                Request::Stats { dataset, take }
+            }
+            _ => return Err(ProtocolError::Malformed("response kind in request slot")),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+impl NetResponse {
+    /// The frame kind this response travels under.
+    pub fn kind(&self) -> Kind {
+        match self {
+            NetResponse::Datasets(_) => Kind::RDatasets,
+            NetResponse::Batch(_) => Kind::RBatch,
+            NetResponse::Progressive(_) => Kind::RProgressive,
+            NetResponse::Stats(_) => Kind::RStats,
+            NetResponse::Error(_) => Kind::RError,
+        }
+    }
+
+    /// Serializes the response body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            NetResponse::Datasets(list) => {
+                write_uvarint(&mut out, list.len() as u64);
+                for d in list {
+                    out.extend_from_slice(&d.id.to_le_bytes());
+                    put_string(&mut out, &d.name);
+                    out.extend_from_slice(&d.codec_id.to_le_bytes());
+                    out.extend_from_slice(&d.eb.to_le_bytes());
+                    put_dims(&mut out, d.domain);
+                    write_uvarint(&mut out, d.levels as u64);
+                    write_uvarint(&mut out, d.chunks as u64);
+                    write_uvarint(&mut out, d.compressed_bytes);
+                }
+            }
+            NetResponse::Batch(responses) => {
+                write_uvarint(&mut out, responses.len() as u64);
+                for r in responses {
+                    match r {
+                        Response::Level(l) => {
+                            out.push(0);
+                            put_level_data(&mut out, l);
+                        }
+                        Response::Roi(f) => {
+                            out.push(1);
+                            put_field(&mut out, f);
+                        }
+                        Response::Iso(l) => {
+                            out.push(2);
+                            put_level_data(&mut out, l);
+                        }
+                    }
+                }
+            }
+            NetResponse::Progressive(steps) => {
+                write_uvarint(&mut out, steps.len() as u64);
+                for s in steps {
+                    write_uvarint(&mut out, s.level as u64);
+                    put_field(&mut out, &s.field);
+                }
+            }
+            NetResponse::Stats(s) => {
+                for v in [
+                    s.requests,
+                    s.hits,
+                    s.shared,
+                    s.misses,
+                    s.evictions,
+                    s.resident_bytes,
+                    s.peak_resident_bytes,
+                    s.budget_bytes,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            NetResponse::Error(e) => {
+                match e {
+                    ErrorFrame::Busy => out.push(0),
+                    ErrorFrame::TooManyConnections => out.push(1),
+                    ErrorFrame::NoSuchDataset(id) => {
+                        out.push(2);
+                        out.extend_from_slice(&id.to_le_bytes());
+                    }
+                    ErrorFrame::BadRequest(m) => {
+                        out.push(3);
+                        put_string(&mut out, m);
+                    }
+                    ErrorFrame::Store(se) => {
+                        out.push(4);
+                        put_store_error(&mut out, se);
+                    }
+                };
+            }
+        }
+        out
+    }
+
+    /// Parses a response body of the given kind. Malformed input yields a
+    /// typed error, never a panic.
+    pub fn decode(kind: Kind, body: &[u8]) -> Result<NetResponse, ProtocolError> {
+        let mut c = Cur::new(body);
+        let resp = match kind {
+            Kind::RDatasets => {
+                // Smallest catalog entry: id(4) + name len(1) + codec(4) +
+                // eb(8) + 3 dims + 3 counters ≥ 22 bytes.
+                let n = c.count(22)?;
+                let mut list = Vec::with_capacity(n);
+                for _ in 0..n {
+                    list.push(DatasetInfo {
+                        id: c.u32le()?,
+                        name: c.string()?,
+                        codec_id: c.u32le()?,
+                        eb: c.f64le()?,
+                        domain: get_dims(&mut c)?,
+                        levels: c.usize()?,
+                        chunks: c.usize()?,
+                        compressed_bytes: c.uvarint()?,
+                    });
+                }
+                NetResponse::Datasets(list)
+            }
+            Kind::RBatch => {
+                let n = c.count(1)?;
+                let mut responses = Vec::with_capacity(n);
+                for _ in 0..n {
+                    responses.push(match c.u8()? {
+                        0 => Response::Level(get_level_data(&mut c)?),
+                        1 => Response::Roi(get_field(&mut c)?),
+                        2 => Response::Iso(get_level_data(&mut c)?),
+                        _ => return Err(ProtocolError::Malformed("response tag")),
+                    });
+                }
+                NetResponse::Batch(responses)
+            }
+            Kind::RProgressive => {
+                let n = c.count(4)?;
+                let mut steps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let level = c.usize()?;
+                    let field = get_field(&mut c)?;
+                    steps.push(RefinementStep { level, field });
+                }
+                NetResponse::Progressive(steps)
+            }
+            Kind::RStats => NetResponse::Stats(CacheStats {
+                requests: c.u64le()?,
+                hits: c.u64le()?,
+                shared: c.u64le()?,
+                misses: c.u64le()?,
+                evictions: c.u64le()?,
+                resident_bytes: c.u64le()?,
+                peak_resident_bytes: c.u64le()?,
+                budget_bytes: c.u64le()?,
+            }),
+            Kind::RError => {
+                let e = match c.u8()? {
+                    0 => ErrorFrame::Busy,
+                    1 => ErrorFrame::TooManyConnections,
+                    2 => ErrorFrame::NoSuchDataset(c.u32le()?),
+                    3 => ErrorFrame::BadRequest(c.string()?),
+                    4 => ErrorFrame::Store(get_store_error(&mut c)?),
+                    _ => return Err(ProtocolError::Malformed("error tag")),
+                };
+                NetResponse::Error(e)
+            }
+            _ => return Err(ProtocolError::Malformed("request kind in response slot")),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+fn put_store_error(out: &mut Vec<u8>, e: &WireStoreError) {
+    match e {
+        WireStoreError::Io(m) => {
+            out.push(0);
+            put_string(out, m);
+        }
+        WireStoreError::Open { path, message } => {
+            out.push(1);
+            put_string(out, path);
+            put_string(out, message);
+        }
+        WireStoreError::BadMagic => out.push(2),
+        WireStoreError::BadVersion(v) => {
+            out.push(3);
+            out.push(*v);
+        }
+        WireStoreError::Truncated => out.push(4),
+        WireStoreError::CorruptTable => out.push(5),
+        WireStoreError::Malformed(m) => {
+            out.push(6);
+            put_string(out, m);
+        }
+        WireStoreError::UnknownCodec(id) => {
+            out.push(7);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        WireStoreError::CorruptChunk { level, block } => {
+            out.push(8);
+            write_uvarint(out, *level as u64);
+            write_uvarint(out, *block as u64);
+        }
+        WireStoreError::Codec {
+            level,
+            block,
+            message,
+        } => {
+            out.push(9);
+            write_uvarint(out, *level as u64);
+            write_uvarint(out, *block as u64);
+            put_string(out, message);
+        }
+        WireStoreError::NoSuchLevel(l) => {
+            out.push(10);
+            write_uvarint(out, *l as u64);
+        }
+        WireStoreError::RoiOutOfBounds => out.push(11),
+    }
+}
+
+fn get_store_error(c: &mut Cur) -> Result<WireStoreError, ProtocolError> {
+    Ok(match c.u8()? {
+        0 => WireStoreError::Io(c.string()?),
+        1 => WireStoreError::Open {
+            path: c.string()?,
+            message: c.string()?,
+        },
+        2 => WireStoreError::BadMagic,
+        3 => WireStoreError::BadVersion(c.u8()?),
+        4 => WireStoreError::Truncated,
+        5 => WireStoreError::CorruptTable,
+        6 => WireStoreError::Malformed(c.string()?),
+        7 => WireStoreError::UnknownCodec(c.u32le()?),
+        8 => WireStoreError::CorruptChunk {
+            level: c.usize()?,
+            block: c.usize()?,
+        },
+        9 => WireStoreError::Codec {
+            level: c.usize()?,
+            block: c.usize()?,
+            message: c.string()?,
+        },
+        10 => WireStoreError::NoSuchLevel(c.usize()?),
+        11 => WireStoreError::RoiOutOfBounds,
+        _ => return Err(ProtocolError::Malformed("store error tag")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip_and_rejection() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf).unwrap();
+        assert_eq!(buf.len(), HELLO_LEN);
+        read_hello(&mut buf.as_slice()).unwrap();
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_hello(&mut bad.as_slice()),
+            Err(ProtocolError::BadMagic(_))
+        ));
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            read_hello(&mut bad.as_slice()),
+            Err(ProtocolError::BadVersion(99))
+        ));
+        assert!(matches!(
+            read_hello(&mut &buf[..3]),
+            Err(ProtocolError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn frame_roundtrip_crc_and_cap() {
+        let body = b"the payload".to_vec();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, Kind::Batch, 42, &body).unwrap();
+        let (h, b) = read_frame(&mut wire.as_slice(), 1 << 20).unwrap();
+        assert_eq!(
+            h,
+            FrameHeader {
+                kind: Kind::Batch,
+                req_id: 42
+            }
+        );
+        assert_eq!(b, body);
+
+        // Flip one body byte → BadCrc, not a mis-parse.
+        let mut bad = wire.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice(), 1 << 20),
+            Err(ProtocolError::BadCrc)
+        ));
+
+        // Over-cap body length rejected before allocation.
+        assert!(matches!(
+            read_frame(&mut wire.as_slice(), 4),
+            Err(ProtocolError::FrameTooLarge { len: 11, max: 4 })
+        ));
+
+        // Unknown kind byte.
+        let mut bad = wire.clone();
+        bad[4] = 0x77;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice(), 1 << 20),
+            Err(ProtocolError::UnknownKind(0x77))
+        ));
+    }
+
+    #[test]
+    fn request_bodies_roundtrip() {
+        let reqs = [
+            Request::List,
+            Request::Batch {
+                dataset: 7,
+                queries: vec![
+                    Query::Level { level: 2 },
+                    Query::Roi {
+                        level: 0,
+                        lo: [1, 2, 3],
+                        hi: [9, 8, 7],
+                        fill: -0.5,
+                    },
+                    Query::Iso {
+                        level: 1,
+                        iso: 3.25,
+                    },
+                ],
+            },
+            Request::Progressive {
+                dataset: 1,
+                scheme: Upsample::Trilinear,
+            },
+            Request::Stats {
+                dataset: 0,
+                take: true,
+            },
+        ];
+        for req in reqs {
+            let body = req.encode();
+            let back = Request::decode(req.kind(), &body).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_bodies_roundtrip() {
+        let level = LevelData {
+            level: 1,
+            unit: 2,
+            dims: Dims3::new(4, 4, 4),
+            blocks: vec![
+                UnitBlock {
+                    origin: [0, 0, 0],
+                    data: vec![1.0; 8],
+                },
+                UnitBlock {
+                    origin: [2, 0, 2],
+                    data: vec![-2.5; 8],
+                },
+            ],
+        };
+        let field = Field3::from_fn(Dims3::new(3, 2, 4), |x, y, z| (x + 10 * y + 100 * z) as f32);
+        let resps = [
+            NetResponse::Datasets(vec![DatasetInfo {
+                id: 3,
+                name: "nyx-t1".into(),
+                codec_id: 0x53_5A_33_53,
+                eb: 1e-3,
+                domain: Dims3::new(64, 64, 64),
+                levels: 3,
+                chunks: 17,
+                compressed_bytes: 123_456,
+            }]),
+            NetResponse::Batch(vec![
+                Response::Level(level.clone()),
+                Response::Roi(field.clone()),
+                Response::Iso(level.clone()),
+            ]),
+            NetResponse::Progressive(vec![RefinementStep {
+                level: 2,
+                field: field.clone(),
+            }]),
+            NetResponse::Stats(CacheStats {
+                requests: 10,
+                hits: 6,
+                shared: 1,
+                misses: 4,
+                evictions: 2,
+                resident_bytes: 4096,
+                peak_resident_bytes: 8192,
+                budget_bytes: u64::MAX,
+            }),
+            NetResponse::Error(ErrorFrame::Busy),
+            NetResponse::Error(ErrorFrame::TooManyConnections),
+            NetResponse::Error(ErrorFrame::NoSuchDataset(9)),
+            NetResponse::Error(ErrorFrame::BadRequest("nope".into())),
+            NetResponse::Error(ErrorFrame::Store(WireStoreError::CorruptChunk {
+                level: 1,
+                block: 5,
+            })),
+        ];
+        for resp in resps {
+            let body = resp.encode();
+            let back = NetResponse::decode(resp.kind(), &body).unwrap();
+            assert_eq!(back, resp, "kind {:?}", resp.kind());
+        }
+    }
+
+    #[test]
+    fn store_error_variants_survive_the_wire() {
+        let errors = [
+            WireStoreError::Io("read failed".into()),
+            WireStoreError::Open {
+                path: "/data/a.hqst".into(),
+                message: "No such file".into(),
+            },
+            WireStoreError::BadMagic,
+            WireStoreError::BadVersion(9),
+            WireStoreError::Truncated,
+            WireStoreError::CorruptTable,
+            WireStoreError::Malformed("bad layout".into()),
+            WireStoreError::UnknownCodec(0xDEAD),
+            WireStoreError::CorruptChunk {
+                level: 3,
+                block: 14,
+            },
+            WireStoreError::Codec {
+                level: 0,
+                block: 2,
+                message: "entropy: bad prefix".into(),
+            },
+            WireStoreError::NoSuchLevel(12),
+            WireStoreError::RoiOutOfBounds,
+        ];
+        for e in errors {
+            let resp = NetResponse::Error(ErrorFrame::Store(e));
+            let back = NetResponse::decode(Kind::RError, &resp.encode()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn crafted_counts_cannot_overallocate() {
+        // A Batch response claiming 2^60 entries in a 12-byte body must be
+        // rejected by the count guard, not attempted.
+        let mut body = Vec::new();
+        write_uvarint(&mut body, 1u64 << 60);
+        body.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(
+            NetResponse::decode(Kind::RBatch, &body),
+            Err(ProtocolError::Malformed("count exceeds body"))
+        ));
+        // Same for a field with overflowing dims.
+        let mut body = Vec::new();
+        write_uvarint(&mut body, 1); // one response
+        body.push(1); // Roi tag
+        write_uvarint(&mut body, u64::MAX / 2);
+        write_uvarint(&mut body, u64::MAX / 2);
+        write_uvarint(&mut body, 4);
+        assert!(NetResponse::decode(Kind::RBatch, &body).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = Request::List.encode();
+        body.push(0);
+        assert!(matches!(
+            Request::decode(Kind::List, &body),
+            Err(ProtocolError::TrailingBytes)
+        ));
+    }
+}

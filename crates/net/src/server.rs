@@ -1,0 +1,643 @@
+//! The serving fleet: one TCP listener, a thread-per-core worker pool, and
+//! stores sharded across workers by dataset id.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                    ┌ worker 0 ── tenants {0, W, 2W, …}
+//! accept ─ conn ─┐   ├ worker 1 ── tenants {1, W+1, …}
+//! accept ─ conn ─┼──▶│   …          (bounded sync_channel per worker)
+//! accept ─ conn ─┘   └ worker W−1
+//! ```
+//!
+//! Each connection gets its own thread that parses frames and answers
+//! catalog/stats requests inline (they never decode). Decode-bearing work —
+//! [`Request::Batch`] and [`Request::Progressive`] — is routed to the worker
+//! that owns the target dataset (`id % workers`) through a *bounded* queue:
+//! a full queue is an immediate [`ErrorFrame::Busy`] response, never an
+//! unbounded backlog. The same shard always serves the same dataset, so its
+//! [`StoreServer`] cache stays hot and two shards never duplicate a chunk.
+//!
+//! Admission control is a hard connection cap: over the limit, the server
+//! completes the handshake, sends [`ErrorFrame::TooManyConnections`], and
+//! closes — clients get a typed answer, not a hang.
+//!
+//! Per-tenant cache budgets are carved from one global byte budget with
+//! [`partition_budget`], weighted by each
+//! store's compressed size, so co-hosted datasets cannot collectively
+//! exceed the machine's memory plan.
+
+use crate::proto::{
+    read_frame, read_hello, write_frame, write_hello, DatasetInfo, ErrorFrame, NetResponse,
+    ProtocolError, Request,
+};
+use hqmr_mr::Upsample;
+use hqmr_serve::{partition_budget, Query, StoreServer};
+use hqmr_store::StoreReader;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One dataset to host: an id (the addressing and sharding key), a
+/// human-readable name, and an opened store.
+pub struct DatasetSpec {
+    /// Dataset id, unique within the server.
+    pub id: u32,
+    /// Catalog name.
+    pub name: String,
+    /// The opened store.
+    pub reader: Arc<StoreReader>,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Worker (shard) count; `0` means one per available core.
+    pub workers: usize,
+    /// Bound of each worker's job queue. A full queue produces
+    /// [`ErrorFrame::Busy`] responses instead of queueing without limit.
+    pub queue_depth: usize,
+    /// Hard cap on concurrent connections (admission control).
+    pub max_connections: usize,
+    /// Global decoded-chunk cache budget in bytes, carved across tenants
+    /// weighted by compressed store size. [`hqmr_serve::UNBOUNDED`] turns
+    /// eviction off everywhere.
+    pub cache_budget: usize,
+    /// Largest frame body this server will read.
+    pub max_frame_len: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 0,
+            queue_depth: 32,
+            max_connections: 256,
+            cache_budget: hqmr_serve::UNBOUNDED,
+            max_frame_len: crate::proto::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// One hosted dataset: its caching server plus the shard that owns it.
+struct Tenant {
+    id: u32,
+    name: String,
+    serve: StoreServer,
+    worker: usize,
+}
+
+/// Decode-bearing work routed to a shard.
+enum Work {
+    Batch(Vec<Query>),
+    Progressive(Upsample),
+    /// Test hook: parks the worker on a barrier so queue-full behaviour can
+    /// be exercised deterministically.
+    #[cfg(test)]
+    Park(Arc<std::sync::Barrier>),
+}
+
+struct Job {
+    tenant: usize,
+    work: Work,
+    reply: mpsc::SyncSender<NetResponse>,
+}
+
+struct Shared {
+    cfg: NetConfig,
+    tenants: Vec<Tenant>,
+    by_id: HashMap<u32, usize>,
+    worker_tx: Vec<mpsc::SyncSender<Job>>,
+    live_conns: AtomicUsize,
+    busy_rejections: AtomicU64,
+    admission_rejections: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn tenant(&self, dataset: u32) -> Result<usize, ErrorFrame> {
+        self.by_id
+            .get(&dataset)
+            .copied()
+            .ok_or(ErrorFrame::NoSuchDataset(dataset))
+    }
+
+    fn catalog(&self) -> NetResponse {
+        NetResponse::Datasets(
+            self.tenants
+                .iter()
+                .map(|t| {
+                    let m = t.serve.meta();
+                    DatasetInfo {
+                        id: t.id,
+                        name: t.name.clone(),
+                        codec_id: m.codec_id,
+                        eb: m.eb,
+                        domain: m.domain,
+                        levels: m.levels.len(),
+                        chunks: m.chunk_count(),
+                        compressed_bytes: m.compressed_bytes(),
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Routes one parsed request to its answer. Decode-bearing work goes
+    /// through the owning shard's bounded queue; everything else is answered
+    /// inline. This is the single choke point the Busy path runs through,
+    /// for both real connections and the deterministic unit test.
+    fn route(&self, req: Request) -> NetResponse {
+        match req {
+            Request::List => self.catalog(),
+            Request::Stats { dataset, take } => match self.tenant(dataset) {
+                Err(e) => NetResponse::Error(e),
+                Ok(t) => {
+                    let serve = &self.tenants[t].serve;
+                    NetResponse::Stats(if take {
+                        serve.take_stats()
+                    } else {
+                        serve.stats()
+                    })
+                }
+            },
+            Request::Batch { dataset, queries } => self.dispatch(dataset, Work::Batch(queries)),
+            Request::Progressive { dataset, scheme } => {
+                self.dispatch(dataset, Work::Progressive(scheme))
+            }
+        }
+    }
+
+    fn dispatch(&self, dataset: u32, work: Work) -> NetResponse {
+        let tenant = match self.tenant(dataset) {
+            Ok(t) => t,
+            Err(e) => return NetResponse::Error(e),
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            tenant,
+            work,
+            reply: reply_tx,
+        };
+        match self.worker_tx[self.tenants[tenant].worker].try_send(job) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) | Err(mpsc::TrySendError::Disconnected(_)) => {
+                // Full queue is backpressure by design; a disconnected
+                // worker means shutdown is in progress — same client-side
+                // answer: come back later.
+                self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                return NetResponse::Error(ErrorFrame::Busy);
+            }
+        }
+        match reply_rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => NetResponse::Error(ErrorFrame::Busy),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<Job>) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => {
+                let serve = &shared.tenants[job.tenant].serve;
+                let resp = match job.work {
+                    Work::Batch(queries) => match serve.serve_batch(&queries) {
+                        Ok(rs) => NetResponse::Batch(rs),
+                        Err(e) => NetResponse::Error(ErrorFrame::Store((&e).into())),
+                    },
+                    Work::Progressive(scheme) => {
+                        match serve.progressive(scheme).collect::<Result<Vec<_>, _>>() {
+                            Ok(steps) => NetResponse::Progressive(steps),
+                            Err(e) => NetResponse::Error(ErrorFrame::Store((&e).into())),
+                        }
+                    }
+                    #[cfg(test)]
+                    Work::Park(barrier) => {
+                        barrier.wait();
+                        NetResponse::Error(ErrorFrame::Busy)
+                    }
+                };
+                // A vanished client is not the worker's problem.
+                let _ = job.reply.send(resp);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Decrements the live-connection gauge however the connection ends.
+struct ConnGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn send_response(w: &mut impl Write, req_id: u64, resp: &NetResponse) -> Result<(), ProtocolError> {
+    write_frame(w, resp.kind(), req_id, &resp.encode())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serves one connection to completion. Returns on client close, socket
+/// error, or a framing-level corruption (after answering it with a typed
+/// error frame — once CRC or length sync is lost, the stream cannot be
+/// trusted further).
+fn connection_loop(shared: &Shared, stream: TcpStream) -> Result<(), ProtocolError> {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().map_err(ProtocolError::Io)?);
+    let mut writer = BufWriter::new(stream);
+    write_hello(&mut writer)?;
+    writer.flush()?;
+    read_hello(&mut reader)?;
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let (header, body) = match read_frame(&mut reader, shared.cfg.max_frame_len) {
+            Ok(fb) => fb,
+            // Client closed (or died) — a normal end of conversation.
+            Err(ProtocolError::Truncated) | Err(ProtocolError::Io(_)) => return Ok(()),
+            // Framing-level corruption: answer typed, then hang up (the
+            // byte stream is no longer trustworthy).
+            Err(e) => {
+                let resp = NetResponse::Error(ErrorFrame::BadRequest(e.to_string()));
+                let _ = send_response(&mut writer, 0, &resp);
+                return Err(e);
+            }
+        };
+        let resp = match Request::decode(header.kind, &body) {
+            // Body-level malformation: the frame boundary held, so answer
+            // typed and keep the connection.
+            Err(e) => NetResponse::Error(ErrorFrame::BadRequest(e.to_string())),
+            Ok(req) => shared.route(req),
+        };
+        send_response(&mut writer, header.req_id, &resp)?;
+    }
+}
+
+/// Tells an over-limit client why it is being dropped.
+fn reject_connection(stream: TcpStream) {
+    let mut writer = BufWriter::new(stream);
+    let resp = NetResponse::Error(ErrorFrame::TooManyConnections);
+    if write_hello(&mut writer).is_ok() {
+        let _ = send_response(&mut writer, 0, &resp);
+    }
+}
+
+/// A running serving fleet. Dropping (or [`shutdown`](NetServer::shutdown))
+/// stops the accept loop and the workers.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` and spawns the fleet: one accept thread, `cfg.workers`
+    /// shard workers, and a per-tenant [`StoreServer`] with its slice of
+    /// the global cache budget.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        cfg: NetConfig,
+        datasets: Vec<DatasetSpec>,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            cfg.workers
+        };
+        let queue_depth = cfg.queue_depth.max(1);
+
+        let weights: Vec<u64> = datasets
+            .iter()
+            .map(|d| d.reader.meta().compressed_bytes())
+            .collect();
+        let budgets = partition_budget(cfg.cache_budget, &weights);
+
+        let mut tenants = Vec::with_capacity(datasets.len());
+        let mut by_id = HashMap::new();
+        for (i, (spec, budget)) in datasets.into_iter().zip(budgets).enumerate() {
+            assert!(
+                by_id.insert(spec.id, i).is_none(),
+                "duplicate dataset id {}",
+                spec.id
+            );
+            tenants.push(Tenant {
+                id: spec.id,
+                name: spec.name,
+                serve: StoreServer::new(spec.reader, budget),
+                worker: spec.id as usize % workers,
+            });
+        }
+
+        let mut worker_tx = Vec::with_capacity(workers);
+        let mut worker_rx = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::sync_channel(queue_depth);
+            worker_tx.push(tx);
+            worker_rx.push(rx);
+        }
+
+        let shared = Arc::new(Shared {
+            cfg,
+            tenants,
+            by_id,
+            worker_tx,
+            live_conns: AtomicUsize::new(0),
+            busy_rejections: AtomicU64::new(0),
+            admission_rejections: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+
+        let worker_handles: Vec<JoinHandle<()>> = worker_rx
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hqnw-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hqnw-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let prev = shared.live_conns.fetch_add(1, Ordering::AcqRel);
+                        if prev >= shared.cfg.max_connections {
+                            shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+                            shared.admission_rejections.fetch_add(1, Ordering::Relaxed);
+                            reject_connection(stream);
+                            continue;
+                        }
+                        let shared = Arc::clone(&shared);
+                        let _ =
+                            std::thread::Builder::new()
+                                .name("hqnw-conn".into())
+                                .spawn(move || {
+                                    let _guard = ConnGuard(&shared.live_conns);
+                                    let _ = connection_loop(&shared, stream);
+                                });
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(NetServer {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered with [`ErrorFrame::Busy`] because the owning
+    /// shard's queue was full.
+    pub fn busy_rejections(&self) -> u64 {
+        self.shared.busy_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused at the admission cap.
+    pub fn admission_rejections(&self) -> u64 {
+        self.shared.admission_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drains the workers, and joins them. Live
+    /// connections see their next request answered as Busy (workers gone)
+    /// and then close from the client side. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop: it re-checks `stop` per connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Dropping the senders is not possible while `Shared` is alive;
+        // the workers exit on their shutdown poll instead.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (i.e. forever, absent
+    /// [`shutdown`](NetServer::shutdown) from another thread or an
+    /// unrecoverable listener error). Used by the `netd` binary.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqmr_grid::synth;
+    use hqmr_mr::{to_adaptive, RoiConfig};
+    use hqmr_store::{write_store, StoreConfig};
+    use hqmr_sz3::Sz3Codec;
+
+    fn demo_reader(seed: u64) -> Arc<StoreReader> {
+        let f = synth::nyx_like(16, seed);
+        let mr = to_adaptive(&f, &RoiConfig::new(8, 0.5));
+        let buf = write_store(
+            &mr,
+            &StoreConfig::new(1e-3).with_chunk_blocks(2),
+            &Sz3Codec::default(),
+        );
+        Arc::new(StoreReader::from_bytes(buf).expect("open demo store"))
+    }
+
+    fn fleet(cfg: NetConfig) -> NetServer {
+        let datasets = vec![
+            DatasetSpec {
+                id: 0,
+                name: "alpha".into(),
+                reader: demo_reader(1),
+            },
+            DatasetSpec {
+                id: 1,
+                name: "beta".into(),
+                reader: demo_reader(2),
+            },
+        ];
+        NetServer::spawn("127.0.0.1:0", cfg, datasets).expect("spawn fleet")
+    }
+
+    #[test]
+    fn route_answers_catalog_and_stats_inline() {
+        let server = fleet(NetConfig {
+            workers: 2,
+            ..NetConfig::default()
+        });
+        let NetResponse::Datasets(list) = server.shared.route(Request::List) else {
+            panic!("expected catalog");
+        };
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].name, "alpha");
+        assert!(list[0].compressed_bytes > 0);
+
+        let NetResponse::Stats(stats) = server.shared.route(Request::Stats {
+            dataset: 1,
+            take: false,
+        }) else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.requests, 0);
+
+        let resp = server.shared.route(Request::Stats {
+            dataset: 99,
+            take: false,
+        });
+        assert_eq!(resp, NetResponse::Error(ErrorFrame::NoSuchDataset(99)));
+    }
+
+    #[test]
+    fn batch_routes_through_shard_and_matches_direct_serve() {
+        let server = fleet(NetConfig {
+            workers: 2,
+            ..NetConfig::default()
+        });
+        let queries = vec![
+            Query::Level { level: 1 },
+            Query::Roi {
+                level: 0,
+                lo: [2, 2, 2],
+                hi: [10, 9, 8],
+                fill: 0.0,
+            },
+        ];
+        let NetResponse::Batch(via_net) = server.shared.route(Request::Batch {
+            dataset: 0,
+            queries: queries.clone(),
+        }) else {
+            panic!("expected batch response");
+        };
+        let direct = server.shared.tenants[0]
+            .serve
+            .serve_batch(&queries)
+            .unwrap();
+        assert_eq!(via_net, direct);
+    }
+
+    #[test]
+    fn store_errors_travel_as_typed_error_frames() {
+        let server = fleet(NetConfig {
+            workers: 1,
+            ..NetConfig::default()
+        });
+        let resp = server.shared.route(Request::Batch {
+            dataset: 0,
+            queries: vec![Query::Level { level: 99 }],
+        });
+        assert_eq!(
+            resp,
+            NetResponse::Error(ErrorFrame::Store(
+                crate::proto::WireStoreError::NoSuchLevel(99)
+            ))
+        );
+    }
+
+    /// The acceptance-critical backpressure property, deterministically:
+    /// park the single worker, fill its depth-1 queue, and the next
+    /// dispatch must answer Busy instead of blocking or queueing.
+    #[test]
+    fn full_queue_answers_busy() {
+        let server = fleet(NetConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..NetConfig::default()
+        });
+        let shared = &server.shared;
+
+        // Park the worker: it pulls this job and blocks on the barrier.
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let (park_tx, _park_rx) = mpsc::sync_channel(1);
+        shared.worker_tx[0]
+            .send(Job {
+                tenant: 0,
+                work: Work::Park(Arc::clone(&barrier)),
+                reply: park_tx,
+            })
+            .unwrap();
+
+        // Occupy the queue slot. `send` (blocking) is fine: the slot is
+        // free until the parked job is pulled off.
+        let (fill_tx, fill_rx) = mpsc::sync_channel(1);
+        shared.worker_tx[0]
+            .send(Job {
+                tenant: 0,
+                work: Work::Batch(vec![Query::Level { level: 0 }]),
+                reply: fill_tx,
+            })
+            .unwrap();
+
+        // Queue full, worker parked → immediate Busy, counted.
+        let before = shared.busy_rejections.load(Ordering::Relaxed);
+        let resp = shared.route(Request::Batch {
+            dataset: 0,
+            queries: vec![Query::Level { level: 0 }],
+        });
+        assert_eq!(resp, NetResponse::Error(ErrorFrame::Busy));
+        assert_eq!(shared.busy_rejections.load(Ordering::Relaxed), before + 1);
+
+        // Release the worker; the queued job must still complete.
+        barrier.wait();
+        let queued = fill_rx.recv().expect("queued job completes");
+        assert!(matches!(queued, NetResponse::Batch(_)));
+    }
+
+    #[test]
+    fn budget_is_carved_across_tenants() {
+        let server = fleet(NetConfig {
+            workers: 2,
+            cache_budget: 1 << 20,
+            ..NetConfig::default()
+        });
+        let budgets: Vec<u64> = server
+            .shared
+            .tenants
+            .iter()
+            .map(|t| t.serve.stats().budget_bytes)
+            .collect();
+        assert_eq!(budgets.iter().sum::<u64>(), 1 << 20);
+        assert!(budgets.iter().all(|&b| b > 0));
+    }
+}

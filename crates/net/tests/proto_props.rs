@@ -1,0 +1,334 @@
+//! Adversarial property suite for the HQNW wire protocol: random bytes,
+//! truncated frames, and bit-flipped frames must always produce a typed
+//! [`ProtocolError`] — never a panic, never an over-allocation — and every
+//! request/response variant round-trips bit-identically.
+
+use hqmr_grid::{Dims3, Field3};
+use hqmr_mr::{LevelData, UnitBlock, Upsample};
+use hqmr_net::proto::{
+    read_frame, read_hello, write_frame, Kind, NetResponse, ProtocolError, Request,
+};
+use hqmr_net::{DatasetInfo, ErrorFrame, WireStoreError};
+use hqmr_serve::{CacheStats, Query, Response};
+use hqmr_store::RefinementStep;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+// The offline rand shim exposes `next_u64` + `gen_range` only; these cover
+// the handful of other draws this suite needs.
+fn fill(rng: &mut StdRng, buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = rng.next_u64() as u8;
+    }
+}
+
+fn ru32(rng: &mut StdRng) -> u32 {
+    rng.next_u64() as u32
+}
+
+fn rbool(rng: &mut StdRng) -> bool {
+    rng.next_u64() & 1 == 1
+}
+
+const REQUEST_KINDS: [Kind; 4] = [Kind::List, Kind::Batch, Kind::Progressive, Kind::Stats];
+const RESPONSE_KINDS: [Kind; 5] = [
+    Kind::RDatasets,
+    Kind::RBatch,
+    Kind::RProgressive,
+    Kind::RStats,
+    Kind::RError,
+];
+
+/// Decoding must be total: typed result out, whatever bytes go in. The
+/// assertion is simply that this returns (no panic) and that `Ok` implies a
+/// clean re-encode cycle.
+fn decode_any(kind: Kind, body: &[u8]) {
+    let round = |req: &Request| {
+        let enc = req.encode();
+        assert_eq!(&Request::decode(req.kind(), &enc).unwrap(), req);
+    };
+    match kind {
+        Kind::List | Kind::Batch | Kind::Progressive | Kind::Stats => {
+            if let Ok(req) = Request::decode(kind, body) {
+                round(&req);
+            }
+        }
+        _ => {
+            if let Ok(resp) = NetResponse::decode(kind, body) {
+                let enc = resp.encode();
+                assert_eq!(NetResponse::decode(resp.kind(), &enc).unwrap(), resp);
+            }
+        }
+    }
+}
+
+#[test]
+fn random_bodies_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0x4e45_5457);
+    for case in 0..4000 {
+        let len = rng.gen_range(0usize..256);
+        let mut body = vec![0u8; len];
+        fill(&mut rng, &mut body);
+        for kind in REQUEST_KINDS.into_iter().chain(RESPONSE_KINDS) {
+            decode_any(kind, &body);
+        }
+        // Also feed the raw bytes to the frame reader itself.
+        let _ = read_frame(&mut body.as_slice(), 1 << 16);
+        let _ = read_hello(&mut body.as_slice());
+        if case % 1000 == 0 {
+            // Occasionally go bigger to cross varint/count boundaries.
+            let mut big = vec![0u8; rng.gen_range(256..4096)];
+            fill(&mut rng, &mut big);
+            for kind in REQUEST_KINDS.into_iter().chain(RESPONSE_KINDS) {
+                decode_any(kind, &big);
+            }
+        }
+    }
+}
+
+fn sample_level(rng: &mut StdRng) -> LevelData {
+    let unit = *[1usize, 2, 4].get(rng.gen_range(0..3)).unwrap();
+    let blocks = (0..rng.gen_range(0..4))
+        .map(|i| UnitBlock {
+            origin: [i * unit, 0, rng.gen_range(0..8)],
+            data: (0..unit.pow(3)).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        })
+        .collect();
+    LevelData {
+        level: rng.gen_range(0..4),
+        unit,
+        dims: Dims3::new(8, 8, 8),
+        blocks,
+    }
+}
+
+fn sample_field(rng: &mut StdRng) -> Field3 {
+    let dims = Dims3::new(
+        rng.gen_range(1..5),
+        rng.gen_range(1..5),
+        rng.gen_range(1..5),
+    );
+    Field3::from_fn(dims, |_, _, _| rng.gen_range(-10.0..10.0))
+}
+
+fn sample_request(rng: &mut StdRng) -> Request {
+    match rng.gen_range(0..4) {
+        0 => Request::List,
+        1 => {
+            let queries = (0..rng.gen_range(0..6))
+                .map(|_| match rng.gen_range(0..3) {
+                    0 => Query::Level {
+                        level: rng.gen_range(0..8),
+                    },
+                    1 => {
+                        let lo = [
+                            rng.gen_range(0..4),
+                            rng.gen_range(0..4),
+                            rng.gen_range(0..4),
+                        ];
+                        Query::Roi {
+                            level: rng.gen_range(0..8),
+                            lo,
+                            hi: [lo[0] + rng.gen_range(1..9), lo[1] + 1, lo[2] + 3],
+                            fill: rng.gen_range(-1.0..1.0),
+                        }
+                    }
+                    _ => Query::Iso {
+                        level: rng.gen_range(0..8),
+                        iso: rng.gen_range(-5.0..5.0),
+                    },
+                })
+                .collect();
+            Request::Batch {
+                dataset: ru32(rng),
+                queries,
+            }
+        }
+        2 => Request::Progressive {
+            dataset: ru32(rng),
+            scheme: if rbool(rng) {
+                Upsample::Nearest
+            } else {
+                Upsample::Trilinear
+            },
+        },
+        _ => Request::Stats {
+            dataset: ru32(rng),
+            take: rbool(rng),
+        },
+    }
+}
+
+fn sample_store_error(rng: &mut StdRng) -> WireStoreError {
+    match rng.gen_range(0..12) {
+        0 => WireStoreError::Io("io broke".into()),
+        1 => WireStoreError::Open {
+            path: "/tmp/x.hqst".into(),
+            message: "denied".into(),
+        },
+        2 => WireStoreError::BadMagic,
+        3 => WireStoreError::BadVersion(rng.next_u64() as u8),
+        4 => WireStoreError::Truncated,
+        5 => WireStoreError::CorruptTable,
+        6 => WireStoreError::Malformed("meta".into()),
+        7 => WireStoreError::UnknownCodec(ru32(rng)),
+        8 => WireStoreError::CorruptChunk {
+            level: rng.gen_range(0..9),
+            block: rng.gen_range(0..999),
+        },
+        9 => WireStoreError::Codec {
+            level: rng.gen_range(0..9),
+            block: rng.gen_range(0..999),
+            message: "huff".into(),
+        },
+        10 => WireStoreError::NoSuchLevel(rng.gen_range(0..99)),
+        _ => WireStoreError::RoiOutOfBounds,
+    }
+}
+
+fn sample_response(rng: &mut StdRng) -> NetResponse {
+    match rng.gen_range(0..5) {
+        0 => NetResponse::Datasets(
+            (0..rng.gen_range(0..4))
+                .map(|i| DatasetInfo {
+                    id: i,
+                    name: format!("ds-{i}"),
+                    codec_id: ru32(rng),
+                    eb: rng.gen_range(1e-6..1e6),
+                    domain: Dims3::new(
+                        rng.gen_range(1..64),
+                        rng.gen_range(1..64),
+                        rng.gen_range(1..64),
+                    ),
+                    levels: rng.gen_range(1..5),
+                    chunks: rng.gen_range(1..999),
+                    compressed_bytes: rng.next_u64(),
+                })
+                .collect(),
+        ),
+        1 => NetResponse::Batch(
+            (0..rng.gen_range(0..4))
+                .map(|_| match rng.gen_range(0..3) {
+                    0 => Response::Level(sample_level(rng)),
+                    1 => Response::Roi(sample_field(rng)),
+                    _ => Response::Iso(sample_level(rng)),
+                })
+                .collect(),
+        ),
+        2 => NetResponse::Progressive(
+            (0..rng.gen_range(0..4))
+                .map(|l| RefinementStep {
+                    level: l,
+                    field: sample_field(rng),
+                })
+                .collect(),
+        ),
+        3 => NetResponse::Stats(CacheStats {
+            requests: 0, // patched below to keep the identity plausible
+            hits: rng.gen_range(0..1000),
+            shared: rng.gen_range(0..10),
+            misses: rng.gen_range(0..1000),
+            evictions: rng.next_u64(),
+            resident_bytes: rng.next_u64(),
+            peak_resident_bytes: rng.next_u64(),
+            budget_bytes: rng.next_u64(),
+        }),
+        _ => NetResponse::Error(match rng.gen_range(0..5) {
+            0 => ErrorFrame::Busy,
+            1 => ErrorFrame::TooManyConnections,
+            2 => ErrorFrame::NoSuchDataset(ru32(rng)),
+            3 => ErrorFrame::BadRequest("q".into()),
+            _ => ErrorFrame::Store(sample_store_error(rng)),
+        }),
+    }
+}
+
+/// Round-trip: randomized instances of every variant survive
+/// encode→frame→read_frame→decode bit-identically.
+#[test]
+fn every_variant_roundtrips_through_frames() {
+    let mut rng = StdRng::seed_from_u64(0xf4a3);
+    for i in 0..400 {
+        let req = sample_request(&mut rng);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, req.kind(), i, &req.encode()).unwrap();
+        let (h, body) = read_frame(&mut wire.as_slice(), 1 << 24).unwrap();
+        assert_eq!((h.kind, h.req_id), (req.kind(), i));
+        assert_eq!(Request::decode(h.kind, &body).unwrap(), req);
+
+        let resp = sample_response(&mut rng);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, resp.kind(), i, &resp.encode()).unwrap();
+        let (h, body) = read_frame(&mut wire.as_slice(), 1 << 24).unwrap();
+        assert_eq!(NetResponse::decode(h.kind, &body).unwrap(), resp);
+    }
+}
+
+/// Every proper prefix of a valid frame is a typed error (Truncated via the
+/// io path), and never a success.
+#[test]
+fn truncated_frames_are_typed() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let req = sample_request(&mut rng);
+    let mut wire = Vec::new();
+    write_frame(&mut wire, req.kind(), 9, &req.encode()).unwrap();
+    for cut in 0..wire.len() {
+        let err = read_frame(&mut &wire[..cut], 1 << 24)
+            .map(|_| ())
+            .expect_err("prefix must not parse");
+        assert!(
+            matches!(err, ProtocolError::Truncated | ProtocolError::Io(_)),
+            "cut at {cut}: {err}"
+        );
+    }
+}
+
+/// Any single bit flip anywhere in a frame — header or body — is caught
+/// with a typed error. The frame CRC covers both parts, so even a kind
+/// byte flipping into another *valid* kind cannot slip through.
+#[test]
+fn every_single_bit_flip_is_rejected_typed() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    for _ in 0..40 {
+        let resp = sample_response(&mut rng);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, resp.kind(), 3, &resp.encode()).unwrap();
+        for bit in 0..wire.len() * 8 {
+            let mut bad = wire.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            let err = read_frame(&mut bad.as_slice(), 1 << 24)
+                .map(|_| ())
+                .expect_err("flipped frame must not parse");
+            assert!(
+                matches!(
+                    err,
+                    ProtocolError::BadCrc
+                        | ProtocolError::Truncated
+                        | ProtocolError::Io(_)
+                        | ProtocolError::UnknownKind(_)
+                        | ProtocolError::FrameTooLarge { .. }
+                ),
+                "flip at bit {bit}: unexpected {err}"
+            );
+        }
+    }
+}
+
+/// The frame reader refuses to allocate for bodies beyond its cap, and the
+/// decoders refuse counts that exceed the actual bytes present.
+#[test]
+fn hostile_lengths_are_rejected_before_allocation() {
+    // 4 GiB body announcement in a 21-byte message.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&u32::MAX.to_le_bytes());
+    wire.extend_from_slice(&[0x02]); // Batch
+    wire.extend_from_slice(&7u64.to_le_bytes());
+    wire.extend_from_slice(&0u32.to_le_bytes());
+    match read_frame(&mut wire.as_slice(), 1 << 20) {
+        Err(ProtocolError::FrameTooLarge { len, max }) => {
+            assert_eq!(len, u32::MAX as u64);
+            assert_eq!(max, 1 << 20);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}

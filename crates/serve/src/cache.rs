@@ -18,10 +18,15 @@ pub(crate) type Key = (usize, usize);
 /// Snapshot of the serving layer's cache accounting.
 ///
 /// Counter identities (all counts since construction or the last
-/// [`StoreServer::reset_stats`](crate::StoreServer::reset_stats)):
+/// [`StoreServer::reset_stats`](crate::StoreServer::reset_stats) /
+/// [`StoreServer::take_stats`](crate::StoreServer::take_stats)):
 ///
 /// * `requests == hits + misses` — every chunk lookup is classified as
-///   exactly one of the two;
+///   exactly one of the two. The identity holds in *every* snapshot, even
+///   taken mid-request from another thread: `requests` is not a separate
+///   counter that could race ahead of its classification, it is derived
+///   from `hits + misses` at read time. A per-tenant exporter (the network
+///   server) can therefore publish snapshots without quiescing clients;
 /// * `hits` — served without running the codec: either resident in the
 ///   cache, or joined another client's in-flight decode (`shared`, a subset
 ///   of `hits`, counts the latter);
@@ -33,7 +38,8 @@ pub(crate) type Key = (usize, usize);
 ///   decoded-payload footprint; both are `≤ budget_bytes` at all times.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Total chunk lookups.
+    /// Total chunk lookups — always exactly `hits + misses` (derived at
+    /// snapshot time, see above).
     pub requests: u64,
     /// Lookups served without decoding (resident or shared in-flight).
     pub hits: u64,
@@ -51,12 +57,15 @@ pub struct CacheStats {
     pub budget_bytes: u64,
 }
 
-/// Monotonic counters, updated lock-free with `Relaxed` ordering (same
-/// contract as `StoreReader`'s byte accounting: individually exact tallies,
-/// no cross-counter snapshot guarantee while requests are in flight).
+/// Monotonic counters, updated lock-free with `Relaxed` ordering:
+/// individually exact tallies (no increment is ever lost). There is no
+/// `requests` counter — it is derived as `hits + misses` when a snapshot is
+/// taken, so the ledger identity cannot be observed broken even while
+/// lookups are in flight on other threads. `shared` is incremented *after*
+/// `hits` on the join path, so `shared <= hits` also holds in every
+/// snapshot.
 #[derive(Default)]
 struct Counters {
-    requests: AtomicU64,
     hits: AtomicU64,
     shared: AtomicU64,
     misses: AtomicU64,
@@ -173,7 +182,6 @@ impl ChunkCache {
         block: usize,
     ) -> Result<DecodedChunk, StoreError> {
         let key = (level, block);
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let joined = {
             let mut st = self.lock();
             if let Some(chunk) = st.touch(key) {
@@ -278,7 +286,6 @@ impl ChunkCache {
             indices.iter().map(|&i| st.touch((level, i))).collect();
         drop(st);
         let hits = out.iter().filter(|o| o.is_some()).count() as u64;
-        self.counters.requests.fetch_add(hits, Ordering::Relaxed);
         self.counters.hits.fetch_add(hits, Ordering::Relaxed);
         out
     }
@@ -314,17 +321,21 @@ impl ChunkCache {
         st.peak = st.peak.max(st.resident);
     }
 
-    /// Point-in-time stats snapshot.
+    /// Point-in-time stats snapshot. `requests` is derived as
+    /// `hits + misses`, so the ledger identity holds in the snapshot even
+    /// when lookups are mid-flight on other threads.
     pub(crate) fn stats(&self) -> CacheStats {
         let (resident, peak) = {
             let st = self.lock();
             (st.resident as u64, st.peak as u64)
         };
+        let hits = self.counters.hits.load(Ordering::Relaxed);
+        let misses = self.counters.misses.load(Ordering::Relaxed);
         CacheStats {
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            hits: self.counters.hits.load(Ordering::Relaxed),
+            requests: hits + misses,
+            hits,
             shared: self.counters.shared.load(Ordering::Relaxed),
-            misses: self.counters.misses.load(Ordering::Relaxed),
+            misses,
             evictions: self.counters.evictions.load(Ordering::Relaxed),
             resident_bytes: resident,
             peak_resident_bytes: peak,
@@ -332,19 +343,47 @@ impl ChunkCache {
         }
     }
 
+    /// Snapshot-and-reset in one step: returns the counters accumulated
+    /// since the last reset and zeroes them, losing no concurrent
+    /// increments (each counter is `swap`ped, so an increment lands either
+    /// in the returned window or in the next one — never nowhere). The
+    /// returned snapshot keeps the `requests == hits + misses` identity by
+    /// construction. This is the export path for per-tenant stat windows.
+    pub(crate) fn take_stats(&self) -> CacheStats {
+        let (resident, peak) = {
+            let mut st = self.lock();
+            let pair = (st.resident as u64, st.peak as u64);
+            st.peak = st.resident;
+            pair
+        };
+        let hits = self.counters.hits.swap(0, Ordering::Relaxed);
+        let misses = self.counters.misses.swap(0, Ordering::Relaxed);
+        CacheStats {
+            requests: hits + misses,
+            hits,
+            shared: self.counters.shared.swap(0, Ordering::Relaxed),
+            misses,
+            evictions: self.counters.evictions.swap(0, Ordering::Relaxed),
+            resident_bytes: resident,
+            peak_resident_bytes: peak,
+            budget_bytes: self.budget as u64,
+        }
+    }
+
     /// Zeroes the counters and restarts the high-water mark from the current
-    /// residency. Cache contents are untouched.
+    /// residency. Cache contents are untouched. Implemented as `swap`s so a
+    /// concurrent increment is never lost — it simply lands in the fresh
+    /// window.
     pub(crate) fn reset_stats(&self) {
         let mut st = self.lock();
         st.peak = st.resident;
         for c in [
-            &self.counters.requests,
             &self.counters.hits,
             &self.counters.shared,
             &self.counters.misses,
             &self.counters.evictions,
         ] {
-            c.store(0, Ordering::Relaxed);
+            c.swap(0, Ordering::Relaxed);
         }
     }
 

@@ -52,6 +52,68 @@ const _: () = {
 /// Cache budget meaning "never evict" ([`StoreServer::unbounded`]).
 pub const UNBOUNDED: usize = usize::MAX;
 
+/// Carves one global decoded-chunk byte budget into per-tenant budgets,
+/// proportionally to `weights` (e.g. each tenant's compressed store size or
+/// expected traffic share). Guarantees:
+///
+/// * the per-tenant budgets sum to exactly `total` (largest-remainder
+///   rounding), so a fleet of [`StoreServer`]s provisioned from one global
+///   budget can never collectively exceed it;
+/// * a tenant with nonzero weight gets a nonzero budget whenever
+///   `total >= weights.len()`, so no live tenant is starved to cache-off;
+/// * [`UNBOUNDED`] passes through: every tenant is unbounded.
+///
+/// Zero weights (idle tenants) receive zero budget. An empty weight slice
+/// returns an empty vec.
+pub fn partition_budget(total: usize, weights: &[u64]) -> Vec<usize> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    if total == UNBOUNDED {
+        return vec![UNBOUNDED; weights.len()];
+    }
+    let sum: u128 = weights.iter().map(|&w| w as u128).sum();
+    if sum == 0 {
+        // No information: split evenly, remainder to the front.
+        let base = total / weights.len();
+        let mut rem = total % weights.len();
+        return weights
+            .iter()
+            .map(|_| {
+                let extra = usize::from(rem > 0);
+                rem -= extra;
+                base + extra
+            })
+            .collect();
+    }
+    // Largest-remainder apportionment over floor(total * w / sum).
+    let mut out: Vec<usize> = Vec::with_capacity(weights.len());
+    let mut fracs: Vec<(u128, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned: usize = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let prod = total as u128 * w as u128;
+        let share = (prod / sum) as usize;
+        fracs.push((prod % sum, i));
+        out.push(share);
+        assigned += share;
+    }
+    fracs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in fracs.iter().take(total - assigned) {
+        out[i] += 1;
+    }
+    // Nonzero-weight tenants must not be starved when there is budget to
+    // hand out: steal single bytes from the largest allocations.
+    if total >= weights.len() {
+        while let Some(starved) = (0..out.len()).find(|&i| weights[i] > 0 && out[i] == 0) {
+            let richest = (0..out.len()).max_by_key(|&i| out[i]).expect("nonempty");
+            debug_assert!(out[richest] > 1);
+            out[richest] -= 1;
+            out[starved] += 1;
+        }
+    }
+    out
+}
+
 /// One client request in a batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Query {
@@ -129,9 +191,21 @@ impl StoreServer {
         self.reader.meta()
     }
 
-    /// Snapshot of the cache counters.
+    /// Snapshot of the cache counters. The snapshot is atomically
+    /// consistent with respect to the ledger identity: `requests` is
+    /// derived as `hits + misses` at read time, so the identity holds even
+    /// when other client threads have lookups mid-flight — an exporter
+    /// never has to quiesce traffic to publish balanced stats.
     pub fn stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Snapshot-and-reset in one step: returns the counter window
+    /// accumulated since the last reset and starts a fresh one, losing no
+    /// concurrent increment (each lands in exactly one window). The
+    /// per-tenant stats export of the network serving layer drives this.
+    pub fn take_stats(&self) -> CacheStats {
+        self.cache.take_stats()
     }
 
     /// Zeroes the cache counters and restarts the high-water mark from the
@@ -419,6 +493,69 @@ mod tests {
             }
             other => panic!("wrong response kind: {other:?}"),
         }
+    }
+
+    #[test]
+    fn take_stats_returns_window_and_resets() {
+        let s = test_server(UNBOUNDED);
+        s.read_level(0).unwrap();
+        let w1 = s.take_stats();
+        assert!(w1.misses > 0);
+        assert_eq!(w1.requests, w1.hits + w1.misses);
+        // Fresh window: a warm pass is all hits, and nothing from the first
+        // window leaks in.
+        s.read_level(0).unwrap();
+        let w2 = s.take_stats();
+        assert_eq!(w2.misses, 0);
+        assert_eq!(w2.hits, w1.misses, "same chunk count, now all resident");
+        assert_eq!(w2.requests, w2.hits + w2.misses);
+        // Residency survives the reset; peak restarts from it.
+        assert!(w2.resident_bytes > 0);
+        assert_eq!(w2.peak_resident_bytes, w2.resident_bytes);
+    }
+
+    #[test]
+    fn stats_identity_holds_under_concurrent_load() {
+        let s = test_server(64 * 1024);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        s.read_all().unwrap();
+                    }
+                });
+            }
+            // Snapshots taken *while* clients are mid-request still balance.
+            for _ in 0..64 {
+                let st = s.stats();
+                assert_eq!(st.requests, st.hits + st.misses);
+                assert!(st.shared <= st.hits);
+            }
+        });
+    }
+
+    #[test]
+    fn partition_budget_sums_and_protects_tenants() {
+        assert_eq!(partition_budget(100, &[]), Vec::<usize>::new());
+        assert_eq!(partition_budget(UNBOUNDED, &[1, 2]), vec![UNBOUNDED; 2]);
+        // Proportional, exact sum.
+        let parts = partition_budget(100, &[3, 1]);
+        assert_eq!(parts.iter().sum::<usize>(), 100);
+        assert_eq!(parts, vec![75, 25]);
+        // Uneven split still sums exactly.
+        let parts = partition_budget(100, &[1, 1, 1]);
+        assert_eq!(parts.iter().sum::<usize>(), 100);
+        // Zero weights get nothing; others share it all.
+        let parts = partition_budget(64, &[0, 1, 1]);
+        assert_eq!(parts[0], 0);
+        assert_eq!(parts.iter().sum::<usize>(), 64);
+        // A dominant tenant cannot starve small live tenants.
+        let parts = partition_budget(10, &[1_000_000, 1, 1]);
+        assert!(parts[1] > 0 && parts[2] > 0, "{parts:?}");
+        assert_eq!(parts.iter().sum::<usize>(), 10);
+        // All-zero weights: even split.
+        let parts = partition_budget(7, &[0, 0, 0]);
+        assert_eq!(parts.iter().sum::<usize>(), 7);
     }
 
     #[test]

@@ -31,8 +31,20 @@ pub const PREFIX_LEN: usize = 4 + 1 + 4 + 4;
 /// Store read/parse errors.
 #[derive(Debug)]
 pub enum StoreError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure. For file-backed readers the error message
+    /// carries the store path (see [`StoreError::Open`] for open-time
+    /// failures), so a serving layer can report *which* store went bad.
     Io(std::io::Error),
+    /// Opening a store file failed before any store structure was parsed —
+    /// the path could not be opened, read, or stat'ed. Carries the path so
+    /// multi-store servers can surface a typed, attributable error frame
+    /// instead of dying on an anonymous `io::Error`.
+    Open {
+        /// The path that failed to open.
+        path: std::path::PathBuf,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
     /// Magic bytes did not match.
     BadMagic,
     /// Unsupported format version.
@@ -73,6 +85,9 @@ impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::Io(e) => write!(f, "io: {e}"),
+            StoreError::Open { path, source } => {
+                write!(f, "open {}: {source}", path.display())
+            }
             StoreError::BadMagic => write!(f, "bad store magic"),
             StoreError::BadVersion(v) => write!(f, "unsupported store version {v}"),
             StoreError::Truncated => write!(f, "truncated store"),
@@ -101,6 +116,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
+            StoreError::Open { source, .. } => Some(source),
             StoreError::Codec { source, .. } => Some(source),
             _ => None,
         }

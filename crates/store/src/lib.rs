@@ -291,23 +291,39 @@ enum Source {
 /// `File` driven through `FileExt::read_at` (`pread`), which takes `&self`
 /// and never touches the shared cursor — concurrent chunk fetches proceed
 /// in parallel. Elsewhere it falls back to seek + read behind a mutex.
+///
+/// The file's path is kept so every I/O error names the store it came from:
+/// a multi-store server returns an attributable error frame instead of an
+/// anonymous `io::Error` (or worse, a panic).
 struct PositionalFile {
     #[cfg(unix)]
     file: std::fs::File,
     #[cfg(not(unix))]
     file: Mutex<std::fs::File>,
+    path: std::path::PathBuf,
+}
+
+/// Adds path context to a non-EOF I/O error, preserving its kind.
+/// `UnexpectedEof` passes through untouched so the `From<io::Error>`
+/// conversion keeps mapping it to the typed [`StoreError::Truncated`].
+fn with_path_context(e: std::io::Error, path: &Path) -> std::io::Error {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        return e;
+    }
+    std::io::Error::new(e.kind(), format!("{}: {e}", path.display()))
 }
 
 impl PositionalFile {
-    fn new(file: std::fs::File) -> Self {
+    fn new(file: std::fs::File, path: std::path::PathBuf) -> Self {
         #[cfg(unix)]
         {
-            PositionalFile { file }
+            PositionalFile { file, path }
         }
         #[cfg(not(unix))]
         {
             PositionalFile {
                 file: Mutex::new(file),
+                path,
             }
         }
     }
@@ -316,33 +332,39 @@ impl PositionalFile {
     fn len(&self) -> std::io::Result<u64> {
         #[cfg(unix)]
         {
-            Ok(self.file.metadata()?.len())
+            self.file
+                .metadata()
+                .map(|m| m.len())
+                .map_err(|e| with_path_context(e, &self.path))
         }
         #[cfg(not(unix))]
         {
-            Ok(self
-                .file
+            self.file
                 .lock()
                 .expect("store file lock poisoned")
-                .metadata()?
-                .len())
+                .metadata()
+                .map(|m| m.len())
+                .map_err(|e| with_path_context(e, &self.path))
         }
     }
 
     /// Fills `buf` from the absolute file `offset` (EOF ⇒ error, matching
-    /// `read_exact`).
+    /// `read_exact`). Non-EOF failures carry the store's path.
     fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
         #[cfg(unix)]
         {
             use std::os::unix::fs::FileExt;
-            self.file.read_exact_at(buf, offset)
+            self.file
+                .read_exact_at(buf, offset)
+                .map_err(|e| with_path_context(e, &self.path))
         }
         #[cfg(not(unix))]
         {
             use std::io::{Read, Seek, SeekFrom};
             let mut f = self.file.lock().expect("store file lock poisoned");
-            f.seek(SeekFrom::Start(offset))?;
-            f.read_exact(buf)
+            f.seek(SeekFrom::Start(offset))
+                .and_then(|_| f.read_exact(buf))
+                .map_err(|e| with_path_context(e, &self.path))
         }
     }
 }
@@ -372,11 +394,30 @@ impl StoreReader {
 
     /// Opens a store file. Only the prefix and directory are read here; chunk
     /// bytes are fetched on demand per query.
+    ///
+    /// Failures before any store structure is parsed — the path does not
+    /// exist, is not readable, or stat fails — surface as the typed
+    /// [`StoreError::Open`] carrying the path, so a multi-store server can
+    /// answer "which store?" in its error frame. A file that opens but ends
+    /// mid-prefix/mid-directory is [`StoreError::Truncated`], and damaged
+    /// structure keeps its existing typed variants ([`StoreError::BadMagic`]
+    /// etc.). Nothing on this path panics on I/O.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         use std::io::Read;
-        let mut file = std::fs::File::open(path)?;
+        let path = path.as_ref();
+        let open_err = |source: std::io::Error| {
+            if source.kind() == std::io::ErrorKind::UnexpectedEof {
+                StoreError::Truncated
+            } else {
+                StoreError::Open {
+                    path: path.to_path_buf(),
+                    source,
+                }
+            }
+        };
+        let mut file = std::fs::File::open(path).map_err(open_err)?;
         let mut prefix = [0u8; PREFIX_LEN];
-        file.read_exact(&mut prefix)?;
+        file.read_exact(&mut prefix).map_err(open_err)?;
         if &prefix[..4] != MAGIC {
             return Err(StoreError::BadMagic);
         }
@@ -386,9 +427,13 @@ impl StoreReader {
         let meta_len = u32::from_le_bytes(prefix[5..9].try_into().unwrap()) as usize;
         let mut head = prefix.to_vec();
         head.resize(PREFIX_LEN + meta_len, 0);
-        file.read_exact(&mut head[PREFIX_LEN..])?;
+        file.read_exact(&mut head[PREFIX_LEN..]).map_err(open_err)?;
         let (meta, data_start) = parse_head(&head)?;
-        Self::with_source(meta, data_start, Source::File(PositionalFile::new(file)))
+        Self::with_source(
+            meta,
+            data_start,
+            Source::File(PositionalFile::new(file, path.to_path_buf())),
+        )
     }
 
     fn with_source(meta: StoreMeta, data_start: u64, source: Source) -> Result<Self, StoreError> {
@@ -772,6 +817,32 @@ mod tests {
         r.reset_counters();
         assert_eq!(r.bytes_decoded(), 0);
         assert_eq!(r.chunks_decoded(), 0);
+    }
+
+    #[test]
+    fn open_failures_are_typed_with_path_context() {
+        let missing = std::env::temp_dir().join("hqmr_store_definitely_missing.hqst");
+        std::fs::remove_file(&missing).ok();
+        let err = StoreReader::open(&missing)
+            .map(|_| ())
+            .expect_err("missing file must not open");
+        match err {
+            StoreError::Open { path, source } => {
+                assert_eq!(path, missing);
+                assert_eq!(source.kind(), std::io::ErrorKind::NotFound);
+                let msg = format!("{}", StoreError::Open { path, source });
+                assert!(msg.contains("hqmr_store_definitely_missing"), "{msg}");
+            }
+            other => panic!("expected typed Open error, got {other:?}"),
+        }
+        // A file that ends mid-prefix is Truncated, not a panic.
+        let stub = std::env::temp_dir().join("hqmr_store_stub_prefix.hqst");
+        std::fs::write(&stub, b"HQ").unwrap();
+        assert!(matches!(
+            StoreReader::open(&stub),
+            Err(StoreError::Truncated)
+        ));
+        std::fs::remove_file(&stub).ok();
     }
 
     #[test]

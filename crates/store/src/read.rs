@@ -255,7 +255,7 @@ pub fn read_level_iso<S: ChunkSource + ?Sized>(
 }
 
 /// One step of progressive refinement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RefinementStep {
     /// Level index (refinement distance) decoded in this step; the remaining
     /// finer levels are not yet part of the reconstruction.

@@ -16,6 +16,10 @@
 //!   a byte-budgeted decoded-chunk LRU cache with single-flight decode and
 //!   a batched query planner, for many clients hammering one container
 //!   (`examples/roi_storm.rs` is the demo).
+//! * [`net`] — the serving fleet over TCP: a length-framed, CRC-guarded
+//!   wire protocol, dataset-sharded workers with bounded queues and typed
+//!   `Busy` backpressure, a blocking client, and the `netd` multi-store
+//!   server binary (`examples/net_storm.rs` is the remote demo).
 //! * [`grid`] — fields and synthetic dataset proxies.
 //! * [`sz2`], [`sz3`], [`zfp`] — the three from-scratch compressors.
 //! * [`mr`] — the multi-resolution data model (ROI, AMR, merges, padding).
@@ -66,6 +70,7 @@ pub use hqmr_filters as filters;
 pub use hqmr_grid as grid;
 pub use hqmr_metrics as metrics;
 pub use hqmr_mr as mr;
+pub use hqmr_net as net;
 pub use hqmr_serve as serve;
 pub use hqmr_store as store;
 pub use hqmr_sz2 as sz2;
