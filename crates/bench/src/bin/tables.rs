@@ -53,6 +53,7 @@ fn main() {
         ("serve", ex::serve),
         ("hotpath", ex::hotpath),
         ("net", ex::net),
+        ("faults", ex::faults),
     ];
 
     let selected: Vec<_> = if which == "all" {

@@ -1911,3 +1911,210 @@ pub fn net(scale: usize) -> String {
     crate::write_root_json("BENCH_net.json", &json, &mut out);
     out
 }
+
+/// Fault-tolerance benchmark (`BENCH_faults.json`): availability, outcome
+/// mix and tail latency of the fleet under seeded chaos. Three rows — no
+/// chaos, light chaos, heavy chaos — each driving 8 retrying clients
+/// through the degraded read path against a fleet with fault injection
+/// armed. Every operation must finish (hangs are counted and must be
+/// zero); failures must be the typed give-up. Availability is the fraction
+/// of operations that returned data (exact or quality-flagged).
+pub fn faults(scale: usize) -> String {
+    use hqmr_net::{
+        ChaosConfig, ClientConfig, DatasetSpec, NetClient, NetConfig, NetError, NetServer,
+    };
+    use hqmr_serve::Query;
+    use hqmr_store::{write_store, StoreConfig, StoreReader};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const CLIENTS: usize = 8;
+    const PASSES: usize = 3;
+    const RETRIES: usize = 12;
+    /// An operation running past this long counts as a hang — far beyond
+    /// the deadline + full-backoff envelope of one retried request.
+    const HANG: Duration = Duration::from_secs(10);
+
+    let d = datasets::nyx_t1(scale, 59);
+    let mr = d.mr.as_ref().unwrap();
+    let eb = d.range() * 8e-3;
+    let (mn, mx) = d.field.min_max();
+
+    let fine = mr.levels[0].dims;
+    let mix: Vec<Query> = vec![
+        Query::Level {
+            level: mr.levels.len() - 1,
+        },
+        Query::Roi {
+            level: 0,
+            lo: [0, 0, 0],
+            hi: [
+                (fine.nx / 2).max(1),
+                (fine.ny / 2).max(1),
+                (fine.nz / 2).max(1),
+            ],
+            fill: mn,
+        },
+        Query::Iso {
+            level: 0,
+            iso: mn + 0.6 * (mx - mn),
+        },
+    ];
+
+    let buf = write_store(
+        mr,
+        &StoreConfig::new(eb).with_chunk_blocks(4),
+        &hqmr_sz3::Sz3Codec::default(),
+    );
+    let store_bytes = buf.len();
+
+    // Deterministic per-row fault levels, keyed to one fixed seed.
+    let rows: [(&str, Option<&str>); 3] = [
+        ("none", None),
+        (
+            "light",
+            Some("drop:0.01,stall:1ms@0.05,flip:0.01,seed:4242"),
+        ),
+        (
+            "heavy",
+            Some("drop:0.05,partial:0.03,wire:0.02,stall:2ms@0.15,flip:0.05,seed:4242"),
+        ),
+    ];
+
+    let client_cfg = ClientConfig {
+        connect_timeout: Some(Duration::from_secs(5)),
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        request_deadline: Some(Duration::from_secs(3)),
+        backoff_base: Duration::from_micros(200),
+        backoff_cap: Duration::from_millis(5),
+        ..ClientConfig::default()
+    };
+
+    let mut out = format!(
+        "Fault tolerance — {} (scale {scale}, sz3 store {:.1} KiB, {CLIENTS} clients × \
+         {PASSES} passes × {} ops, retry budget {RETRIES}, degraded reads)\n\
+         chaos    avail(%)   exact   degraded   gave_up   hangs   p50(ms)   p99(ms)   deadline   busy\n",
+        d.name,
+        store_bytes as f64 / 1024.0,
+        mix.len(),
+    );
+    let mut json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"scale\": {scale},\n  \"store_bytes\": {store_bytes},\n  \
+         \"clients\": {CLIENTS},\n  \"passes\": {PASSES},\n  \"retry_budget\": {RETRIES},\n  \
+         \"records\": [\n",
+        d.name,
+    );
+
+    for (i, (row, chaos)) in rows.into_iter().enumerate() {
+        let chaos_cfg = chaos.map(|s| ChaosConfig::parse(s).expect("chaos grammar"));
+        let server = NetServer::spawn(
+            "127.0.0.1:0",
+            NetConfig {
+                chaos: chaos_cfg,
+                read_timeout: Some(Duration::from_millis(500)),
+                write_timeout: Some(Duration::from_secs(5)),
+                request_deadline: Some(Duration::from_secs(5)),
+                max_connections: 64,
+                ..NetConfig::default()
+            },
+            vec![DatasetSpec {
+                id: 0,
+                name: d.name.to_string(),
+                reader: Arc::new(StoreReader::from_bytes(buf.clone()).unwrap()),
+            }],
+        )
+        .expect("spawn fleet");
+        let addr = server.local_addr();
+
+        // (ok_exact, ok_degraded, gave_up, hangs, latencies)
+        let results: Vec<(u64, u64, u64, u64, Vec<f64>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|t| {
+                    let mix = &mix;
+                    let mut cfg = client_cfg.clone();
+                    cfg.jitter_seed = 0xFA17 ^ t as u64;
+                    s.spawn(move || {
+                        // Chaos shoots down handshakes too; redial until one
+                        // survives.
+                        let mut client = (0..100)
+                            .find_map(|_| NetClient::connect_with(addr, cfg.clone()).ok())
+                            .expect("no handshake survived 100 dials");
+                        let (mut exact, mut degraded, mut gave_up, mut hangs) = (0u64, 0, 0, 0);
+                        let mut lat = Vec::with_capacity(PASSES * mix.len());
+                        for _ in 0..PASSES {
+                            for q in mix {
+                                let t0 = Instant::now();
+                                match client.batch_degraded_retry(
+                                    0,
+                                    std::slice::from_ref(q),
+                                    RETRIES,
+                                ) {
+                                    Ok(rs) => {
+                                        if rs.iter().all(|r| r.is_exact()) {
+                                            exact += 1;
+                                        } else {
+                                            degraded += 1;
+                                        }
+                                    }
+                                    Err(NetError::RetriesExhausted { .. }) => gave_up += 1,
+                                    Err(e) => panic!("untyped failure under chaos: {e}"),
+                                }
+                                let el = t0.elapsed();
+                                if el >= HANG {
+                                    hangs += 1;
+                                }
+                                lat.push(el.as_secs_f64());
+                            }
+                        }
+                        (exact, degraded, gave_up, hangs, lat)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let (mut exact, mut degraded, mut gave_up, mut hangs) = (0u64, 0u64, 0u64, 0u64);
+        let mut lat = Vec::new();
+        for (e, dg, g, h, l) in results {
+            exact += e;
+            degraded += dg;
+            gave_up += g;
+            hangs += h;
+            lat.extend(l);
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |q: f64| lat[((lat.len() - 1) as f64 * q).round() as usize] * 1e3;
+        let total = exact + degraded + gave_up;
+        let avail = 100.0 * (exact + degraded) as f64 / total as f64;
+        let (p50, p99) = (pct(0.50), pct(0.99));
+        let (dl, busy) = (server.deadline_rejections(), server.busy_rejections());
+        assert_eq!(hangs, 0, "chaos row `{row}` hung {hangs} operations");
+        if chaos.is_none() {
+            assert_eq!(avail, 100.0, "clean row must be fully available");
+            assert_eq!(degraded, 0, "clean row must not degrade");
+        }
+
+        writeln!(
+            out,
+            "{row:8} {avail:8.1} {exact:7} {degraded:10} {gave_up:9} {hangs:7} {p50:9.3} {p99:9.3} {dl:10} {busy:6}",
+        )
+        .unwrap();
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        write!(
+            json,
+            "    {{\"chaos\": \"{row}\", \"switches\": \"{}\", \"availability_pct\": {avail:.2}, \
+             \"exact\": {exact}, \"degraded\": {degraded}, \"gave_up\": {gave_up}, \
+             \"hangs\": {hangs}, \"p50_ms\": {p50:.4}, \"p99_ms\": {p99:.4}, \
+             \"deadline_rejections\": {dl}, \"busy_rejections\": {busy}}}",
+            chaos.unwrap_or(""),
+        )
+        .unwrap();
+    }
+
+    json.push_str("\n  ]\n}\n");
+    crate::write_root_json("BENCH_faults.json", &json, &mut out);
+    out
+}

@@ -38,6 +38,11 @@ impl StageTimings {
 /// written. The file is a complete `hqmr-store` container —
 /// [`hqmr_store::StoreReader::open`] serves level, ROI, and progressive
 /// reads from it directly.
+///
+/// The write is crash-safe: bytes land in a temporary sibling, are fsynced,
+/// and only then renamed over `path`. A crash (or full disk) at any point
+/// leaves either the previous snapshot or no file — never a half-written
+/// container that a later reader would have to reject.
 pub fn write_snapshot(
     mr: &MultiResData,
     cfg: &MrcConfig,
@@ -51,17 +56,49 @@ pub fn write_snapshot(
     let prepared = prepare_store(mr, &scfg);
     timings.preprocess = t0.elapsed().as_secs_f64();
 
-    // Stage 2: compress each chunk and write the container.
+    // Stage 2: compress each chunk and write the container atomically.
     let t1 = Instant::now();
     let codec = cfg.backend.codec();
     let bytes = encode_prepared_store(mr, &prepared, &scfg, codec.as_ref());
-    let file = std::fs::File::create(path)?;
-    let mut w = std::io::BufWriter::new(file);
-    w.write_all(&bytes)?;
-    w.flush()?;
+    write_atomic(path.as_ref(), &bytes)?;
     timings.compress_write = t1.elapsed().as_secs_f64();
 
     Ok((timings, bytes.len() as u64))
+}
+
+/// Temp-file + `sync_all` + atomic rename. The pid in the temp name keeps
+/// concurrent writers (e.g. two ranks snapshotting different paths in one
+/// directory) from clobbering each other's staging files.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "snapshot path has no filename",
+            )
+        })?
+        .to_os_string();
+    name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = path.with_file_name(name);
+
+    let write = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = std::io::BufWriter::new(file);
+        w.write_all(bytes)?;
+        w.flush()?;
+        // Push the data to stable storage before the rename makes it
+        // visible — otherwise the rename can survive a crash the data
+        // didn't.
+        w.into_inner()
+            .map_err(std::io::IntoInnerError::into_error)?
+            .sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
 }
 
 #[cfg(test)]
@@ -109,6 +146,34 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_replaces_atomically_and_leaves_no_temp() {
+        let f = synth::nyx_like(32, 7);
+        let mr = to_amr(&f, &AmrConfig::new(8, vec![0.25, 0.75]));
+        let dir = std::env::temp_dir().join("hqmr_insitu_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.bin");
+        // Seed the destination with garbage an aborted write must not
+        // corrupt into view, then overwrite it with a real snapshot.
+        std::fs::write(&path, b"not a store").unwrap();
+        write_snapshot(&mr, &MrcConfig::ours(1e6), &path).unwrap();
+        StoreReader::open(&path).expect("replacement is a complete store");
+        // No staging files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging temp not cleaned up");
+        // A write to an impossible destination fails without touching the
+        // existing snapshot.
+        let before = std::fs::read(&path).unwrap();
+        let bad = dir.join("no_such_dir").join("snap.bin");
+        assert!(write_snapshot(&mr, &MrcConfig::ours(1e6), &bad).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

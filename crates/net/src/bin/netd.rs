@@ -10,9 +10,14 @@
 //! Dataset ids are assigned in argument order. `--demo SCALE` hosts two
 //! synthetic stores (SCALE³ cells each) instead of files, for smoke tests
 //! and load generation without data on disk.
+//!
+//! Startup is degraded, not brittle: a store that fails to open is logged
+//! and skipped (its argument-order id stays reserved, so the surviving ids
+//! are stable); the daemon only refuses to start when *no* store loads.
+//! Setting `HQMR_CHAOS` (see `hqmr_net::chaos`) arms fault injection.
 
 use hqmr_mr::{to_adaptive, RoiConfig};
-use hqmr_net::{DatasetSpec, NetConfig, NetServer};
+use hqmr_net::{ChaosConfig, DatasetSpec, NetConfig, NetServer};
 use hqmr_store::{write_store, StoreConfig, StoreReader};
 use hqmr_sz3::Sz3Codec;
 use std::sync::Arc;
@@ -75,27 +80,56 @@ fn main() {
         }
     }
 
+    match ChaosConfig::from_env() {
+        Ok(None) => {}
+        Ok(Some(chaos)) => {
+            eprintln!("netd: WARNING: fault injection armed via HQMR_CHAOS ({chaos:?})");
+            cfg.chaos = Some(chaos);
+        }
+        Err(e) => {
+            // A typo'd chaos string must not silently run a clean server
+            // where a chaos run was intended.
+            eprintln!("netd: {e}");
+            std::process::exit(2);
+        }
+    }
+
     let datasets = match (demo, paths.is_empty()) {
         (Some(scale), true) => demo_datasets(scale),
-        (None, false) => paths
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
+        (None, false) => {
+            // Degraded startup: skip stores that fail to open, serve the
+            // rest. Ids stay tied to argument order so a flaky path does
+            // not renumber its healthy neighbours.
+            let mut loaded = Vec::new();
+            for (i, p) in paths.iter().enumerate() {
                 // The typed `Open` variant carries the path; print it as-is.
-                let reader = StoreReader::open(p).unwrap_or_else(|e| {
-                    eprintln!("netd: {e}");
-                    std::process::exit(1);
-                });
-                let name = std::path::Path::new(p)
-                    .file_stem()
-                    .map_or_else(|| p.clone(), |s| s.to_string_lossy().into_owned());
-                DatasetSpec {
-                    id: i as u32,
-                    name,
-                    reader: Arc::new(reader),
+                match StoreReader::open(p) {
+                    Err(e) => eprintln!("netd: skipping dataset {i}: {e}"),
+                    Ok(reader) => {
+                        let name = std::path::Path::new(p)
+                            .file_stem()
+                            .map_or_else(|| p.clone(), |s| s.to_string_lossy().into_owned());
+                        loaded.push(DatasetSpec {
+                            id: i as u32,
+                            name,
+                            reader: Arc::new(reader),
+                        });
+                    }
                 }
-            })
-            .collect(),
+            }
+            if loaded.is_empty() {
+                eprintln!("netd: no store could be opened ({} given)", paths.len());
+                std::process::exit(1);
+            }
+            if loaded.len() < paths.len() {
+                eprintln!(
+                    "netd: serving degraded: {}/{} stores loaded",
+                    loaded.len(),
+                    paths.len()
+                );
+            }
+            loaded
+        }
         _ => usage(),
     };
 

@@ -1,0 +1,419 @@
+//! Deterministic fault injection for the serving fleet.
+//!
+//! Chaos is configuration, not test scaffolding: a [`ChaosConfig`] parsed
+//! from the `HQMR_CHAOS` environment variable (or set directly on
+//! `NetConfig::chaos`) makes the server wrap every accepted connection in a
+//! [`ChaosStream`] that injects disconnects, partial writes, read stalls
+//! and wire bit-flips, and installs a [`chunk_fault_hook`] on every
+//! tenant's `StoreServer` that simulates at-rest chunk corruption. All
+//! decisions derive from a seed through a counter-keyed splitmix chain, so
+//! a failing run reproduces from its seed alone — no timing or OS state
+//! feeds the draws.
+//!
+//! # Switch grammar
+//!
+//! ```text
+//! HQMR_CHAOS=drop:0.05,stall:20ms,flip:0.01,partial:0.02,seed:42
+//! ```
+//!
+//! * `drop:P` — with probability `P` per socket operation, shut the
+//!   connection down mid-flight (the peer sees a reset/EOF);
+//! * `stall:DUR[@P]` — with probability `P` (default `0.1`) per socket
+//!   operation, sleep `DUR` (`ms`/`s`/`us` suffix) before performing it —
+//!   the slow-peer simulator that exercises deadlines;
+//! * `flip:P` — with probability `P` per chunk fetch, fail the fetch as
+//!   `CorruptChunk` (bit rot behind the CRC check), feeding the degraded
+//!   read path;
+//! * `wire:P` — with probability `P` per write, flip one bit in the bytes
+//!   on the wire (the frame CRC must catch it);
+//! * `partial:P` — with probability `P` per write, transmit only a prefix
+//!   and kill the connection — the half-written-frame crash;
+//! * `seed:N` — the determinism root (default `0xC4A05`).
+
+use hqmr_serve::FaultHook;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Environment variable holding the chaos switch string.
+pub const CHAOS_ENV: &str = "HQMR_CHAOS";
+
+/// Fault-injection switches. All probabilities are per-operation in
+/// `[0, 1]`; the default config injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// P(connection torn down) per socket read/write.
+    pub drop: f64,
+    /// Injected stall length.
+    pub stall: Duration,
+    /// P(stall) per socket read/write.
+    pub stall_p: f64,
+    /// P(chunk fetch fails as `CorruptChunk`) per fetch.
+    pub flip: f64,
+    /// P(one bit flipped in the written bytes) per write.
+    pub wire: f64,
+    /// P(write truncated mid-buffer + connection killed) per write.
+    pub partial: f64,
+    /// Determinism root for every draw.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            drop: 0.0,
+            stall: Duration::from_millis(10),
+            stall_p: 0.0,
+            flip: 0.0,
+            wire: 0.0,
+            partial: 0.0,
+            seed: 0xC4A05,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Parses the switch grammar (see module docs). Unknown keys and
+    /// malformed values are errors — a typo must not silently disable the
+    /// harness.
+    pub fn parse(s: &str) -> Result<ChaosConfig, String> {
+        let mut cfg = ChaosConfig::default();
+        let mut stall_p_explicit = false;
+        for item in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (key, val) = item
+                .split_once(':')
+                .ok_or_else(|| format!("chaos switch `{item}` is not key:value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("chaos `{key}`: bad probability `{v}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("chaos `{key}`: probability {p} outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "drop" => cfg.drop = prob(val)?,
+                "flip" => cfg.flip = prob(val)?,
+                "wire" => cfg.wire = prob(val)?,
+                "partial" => cfg.partial = prob(val)?,
+                "seed" => {
+                    cfg.seed = val
+                        .parse()
+                        .map_err(|_| format!("chaos `seed`: bad integer `{val}`"))?
+                }
+                "stall" => {
+                    let (dur, p) = match val.split_once('@') {
+                        Some((d, p)) => (d, Some(p)),
+                        None => (val, None),
+                    };
+                    cfg.stall = parse_duration(dur)
+                        .ok_or_else(|| format!("chaos `stall`: bad duration `{dur}`"))?;
+                    if let Some(p) = p {
+                        cfg.stall_p = prob(p)?;
+                        stall_p_explicit = true;
+                    } else if !stall_p_explicit {
+                        cfg.stall_p = 0.1;
+                    }
+                }
+                other => return Err(format!("unknown chaos switch `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Reads [`CHAOS_ENV`]; `Ok(None)` when unset or empty.
+    pub fn from_env() -> Result<Option<ChaosConfig>, String> {
+        match std::env::var(CHAOS_ENV) {
+            Ok(s) if !s.trim().is_empty() => Self::parse(&s).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Whether any wire-level fault (drop/stall/wire-flip/partial) is
+    /// armed — the server only pays for stream wrapping when so.
+    pub fn wire_active(&self) -> bool {
+        self.drop > 0.0 || self.stall_p > 0.0 || self.wire > 0.0 || self.partial > 0.0
+    }
+}
+
+/// `20ms` / `2s` / `500us` → `Duration`.
+fn parse_duration(s: &str) -> Option<Duration> {
+    let (num, unit) = s.split_at(s.find(|c: char| c.is_alphabetic())?);
+    let n: u64 = num.parse().ok()?;
+    match unit {
+        "us" => Some(Duration::from_micros(n)),
+        "ms" => Some(Duration::from_millis(n)),
+        "s" => Some(Duration::from_secs(n)),
+        _ => None,
+    }
+}
+
+/// Counter-keyed deterministic RNG: each draw hashes `seed ‖ counter`
+/// through splitmix64, so the stream depends only on the seed and how many
+/// draws preceded it — never on time or thread identity.
+#[derive(Debug)]
+pub(crate) struct ChaosRng {
+    seed: u64,
+    counter: u64,
+}
+
+impl ChaosRng {
+    pub(crate) fn new(seed: u64, stream: u64) -> Self {
+        // Distinct streams (per connection, per hook) fold the stream id
+        // into the seed so they do not replay each other's draws.
+        ChaosRng {
+            seed: splitmix64(seed ^ splitmix64(stream.wrapping_add(0x9E37_79B9_7F4A_7C15))),
+            counter: 0,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.counter = self.counter.wrapping_add(1);
+        splitmix64(
+            self.seed
+                .wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.f64() < p
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// What the dice said for one socket operation.
+enum Fate {
+    Pass,
+    Stall(Duration),
+    Drop,
+    Partial,
+    WireFlip,
+}
+
+struct Core {
+    cfg: ChaosConfig,
+    rng: ChaosRng,
+    dead: bool,
+}
+
+impl Core {
+    fn decide(&mut self, writing: bool) -> Fate {
+        if self.dead {
+            return Fate::Drop;
+        }
+        if self.rng.chance(self.cfg.drop) {
+            self.dead = true;
+            return Fate::Drop;
+        }
+        if writing && self.rng.chance(self.cfg.partial) {
+            self.dead = true;
+            return Fate::Partial;
+        }
+        if writing && self.rng.chance(self.cfg.wire) {
+            return Fate::WireFlip;
+        }
+        if self.rng.chance(self.cfg.stall_p) {
+            return Fate::Stall(self.cfg.stall);
+        }
+        Fate::Pass
+    }
+}
+
+/// A `TcpStream` wrapper that injects faults per [`ChaosConfig`]. Reader
+/// and writer halves made with [`ChaosStream::try_clone`] share one dice
+/// state, so a connection dies exactly once and the draw sequence is a
+/// single deterministic stream per connection.
+pub struct ChaosStream {
+    inner: TcpStream,
+    core: Arc<Mutex<Core>>,
+}
+
+impl ChaosStream {
+    /// Wraps `inner`; `stream_id` (e.g. a connection counter) decorrelates
+    /// this connection's draws from every other's.
+    pub fn new(inner: TcpStream, cfg: ChaosConfig, stream_id: u64) -> Self {
+        let rng = ChaosRng::new(cfg.seed, stream_id);
+        ChaosStream {
+            inner,
+            core: Arc::new(Mutex::new(Core {
+                cfg,
+                rng,
+                dead: false,
+            })),
+        }
+    }
+
+    /// A second handle over the same socket and the same dice.
+    pub fn try_clone(&self) -> std::io::Result<ChaosStream> {
+        Ok(ChaosStream {
+            inner: self.inner.try_clone()?,
+            core: Arc::clone(&self.core),
+        })
+    }
+
+    fn kill(&self) -> std::io::Error {
+        let _ = self.inner.shutdown(Shutdown::Both);
+        std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "chaos: injected disconnect",
+        )
+    }
+}
+
+impl Read for ChaosStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let fate = self.core.lock().expect("chaos core").decide(false);
+        match fate {
+            Fate::Drop => Err(self.kill()),
+            Fate::Stall(d) => {
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            _ => self.inner.read(buf),
+        }
+    }
+}
+
+impl Write for ChaosStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let (fate, flip_at) = {
+            let mut core = self.core.lock().expect("chaos core");
+            let fate = core.decide(true);
+            let at = core.rng.below(buf.len().max(1) * 8);
+            (fate, at)
+        };
+        match fate {
+            Fate::Drop => Err(self.kill()),
+            Fate::Partial => {
+                // Transmit a strict prefix, then die: the peer is left
+                // holding a half-written frame.
+                let _ = self.inner.write_all(&buf[..buf.len() / 2]);
+                let _ = self.inner.flush();
+                Err(self.kill())
+            }
+            Fate::WireFlip if !buf.is_empty() => {
+                let mut damaged = buf.to_vec();
+                damaged[flip_at / 8] ^= 1 << (flip_at % 8);
+                self.inner.write_all(&damaged)?;
+                Ok(buf.len())
+            }
+            Fate::Stall(d) => {
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            _ => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Builds the serve-layer [`FaultHook`] for `flip:P`: each chunk fetch
+/// rolls the dice on a shared deterministic stream; a hit fails the fetch
+/// as `CorruptChunk`, which is observationally identical to the chunk's
+/// CRC check rejecting real bit rot. Returns `None` when `flip` is off.
+pub fn chunk_fault_hook(cfg: &ChaosConfig) -> Option<FaultHook> {
+    if cfg.flip <= 0.0 {
+        return None;
+    }
+    let (flip, seed) = (cfg.flip, cfg.seed);
+    let counter = AtomicU64::new(0);
+    Some(Arc::new(move |level, block| {
+        let draw = counter.fetch_add(1, Ordering::Relaxed);
+        let mut rng = ChaosRng::new(
+            seed ^ ((level as u64) << 32) ^ block as u64,
+            draw.wrapping_add(0xF11B),
+        );
+        rng.chance(flip)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_parses_and_rejects() {
+        let c = ChaosConfig::parse("drop:0.05,stall:20ms,flip:0.01,partial:0.02,seed:42").unwrap();
+        assert_eq!(c.drop, 0.05);
+        assert_eq!(c.stall, Duration::from_millis(20));
+        assert_eq!(c.stall_p, 0.1, "stall without @p defaults to 0.1");
+        assert_eq!(c.flip, 0.01);
+        assert_eq!(c.partial, 0.02);
+        assert_eq!(c.seed, 42);
+        assert!(c.wire_active());
+
+        let c = ChaosConfig::parse("stall:2s@0.5,wire:1").unwrap();
+        assert_eq!(c.stall, Duration::from_secs(2));
+        assert_eq!(c.stall_p, 0.5);
+        assert_eq!(c.wire, 1.0);
+
+        assert_eq!(ChaosConfig::parse("").unwrap(), ChaosConfig::default());
+        assert!(!ChaosConfig::default().wire_active());
+
+        assert!(ChaosConfig::parse("drop:2.0").is_err(), "probability > 1");
+        assert!(ChaosConfig::parse("drop:x").is_err());
+        assert!(ChaosConfig::parse("stall:20").is_err(), "missing unit");
+        assert!(ChaosConfig::parse("frobnicate:1").is_err(), "unknown key");
+        assert!(ChaosConfig::parse("drop").is_err(), "missing value");
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed_and_stream() {
+        let a: Vec<u64> = {
+            let mut r = ChaosRng::new(7, 3);
+            (0..32).map(|_| r.next()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaosRng::new(7, 3);
+            (0..32).map(|_| r.next()).collect()
+        };
+        assert_eq!(a, b, "same seed+stream replays exactly");
+        let c: Vec<u64> = {
+            let mut r = ChaosRng::new(7, 4);
+            (0..32).map(|_| r.next()).collect()
+        };
+        assert_ne!(a, c, "distinct streams decorrelate");
+    }
+
+    #[test]
+    fn chance_respects_probability_extremes() {
+        let mut r = ChaosRng::new(1, 1);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+        // A middling probability hits sometimes and misses sometimes.
+        let hits = (0..1000).filter(|_| r.chance(0.3)).count();
+        assert!(hits > 100 && hits < 600, "hits={hits}");
+    }
+
+    #[test]
+    fn chunk_hook_fires_at_rate() {
+        let cfg = ChaosConfig {
+            flip: 0.5,
+            ..ChaosConfig::default()
+        };
+        let hook = chunk_fault_hook(&cfg).unwrap();
+        let hits = (0..1000).filter(|&i| hook(0, i)).count();
+        assert!(hits > 300 && hits < 700, "hits={hits}");
+        assert!(chunk_fault_hook(&ChaosConfig::default()).is_none());
+    }
+}

@@ -21,11 +21,13 @@
 //!
 //! Everything is built on `std::net` — no external dependencies.
 
+pub mod chaos;
 pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{NetClient, NetError};
+pub use chaos::ChaosConfig;
+pub use client::{ClientConfig, NetClient, NetError};
 pub use proto::{DatasetInfo, ErrorFrame, NetResponse, ProtocolError, Request, WireStoreError};
 pub use server::{DatasetSpec, NetConfig, NetServer};
 

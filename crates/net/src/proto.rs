@@ -45,14 +45,15 @@
 use hqmr_codec::{crc32, read_uvarint, write_uvarint};
 use hqmr_grid::{Dims3, Field3};
 use hqmr_mr::{LevelData, UnitBlock, Upsample};
-use hqmr_serve::{CacheStats, Query, Response};
+use hqmr_serve::{CacheStats, Query, QueryResult, Response};
 use hqmr_store::{RefinementStep, StoreError};
 use std::io::{Read, Write};
 
 /// Wire magic exchanged in the connection hello.
 pub const WIRE_MAGIC: &[u8; 4] = b"HQNW";
-/// Current protocol version; peers reject anything else.
-pub const WIRE_VERSION: u8 = 1;
+/// Current protocol version; peers reject anything else. Version 2 added
+/// the degraded-batch frames and the deadline-exceeded error tag.
+pub const WIRE_VERSION: u8 = 2;
 /// Hello length: magic + version + 3 reserved zero bytes.
 pub const HELLO_LEN: usize = 8;
 /// Frame header length: body_len + kind + req_id + body_crc.
@@ -72,6 +73,9 @@ pub enum Kind {
     Progressive = 0x03,
     /// Per-tenant cache stats (peek or take-window).
     Stats = 0x04,
+    /// Batched queries answered in degraded mode: corrupt chunks are
+    /// filled and flagged instead of failing the batch.
+    BatchDegraded = 0x05,
     /// Catalog response.
     RDatasets = 0x81,
     /// Batch response (one payload per query, request order).
@@ -80,6 +84,8 @@ pub enum Kind {
     RProgressive = 0x83,
     /// Stats response.
     RStats = 0x84,
+    /// Degraded-batch response (payload + per-chunk quality flags).
+    RBatchDegraded = 0x85,
     /// Typed error response.
     RError = 0xEE,
 }
@@ -91,10 +97,12 @@ impl Kind {
             0x02 => Kind::Batch,
             0x03 => Kind::Progressive,
             0x04 => Kind::Stats,
+            0x05 => Kind::BatchDegraded,
             0x81 => Kind::RDatasets,
             0x82 => Kind::RBatch,
             0x83 => Kind::RProgressive,
             0x84 => Kind::RStats,
+            0x85 => Kind::RBatchDegraded,
             0xEE => Kind::RError,
             other => return Err(ProtocolError::UnknownKind(other)),
         })
@@ -215,6 +223,26 @@ pub enum Request {
         /// `false` peeks.
         take: bool,
     },
+    /// [`Request::Batch`] in degraded mode — the wire form of
+    /// `serve_batch_degraded`: corrupt chunks are filled from coarser data
+    /// and flagged per query instead of failing the batch.
+    BatchDegraded {
+        /// Target dataset id.
+        dataset: u32,
+        /// Queries, answered in order.
+        queries: Vec<Query>,
+    },
+}
+
+impl Request {
+    /// Whether retrying this request after an ambiguous failure (broken or
+    /// timed-out connection, where the server may or may not have executed
+    /// it) is safe. Everything here is a pure read except
+    /// [`Request::Stats`] with `take` — draining the counter window twice
+    /// loses a window, so the self-healing client never blind-retries it.
+    pub fn idempotent(&self) -> bool {
+        !matches!(self, Request::Stats { take: true, .. })
+    }
 }
 
 /// A server→client response.
@@ -228,6 +256,9 @@ pub enum NetResponse {
     Progressive(Vec<RefinementStep>),
     /// Per-tenant cache stats snapshot.
     Stats(CacheStats),
+    /// One [`QueryResult`] per degraded-batch query, request order; each
+    /// carries the `(level, chunk)` pairs it was served degraded on.
+    BatchDegraded(Vec<QueryResult>),
     /// Typed failure.
     Error(ErrorFrame),
 }
@@ -248,6 +279,9 @@ pub enum ErrorFrame {
     BadRequest(String),
     /// A store-layer failure, variant-preserving.
     Store(WireStoreError),
+    /// The per-request deadline elapsed before an answer was produced —
+    /// a timeout surfaced as an answer instead of a hang.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ErrorFrame {
@@ -258,6 +292,7 @@ impl std::fmt::Display for ErrorFrame {
             ErrorFrame::NoSuchDataset(id) => write!(f, "no dataset {id}"),
             ErrorFrame::BadRequest(m) => write!(f, "bad request: {m}"),
             ErrorFrame::Store(e) => write!(f, "store: {e}"),
+            ErrorFrame::DeadlineExceeded => write!(f, "request deadline exceeded"),
         }
     }
 }
@@ -433,14 +468,36 @@ pub fn write_frame(
     w.write_all(body)
 }
 
-/// Reads one complete frame, verifying length cap and CRC. `max_body` is
-/// checked *before* the body is allocated.
-pub fn read_frame(
-    r: &mut impl Read,
+/// A parsed but not yet CRC-verified frame header: what the server's
+/// timeout-aware frame reader holds between reading the header bytes and
+/// the body. [`RawHeader::verify`] completes the frame check once the body
+/// has arrived.
+#[derive(Debug, Clone, Copy)]
+pub struct RawHeader {
+    /// Kind and request id.
+    pub header: FrameHeader,
+    /// Announced body length (already checked against the receiver's cap).
+    pub body_len: usize,
+    crc: u32,
+    raw13: [u8; 13],
+}
+
+impl RawHeader {
+    /// Checks the frame CRC over header and body.
+    pub fn verify(&self, body: &[u8]) -> Result<(), ProtocolError> {
+        if frame_crc(&self.raw13, body) != self.crc {
+            return Err(ProtocolError::BadCrc);
+        }
+        Ok(())
+    }
+}
+
+/// Parses the fixed 17-byte frame header. `max_body` is enforced here, so
+/// a hostile length is rejected before any body allocation.
+pub fn parse_header(
+    header: &[u8; HEADER_LEN],
     max_body: usize,
-) -> Result<(FrameHeader, Vec<u8>), ProtocolError> {
-    let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header)?;
+) -> Result<RawHeader, ProtocolError> {
     let body_len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
     if body_len > max_body {
         return Err(ProtocolError::FrameTooLarge {
@@ -451,12 +508,27 @@ pub fn read_frame(
     let kind = Kind::from_u8(header[4])?;
     let req_id = u64::from_le_bytes(header[5..13].try_into().unwrap());
     let crc = u32::from_le_bytes(header[13..17].try_into().unwrap());
-    let mut body = vec![0u8; body_len];
+    Ok(RawHeader {
+        header: FrameHeader { kind, req_id },
+        body_len,
+        crc,
+        raw13: header[..13].try_into().unwrap(),
+    })
+}
+
+/// Reads one complete frame, verifying length cap and CRC. `max_body` is
+/// checked *before* the body is allocated.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_body: usize,
+) -> Result<(FrameHeader, Vec<u8>), ProtocolError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let raw = parse_header(&header, max_body)?;
+    let mut body = vec![0u8; raw.body_len];
     r.read_exact(&mut body)?;
-    if frame_crc(&header[..13], &body) != crc {
-        return Err(ProtocolError::BadCrc);
-    }
-    Ok((FrameHeader { kind, req_id }, body))
+    raw.verify(&body)?;
+    Ok((raw.header, body))
 }
 
 // ---------------------------------------------------------------------------
@@ -680,6 +752,32 @@ fn get_query(c: &mut Cur) -> Result<Query, ProtocolError> {
     })
 }
 
+fn put_response(out: &mut Vec<u8>, r: &Response) {
+    match r {
+        Response::Level(l) => {
+            out.push(0);
+            put_level_data(out, l);
+        }
+        Response::Roi(f) => {
+            out.push(1);
+            put_field(out, f);
+        }
+        Response::Iso(l) => {
+            out.push(2);
+            put_level_data(out, l);
+        }
+    }
+}
+
+fn get_response(c: &mut Cur) -> Result<Response, ProtocolError> {
+    Ok(match c.u8()? {
+        0 => Response::Level(get_level_data(c)?),
+        1 => Response::Roi(get_field(c)?),
+        2 => Response::Iso(get_level_data(c)?),
+        _ => return Err(ProtocolError::Malformed("response tag")),
+    })
+}
+
 fn put_upsample(out: &mut Vec<u8>, s: Upsample) {
     out.push(match s {
         Upsample::Nearest => 0,
@@ -703,6 +801,7 @@ impl Request {
             Request::Batch { .. } => Kind::Batch,
             Request::Progressive { .. } => Kind::Progressive,
             Request::Stats { .. } => Kind::Stats,
+            Request::BatchDegraded { .. } => Kind::BatchDegraded,
         }
     }
 
@@ -711,7 +810,7 @@ impl Request {
         let mut out = Vec::new();
         match self {
             Request::List => {}
-            Request::Batch { dataset, queries } => {
+            Request::Batch { dataset, queries } | Request::BatchDegraded { dataset, queries } => {
                 out.extend_from_slice(&dataset.to_le_bytes());
                 write_uvarint(&mut out, queries.len() as u64);
                 for q in queries {
@@ -736,14 +835,18 @@ impl Request {
         let mut c = Cur::new(body);
         let req = match kind {
             Kind::List => Request::List,
-            Kind::Batch => {
+            Kind::Batch | Kind::BatchDegraded => {
                 let dataset = c.u32le()?;
                 let n = c.count(1)?;
                 let mut queries = Vec::with_capacity(n);
                 for _ in 0..n {
                     queries.push(get_query(&mut c)?);
                 }
-                Request::Batch { dataset, queries }
+                if kind == Kind::Batch {
+                    Request::Batch { dataset, queries }
+                } else {
+                    Request::BatchDegraded { dataset, queries }
+                }
             }
             Kind::Progressive => Request::Progressive {
                 dataset: c.u32le()?,
@@ -773,6 +876,7 @@ impl NetResponse {
             NetResponse::Batch(_) => Kind::RBatch,
             NetResponse::Progressive(_) => Kind::RProgressive,
             NetResponse::Stats(_) => Kind::RStats,
+            NetResponse::BatchDegraded(_) => Kind::RBatchDegraded,
             NetResponse::Error(_) => Kind::RError,
         }
     }
@@ -797,19 +901,17 @@ impl NetResponse {
             NetResponse::Batch(responses) => {
                 write_uvarint(&mut out, responses.len() as u64);
                 for r in responses {
-                    match r {
-                        Response::Level(l) => {
-                            out.push(0);
-                            put_level_data(&mut out, l);
-                        }
-                        Response::Roi(f) => {
-                            out.push(1);
-                            put_field(&mut out, f);
-                        }
-                        Response::Iso(l) => {
-                            out.push(2);
-                            put_level_data(&mut out, l);
-                        }
+                    put_response(&mut out, r);
+                }
+            }
+            NetResponse::BatchDegraded(results) => {
+                write_uvarint(&mut out, results.len() as u64);
+                for r in results {
+                    put_response(&mut out, &r.response);
+                    write_uvarint(&mut out, r.degraded.len() as u64);
+                    for &(level, block) in &r.degraded {
+                        write_uvarint(&mut out, level as u64);
+                        write_uvarint(&mut out, block as u64);
                     }
                 }
             }
@@ -850,6 +952,7 @@ impl NetResponse {
                         out.push(4);
                         put_store_error(&mut out, se);
                     }
+                    ErrorFrame::DeadlineExceeded => out.push(5),
                 };
             }
         }
@@ -884,14 +987,23 @@ impl NetResponse {
                 let n = c.count(1)?;
                 let mut responses = Vec::with_capacity(n);
                 for _ in 0..n {
-                    responses.push(match c.u8()? {
-                        0 => Response::Level(get_level_data(&mut c)?),
-                        1 => Response::Roi(get_field(&mut c)?),
-                        2 => Response::Iso(get_level_data(&mut c)?),
-                        _ => return Err(ProtocolError::Malformed("response tag")),
-                    });
+                    responses.push(get_response(&mut c)?);
                 }
                 NetResponse::Batch(responses)
+            }
+            Kind::RBatchDegraded => {
+                let n = c.count(1)?;
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let response = get_response(&mut c)?;
+                    let m = c.count(2)?;
+                    let mut degraded = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        degraded.push((c.usize()?, c.usize()?));
+                    }
+                    results.push(QueryResult { response, degraded });
+                }
+                NetResponse::BatchDegraded(results)
             }
             Kind::RProgressive => {
                 let n = c.count(4)?;
@@ -920,6 +1032,7 @@ impl NetResponse {
                     2 => ErrorFrame::NoSuchDataset(c.u32le()?),
                     3 => ErrorFrame::BadRequest(c.string()?),
                     4 => ErrorFrame::Store(get_store_error(&mut c)?),
+                    5 => ErrorFrame::DeadlineExceeded,
                     _ => return Err(ProtocolError::Malformed("error tag")),
                 };
                 NetResponse::Error(e)
@@ -1104,12 +1217,42 @@ mod tests {
                 dataset: 0,
                 take: true,
             },
+            Request::BatchDegraded {
+                dataset: 7,
+                queries: vec![Query::Level { level: 2 }, Query::Iso { level: 1, iso: 0.5 }],
+            },
         ];
         for req in reqs {
             let body = req.encode();
             let back = Request::decode(req.kind(), &body).unwrap();
             assert_eq!(back, req);
         }
+    }
+
+    #[test]
+    fn idempotency_flags() {
+        assert!(Request::List.idempotent());
+        assert!(Request::Batch {
+            dataset: 0,
+            queries: vec![]
+        }
+        .idempotent());
+        assert!(Request::BatchDegraded {
+            dataset: 0,
+            queries: vec![]
+        }
+        .idempotent());
+        assert!(Request::Stats {
+            dataset: 0,
+            take: false
+        }
+        .idempotent());
+        // Draining the stats window twice would lose a window.
+        assert!(!Request::Stats {
+            dataset: 0,
+            take: true
+        }
+        .idempotent());
     }
 
     #[test]
@@ -1160,10 +1303,21 @@ mod tests {
                 peak_resident_bytes: 8192,
                 budget_bytes: u64::MAX,
             }),
+            NetResponse::BatchDegraded(vec![
+                QueryResult {
+                    response: Response::Level(level.clone()),
+                    degraded: vec![(0, 3), (1, 0)],
+                },
+                QueryResult {
+                    response: Response::Roi(field.clone()),
+                    degraded: vec![],
+                },
+            ]),
             NetResponse::Error(ErrorFrame::Busy),
             NetResponse::Error(ErrorFrame::TooManyConnections),
             NetResponse::Error(ErrorFrame::NoSuchDataset(9)),
             NetResponse::Error(ErrorFrame::BadRequest("nope".into())),
+            NetResponse::Error(ErrorFrame::DeadlineExceeded),
             NetResponse::Error(ErrorFrame::Store(WireStoreError::CorruptChunk {
                 level: 1,
                 block: 5,

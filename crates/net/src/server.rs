@@ -27,20 +27,26 @@
 //! store's compressed size, so co-hosted datasets cannot collectively
 //! exceed the machine's memory plan.
 
+use crate::chaos::{chunk_fault_hook, ChaosConfig, ChaosStream};
 use crate::proto::{
-    read_frame, read_hello, write_frame, write_hello, DatasetInfo, ErrorFrame, NetResponse,
-    ProtocolError, Request,
+    parse_header, read_hello, write_frame, write_hello, DatasetInfo, ErrorFrame, NetResponse,
+    ProtocolError, Request, HEADER_LEN,
 };
 use hqmr_mr::Upsample;
 use hqmr_serve::{partition_budget, Query, StoreServer};
 use hqmr_store::StoreReader;
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// How often the accept loop re-checks the shutdown flag while no
+/// connection is pending. Bounds shutdown latency without a wake
+/// connection (which can fail and then hang the old blocking accept).
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
 /// One dataset to host: an id (the addressing and sharding key), a
 /// human-readable name, and an opened store.
@@ -69,6 +75,22 @@ pub struct NetConfig {
     pub cache_budget: usize,
     /// Largest frame body this server will read.
     pub max_frame_len: usize,
+    /// Socket read timeout. Between frames a timeout is just an idle tick
+    /// (connections may legitimately sit quiet); *mid-frame* it means the
+    /// peer is feeding bytes too slowly (slow-loris) and is answered with
+    /// [`ErrorFrame::DeadlineExceeded`] and disconnected. `None` waits
+    /// forever.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout: a client that stops reading its responses
+    /// cannot pin a connection thread forever.
+    pub write_timeout: Option<Duration>,
+    /// Per-request deadline from dispatch to worker reply (queue wait
+    /// included). On expiry the client gets a typed
+    /// [`ErrorFrame::DeadlineExceeded`] and the worker's eventual result
+    /// is discarded. `None` waits forever.
+    pub request_deadline: Option<Duration>,
+    /// Fault injection; `None` (the default) injects nothing.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for NetConfig {
@@ -79,6 +101,10 @@ impl Default for NetConfig {
             max_connections: 256,
             cache_budget: hqmr_serve::UNBOUNDED,
             max_frame_len: crate::proto::DEFAULT_MAX_FRAME,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            request_deadline: Some(Duration::from_secs(60)),
+            chaos: None,
         }
     }
 }
@@ -94,6 +120,7 @@ struct Tenant {
 /// Decode-bearing work routed to a shard.
 enum Work {
     Batch(Vec<Query>),
+    BatchDegraded(Vec<Query>),
     Progressive(Upsample),
     /// Test hook: parks the worker on a barrier so queue-full behaviour can
     /// be exercised deterministically.
@@ -115,6 +142,7 @@ struct Shared {
     live_conns: AtomicUsize,
     busy_rejections: AtomicU64,
     admission_rejections: AtomicU64,
+    deadline_rejections: AtomicU64,
     stop: AtomicBool,
 }
 
@@ -166,6 +194,9 @@ impl Shared {
                 }
             },
             Request::Batch { dataset, queries } => self.dispatch(dataset, Work::Batch(queries)),
+            Request::BatchDegraded { dataset, queries } => {
+                self.dispatch(dataset, Work::BatchDegraded(queries))
+            }
             Request::Progressive { dataset, scheme } => {
                 self.dispatch(dataset, Work::Progressive(scheme))
             }
@@ -193,9 +224,23 @@ impl Shared {
                 return NetResponse::Error(ErrorFrame::Busy);
             }
         }
-        match reply_rx.recv() {
-            Ok(resp) => resp,
-            Err(_) => NetResponse::Error(ErrorFrame::Busy),
+        match self.cfg.request_deadline {
+            // The deadline covers queue wait + decode; on expiry the
+            // receiver is dropped, so the worker's late `send` fails
+            // harmlessly and the client holds a typed answer instead of a
+            // hang.
+            Some(d) => match reply_rx.recv_timeout(d) {
+                Ok(resp) => resp,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    self.deadline_rejections.fetch_add(1, Ordering::Relaxed);
+                    NetResponse::Error(ErrorFrame::DeadlineExceeded)
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => NetResponse::Error(ErrorFrame::Busy),
+            },
+            None => match reply_rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => NetResponse::Error(ErrorFrame::Busy),
+            },
         }
     }
 }
@@ -208,6 +253,10 @@ fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<Job>) {
                 let resp = match job.work {
                     Work::Batch(queries) => match serve.serve_batch(&queries) {
                         Ok(rs) => NetResponse::Batch(rs),
+                        Err(e) => NetResponse::Error(ErrorFrame::Store((&e).into())),
+                    },
+                    Work::BatchDegraded(queries) => match serve.serve_batch_degraded(&queries) {
+                        Ok(rs) => NetResponse::BatchDegraded(rs),
                         Err(e) => NetResponse::Error(ErrorFrame::Store((&e).into())),
                     },
                     Work::Progressive(scheme) => {
@@ -250,25 +299,87 @@ fn send_response(w: &mut impl Write, req_id: u64, resp: &NetResponse) -> Result<
     Ok(())
 }
 
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// How a patient exact-length read ended.
+enum ReadOutcome {
+    /// The buffer is full.
+    Full,
+    /// Clean EOF before the first byte.
+    Closed,
+    /// Socket timeout with zero bytes read — the peer is merely quiet.
+    Idle,
+    /// Timeout (or EOF) partway through — the peer stalled or died
+    /// mid-frame.
+    Stalled,
+    /// A real socket error.
+    Err,
+}
+
+/// Reads exactly `buf.len()` bytes, classifying timeouts by position: a
+/// timeout before the first byte is idleness, a timeout after it means the
+/// sender stalled inside a frame (the slow-loris shape the read timeout
+/// exists to catch).
+fn read_patient(r: &mut impl Read, buf: &mut [u8]) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return ReadOutcome::Closed,
+            Ok(0) => return ReadOutcome::Stalled,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                return if filled == 0 {
+                    ReadOutcome::Idle
+                } else {
+                    ReadOutcome::Stalled
+                };
+            }
+            Err(_) => return ReadOutcome::Err,
+        }
+    }
+    ReadOutcome::Full
+}
+
 /// Serves one connection to completion. Returns on client close, socket
 /// error, or a framing-level corruption (after answering it with a typed
 /// error frame — once CRC or length sync is lost, the stream cannot be
-/// trusted further).
-fn connection_loop(shared: &Shared, stream: TcpStream) -> Result<(), ProtocolError> {
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream.try_clone().map_err(ProtocolError::Io)?);
-    let mut writer = BufWriter::new(stream);
+/// trusted further). Generic over the stream halves so the chaos wrapper
+/// slots in without a separate code path.
+fn connection_loop<R: Read, W: Write>(
+    shared: &Shared,
+    mut reader: R,
+    mut writer: W,
+) -> Result<(), ProtocolError> {
     write_hello(&mut writer)?;
     writer.flush()?;
     read_hello(&mut reader)?;
+    let mut header = [0u8; HEADER_LEN];
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return Ok(());
         }
-        let (header, body) = match read_frame(&mut reader, shared.cfg.max_frame_len) {
-            Ok(fb) => fb,
-            // Client closed (or died) — a normal end of conversation.
-            Err(ProtocolError::Truncated) | Err(ProtocolError::Io(_)) => return Ok(()),
+        // Between frames, a read timeout is just an idle tick: loop around
+        // and re-check the stop flag. Once the first header byte lands the
+        // peer owes us a whole frame promptly; a timeout after that is
+        // answered with a typed deadline error and a hangup.
+        match read_patient(&mut reader, &mut header) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Idle => continue,
+            ReadOutcome::Closed | ReadOutcome::Err => return Ok(()),
+            ReadOutcome::Stalled => {
+                let resp = NetResponse::Error(ErrorFrame::DeadlineExceeded);
+                let _ = send_response(&mut writer, 0, &resp);
+                return Ok(());
+            }
+        }
+        let raw = match parse_header(&header, shared.cfg.max_frame_len) {
+            Ok(raw) => raw,
             // Framing-level corruption: answer typed, then hang up (the
             // byte stream is no longer trustworthy).
             Err(e) => {
@@ -277,13 +388,51 @@ fn connection_loop(shared: &Shared, stream: TcpStream) -> Result<(), ProtocolErr
                 return Err(e);
             }
         };
-        let resp = match Request::decode(header.kind, &body) {
+        let mut body = vec![0u8; raw.body_len];
+        match read_patient(&mut reader, &mut body) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Closed | ReadOutcome::Err => return Ok(()),
+            ReadOutcome::Idle | ReadOutcome::Stalled => {
+                let resp = NetResponse::Error(ErrorFrame::DeadlineExceeded);
+                let _ = send_response(&mut writer, raw.header.req_id, &resp);
+                return Ok(());
+            }
+        }
+        if let Err(e) = raw.verify(&body) {
+            let resp = NetResponse::Error(ErrorFrame::BadRequest(e.to_string()));
+            let _ = send_response(&mut writer, raw.header.req_id, &resp);
+            return Err(e);
+        }
+        let resp = match Request::decode(raw.header.kind, &body) {
             // Body-level malformation: the frame boundary held, so answer
             // typed and keep the connection.
             Err(e) => NetResponse::Error(ErrorFrame::BadRequest(e.to_string())),
             Ok(req) => shared.route(req),
         };
-        send_response(&mut writer, header.req_id, &resp)?;
+        send_response(&mut writer, raw.header.req_id, &resp)?;
+    }
+}
+
+/// Applies the per-connection socket policy (nodelay, read/write timeouts,
+/// optional chaos wrapping) and runs the frame loop.
+fn serve_connection(shared: &Shared, stream: TcpStream, conn_id: u64) -> Result<(), ProtocolError> {
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(shared.cfg.read_timeout)
+        .map_err(ProtocolError::Io)?;
+    stream
+        .set_write_timeout(shared.cfg.write_timeout)
+        .map_err(ProtocolError::Io)?;
+    match shared.cfg.chaos.as_ref().filter(|c| c.wire_active()) {
+        Some(chaos) => {
+            let stream = ChaosStream::new(stream, chaos.clone(), conn_id);
+            let reader = BufReader::new(stream.try_clone().map_err(ProtocolError::Io)?);
+            connection_loop(shared, reader, BufWriter::new(stream))
+        }
+        None => {
+            let reader = BufReader::new(stream.try_clone().map_err(ProtocolError::Io)?);
+            connection_loop(shared, reader, BufWriter::new(stream))
+        }
     }
 }
 
@@ -331,16 +480,21 @@ impl NetServer {
 
         let mut tenants = Vec::with_capacity(datasets.len());
         let mut by_id = HashMap::new();
+        let fault_hook = cfg.chaos.as_ref().and_then(chunk_fault_hook);
         for (i, (spec, budget)) in datasets.into_iter().zip(budgets).enumerate() {
             assert!(
                 by_id.insert(spec.id, i).is_none(),
                 "duplicate dataset id {}",
                 spec.id
             );
+            let mut serve = StoreServer::new(spec.reader, budget);
+            if let Some(hook) = &fault_hook {
+                serve = serve.with_fault_hook(Arc::clone(hook));
+            }
             tenants.push(Tenant {
                 id: spec.id,
                 name: spec.name,
-                serve: StoreServer::new(spec.reader, budget),
+                serve,
                 worker: spec.id as usize % workers,
             });
         }
@@ -361,6 +515,7 @@ impl NetServer {
             live_conns: AtomicUsize::new(0),
             busy_rejections: AtomicU64::new(0),
             admission_rejections: AtomicU64::new(0),
+            deadline_rejections: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         });
 
@@ -381,11 +536,33 @@ impl NetServer {
             std::thread::Builder::new()
                 .name("hqnw-accept".into())
                 .spawn(move || {
-                    for stream in listener.incoming() {
+                    // Non-blocking accept + poll: shutdown never depends on
+                    // one more connection arriving to wake the loop.
+                    let _ = listener.set_nonblocking(true);
+                    let mut conn_id: u64 = 0;
+                    loop {
                         if shared.stop.load(Ordering::Acquire) {
                             return;
                         }
-                        let Ok(stream) = stream else { continue };
+                        let stream = match listener.accept() {
+                            Ok((s, _)) => s,
+                            Err(e) if is_timeout(&e) => {
+                                std::thread::sleep(ACCEPT_POLL);
+                                continue;
+                            }
+                            // Transient accept errors (e.g. the peer reset
+                            // before we got to it) are not fatal to the
+                            // listener.
+                            Err(_) => {
+                                std::thread::sleep(ACCEPT_POLL);
+                                continue;
+                            }
+                        };
+                        // Some platforms let accepted sockets inherit the
+                        // listener's non-blocking mode; the frame loop
+                        // relies on blocking reads with timeouts.
+                        let _ = stream.set_nonblocking(false);
+                        conn_id += 1;
                         let prev = shared.live_conns.fetch_add(1, Ordering::AcqRel);
                         if prev >= shared.cfg.max_connections {
                             shared.live_conns.fetch_sub(1, Ordering::AcqRel);
@@ -399,7 +576,7 @@ impl NetServer {
                                 .name("hqnw-conn".into())
                                 .spawn(move || {
                                     let _guard = ConnGuard(&shared.live_conns);
-                                    let _ = connection_loop(&shared, stream);
+                                    let _ = serve_connection(&shared, stream, conn_id);
                                 });
                     }
                 })
@@ -430,6 +607,12 @@ impl NetServer {
         self.shared.admission_rejections.load(Ordering::Relaxed)
     }
 
+    /// Requests answered with [`ErrorFrame::DeadlineExceeded`] because the
+    /// worker did not reply within [`NetConfig::request_deadline`].
+    pub fn deadline_rejections(&self) -> u64 {
+        self.shared.deadline_rejections.load(Ordering::Relaxed)
+    }
+
     /// Stops accepting, drains the workers, and joins them. Live
     /// connections see their next request answered as Busy (workers gone)
     /// and then close from the client side. Idempotent.
@@ -437,8 +620,8 @@ impl NetServer {
         if self.shared.stop.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Unblock the accept loop: it re-checks `stop` per connection.
-        let _ = TcpStream::connect(self.addr);
+        // The accept loop polls the stop flag every ACCEPT_POLL, so no
+        // wake-up connection is needed (and none can fail).
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -622,6 +805,68 @@ mod tests {
         barrier.wait();
         let queued = fill_rx.recv().expect("queued job completes");
         assert!(matches!(queued, NetResponse::Batch(_)));
+    }
+
+    #[test]
+    fn degraded_batch_routes_through_shard() {
+        let server = fleet(NetConfig {
+            workers: 2,
+            ..NetConfig::default()
+        });
+        let queries = vec![Query::Level { level: 0 }];
+        let NetResponse::BatchDegraded(results) = server.shared.route(Request::BatchDegraded {
+            dataset: 0,
+            queries: queries.clone(),
+        }) else {
+            panic!("expected degraded batch response");
+        };
+        // A healthy store serves the degraded path exactly.
+        assert!(results.iter().all(|r| r.is_exact()));
+        let direct = server.shared.tenants[0]
+            .serve
+            .serve_batch(&queries)
+            .unwrap();
+        let via_net: Vec<_> = results.into_iter().map(|r| r.response).collect();
+        assert_eq!(via_net, direct);
+    }
+
+    /// A parked worker cannot hold a request hostage: the dispatcher's
+    /// reply wait expires into a typed DeadlineExceeded and the counter
+    /// ticks.
+    #[test]
+    fn slow_worker_hits_request_deadline() {
+        let server = fleet(NetConfig {
+            workers: 1,
+            queue_depth: 4,
+            request_deadline: Some(Duration::from_millis(50)),
+            ..NetConfig::default()
+        });
+        let shared = &server.shared;
+
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let (park_tx, _park_rx) = mpsc::sync_channel(1);
+        shared.worker_tx[0]
+            .send(Job {
+                tenant: 0,
+                work: Work::Park(Arc::clone(&barrier)),
+                reply: park_tx,
+            })
+            .unwrap();
+
+        let before = shared.deadline_rejections.load(Ordering::Relaxed);
+        let resp = shared.route(Request::Batch {
+            dataset: 0,
+            queries: vec![Query::Level { level: 0 }],
+        });
+        assert_eq!(resp, NetResponse::Error(ErrorFrame::DeadlineExceeded));
+        assert_eq!(
+            shared.deadline_rejections.load(Ordering::Relaxed),
+            before + 1
+        );
+
+        // Release the worker; its late reply to the dropped receiver must
+        // be harmless (shutdown on drop would hang otherwise).
+        barrier.wait();
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Fault-path suite: every way a server can fail a client must surface as
+//! a *typed* [`NetError`] in bounded time — never a hang, never garbage
+//! data — and the retry policy must recover whenever recovery is possible.
+//!
+//! These tests drive the real [`NetClient`] against small rogue servers
+//! (plain listeners speaking just enough HQNW) so each failure shape is
+//! exact and deterministic: a half-written response, a silent server, an
+//! always-busy server, a server that answers with deadline errors.
+
+use hqmr_net::proto::{read_frame, read_hello, write_frame, write_hello, ErrorFrame, NetResponse};
+use hqmr_net::{ClientConfig, NetClient, NetError};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A client config with test-scale timeouts: failures must be *observed*
+/// within a second or two, not after the production 30 s.
+fn fast_cfg() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Some(Duration::from_secs(5)),
+        read_timeout: Some(Duration::from_millis(500)),
+        write_timeout: Some(Duration::from_secs(5)),
+        backoff_base: Duration::from_micros(200),
+        backoff_cap: Duration::from_millis(5),
+        ..ClientConfig::default()
+    }
+}
+
+/// Completes the server side of the hello exchange.
+fn handshake(s: &mut TcpStream) {
+    write_hello(s).unwrap();
+    read_hello(s).unwrap();
+}
+
+/// Reads one request frame and answers it with `resp`.
+fn answer(s: &mut TcpStream, resp: &NetResponse) {
+    let (h, _body) = read_frame(&mut *s, 1 << 20).unwrap();
+    let mut frame = Vec::new();
+    write_frame(&mut frame, resp.kind(), h.req_id, &resp.encode()).unwrap();
+    s.write_all(&frame).unwrap();
+}
+
+/// Satellite (d): a server that crashes after transmitting half a response
+/// frame. The client must observe a typed error — not hang waiting for the
+/// rest, not hand back a partial decode — and the retrying call must
+/// transparently reconnect and succeed against the recovered server.
+#[test]
+fn half_written_response_is_typed_and_reconnect_recovers() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let rogue = std::thread::spawn(move || {
+        // Connection 1: half a response, then die.
+        let (mut s, _) = listener.accept().unwrap();
+        handshake(&mut s);
+        let (h, _body) = read_frame(&mut s, 1 << 20).unwrap();
+        let resp = NetResponse::Batch(vec![]);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, resp.kind(), h.req_id, &resp.encode()).unwrap();
+        s.write_all(&frame[..frame.len() / 2]).unwrap();
+        s.flush().unwrap();
+        drop(s);
+        // Connection 2 (the reconnect): serve properly.
+        let (mut s, _) = listener.accept().unwrap();
+        handshake(&mut s);
+        answer(&mut s, &NetResponse::Batch(vec![]));
+    });
+
+    let mut client = NetClient::connect_with(addr, fast_cfg()).unwrap();
+    let t0 = Instant::now();
+    match client.batch(0, &[]) {
+        // Half a frame then EOF: the framing layer reports it truncated.
+        Err(NetError::Protocol(_)) | Err(NetError::Io(_)) | Err(NetError::TimedOut) => {}
+        other => panic!("half-written response must fail typed, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "failure must be prompt, took {:?}",
+        t0.elapsed()
+    );
+
+    // The retry policy re-dials (Batch is idempotent) and gets the answer.
+    let rs = client.batch_retry(0, &[], 4).expect("reconnect recovers");
+    assert!(rs.is_empty());
+    rogue.join().unwrap();
+}
+
+/// A server that completes the handshake and then goes silent: the read
+/// timeout turns the would-be hang into a typed, promptly-delivered
+/// [`NetError::TimedOut`].
+#[test]
+fn silent_server_times_out_typed_and_bounded() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let rogue = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        handshake(&mut s);
+        // Hold the socket open, answer nothing, until the test ends.
+        let _ = done_rx.recv();
+        drop(s);
+    });
+
+    let mut client = NetClient::connect_with(addr, fast_cfg()).unwrap();
+    let t0 = Instant::now();
+    match client.batch(0, &[]) {
+        Err(NetError::TimedOut) => {}
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(400) && elapsed < Duration::from_secs(5),
+        "timeout must fire near the configured 500ms, took {elapsed:?}"
+    );
+    done_tx.send(()).unwrap();
+    rogue.join().unwrap();
+}
+
+/// The per-request deadline is tighter than the socket timeout and wins.
+#[test]
+fn request_deadline_beats_read_timeout() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let rogue = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        handshake(&mut s);
+        let _ = done_rx.recv();
+        drop(s);
+    });
+
+    let cfg = ClientConfig {
+        read_timeout: Some(Duration::from_secs(30)),
+        request_deadline: Some(Duration::from_millis(200)),
+        ..fast_cfg()
+    };
+    let mut client = NetClient::connect_with(addr, cfg).unwrap();
+    let t0 = Instant::now();
+    match client.batch(0, &[]) {
+        Err(NetError::TimedOut) => {}
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "the 200ms deadline must override the 30s socket timeout, took {:?}",
+        t0.elapsed()
+    );
+    done_tx.send(()).unwrap();
+    rogue.join().unwrap();
+}
+
+/// A persistently-busy server exhausts the retry budget into the typed
+/// give-up, with the attempt count and the underlying cause attached.
+#[test]
+fn persistent_busy_exhausts_retries_typed() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let rogue = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        handshake(&mut s);
+        // Busy on the same connection, as many times as asked; exit when
+        // the client hangs up.
+        while let Ok((h, _body)) = read_frame(&mut s, 1 << 20) {
+            let resp = NetResponse::Error(ErrorFrame::Busy);
+            let mut frame = Vec::new();
+            write_frame(&mut frame, resp.kind(), h.req_id, &resp.encode()).unwrap();
+            if s.write_all(&frame).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut client = NetClient::connect_with(addr, fast_cfg()).unwrap();
+    match client.batch_retry(0, &[], 3) {
+        Err(NetError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, 4, "3 retries = 4 attempts");
+            assert!(matches!(*last, NetError::Busy), "last cause: {last:?}");
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    drop(client); // closes the socket; the rogue loop errors out and exits
+    rogue.join().unwrap();
+}
+
+/// A remote `DeadlineExceeded` frame maps to the typed client error, the
+/// connection stays usable, and the retry policy treats it as transient:
+/// two deadline answers followed by a real one succeed within budget.
+#[test]
+fn remote_deadline_is_typed_and_retryable() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let rogue = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        handshake(&mut s);
+        answer(&mut s, &NetResponse::Error(ErrorFrame::DeadlineExceeded));
+        // Same connection: the client must not have hung up.
+        answer(&mut s, &NetResponse::Error(ErrorFrame::DeadlineExceeded));
+        answer(&mut s, &NetResponse::Batch(vec![]));
+        answer(&mut s, &NetResponse::Error(ErrorFrame::DeadlineExceeded));
+    });
+
+    let mut client = NetClient::connect_with(addr, fast_cfg()).unwrap();
+    let rs = client
+        .batch_retry(0, &[], 4)
+        .expect("third attempt succeeds");
+    assert!(rs.is_empty());
+    match client.batch(0, &[]) {
+        Err(NetError::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    rogue.join().unwrap();
+}

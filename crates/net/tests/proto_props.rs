@@ -9,7 +9,7 @@ use hqmr_net::proto::{
     read_frame, read_hello, write_frame, Kind, NetResponse, ProtocolError, Request,
 };
 use hqmr_net::{DatasetInfo, ErrorFrame, WireStoreError};
-use hqmr_serve::{CacheStats, Query, Response};
+use hqmr_serve::{CacheStats, Query, QueryResult, Response};
 use hqmr_store::RefinementStep;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -30,10 +30,17 @@ fn rbool(rng: &mut StdRng) -> bool {
     rng.next_u64() & 1 == 1
 }
 
-const REQUEST_KINDS: [Kind; 4] = [Kind::List, Kind::Batch, Kind::Progressive, Kind::Stats];
-const RESPONSE_KINDS: [Kind; 5] = [
+const REQUEST_KINDS: [Kind; 5] = [
+    Kind::List,
+    Kind::Batch,
+    Kind::BatchDegraded,
+    Kind::Progressive,
+    Kind::Stats,
+];
+const RESPONSE_KINDS: [Kind; 6] = [
     Kind::RDatasets,
     Kind::RBatch,
+    Kind::RBatchDegraded,
     Kind::RProgressive,
     Kind::RStats,
     Kind::RError,
@@ -48,7 +55,7 @@ fn decode_any(kind: Kind, body: &[u8]) {
         assert_eq!(&Request::decode(req.kind(), &enc).unwrap(), req);
     };
     match kind {
-        Kind::List | Kind::Batch | Kind::Progressive | Kind::Stats => {
+        Kind::List | Kind::Batch | Kind::BatchDegraded | Kind::Progressive | Kind::Stats => {
             if let Ok(req) = Request::decode(kind, body) {
                 round(&req);
             }
@@ -111,39 +118,44 @@ fn sample_field(rng: &mut StdRng) -> Field3 {
     Field3::from_fn(dims, |_, _, _| rng.gen_range(-10.0..10.0))
 }
 
-fn sample_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..4) {
-        0 => Request::List,
-        1 => {
-            let queries = (0..rng.gen_range(0..6))
-                .map(|_| match rng.gen_range(0..3) {
-                    0 => Query::Level {
-                        level: rng.gen_range(0..8),
-                    },
-                    1 => {
-                        let lo = [
-                            rng.gen_range(0..4),
-                            rng.gen_range(0..4),
-                            rng.gen_range(0..4),
-                        ];
-                        Query::Roi {
-                            level: rng.gen_range(0..8),
-                            lo,
-                            hi: [lo[0] + rng.gen_range(1..9), lo[1] + 1, lo[2] + 3],
-                            fill: rng.gen_range(-1.0..1.0),
-                        }
-                    }
-                    _ => Query::Iso {
-                        level: rng.gen_range(0..8),
-                        iso: rng.gen_range(-5.0..5.0),
-                    },
-                })
-                .collect();
-            Request::Batch {
-                dataset: ru32(rng),
-                queries,
+fn sample_queries(rng: &mut StdRng) -> Vec<Query> {
+    (0..rng.gen_range(0..6))
+        .map(|_| match rng.gen_range(0..3) {
+            0 => Query::Level {
+                level: rng.gen_range(0..8),
+            },
+            1 => {
+                let lo = [
+                    rng.gen_range(0..4),
+                    rng.gen_range(0..4),
+                    rng.gen_range(0..4),
+                ];
+                Query::Roi {
+                    level: rng.gen_range(0..8),
+                    lo,
+                    hi: [lo[0] + rng.gen_range(1..9), lo[1] + 1, lo[2] + 3],
+                    fill: rng.gen_range(-1.0..1.0),
+                }
             }
-        }
+            _ => Query::Iso {
+                level: rng.gen_range(0..8),
+                iso: rng.gen_range(-5.0..5.0),
+            },
+        })
+        .collect()
+}
+
+fn sample_request(rng: &mut StdRng) -> Request {
+    match rng.gen_range(0..5) {
+        0 => Request::List,
+        1 => Request::Batch {
+            dataset: ru32(rng),
+            queries: sample_queries(rng),
+        },
+        4 => Request::BatchDegraded {
+            dataset: ru32(rng),
+            queries: sample_queries(rng),
+        },
         2 => Request::Progressive {
             dataset: ru32(rng),
             scheme: if rbool(rng) {
@@ -186,8 +198,26 @@ fn sample_store_error(rng: &mut StdRng) -> WireStoreError {
     }
 }
 
+fn sample_query_response(rng: &mut StdRng) -> Response {
+    match rng.gen_range(0..3) {
+        0 => Response::Level(sample_level(rng)),
+        1 => Response::Roi(sample_field(rng)),
+        _ => Response::Iso(sample_level(rng)),
+    }
+}
+
 fn sample_response(rng: &mut StdRng) -> NetResponse {
-    match rng.gen_range(0..5) {
+    match rng.gen_range(0..6) {
+        5 => NetResponse::BatchDegraded(
+            (0..rng.gen_range(0..4))
+                .map(|_| QueryResult {
+                    response: sample_query_response(rng),
+                    degraded: (0..rng.gen_range(0..4))
+                        .map(|_| (rng.gen_range(0..8), rng.gen_range(0..999)))
+                        .collect(),
+                })
+                .collect(),
+        ),
         0 => NetResponse::Datasets(
             (0..rng.gen_range(0..4))
                 .map(|i| DatasetInfo {
@@ -208,11 +238,7 @@ fn sample_response(rng: &mut StdRng) -> NetResponse {
         ),
         1 => NetResponse::Batch(
             (0..rng.gen_range(0..4))
-                .map(|_| match rng.gen_range(0..3) {
-                    0 => Response::Level(sample_level(rng)),
-                    1 => Response::Roi(sample_field(rng)),
-                    _ => Response::Iso(sample_level(rng)),
-                })
+                .map(|_| sample_query_response(rng))
                 .collect(),
         ),
         2 => NetResponse::Progressive(
@@ -233,11 +259,12 @@ fn sample_response(rng: &mut StdRng) -> NetResponse {
             peak_resident_bytes: rng.next_u64(),
             budget_bytes: rng.next_u64(),
         }),
-        _ => NetResponse::Error(match rng.gen_range(0..5) {
+        _ => NetResponse::Error(match rng.gen_range(0..6) {
             0 => ErrorFrame::Busy,
             1 => ErrorFrame::TooManyConnections,
             2 => ErrorFrame::NoSuchDataset(ru32(rng)),
             3 => ErrorFrame::BadRequest("q".into()),
+            4 => ErrorFrame::DeadlineExceeded,
             _ => ErrorFrame::Store(sample_store_error(rng)),
         }),
     }

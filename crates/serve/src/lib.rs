@@ -33,13 +33,13 @@ mod cache;
 pub use cache::CacheStats;
 
 use cache::Key;
-use hqmr_grid::Field3;
+use hqmr_grid::{Dims3, Field3};
 use hqmr_mr::{LevelData, MultiResData, Upsample};
 use hqmr_store::read::{self, ChunkSource};
 use hqmr_store::{DecodedChunk, Progressive, StoreError, StoreMeta, StoreReader};
 use rayon::prelude::*;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 // Compile-time thread-safety contract: the whole point of the server is to
 // be shared across client threads.
@@ -154,6 +154,35 @@ pub enum Response {
     Iso(LevelData),
 }
 
+/// One query's answer under [`StoreServer::serve_batch_degraded`], carrying
+/// the quality flag alongside the data: `degraded` lists every
+/// `(level, chunk)` the query touched whose real payload could not be
+/// decoded and was replaced by a best-effort fill (nearest coarser level
+/// upsampled, chunk-table proxy where no coarser data covers the region).
+/// Empty means the response is bit-identical to [`StoreServer::serve_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The assembled answer (possibly containing filled regions).
+    pub response: Response,
+    /// `(level, chunk)` pairs served from fill instead of real data, sorted.
+    pub degraded: Vec<(usize, usize)>,
+}
+
+impl QueryResult {
+    /// Whether every chunk behind this answer decoded cleanly.
+    pub fn is_exact(&self) -> bool {
+        self.degraded.is_empty()
+    }
+}
+
+/// Decides whether a chunk fetch is forced to fail as
+/// [`StoreError::CorruptChunk`] — the injection point fault-injection
+/// harnesses (the `chaos` module of `hqmr-net`) hook into. Called with
+/// `(level, block)` before the real fetch; returning `true` simulates a
+/// chunk whose CRC check failed. Because every stored chunk is CRC-guarded,
+/// this is observationally identical to real at-rest bit rot.
+pub type FaultHook = Arc<dyn Fn(usize, usize) -> bool + Send + Sync>;
+
 /// A `Send + Sync` serving layer over one shared [`StoreReader`].
 ///
 /// All methods take `&self`; clone the `Arc<StoreServer>` (or borrow across
@@ -162,6 +191,11 @@ pub enum Response {
 pub struct StoreServer {
     reader: Arc<StoreReader>,
     cache: cache::ChunkCache,
+    fault_hook: Option<FaultHook>,
+    /// Chunks that failed to decode during a degraded batch. Quarantined
+    /// chunks are never re-fetched by the degraded path (they go straight
+    /// to fill), keeping repeat traffic off a known-bad disk region.
+    quarantine: Mutex<BTreeSet<Key>>,
 }
 
 impl StoreServer {
@@ -173,7 +207,17 @@ impl StoreServer {
         StoreServer {
             reader,
             cache: cache::ChunkCache::new(cache_budget),
+            fault_hook: None,
+            quarantine: Mutex::new(BTreeSet::new()),
         }
+    }
+
+    /// Installs a [`FaultHook`] consulted before every chunk fetch (builder
+    /// form, for use before the server is shared). Production servers leave
+    /// this unset; the chaos harness injects simulated corruption here.
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = Some(hook);
+        self
     }
 
     /// [`StoreServer::new`] with an unbounded budget.
@@ -253,35 +297,35 @@ impl StoreServer {
         read::progressive(self, scheme)
     }
 
+    /// The `(level, chunk)` pairs one query needs, from chunk-table
+    /// accounting alone (no decoding).
+    fn query_keys(&self, q: &Query) -> Result<Vec<Key>, StoreError> {
+        let meta = self.meta();
+        Ok(match *q {
+            Query::Level { level } => {
+                let lm = meta
+                    .levels
+                    .get(level)
+                    .ok_or(StoreError::NoSuchLevel(level))?;
+                (0..lm.chunks.len()).map(|i| (level, i)).collect()
+            }
+            Query::Roi { level, lo, hi, .. } => read::roi_chunk_indices(meta, level, lo, hi)?
+                .into_iter()
+                .map(|i| (level, i))
+                .collect(),
+            Query::Iso { level, iso } => read::iso_chunk_indices(meta, level, iso)?
+                .into_iter()
+                .map(|i| (level, i))
+                .collect(),
+        })
+    }
+
     /// The set of `(level, chunk)` pairs a batch of queries needs — the
     /// union across requests, each chunk exactly once.
     pub fn plan(&self, queries: &[Query]) -> Result<BTreeSet<(usize, usize)>, StoreError> {
-        let meta = self.meta();
         let mut need: BTreeSet<Key> = BTreeSet::new();
         for q in queries {
-            match *q {
-                Query::Level { level } => {
-                    let lm = meta
-                        .levels
-                        .get(level)
-                        .ok_or(StoreError::NoSuchLevel(level))?;
-                    need.extend((0..lm.chunks.len()).map(|i| (level, i)));
-                }
-                Query::Roi { level, lo, hi, .. } => {
-                    need.extend(
-                        read::roi_chunk_indices(meta, level, lo, hi)?
-                            .into_iter()
-                            .map(|i| (level, i)),
-                    );
-                }
-                Query::Iso { level, iso } => {
-                    need.extend(
-                        read::iso_chunk_indices(meta, level, iso)?
-                            .into_iter()
-                            .map(|i| (level, i)),
-                    );
-                }
-            }
+            need.extend(self.query_keys(q)?);
         }
         Ok(need)
     }
@@ -324,6 +368,175 @@ impl StoreServer {
             })
             .collect()
     }
+
+    /// [`StoreServer::serve_batch`] with graceful degradation: a chunk whose
+    /// payload cannot be decoded ([`StoreError::CorruptChunk`] or
+    /// [`StoreError::Codec`]) no longer fails the whole batch. The chunk is
+    /// quarantined, its blocks are synthesized from the nearest coarser
+    /// level's data upsampled into place (falling back to the chunk table's
+    /// `(min+max)/2` proxy where no coarser level covers the region — in
+    /// this adaptive layout levels *partition* the domain, so a fine chunk
+    /// usually has no coarser twin), and each answer carries the
+    /// `(level, chunk)` pairs it was degraded on. Planning errors
+    /// (`NoSuchLevel`, `RoiOutOfBounds`) and store I/O failures still fail
+    /// the batch: those are caller or infrastructure faults, not data decay.
+    ///
+    /// With no corrupt chunks, every [`QueryResult::is_exact`] and the
+    /// responses are bit-identical to [`StoreServer::serve_batch`].
+    pub fn serve_batch_degraded(&self, queries: &[Query]) -> Result<Vec<QueryResult>, StoreError> {
+        let per_query: Vec<Vec<Key>> = queries
+            .iter()
+            .map(|q| self.query_keys(q))
+            .collect::<Result<_, _>>()?;
+        let mut need: BTreeSet<Key> = BTreeSet::new();
+        for ks in &per_query {
+            need.extend(ks.iter().copied());
+        }
+        let keys: Vec<Key> = need.into_iter().collect();
+        let fetched: Vec<Result<DecodedChunk, StoreError>> = keys
+            .par_iter()
+            .map(|&(level, block)| {
+                if self.is_quarantined(level, block) {
+                    Err(StoreError::CorruptChunk { level, block })
+                } else {
+                    self.chunk(level, block)
+                }
+            })
+            .collect();
+        let mut degraded: BTreeSet<Key> = BTreeSet::new();
+        let mut chunks: HashMap<Key, DecodedChunk> = HashMap::with_capacity(keys.len());
+        for (key, res) in keys.into_iter().zip(fetched) {
+            match res {
+                Ok(c) => {
+                    chunks.insert(key, c);
+                }
+                Err(StoreError::CorruptChunk { .. } | StoreError::Codec { .. }) => {
+                    self.quarantine.lock().expect("quarantine lock").insert(key);
+                    // Fills never enter the shared cache: an exact read
+                    // after the disk heals must not see stale synthetic
+                    // data.
+                    chunks.insert(key, self.synthesize_fill(key.0, key.1)?);
+                    degraded.insert(key);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let view = BatchView {
+            server: self,
+            chunks,
+        };
+        queries
+            .iter()
+            .zip(per_query)
+            .map(|(q, ks)| {
+                let response = match *q {
+                    Query::Level { level } => read::read_level(&view, level).map(Response::Level),
+                    Query::Roi {
+                        level,
+                        lo,
+                        hi,
+                        fill,
+                    } => read::read_roi(&view, level, lo, hi, fill).map(Response::Roi),
+                    Query::Iso { level, iso } => {
+                        read::read_level_iso(&view, level, iso).map(Response::Iso)
+                    }
+                }?;
+                let flags: Vec<Key> = ks.into_iter().filter(|k| degraded.contains(k)).collect();
+                Ok(QueryResult {
+                    response,
+                    degraded: flags,
+                })
+            })
+            .collect()
+    }
+
+    /// Best-effort replacement for a chunk that will not decode. Starts
+    /// every block at the chunk table's `(min+max)/2` proxy, then overlays
+    /// data from coarser levels, coarsest first, so the *nearest* coarser
+    /// level that covers a cell wins — the same coarse→fine precedence the
+    /// progressive path uses. Coarser chunks that themselves fail to decode
+    /// are skipped (the proxy remains).
+    fn synthesize_fill(&self, level: usize, block: usize) -> Result<DecodedChunk, StoreError> {
+        let meta = self.meta();
+        let lm = meta
+            .levels
+            .get(level)
+            .ok_or(StoreError::NoSuchLevel(level))?;
+        let cm = lm
+            .chunks
+            .get(block)
+            .ok_or(StoreError::Malformed("chunk index out of range"))?;
+        let unit = cm.unit;
+        let n = unit.pow(3);
+        let mid = 0.5 * (cm.min + cm.max);
+        let proxy = if mid.is_finite() { mid } else { 0.0 };
+        let origins: Vec<[usize; 3]> = cm.slots.iter().map(|&(_, origin)| origin).collect();
+        let mut data = vec![proxy; origins.len() * n];
+        let bd = Dims3::cube(unit);
+        for lc in ((level + 1)..meta.levels.len()).rev() {
+            // One level-`lc` cell spans `rel` level-`level` cells.
+            let rel = 1usize << (lc - level);
+            let cd = meta.levels[lc].dims;
+            for (slot, &origin) in origins.iter().enumerate() {
+                let clo: [usize; 3] = std::array::from_fn(|a| origin[a] / rel);
+                let chi: [usize; 3] = std::array::from_fn(|a| {
+                    ((origin[a] + unit).div_ceil(rel)).min([cd.nx, cd.ny, cd.nz][a])
+                });
+                if (0..3).any(|a| clo[a] >= chi[a]) {
+                    continue;
+                }
+                // NaN marks "no coarse block covers this cell" so real
+                // coarse zeros are not mistaken for absence.
+                let coarse = match read::read_roi(self, lc, clo, chi, f32::NAN) {
+                    Ok(f) => f,
+                    Err(_) => continue,
+                };
+                for x in 0..unit {
+                    for y in 0..unit {
+                        for z in 0..unit {
+                            let g = [origin[0] + x, origin[1] + y, origin[2] + z];
+                            let gc: [usize; 3] = std::array::from_fn(|a| g[a] / rel);
+                            if (0..3).any(|a| gc[a] < clo[a] || gc[a] >= chi[a]) {
+                                continue;
+                            }
+                            let v = coarse.get(gc[0] - clo[0], gc[1] - clo[1], gc[2] - clo[2]);
+                            if !v.is_nan() {
+                                data[slot * n + bd.idx(x, y, z)] = v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(DecodedChunk {
+            unit,
+            origins: origins.into(),
+            data: data.into(),
+        })
+    }
+
+    fn is_quarantined(&self, level: usize, block: usize) -> bool {
+        self.quarantine
+            .lock()
+            .expect("quarantine lock")
+            .contains(&(level, block))
+    }
+
+    /// The `(level, chunk)` pairs currently quarantined (sorted).
+    pub fn quarantined(&self) -> Vec<(usize, usize)> {
+        self.quarantine
+            .lock()
+            .expect("quarantine lock")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Empties the quarantine (e.g. after the underlying store was
+    /// repaired); subsequent degraded batches re-attempt real decodes.
+    pub fn clear_quarantine(&self) {
+        self.quarantine.lock().expect("quarantine lock").clear();
+    }
 }
 
 impl ChunkSource for StoreServer {
@@ -332,6 +545,11 @@ impl ChunkSource for StoreServer {
     }
 
     fn chunk(&self, level: usize, block: usize) -> Result<DecodedChunk, StoreError> {
+        if let Some(hook) = &self.fault_hook {
+            if hook(level, block) {
+                return Err(StoreError::CorruptChunk { level, block });
+            }
+        }
         self.cache.get_or_decode(&self.reader, level, block)
     }
 
@@ -558,11 +776,115 @@ mod tests {
         assert_eq!(parts.iter().sum::<usize>(), 7);
     }
 
+    /// Hook failing exactly the named chunk, as injected chaos would.
+    fn fail_only(level: usize, block: usize) -> FaultHook {
+        Arc::new(move |l, b| l == level && b == block)
+    }
+
+    #[test]
+    fn degraded_batch_equals_exact_when_clean() {
+        let s = test_server(UNBOUNDED);
+        let d = s.meta().levels[0].dims;
+        let queries = [
+            Query::Level { level: 0 },
+            Query::Roi {
+                level: 0,
+                lo: [0, 0, 0],
+                hi: [d.nx, d.ny, d.nz / 2],
+                fill: 0.0,
+            },
+            Query::Iso { level: 0, iso: 0.5 },
+        ];
+        let exact = s.serve_batch(&queries).unwrap();
+        let degraded = s.serve_batch_degraded(&queries).unwrap();
+        assert_eq!(exact.len(), degraded.len());
+        for (e, d) in exact.iter().zip(&degraded) {
+            assert!(d.is_exact());
+            assert_eq!(*e, d.response, "clean degraded read must be bit-identical");
+        }
+        assert!(s.quarantined().is_empty());
+    }
+
+    #[test]
+    fn corrupt_chunk_is_quarantined_and_filled_not_fatal() {
+        let s = test_server(UNBOUNDED).with_fault_hook(fail_only(0, 0));
+        let queries = [Query::Level { level: 0 }];
+        // The exact path keeps its strict contract.
+        let err = s.serve_batch(&queries).expect_err("exact path must fail");
+        assert!(matches!(
+            err,
+            StoreError::CorruptChunk { level: 0, block: 0 }
+        ));
+        // The degraded path answers, flagging the filled chunk.
+        let results = s.serve_batch_degraded(&queries).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].degraded, vec![(0, 0)]);
+        assert_eq!(s.quarantined(), vec![(0, 0)]);
+        // Blocks outside the corrupt chunk are bit-identical to the oracle;
+        // the filled blocks are at least finite.
+        let oracle = s.reader().read_level(0).unwrap();
+        let Response::Level(got) = &results[0].response else {
+            panic!("wrong response kind");
+        };
+        let corrupt: std::collections::HashSet<[usize; 3]> = s.meta().levels[0].chunks[0]
+            .slots
+            .iter()
+            .map(|&(_, origin)| origin)
+            .collect();
+        assert_eq!(got.blocks.len(), oracle.blocks.len());
+        for (g, o) in got.blocks.iter().zip(&oracle.blocks) {
+            assert_eq!(g.origin, o.origin);
+            if corrupt.contains(&g.origin) {
+                assert!(g.data.iter().all(|v| v.is_finite()));
+            } else {
+                assert_eq!(g.data, o.data, "clean chunk altered at {:?}", g.origin);
+            }
+        }
+        // Quarantine is sticky until cleared, then the (still-failing) hook
+        // re-quarantines on the next degraded read.
+        s.clear_quarantine();
+        assert!(s.quarantined().is_empty());
+        let again = s.serve_batch_degraded(&queries).unwrap();
+        assert_eq!(again[0].degraded, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn degraded_fill_prefers_coarser_data_over_proxy() {
+        // A chunk fully covered by a coarser level must take its fill from
+        // the upsampled coarse data, not the flat proxy. Build a 2-level
+        // store by brute force: find a fine chunk whose region some coarser
+        // block covers.
+        let s = test_server(UNBOUNDED);
+        let meta = s.meta();
+        if meta.levels.len() < 2 {
+            return; // layout has a single level at this scale; nothing to assert
+        }
+        // Corrupt every chunk of the finest level; fills may draw on any
+        // coarser level.
+        let s = test_server(UNBOUNDED).with_fault_hook(Arc::new(|l, _| l == 0));
+        let results = s
+            .serve_batch_degraded(&[Query::Level { level: 0 }])
+            .unwrap();
+        let Response::Level(got) = &results[0].response else {
+            panic!("wrong response kind");
+        };
+        assert!(!results[0].is_exact());
+        assert!(got
+            .blocks
+            .iter()
+            .all(|b| b.data.iter().all(|v| v.is_finite())));
+    }
+
     #[test]
     fn batch_propagates_typed_errors() {
         let s = test_server(UNBOUNDED);
         let err = s
             .serve_batch(&[Query::Level { level: 99 }])
+            .expect_err("no such level");
+        assert!(matches!(err, StoreError::NoSuchLevel(99)));
+        // Degradation covers data decay only — planning errors stay fatal.
+        let err = s
+            .serve_batch_degraded(&[Query::Level { level: 99 }])
             .expect_err("no such level");
         assert!(matches!(err, StoreError::NoSuchLevel(99)));
         let d = s.meta().levels[0].dims;

@@ -20,7 +20,7 @@ use hqmr::store::{write_store, StoreConfig, StoreReader};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 16;
 const OPS_PER_CLIENT: usize = 32;
@@ -114,6 +114,7 @@ fn main() {
                                 fill: 0.0,
                             }
                         };
+                        let mut attempt = 0u32;
                         loop {
                             match client.batch(0, std::slice::from_ref(&q)) {
                                 Ok(_) => {
@@ -122,7 +123,14 @@ fn main() {
                                 }
                                 Err(NetError::Busy) => {
                                     busy += 1;
-                                    std::thread::yield_now();
+                                    // Capped jittered backoff, not a
+                                    // scheduler spin (same policy as
+                                    // `batch_retry`, counted here for the
+                                    // report).
+                                    let cap = 100u64 << attempt.min(6);
+                                    let us = rng.gen_range(cap / 2..=cap);
+                                    std::thread::sleep(Duration::from_micros(us));
+                                    attempt += 1;
                                 }
                                 Err(e) => panic!("storm request failed: {e}"),
                             }
