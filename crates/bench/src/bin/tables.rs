@@ -54,6 +54,7 @@ fn main() {
         ("hotpath", ex::hotpath),
         ("net", ex::net),
         ("faults", ex::faults),
+        ("temporal", ex::temporal),
     ];
 
     let selected: Vec<_> = if which == "all" {

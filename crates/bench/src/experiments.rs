@@ -14,8 +14,8 @@ use hqmr_filters::{anisotropic_diffusion, gaussian_blur, median3};
 use hqmr_grid::{synth, Dims3, Field3};
 use hqmr_metrics::{find_halos_abs, halo_recall, psnr, spectrum_rel_errors, ssim};
 use hqmr_mr::{
-    merge_discontinuity, merge_level, roi_only_field, to_adaptive, MergeStrategy, MultiResData,
-    RoiConfig, Upsample,
+    merge_discontinuity, merge_level, resample_like, roi_only_field, to_adaptive, MergeStrategy,
+    MultiResData, RoiConfig, Upsample,
 };
 use hqmr_sz3::interp_levels;
 use hqmr_vis::{render_slice, save_ppm, Colormap};
@@ -2116,5 +2116,115 @@ pub fn faults(scale: usize) -> String {
 
     json.push_str("\n  ]\n}\n");
     crate::write_root_json("BENCH_faults.json", &json, &mut out);
+    out
+}
+
+/// Temporal stores: compression-ratio win of inter-frame prediction over
+/// independent per-frame snapshots, on an advected synthetic sequence at an
+/// equal error bound. Streams the sequence through [`hqmr_core::TemporalWriter`] (the
+/// crash-safe in-situ path), then re-opens the container and verifies every
+/// reconstructed frame against its original field.
+pub fn temporal(scale: usize) -> String {
+    use hqmr_core::TemporalWriter;
+    use hqmr_store::temporal::{Prediction, TemporalReader};
+    use hqmr_store::{write_store, DEFAULT_CHUNK_BLOCKS};
+    use std::time::Instant;
+
+    const STEPS: usize = 6;
+    let dims = Dims3::cube(scale);
+    let frames = synth::advected_sequence(dims, STEPS, [0.4, 0.2, 0.1], 77);
+    let (mn, mx) = frames[0].min_max();
+    let eb = (mx - mn) as f64 * 8e-3;
+
+    // Frame-stable structure: the ROI layout is chosen once (frame 0) and
+    // every later timestep is poured into it, exactly as the in-situ
+    // pipeline does — deltas only line up when block layouts match.
+    let template = to_adaptive(&frames[0], &RoiConfig::new(8, 0.5));
+    let mrs: Vec<MultiResData> = frames.iter().map(|f| resample_like(&template, f)).collect();
+
+    let mut out = format!(
+        "Temporal stores — advected GRF sequence ({STEPS} frames of {scale}³, rel eb 8e-3)\n\
+         backend  indep(KiB)  temporal(KiB)   ratio  delta%   write(s)  max_err/eb\n"
+    );
+    let mut json = format!(
+        "{{\n  \"dataset\": \"advected-grf\",\n  \"scale\": {scale},\n  \"frames\": {STEPS},\n  \
+         \"rel_eb\": 8e-3,\n  \"records\": [\n"
+    );
+    let kib = |b: u64| b as f64 / 1024.0;
+    for (bi, backend) in Backend::ALL.into_iter().enumerate() {
+        let cfg = MrcConfig::baseline(eb).with_backend(backend);
+        let codec = backend.codec();
+
+        // Baseline: each frame as an independent snapshot container.
+        let scfg = cfg.store_config(DEFAULT_CHUNK_BLOCKS);
+        let independent: u64 = mrs
+            .iter()
+            .map(|mr| write_store(mr, &scfg, codec.as_ref()).len() as u64)
+            .sum();
+
+        // Temporal: the same frames through the streaming delta writer.
+        let dir = std::env::temp_dir().join(format!("hqmr_bench_temporal_{}", backend.name()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t0 = Instant::now();
+        let mut writer =
+            TemporalWriter::create(&dir, &cfg, Prediction::delta()).expect("create temporal dir");
+        let (mut temporal, mut delta_chunks, mut total_chunks) = (0u64, 0usize, 0usize);
+        for (t, mr) in mrs.iter().enumerate() {
+            let rep = writer.append(t as u64, mr).expect("append frame");
+            temporal += rep.bytes;
+            delta_chunks += rep.delta_chunks;
+            total_chunks += rep.total_chunks;
+        }
+        let t_write = t0.elapsed().as_secs_f64();
+
+        // Verify the error bound holds per frame through the reader (delta
+        // chains and all), against the original uncompressed fields.
+        let reader = TemporalReader::open(&dir).expect("reopen temporal store");
+        let mut max_err = 0.0f64;
+        if backend != Backend::NULL {
+            for (t, mr) in mrs.iter().enumerate() {
+                let fine = reader.read_level(t, 0).expect("read fine level");
+                let got = fine.to_field(mn);
+                let want = mr.levels[0].to_field(mn);
+                for (g, w) in got.data().iter().zip(want.data()) {
+                    max_err = max_err.max((g - w).abs() as f64);
+                }
+            }
+            assert!(
+                max_err <= eb * (1.0 + 1e-6),
+                "{}: max err {max_err} exceeds eb {eb}",
+                backend.name()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let ratio = independent as f64 / temporal as f64;
+        let delta_pct = 100.0 * delta_chunks as f64 / total_chunks.max(1) as f64;
+        writeln!(
+            out,
+            "{:7} {:11.1} {:14.1} {ratio:7.3} {delta_pct:6.1} {t_write:10.4} {:11.3}",
+            backend.name(),
+            kib(independent),
+            kib(temporal),
+            max_err / eb,
+        )
+        .unwrap();
+        if bi > 0 {
+            json.push_str(",\n");
+        }
+        write!(
+            json,
+            "    {{\"backend\": \"{}\", \"independent_bytes\": {independent}, \
+             \"temporal_bytes\": {temporal}, \"ratio\": {ratio:.4}, \
+             \"delta_chunk_frac\": {:.4}, \"write_s\": {t_write:.4}, \
+             \"max_err_over_eb\": {:.4}}}",
+            backend.name(),
+            delta_chunks as f64 / total_chunks.max(1) as f64,
+            max_err / eb,
+        )
+        .unwrap();
+    }
+    json.push_str("\n  ]\n}\n");
+    crate::write_root_json("BENCH_temporal.json", &json, &mut out);
     out
 }

@@ -11,10 +11,15 @@
 //! the rest — any [`crate::mrc::Backend`] works.
 
 use crate::mrc::MrcConfig;
+use hqmr_codec::Codec;
 use hqmr_mr::MultiResData;
+use hqmr_store::temporal::{
+    FrameMeta, Prediction, TemporalEncoder, TemporalManifest, MANIFEST_NAME,
+};
 use hqmr_store::{encode_prepared_store, prepare_store, DEFAULT_CHUNK_BLOCKS};
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Wall-clock seconds per pipeline stage.
@@ -66,9 +71,16 @@ pub fn write_snapshot(
     Ok((timings, bytes.len() as u64))
 }
 
-/// Temp-file + `sync_all` + atomic rename. The pid in the temp name keeps
-/// concurrent writers (e.g. two ranks snapshotting different paths in one
-/// directory) from clobbering each other's staging files.
+/// Distinguishes staging files of concurrent writers *within* one process:
+/// the pid alone is shared by every thread, so two threads snapshotting the
+/// same path would otherwise stage into the same temp file and clobber each
+/// other mid-write.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Temp-file + `sync_all` + atomic rename + parent-dir fsync. The pid in the
+/// temp name keeps concurrent *processes* (e.g. two ranks snapshotting into
+/// one directory) apart; the process-wide counter keeps concurrent *threads*
+/// of one process apart.
 fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let mut name = path
         .file_name()
@@ -79,7 +91,11 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
             )
         })?
         .to_os_string();
-    name.push(format!(".{}.tmp", std::process::id()));
+    name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = path.with_file_name(name);
 
     let write = (|| {
@@ -93,12 +109,131 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         w.into_inner()
             .map_err(std::io::IntoInnerError::into_error)?
             .sync_all()?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        // The rename itself lives in the parent directory's metadata: until
+        // that is flushed, a crash can roll the directory back to the old
+        // entry (or none) even though the data blocks survived.
+        sync_parent_dir(path)
     })();
     if write.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
     write
+}
+
+/// Fsyncs the directory containing `path`, making a completed rename
+/// durable. On non-unix targets directories cannot be opened for syncing;
+/// the rename is still atomic, just not crash-durable, matching the
+/// platform's general guarantees.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+        Ok(())
+    }
+}
+
+/// Per-frame report of a [`TemporalWriter::append`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameReport {
+    /// Time index of the frame within the store (0-based).
+    pub index: usize,
+    /// Frame file name within the store directory.
+    pub file: String,
+    /// Compressed frame size on disk.
+    pub bytes: u64,
+    /// Chunks stored as temporal deltas.
+    pub delta_chunks: usize,
+    /// Total chunks in the frame.
+    pub total_chunks: usize,
+    /// Wall-clock seconds spent encoding + writing the frame.
+    pub seconds: f64,
+}
+
+/// Streaming writer for a temporal (`HQTM`) store directory — the in-situ
+/// shape of the pipeline: the simulation calls [`TemporalWriter::append`]
+/// once per timestep, each frame lands as its own crash-safe `HQST` file,
+/// and the manifest is atomically rewritten after the frame file exists.
+///
+/// Crash safety is ordering: frame file first, manifest second, both through
+/// the same temp + fsync + rename + parent-fsync path as snapshots. A crash at
+/// any point leaves a manifest that references only complete frame files —
+/// the store stays openable with every frame it had before the crash.
+pub struct TemporalWriter {
+    dir: PathBuf,
+    codec: Box<dyn Codec>,
+    enc: TemporalEncoder,
+    manifest: TemporalManifest,
+    buf: Vec<u8>,
+}
+
+impl TemporalWriter {
+    /// Creates (or truncates) a temporal store directory for streaming
+    /// appends under `cfg`'s merge/pad/eb/backend.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        cfg: &MrcConfig,
+        prediction: Prediction,
+    ) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let manifest = TemporalManifest::default();
+        write_atomic(&dir.join(MANIFEST_NAME), &manifest.to_bytes())?;
+        Ok(TemporalWriter {
+            dir,
+            codec: cfg.backend.codec(),
+            enc: TemporalEncoder::new(cfg.store_config(DEFAULT_CHUNK_BLOCKS), prediction),
+            manifest,
+            buf: Vec::new(),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Frames appended so far.
+    pub fn frames(&self) -> usize {
+        self.manifest.frames.len()
+    }
+
+    /// Encodes and durably writes the next frame (simulation step `step`),
+    /// then atomically republishes the manifest.
+    pub fn append(&mut self, step: u64, mr: &MultiResData) -> std::io::Result<FrameReport> {
+        let t0 = Instant::now();
+        let index = self.manifest.frames.len();
+        let flags = self
+            .enc
+            .encode_frame_into(mr, self.codec.as_ref(), &mut self.buf)
+            .map_err(std::io::Error::other)?;
+        let file = format!("frame_{index:05}.hqst");
+        write_atomic(&self.dir.join(&file), &self.buf)?;
+        let delta_chunks: usize = flags.iter().map(|l| l.iter().filter(|&&d| d).count()).sum();
+        let total_chunks: usize = flags.iter().map(Vec::len).sum();
+        self.manifest.frames.push(FrameMeta {
+            step,
+            file: file.clone(),
+            delta: flags,
+        });
+        write_atomic(&self.dir.join(MANIFEST_NAME), &self.manifest.to_bytes())?;
+        Ok(FrameReport {
+            index,
+            file,
+            bytes: self.buf.len() as u64,
+            delta_chunks,
+            total_chunks,
+            seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +308,56 @@ mod tests {
         let bad = dir.join("no_such_dir").join("snap.bin");
         assert!(write_snapshot(&mr, &MrcConfig::ours(1e6), &bad).is_err());
         assert_eq!(std::fs::read(&path).unwrap(), before);
+        // Concurrent threads snapshotting the *same* path stage into
+        // distinct temp files (pid + per-process counter): every write
+        // succeeds, the survivor is one complete store, nothing leaks.
+        let expect = std::fs::read(&path).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| write_snapshot(&mr, &MrcConfig::ours(1e6), &path).unwrap());
+            }
+        });
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            expect,
+            "racing writers of identical content must leave identical bytes"
+        );
+        StoreReader::open(&path).expect("post-race file is a complete store");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "racing writers leaked staging files");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn temporal_writer_streams_frames_and_keeps_manifest_consistent() {
+        use hqmr_mr::{resample_like, to_adaptive, RoiConfig};
+        use hqmr_store::temporal::{Prediction, TemporalReader};
+
+        let fields: Vec<_> = (0..4)
+            .map(|t| synth::warpx_like(hqmr_grid::Dims3::cube(32), 3 + t as u64))
+            .collect();
+        let template = to_adaptive(&fields[0], &RoiConfig::new(8, 0.5));
+        let dir = std::env::temp_dir().join("hqmr_insitu_temporal");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = MrcConfig::ours(1e-3);
+        let mut w = TemporalWriter::create(&dir, &cfg, Prediction::delta()).unwrap();
+        for (t, f) in fields.iter().enumerate() {
+            let mr = resample_like(&template, f);
+            let rep = w.append(t as u64 * 10, &mr).unwrap();
+            assert_eq!(rep.index, t);
+            assert!(rep.bytes > 0 && rep.total_chunks > 0);
+            // After every append the directory is a complete, openable
+            // store referencing only fully written frames — the crash-safe
+            // invariant (frame file lands before the manifest names it).
+            let r = TemporalReader::open(&dir).unwrap();
+            assert_eq!(r.frame_count(), t + 1);
+            assert_eq!(r.manifest().frames[t].step, t as u64 * 10);
+        }
+        assert_eq!(w.frames(), 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 

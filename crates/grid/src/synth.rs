@@ -249,6 +249,72 @@ pub fn s3d_like(n: usize, seed: u64) -> Field3 {
     })
 }
 
+/// Periodic trilinear resample of `field` shifted by `shift` grid cells:
+/// `out(x) = field(x − shift)` with all three axes wrapping.
+///
+/// This is the advection operator of a uniform-velocity flow under periodic
+/// boundaries — the cheapest field evolution that keeps frame-to-frame
+/// morphology realistic (structures translate and blur slightly rather than
+/// being regenerated), which is what temporal prediction feeds on.
+pub fn advect_periodic(field: &Field3, shift: [f64; 3]) -> Field3 {
+    let d = field.dims();
+    let ext = [d.nx, d.ny, d.nz];
+    // Wrap a (possibly negative) continuous coordinate into [0, n) and split
+    // into base cell + fraction.
+    let split = |v: f64, n: usize| -> (usize, usize, f32) {
+        let n_f = n as f64;
+        let w = v.rem_euclid(n_f);
+        let i0 = w.floor() as usize % n;
+        ((i0) % n, (i0 + 1) % n, (w - w.floor()) as f32)
+    };
+    Field3::from_fn(d, |x, y, z| {
+        let (x0, x1, fx) = split(x as f64 - shift[0], ext[0]);
+        let (y0, y1, fy) = split(y as f64 - shift[1], ext[1]);
+        let (z0, z1, fz) = split(z as f64 - shift[2], ext[2]);
+        let c000 = field.get(x0, y0, z0);
+        let c100 = field.get(x1, y0, z0);
+        let c010 = field.get(x0, y1, z0);
+        let c110 = field.get(x1, y1, z0);
+        let c001 = field.get(x0, y0, z1);
+        let c101 = field.get(x1, y0, z1);
+        let c011 = field.get(x0, y1, z1);
+        let c111 = field.get(x1, y1, z1);
+        let c00 = c000 + (c100 - c000) * fx;
+        let c10 = c010 + (c110 - c010) * fx;
+        let c01 = c001 + (c101 - c001) * fx;
+        let c11 = c011 + (c111 - c011) * fx;
+        let c0 = c00 + (c10 - c00) * fy;
+        let c1 = c01 + (c11 - c01) * fy;
+        c0 + (c1 - c0) * fz
+    })
+}
+
+/// A deterministic time series for temporal-compression experiments: a
+/// red-spectrum GRF advected by `t · velocity` cells per frame, with a slow
+/// global amplitude modulation so consecutive frames are close but not
+/// trivially identical.
+///
+/// Frame 0 is the unmodified base field; frame `t` is the base advected by
+/// the *accumulated* shift (resampling always from the base avoids compound
+/// interpolation blur). Requires power-of-two extents (GRF construction).
+pub fn advected_sequence(dims: Dims3, steps: usize, velocity: [f64; 3], seed: u64) -> Vec<Field3> {
+    let base = gaussian_random_field(dims, -2.5, seed);
+    (0..steps)
+        .map(|t| {
+            let tf = t as f64;
+            let shift = [velocity[0] * tf, velocity[1] * tf, velocity[2] * tf];
+            let mut f = advect_periodic(&base, shift);
+            // Slow drift, small enough that frame-to-frame change stays
+            // dominated by the advection term.
+            let amp = (1.0 + 0.01 * (0.7 * tf).sin()) as f32;
+            if t > 0 {
+                f.map_inplace(move |v| v * amp);
+            }
+            f
+        })
+        .collect()
+}
+
 /// Named dataset configurations mirroring the paper's Table III, at a
 /// laptop-scale default size (each scales with `n`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -408,6 +474,50 @@ mod tests {
         let f = s3d_like(32, 5);
         assert!(f.get(16, 16, 0) < 500.0); // unburnt
         assert!(f.get(16, 16, 31) > 1500.0); // burnt
+    }
+
+    #[test]
+    fn advect_integer_shift_is_exact_rotation() {
+        let f = gaussian_random_field(Dims3::cube(16), -2.0, 11);
+        let g = advect_periodic(&f, [3.0, 0.0, 0.0]);
+        for x in 0..16 {
+            for y in 0..16 {
+                for z in 0..16 {
+                    assert_eq!(g.get(x, y, z), f.get((x + 16 - 3) % 16, y, z));
+                }
+            }
+        }
+        // Full-period shift is the identity.
+        let h = advect_periodic(&f, [16.0, 16.0, 16.0]);
+        assert_eq!(h, f);
+    }
+
+    #[test]
+    fn advect_fractional_shift_stays_in_range_and_moves_mass() {
+        let f = gaussian_random_field(Dims3::cube(16), -2.5, 12);
+        let g = advect_periodic(&f, [0.5, -1.25, 2.75]);
+        let (fs, gs) = (FieldStats::compute(&f), FieldStats::compute(&g));
+        // Trilinear interpolation cannot create new extrema.
+        assert!(gs.max <= fs.max + 1e-6 && gs.min >= fs.min - 1e-6);
+        assert_ne!(f, g);
+    }
+
+    #[test]
+    fn advected_sequence_is_deterministic_and_coherent() {
+        let a = advected_sequence(Dims3::cube(16), 4, [1.5, 0.5, 0.0], 9);
+        let b = advected_sequence(Dims3::cube(16), 4, [1.5, 0.5, 0.0], 9);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a, b);
+        // Consecutive frames are much closer than distant ones (the property
+        // temporal prediction exploits).
+        let dist = |p: &Field3, q: &Field3| -> f64 {
+            p.data()
+                .iter()
+                .zip(q.data())
+                .map(|(&u, &v)| ((u - v) as f64).powi(2))
+                .sum::<f64>()
+        };
+        assert!(dist(&a[0], &a[1]) < dist(&a[0], &a[3]));
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod amr;
 pub mod merge;
 pub mod padding;
 pub mod prepare;
+pub mod temporal;
 mod types;
 
 pub use adaptive::{roi_only_field, to_adaptive, RoiConfig};
@@ -30,4 +31,5 @@ pub use padding::{pad_small_dims, strip_padding, PadKind};
 pub use prepare::{
     decode_layout, encode_layout, prepare_blocks, prepare_level, LayoutSlots, PreparedLevel,
 };
+pub use temporal::{resample_like, structure_matches};
 pub use types::{LevelData, MultiResData, UnitBlock, Upsample};

@@ -156,8 +156,31 @@ pub struct ClientConfig {
     /// Whether broken connections are transparently re-dialed for
     /// idempotent requests.
     pub reconnect: bool,
-    /// Seed for backoff jitter (deterministic per client).
+    /// Seed for backoff jitter. Explicit seeds are honored verbatim
+    /// (deterministic backoff for tests); [`ClientConfig::default`] derives
+    /// a fresh seed per client so a fleet of default-config clients does not
+    /// back off in lockstep.
     pub jitter_seed: u64,
+}
+
+/// Per-client default jitter seed: pid ⊕ a process-wide counter, scrambled.
+/// A fixed default seed put every default-config client on the *same*
+/// xorshift stream — after a shared fault (a server restart), the whole
+/// fleet slept identical backoffs and retried in synchronized waves,
+/// defeating the point of jitter. The pid decorrelates processes, the
+/// counter decorrelates clients within a process, and the splitmix64
+/// finalizer turns the near-identical raw inputs into well-spread streams.
+fn default_jitter_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let raw = (std::process::id() as u64)
+        ^ NEXT.fetch_add(1, Ordering::Relaxed).wrapping_shl(32)
+        ^ 0x5EED;
+    // splitmix64 finalizer.
+    let mut z = raw.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Default for ClientConfig {
@@ -171,7 +194,7 @@ impl Default for ClientConfig {
             backoff_base: Duration::from_micros(500),
             backoff_cap: Duration::from_millis(50),
             reconnect: true,
-            jitter_seed: 0x5EED,
+            jitter_seed: default_jitter_seed(),
         }
     }
 }
@@ -509,5 +532,37 @@ impl NetClient {
             NetResponse::Stats(s) => Ok(s),
             _ => Err(NetError::UnexpectedResponse),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_jitter_seeds_are_decorrelated_per_client() {
+        // Every default config in one process draws a distinct seed — two
+        // clients built from defaults must not share a backoff stream.
+        let seeds: Vec<u64> = (0..8)
+            .map(|_| ClientConfig::default().jitter_seed)
+            .collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b, "default-config clients share a jitter stream");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_jitter_seed_is_preserved() {
+        // Tests that pin backoff behavior rely on explicit seeds staying
+        // byte-exact through the config.
+        let cfg = ClientConfig {
+            jitter_seed: 0x5EED,
+            ..Default::default()
+        };
+        assert_eq!(cfg.jitter_seed, 0x5EED);
+        let again = cfg.clone();
+        assert_eq!(again.jitter_seed, 0x5EED);
     }
 }

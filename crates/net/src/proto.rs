@@ -399,6 +399,11 @@ impl From<&StoreError> for WireStoreError {
                 message: source.to_string(),
             },
             StoreError::NoSuchLevel(l) => WireStoreError::NoSuchLevel(*l),
+            // Temporal stores are not wire-served yet; carry the frame index
+            // in the message rather than growing the wire enum.
+            StoreError::NoSuchFrame(t) => {
+                WireStoreError::Malformed(format!("no frame {t} in temporal store"))
+            }
             StoreError::RoiOutOfBounds => WireStoreError::RoiOutOfBounds,
         }
     }

@@ -7,12 +7,15 @@
 //! under that lock — a decode's waiters park on the flight's own
 //! mutex/condvar pair, so a slow chunk stalls only its own requesters.
 
-use hqmr_store::{DecodedChunk, StoreError, StoreReader};
+use hqmr_store::{DecodedChunk, StoreError};
 use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// Cache key: `(level, chunk index)`.
+/// Single-store cache key: `(level, chunk index)`. The cache itself is
+/// generic over the key — the temporal server keys the same structure by
+/// `(time, level, chunk)`.
 pub(crate) type Key = (usize, usize);
 
 /// Snapshot of the serving layer's cache accounting.
@@ -110,12 +113,12 @@ struct Entry {
 }
 
 /// Mutex-guarded cache state.
-struct CacheState {
+struct CacheState<K> {
     /// Resident chunks.
-    entries: HashMap<Key, Entry>,
+    entries: HashMap<K, Entry>,
     /// Recency order: stamp → key, oldest first. Kept in lockstep with
     /// `entries` (every entry's `stamp` is a key in `order` and vice versa).
-    order: BTreeMap<u64, Key>,
+    order: BTreeMap<u64, K>,
     /// Next recency stamp.
     clock: u64,
     /// Sum of resident `DecodedChunk::resident_bytes`.
@@ -123,17 +126,17 @@ struct CacheState {
     /// High-water mark of `resident`.
     peak: usize,
     /// Decodes currently running, by chunk.
-    inflight: HashMap<Key, Arc<Flight>>,
+    inflight: HashMap<K, Arc<Flight>>,
 }
 
-impl CacheState {
+impl<K: Eq + Hash + Copy> CacheState<K> {
     fn tick(&mut self) -> u64 {
         self.clock += 1;
         self.clock
     }
 
     /// Moves `key`'s entry to most-recently-used and returns a clone.
-    fn touch(&mut self, key: Key) -> Option<DecodedChunk> {
+    fn touch(&mut self, key: K) -> Option<DecodedChunk> {
         let stamp = self.tick();
         let e = self.entries.get_mut(&key)?;
         let old = std::mem::replace(&mut e.stamp, stamp);
@@ -144,14 +147,15 @@ impl CacheState {
     }
 }
 
-/// The cache proper. All methods take `&self`; the type is `Send + Sync`.
-pub(crate) struct ChunkCache {
+/// The cache proper, generic over the chunk-identity key. All methods take
+/// `&self`; the type is `Send + Sync`.
+pub(crate) struct ChunkCache<K = Key> {
     budget: usize,
-    state: Mutex<CacheState>,
+    state: Mutex<CacheState<K>>,
     counters: Counters,
 }
 
-impl ChunkCache {
+impl<K: Eq + Hash + Copy> ChunkCache<K> {
     pub(crate) fn new(budget: usize) -> Self {
         ChunkCache {
             budget,
@@ -167,21 +171,23 @@ impl ChunkCache {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState<K>> {
         self.state.lock().expect("chunk cache lock poisoned")
     }
 
     /// Returns `key`'s chunk, decoding at most once across all concurrent
-    /// callers: the first requester of a non-resident chunk decodes it
-    /// through `reader` while later requesters wait on the shared flight and
-    /// clone its result.
+    /// callers: the first requester of a non-resident chunk runs `decode`
+    /// while later requesters wait on the shared flight and clone its
+    /// result. `decode` runs outside every cache lock, so it may itself
+    /// recurse into the cache under a *different* key (the temporal server's
+    /// chain decode does, with strictly decreasing time — no cycle, no
+    /// deadlock). It is `Fn`, not `FnOnce`, because a waiter that observes a
+    /// failed flight re-derives its own typed error by decoding again.
     pub(crate) fn get_or_decode(
         &self,
-        reader: &StoreReader,
-        level: usize,
-        block: usize,
+        key: K,
+        decode: impl Fn() -> Result<DecodedChunk, StoreError>,
     ) -> Result<DecodedChunk, StoreError> {
-        let key = (level, block);
         let joined = {
             let mut st = self.lock();
             if let Some(chunk) = st.touch(key) {
@@ -214,7 +220,7 @@ impl ChunkCache {
                         drop(fs);
                         // Re-derive the precise typed error for this caller.
                         self.counters.misses.fetch_add(1, Ordering::Relaxed);
-                        reader.decode_chunk(level, block)
+                        decode()
                     }
                     FlightState::Pending => unreachable!("loop exits only on completion"),
                 }
@@ -227,14 +233,14 @@ impl ChunkCache {
                 // the in-flight slot and flips the flight to `Failed`
                 // instead of leaving every present and future requester of
                 // this chunk parked on a `Pending` flight forever.
-                struct Publish<'a> {
-                    cache: &'a ChunkCache,
-                    key: Key,
+                struct Publish<'a, K: Eq + Hash + Copy> {
+                    cache: &'a ChunkCache<K>,
+                    key: K,
                     /// `Some` once the decode succeeded; `None` means the
                     /// decode failed or panicked.
                     outcome: Option<DecodedChunk>,
                 }
-                impl Drop for Publish<'_> {
+                impl<K: Eq + Hash + Copy> Drop for Publish<'_, K> {
                     fn drop(&mut self) {
                         let flight = {
                             let mut st = self.cache.lock();
@@ -261,7 +267,7 @@ impl ChunkCache {
                     key,
                     outcome: None,
                 };
-                let res = reader.decode_chunk(level, block);
+                let res = decode();
                 self.counters.misses.fetch_add(1, Ordering::Relaxed);
                 if let Ok(chunk) = &res {
                     publish.outcome = Some(chunk.clone());
@@ -276,14 +282,9 @@ impl ChunkCache {
     /// returning the resident chunks and `None` for the rest. Only the hits
     /// are counted here — the caller resolves the `None`s through
     /// [`ChunkCache::get_or_decode`], which does its own accounting.
-    pub(crate) fn get_resident(
-        &self,
-        level: usize,
-        indices: &[usize],
-    ) -> Vec<Option<DecodedChunk>> {
+    pub(crate) fn get_resident(&self, keys: &[K]) -> Vec<Option<DecodedChunk>> {
         let mut st = self.lock();
-        let out: Vec<Option<DecodedChunk>> =
-            indices.iter().map(|&i| st.touch((level, i))).collect();
+        let out: Vec<Option<DecodedChunk>> = keys.iter().map(|&k| st.touch(k)).collect();
         drop(st);
         let hits = out.iter().filter(|o| o.is_some()).count() as u64;
         self.counters.hits.fetch_add(hits, Ordering::Relaxed);
@@ -294,7 +295,7 @@ impl ChunkCache {
     /// `resident` never exceeds the budget at any instant. Chunks larger
     /// than the whole budget are served but never cached (budget 0 therefore
     /// caches nothing while single-flight keeps working).
-    fn insert(&self, st: &mut CacheState, key: Key, chunk: DecodedChunk) {
+    fn insert(&self, st: &mut CacheState<K>, key: K, chunk: DecodedChunk) {
         let bytes = chunk.resident_bytes();
         if bytes > self.budget {
             return;

@@ -29,8 +29,10 @@
 //! arrangement and budget (including 0 and unbounded).
 
 mod cache;
+pub mod temporal;
 
 pub use cache::CacheStats;
+pub use temporal::{TemporalServer, TimeQuery, TimeView};
 
 use cache::Key;
 use hqmr_grid::{Dims3, Field3};
@@ -190,7 +192,7 @@ pub type FaultHook = Arc<dyn Fn(usize, usize) -> bool + Send + Sync>;
 /// byte-identical to the bare reader's at every cache budget.
 pub struct StoreServer {
     reader: Arc<StoreReader>,
-    cache: cache::ChunkCache,
+    cache: cache::ChunkCache<Key>,
     fault_hook: Option<FaultHook>,
     /// Chunks that failed to decode during a degraded batch. Quarantined
     /// chunks are never re-fetched by the degraded path (they go straight
@@ -550,14 +552,16 @@ impl ChunkSource for StoreServer {
                 return Err(StoreError::CorruptChunk { level, block });
             }
         }
-        self.cache.get_or_decode(&self.reader, level, block)
+        self.cache
+            .get_or_decode((level, block), || self.reader.decode_chunk(level, block))
     }
 
     /// Bulk override: one lock acquisition harvests every resident chunk,
     /// then only the misses go through the (parallel) single-flight decode
     /// path — a warm read never pays per-chunk locking or thread fan-out.
     fn chunks(&self, level: usize, indices: &[usize]) -> Result<Vec<DecodedChunk>, StoreError> {
-        let mut out = self.cache.get_resident(level, indices);
+        let keys: Vec<Key> = indices.iter().map(|&i| (level, i)).collect();
+        let mut out = self.cache.get_resident(&keys);
         let missing: Vec<(usize, usize)> = out
             .iter()
             .enumerate()

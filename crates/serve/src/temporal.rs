@@ -1,0 +1,316 @@
+//! Serving layer over a temporal (`HQTM`) store: the same byte-budgeted
+//! LRU + single-flight machinery as [`StoreServer`](crate::StoreServer),
+//! keyed by `(time, level, chunk)` so hot frames of a series share one
+//! cache.
+//!
+//! The cache covers *actual-value* chunks. A delta chunk's decode recurses —
+//! through the cache — into `(t−1, level, chunk)` before applying the
+//! residual, so a chain is walked at most once however many clients ask for
+//! its tip: intermediate frames land in the cache as a side effect and are
+//! themselves servable. Recursion is deadlock-free by construction: the
+//! decode closure runs outside every cache lock and only ever requests a
+//! strictly smaller time index.
+
+use crate::cache::ChunkCache;
+use crate::{CacheStats, Query, Response, UNBOUNDED};
+use hqmr_grid::Field3;
+use hqmr_mr::{LevelData, MultiResData, Upsample};
+use hqmr_store::read::{self, ChunkSource};
+use hqmr_store::temporal::{apply_residual, TemporalReader, TimeKey};
+use hqmr_store::{DecodedChunk, Progressive, StoreError, StoreMeta};
+use rayon::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+// Same compile-time contract as the single-store server: shared across
+// client threads by design.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TemporalServer>();
+};
+
+/// One request of a temporal batch: a [`Query`] pinned to a frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeQuery {
+    /// Frame index the query reads.
+    pub time: usize,
+    /// The spatial query within that frame.
+    pub query: Query,
+}
+
+/// A `Send + Sync` serving layer over one shared [`TemporalReader`].
+///
+/// Every read returns actual values — delta chains are resolved internally —
+/// and is byte-identical to the bare reader's equivalent at every cache
+/// budget (pinned by the differential suite in `tests/`).
+pub struct TemporalServer {
+    reader: Arc<TemporalReader>,
+    cache: ChunkCache<TimeKey>,
+}
+
+impl TemporalServer {
+    /// Wraps `reader` with a decoded-chunk cache of at most `cache_budget`
+    /// bytes. Budget `0` disables caching (reads stay correct, single-flight
+    /// still deduplicates — but note a cold delta read then re-walks its
+    /// chain); [`UNBOUNDED`] never evicts.
+    pub fn new(reader: Arc<TemporalReader>, cache_budget: usize) -> Self {
+        TemporalServer {
+            reader,
+            cache: ChunkCache::new(cache_budget),
+        }
+    }
+
+    /// [`TemporalServer::new`] with an unbounded budget.
+    pub fn unbounded(reader: Arc<TemporalReader>) -> Self {
+        Self::new(reader, UNBOUNDED)
+    }
+
+    /// The wrapped reader.
+    pub fn reader(&self) -> &TemporalReader {
+        &self.reader
+    }
+
+    /// Number of frames served.
+    pub fn frame_count(&self) -> usize {
+        self.reader.frame_count()
+    }
+
+    /// Snapshot of the cache counters (see
+    /// [`StoreServer::stats`](crate::StoreServer::stats) for the ledger
+    /// identities, which hold unchanged here).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Snapshot-and-reset of the counter window.
+    pub fn take_stats(&self) -> CacheStats {
+        self.cache.take_stats()
+    }
+
+    /// Zeroes the counters; resident chunks are kept.
+    pub fn reset_stats(&self) {
+        self.cache.reset_stats();
+    }
+
+    /// Drops every resident chunk; counters are kept.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// The actual-value chunk `(t, level, block)`, through the cache.
+    fn chunk_at(&self, t: usize, level: usize, block: usize) -> Result<DecodedChunk, StoreError> {
+        self.cache
+            .get_or_decode((t, level, block), || self.decode_actual(t, level, block))
+    }
+
+    /// Cache-miss path: decode the chunk's stored stream; for a delta chunk
+    /// first obtain `(t−1, level, block)` — through the cache again — and
+    /// apply the residual.
+    fn decode_actual(
+        &self,
+        t: usize,
+        level: usize,
+        block: usize,
+    ) -> Result<DecodedChunk, StoreError> {
+        let stored = self.reader.frame_reader(t)?.decode_chunk(level, block)?;
+        if !self.reader.manifest().frames[t].is_delta(level, block) {
+            return Ok(stored);
+        }
+        if t == 0 {
+            // `TemporalReader::open` rejects this shape; belt and braces.
+            return Err(StoreError::Malformed("delta chain has no keyframe root"));
+        }
+        let prev = self.chunk_at(t - 1, level, block)?;
+        apply_residual(&prev, &stored)
+    }
+
+    /// A [`ChunkSource`] view of frame `t` whose chunks come through the
+    /// server's cache — level/ROI/iso/progressive reads per frame.
+    pub fn frame(&self, t: usize) -> Result<TimeView<'_>, StoreError> {
+        self.reader.frame_reader(t)?; // validates t
+        Ok(TimeView { server: self, t })
+    }
+
+    /// Reads one whole level of frame `t` through the cache.
+    pub fn read_level(&self, t: usize, level: usize) -> Result<LevelData, StoreError> {
+        read::read_level(&self.frame(t)?, level)
+    }
+
+    /// Reads every level of frame `t` through the cache.
+    pub fn read_frame(&self, t: usize) -> Result<MultiResData, StoreError> {
+        read::read_all(&self.frame(t)?)
+    }
+
+    /// Reads the box `[lo, hi)` of one level at time `t` through the cache.
+    pub fn read_roi(
+        &self,
+        t: usize,
+        level: usize,
+        lo: [usize; 3],
+        hi: [usize; 3],
+        fill: f32,
+    ) -> Result<Field3, StoreError> {
+        read::read_roi(&self.frame(t)?, level, lo, hi, fill)
+    }
+
+    /// Time-windowed ROI through the cache: one field per frame of
+    /// `t0..=t1`. Equal to per-frame [`TemporalServer::read_roi`] calls;
+    /// chain work is shared through the `(time, level, chunk)` cache.
+    pub fn read_roi_window(
+        &self,
+        t0: usize,
+        t1: usize,
+        level: usize,
+        lo: [usize; 3],
+        hi: [usize; 3],
+        fill: f32,
+    ) -> Result<Vec<Field3>, StoreError> {
+        if t1 >= self.reader.frame_count() || t0 > t1 {
+            return Err(StoreError::NoSuchFrame(t1));
+        }
+        (t0..=t1)
+            .map(|t| self.read_roi(t, level, lo, hi, fill))
+            .collect()
+    }
+
+    /// The `(time, level, chunk)` keys one query needs — chunk-table
+    /// accounting only, no decoding. A delta chunk's chain predecessors are
+    /// *not* planned here; they are resolved (and cached) during decode.
+    fn query_keys(&self, q: &TimeQuery) -> Result<Vec<TimeKey>, StoreError> {
+        let meta = self.reader.frame_reader(q.time)?.meta();
+        let t = q.time;
+        Ok(match q.query {
+            Query::Level { level } => {
+                let lm = meta
+                    .levels
+                    .get(level)
+                    .ok_or(StoreError::NoSuchLevel(level))?;
+                (0..lm.chunks.len()).map(|i| (t, level, i)).collect()
+            }
+            Query::Roi { level, lo, hi, .. } => read::roi_chunk_indices(meta, level, lo, hi)?
+                .into_iter()
+                .map(|i| (t, level, i))
+                .collect(),
+            Query::Iso { level, iso } => read::iso_chunk_indices(meta, level, iso)?
+                .into_iter()
+                .map(|i| (t, level, i))
+                .collect(),
+        })
+    }
+
+    /// The set of `(time, level, chunk)` keys a batch needs — the union
+    /// across requests, each chunk exactly once.
+    pub fn plan(&self, queries: &[TimeQuery]) -> Result<BTreeSet<TimeKey>, StoreError> {
+        let mut need = BTreeSet::new();
+        for q in queries {
+            need.extend(self.query_keys(q)?);
+        }
+        Ok(need)
+    }
+
+    /// Serves a batch of time-pinned queries: plans the union of needed
+    /// chunks across all frames, decodes the misses in parallel (delta
+    /// chains resolve through the shared cache, so two queries at adjacent
+    /// times share the prefix work), then assembles every response from the
+    /// batch's decoded set. Responses are in request order and
+    /// byte-identical to issuing each query alone.
+    pub fn serve_batch(&self, queries: &[TimeQuery]) -> Result<Vec<Response>, StoreError> {
+        let keys: Vec<TimeKey> = self.plan(queries)?.into_iter().collect();
+        let fetched: Vec<Result<DecodedChunk, StoreError>> = keys
+            .par_iter()
+            .map(|&(t, level, block)| self.chunk_at(t, level, block))
+            .collect();
+        let mut chunks: HashMap<TimeKey, DecodedChunk> = HashMap::with_capacity(keys.len());
+        for (key, res) in keys.into_iter().zip(fetched) {
+            chunks.insert(key, res?);
+        }
+        let chunks = &chunks;
+        queries
+            .iter()
+            .map(|q| {
+                let view = TimeBatchView {
+                    server: self,
+                    t: q.time,
+                    chunks,
+                };
+                match q.query {
+                    Query::Level { level } => read::read_level(&view, level).map(Response::Level),
+                    Query::Roi {
+                        level,
+                        lo,
+                        hi,
+                        fill,
+                    } => read::read_roi(&view, level, lo, hi, fill).map(Response::Roi),
+                    Query::Iso { level, iso } => {
+                        read::read_level_iso(&view, level, iso).map(Response::Iso)
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// One frame of a [`TemporalServer`] as a [`ChunkSource`]: all reads go
+/// through the server's `(time, level, chunk)` cache.
+pub struct TimeView<'a> {
+    server: &'a TemporalServer,
+    t: usize,
+}
+
+impl TimeView<'_> {
+    /// The frame's time index.
+    pub fn time(&self) -> usize {
+        self.t
+    }
+
+    /// Coarse→fine progressive refinement of this frame through the cache —
+    /// temporal progressive: each step resolves the next finer level's
+    /// delta chains, reusing whatever chain prefixes other clients already
+    /// paid for.
+    pub fn progressive(&self, scheme: Upsample) -> Progressive<'_, Self> {
+        read::progressive(self, scheme)
+    }
+}
+
+impl ChunkSource for TimeView<'_> {
+    fn store_meta(&self) -> &StoreMeta {
+        self.server
+            .reader
+            .frame_reader(self.t)
+            .expect("TimeView time index validated at construction")
+            .meta()
+    }
+
+    fn chunk(&self, level: usize, block: usize) -> Result<DecodedChunk, StoreError> {
+        self.server.chunk_at(self.t, level, block)
+    }
+}
+
+/// Batch assembly view pinned to one query's frame: chunks come from the
+/// batch's pre-fetched set, so responses are immune to concurrent evictions
+/// (budget 0 included). Chain predecessors outside the plan were already
+/// folded into the actual-value chunks during the fetch.
+struct TimeBatchView<'a> {
+    server: &'a TemporalServer,
+    t: usize,
+    chunks: &'a HashMap<TimeKey, DecodedChunk>,
+}
+
+impl ChunkSource for TimeBatchView<'_> {
+    fn store_meta(&self) -> &StoreMeta {
+        self.server
+            .reader
+            .frame_reader(self.t)
+            .expect("batch queries validated during planning")
+            .meta()
+    }
+
+    fn chunk(&self, level: usize, block: usize) -> Result<DecodedChunk, StoreError> {
+        match self.chunks.get(&(self.t, level, block)) {
+            Some(c) => Ok(c.clone()),
+            // A key outside the plan (cannot happen for the queries that
+            // produced the plan): fall through to the cache.
+            None => self.server.chunk_at(self.t, level, block),
+        }
+    }
+}

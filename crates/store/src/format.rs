@@ -77,6 +77,8 @@ pub enum StoreError {
     },
     /// No level with this index exists in the store.
     NoSuchLevel(usize),
+    /// No frame with this index exists in a temporal store.
+    NoSuchFrame(usize),
     /// The requested ROI exceeds the level's extents.
     RoiOutOfBounds,
 }
@@ -107,6 +109,7 @@ impl std::fmt::Display for StoreError {
                 source,
             } => write!(f, "chunk (level {level}, block {block}) codec: {source}"),
             StoreError::NoSuchLevel(l) => write!(f, "no level {l} in store"),
+            StoreError::NoSuchFrame(t) => write!(f, "no frame {t} in temporal store"),
             StoreError::RoiOutOfBounds => write!(f, "ROI exceeds level extents"),
         }
     }

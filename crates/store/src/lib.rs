@@ -48,11 +48,16 @@
 
 pub mod format;
 pub mod read;
+pub mod temporal;
 
 pub use format::{
     parse_head, ChunkMeta, LevelMeta, StoreError, StoreMeta, MAGIC, PREFIX_LEN, VERSION,
 };
 pub use read::{ChunkSource, DecodedChunk, Progressive, RefinementStep};
+pub use temporal::{
+    FrameMeta, FrameView, Prediction, TemporalEncoder, TemporalManifest, TemporalReader,
+    MANIFEST_NAME, TEMPORAL_MAGIC, TEMPORAL_VERSION,
+};
 
 use hqmr_codec::kernels;
 use hqmr_codec::{crc32, Codec, NullCodec, NULL_CODEC_ID};

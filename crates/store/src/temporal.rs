@@ -1,0 +1,1003 @@
+//! `HQTM` — the multi-timestep temporal store: a directory of per-frame
+//! `HQST` containers plus a manifest with per-chunk keyframe/delta flags.
+//!
+//! ```text
+//! <dir>/manifest.hqtm          "HQTM" | version u8 | body_len u32le | body_crc u32le | body
+//! <dir>/frame_00000.hqst       plain HQST store (frame 0)
+//! <dir>/frame_00001.hqst       plain HQST store (frame 1): delta chunks hold
+//! ...                          residuals against frame 0's *decoded* values
+//! ```
+//!
+//! The manifest body lists, per frame, the simulation step, the frame file
+//! name, and one bit per `(level, chunk)`: `1` means the chunk's stream is a
+//! temporal **delta** (residual against the same chunk of the previous
+//! frame), `0` means a **keyframe** chunk (independent raw values). Keeping
+//! the flags in the manifest — not in the `HQST` chunk tables — means a
+//! frame file with every flag `0` is *bit-identical* to what
+//! `insitu::write_snapshot` writes for the same data, so delta-off temporal
+//! stores are pinned to today's independent snapshots by construction.
+//!
+//! Prediction is **closed-loop**: the writer predicts from the *decoded*
+//! previous frame, so the reader's reconstruction `x̂_t = x̂_{t−1} + r̂_t`
+//! carries per-frame error ≤ eb with no drift along a delta chain. Each
+//! chunk picks keyframe-vs-delta independently (whichever compresses
+//! smaller), whole frames are forced to keyframes on a configurable
+//! interval and whenever the block structure changes, and frame 0 is always
+//! a keyframe — so every chunk chain is seekable from its nearest keyframe.
+//!
+//! Delta chunks still record the chunk's **actual** value min/max in the
+//! `HQST` chunk table (not the residual's), so isovalue chunk-skipping and
+//! proxy fills through a [`FrameView`] keep their semantics.
+
+use crate::format::{self, ChunkMeta, LevelMeta, StoreError, StoreMeta};
+use crate::read::{self, ChunkSource, DecodedChunk, Progressive};
+use crate::{encode_prepared_store_into, prepare_store, StoreConfig, StoreReader};
+use hqmr_codec::{crc32, read_uvarint, write_uvarint, Codec};
+use hqmr_grid::{Dims3, Field3};
+use hqmr_mr::prepare::prepare_blocks;
+use hqmr_mr::{temporal as predict, LevelData, MultiResData, UnitBlock, Upsample};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Temporal manifest magic.
+pub const TEMPORAL_MAGIC: &[u8; 4] = b"HQTM";
+/// Current temporal manifest version.
+pub const TEMPORAL_VERSION: u8 = 1;
+/// Manifest file name inside a temporal store directory.
+pub const MANIFEST_NAME: &str = "manifest.hqtm";
+/// Bytes before the manifest body: magic + version + body_len + body_crc.
+const MANIFEST_PREFIX_LEN: usize = 4 + 1 + 4 + 4;
+
+/// Inter-frame prediction policy of a temporal store writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prediction {
+    /// Every frame is an independent snapshot — frame files bit-identical
+    /// to `write_snapshot` output.
+    Off,
+    /// Chunks may be temporal deltas against the previous frame's decoded
+    /// values; whichever of raw/delta compresses smaller wins per chunk.
+    Delta {
+        /// Every `keyframe_interval`-th frame is forced to a whole-frame
+        /// keyframe (`0` ⇒ only frame 0 and structure changes force one).
+        /// Bounds the chain length a cold random access must walk.
+        keyframe_interval: usize,
+    },
+}
+
+impl Prediction {
+    /// The default delta policy: a whole-frame keyframe every 8 frames.
+    pub fn delta() -> Self {
+        Prediction::Delta {
+            keyframe_interval: 8,
+        }
+    }
+}
+
+/// Per-frame `(level, chunk)` delta flags: `flags[level][chunk]` is `true`
+/// for a temporal-delta chunk. An empty outer vec is the whole-frame
+/// keyframe shorthand.
+pub type FrameFlags = Vec<Vec<bool>>;
+
+/// One frame's manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Simulation step this frame captured.
+    pub step: u64,
+    /// Frame file name within the store directory.
+    pub file: String,
+    /// Per-`(level, chunk)` delta flags (see [`FrameFlags`]).
+    pub delta: FrameFlags,
+}
+
+impl FrameMeta {
+    /// Whether every chunk of this frame is a keyframe chunk.
+    pub fn is_keyframe(&self) -> bool {
+        self.delta_chunks() == 0
+    }
+
+    /// Whether chunk `(level, chunk)` is a temporal delta. Out-of-range
+    /// indices read as keyframe (`false`).
+    pub fn is_delta(&self, level: usize, chunk: usize) -> bool {
+        self.delta
+            .get(level)
+            .and_then(|l| l.get(chunk))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Number of delta chunks in this frame.
+    pub fn delta_chunks(&self) -> usize {
+        self.delta
+            .iter()
+            .map(|l| l.iter().filter(|&&d| d).count())
+            .sum()
+    }
+}
+
+/// The temporal store's directory: frame entries in time order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TemporalManifest {
+    /// Frames, index = time.
+    pub frames: Vec<FrameMeta>,
+}
+
+impl TemporalManifest {
+    /// Serializes the framed manifest (prefix + CRC-guarded body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        write_uvarint(&mut body, self.frames.len() as u64);
+        for f in &self.frames {
+            write_uvarint(&mut body, f.step);
+            write_uvarint(&mut body, f.file.len() as u64);
+            body.extend_from_slice(f.file.as_bytes());
+            write_uvarint(&mut body, f.delta.len() as u64);
+            for level in &f.delta {
+                write_uvarint(&mut body, level.len() as u64);
+                // LSB-first bitset.
+                let mut bits = vec![0u8; level.len().div_ceil(8)];
+                for (i, &d) in level.iter().enumerate() {
+                    if d {
+                        bits[i / 8] |= 1 << (i % 8);
+                    }
+                }
+                body.extend_from_slice(&bits);
+            }
+        }
+        let mut out = Vec::with_capacity(MANIFEST_PREFIX_LEN + body.len());
+        out.extend_from_slice(TEMPORAL_MAGIC);
+        out.push(TEMPORAL_VERSION);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses and CRC-validates [`Self::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        if bytes.len() < MANIFEST_PREFIX_LEN {
+            return Err(StoreError::Truncated);
+        }
+        if &bytes[..4] != TEMPORAL_MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        if bytes[4] != TEMPORAL_VERSION {
+            return Err(StoreError::BadVersion(bytes[4]));
+        }
+        let body_len = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+        let body_crc = u32::from_le_bytes(bytes[9..13].try_into().unwrap());
+        let body = bytes
+            .get(MANIFEST_PREFIX_LEN..MANIFEST_PREFIX_LEN + body_len)
+            .ok_or(StoreError::Truncated)?;
+        if crc32(body) != body_crc {
+            return Err(StoreError::CorruptTable);
+        }
+        let mut pos = 0usize;
+        let rd = |pos: &mut usize| -> Result<usize, StoreError> {
+            read_uvarint(body, pos)
+                .map(|v| v as usize)
+                .ok_or(StoreError::Malformed("manifest varint"))
+        };
+        let n_frames = rd(&mut pos)?;
+        let mut frames = Vec::with_capacity(n_frames.min(1 << 16));
+        for _ in 0..n_frames {
+            let step =
+                read_uvarint(body, &mut pos).ok_or(StoreError::Malformed("manifest varint"))?;
+            let name_len = rd(&mut pos)?;
+            let end = pos
+                .checked_add(name_len)
+                .ok_or(StoreError::Malformed("manifest name length"))?;
+            let name = body
+                .get(pos..end)
+                .ok_or(StoreError::Malformed("manifest name"))?;
+            pos = end;
+            let file = std::str::from_utf8(name)
+                .map_err(|_| StoreError::Malformed("manifest name not utf-8"))?
+                .to_string();
+            let n_levels = rd(&mut pos)?;
+            let mut delta = Vec::with_capacity(n_levels.min(64));
+            for _ in 0..n_levels {
+                let n_chunks = rd(&mut pos)?;
+                let n_bytes = n_chunks.div_ceil(8);
+                let end = pos
+                    .checked_add(n_bytes)
+                    .ok_or(StoreError::Malformed("manifest bitset length"))?;
+                let bits = body
+                    .get(pos..end)
+                    .ok_or(StoreError::Malformed("manifest bitset"))?;
+                pos = end;
+                delta.push(
+                    (0..n_chunks)
+                        .map(|i| bits[i / 8] & (1 << (i % 8)) != 0)
+                        .collect(),
+                );
+            }
+            frames.push(FrameMeta { step, file, delta });
+        }
+        if pos != body.len() {
+            return Err(StoreError::Malformed("trailing manifest bytes"));
+        }
+        Ok(TemporalManifest { frames })
+    }
+}
+
+/// Adds `residual` onto `prev`, producing the actual-value chunk. Errors if
+/// the two chunks disagree structurally (a malformed chain).
+pub fn apply_residual(
+    prev: &DecodedChunk,
+    residual: &DecodedChunk,
+) -> Result<DecodedChunk, StoreError> {
+    if prev.unit != residual.unit
+        || prev.origins != residual.origins
+        || prev.data.len() != residual.data.len()
+    {
+        return Err(StoreError::Malformed("temporal chain structure mismatch"));
+    }
+    let mut data: Vec<f32> = residual.data.to_vec();
+    predict::restore_in_place(&mut data, &prev.data);
+    Ok(DecodedChunk {
+        unit: residual.unit,
+        origins: Arc::clone(&residual.origins),
+        data: data.into(),
+    })
+}
+
+/// The previous frame's decoded state the closed-loop encoder predicts from.
+struct PrevLevel {
+    level: usize,
+    unit: usize,
+    dims: Dims3,
+    /// Block origins in write order (the structure signature).
+    origins: Vec<[usize; 3]>,
+    /// Decoded values per block origin.
+    decoded: HashMap<[usize; 3], Vec<f32>>,
+}
+
+struct PrevFrame {
+    domain: Dims3,
+    levels: Vec<PrevLevel>,
+}
+
+impl PrevFrame {
+    fn structure_matches(&self, mr: &MultiResData) -> bool {
+        self.domain == mr.domain
+            && self.levels.len() == mr.levels.len()
+            && self.levels.iter().zip(&mr.levels).all(|(p, l)| {
+                p.level == l.level
+                    && p.unit == l.unit
+                    && p.dims == l.dims
+                    && p.origins.len() == l.blocks.len()
+                    && p.origins.iter().zip(&l.blocks).all(|(o, b)| *o == b.origin)
+            })
+    }
+}
+
+/// Stateful frame encoder: feeds a sequence of [`MultiResData`] frames
+/// through closed-loop temporal prediction and emits one `HQST` buffer per
+/// frame plus its keyframe/delta flags. Purely in-memory — the crash-safe
+/// file layer lives in `hqmr-core::insitu::TemporalWriter`.
+pub struct TemporalEncoder {
+    cfg: StoreConfig,
+    prediction: Prediction,
+    /// Frames encoded so far (the next frame's time index).
+    frames: usize,
+    prev: Option<PrevFrame>,
+}
+
+impl TemporalEncoder {
+    /// Creates an encoder writing chunks under `cfg` with `prediction`.
+    pub fn new(cfg: StoreConfig, prediction: Prediction) -> Self {
+        TemporalEncoder {
+            cfg,
+            prediction,
+            frames: 0,
+            prev: None,
+        }
+    }
+
+    /// Frames encoded so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Encodes the next frame into `out` (cleared first) and returns its
+    /// delta flags. With [`Prediction::Off`] this funnels through the exact
+    /// same `prepare_store` + `encode_prepared_store_into` path as
+    /// `write_snapshot`, so the buffer is bit-identical to an independent
+    /// snapshot of the same data.
+    pub fn encode_frame_into(
+        &mut self,
+        mr: &MultiResData,
+        codec: &dyn Codec,
+        out: &mut Vec<u8>,
+    ) -> Result<FrameFlags, StoreError> {
+        let keyframe_due = match self.prediction {
+            Prediction::Off => true,
+            Prediction::Delta { keyframe_interval } => {
+                self.frames == 0
+                    || (keyframe_interval > 0 && self.frames.is_multiple_of(keyframe_interval))
+            }
+        };
+        let structure_ok = self.prev.as_ref().is_some_and(|p| p.structure_matches(mr));
+
+        let flags = if keyframe_due || !structure_ok {
+            let prepared = prepare_store(mr, &self.cfg);
+            encode_prepared_store_into(mr, &prepared, &self.cfg, codec, out);
+            prepared
+                .iter()
+                .map(|preps| {
+                    let n: usize = preps.iter().map(|p| p.array_count()).sum();
+                    vec![false; n]
+                })
+                .collect()
+        } else {
+            self.encode_delta_frame(mr, codec, out)
+        };
+
+        // Closed loop: the *decoded* frame becomes the next prediction base.
+        if matches!(self.prediction, Prediction::Delta { .. }) {
+            self.rebuild_state(mr, out, &flags)?;
+        }
+        self.frames += 1;
+        Ok(flags)
+    }
+
+    /// Per-chunk keyframe/delta choice: prepare both candidates, compress
+    /// both, keep the smaller stream. Chunk tables record the *actual*
+    /// value min/max either way.
+    fn encode_delta_frame(
+        &self,
+        mr: &MultiResData,
+        codec: &dyn Codec,
+        out: &mut Vec<u8>,
+    ) -> FrameFlags {
+        let prev = self.prev.as_ref().expect("caller checked structure");
+        let group_len = self.cfg.chunk_blocks.max(1);
+        // Raw + residual prepared pairs per chunk group; residual blocks are
+        // built against the previous frame's decoded values (closed loop).
+        let preps: Vec<Vec<(hqmr_mr::PreparedLevel, hqmr_mr::PreparedLevel)>> = mr
+            .levels
+            .iter()
+            .zip(&prev.levels)
+            .map(|(level, prev_lvl)| {
+                level
+                    .blocks
+                    .chunks(group_len)
+                    .map(|group| {
+                        let raw = prepare_blocks(group, level.unit, self.cfg.merge, self.cfg.pad);
+                        let rblocks: Vec<UnitBlock> = group
+                            .iter()
+                            .map(|b| {
+                                let base = prev_lvl
+                                    .decoded
+                                    .get(&b.origin)
+                                    .expect("structure matched: every block has a predecessor");
+                                UnitBlock {
+                                    origin: b.origin,
+                                    data: predict::residual(&b.data, base),
+                                }
+                            })
+                            .collect();
+                        let delta =
+                            prepare_blocks(&rblocks, level.unit, self.cfg.merge, self.cfg.pad);
+                        (raw, delta)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // One flat work list over all chunks; each entry compresses both
+        // candidates and keeps the smaller.
+        let inputs: Vec<(&Field3, &Field3)> = preps
+            .iter()
+            .flat_map(|groups| {
+                groups
+                    .iter()
+                    .flat_map(|(raw, delta)| raw.fields().zip(delta.fields()))
+            })
+            .collect();
+        let streams: Vec<(Vec<u8>, bool)> = inputs
+            .par_iter()
+            .map(|(rf, df)| {
+                let mut rs = Vec::new();
+                codec.compress_into(rf, self.cfg.eb, &mut rs);
+                let mut ds = Vec::new();
+                codec.compress_into(df, self.cfg.eb, &mut ds);
+                if ds.len() < rs.len() {
+                    (ds, true)
+                } else {
+                    (rs, false)
+                }
+            })
+            .collect();
+
+        let mut it = streams.into_iter();
+        let mut data = Vec::new();
+        let mut levels_meta = Vec::with_capacity(mr.levels.len());
+        let mut flags: FrameFlags = Vec::with_capacity(mr.levels.len());
+        for (level, groups) in mr.levels.iter().zip(&preps) {
+            let mut chunks = Vec::new();
+            let mut lflags = Vec::new();
+            for (raw, _) in groups {
+                for (m, f) in raw.blocks() {
+                    let (stream, is_delta) = it.next().expect("work list aligned");
+                    // Actual-value min/max even for delta chunks, so iso
+                    // skipping and proxy fills stay meaningful.
+                    let (min, max) = m.field.min_max();
+                    chunks.push(ChunkMeta {
+                        offset: data.len() as u64,
+                        len: stream.len(),
+                        crc: crc32(&stream),
+                        min,
+                        max,
+                        enc_dims: f.dims(),
+                        padded: raw.padded(),
+                        unit: m.unit,
+                        slots: m.slots.clone(),
+                    });
+                    data.extend_from_slice(&stream);
+                    lflags.push(is_delta);
+                }
+            }
+            levels_meta.push(LevelMeta {
+                level: level.level,
+                unit: level.unit,
+                dims: level.dims,
+                chunks,
+            });
+            flags.push(lflags);
+        }
+        let meta = StoreMeta {
+            domain: mr.domain,
+            codec_id: codec.id(),
+            eb: self.cfg.eb,
+            levels: levels_meta,
+        };
+        format::frame_into(&meta, &data, out);
+        flags
+    }
+
+    /// Decodes the just-encoded frame and folds it over the previous state,
+    /// producing the decoded-value base the *next* frame predicts from.
+    fn rebuild_state(
+        &mut self,
+        mr: &MultiResData,
+        frame_bytes: &[u8],
+        flags: &FrameFlags,
+    ) -> Result<(), StoreError> {
+        let reader = StoreReader::from_bytes(frame_bytes.to_vec())?;
+        let prev = self.prev.take();
+        let mut levels = Vec::with_capacity(mr.levels.len());
+        for (li, lvl) in mr.levels.iter().enumerate() {
+            let indices: Vec<usize> = (0..reader.meta().levels[li].chunks.len()).collect();
+            let decoded = reader.chunks(li, &indices)?;
+            let mut map = HashMap::with_capacity(lvl.blocks.len());
+            for (ci, dc) in decoded.into_iter().enumerate() {
+                let is_delta = flags
+                    .get(li)
+                    .and_then(|l| l.get(ci))
+                    .copied()
+                    .unwrap_or(false);
+                for (k, &origin) in dc.origins.iter().enumerate() {
+                    let mut vals = dc.block_data(k).to_vec();
+                    if is_delta {
+                        let base = prev
+                            .as_ref()
+                            .and_then(|p| p.levels.get(li))
+                            .and_then(|p| p.decoded.get(&origin))
+                            .ok_or(StoreError::Malformed("delta chunk without prior state"))?;
+                        predict::restore_in_place(&mut vals, base);
+                    }
+                    map.insert(origin, vals);
+                }
+            }
+            levels.push(PrevLevel {
+                level: lvl.level,
+                unit: lvl.unit,
+                dims: lvl.dims,
+                origins: lvl.blocks.iter().map(|b| b.origin).collect(),
+                decoded: map,
+            });
+        }
+        self.prev = Some(PrevFrame {
+            domain: mr.domain,
+            levels,
+        });
+        Ok(())
+    }
+}
+
+/// `(time, level, chunk)` — the unit of temporal chunk identity, shared
+/// with the serving layer's time-keyed cache.
+pub type TimeKey = (usize, usize, usize);
+
+/// Memo of actual-value chunks shared along chain walks (and across the
+/// frames of a window read), so decoding frames `t0..=t1` touches each
+/// underlying chunk once instead of once per frame.
+type ChainMemo = Mutex<HashMap<TimeKey, DecodedChunk>>;
+
+/// Random-access reader over a temporal store directory.
+///
+/// Every per-frame read funnels through a [`FrameView`] — a [`ChunkSource`]
+/// whose `chunk` walks the delta chain back to the chunk's nearest keyframe
+/// — so level, ROI, isovalue and progressive reads all come from the same
+/// provider-generic assembly the single-frame store uses.
+pub struct TemporalReader {
+    dir: PathBuf,
+    manifest: TemporalManifest,
+    frames: Vec<StoreReader>,
+}
+
+impl TemporalReader {
+    /// Opens a temporal store directory: parses the manifest, opens every
+    /// frame store, and validates that the manifest's flag shapes match the
+    /// frame directories and that frame 0 is a keyframe.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let mpath = dir.join(MANIFEST_NAME);
+        let bytes = std::fs::read(&mpath).map_err(|source| StoreError::Open {
+            path: mpath.clone(),
+            source,
+        })?;
+        let manifest = TemporalManifest::from_bytes(&bytes)?;
+        let frames: Vec<StoreReader> = manifest
+            .frames
+            .iter()
+            .map(|f| StoreReader::open(dir.join(&f.file)))
+            .collect::<Result<_, _>>()?;
+        for (t, (fm, r)) in manifest.frames.iter().zip(&frames).enumerate() {
+            if t == 0 && !fm.is_keyframe() {
+                return Err(StoreError::Malformed("frame 0 must be a keyframe"));
+            }
+            if fm.delta.is_empty() {
+                continue;
+            }
+            let meta = r.meta();
+            if fm.delta.len() != meta.levels.len()
+                || fm
+                    .delta
+                    .iter()
+                    .zip(&meta.levels)
+                    .any(|(lf, lm)| lf.len() != lm.chunks.len())
+            {
+                return Err(StoreError::Malformed(
+                    "manifest delta flags do not match frame chunk table",
+                ));
+            }
+        }
+        Ok(TemporalReader {
+            dir,
+            manifest,
+            frames,
+        })
+    }
+
+    /// The store directory this reader was opened on.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &TemporalManifest {
+        &self.manifest
+    }
+
+    /// Number of frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the store holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The underlying per-frame store reader (chunk streams are residuals
+    /// for delta chunks — use [`TemporalReader::frame`] for actual values).
+    pub fn frame_reader(&self, t: usize) -> Result<&StoreReader, StoreError> {
+        self.frames.get(t).ok_or(StoreError::NoSuchFrame(t))
+    }
+
+    /// An actual-value view of frame `t`, with a fresh chain memo.
+    pub fn frame(&self, t: usize) -> Result<FrameView<'_>, StoreError> {
+        if t >= self.frames.len() {
+            return Err(StoreError::NoSuchFrame(t));
+        }
+        Ok(FrameView {
+            reader: self,
+            t,
+            memo: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// Decodes the actual-value chunk `(t, level, block)` by walking its
+    /// delta chain back to the nearest keyframe (fresh memo).
+    pub fn chunk_at(
+        &self,
+        t: usize,
+        level: usize,
+        block: usize,
+    ) -> Result<DecodedChunk, StoreError> {
+        let memo = Mutex::new(HashMap::new());
+        self.chunk_chain(&memo, t, level, block)
+    }
+
+    /// Chain walk with memoization: finds the nearest memoized state or
+    /// keyframe at `s ≤ t`, then applies residuals forward `s+1..=t`,
+    /// memoizing every intermediate so overlapping walks (a window read, a
+    /// progressive refinement) decode each underlying chunk once.
+    fn chunk_chain(
+        &self,
+        memo: &ChainMemo,
+        t: usize,
+        level: usize,
+        block: usize,
+    ) -> Result<DecodedChunk, StoreError> {
+        if t >= self.frames.len() {
+            return Err(StoreError::NoSuchFrame(t));
+        }
+        // Walk back to a memo hit or a keyframe chunk.
+        let mut s = t;
+        let mut acc: Option<DecodedChunk> = None;
+        loop {
+            if let Some(c) = memo
+                .lock()
+                .expect("chain memo lock")
+                .get(&(s, level, block))
+            {
+                acc = Some(c.clone());
+                break;
+            }
+            if !self.manifest.frames[s].is_delta(level, block) {
+                break; // keyframe chunk at s
+            }
+            if s == 0 {
+                return Err(StoreError::Malformed("delta chain has no keyframe root"));
+            }
+            s -= 1;
+        }
+        let mut acc = match acc {
+            Some(c) => c,
+            None => {
+                let c = self.frames[s].decode_chunk(level, block)?;
+                memo.lock()
+                    .expect("chain memo lock")
+                    .insert((s, level, block), c.clone());
+                c
+            }
+        };
+        for u in s + 1..=t {
+            let residual = self.frames[u].decode_chunk(level, block)?;
+            acc = apply_residual(&acc, &residual)?;
+            memo.lock()
+                .expect("chain memo lock")
+                .insert((u, level, block), acc.clone());
+        }
+        Ok(acc)
+    }
+
+    /// Reads one whole resolution level of frame `t` (actual values).
+    pub fn read_level(&self, t: usize, level: usize) -> Result<LevelData, StoreError> {
+        read::read_level(&self.frame(t)?, level)
+    }
+
+    /// Reads every level of frame `t` — the temporal equivalent of
+    /// `StoreReader::read_all`.
+    pub fn read_frame(&self, t: usize) -> Result<MultiResData, StoreError> {
+        read::read_all(&self.frame(t)?)
+    }
+
+    /// Reads the axis-aligned box `[lo, hi)` of one level at time `t`.
+    pub fn read_roi(
+        &self,
+        t: usize,
+        level: usize,
+        lo: [usize; 3],
+        hi: [usize; 3],
+        fill: f32,
+    ) -> Result<Field3, StoreError> {
+        read::read_roi(&self.frame(t)?, level, lo, hi, fill)
+    }
+
+    /// Time-windowed ROI: the same box read at every frame of `t0..=t1`,
+    /// one field per frame. The frames share one chain memo, so each
+    /// underlying chunk along the window's chains decodes exactly once —
+    /// equal results to calling [`TemporalReader::read_roi`] per frame, at
+    /// a fraction of the decode work.
+    pub fn read_roi_window(
+        &self,
+        t0: usize,
+        t1: usize,
+        level: usize,
+        lo: [usize; 3],
+        hi: [usize; 3],
+        fill: f32,
+    ) -> Result<Vec<Field3>, StoreError> {
+        if t1 >= self.frames.len() || t0 > t1 {
+            return Err(StoreError::NoSuchFrame(t1));
+        }
+        let memo = Arc::new(Mutex::new(HashMap::new()));
+        (t0..=t1)
+            .map(|t| {
+                let view = FrameView {
+                    reader: self,
+                    t,
+                    memo: Arc::clone(&memo),
+                };
+                read::read_roi(&view, level, lo, hi, fill)
+            })
+            .collect()
+    }
+}
+
+/// One frame of a [`TemporalReader`], viewed as a [`ChunkSource`] of
+/// actual-value chunks: `chunk` transparently walks the delta chain. All of
+/// the provider-generic reads (level, ROI, isovalue skip, progressive)
+/// therefore work per frame, chain decoding included.
+pub struct FrameView<'a> {
+    reader: &'a TemporalReader,
+    t: usize,
+    memo: Arc<ChainMemo>,
+}
+
+impl FrameView<'_> {
+    /// The frame's time index.
+    pub fn time(&self) -> usize {
+        self.t
+    }
+
+    /// Coarse→fine temporal progressive refinement of this frame: each step
+    /// decodes the next finer level *through the delta chains*, sharing the
+    /// view's memo, so refining a delta frame only walks each chunk's chain
+    /// once across all steps.
+    pub fn progressive(&self, scheme: Upsample) -> Progressive<'_, Self> {
+        read::progressive(self, scheme)
+    }
+
+    /// Reads the box `[lo, hi)` of one level (actual values).
+    pub fn read_roi(
+        &self,
+        level: usize,
+        lo: [usize; 3],
+        hi: [usize; 3],
+        fill: f32,
+    ) -> Result<Field3, StoreError> {
+        read::read_roi(self, level, lo, hi, fill)
+    }
+
+    /// Reads one whole level (actual values).
+    pub fn read_level(&self, level: usize) -> Result<LevelData, StoreError> {
+        read::read_level(self, level)
+    }
+
+    /// Reads one level under isovalue chunk-skipping; the chunk table's
+    /// min/max are actual-value bounds even for delta chunks, so skipping
+    /// semantics match the single-frame store.
+    pub fn read_level_iso(&self, level: usize, iso: f32) -> Result<LevelData, StoreError> {
+        read::read_level_iso(self, level, iso)
+    }
+}
+
+impl ChunkSource for FrameView<'_> {
+    fn store_meta(&self) -> &StoreMeta {
+        self.reader.frames[self.t].meta()
+    }
+
+    fn chunk(&self, level: usize, block: usize) -> Result<DecodedChunk, StoreError> {
+        self.reader.chunk_chain(&self.memo, self.t, level, block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqmr_codec::NullCodec;
+    use hqmr_sz3::Sz3Codec;
+
+    fn seq_field(n: usize, t: usize) -> Field3 {
+        Field3::from_fn(Dims3::cube(n), |x, y, z| {
+            ((x + 2 * y) as f32 * 0.1 + t as f32 * 0.5).sin() * 10.0 + (z as f32) * 0.02
+        })
+    }
+
+    /// A frame-stable sequence: ROI selection runs on frame 0, later frames
+    /// are poured into the same block structure (the in-situ usage).
+    fn seq_frames(n: usize, steps: usize) -> Vec<MultiResData> {
+        let template = hqmr_mr::to_adaptive(&seq_field(n, 0), &hqmr_mr::RoiConfig::new(8, 0.5));
+        (0..steps)
+            .map(|t| predict::resample_like(&template, &seq_field(n, t)))
+            .collect()
+    }
+
+    fn write_temporal(
+        dir: &Path,
+        frames: &[MultiResData],
+        cfg: &StoreConfig,
+        prediction: Prediction,
+        codec: &dyn Codec,
+    ) -> TemporalManifest {
+        std::fs::create_dir_all(dir).unwrap();
+        let mut enc = TemporalEncoder::new(*cfg, prediction);
+        let mut manifest = TemporalManifest::default();
+        let mut buf = Vec::new();
+        for (t, mr) in frames.iter().enumerate() {
+            let flags = enc.encode_frame_into(mr, codec, &mut buf).unwrap();
+            let file = format!("frame_{t:05}.hqst");
+            std::fs::write(dir.join(&file), &buf).unwrap();
+            manifest.frames.push(FrameMeta {
+                step: t as u64,
+                file,
+                delta: flags,
+            });
+        }
+        std::fs::write(dir.join(MANIFEST_NAME), manifest.to_bytes()).unwrap();
+        manifest
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_rejects_damage() {
+        let m = TemporalManifest {
+            frames: vec![
+                FrameMeta {
+                    step: 0,
+                    file: "frame_00000.hqst".into(),
+                    delta: vec![vec![false; 3], vec![false; 1]],
+                },
+                FrameMeta {
+                    step: 7,
+                    file: "frame_00001.hqst".into(),
+                    delta: vec![vec![true, false, true], vec![true]],
+                },
+            ],
+        };
+        let bytes = m.to_bytes();
+        assert_eq!(TemporalManifest::from_bytes(&bytes).unwrap(), m);
+        assert!(matches!(
+            TemporalManifest::from_bytes(&bytes[..5]),
+            Err(StoreError::Truncated)
+        ));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            TemporalManifest::from_bytes(&bad),
+            Err(StoreError::BadMagic)
+        ));
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 0xFF;
+        assert!(matches!(
+            TemporalManifest::from_bytes(&bad),
+            Err(StoreError::CorruptTable)
+        ));
+        assert!(m.frames[0].is_keyframe());
+        assert!(!m.frames[1].is_keyframe());
+        assert_eq!(m.frames[1].delta_chunks(), 3);
+        assert!(m.frames[1].is_delta(0, 2));
+        assert!(!m.frames[1].is_delta(0, 1));
+        assert!(!m.frames[1].is_delta(9, 9), "out of range reads keyframe");
+    }
+
+    #[test]
+    fn delta_chain_reconstructs_within_bound() {
+        let frames = seq_frames(16, 5);
+        let eb = 0.05;
+        let cfg = StoreConfig::new(eb).with_chunk_blocks(2);
+        let dir = std::env::temp_dir().join("hqmr_temporal_chain_test");
+        std::fs::remove_dir_all(&dir).ok();
+        write_temporal(
+            &dir,
+            &frames,
+            &cfg,
+            Prediction::delta(),
+            &Sz3Codec::default(),
+        );
+        let tr = TemporalReader::open(&dir).unwrap();
+        assert_eq!(tr.frame_count(), 5);
+        // Some chunk beyond frame 0 must actually be a delta on this
+        // correlated sequence.
+        assert!(
+            (1..5).any(|t| tr.manifest().frames[t].delta_chunks() > 0),
+            "correlated frames should pick delta chunks"
+        );
+        for (t, mr) in frames.iter().enumerate() {
+            let back = tr.read_frame(t).unwrap();
+            assert_eq!(back.levels.len(), mr.levels.len());
+            for (bl, ol) in back.levels.iter().zip(&mr.levels) {
+                for (bb, ob) in bl.blocks.iter().zip(&ol.blocks) {
+                    assert_eq!(bb.origin, ob.origin);
+                    for (a, b) in bb.data.iter().zip(&ob.data) {
+                        assert!(
+                            (a - b).abs() as f64 <= eb * 1.0001,
+                            "frame {t}: {a} vs {b} exceeds eb {eb}"
+                        );
+                    }
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn window_reads_match_per_frame_and_progressive_refines_through_chains() {
+        let frames = seq_frames(16, 4);
+        let cfg = StoreConfig::new(0.02).with_chunk_blocks(2);
+        let dir = std::env::temp_dir().join("hqmr_temporal_window_test");
+        std::fs::remove_dir_all(&dir).ok();
+        write_temporal(
+            &dir,
+            &frames,
+            &cfg,
+            Prediction::delta(),
+            &Sz3Codec::default(),
+        );
+        let tr = TemporalReader::open(&dir).unwrap();
+        // Window reads and per-frame reads decode the same stored data, so
+        // they must be bit-equal regardless of codec lossiness — and the
+        // window path walks each chain once through the shared memo.
+        let d = tr.frame_reader(0).unwrap().meta().levels[0].dims;
+        let (lo, hi) = ([0, 0, 0], [d.nx, d.ny / 2, d.nz]);
+        let window = tr.read_roi_window(0, 3, 0, lo, hi, 0.0).unwrap();
+        assert_eq!(window.len(), 4);
+        for (t, w) in window.iter().enumerate() {
+            let single = tr.read_roi(t, 0, lo, hi, 0.0).unwrap();
+            assert_eq!(*w, single, "window read differs from per-frame at t={t}");
+        }
+        // Progressive through the delta chains refines to the same full
+        // reconstruction a direct frame read produces.
+        let view = tr.frame(3).unwrap();
+        let steps: Vec<_> = view
+            .progressive(Upsample::Nearest)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(
+            steps.last().unwrap().field,
+            tr.read_frame(3).unwrap().reconstruct(Upsample::Nearest)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn structure_change_forces_keyframe() {
+        let mut frames = seq_frames(16, 3);
+        // Frame 2 drops a block: structure changes, so it must be a keyframe.
+        frames[2].levels[0].blocks.pop();
+        let cfg = StoreConfig::new(0.02).with_chunk_blocks(2);
+        let mut enc = TemporalEncoder::new(cfg, Prediction::delta());
+        let mut buf = Vec::new();
+        let mut per_frame = Vec::new();
+        for mr in &frames {
+            let flags = enc
+                .encode_frame_into(mr, &Sz3Codec::default(), &mut buf)
+                .unwrap();
+            per_frame.push(flags.iter().flatten().filter(|&&d| d).count());
+        }
+        assert_eq!(per_frame[0], 0, "frame 0 is a keyframe");
+        assert_eq!(per_frame[2], 0, "structure change forces keyframe");
+    }
+
+    #[test]
+    fn open_rejects_flag_shape_mismatch_and_delta_frame_zero() {
+        let frames = seq_frames(16, 2);
+        let cfg = StoreConfig::new(0.0).with_chunk_blocks(2);
+        let dir = std::env::temp_dir().join("hqmr_temporal_badflags_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut manifest = write_temporal(&dir, &frames, &cfg, Prediction::Off, &NullCodec);
+        // Claim frame 0 has a delta chunk: must be rejected.
+        manifest.frames[0].delta = vec![vec![true]];
+        std::fs::write(dir.join(MANIFEST_NAME), manifest.to_bytes()).unwrap();
+        assert!(matches!(
+            TemporalReader::open(&dir),
+            Err(StoreError::Malformed(_))
+        ));
+        // Wrong flag shape on frame 1: rejected too.
+        manifest.frames[0].delta = Vec::new();
+        manifest.frames[1].delta = vec![vec![false; 1]];
+        std::fs::write(dir.join(MANIFEST_NAME), manifest.to_bytes()).unwrap();
+        assert!(matches!(
+            TemporalReader::open(&dir),
+            Err(StoreError::Malformed(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

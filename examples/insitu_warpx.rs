@@ -1,93 +1,112 @@
-//! In-situ scenario: a WarpX-like simulation loop writing compressed
-//! snapshots with the backend-generic MRC engine (the Table IV pipeline).
+//! In-situ scenario: a WarpX-like simulation loop streaming timesteps into a
+//! temporal (`HQTM`) store with inter-frame prediction.
 //!
 //! ```text
 //! cargo run --release --example insitu_warpx
 //! ```
 //!
-//! Each "timestep" produces an Ez field, converts it to adaptive
-//! multi-resolution data (WarpX does not support AMR, §I), and writes a
-//! compressed snapshot, reporting the pre-process vs compress+write split for
-//! our linear merge versus AMRIC's stacking. Snapshots are block-indexed
-//! `hqmr-store` containers: the verification pass opens each file from disk
-//! (codec routing comes from the directory, no configuration needed), reads
-//! it back fully, and then demonstrates random access by pulling a coarse
-//! first refinement and a small fine-level ROI out of the same file while
-//! counting how few of the compressed bytes those touch.
+//! Each "timestep" advances a laser pulse along `z`, pours the field into
+//! the block layout chosen at step 0 (frame-stable layouts are what make
+//! temporal deltas line up), and appends it to a [`TemporalWriter`]: every
+//! frame lands as its own crash-safe `HQST` file, the manifest is rewritten
+//! atomically after it, and chunks that changed little since the previous
+//! step are stored as residuals against it. The analysis pass then reopens
+//! the directory cold and demonstrates the reader side: a time-windowed ROI
+//! query following the pulse, and coarse→fine progressive refinement of the
+//! final frame — both resolving delta chains transparently.
 
 use hqmr::grid::{synth, Dims3};
 use hqmr::metrics::psnr;
-use hqmr::mr::{to_adaptive, RoiConfig, Upsample};
-use hqmr::store::StoreReader;
-use hqmr::workflow::{write_snapshot, Backend, MrcConfig};
+use hqmr::mr::{resample_like, to_adaptive, RoiConfig, Upsample};
+use hqmr::store::temporal::{Prediction, TemporalReader};
+use hqmr::workflow::{MrcConfig, TemporalWriter};
 
 fn main() {
     let dims = Dims3::new(32, 32, 256);
-    let steps = 3;
+    let steps = 6usize;
     let out_dir = std::env::temp_dir().join("hqmr_insitu_demo");
-    std::fs::create_dir_all(&out_dir).unwrap();
+    std::fs::remove_dir_all(&out_dir).ok();
 
-    println!("simulating {steps} WarpX-like timesteps at {dims}...");
+    // The simulation: a wakefield pulse propagating a quarter-cell of z per
+    // output step (periodic boundaries keep the synthetic loop simple; the
+    // laser wavelength is ~4 cells, so consecutive outputs stay coherent).
+    let base = synth::warpx_like(dims, 100);
+    let field_at = |step: usize| synth::advect_periodic(&base, [0.0, 0.0, 0.25 * step as f64]);
+
+    let eb = base.range() as f64 * 2e-3;
+    let cfg = MrcConfig::ours_pad(eb);
+    let mut writer = TemporalWriter::create(&out_dir, &cfg, Prediction::delta()).unwrap();
+
+    println!(
+        "streaming {steps} WarpX-like timesteps at {dims} into {}",
+        out_dir.display()
+    );
     println!();
-    println!("step  method  preproc(s)  comp+write(s)  total(s)   bytes      CR     PSNR");
-    let mut last_path = None;
+    println!("step      bytes  delta-chunks    write(s)");
+    let mut template = None;
+    let mut independent_estimate = 0u64;
+    let mut temporal_total = 0u64;
     for step in 0..steps {
-        let field = synth::warpx_like(dims, 100 + step as u64);
-        let mr = to_adaptive(&field, &RoiConfig::new(16, 0.5));
-        let eb = field.range() as f64 * 2e-3;
-        let methods = [
-            ("AMRIC", MrcConfig::amric(eb)),
-            ("Ours", MrcConfig::ours(eb)),
-            ("O-zfp", MrcConfig::ours_pad(eb).with_backend(Backend::ZFP)),
-        ];
-        for (name, cfg) in methods {
-            let path = out_dir.join(format!("snap_{step}_{name}.hqst"));
-            let (t, bytes) = write_snapshot(&mr, &cfg, &path).unwrap();
-            // Verify by reading the snapshot back: the store directory
-            // records the codec, so no configuration is needed to decode it.
-            let reader = StoreReader::open(&path).unwrap();
-            let back = reader.read_all().unwrap();
-            let recon = back.reconstruct(Upsample::Trilinear);
-            let cr = (mr.total_cells() * 4) as f64 / bytes as f64;
-            println!(
-                "{step:4}  {name:6} {:10.4} {:14.4} {:9.4} {bytes:9}  {cr:6.1}  {:6.2}",
-                t.preprocess,
-                t.compress_write,
-                t.total(),
-                psnr(&field, &recon)
-            );
-            last_path = Some(path);
+        let field = field_at(step);
+        // Step 0 selects the adaptive block layout; later steps reuse it.
+        let mr = match &template {
+            None => {
+                let t = to_adaptive(&field, &RoiConfig::new(16, 0.5));
+                template = Some(t.clone());
+                t
+            }
+            Some(t) => resample_like(t, &field),
+        };
+        let rep = writer.append(step as u64, &mr).unwrap();
+        temporal_total += rep.bytes;
+        if step == 0 {
+            // Frame 0 is a keyframe: its size is what every frame would cost
+            // without prediction (same content morphology throughout).
+            independent_estimate = rep.bytes;
         }
+        println!(
+            "{step:4} {:10} {:7}/{:<5} {:10.4}",
+            rep.bytes, rep.delta_chunks, rep.total_chunks, rep.seconds
+        );
+    }
+    println!(
+        "\ntemporal store: {temporal_total} bytes for {steps} frames \
+         (~{} per frame vs {independent_estimate} for an independent snapshot)",
+        temporal_total / steps as u64,
+    );
+
+    // Analysis side: cold open, no configuration — codecs and delta flags
+    // come from the manifest and the per-frame containers.
+    let reader = TemporalReader::open(&out_dir).unwrap();
+    assert_eq!(reader.frame_count(), steps);
+
+    // Time-windowed ROI around the pulse axis: one decode pass shares the
+    // delta-chain work across the window's frames.
+    let (lo, hi) = ([8, 8, 128], [24, 24, 224]);
+    let window = reader
+        .read_roi_window(1, steps - 1, 0, lo, hi, 0.0)
+        .unwrap();
+    println!(
+        "\nwindowed ROI {:?}..{:?}, frames 1..{}: {} fields of {}",
+        lo,
+        hi,
+        steps - 1,
+        window.len(),
+        window[0].dims()
+    );
+
+    // Progressive refinement of the last frame, through its delta chain.
+    let last = reader.frame(steps - 1).unwrap();
+    let truth = field_at(steps - 1);
+    println!("\nprogressive refinement of frame {}:", steps - 1);
+    for step in last.progressive(Upsample::Trilinear) {
+        let step = step.unwrap();
+        println!(
+            "  level {}: PSNR {:6.2} dB vs simulation truth",
+            step.level,
+            psnr(&truth, &step.field)
+        );
     }
 
-    // Random access on the last snapshot: the point of the store format.
-    let reader = StoreReader::open(last_path.unwrap()).unwrap();
-    let total = reader.meta().compressed_bytes();
-    let first = reader
-        .progressive(Upsample::Nearest)
-        .next()
-        .unwrap()
-        .unwrap();
-    let coarse_bytes = reader.bytes_decoded();
-    reader.reset_counters();
-    let fine = &reader.meta().levels[0];
-    // Anchor the ROI on an occupied fine block (the adaptive conversion only
-    // keeps the high-energy half of the domain at full resolution).
-    let (_, origin) = fine.chunks[0].slots[0];
-    let hi = [
-        origin[0] + fine.unit,
-        origin[1] + fine.unit,
-        origin[2] + fine.unit,
-    ];
-    let roi = reader.read_roi(0, origin, hi, 0.0).unwrap();
-    println!(
-        "\nrandom access: first refinement (L{}, {} of {total} compressed bytes), \
-         {} ROI ({} bytes) — no full decode required",
-        first.level,
-        coarse_bytes,
-        roi.dims(),
-        reader.bytes_decoded()
-    );
     std::fs::remove_dir_all(&out_dir).ok();
-    println!("(our linear merge pre-processes with less data movement than stacking)");
 }
