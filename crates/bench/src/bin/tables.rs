@@ -55,6 +55,7 @@ fn main() {
         ("net", ex::net),
         ("faults", ex::faults),
         ("temporal", ex::temporal),
+        ("scrub", ex::scrub),
     ];
 
     let selected: Vec<_> = if which == "all" {

@@ -14,9 +14,12 @@ use crate::mrc::MrcConfig;
 use hqmr_codec::Codec;
 use hqmr_mr::MultiResData;
 use hqmr_store::temporal::{
-    FrameMeta, Prediction, TemporalEncoder, TemporalManifest, MANIFEST_NAME,
+    FrameMeta, Prediction, TemporalEncoder, TemporalManifest, TemporalReader, MANIFEST_NAME,
 };
-use hqmr_store::{encode_prepared_store, prepare_store, DEFAULT_CHUNK_BLOCKS};
+use hqmr_store::{
+    encode_prepared_store, parity_path, prepare_store, scrub_store, sidecar_bytes_for,
+    DEFAULT_CHUNK_BLOCKS,
+};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,9 +69,29 @@ pub fn write_snapshot(
     let codec = cfg.backend.codec();
     let bytes = encode_prepared_store(mr, &prepared, &scfg, codec.as_ref());
     write_atomic(path.as_ref(), &bytes)?;
+    write_sidecar(path.as_ref(), &bytes, scfg.parity_group)?;
     timings.compress_write = t1.elapsed().as_secs_f64();
 
     Ok((timings, bytes.len() as u64))
+}
+
+/// Publishes (or retires) the `.hqpr` parity sidecar next to a just-written
+/// store. The store itself is renamed into place *first*: a crash in the
+/// window between the two renames leaves a new store with a stale sidecar,
+/// which the sidecar's store-tag detects as a typed mismatch and the next
+/// scrub rebuilds — never a silent mis-repair, and never a lost store.
+fn write_sidecar(store: &Path, bytes: &[u8], parity_group: usize) -> std::io::Result<()> {
+    let spath = parity_path(store);
+    match sidecar_bytes_for(bytes, parity_group) {
+        Some(sc) => write_atomic(&spath, &sc),
+        // Parity disabled: a sidecar left over from an earlier
+        // parity-enabled write of this path would mismatch forever.
+        None => match std::fs::remove_file(&spath) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        },
+    }
 }
 
 /// Distinguishes staging files of concurrent writers *within* one process:
@@ -173,6 +196,7 @@ pub struct TemporalWriter {
     enc: TemporalEncoder,
     manifest: TemporalManifest,
     buf: Vec<u8>,
+    parity_group: usize,
 }
 
 impl TemporalWriter {
@@ -187,12 +211,14 @@ impl TemporalWriter {
         std::fs::create_dir_all(&dir)?;
         let manifest = TemporalManifest::default();
         write_atomic(&dir.join(MANIFEST_NAME), &manifest.to_bytes())?;
+        let scfg = cfg.store_config(DEFAULT_CHUNK_BLOCKS);
         Ok(TemporalWriter {
             dir,
             codec: cfg.backend.codec(),
-            enc: TemporalEncoder::new(cfg.store_config(DEFAULT_CHUNK_BLOCKS), prediction),
+            enc: TemporalEncoder::new(scfg, prediction),
             manifest,
             buf: Vec::new(),
+            parity_group: scfg.parity_group,
         })
     }
 
@@ -216,7 +242,9 @@ impl TemporalWriter {
             .encode_frame_into(mr, self.codec.as_ref(), &mut self.buf)
             .map_err(std::io::Error::other)?;
         let file = format!("frame_{index:05}.hqst");
-        write_atomic(&self.dir.join(&file), &self.buf)?;
+        let fpath = self.dir.join(&file);
+        write_atomic(&fpath, &self.buf)?;
+        write_sidecar(&fpath, &self.buf, self.parity_group)?;
         let delta_chunks: usize = flags.iter().map(|l| l.iter().filter(|&&d| d).count()).sum();
         let total_chunks: usize = flags.iter().map(Vec::len).sum();
         self.manifest.frames.push(FrameMeta {
@@ -234,6 +262,117 @@ impl TemporalWriter {
             seconds: t0.elapsed().as_secs_f64(),
         })
     }
+
+    /// Recovers a torn temporal run — a crash anywhere in the append cycle
+    /// — and returns a writer positioned to resume it, plus a typed report
+    /// of what survived.
+    ///
+    /// The crash-safe append ordering (frame file, sidecar, then manifest)
+    /// means the manifest only ever names complete frames, so salvage is
+    /// prefix recovery: every manifest-listed frame is verified chunk by
+    /// chunk (healing single flips from its parity sidecar where possible),
+    /// the longest fully exact prefix is kept, and the manifest is
+    /// atomically republished to exactly that prefix. Frames behind the
+    /// first unrepairable one are dropped even if intact on disk — delta
+    /// chains cross frames, so the unbroken prefix is the recoverable unit.
+    /// Orphan `frame_*.hqst` files the manifest never adopted lost their
+    /// delta flags with the unwritten manifest and cannot be decoded; they
+    /// are reported and left on disk to be overwritten as the run resumes.
+    /// Staging `*.tmp` leftovers are swept.
+    ///
+    /// The returned writer's closed-loop encoder is reseeded from the
+    /// *decoded* last kept frame — exactly the state an unbroken run would
+    /// hold — so resumed appends predict (and number keyframe intervals)
+    /// as if the crash never happened.
+    pub fn salvage(
+        dir: impl AsRef<Path>,
+        cfg: &MrcConfig,
+        prediction: Prediction,
+    ) -> std::io::Result<(TemporalWriter, SalvageReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = TemporalReader::read_manifest(&dir).map_err(std::io::Error::other)?;
+        let mut report = SalvageReport::default();
+
+        // Longest exact prefix of the manifest, healing what parity can.
+        let mut kept = 0usize;
+        for fm in &manifest.frames {
+            match scrub_store(&dir.join(&fm.file), None) {
+                Ok(r) if r.all_exact() => {
+                    report.repaired_chunks += r.repaired;
+                    kept += 1;
+                }
+                _ => break,
+            }
+        }
+        report.kept = kept;
+        report.dropped = manifest.frames[kept..]
+            .iter()
+            .map(|f| f.file.clone())
+            .collect();
+
+        // Sweep staging leftovers; spot frame files outside the kept set.
+        let listed: std::collections::HashSet<&str> = manifest.frames[..kept]
+            .iter()
+            .map(|f| f.file.as_str())
+            .collect();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                std::fs::remove_file(entry.path())?;
+                report.temps_removed += 1;
+            } else if name.starts_with("frame_")
+                && name.ends_with(".hqst")
+                && !listed.contains(name.as_str())
+                && !report.dropped.contains(&name)
+            {
+                report.orphans.push(name);
+            }
+        }
+        report.orphans.sort();
+
+        // Republish the manifest as exactly the verified prefix.
+        let manifest = TemporalManifest {
+            frames: manifest.frames[..kept].to_vec(),
+        };
+        write_atomic(&dir.join(MANIFEST_NAME), &manifest.to_bytes())?;
+
+        let scfg = cfg.store_config(DEFAULT_CHUNK_BLOCKS);
+        let mut enc = TemporalEncoder::new(scfg, prediction);
+        if kept > 0 {
+            let reader = TemporalReader::open(&dir).map_err(std::io::Error::other)?;
+            let decoded = reader.read_frame(kept - 1).map_err(std::io::Error::other)?;
+            enc.resume_from_decoded(&decoded, kept);
+        }
+        Ok((
+            TemporalWriter {
+                dir,
+                codec: cfg.backend.codec(),
+                enc,
+                manifest,
+                buf: Vec::new(),
+                parity_group: scfg.parity_group,
+            },
+            report,
+        ))
+    }
+}
+
+/// What [`TemporalWriter::salvage`] found and kept of a torn run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Complete frames kept — the republished manifest lists exactly these.
+    pub kept: usize,
+    /// Chunks healed from parity sidecars while verifying the kept prefix.
+    pub repaired_chunks: usize,
+    /// Manifest-listed frame files dropped: the first was damaged beyond
+    /// parity repair (or torn), the rest were stranded behind it.
+    pub dropped: Vec<String>,
+    /// Frame files on disk the manifest never adopted; undecodable (their
+    /// delta flags died with the unwritten manifest) but left in place.
+    pub orphans: Vec<String>,
+    /// Staging `*.tmp` leftovers removed.
+    pub temps_removed: usize,
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ pub mod post;
 pub mod uncertainty;
 pub mod workflow;
 
-pub use insitu::{write_snapshot, FrameReport, StageTimings, TemporalWriter};
+pub use insitu::{write_snapshot, FrameReport, SalvageReport, StageTimings, TemporalWriter};
 pub use mrc::{compress_mr, decompress_mr, Backend, MrStats, MrcConfig, MrcError};
 pub use post::{bezier_pass, select_intensity, IntensityChoice, PostConfig};
 pub use uncertainty::{

@@ -184,6 +184,7 @@ impl MrcConfig {
             merge: self.merge,
             pad: self.pad,
             chunk_blocks: chunk_blocks.max(1),
+            parity_group: hqmr_store::DEFAULT_PARITY_GROUP,
         }
     }
 }

@@ -4,12 +4,20 @@
 //!
 //! ```text
 //! netd [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N]
-//!      [--budget BYTES] (--demo SCALE | STORE.hqst ...)
+//!      [--budget BYTES] [--parity GROUP] [--scrub BYTES/SEC]
+//!      (--demo SCALE | STORE.hqst ...)
 //! ```
 //!
 //! Dataset ids are assigned in argument order. `--demo SCALE` hosts two
 //! synthetic stores (SCALE³ cells each) instead of files, for smoke tests
 //! and load generation without data on disk.
+//!
+//! `--parity GROUP` builds in-memory XOR parity sidecars over every hosted
+//! store (group size GROUP, e.g. 8), arming online repair: a corrupt chunk
+//! is reconstructed and served bit-exactly instead of answered degraded.
+//! `--scrub RATE` additionally spawns a background scrubber that cycles the
+//! datasets at RATE compressed bytes/second, healing silent corruption
+//! before a client ever touches it; its counters export via wire `Stats`.
 //!
 //! Startup is degraded, not brittle: a store that fails to open is logged
 //! and skipped (its argument-order id stays reserved, so the surviving ids
@@ -25,7 +33,8 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: netd [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N] \
-         [--budget BYTES] (--demo SCALE | STORE.hqst ...)"
+         [--budget BYTES] [--parity GROUP] [--scrub BYTES/SEC] \
+         (--demo SCALE | STORE.hqst ...)"
     );
     std::process::exit(2);
 }
@@ -70,6 +79,8 @@ fn main() {
             "--queue" => cfg.queue_depth = parse("--queue", args.next()),
             "--max-conns" => cfg.max_connections = parse("--max-conns", args.next()),
             "--budget" => cfg.cache_budget = parse("--budget", args.next()),
+            "--parity" => cfg.parity_group = parse("--parity", args.next()),
+            "--scrub" => cfg.scrub_rate = Some(parse("--scrub", args.next())),
             "--demo" => demo = Some(parse("--demo", args.next())),
             "--help" | "-h" => usage(),
             _ if arg.starts_with('-') => {
@@ -133,11 +144,24 @@ fn main() {
         _ => usage(),
     };
 
+    let cfg2 = cfg.clone();
     let server = NetServer::spawn(&addr, cfg, datasets).unwrap_or_else(|e| {
         eprintln!("netd: bind {addr}: {e}");
         std::process::exit(1);
     });
     println!("netd: serving on {}", server.local_addr());
+    if cfg2.parity_group > 0 {
+        println!("netd: parity armed (group size {})", cfg2.parity_group);
+    }
+    match cfg2.scrub_rate {
+        Some(rate) if cfg2.parity_group > 0 => {
+            println!("netd: background scrubber at {rate} bytes/sec");
+        }
+        Some(rate) => {
+            println!("netd: background scrubber at {rate} bytes/sec (detect-only: no --parity)");
+        }
+        None => {}
+    }
     // Self-describing catalog, one line per dataset.
     let mut client =
         hqmr_net::NetClient::connect(server.local_addr()).expect("loopback catalog connection");

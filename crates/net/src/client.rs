@@ -29,10 +29,10 @@
 
 use crate::proto::{
     read_frame, read_hello, write_frame, write_hello, DatasetInfo, ErrorFrame, Kind, NetResponse,
-    ProtocolError, Request, DEFAULT_MAX_FRAME,
+    ProtocolError, Request, ServerStats, DEFAULT_MAX_FRAME,
 };
 use hqmr_mr::Upsample;
-use hqmr_serve::{CacheStats, Query, QueryResult, Response};
+use hqmr_serve::{Query, QueryResult, Response};
 use hqmr_store::RefinementStep;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -521,12 +521,14 @@ impl NetClient {
         }
     }
 
-    /// Per-tenant cache stats; `take` drains the counter window
-    /// (snapshot-and-reset) like
-    /// [`StoreServer::take_stats`](hqmr_serve::StoreServer::take_stats).
+    /// Server stats for one tenant: its cache window plus the
+    /// server-global rejection and background-scrub counters. `take`
+    /// drains the tenant's cache window (snapshot-and-reset) like
+    /// [`StoreServer::take_stats`](hqmr_serve::StoreServer::take_stats);
+    /// the global counters are always a peek.
     /// Deliberately not offered in a `_retry` form: `take: true` is not
     /// idempotent, and the policy would refuse to replay it anyway.
-    pub fn stats(&mut self, dataset: u32, take: bool) -> Result<CacheStats, NetError> {
+    pub fn stats(&mut self, dataset: u32, take: bool) -> Result<ServerStats, NetError> {
         let req = Request::Stats { dataset, take };
         match self.call(&req)? {
             NetResponse::Stats(s) => Ok(s),

@@ -28,7 +28,9 @@ pub mod server;
 
 pub use chaos::ChaosConfig;
 pub use client::{ClientConfig, NetClient, NetError};
-pub use proto::{DatasetInfo, ErrorFrame, NetResponse, ProtocolError, Request, WireStoreError};
+pub use proto::{
+    DatasetInfo, ErrorFrame, NetResponse, ProtocolError, Request, ServerStats, WireStoreError,
+};
 pub use server::{DatasetSpec, NetConfig, NetServer};
 
 // The server handle crosses threads in the bench harness; the client is

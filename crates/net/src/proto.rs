@@ -52,8 +52,10 @@ use std::io::{Read, Write};
 /// Wire magic exchanged in the connection hello.
 pub const WIRE_MAGIC: &[u8; 4] = b"HQNW";
 /// Current protocol version; peers reject anything else. Version 2 added
-/// the degraded-batch frames and the deadline-exceeded error tag.
-pub const WIRE_VERSION: u8 = 2;
+/// the degraded-batch frames and the deadline-exceeded error tag; version
+/// 3 widened the stats frame from the 8 cache counters to the 17-counter
+/// [`ServerStats`] (repair, rejection, and scrub visibility).
+pub const WIRE_VERSION: u8 = 3;
 /// Hello length: magic + version + 3 reserved zero bytes.
 pub const HELLO_LEN: usize = 8;
 /// Frame header length: body_len + kind + req_id + body_crc.
@@ -245,6 +247,37 @@ impl Request {
     }
 }
 
+/// Per-tenant server statistics exported through the wire `Stats` frame:
+/// the cache ledger plus the serving fleet's health counters. Encoded as a
+/// fixed run of 17 `u64le` words (cache first, then rejections, then
+/// scrub), so the frame layout is versioned by [`WIRE_VERSION`] alone.
+///
+/// The rejection counters are server-global (one accept loop, one worker
+/// pool), repeated identically in every tenant's snapshot; the cache and
+/// scrub counters are the addressed tenant's own. `take = true` drains the
+/// tenant's cache window but only *peeks* the global and scrub counters —
+/// they are cumulative gauges shared across tenants, which one tenant's
+/// drain must not zero for the others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// The tenant's cache ledger (including `repairs`/`repair_failures`).
+    pub cache: CacheStats,
+    /// Requests bounced because the owning worker's queue was full.
+    pub busy_rejections: u64,
+    /// Connections refused at the admission cap.
+    pub admission_rejections: u64,
+    /// Requests answered with `DeadlineExceeded` instead of data.
+    pub deadline_rejections: u64,
+    /// Completed background scrub passes over this tenant's store.
+    pub scrub_passes: u64,
+    /// Chunks whose stored CRC verified across all passes.
+    pub scrub_verified: u64,
+    /// Corrupt chunks the scrubber healed from parity.
+    pub scrub_repaired: u64,
+    /// Corrupt chunks the scrubber could not heal.
+    pub scrub_unrepairable: u64,
+}
+
 /// A server→client response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NetResponse {
@@ -254,8 +287,8 @@ pub enum NetResponse {
     Batch(Vec<Response>),
     /// Coarse→fine refinement steps.
     Progressive(Vec<RefinementStep>),
-    /// Per-tenant cache stats snapshot.
-    Stats(CacheStats),
+    /// Per-tenant server stats snapshot.
+    Stats(ServerStats),
     /// One [`QueryResult`] per degraded-batch query, request order; each
     /// carries the `(level, chunk)` pairs it was served degraded on.
     BatchDegraded(Vec<QueryResult>),
@@ -405,6 +438,18 @@ impl From<&StoreError> for WireStoreError {
                 WireStoreError::Malformed(format!("no frame {t} in temporal store"))
             }
             StoreError::RoiOutOfBounds => WireStoreError::RoiOutOfBounds,
+            // Sidecar/repair conditions are server-side durability detail;
+            // like NoSuchFrame they travel as rendered messages rather than
+            // growing the wire enum (clients can't act on the distinction).
+            StoreError::CorruptSidecar(m) => {
+                WireStoreError::Malformed(format!("corrupt parity sidecar: {m}"))
+            }
+            StoreError::SidecarMismatch => {
+                WireStoreError::Malformed("parity sidecar describes a different store".into())
+            }
+            StoreError::Unrepairable { level, block } => WireStoreError::Malformed(format!(
+                "chunk (level {level}, block {block}) unrepairable"
+            )),
         }
     }
 }
@@ -929,14 +974,23 @@ impl NetResponse {
             }
             NetResponse::Stats(s) => {
                 for v in [
-                    s.requests,
-                    s.hits,
-                    s.shared,
-                    s.misses,
-                    s.evictions,
-                    s.resident_bytes,
-                    s.peak_resident_bytes,
-                    s.budget_bytes,
+                    s.cache.requests,
+                    s.cache.hits,
+                    s.cache.shared,
+                    s.cache.misses,
+                    s.cache.evictions,
+                    s.cache.resident_bytes,
+                    s.cache.peak_resident_bytes,
+                    s.cache.budget_bytes,
+                    s.cache.repairs,
+                    s.cache.repair_failures,
+                    s.busy_rejections,
+                    s.admission_rejections,
+                    s.deadline_rejections,
+                    s.scrub_passes,
+                    s.scrub_verified,
+                    s.scrub_repaired,
+                    s.scrub_unrepairable,
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
@@ -1020,15 +1074,26 @@ impl NetResponse {
                 }
                 NetResponse::Progressive(steps)
             }
-            Kind::RStats => NetResponse::Stats(CacheStats {
-                requests: c.u64le()?,
-                hits: c.u64le()?,
-                shared: c.u64le()?,
-                misses: c.u64le()?,
-                evictions: c.u64le()?,
-                resident_bytes: c.u64le()?,
-                peak_resident_bytes: c.u64le()?,
-                budget_bytes: c.u64le()?,
+            Kind::RStats => NetResponse::Stats(ServerStats {
+                cache: CacheStats {
+                    requests: c.u64le()?,
+                    hits: c.u64le()?,
+                    shared: c.u64le()?,
+                    misses: c.u64le()?,
+                    evictions: c.u64le()?,
+                    resident_bytes: c.u64le()?,
+                    peak_resident_bytes: c.u64le()?,
+                    budget_bytes: c.u64le()?,
+                    repairs: c.u64le()?,
+                    repair_failures: c.u64le()?,
+                },
+                busy_rejections: c.u64le()?,
+                admission_rejections: c.u64le()?,
+                deadline_rejections: c.u64le()?,
+                scrub_passes: c.u64le()?,
+                scrub_verified: c.u64le()?,
+                scrub_repaired: c.u64le()?,
+                scrub_unrepairable: c.u64le()?,
             }),
             Kind::RError => {
                 let e = match c.u8()? {
@@ -1298,15 +1363,26 @@ mod tests {
                 level: 2,
                 field: field.clone(),
             }]),
-            NetResponse::Stats(CacheStats {
-                requests: 10,
-                hits: 6,
-                shared: 1,
-                misses: 4,
-                evictions: 2,
-                resident_bytes: 4096,
-                peak_resident_bytes: 8192,
-                budget_bytes: u64::MAX,
+            NetResponse::Stats(ServerStats {
+                cache: CacheStats {
+                    requests: 10,
+                    hits: 6,
+                    shared: 1,
+                    misses: 4,
+                    evictions: 2,
+                    resident_bytes: 4096,
+                    peak_resident_bytes: 8192,
+                    budget_bytes: u64::MAX,
+                    repairs: 3,
+                    repair_failures: 1,
+                },
+                busy_rejections: 7,
+                admission_rejections: 2,
+                deadline_rejections: 5,
+                scrub_passes: 4,
+                scrub_verified: 900,
+                scrub_repaired: 11,
+                scrub_unrepairable: 1,
             }),
             NetResponse::BatchDegraded(vec![
                 QueryResult {

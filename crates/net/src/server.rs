@@ -30,11 +30,11 @@
 use crate::chaos::{chunk_fault_hook, ChaosConfig, ChaosStream};
 use crate::proto::{
     parse_header, read_hello, write_frame, write_hello, DatasetInfo, ErrorFrame, NetResponse,
-    ProtocolError, Request, HEADER_LEN,
+    ProtocolError, Request, ServerStats, HEADER_LEN,
 };
 use hqmr_mr::Upsample;
 use hqmr_serve::{partition_budget, Query, StoreServer};
-use hqmr_store::StoreReader;
+use hqmr_store::{StoreReader, Throttle};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -91,6 +91,16 @@ pub struct NetConfig {
     pub request_deadline: Option<Duration>,
     /// Fault injection; `None` (the default) injects nothing.
     pub chaos: Option<ChaosConfig>,
+    /// Parity group size for in-memory sidecars built over each tenant at
+    /// spawn. `0` (the default) hosts stores without parity — corrupt
+    /// chunks stay typed errors / degraded fills. `>0` arms
+    /// [`StoreServer`] auto-repair for every tenant.
+    pub parity_group: usize,
+    /// Background scrubber budget in bytes/second. `None` (the default)
+    /// runs no scrubber; `Some(rate)` spawns one thread that cycles the
+    /// hosted datasets under that throttle, repairing what parity can heal
+    /// and exporting counters through wire `Stats`.
+    pub scrub_rate: Option<u64>,
 }
 
 impl Default for NetConfig {
@@ -105,6 +115,8 @@ impl Default for NetConfig {
             write_timeout: Some(Duration::from_secs(30)),
             request_deadline: Some(Duration::from_secs(60)),
             chaos: None,
+            parity_group: 0,
+            scrub_rate: None,
         }
     }
 }
@@ -143,6 +155,10 @@ struct Shared {
     busy_rejections: AtomicU64,
     admission_rejections: AtomicU64,
     deadline_rejections: AtomicU64,
+    scrub_passes: AtomicU64,
+    scrub_verified: AtomicU64,
+    scrub_repaired: AtomicU64,
+    scrub_unrepairable: AtomicU64,
     stop: AtomicBool,
 }
 
@@ -186,10 +202,22 @@ impl Shared {
                 Err(e) => NetResponse::Error(e),
                 Ok(t) => {
                     let serve = &self.tenants[t].serve;
-                    NetResponse::Stats(if take {
+                    let cache = if take {
                         serve.take_stats()
                     } else {
                         serve.stats()
+                    };
+                    // Rejection and scrub counters are server-global; they
+                    // are *peeked* (never drained) regardless of `take`.
+                    NetResponse::Stats(ServerStats {
+                        cache,
+                        busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+                        admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
+                        deadline_rejections: self.deadline_rejections.load(Ordering::Relaxed),
+                        scrub_passes: self.scrub_passes.load(Ordering::Relaxed),
+                        scrub_verified: self.scrub_verified.load(Ordering::Relaxed),
+                        scrub_repaired: self.scrub_repaired.load(Ordering::Relaxed),
+                        scrub_unrepairable: self.scrub_unrepairable.load(Ordering::Relaxed),
                     })
                 }
             },
@@ -241,6 +269,42 @@ impl Shared {
                 Ok(resp) => resp,
                 Err(_) => NetResponse::Error(ErrorFrame::Busy),
             },
+        }
+    }
+}
+
+/// How long the background scrubber idles between full passes over the
+/// hosted datasets, polled in small slices so shutdown stays prompt.
+const SCRUB_CYCLE_PAUSE: Duration = Duration::from_millis(200);
+
+/// Background scrubber: cycles every tenant's cache-level scrub under the
+/// configured byte/second throttle until shutdown. Each full cycle bumps
+/// `scrub_passes`; per-chunk outcomes accumulate into the shared counters
+/// that wire `Stats` exports.
+fn scrub_loop(shared: &Shared, rate: u64) {
+    let mut throttle = Throttle::new(rate);
+    while !shared.stop.load(Ordering::Acquire) {
+        for tenant in &shared.tenants {
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let report = tenant.serve.scrub_pass(Some(&mut throttle));
+            shared
+                .scrub_verified
+                .fetch_add(report.verified as u64, Ordering::Relaxed);
+            shared
+                .scrub_repaired
+                .fetch_add(report.repaired as u64, Ordering::Relaxed);
+            shared
+                .scrub_unrepairable
+                .fetch_add(report.unrepairable.len() as u64, Ordering::Relaxed);
+        }
+        shared.scrub_passes.fetch_add(1, Ordering::Relaxed);
+        // Idle between cycles without going deaf to the stop flag.
+        let mut slept = Duration::ZERO;
+        while slept < SCRUB_CYCLE_PAUSE && !shared.stop.load(Ordering::Acquire) {
+            std::thread::sleep(ACCEPT_POLL);
+            slept += ACCEPT_POLL;
         }
     }
 }
@@ -452,6 +516,7 @@ pub struct NetServer {
     addr: std::net::SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    scrubber: Option<JoinHandle<()>>,
 }
 
 impl NetServer {
@@ -491,6 +556,11 @@ impl NetServer {
             if let Some(hook) = &fault_hook {
                 serve = serve.with_fault_hook(Arc::clone(hook));
             }
+            if cfg.parity_group > 0 {
+                serve = serve
+                    .with_built_parity(cfg.parity_group)
+                    .map_err(std::io::Error::other)?;
+            }
             tenants.push(Tenant {
                 id: spec.id,
                 name: spec.name,
@@ -516,7 +586,19 @@ impl NetServer {
             busy_rejections: AtomicU64::new(0),
             admission_rejections: AtomicU64::new(0),
             deadline_rejections: AtomicU64::new(0),
+            scrub_passes: AtomicU64::new(0),
+            scrub_verified: AtomicU64::new(0),
+            scrub_repaired: AtomicU64::new(0),
+            scrub_unrepairable: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+        });
+
+        let scrubber = shared.cfg.scrub_rate.map(|rate| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hqnw-scrub".into())
+                .spawn(move || scrub_loop(&shared, rate))
+                .expect("spawn scrubber")
         });
 
         let worker_handles: Vec<JoinHandle<()>> = worker_rx
@@ -588,6 +670,7 @@ impl NetServer {
             addr: local,
             accept: Some(accept),
             workers: worker_handles,
+            scrubber,
         })
     }
 
@@ -613,6 +696,17 @@ impl NetServer {
         self.shared.deadline_rejections.load(Ordering::Relaxed)
     }
 
+    /// Completed background-scrub cycles over all hosted datasets
+    /// (`0` when [`NetConfig::scrub_rate`] is `None`).
+    pub fn scrub_passes(&self) -> u64 {
+        self.shared.scrub_passes.load(Ordering::Relaxed)
+    }
+
+    /// Chunks the background scrubber repaired from parity.
+    pub fn scrub_repaired(&self) -> u64 {
+        self.shared.scrub_repaired.load(Ordering::Relaxed)
+    }
+
     /// Stops accepting, drains the workers, and joins them. Live
     /// connections see their next request answered as Busy (workers gone)
     /// and then close from the client side. Idempotent.
@@ -628,6 +722,9 @@ impl NetServer {
         // Dropping the senders is not possible while `Shared` is alive;
         // the workers exit on their shutdown poll instead.
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scrubber.take() {
             let _ = h.join();
         }
     }
@@ -703,7 +800,8 @@ mod tests {
         }) else {
             panic!("expected stats");
         };
-        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.cache.requests, 0);
+        assert_eq!(stats.scrub_passes, 0);
 
         let resp = server.shared.route(Request::Stats {
             dataset: 99,

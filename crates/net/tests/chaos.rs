@@ -5,14 +5,17 @@
 //! error — and with chaos off, the degraded path is bit-identical to the
 //! exact one.
 
-use hqmr_grid::synth;
-use hqmr_mr::{to_adaptive, RoiConfig};
+use hqmr_core::MrcConfig;
+use hqmr_core::TemporalWriter;
+use hqmr_grid::{synth, Dims3};
+use hqmr_mr::{resample_like, to_adaptive, RoiConfig};
 use hqmr_net::{
     ChaosConfig, ClientConfig, DatasetSpec, ErrorFrame, NetClient, NetConfig, NetError, NetServer,
     WireStoreError,
 };
-use hqmr_serve::{Query, StoreServer, UNBOUNDED};
-use hqmr_store::{parse_head, write_store, StoreConfig, StoreReader};
+use hqmr_serve::{Query, StoreServer, TemporalServer, UNBOUNDED};
+use hqmr_store::temporal::{Prediction, TemporalReader};
+use hqmr_store::{parse_head, write_store, StoreConfig, StoreError, StoreReader};
 use hqmr_sz3::Sz3Codec;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -217,4 +220,163 @@ fn corrupt_store_chunk_fails_exact_and_flags_degraded() {
         }
         other => panic!("expected a Level response, got {other:?}"),
     }
+}
+
+/// With parity sidecars armed, chunk-rot chaos stops being degradation:
+/// every faulted chunk is reconstructed from parity and served bit-exactly
+/// through the *exact* path, and the wire stats report the repairs.
+#[test]
+fn flip_chaos_with_parity_serves_exact_over_the_wire() {
+    let buf = store_bytes(430);
+    let oracle = StoreServer::new(
+        Arc::new(StoreReader::from_bytes(buf.clone()).unwrap()),
+        UNBOUNDED,
+    );
+    // flip:1 faults every chunk on first fetch — the worst case rot —
+    // while parity reconstruction reads the clean at-rest bytes.
+    let chaos = ChaosConfig::parse("flip:1,seed:4242").unwrap();
+    let server = NetServer::spawn(
+        "127.0.0.1:0",
+        NetConfig {
+            workers: 2,
+            chaos: Some(chaos),
+            parity_group: 4,
+            ..NetConfig::default()
+        },
+        vec![DatasetSpec {
+            id: 0,
+            name: "healed".into(),
+            reader: Arc::new(StoreReader::from_bytes(buf).expect("open store")),
+        }],
+    )
+    .expect("spawn fleet");
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+
+    let queries = vec![Query::Level { level: 0 }, Query::Level { level: 1 }];
+    let remote = client.batch(0, &queries).expect("exact batch heals");
+    assert_eq!(remote, oracle.serve_batch(&queries).unwrap());
+
+    // The degraded path flags nothing: repair beat the fill fallback.
+    let rs = client.batch_degraded(0, &queries).unwrap();
+    assert!(
+        rs.iter().all(|r| r.is_exact()),
+        "repairs must not be flagged"
+    );
+
+    let stats = client.stats(0, false).unwrap();
+    assert!(stats.cache.repairs > 0, "repairs must be counted");
+    assert_eq!(stats.cache.repair_failures, 0);
+}
+
+/// The background scrubber heals a faulted tenant before any client query:
+/// after one pass completes, the wire stats show scrub activity and a
+/// subsequent exact read needs no on-demand repair.
+#[test]
+fn background_scrubber_reports_progress_over_the_wire() {
+    let buf = store_bytes(440);
+    let server = NetServer::spawn(
+        "127.0.0.1:0",
+        NetConfig {
+            workers: 1,
+            parity_group: 4,
+            scrub_rate: Some(u64::MAX), // no pacing: finish a pass promptly
+            ..NetConfig::default()
+        },
+        vec![DatasetSpec {
+            id: 0,
+            name: "scrubbed".into(),
+            reader: Arc::new(StoreReader::from_bytes(buf).expect("open store")),
+        }],
+    )
+    .expect("spawn fleet");
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats(0, false).unwrap();
+        if stats.scrub_passes > 0 {
+            assert!(stats.scrub_verified > 0, "a pass verifies every chunk");
+            assert_eq!(stats.scrub_unrepairable, 0, "the store is healthy");
+            break;
+        }
+        assert!(Instant::now() < deadline, "scrubber made no pass in 30s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Builds a short delta-predicted temporal run on disk (parity sidecars
+/// included) and returns its directory.
+fn temporal_run(name: &str, steps: usize) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let frames = synth::advected_sequence(Dims3::cube(16), steps, [0.5, 0.25, 0.0], 33);
+    let template = to_adaptive(&frames[0], &RoiConfig::new(8, 0.5));
+    let cfg = MrcConfig::baseline(0.02);
+    let mut writer = TemporalWriter::create(&dir, &cfg, Prediction::delta()).unwrap();
+    for (t, f) in frames.iter().enumerate() {
+        writer
+            .append(t as u64, &resample_like(&template, f))
+            .unwrap();
+    }
+    dir
+}
+
+/// The temporal storm: 8 threads hammer a [`TemporalServer`] whose every
+/// stored-chunk fetch faults, with disk parity armed. Requirements mirror
+/// the wire storm: zero hangs, every answer either bit-exact (healed) or a
+/// typed error — and with parity in place, all of them heal.
+#[test]
+fn temporal_chaos_storm_heals_every_frame() {
+    const STEPS: usize = 4;
+    let dir = temporal_run("hqnw_chaos_temporal_storm", STEPS);
+    let clean = TemporalReader::open(&dir).unwrap();
+    let oracle: Vec<_> = (0..STEPS).map(|t| clean.read_frame(t).unwrap()).collect();
+
+    let reader = Arc::new(TemporalReader::open(&dir).unwrap());
+    let server = Arc::new(
+        TemporalServer::unbounded(Arc::clone(&reader))
+            .with_fault_hook(Arc::new(|_, _| true)) // every fetch rots
+            .with_disk_parity()
+            .expect("sidecars written by TemporalWriter"),
+    );
+    assert!(server.has_parity());
+
+    const THREADS: usize = 8;
+    const OPS: usize = 16;
+    const HANG: Duration = Duration::from_secs(60);
+    let oracle = Arc::new(oracle);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|th| {
+            let server = Arc::clone(&server);
+            let oracle = Arc::clone(&oracle);
+            std::thread::spawn(move || {
+                for i in 0..OPS {
+                    let t = (th + i) % STEPS;
+                    let t0 = Instant::now();
+                    let frame = server.read_frame(t).expect("parity heals every fault");
+                    assert_eq!(frame, oracle[t], "healed frame {t} must be bit-exact");
+                    let elapsed = t0.elapsed();
+                    assert!(elapsed < HANG, "op {i} on thread {th} hung for {elapsed:?}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("storm thread must not panic");
+    }
+
+    let stats = server.stats();
+    assert!(stats.repairs > 0, "faults were injected, repairs must show");
+    assert_eq!(
+        stats.repair_failures, 0,
+        "single-fault rot is always healable"
+    );
+
+    // The same storm *without* parity must fail typed, not hang or panic.
+    let bare = TemporalServer::unbounded(reader).with_fault_hook(Arc::new(|_, _| true));
+    match bare.read_frame(0) {
+        Err(StoreError::CorruptChunk { .. }) => {}
+        other => panic!("unarmed server must fail typed, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

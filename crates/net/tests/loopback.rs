@@ -154,14 +154,17 @@ fn catalog_and_stats_round_trip() {
 
     client.batch(2, &[Query::Level { level: 0 }]).unwrap();
     let s = client.stats(2, true).unwrap();
-    assert!(s.requests > 0);
-    assert_eq!(s.requests, s.hits + s.misses);
+    assert!(s.cache.requests > 0);
+    assert_eq!(s.cache.requests, s.cache.hits + s.cache.misses);
+    // No scrubber configured, no faults injected: the global counters sit
+    // at zero.
+    assert_eq!((s.scrub_passes, s.cache.repairs), (0, 0));
     // The take drained the window; an untouched peek is now empty.
     let s2 = client.stats(2, false).unwrap();
-    assert_eq!(s2.requests, 0);
+    assert_eq!(s2.cache.requests, 0);
     // The other tenant's counters are isolated.
     let sb = client.stats(5, false).unwrap();
-    assert_eq!(sb.requests, 0);
+    assert_eq!(sb.cache.requests, 0);
 }
 
 /// In-process error variants come back over the wire as the same typed

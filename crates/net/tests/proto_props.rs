@@ -6,7 +6,7 @@
 use hqmr_grid::{Dims3, Field3};
 use hqmr_mr::{LevelData, UnitBlock, Upsample};
 use hqmr_net::proto::{
-    read_frame, read_hello, write_frame, Kind, NetResponse, ProtocolError, Request,
+    read_frame, read_hello, write_frame, Kind, NetResponse, ProtocolError, Request, ServerStats,
 };
 use hqmr_net::{DatasetInfo, ErrorFrame, WireStoreError};
 use hqmr_serve::{CacheStats, Query, QueryResult, Response};
@@ -249,16 +249,34 @@ fn sample_response(rng: &mut StdRng) -> NetResponse {
                 })
                 .collect(),
         ),
-        3 => NetResponse::Stats(CacheStats {
-            requests: 0, // patched below to keep the identity plausible
-            hits: rng.gen_range(0..1000),
-            shared: rng.gen_range(0..10),
-            misses: rng.gen_range(0..1000),
-            evictions: rng.next_u64(),
-            resident_bytes: rng.next_u64(),
-            peak_resident_bytes: rng.next_u64(),
-            budget_bytes: rng.next_u64(),
-        }),
+        3 => {
+            let (hits, shared, misses) = (
+                rng.gen_range(0..1000),
+                rng.gen_range(0..10),
+                rng.gen_range(0..1000),
+            );
+            NetResponse::Stats(ServerStats {
+                cache: CacheStats {
+                    requests: hits + shared + misses, // keep the identity plausible
+                    hits,
+                    shared,
+                    misses,
+                    evictions: rng.next_u64(),
+                    resident_bytes: rng.next_u64(),
+                    peak_resident_bytes: rng.next_u64(),
+                    budget_bytes: rng.next_u64(),
+                    repairs: rng.gen_range(0..100),
+                    repair_failures: rng.gen_range(0..100),
+                },
+                busy_rejections: rng.next_u64(),
+                admission_rejections: rng.next_u64(),
+                deadline_rejections: rng.next_u64(),
+                scrub_passes: rng.gen_range(0..1000),
+                scrub_verified: rng.next_u64(),
+                scrub_repaired: rng.gen_range(0..1000),
+                scrub_unrepairable: rng.gen_range(0..1000),
+            })
+        }
         _ => NetResponse::Error(match rng.gen_range(0..6) {
             0 => ErrorFrame::Busy,
             1 => ErrorFrame::TooManyConnections,

@@ -58,6 +58,15 @@ pub struct CacheStats {
     pub peak_resident_bytes: u64,
     /// The configured byte budget (`u64::MAX` when unbounded).
     pub budget_bytes: u64,
+    /// Corrupt chunks healed from their parity sidecar on the serve path.
+    /// Repaired chunks are *exact* — they re-enter the normal decode path
+    /// and the LRU like any clean decode (unlike degraded fills, which stay
+    /// uncached).
+    pub repairs: u64,
+    /// Corrupt chunks parity could not heal (no sidecar, or group
+    /// redundancy exhausted); the request fell through to its typed error
+    /// and, on the degraded path, a proxy fill.
+    pub repair_failures: u64,
 }
 
 /// Monotonic counters, updated lock-free with `Relaxed` ordering:
@@ -73,6 +82,8 @@ struct Counters {
     shared: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    repairs: AtomicU64,
+    repair_failures: AtomicU64,
 }
 
 /// One in-flight decode. Waiters park on `cv` until the leader publishes.
@@ -278,6 +289,19 @@ impl<K: Eq + Hash + Copy> ChunkCache<K> {
         }
     }
 
+    /// Records a corrupt chunk healed from parity on the serve path. Called
+    /// from inside decode closures (which run outside the cache locks).
+    pub(crate) fn note_repair(&self) {
+        self.counters.repairs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a corrupt chunk parity could not heal.
+    pub(crate) fn note_repair_failure(&self) {
+        self.counters
+            .repair_failures
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Bulk hit probe: one lock acquisition for the whole index list,
     /// returning the resident chunks and `None` for the rest. Only the hits
     /// are counted here — the caller resolves the `None`s through
@@ -341,6 +365,8 @@ impl<K: Eq + Hash + Copy> ChunkCache<K> {
             resident_bytes: resident,
             peak_resident_bytes: peak,
             budget_bytes: self.budget as u64,
+            repairs: self.counters.repairs.load(Ordering::Relaxed),
+            repair_failures: self.counters.repair_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -368,6 +394,8 @@ impl<K: Eq + Hash + Copy> ChunkCache<K> {
             resident_bytes: resident,
             peak_resident_bytes: peak,
             budget_bytes: self.budget as u64,
+            repairs: self.counters.repairs.swap(0, Ordering::Relaxed),
+            repair_failures: self.counters.repair_failures.swap(0, Ordering::Relaxed),
         }
     }
 
@@ -383,6 +411,8 @@ impl<K: Eq + Hash + Copy> ChunkCache<K> {
             &self.counters.shared,
             &self.counters.misses,
             &self.counters.evictions,
+            &self.counters.repairs,
+            &self.counters.repair_failures,
         ] {
             c.swap(0, Ordering::Relaxed);
         }

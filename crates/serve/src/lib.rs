@@ -38,7 +38,10 @@ use cache::Key;
 use hqmr_grid::{Dims3, Field3};
 use hqmr_mr::{LevelData, MultiResData, Upsample};
 use hqmr_store::read::{self, ChunkSource};
-use hqmr_store::{DecodedChunk, Progressive, StoreError, StoreMeta, StoreReader};
+use hqmr_store::{
+    DecodedChunk, ParitySidecar, Progressive, ScrubReport, SidecarStatus, StoreError, StoreMeta,
+    StoreReader, Throttle,
+};
 use rayon::prelude::*;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
@@ -194,6 +197,11 @@ pub struct StoreServer {
     reader: Arc<StoreReader>,
     cache: cache::ChunkCache<Key>,
     fault_hook: Option<FaultHook>,
+    /// Parity sidecar for online repair: when present, a chunk that fails
+    /// its CRC (or a chaos-injected fault) is reconstructed from its XOR
+    /// group before any degradation kicks in. Repaired chunks are exact and
+    /// enter the LRU like clean decodes.
+    parity: Option<ParitySidecar>,
     /// Chunks that failed to decode during a degraded batch. Quarantined
     /// chunks are never re-fetched by the degraded path (they go straight
     /// to fill), keeping repeat traffic off a known-bad disk region.
@@ -210,16 +218,46 @@ impl StoreServer {
             reader,
             cache: cache::ChunkCache::new(cache_budget),
             fault_hook: None,
+            parity: None,
             quarantine: Mutex::new(BTreeSet::new()),
         }
     }
 
-    /// Installs a [`FaultHook`] consulted before every chunk fetch (builder
+    /// Installs a [`FaultHook`] consulted before every chunk decode (builder
     /// form, for use before the server is shared). Production servers leave
-    /// this unset; the chaos harness injects simulated corruption here.
+    /// this unset; the chaos harness injects simulated corruption here. The
+    /// hook fires inside the cache's decode path, so a chunk already
+    /// resident (including one just repaired) is served without re-rolling
+    /// the fault — matching real at-rest rot, which only bites on fetch.
     pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
         self.fault_hook = Some(hook);
         self
+    }
+
+    /// Arms online repair with a parity sidecar (builder form). Fails with
+    /// [`StoreError::SidecarMismatch`] if the sidecar describes a different
+    /// store than the wrapped reader.
+    pub fn with_parity(mut self, sidecar: ParitySidecar) -> Result<Self, StoreError> {
+        if !sidecar.matches(self.reader.meta()) {
+            return Err(StoreError::SidecarMismatch);
+        }
+        self.parity = Some(sidecar);
+        Ok(self)
+    }
+
+    /// Builds a fresh parity sidecar over the wrapped store (which must
+    /// verify clean) and arms online repair with it — the in-memory-dataset
+    /// path, where no `.hqpr` file exists to load. `group` chunks share one
+    /// XOR parity block (`0` is rejected by construction downstream; use
+    /// [`hqmr_store::DEFAULT_PARITY_GROUP`] by default).
+    pub fn with_built_parity(self, group: usize) -> Result<Self, StoreError> {
+        let sidecar = ParitySidecar::from_reader(&self.reader, group)?;
+        self.with_parity(sidecar)
+    }
+
+    /// Whether online parity repair is armed.
+    pub fn has_parity(&self) -> bool {
+        self.parity.is_some()
     }
 
     /// [`StoreServer::new`] with an unbounded budget.
@@ -517,6 +555,79 @@ impl StoreServer {
         })
     }
 
+    /// Parity reconstruction of a chunk whose decode failed: XOR the group's
+    /// surviving members back into the missing payload, verify it against
+    /// the chunk table's CRC (bit-exactness by construction), and run it
+    /// through the normal decode path. Runs inside the cache's decode
+    /// closure, so a successful repair is published to the LRU exactly like
+    /// a clean decode — *unlike* degraded fills, which never enter the
+    /// cache. On failure the caller's original typed error propagates so
+    /// degradation semantics are unchanged.
+    fn try_repair(
+        &self,
+        level: usize,
+        block: usize,
+        original: StoreError,
+    ) -> Result<DecodedChunk, StoreError> {
+        let Some(parity) = &self.parity else {
+            return Err(original);
+        };
+        match parity
+            .reconstruct(&self.reader, level, block)
+            .and_then(|bytes| self.reader.decode_chunk_bytes(level, block, &bytes))
+        {
+            Ok(chunk) => {
+                self.cache.note_repair();
+                Ok(chunk)
+            }
+            Err(_) => {
+                self.cache.note_repair_failure();
+                Err(original)
+            }
+        }
+    }
+
+    /// One background scrub cycle over every chunk of the wrapped store:
+    /// verifies each stored payload against its chunk-table CRC (paced by
+    /// `throttle`), routes corrupt chunks through the online repair path —
+    /// a successful reconstruction lands in the LRU, so subsequent reads of
+    /// a rotted chunk are exact without touching the degraded path — and
+    /// tallies the pass. The wrapped store's bytes are immutable here
+    /// (in-memory or shared file); at-rest healing of files is
+    /// [`hqmr_store::scrub_store`]'s job.
+    pub fn scrub_pass(&self, mut throttle: Option<&mut Throttle>) -> ScrubReport {
+        let mut report = ScrubReport {
+            verified: 0,
+            repaired: 0,
+            unrepairable: Vec::new(),
+            bytes_scanned: 0,
+            sidecar: if self.parity.is_some() {
+                SidecarStatus::Present
+            } else {
+                SidecarStatus::Missing
+            },
+            sidecar_rebuilt: false,
+        };
+        let meta = self.reader.meta();
+        for level in 0..meta.levels.len() {
+            for block in 0..meta.levels[level].chunks.len() {
+                let len = meta.levels[level].chunks[block].len as u64;
+                if let Some(t) = throttle.as_deref_mut() {
+                    t.consume(len);
+                }
+                report.bytes_scanned += len;
+                match self.reader.fetch_chunk_bytes(level, block) {
+                    Ok(_) => report.verified += 1,
+                    Err(_) => match self.chunk(level, block) {
+                        Ok(_) => report.repaired += 1,
+                        Err(_) => report.unrepairable.push((level, block)),
+                    },
+                }
+            }
+        }
+        report
+    }
+
     fn is_quarantined(&self, level: usize, block: usize) -> bool {
         self.quarantine
             .lock()
@@ -547,13 +658,23 @@ impl ChunkSource for StoreServer {
     }
 
     fn chunk(&self, level: usize, block: usize) -> Result<DecodedChunk, StoreError> {
-        if let Some(hook) = &self.fault_hook {
-            if hook(level, block) {
-                return Err(StoreError::CorruptChunk { level, block });
+        self.cache.get_or_decode((level, block), || {
+            let faulted = self
+                .fault_hook
+                .as_ref()
+                .is_some_and(|hook| hook(level, block));
+            let res = if faulted {
+                Err(StoreError::CorruptChunk { level, block })
+            } else {
+                self.reader.decode_chunk(level, block)
+            };
+            match res {
+                Err(original @ (StoreError::CorruptChunk { .. } | StoreError::Codec { .. })) => {
+                    self.try_repair(level, block, original)
+                }
+                other => other,
             }
-        }
-        self.cache
-            .get_or_decode((level, block), || self.reader.decode_chunk(level, block))
+        })
     }
 
     /// Bulk override: one lock acquisition harvests every resident chunk,

@@ -12,12 +12,14 @@
 //! strictly smaller time index.
 
 use crate::cache::ChunkCache;
-use crate::{CacheStats, Query, Response, UNBOUNDED};
+use crate::{CacheStats, FaultHook, Query, Response, UNBOUNDED};
 use hqmr_grid::Field3;
 use hqmr_mr::{LevelData, MultiResData, Upsample};
 use hqmr_store::read::{self, ChunkSource};
 use hqmr_store::temporal::{apply_residual, TemporalReader, TimeKey};
-use hqmr_store::{DecodedChunk, Progressive, StoreError, StoreMeta};
+use hqmr_store::{
+    temporal_sidecars, DecodedChunk, ParitySidecar, Progressive, StoreError, StoreMeta,
+};
 use rayon::prelude::*;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -46,6 +48,11 @@ pub struct TimeQuery {
 pub struct TemporalServer {
     reader: Arc<TemporalReader>,
     cache: ChunkCache<TimeKey>,
+    fault_hook: Option<FaultHook>,
+    /// Per-frame parity sidecars for online repair (`parity[t]` pairs with
+    /// frame `t`); empty when repair is unarmed. `None` entries are frames
+    /// whose sidecar was absent or damaged — those frames degrade as before.
+    parity: Vec<Option<ParitySidecar>>,
 }
 
 impl TemporalServer {
@@ -57,7 +64,51 @@ impl TemporalServer {
         TemporalServer {
             reader,
             cache: ChunkCache::new(cache_budget),
+            fault_hook: None,
+            parity: Vec::new(),
         }
+    }
+
+    /// Installs a [`FaultHook`] consulted before every *stored-chunk*
+    /// decode (builder form) — the chaos injection point, firing at the
+    /// same layer real at-rest rot does: a delta chunk's fault surfaces
+    /// while walking any chain through it. Chunks already resident
+    /// (including repaired ones) are served without re-rolling the fault.
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+
+    /// Arms online repair with one optional parity sidecar per frame
+    /// (builder form). Fails with [`StoreError::SidecarMismatch`] if a
+    /// provided sidecar does not describe its frame, or
+    /// [`StoreError::Malformed`] if the count differs from the frame count.
+    pub fn with_parity(mut self, sidecars: Vec<Option<ParitySidecar>>) -> Result<Self, StoreError> {
+        if sidecars.len() != self.reader.frame_count() {
+            return Err(StoreError::Malformed("one parity slot per frame"));
+        }
+        for (t, sc) in sidecars.iter().enumerate() {
+            if let Some(sc) = sc {
+                if !sc.matches(self.reader.frame_reader(t)?.meta()) {
+                    return Err(StoreError::SidecarMismatch);
+                }
+            }
+        }
+        self.parity = sidecars;
+        Ok(self)
+    }
+
+    /// Arms online repair from the `.hqpr` files next to the store's frame
+    /// files, tolerating absent or damaged sidecars per frame (those frames
+    /// simply stay unprotected).
+    pub fn with_disk_parity(self) -> Result<Self, StoreError> {
+        let sidecars = temporal_sidecars(self.reader.dir(), self.reader.manifest());
+        self.with_parity(sidecars)
+    }
+
+    /// Whether any frame has online parity repair armed.
+    pub fn has_parity(&self) -> bool {
+        self.parity.iter().any(Option::is_some)
     }
 
     /// [`TemporalServer::new`] with an unbounded budget.
@@ -112,7 +163,7 @@ impl TemporalServer {
         level: usize,
         block: usize,
     ) -> Result<DecodedChunk, StoreError> {
-        let stored = self.reader.frame_reader(t)?.decode_chunk(level, block)?;
+        let stored = self.decode_stored(t, level, block)?;
         if !self.reader.manifest().frames[t].is_delta(level, block) {
             return Ok(stored);
         }
@@ -122,6 +173,51 @@ impl TemporalServer {
         }
         let prev = self.chunk_at(t - 1, level, block)?;
         apply_residual(&prev, &stored)
+    }
+
+    /// Decodes frame `t`'s *stored* chunk stream (residual for delta
+    /// chunks), consulting the fault hook and — on a corrupt or undecodable
+    /// chunk — frame `t`'s parity sidecar. Mirrors
+    /// [`StoreServer::try_repair`](crate::StoreServer): a reconstruction is
+    /// CRC-verified bit-exact and flows on through the normal chain logic
+    /// (and into the LRU); a failed one propagates the original typed error.
+    fn decode_stored(
+        &self,
+        t: usize,
+        level: usize,
+        block: usize,
+    ) -> Result<DecodedChunk, StoreError> {
+        let fr = self.reader.frame_reader(t)?;
+        let faulted = self
+            .fault_hook
+            .as_ref()
+            .is_some_and(|hook| hook(level, block));
+        let res = if faulted {
+            Err(StoreError::CorruptChunk { level, block })
+        } else {
+            fr.decode_chunk(level, block)
+        };
+        match res {
+            Err(original @ (StoreError::CorruptChunk { .. } | StoreError::Codec { .. })) => {
+                let Some(Some(parity)) = self.parity.get(t) else {
+                    return Err(original);
+                };
+                match parity
+                    .reconstruct(fr, level, block)
+                    .and_then(|bytes| fr.decode_chunk_bytes(level, block, &bytes))
+                {
+                    Ok(chunk) => {
+                        self.cache.note_repair();
+                        Ok(chunk)
+                    }
+                    Err(_) => {
+                        self.cache.note_repair_failure();
+                        Err(original)
+                    }
+                }
+            }
+            other => other,
+        }
     }
 
     /// A [`ChunkSource`] view of frame `t` whose chunks come through the

@@ -58,6 +58,7 @@ fn server_reads_equal_bare_reader_across_matrix() {
                 merge,
                 pad,
                 chunk_blocks: 3,
+                parity_group: 0,
             };
             let buf = write_store(&mr, &cfg, codec.as_ref());
             let oracle = StoreReader::from_bytes(buf.clone()).unwrap();

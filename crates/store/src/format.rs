@@ -81,6 +81,24 @@ pub enum StoreError {
     NoSuchFrame(usize),
     /// The requested ROI exceeds the level's extents.
     RoiOutOfBounds,
+    /// A parity sidecar (`.hqpr`) is structurally damaged: bad magic or
+    /// version, a failed header CRC, or a header inconsistent with itself.
+    /// Sidecar damage never poisons the store — it only withdraws the
+    /// redundancy.
+    CorruptSidecar(&'static str),
+    /// The sidecar parsed but describes a different store (chunk count or
+    /// chunk-CRC fingerprint mismatch) — using it would "repair" chunks into
+    /// garbage, so the pairing is rejected as a whole.
+    SidecarMismatch,
+    /// Parity reconstruction of `(level, block)` failed: a sibling chunk or
+    /// the group's parity block is also damaged, so the redundancy is
+    /// exhausted for this group.
+    Unrepairable {
+        /// Level index of the chunk that could not be rebuilt.
+        level: usize,
+        /// Chunk index within the level.
+        block: usize,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -111,6 +129,14 @@ impl std::fmt::Display for StoreError {
             StoreError::NoSuchLevel(l) => write!(f, "no level {l} in store"),
             StoreError::NoSuchFrame(t) => write!(f, "no frame {t} in temporal store"),
             StoreError::RoiOutOfBounds => write!(f, "ROI exceeds level extents"),
+            StoreError::CorruptSidecar(m) => write!(f, "corrupt parity sidecar: {m}"),
+            StoreError::SidecarMismatch => {
+                write!(f, "parity sidecar describes a different store")
+            }
+            StoreError::Unrepairable { level, block } => write!(
+                f,
+                "chunk (level {level}, block {block}) unrepairable: parity group redundancy exhausted"
+            ),
         }
     }
 }

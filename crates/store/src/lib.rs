@@ -48,12 +48,18 @@
 
 pub mod format;
 pub mod read;
+pub mod scrub;
 pub mod temporal;
 
 pub use format::{
     parse_head, ChunkMeta, LevelMeta, StoreError, StoreMeta, MAGIC, PREFIX_LEN, VERSION,
 };
 pub use read::{ChunkSource, DecodedChunk, Progressive, RefinementStep};
+pub use scrub::{
+    parity_path, repair_in_place, scrub_store, scrub_temporal, temporal_sidecars, ParitySidecar,
+    ScrubReport, SidecarStatus, TemporalScrubReport, Throttle, DEFAULT_PARITY_GROUP, PARITY_MAGIC,
+    PARITY_VERSION,
+};
 pub use temporal::{
     FrameMeta, FrameView, Prediction, TemporalEncoder, TemporalManifest, TemporalReader,
     MANIFEST_NAME, TEMPORAL_MAGIC, TEMPORAL_VERSION,
@@ -125,6 +131,11 @@ pub struct StoreConfig {
     /// [`StoreConfig::one_chunk_per_level`] reproduces the monolithic
     /// engine's arrays exactly.
     pub chunk_blocks: usize,
+    /// Chunks per XOR parity group in the `.hqpr` sidecar file-level
+    /// writers emit beside each store (`0` disables sidecars). Smaller
+    /// groups mean more repairable damage per store at proportionally more
+    /// parity bytes — overhead ≈ `1/parity_group` of the compressed size.
+    pub parity_group: usize,
 }
 
 /// Default chunk granularity: enough blocks for the codec to find structure,
@@ -140,12 +151,20 @@ impl StoreConfig {
             merge: MergeStrategy::Linear,
             pad: Some(PadKind::Linear),
             chunk_blocks: DEFAULT_CHUNK_BLOCKS,
+            parity_group: scrub::DEFAULT_PARITY_GROUP,
         }
     }
 
     /// Tiling granularity in unit blocks per chunk.
     pub fn with_chunk_blocks(mut self, blocks: usize) -> Self {
         self.chunk_blocks = blocks.max(1);
+        self
+    }
+
+    /// Chunks per parity group in the emitted `.hqpr` sidecar; `0` turns
+    /// sidecars off.
+    pub fn with_parity_group(mut self, group: usize) -> Self {
+        self.parity_group = group;
         self
     }
 
@@ -268,6 +287,32 @@ pub fn encode_prepared_store_into(
 pub fn write_store(mr: &MultiResData, cfg: &StoreConfig, codec: &dyn Codec) -> Vec<u8> {
     let prepared = prepare_store(mr, cfg);
     encode_prepared_store(mr, &prepared, cfg, codec)
+}
+
+/// [`write_store`] plus the matching `.hqpr` parity sidecar bytes
+/// (`None` when `cfg.parity_group == 0`). The sidecar is computed off the
+/// just-framed buffer, so it is consistent with the store by construction;
+/// file-level writers persist both through their crash-safe path.
+pub fn write_store_with_parity(
+    mr: &MultiResData,
+    cfg: &StoreConfig,
+    codec: &dyn Codec,
+) -> (Vec<u8>, Option<Vec<u8>>) {
+    let buf = write_store(mr, cfg, codec);
+    let parity = sidecar_bytes_for(&buf, cfg.parity_group);
+    (buf, parity)
+}
+
+/// The serialized parity sidecar for a complete store buffer, or `None`
+/// when parity is disabled. Building parity over bytes we just framed
+/// cannot fail; the expect documents that invariant.
+pub fn sidecar_bytes_for(store_buf: &[u8], parity_group: usize) -> Option<Vec<u8>> {
+    if parity_group == 0 {
+        return None;
+    }
+    let sc = scrub::ParitySidecar::from_store_bytes(store_buf, parity_group)
+        .expect("parity over a freshly framed store");
+    Some(sc.to_bytes())
 }
 
 /// [`write_store`] into a caller-owned buffer (cleared first): an in-situ
@@ -603,19 +648,34 @@ impl StoreReader {
                 &field
             };
             let d = data.dims();
+            // Slot origins and the unit come from the untrusted chunk
+            // table; checked math keeps a crafted store a typed error
+            // instead of a debug-build overflow panic.
+            let oob = StoreError::Malformed("chunk slot out of array bounds");
             for &(slot, _) in &c.slots {
-                if slot[0] + c.unit > d.nx || slot[1] + c.unit > d.ny || slot[2] + c.unit > d.nz {
-                    return Err(StoreError::Malformed("chunk slot out of array bounds"));
+                let inside = |o: usize, dim: usize| o.checked_add(c.unit).is_some_and(|e| e <= dim);
+                if !(inside(slot[0], d.nx) && inside(slot[1], d.ny) && inside(slot[2], d.nz)) {
+                    return Err(oob);
                 }
             }
             // One contiguous slab for the whole chunk: the unit a cache can
             // share across clients with a single refcount bump. Per-slot
             // extractions write disjoint slab ranges, so large chunks fan
             // them across the rayon shim (one tile per slot) unless tile
-            // parallelism is disabled.
-            let n = c.unit.pow(3);
+            // parallelism is disabled. The slot check above bounds `unit`
+            // by the decoded dims whenever a slot exists; an absurd unit on
+            // a slotless chunk must still not overflow the slab size.
+            let n = c
+                .unit
+                .checked_pow(3)
+                .ok_or(StoreError::Malformed("chunk unit overflows"))?;
             let size = Dims3::cube(c.unit);
-            let mut slab = vec![0f32; c.slots.len() * n];
+            let slab_len = c
+                .slots
+                .len()
+                .checked_mul(n)
+                .ok_or(StoreError::Malformed("chunk slab overflows"))?;
+            let mut slab = vec![0f32; slab_len];
             if kernels::tile_parallel() && c.slots.len() >= 2 && slab.len() >= PAR_MIN_EXTRACT {
                 slab.par_chunks_mut(n).enumerate().for_each(|(k, out)| {
                     let (slot, _) = c.slots[k];
@@ -645,6 +705,29 @@ impl StoreReader {
         let lm = self.level_meta(level)?;
         let bytes = self.fetch_chunk_bytes(level, block)?;
         self.decode_one(level, lm, block, &bytes)
+    }
+
+    /// Decodes a caller-supplied compressed payload as chunk
+    /// `(level, block)` — the entry point for parity-repaired bytes. The
+    /// payload is verified against the chunk table's stored length and CRC
+    /// first, so a bad reconstruction is the same typed
+    /// [`StoreError::CorruptChunk`] a damaged fetch would be; a payload
+    /// that passes decodes identically to the original chunk.
+    pub fn decode_chunk_bytes(
+        &self,
+        level: usize,
+        block: usize,
+        bytes: &[u8],
+    ) -> Result<DecodedChunk, StoreError> {
+        let lm = self.level_meta(level)?;
+        let c = lm
+            .chunks
+            .get(block)
+            .ok_or(StoreError::Malformed("chunk index out of range"))?;
+        if bytes.len() != c.len || crc32(bytes) != c.crc {
+            return Err(StoreError::CorruptChunk { level, block });
+        }
+        self.decode_one(level, lm, block, bytes)
     }
 
     /// Reads one whole resolution level.
@@ -895,6 +978,7 @@ mod tests {
             merge: MergeStrategy::Linear,
             pad: None,
             chunk_blocks: 1,
+            parity_group: 0,
         };
         let r = StoreReader::from_bytes(write_store(&mr, &cfg, &Sz3Codec::default())).unwrap();
         let iso = 40.0f32;

@@ -343,6 +343,39 @@ impl TemporalEncoder {
         Ok(flags)
     }
 
+    /// Seeds the encoder from the *decoded* values of a run already on
+    /// disk, so appends resume as if the run never stopped: `decoded` is
+    /// the last existing frame's actual-value reconstruction (e.g.
+    /// `TemporalReader::read_frame`), which is exactly the closed-loop
+    /// state an unbroken encoder would hold, and `frames` is the number of
+    /// frames already written (the next frame's time index, which also
+    /// keeps the keyframe-interval cadence aligned with the original run).
+    pub fn resume_from_decoded(&mut self, decoded: &MultiResData, frames: usize) {
+        self.frames = frames;
+        self.prev = if matches!(self.prediction, Prediction::Delta { .. }) && frames > 0 {
+            Some(PrevFrame {
+                domain: decoded.domain,
+                levels: decoded
+                    .levels
+                    .iter()
+                    .map(|lvl| PrevLevel {
+                        level: lvl.level,
+                        unit: lvl.unit,
+                        dims: lvl.dims,
+                        origins: lvl.blocks.iter().map(|b| b.origin).collect(),
+                        decoded: lvl
+                            .blocks
+                            .iter()
+                            .map(|b| (b.origin, b.data.clone()))
+                            .collect(),
+                    })
+                    .collect(),
+            })
+        } else {
+            None
+        };
+    }
+
     /// Per-chunk keyframe/delta choice: prepare both candidates, compress
     /// both, keep the smaller stream. Chunk tables record the *actual*
     /// value min/max either way.
@@ -571,6 +604,19 @@ impl TemporalReader {
             manifest,
             frames,
         })
+    }
+
+    /// Reads and parses just the manifest of a temporal store directory,
+    /// without opening (or requiring the integrity of) any frame file —
+    /// the entry point for scrub and salvage, which must make progress on
+    /// directories whose frames `open` would reject.
+    pub fn read_manifest(dir: impl AsRef<Path>) -> Result<TemporalManifest, StoreError> {
+        let mpath = dir.as_ref().join(MANIFEST_NAME);
+        let bytes = std::fs::read(&mpath).map_err(|source| StoreError::Open {
+            path: mpath.clone(),
+            source,
+        })?;
+        TemporalManifest::from_bytes(&bytes)
     }
 
     /// The store directory this reader was opened on.

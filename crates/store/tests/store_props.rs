@@ -37,6 +37,7 @@ fn store_cfg(chunk_blocks: usize) -> StoreConfig {
         merge: MergeStrategy::Linear,
         pad: Some(PadKind::Linear),
         chunk_blocks,
+        parity_group: 0,
     }
 }
 
@@ -291,6 +292,7 @@ fn all_merge_strategies_roundtrip_through_store() {
             merge,
             pad: None,
             chunk_blocks: 4,
+            parity_group: 0,
         };
         let buf = write_store(&mr, &cfg, &NullCodec);
         let back = StoreReader::from_bytes(buf).unwrap().read_all().unwrap();

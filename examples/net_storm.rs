@@ -156,13 +156,13 @@ fn main() {
     let stats = probe.stats(0, false).expect("stats");
     println!(
         "remote cache: {} requests = {} hits + {} misses ({} shared in-flight waits)",
-        stats.requests, stats.hits, stats.misses, stats.shared
+        stats.cache.requests, stats.cache.hits, stats.cache.misses, stats.cache.shared
     );
     println!(
         "              {:.1} KiB resident (peak {:.1} KiB), {} evictions — the fleet \
          decoded each chunk once, over sockets",
-        stats.resident_bytes as f64 / 1024.0,
-        stats.peak_resident_bytes as f64 / 1024.0,
-        stats.evictions
+        stats.cache.resident_bytes as f64 / 1024.0,
+        stats.cache.peak_resident_bytes as f64 / 1024.0,
+        stats.cache.evictions
     );
 }

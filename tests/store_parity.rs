@@ -35,6 +35,7 @@ fn store_roundtrip_matches_decompress_mr_bit_for_bit() {
                 merge,
                 pad,
                 chunk_blocks: usize::MAX,
+                parity_group: 0,
             };
             let buf = write_store(&mr, &scfg, backend.codec().as_ref());
             let store = StoreReader::from_bytes(buf).unwrap().read_all().unwrap();
